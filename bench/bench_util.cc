@@ -1,0 +1,109 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gpudb {
+namespace bench {
+
+std::vector<size_t> RecordSweep() {
+  return {250'000, 500'000, 750'000, 1'000'000};
+}
+
+std::unique_ptr<gpu::Device> MakeDevice() {
+  return std::make_unique<gpu::Device>(1000, 1000);
+}
+
+const db::Table& TcpIpTable() {
+  static const db::Table* table = [] {
+    auto t = db::MakeTcpIpTable(1'000'000);
+    if (!t.ok()) {
+      std::fprintf(stderr, "failed to generate TCP/IP table: %s\n",
+                   t.status().ToString().c_str());
+      std::abort();
+    }
+    return new db::Table(std::move(t).ValueOrDie());
+  }();
+  return *table;
+}
+
+std::vector<float> Slice(const db::Column& column, size_t n) {
+  n = std::min(n, column.size());
+  return std::vector<float>(column.values().begin(),
+                            column.values().begin() + n);
+}
+
+std::vector<uint32_t> SliceInts(const db::Column& column, size_t n) {
+  n = std::min(n, column.size());
+  std::vector<uint32_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = column.int_value(i);
+  return out;
+}
+
+core::AttributeBinding UploadColumn(gpu::Device* device,
+                                    const db::Column& column, size_t n) {
+  const std::vector<float> values = Slice(column, n);
+  auto tex = gpu::Texture::FromColumns({&values}, 1000);
+  if (!tex.ok()) {
+    std::fprintf(stderr, "texture build failed: %s\n",
+                 tex.status().ToString().c_str());
+    std::abort();
+  }
+  auto id = device->UploadTexture(std::move(tex).ValueOrDie());
+  if (!id.ok() || !device->SetViewport(n).ok()) {
+    std::fprintf(stderr, "upload failed\n");
+    std::abort();
+  }
+  core::AttributeBinding binding;
+  binding.texture = id.ValueOrDie();
+  binding.channel = 0;
+  binding.encoding = core::DepthEncoding::ForColumn(column);
+  return binding;
+}
+
+float ThresholdForSelectivity(const db::Column& column, size_t n,
+                              double selectivity) {
+  std::vector<float> sorted = Slice(column, n);
+  std::sort(sorted.begin(), sorted.end());
+  // x > sorted[(1-s)*n - 1] keeps ~s*n values.
+  const double fraction = 1.0 - selectivity;
+  const auto rank = static_cast<size_t>(
+      std::clamp(fraction * static_cast<double>(n), 1.0,
+                 static_cast<double>(n)));
+  return sorted[rank - 1];
+}
+
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const std::string& paper_claim) {
+  std::printf("================================================================================\n");
+  std::printf("%s: %s\n", figure.c_str(), description.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("model columns = simulated 2004 hardware (GeForce FX 5900 vs dual 2.8GHz Xeon);\n");
+  std::printf("wall columns  = this machine's execution of the pipeline simulator / baseline.\n");
+  std::printf("================================================================================\n");
+}
+
+void PrintRowHeader() {
+  std::printf("%-14s %14s %16s %14s %10s %12s %12s %7s\n", "label",
+              "gpu_model_ms", "gpu_compute_ms", "cpu_model_ms", "speedup",
+              "gpu_wall_ms", "cpu_wall_ms", "check");
+}
+
+void PrintRow(const ResultRow& row) {
+  const double speedup =
+      row.gpu_model_total_ms > 0 ? row.cpu_model_ms / row.gpu_model_total_ms
+                                 : 0.0;
+  std::printf("%-14s %14.3f %16.3f %14.3f %9.2fx %12.2f %12.2f %7s\n",
+              row.label.c_str(), row.gpu_model_total_ms,
+              row.gpu_model_compute_ms, row.cpu_model_ms, speedup,
+              row.gpu_wall_ms, row.cpu_wall_ms,
+              row.check_passed ? "OK" : "FAIL");
+}
+
+void PrintFooter(const std::string& note) {
+  std::printf("--------------------------------------------------------------------------------\n");
+  std::printf("%s\n\n", note.c_str());
+}
+
+}  // namespace bench
+}  // namespace gpudb

@@ -1,0 +1,72 @@
+#ifndef GPUDB_BENCH_BENCH_UTIL_H_
+#define GPUDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/core/compare.h"
+#include "src/cpu/xeon_model.h"
+#include "src/db/datagen.h"
+#include "src/db/table.h"
+#include "src/gpu/device.h"
+#include "src/gpu/perf_model.h"
+
+namespace gpudb {
+namespace bench {
+
+/// The record-count axis used by the paper's figures (up to one million
+/// records, Section 5.1).
+std::vector<size_t> RecordSweep();
+
+/// Fresh 1000x1000 device (the paper's screen/texture size).
+std::unique_ptr<gpu::Device> MakeDevice();
+
+/// The shared TCP/IP benchmark table (1M rows, generated once per process).
+const db::Table& TcpIpTable();
+
+/// First `n` values of a column.
+std::vector<float> Slice(const db::Column& column, size_t n);
+std::vector<uint32_t> SliceInts(const db::Column& column, size_t n);
+
+/// Uploads the first `n` values of a column as a single-channel texture and
+/// returns its exact-int binding; sets the device viewport to n.
+core::AttributeBinding UploadColumn(gpu::Device* device,
+                                    const db::Column& column, size_t n);
+
+/// Value v such that the predicate `x > v` selects ~`selectivity` of the
+/// first n records (e.g. 0.6 -> the paper's 60%-selectivity setups).
+float ThresholdForSelectivity(const db::Column& column, size_t n,
+                              double selectivity);
+
+/// Prints the figure banner with the paper's claim for easy comparison.
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const std::string& paper_claim);
+
+/// Prints one row of "model vs measured" results. Model columns are
+/// simulated 2004-hardware milliseconds (GeForce FX 5900 / dual Xeon);
+/// wall columns are this machine's actual execution time of the simulator
+/// and the real CPU baseline, reported for transparency.
+struct ResultRow {
+  std::string label;           ///< e.g. record count or k.
+  double gpu_model_total_ms = 0;
+  double gpu_model_compute_ms = 0;
+  double cpu_model_ms = 0;
+  double gpu_wall_ms = 0;      ///< simulator wall-clock (not paper-scale)
+  double cpu_wall_ms = 0;      ///< real baseline wall-clock
+  bool check_passed = true;    ///< GPU result cross-checked against CPU
+};
+
+void PrintRowHeader();
+void PrintRow(const ResultRow& row);
+
+/// Footer: summarizing the shape vs the paper's claim.
+void PrintFooter(const std::string& note);
+
+}  // namespace bench
+}  // namespace gpudb
+
+#endif  // GPUDB_BENCH_BENCH_UTIL_H_

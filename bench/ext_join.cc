@@ -1,0 +1,84 @@
+// Extension bench: equi-join via distinct-key iteration with occlusion-count
+// pruning (paper Section 7 future work, using the Section 5.11 selectivity
+// machinery). Also compares the exact GPU-counted join size against the
+// histogram estimate a 2004-era optimizer would have used.
+
+#include <cmath>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/core/histogram.h"
+#include "src/core/join.h"
+#include "src/db/datagen.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Extension: equi-join by distinct keys",
+              "100K x 250K join, sweeping key cardinality",
+              "join as future work (Section 7); per-key occlusion probes "
+              "prune non-matching keys (Section 5.11)");
+  gpu::PerfModel model;
+  std::printf("%-8s %14s %14s %14s %14s %8s\n", "keys", "gpu_model_ms",
+              "gpu_wall_ms", "exact_size", "hist_estimate", "check");
+
+  for (int key_bits : {3, 5, 7}) {
+    auto left_t = db::MakeUniformTable(100'000, key_bits, 1, /*seed=*/81);
+    auto right_t = db::MakeUniformTable(250'000, key_bits, 1, /*seed=*/82);
+    if (!left_t.ok() || !right_t.ok()) return 1;
+    const db::Column& lc = left_t.ValueOrDie().column(0);
+    const db::Column& rc = right_t.ValueOrDie().column(0);
+
+    gpu::Device device(1000, 1000);
+    core::JoinSide left{UploadColumn(&device, lc, lc.size()), lc.size(),
+                        key_bits};
+    core::JoinSide right{UploadColumn(&device, rc, rc.size()), rc.size(),
+                         key_bits};
+
+    device.ResetCounters();
+    Timer timer;
+    auto size = core::EquiJoinSize(&device, left, right);
+    const double wall = timer.ElapsedMs();
+    if (!size.ok()) return 1;
+    const double gpu_ms = model.EstimateMs(device.counters());
+
+    // CPU reference + histogram estimate.
+    std::map<uint32_t, uint64_t> freq;
+    for (size_t i = 0; i < lc.size(); ++i) ++freq[lc.int_value(i)];
+    uint64_t exact = 0;
+    for (size_t i = 0; i < rc.size(); ++i) {
+      auto it = freq.find(rc.int_value(i));
+      if (it != freq.end()) exact += it->second;
+    }
+    const double domain = std::exp2(key_bits);
+    auto hl = core::GpuHistogram(
+        &device, left.key, 0, domain,
+        std::min(64, 1 << key_bits));
+    (void)device.SetViewport(right.rows);
+    auto hr = core::GpuHistogram(
+        &device, right.key, 0, domain,
+        std::min(64, 1 << key_bits));
+    if (!hl.ok() || !hr.ok()) return 1;
+    auto est = core::EstimateEquiJoinSize(hl.ValueOrDie(), hr.ValueOrDie());
+    if (!est.ok()) return 1;
+
+    std::printf("%-8d %14.3f %14.2f %14llu %14.0f %8s\n", 1 << key_bits,
+                gpu_ms, wall, static_cast<unsigned long long>(exact),
+                est.ValueOrDie(),
+                size.ValueOrDie() == exact ? "OK" : "FAIL");
+  }
+  PrintFooter(
+      "Cost scales with the driving side's distinct keys (discovery + two "
+      "counting passes each); with one bucket per key the histogram "
+      "estimate is exact, and the planner gets join sizes for the price of "
+      "a few dozen occlusion queries.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main() { return gpudb::bench::Run(); }

@@ -1,0 +1,130 @@
+// Extension bench: out-of-core execution (paper Section 6.1 "Memory
+// Management") -- operations over a table larger than the framebuffer by
+// tiling, with per-tile texture swaps charged to the bus model.
+
+#include "bench/bench_util.h"
+#include "src/core/partition.h"
+#include "src/cpu/aggregate.h"
+#include "src/cpu/quickselect.h"
+#include "src/cpu/scan.h"
+#include "src/db/datagen.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Extension: out-of-core partitioned execution",
+              "2M-record column on a 1M-pixel device (2 tiles)",
+              "\"we would use out-of-core techniques and swap textures in "
+              "and out of video memory\" (Section 6.1)");
+  const size_t n = 2'000'000;
+  auto table = db::MakeUniformTable(n, 19, 1, /*seed=*/63);
+  if (!table.ok()) return 1;
+  const db::Column& col = table.ValueOrDie().column(0);
+  const auto& values = col.values();
+  gpu::PerfModel model;
+  cpu::XeonModel cpu_model;
+
+  gpu::Device device(1000, 1000);
+  auto part = core::PartitionedColumn::Make(&device, col);
+  if (!part.ok()) return 1;
+  std::printf("tiles: %zu, records: %llu, bit width: %d\n",
+              part.ValueOrDie().tile_count(),
+              static_cast<unsigned long long>(
+                  part.ValueOrDie().total_records()),
+              part.ValueOrDie().bit_width());
+  PrintRowHeader();
+
+  {  // COUNT with a predicate.
+    device.ResetCounters();
+    Timer t;
+    auto count = part.ValueOrDie().Count(gpu::CompareOp::kGreaterEqual,
+                                         200000.0);
+    const double wall = t.ElapsedMs();
+    if (!count.ok()) return 1;
+    std::vector<uint8_t> mask;
+    const uint64_t expected = cpu::PredicateScan(
+        values, gpu::CompareOp::kGreaterEqual, 200000.0f, &mask);
+    ResultRow row;
+    row.label = "count";
+    row.gpu_model_total_ms = model.EstimateMs(device.counters());
+    row.gpu_model_compute_ms = model.Estimate(device.counters()).fill_ms;
+    row.cpu_model_ms = cpu_model.PredicateScanMs(n);
+    row.gpu_wall_ms = wall;
+    row.check_passed = count.ValueOrDie() == expected;
+    PrintRow(row);
+  }
+  {  // SUM.
+    device.ResetCounters();
+    Timer t;
+    auto sum = part.ValueOrDie().Sum();
+    const double wall = t.ElapsedMs();
+    if (!sum.ok()) return 1;
+    ResultRow row;
+    row.label = "sum";
+    row.gpu_model_total_ms = model.EstimateMs(device.counters());
+    row.gpu_model_compute_ms = model.Estimate(device.counters()).fill_ms;
+    row.cpu_model_ms = cpu_model.SumMs(n);
+    row.gpu_wall_ms = wall;
+    row.check_passed = sum.ValueOrDie() == cpu::SumInt(values);
+    PrintRow(row);
+  }
+  {  // Median.
+    device.ResetCounters();
+    Timer t;
+    auto median = part.ValueOrDie().Median();
+    const double wall = t.ElapsedMs();
+    if (!median.ok()) return 1;
+    auto cpu_median = cpu::Median(values);
+    if (!cpu_median.ok()) return 1;
+    ResultRow row;
+    row.label = "median";
+    row.gpu_model_total_ms = model.EstimateMs(device.counters());
+    row.gpu_model_compute_ms = model.Estimate(device.counters()).fill_ms;
+    row.cpu_model_ms = cpu_model.QuickSelectMs(n);
+    row.gpu_wall_ms = wall;
+    row.check_passed = median.ValueOrDie() ==
+                       static_cast<uint32_t>(cpu_median.ValueOrDie());
+    PrintRow(row);
+  }
+  // Constrained video memory: with room for only one tile's texture, every
+  // cross-tile pass alternates between the tiles and each touch swaps the
+  // other tile out -- the texture traffic Section 6.1 predicts, charged at
+  // AGP bandwidth by the model.
+  {
+    gpu::Device small(1000, 1000);
+    // Each 1M-texel single-channel tile is 4 MB; allow ~1.5 tiles.
+    if (!small.SetVideoMemoryBudget(6ull * 1024 * 1024).ok()) return 1;
+    auto swapped = core::PartitionedColumn::Make(&small, col);
+    if (!swapped.ok()) return 1;
+    small.ResetCounters();
+    Timer t;
+    auto median = swapped.ValueOrDie().Median();
+    const double wall = t.ElapsedMs();
+    if (!median.ok()) return 1;
+    const gpu::GpuTimeBreakdown b = model.Estimate(small.counters());
+    std::printf(
+        "\nmedian again with video memory capped at 1.5 tiles: %.3f ms "
+        "(swap traffic %.3f ms across %llu swap-ins, %.1f MB re-uploaded; "
+        "wall %.0f ms)\n",
+        b.TotalMs(), b.swap_ms,
+        static_cast<unsigned long long>(small.counters().texture_swap_ins),
+        static_cast<double>(small.counters().bytes_swapped) / 1e6, wall);
+  }
+  PrintFooter(
+      "COUNT and SUM tile perfectly (counts are additive). The order "
+      "statistic pays tiles x bit_width copy passes -- the out-of-core tax "
+      "Section 6.1 anticipates -- and drops from ~3x faster to roughly CPU "
+      "parity, still with no data rearrangement. Capping video memory below "
+      "the working set adds AGP swap traffic on top: exactly the "
+      "\"swap textures in and out of video memory\" cost the paper warns "
+      "about.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main() { return gpudb::bench::Run(); }

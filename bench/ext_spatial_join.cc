@@ -1,0 +1,104 @@
+// Extension bench: screen-space spatial overlap join in the style of
+// Sun et al. [35] -- the prior work the paper builds on (Section 2.1 reports
+// "a speedup of nearly 5 times on intersection joins ... when compared
+// against their software implementation"). Two layers of convex polygons
+// are joined by rasterized-footprint overlap, with CPU bounding-box pruning
+// feeding the GPU's per-pair stencil/occlusion test.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/spatial_join.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+/// Random convex polygon: a triangle/quad/hexagon inscribed in a circle.
+core::Polygon2D RandomConvex(Random* rng, float screen) {
+  const float cx = static_cast<float>(rng->NextDouble(60, screen - 60));
+  const float cy = static_cast<float>(rng->NextDouble(60, screen - 60));
+  const float r = static_cast<float>(rng->NextDouble(10, 50));
+  const int sides = 3 + static_cast<int>(rng->NextUint64(4));
+  const double phase = rng->NextDouble(0, 6.28);
+  core::Polygon2D poly;
+  for (int s = 0; s < sides; ++s) {
+    // Increasing angle = positive orientation under the library's cross
+    // product convention.
+    const double angle = phase + 6.283185307179586 * s / sides;
+    poly.vertices.emplace_back(
+        cx + r * static_cast<float>(std::cos(angle)),
+        cy + r * static_cast<float>(std::sin(angle)));
+  }
+  return poly;
+}
+
+int Run() {
+  PrintHeader("Extension: screen-space spatial overlap join",
+              "two layers of convex polygons, footprint-overlap join",
+              "Sun et al. [35] report ~5x vs software on intersection joins "
+              "(Section 2.1); the technique \"is quite conservative\"");
+  gpu::PerfModel model;
+  std::printf("%-10s %10s %14s %14s %12s %10s\n", "layer", "pairs",
+              "gpu_model_ms", "gpu_wall_ms", "cpu_wall_ms", "agree");
+
+  for (size_t count : {size_t{50}, size_t{100}, size_t{200}}) {
+    Random rng(900 + count);
+    gpu::Device device(1000, 1000);
+    std::vector<core::Polygon2D> layer_a, layer_b;
+    for (size_t i = 0; i < count; ++i) {
+      layer_a.push_back(RandomConvex(&rng, 1000));
+      layer_b.push_back(RandomConvex(&rng, 1000));
+    }
+
+    device.ResetCounters();
+    Timer gpu_timer;
+    auto pairs = core::SpatialOverlapJoin(&device, layer_a, layer_b);
+    const double gpu_wall = gpu_timer.ElapsedMs();
+    if (!pairs.ok()) {
+      std::fprintf(stderr, "%s\n", pairs.status().ToString().c_str());
+      return 1;
+    }
+    const double gpu_ms = model.EstimateMs(device.counters());
+
+    // CPU exact SAT join for comparison; the screen-space result may differ
+    // on sub-pixel contacts (the documented conservativeness), so report
+    // the agreement rate (fraction of SAT-positive pairs the GPU found)
+    // rather than asserting equality.
+    std::vector<std::vector<bool>> gpu_hit(
+        layer_a.size(), std::vector<bool>(layer_b.size(), false));
+    for (const auto& [i, j] : pairs.ValueOrDie()) gpu_hit[i][j] = true;
+    Timer cpu_timer;
+    size_t sat_positive = 0, agreements = 0;
+    for (size_t i = 0; i < layer_a.size(); ++i) {
+      for (size_t j = 0; j < layer_b.size(); ++j) {
+        if (core::ConvexPolygonsIntersect(layer_a[i], layer_b[j])) {
+          ++sat_positive;
+          agreements += gpu_hit[i][j] ? 1 : 0;
+        }
+      }
+    }
+    const double cpu_wall = cpu_timer.ElapsedMs();
+    std::printf("%-10zu %10zu %14.3f %14.2f %12.2f %9.1f%%\n", count,
+                pairs.ValueOrDie().size(), gpu_ms, gpu_wall, cpu_wall,
+                sat_positive == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(agreements) /
+                          static_cast<double>(sat_positive));
+  }
+  PrintFooter(
+      "Bounding boxes prune most pairs on the CPU for free; each surviving "
+      "pair costs two scissored rasterization passes plus an occlusion "
+      "readback. Agreement with exact SAT intersection sits near 100%, "
+      "short of it only on sub-pixel contacts -- the conservativeness Sun "
+      "et al. acknowledge.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main() { return gpudb::bench::Run(); }

@@ -1,0 +1,81 @@
+// Figure 6: semi-linear query over the four TCP/IP attributes -- a random
+// linear combination compared against a constant. The paper reports the GPU
+// almost an order of magnitude (~9x) faster than the optimized CPU scan.
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/semilinear.h"
+#include "src/cpu/scan.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 6",
+              "semi-linear query dot(s, a) > b over 4 attributes, random s",
+              "GPU ~9x (almost one order of magnitude) faster");
+  PrintRowHeader();
+  const db::Table& table = TcpIpTable();
+  gpu::PerfModel gpu_model;
+  cpu::XeonModel cpu_model;
+  Random rng(20040618);
+  const std::array<float, 4> weights = {
+      static_cast<float>(rng.NextDouble(-1, 1)),
+      static_cast<float>(rng.NextDouble(-1, 1)),
+      static_cast<float>(rng.NextDouble(-1, 1)),
+      static_cast<float>(rng.NextDouble(-1, 1))};
+
+  for (size_t n : RecordSweep()) {
+    // Pack all four attributes into one RGBA texture.
+    std::vector<float> c0 = Slice(table.column(0), n);
+    std::vector<float> c1 = Slice(table.column(1), n);
+    std::vector<float> c2 = Slice(table.column(2), n);
+    std::vector<float> c3 = Slice(table.column(3), n);
+    auto tex = gpu::Texture::FromColumns({&c0, &c1, &c2, &c3}, 1000);
+    if (!tex.ok()) return 1;
+    auto device = MakeDevice();
+    auto id = device->UploadTexture(std::move(tex).ValueOrDie());
+    if (!id.ok() || !device->SetViewport(n).ok()) return 1;
+
+    core::SemilinearQuery query;
+    query.weights = weights;
+    query.op = gpu::CompareOp::kGreater;
+    query.b = 1000.0f;
+
+    device->ResetCounters();
+    Timer gpu_timer;
+    auto gpu_count =
+        core::SemilinearSelect(device.get(), id.ValueOrDie(), query);
+    const double gpu_wall = gpu_timer.ElapsedMs();
+    if (!gpu_count.ok()) return 1;
+    const gpu::GpuTimeBreakdown b = gpu_model.Estimate(device->counters());
+
+    std::vector<uint8_t> mask;
+    Timer cpu_timer;
+    const uint64_t cpu_count = cpu::SemilinearScan(
+        {&c0, &c1, &c2, &c3}, weights, query.op, query.b, &mask);
+    const double cpu_wall = cpu_timer.ElapsedMs();
+
+    ResultRow row;
+    row.label = std::to_string(n);
+    row.gpu_model_total_ms = b.TotalMs();
+    row.gpu_model_compute_ms = b.ComputeMs();  // no copy pass at all
+    row.cpu_model_ms = cpu_model.SemilinearScanMs(n);
+    row.gpu_wall_ms = gpu_wall;
+    row.cpu_wall_ms = cpu_wall;
+    row.check_passed = gpu_count.ValueOrDie() == cpu_count;
+    PrintRow(row);
+  }
+  PrintFooter(
+      "The semi-linear query runs entirely in one 4-instruction fragment "
+      "program pass (vector dot product in the pixel engines) with no "
+      "depth-buffer copy, giving the ~9x of Figure 6.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main() { return gpudb::bench::Run(); }

@@ -1,0 +1,61 @@
+// Figure 8: median computation (KthLargest with k = n/2) vs QuickSelect,
+// sweeping the record count. The paper reports the GPU ~2x faster overall
+// and ~2.5x computation-only.
+
+#include "bench/bench_util.h"
+#include "src/core/kth_largest.h"
+#include "src/cpu/quickselect.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 8", "median of data_count, sweeping record count",
+              "GPU ~2x faster overall (~2.5x compute) than QuickSelect");
+  PrintRowHeader();
+  const db::Column& column =
+      *TcpIpTable().ColumnByName("data_count").ValueOrDie();
+  const int bits = column.bit_width();
+  gpu::PerfModel gpu_model;
+  cpu::XeonModel cpu_model;
+
+  for (size_t n : RecordSweep()) {
+    auto device = MakeDevice();
+    core::AttributeBinding attr = UploadColumn(device.get(), column, n);
+    device->ResetCounters();
+    Timer gpu_timer;
+    auto gpu_v = core::MedianValue(device.get(), attr, bits);
+    const double gpu_wall = gpu_timer.ElapsedMs();
+    if (!gpu_v.ok()) return 1;
+    const gpu::GpuTimeBreakdown b = gpu_model.Estimate(device->counters());
+
+    const std::vector<float> values = Slice(column, n);
+    Timer cpu_timer;
+    auto cpu_v = cpu::Median(values);
+    const double cpu_wall = cpu_timer.ElapsedMs();
+    if (!cpu_v.ok()) return 1;
+
+    ResultRow row;
+    row.label = std::to_string(n);
+    row.gpu_model_total_ms = b.TotalMs();
+    row.gpu_model_compute_ms = b.ComputeMs();
+    row.cpu_model_ms = cpu_model.QuickSelectMs(n);
+    row.gpu_wall_ms = gpu_wall;
+    row.cpu_wall_ms = cpu_wall;
+    row.check_passed =
+        gpu_v.ValueOrDie() == static_cast<uint32_t>(cpu_v.ValueOrDie());
+    PrintRow(row);
+  }
+  PrintFooter(
+      "Both sides scale linearly in n; the GPU stays ~2x ahead across the "
+      "sweep as in Figure 8 (19 comparison passes + occlusion readbacks vs "
+      "QuickSelect's data rearrangement).");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main() { return gpudb::bench::Run(); }

@@ -1,0 +1,183 @@
+// Google-benchmark microbenchmarks of the pipeline simulator and the real
+// CPU baselines on this machine. These measure the *simulator's* wall-clock
+// throughput (useful when hacking on the Device hot loop), not 2004 GPU
+// performance -- the paper-shape numbers come from the fig* binaries.
+
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/accumulator.h"
+#include "src/core/bitonic_sort.h"
+#include "src/core/compare.h"
+#include "src/core/kth_largest.h"
+#include "src/core/range.h"
+#include "src/core/semilinear.h"
+#include "src/cpu/aggregate.h"
+#include "src/cpu/quickselect.h"
+#include "src/cpu/scan.h"
+#include "src/db/datagen.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace {
+
+const db::Table& BenchTable() {
+  static const db::Table* table =
+      new db::Table(db::MakeTcpIpTable(100'000).ValueOrDie());
+  return *table;
+}
+
+core::AttributeBinding Bind(gpu::Device* device, size_t n) {
+  const db::Column& column = BenchTable().column(0);
+  std::vector<float> values(column.values().begin(),
+                            column.values().begin() + n);
+  auto tex = gpu::Texture::FromColumns({&values}, 1000);
+  auto id = device->UploadTexture(std::move(tex).ValueOrDie());
+  (void)device->SetViewport(n);
+  core::AttributeBinding b;
+  b.texture = id.ValueOrDie();
+  b.channel = 0;
+  b.encoding = core::DepthEncoding::ExactInt24();
+  return b;
+}
+
+void BM_SimCopyToDepth(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  gpu::Device device(1000, 100);
+  core::AttributeBinding attr = Bind(&device, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CopyToDepth(&device, attr));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimCopyToDepth)->Arg(10'000)->Arg(100'000);
+
+void BM_SimPredicateSelect(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  gpu::Device device(1000, 100);
+  core::AttributeBinding attr = Bind(&device, n);
+  for (auto _ : state) {
+    auto r = core::CompareSelect(&device, attr, gpu::CompareOp::kGreater,
+                                 10000.0);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimPredicateSelect)->Arg(10'000)->Arg(100'000);
+
+void BM_SimRangeSelect(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  gpu::Device device(1000, 100);
+  core::AttributeBinding attr = Bind(&device, n);
+  for (auto _ : state) {
+    auto r = core::RangeSelect(&device, attr, 1000.0, 100000.0);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimRangeSelect)->Arg(10'000)->Arg(100'000);
+
+void BM_SimKthLargest(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  gpu::Device device(1000, 100);
+  core::AttributeBinding attr = Bind(&device, n);
+  const int bits = BenchTable().column(0).bit_width();
+  for (auto _ : state) {
+    auto r = core::KthLargest(&device, attr, bits, n / 2);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimKthLargest)->Arg(10'000)->Arg(100'000);
+
+void BM_SimAccumulate(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  gpu::Device device(1000, 100);
+  core::AttributeBinding attr = Bind(&device, n);
+  const int bits = BenchTable().column(0).bit_width();
+  for (auto _ : state) {
+    auto r = core::Accumulate(&device, attr.texture, 0, bits);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimAccumulate)->Arg(10'000)->Arg(100'000);
+
+void BM_SimBitonicSort(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto& col = BenchTable().column(0).values();
+  std::vector<float> values(col.begin(), col.begin() + n);
+  for (auto _ : state) {
+    gpu::Device device(128, 128);
+    benchmark::DoNotOptimize(core::BitonicSort(&device, values));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimBitonicSort)->Arg(1024)->Arg(4096);
+
+void BM_SimSemilinearSelect(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  gpu::Device device(1000, 100);
+  core::AttributeBinding attr = Bind(&device, n);
+  core::SemilinearQuery query;
+  query.weights = {1.0f, 0, 0, 0};
+  query.op = gpu::CompareOp::kGreaterEqual;
+  query.b = 10000.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::SemilinearSelect(&device, attr.texture, query));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimSemilinearSelect)->Arg(10'000)->Arg(100'000);
+
+void BM_CpuStdSort(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto& col = BenchTable().column(0).values();
+  for (auto _ : state) {
+    std::vector<float> values(col.begin(), col.begin() + n);
+    std::sort(values.begin(), values.end());
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CpuStdSort)->Arg(1024)->Arg(4096);
+
+void BM_CpuPredicateScan(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto& col = BenchTable().column(0).values();
+  std::vector<float> values(col.begin(), col.begin() + n);
+  std::vector<uint8_t> mask;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu::PredicateScan(
+        values, gpu::CompareOp::kGreater, 10000.0f, &mask));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CpuPredicateScan)->Arg(10'000)->Arg(100'000);
+
+void BM_CpuQuickSelect(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto& col = BenchTable().column(0).values();
+  std::vector<float> values(col.begin(), col.begin() + n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu::QuickSelectLargest(values, n / 2));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CpuQuickSelect)->Arg(10'000)->Arg(100'000);
+
+void BM_CpuSum(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto& col = BenchTable().column(0).values();
+  std::vector<float> values(col.begin(), col.begin() + n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu::SumInt(values));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CpuSum)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+}  // namespace gpudb

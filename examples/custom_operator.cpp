@@ -1,0 +1,110 @@
+// Extending gpudb with a user-defined fragment program -- the extensibility
+// path a downstream adopter uses to add operators the library doesn't ship.
+//
+// The paper's programming model is exactly this: express the per-record
+// predicate as a short branch-free fragment program that KILLs failing
+// fragments, then reuse the stencil/occlusion machinery for selection and
+// counting. Here we add a "ring" membership operator over two attributes:
+//
+//   r_min^2 <= (x - cx)^2 + (y - cy)^2 <= r_max^2
+//
+// which is neither semi-linear nor a single polynomial comparison.
+//
+//   $ ./build/examples/custom_operator
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/state_guard.h"
+#include "src/gpu/device.h"
+#include "src/gpu/fragment_program.h"
+#include "src/gpu/perf_model.h"
+
+namespace {
+
+/// User-defined operator: ring (annulus) membership test over the (x, y)
+/// channels of the bound texture. 2004-style straight-line float code:
+/// fetch, two subtracts, two MADs, two compares, KILL.
+class RingProgram final : public gpudb::gpu::FragmentProgram {
+ public:
+  RingProgram(float cx, float cy, float r_min, float r_max)
+      : cx_(cx), cy_(cy), r2_min_(r_min * r_min), r2_max_(r_max * r_max) {}
+
+  void Execute(const gpudb::gpu::FragmentInput& in,
+               gpudb::gpu::FragmentOutput* out) const override {
+    const float dx = in.tex0->At(in.texel_index, 0) - cx_;
+    const float dy = in.tex0->At(in.texel_index, 1) - cy_;
+    const float d2 = dx * dx + dy * dy;
+    if (d2 < r2_min_ || d2 > r2_max_) {
+      out->discarded = true;
+      return;
+    }
+    out->color = {d2, 0, 0, 1};
+  }
+  int instruction_count() const override { return 7; }
+  std::string_view name() const override { return "RingFP"; }
+
+ private:
+  float cx_, cy_, r2_min_, r2_max_;
+};
+
+}  // namespace
+
+int main() {
+  // 100K points.
+  constexpr size_t kPoints = 100'000;
+  gpudb::Random rng(42);
+  std::vector<float> xs(kPoints), ys(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) {
+    xs[i] = static_cast<float>(rng.NextDouble(0, 1000));
+    ys[i] = static_cast<float>(rng.NextDouble(0, 1000));
+  }
+
+  gpudb::gpu::Device device(1000, 1000);
+  auto tex = gpudb::gpu::Texture::FromColumns({&xs, &ys}, 1000);
+  if (!tex.ok()) return 1;
+  auto id = device.UploadTexture(std::move(tex).ValueOrDie());
+  if (!id.ok() || !device.SetViewport(kPoints).ok()) return 1;
+
+  // Run the custom operator exactly like the built-in selections: program +
+  // stencil REPLACE + occlusion count.
+  const RingProgram ring(500, 500, 200, 350);
+  uint64_t gpu_count = 0;
+  {
+    gpudb::core::StateGuard guard(&device);
+    if (!device.BindTexture(id.ValueOrDie()).ok()) return 1;
+    device.UseProgram(&ring);
+    device.ClearStencil(0);
+    device.SetColorWriteMask(false);
+    device.SetStencilTest(true, gpudb::gpu::CompareOp::kAlways, 1);
+    device.SetStencilOp(gpudb::gpu::StencilOp::kKeep,
+                        gpudb::gpu::StencilOp::kKeep,
+                        gpudb::gpu::StencilOp::kReplace);
+    if (!device.BeginOcclusionQuery().ok()) return 1;
+    if (!device.RenderTexturedQuad().ok()) return 1;
+    auto count = device.EndOcclusionQuery();
+    if (!count.ok()) return 1;
+    gpu_count = count.ValueOrDie();
+    device.UseProgram(nullptr);
+  }
+
+  // CPU cross-check.
+  uint64_t expected = 0;
+  for (size_t i = 0; i < kPoints; ++i) {
+    const float dx = xs[i] - 500, dy = ys[i] - 500;
+    const float d2 = dx * dx + dy * dy;
+    expected += (d2 >= 200.0f * 200.0f && d2 <= 350.0f * 350.0f) ? 1 : 0;
+  }
+
+  std::printf("points in ring r=[200,350] around (500,500): %llu "
+              "(CPU cross-check %llu: %s)\n",
+              static_cast<unsigned long long>(gpu_count),
+              static_cast<unsigned long long>(expected),
+              gpu_count == expected ? "match" : "MISMATCH");
+  gpudb::gpu::PerfModel model;
+  std::printf("one 7-instruction pass over 100K fragments: %.3f ms on the "
+              "simulated FX 5900\n",
+              model.EstimateMs(device.counters()));
+  return gpu_count == expected ? 0 : 1;
+}

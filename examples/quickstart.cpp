@@ -1,0 +1,76 @@
+// Quickstart: build a table, run a selection and some aggregates on the
+// simulated GPU, and cross-check against plain CPU evaluation.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/executor.h"
+#include "src/db/column.h"
+#include "src/db/table.h"
+#include "src/gpu/device.h"
+#include "src/predicate/expr.h"
+
+using gpudb::core::AggregateKind;
+using gpudb::core::Executor;
+using gpudb::gpu::CompareOp;
+using gpudb::predicate::Expr;
+
+int main() {
+  // 1. A tiny relational table: order amounts and priorities.
+  gpudb::db::Table table;
+  {
+    auto amounts = gpudb::db::Column::MakeInt24(
+        "amount", {120, 45, 980, 330, 45, 720, 15, 560, 230, 45});
+    auto priorities = gpudb::db::Column::MakeInt24(
+        "priority", {1, 3, 2, 1, 2, 3, 1, 2, 3, 1});
+    if (!amounts.ok() || !priorities.ok()) return 1;
+    if (!table.AddColumn(std::move(amounts).ValueOrDie()).ok()) return 1;
+    if (!table.AddColumn(std::move(priorities).ValueOrDie()).ok()) return 1;
+  }
+
+  // 2. A "GPU": a 1000x1000 framebuffer device, as in the paper.
+  gpudb::gpu::Device device(1000, 1000);
+  auto exec = Executor::Make(&device, &table);
+  if (!exec.ok()) {
+    std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. SELECT COUNT(*) WHERE amount >= 200 AND priority != 3.
+  auto where = Expr::And(Expr::Pred(0, CompareOp::kGreaterEqual, 200.0f),
+                         Expr::Not(Expr::Pred(1, CompareOp::kEqual, 3.0f)));
+  auto count = exec.ValueOrDie()->Count(where);
+  if (!count.ok()) return 1;
+  std::printf("WHERE %s\n", where->ToString(&table).c_str());
+  std::printf("  count      = %llu\n",
+              static_cast<unsigned long long>(count.ValueOrDie()));
+
+  // 4. Aggregates over the same WHERE clause.
+  for (AggregateKind kind : {AggregateKind::kSum, AggregateKind::kAvg,
+                             AggregateKind::kMin, AggregateKind::kMax,
+                             AggregateKind::kMedian}) {
+    auto v = exec.ValueOrDie()->Aggregate(kind, "amount", where);
+    if (!v.ok()) return 1;
+    std::printf("  %-10s = %.2f\n",
+                std::string(gpudb::core::ToString(kind)).c_str(),
+                v.ValueOrDie());
+  }
+
+  // 5. Which rows were those? Materialize the selection.
+  auto rows = exec.ValueOrDie()->SelectRowIds(where);
+  if (!rows.ok()) return 1;
+  std::printf("  rows       = ");
+  for (uint32_t row : rows.ValueOrDie()) std::printf("%u ", row);
+  std::printf("\n");
+
+  // 6. Cross-check against direct evaluation.
+  uint64_t expected = 0;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    expected += where->EvaluateRow(table, row) ? 1 : 0;
+  }
+  std::printf("CPU cross-check: %llu (%s)\n",
+              static_cast<unsigned long long>(expected),
+              expected == count.ValueOrDie() ? "match" : "MISMATCH");
+  return expected == count.ValueOrDie() ? 0 : 1;
+}

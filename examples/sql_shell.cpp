@@ -1,0 +1,91 @@
+// SQL shell over the GPU executor: run the paper's SQL fragment (SELECT
+// <agg|*> FROM t WHERE <boolean combination>) against the TCP/IP table.
+//
+//   $ ./build/examples/sql_shell                      # runs a demo script
+//   $ ./build/examples/sql_shell "SELECT COUNT(*) FROM flows WHERE data_loss > 0"
+//   $ echo "SELECT MEDIAN(data_count) FROM flows" | ./build/examples/sql_shell -
+//
+// Columns: data_count, data_loss, flow_rate, retransmissions.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.h"
+#include "src/db/datagen.h"
+#include "src/gpu/device.h"
+#include "src/sql/parser.h"
+
+namespace {
+
+void RunOne(gpudb::core::Executor* executor, const std::string& query) {
+  std::printf("gpudb> %s\n", query.c_str());
+  auto result = gpudb::sql::ExecuteSql(executor, query);
+  if (!result.ok()) {
+    std::printf("  error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const gpudb::sql::QueryResult& r = result.ValueOrDie();
+  if (r.kind == gpudb::sql::Query::Kind::kSelectRows) {
+    std::printf("%s", executor->table()
+                          .FormatRows(r.row_ids, /*max_rows=*/10)
+                          .c_str());
+    return;
+  }
+  std::printf("  %s\n", r.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("loading 100K-flow TCP/IP table...\n");
+  auto table = gpudb::db::MakeTcpIpTable(100'000);
+  if (!table.ok()) return 1;
+  gpudb::gpu::Device device(1000, 1000);
+  auto exec = gpudb::core::Executor::Make(&device, &table.ValueOrDie());
+  if (!exec.ok()) {
+    std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
+    return 1;
+  }
+
+  if (argc > 1 && std::strcmp(argv[1], "-") == 0) {
+    // Read queries line by line from stdin.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) RunOne(exec.ValueOrDie().get(), line);
+    }
+    return 0;
+  }
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      RunOne(exec.ValueOrDie().get(), argv[i]);
+    }
+    return 0;
+  }
+
+  // Demo script.
+  const std::vector<std::string> demo = {
+      "SELECT COUNT(*) FROM flows",
+      "SELECT COUNT(*) FROM flows WHERE data_loss > 0 AND flow_rate >= 1000",
+      "SELECT AVG(data_count) FROM flows WHERE retransmissions > 0",
+      "SELECT MEDIAN(data_count) FROM flows",
+      "SELECT KTH_LARGEST(data_count, 100) FROM flows",
+      "SELECT MAX(flow_rate) FROM flows WHERE data_count BETWEEN 1000 AND "
+      "100000",
+      "SELECT COUNT(*) FROM flows WHERE NOT (data_loss = 0 OR "
+      "retransmissions = 0)",
+      "SELECT COUNT(*) FROM flows WHERE data_loss >= retransmissions AND "
+      "data_loss > 0",
+      "SELECT COUNT(data_count) FROM flows GROUP BY retransmissions",
+      "SELECT * FROM flows ORDER BY data_count DESC LIMIT 5",
+      // A couple of deliberate errors to show diagnostics:
+      "SELECT COUNT(*) FROM flows WHERE no_such_column > 1",
+      "SELECT NOPE(data_count) FROM flows",
+  };
+  for (const std::string& q : demo) {
+    RunOne(exec.ValueOrDie().get(), q);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Continuous queries over a stream -- the paper's Section 7 closes with
+// "perform continuous queries over streams using GPUs"; this example keeps a
+// sliding window of the most recent flow measurements GPU-resident and
+// re-evaluates monitoring queries as batches arrive.
+//
+//   $ ./build/examples/stream_monitor
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/stream.h"
+#include "src/gpu/device.h"
+#include "src/gpu/perf_model.h"
+
+int main() {
+  gpudb::gpu::Device device(1000, 1000);
+  // Window: the most recent 500K flow sizes (19-bit, like data_count).
+  auto window = gpudb::core::StreamWindow::Make(&device, 500'000, 19);
+  if (!window.ok()) {
+    std::fprintf(stderr, "%s\n", window.status().ToString().c_str());
+    return 1;
+  }
+  gpudb::Random rng(20040613);
+  gpudb::gpu::PerfModel model;
+
+  std::printf("%-6s %10s %12s %14s %12s %14s\n", "tick", "window", "median",
+              "p99", "count>256K", "sum");
+  for (int tick = 1; tick <= 8; ++tick) {
+    // A burst of 100K new flow records arrives...
+    std::vector<uint32_t> batch(100'000);
+    const double burst_mu = tick >= 5 ? 11.5 : 10.0;  // traffic spike later
+    for (auto& v : batch) {
+      const double x = rng.NextLognormal(burst_mu, 1.2);
+      v = static_cast<uint32_t>(
+          std::min<double>(x, (1u << 19) - 1));
+    }
+    if (!window.ValueOrDie().Push(batch).ok()) return 1;
+
+    // ...and the standing queries re-run over the current window.
+    auto median = window.ValueOrDie().Median();
+    auto p99 = window.ValueOrDie().KthLargest(
+        std::max<uint64_t>(1, window.ValueOrDie().size() / 100));
+    auto heavy = window.ValueOrDie().Count(
+        gpudb::gpu::CompareOp::kGreaterEqual, 262144.0);
+    auto sum = window.ValueOrDie().Sum();
+    if (!median.ok() || !p99.ok() || !heavy.ok() || !sum.ok()) return 1;
+    std::printf("%-6d %10llu %12u %14u %12llu %14llu\n", tick,
+                static_cast<unsigned long long>(window.ValueOrDie().size()),
+                median.ValueOrDie(), p99.ValueOrDie(),
+                static_cast<unsigned long long>(heavy.ValueOrDie()),
+                static_cast<unsigned long long>(sum.ValueOrDie()));
+  }
+  std::printf(
+      "\nsimulated FX 5900 time for the whole session: %.1f ms "
+      "(incremental uploads: %.2f MB total)\n",
+      model.EstimateMs(device.counters()),
+      static_cast<double>(device.counters().bytes_uploaded) / 1e6);
+  std::printf("note the median/p99 jump at tick 5 when the traffic spike "
+              "enters the window.\n");
+  return 0;
+}

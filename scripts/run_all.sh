@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# figure / ablation / extension benchmark, capturing the outputs the way
+# EXPERIMENTS.md references them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "==== $(basename "$b") ====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

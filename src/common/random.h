@@ -1,0 +1,46 @@
+#ifndef GPUDB_COMMON_RANDOM_H_
+#define GPUDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace gpudb {
+
+/// \brief Small, fast, deterministic PRNG (xoshiro256**).
+///
+/// Workload generators need reproducible streams so that experiments and
+/// tests are deterministic across runs and platforms; std::mt19937 +
+/// std::*_distribution are not guaranteed to be portable across standard
+/// library implementations, so we implement the generator and the
+/// distributions we need ourselves.
+class Random {
+ public:
+  /// Seeds the generator. Equal seeds yield equal streams.
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound) for bound > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal variate (Box-Muller).
+  double NextGaussian();
+
+  /// Lognormal variate: exp(mu + sigma * N(0,1)).
+  double NextLognormal(double mu, double sigma);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace gpudb
+
+#endif  // GPUDB_COMMON_RANDOM_H_

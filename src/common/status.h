@@ -1,0 +1,120 @@
+#ifndef GPUDB_COMMON_STATUS_H_
+#define GPUDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gpudb {
+
+/// \brief Machine-readable category of a failure.
+///
+/// The library does not use exceptions (see DESIGN.md); every fallible API
+/// returns a Status or a Result<T>. Codes follow the Arrow/Abseil convention.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotImplemented = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kResourceExhausted = 6,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// A Status is cheap to copy in the success case (a null pointer); failure
+/// states carry a code and a message. Typical use:
+///
+///   Status s = device.RenderQuad(depth);
+///   if (!s.ok()) return s;
+///
+/// or, with the convenience macro:
+///
+///   GPUDB_RETURN_NOT_OK(device.RenderQuad(depth));
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The failure message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK; shared so Status copies are cheap.
+  std::shared_ptr<const State> state_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define GPUDB_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::gpudb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace gpudb
+
+#endif  // GPUDB_COMMON_STATUS_H_

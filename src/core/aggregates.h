@@ -1,0 +1,45 @@
+#ifndef GPUDB_CORE_AGGREGATES_H_
+#define GPUDB_CORE_AGGREGATES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/core/compare.h"
+#include "src/core/eval_cnf.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief The aggregation operators of the paper's SQL fragment (Section 4:
+/// "SUM, COUNT, AVG, MIN, MAX defined on individual attributes"), plus
+/// MEDIAN since KthLargest provides it for free.
+enum class AggregateKind {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kMedian,
+};
+
+std::string_view ToString(AggregateKind kind);
+
+/// \brief Dispatches an aggregation over a GPU-resident attribute,
+/// optionally restricted to a stencil selection.
+///
+/// COUNT comes from the selection (occlusion counting); SUM/AVG run the
+/// Accumulator (Routine 4.6); MIN/MAX/MEDIAN run KthLargest (Routine 4.5).
+/// `bit_width` is the attribute's b_max; it is required for every kind but
+/// COUNT.
+Result<double> AggregateAttribute(
+    gpu::Device* device, AggregateKind kind, const AttributeBinding& attr,
+    int bit_width,
+    const std::optional<StencilSelection>& selection = std::nullopt);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_AGGREGATES_H_

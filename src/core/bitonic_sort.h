@@ -1,0 +1,52 @@
+#ifndef GPUDB_CORE_BITONIC_SORT_H_
+#define GPUDB_CORE_BITONIC_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief GPU bitonic merge sort -- the sorting approach the paper discusses
+/// (Section 2.2, citing Purcell et al.) and lists under future work
+/// (Section 7: "we would like to develop algorithms for other database
+/// operations and queries including sorting...").
+///
+/// The input is padded to the next power of two with +inf sentinels; each of
+/// the log n (log n + 1) / 2 network steps runs as one fragment-program pass
+/// whose output is copied back into the source texture (the
+/// glCopyTexSubImage2D ping-pong of the era). The paper's verdict -- "the
+/// algorithm can be quite slow for database operations on large databases"
+/// -- is visible in the cost model: ~n log^2 n fragment-program work versus
+/// the CPU's n log n comparison sort (see ext_bitonic_sort).
+///
+/// Returns the values sorted ascending. Works on arbitrary finite floats.
+Result<std::vector<float>> BitonicSort(gpu::Device* device,
+                                       const std::vector<float>& values);
+
+/// Number of bitonic network steps (rendering passes, excluding the
+/// ping-pong copies) needed for `n` elements.
+uint64_t BitonicStepCount(uint64_t n);
+
+/// \brief Sorts (key, payload) pairs by key ascending (ties broken by
+/// payload ascending), carrying the payload through the network in the
+/// texture's second channel. With payload = row id this is ORDER BY:
+/// the returned payload vector is the row permutation.
+///
+/// Keys may be arbitrary finite floats; payloads must be non-negative
+/// integers below 2^24 (exact in a float channel).
+struct SortedPairs {
+  std::vector<float> keys;
+  std::vector<uint32_t> payloads;
+};
+Result<SortedPairs> BitonicSortPairs(gpu::Device* device,
+                                     const std::vector<float>& keys,
+                                     const std::vector<uint32_t>& payloads);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_BITONIC_SORT_H_

@@ -1,0 +1,70 @@
+#include "src/core/compare.h"
+
+#include "src/core/state_guard.h"
+#include "src/gpu/fragment_program.h"
+
+namespace gpudb {
+namespace core {
+
+Status CopyToDepth(gpu::Device* device, const AttributeBinding& attr) {
+  StateGuard guard(device);
+  GPUDB_RETURN_NOT_OK(device->BindTexture(attr.texture));
+  const gpu::CopyToDepthProgram program(attr.channel, attr.encoding.scale,
+                                        attr.encoding.offset);
+  device->UseProgram(&program);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetStencilTest(false, gpu::CompareOp::kAlways, 0);
+  device->SetDepthBoundsTest(false);
+  // Depth writes in OpenGL only happen when the depth test is enabled, so
+  // the copy runs the test with ALWAYS.
+  device->SetDepthTest(true, gpu::CompareOp::kAlways);
+  device->SetDepthWriteMask(true);
+  device->SetColorWriteMask(false);
+  return device->RenderTexturedQuad();
+}
+
+Status CompareQuad(gpu::Device* device, gpu::CompareOp op, double value,
+                   const DepthEncoding& encoding) {
+  // Preserve the caller's stencil/alpha/occlusion configuration; only the
+  // depth unit is ours.
+  device->UseProgram(nullptr);
+  device->SetDepthBoundsTest(false);
+  device->SetDepthTest(true, gpu::Mirror(op));
+  device->SetDepthWriteMask(false);
+  device->SetColorWriteMask(false);
+  return device->RenderQuad(encoding.Encode(value));
+}
+
+Result<uint64_t> CompareCount(gpu::Device* device, gpu::CompareOp op,
+                              double value, const DepthEncoding& encoding) {
+  GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+  GPUDB_RETURN_NOT_OK(CompareQuad(device, op, value, encoding));
+  return device->EndOcclusionQuery();
+}
+
+Result<uint64_t> Compare(gpu::Device* device, const AttributeBinding& attr,
+                         gpu::CompareOp op, double value) {
+  GPUDB_RETURN_NOT_OK(CopyToDepth(device, attr));
+  StateGuard guard(device);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetStencilTest(false, gpu::CompareOp::kAlways, 0);
+  return CompareCount(device, op, value, attr.encoding);
+}
+
+Result<uint64_t> CompareSelect(gpu::Device* device,
+                               const AttributeBinding& attr, gpu::CompareOp op,
+                               double value) {
+  GPUDB_RETURN_NOT_OK(CopyToDepth(device, attr));
+  StateGuard guard(device);
+  device->ClearStencil(0);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  // Every fragment passes the stencil test; those that also pass the depth
+  // comparison write stencil = 1 (Op3 REPLACE).
+  device->SetStencilTest(true, gpu::CompareOp::kAlways, /*ref=*/1);
+  device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                       gpu::StencilOp::kReplace);
+  return CompareCount(device, op, value, attr.encoding);
+}
+
+}  // namespace core
+}  // namespace gpudb

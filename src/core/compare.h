@@ -1,0 +1,74 @@
+#ifndef GPUDB_CORE_COMPARE_H_
+#define GPUDB_CORE_COMPARE_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/core/depth_encoding.h"
+#include "src/gpu/device.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief A database attribute resident in GPU texture memory: which texture
+/// holds it, which channel within the texture, and how its values map to
+/// depth-buffer space.
+struct AttributeBinding {
+  gpu::TextureId texture = -1;
+  int channel = 0;
+  DepthEncoding encoding;
+};
+
+/// \brief CopyToDepth (Routine 4.1): copies attribute values from texture
+/// memory into the depth buffer using the paper's 3-instruction fragment
+/// program (texture fetch, normalization, copy-to-depth).
+///
+/// Renders with the depth test forced to ALWAYS (so every value lands) and
+/// stencil/alpha tests disabled; color writes are masked off. Restores the
+/// previous render state afterwards. This is the expensive transfer the
+/// paper's Figure 2 measures and Section 6.1 ("Copy Time") discusses.
+Status CopyToDepth(gpu::Device* device, const AttributeBinding& attr);
+
+/// \brief The comparison pass of Compare (Routine 4.1): renders a screen
+/// filling quad at the encoded depth of `value` so the rasterizer evaluates
+/// `attribute op value` for every record whose attribute is in the depth
+/// buffer.
+///
+/// The predicate reads `stored_attribute op value`; since OpenGL's depth
+/// test compares *incoming* against *stored* depth, the quad is rendered
+/// with the mirrored operator.
+///
+/// Depth writes are disabled so the attribute data survives for further
+/// passes (KthLargest depends on this). The caller's stencil and occlusion
+/// configuration is left untouched, which is what lets this routine serve as
+/// the building block for selections (stencil REPLACE), CNF evaluation
+/// (stencil INCR/DECR), counting (occlusion query), and masked counting
+/// (stencil test EQUAL mask).
+Status CompareQuad(gpu::Device* device, gpu::CompareOp op, double value,
+                   const DepthEncoding& encoding);
+
+/// \brief Full Routine 4.1 with counting: CopyToDepth + comparison quad
+/// wrapped in an occlusion query. Returns the number of records satisfying
+/// `attribute op value`.
+Result<uint64_t> Compare(gpu::Device* device, const AttributeBinding& attr,
+                         gpu::CompareOp op, double value);
+
+/// \brief Counting pass against attribute values already in the depth
+/// buffer (no copy). Honors the current stencil test, so counts can be
+/// restricted to a previously computed selection.
+Result<uint64_t> CompareCount(gpu::Device* device, gpu::CompareOp op,
+                              double value, const DepthEncoding& encoding);
+
+/// \brief Evaluates `attribute op value` and records the outcome in the
+/// stencil buffer: selected records get stencil 1, others 0. Returns the
+/// selected count. This is the single-predicate selection query of the
+/// paper's Section 5.5.
+Result<uint64_t> CompareSelect(gpu::Device* device,
+                               const AttributeBinding& attr, gpu::CompareOp op,
+                               double value);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_COMPARE_H_

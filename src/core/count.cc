@@ -1,0 +1,51 @@
+#include "src/core/count.h"
+
+#include "src/core/state_guard.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace core {
+
+Result<uint64_t> CountSelected(gpu::Device* device, uint8_t selection_value) {
+  StateGuard guard(device);
+  device->UseProgram(nullptr);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetDepthTest(false, gpu::CompareOp::kAlways);
+  device->SetDepthBoundsTest(false);
+  device->SetColorWriteMask(false);
+  device->SetStencilTest(true, gpu::CompareOp::kEqual, selection_value);
+  device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                       gpu::StencilOp::kKeep);
+  GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+  GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));
+  return device->EndOcclusionQuery();
+}
+
+Result<uint64_t> CountAll(gpu::Device* device) {
+  StateGuard guard(device);
+  device->UseProgram(nullptr);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetDepthTest(false, gpu::CompareOp::kAlways);
+  device->SetDepthBoundsTest(false);
+  device->SetColorWriteMask(false);
+  device->SetStencilTest(false, gpu::CompareOp::kAlways, 0);
+  GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+  GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));
+  return device->EndOcclusionQuery();
+}
+
+Status ZeroStencilValue(gpu::Device* device, uint8_t from) {
+  StateGuard guard(device);
+  device->UseProgram(nullptr);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetDepthTest(false, gpu::CompareOp::kAlways);
+  device->SetDepthBoundsTest(false);
+  device->SetColorWriteMask(false);
+  device->SetStencilTest(true, gpu::CompareOp::kEqual, from);
+  device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                       gpu::StencilOp::kZero);
+  return device->RenderQuad(0.0f);
+}
+
+}  // namespace core
+}  // namespace gpudb

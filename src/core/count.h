@@ -1,0 +1,32 @@
+#ifndef GPUDB_CORE_COUNT_H_
+#define GPUDB_CORE_COUNT_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief COUNT via occlusion query (Section 4.3.1): counts the records
+/// whose stencil value equals `selection_value` by rendering one quad with
+/// the stencil test configured to pass only those pixels.
+///
+/// This is the selectivity-analysis primitive of Section 5.11: "Given
+/// selected data values scattered over a 1000x1000 frame-buffer, we can
+/// obtain the number of selected values within 0.25 ms."
+Result<uint64_t> CountSelected(gpu::Device* device, uint8_t selection_value);
+
+/// \brief Counts all records in the viewport (COUNT(*) with no WHERE).
+Result<uint64_t> CountAll(gpu::Device* device);
+
+/// \brief Utility pass: sets every stencil value equal to `from` to zero
+/// (the "if a stencil value on screen is 1, replace it with 0" steps of
+/// Routine 4.3, lines 15-18).
+Status ZeroStencilValue(gpu::Device* device, uint8_t from);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_COUNT_H_

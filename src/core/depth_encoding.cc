@@ -1,0 +1,29 @@
+#include "src/core/depth_encoding.h"
+
+namespace gpudb {
+namespace core {
+
+DepthEncoding DepthEncoding::ExactInt24() {
+  return DepthEncoding{1.0 / static_cast<double>(gpu::kDepthMax), 0.0};
+}
+
+DepthEncoding DepthEncoding::ExactInt(int bits) {
+  const double max_code = static_cast<double>((uint32_t{1} << bits) - 1);
+  return DepthEncoding{1.0 / max_code, 0.0};
+}
+
+DepthEncoding DepthEncoding::ForColumn(const db::Column& column) {
+  if (column.type() == db::ColumnType::kInt24) {
+    return ExactInt24();
+  }
+  const double lo = column.min();
+  const double hi = column.max();
+  if (hi <= lo) {
+    // Degenerate single-valued column: map everything to depth 0.
+    return DepthEncoding{0.0, lo};
+  }
+  return DepthEncoding{1.0 / (hi - lo), lo};
+}
+
+}  // namespace core
+}  // namespace gpudb

@@ -1,0 +1,189 @@
+#include "src/core/eval_cnf.h"
+
+#include <string>
+
+#include "src/core/count.h"
+#include "src/core/state_guard.h"
+
+namespace gpudb {
+namespace core {
+
+GpuPredicate GpuPredicate::DepthCompare(const AttributeBinding& attr,
+                                        gpu::CompareOp op, double constant) {
+  GpuPredicate p;
+  p.kind = Kind::kDepthCompare;
+  p.attr = attr;
+  p.op = op;
+  p.constant = constant;
+  return p;
+}
+
+GpuPredicate GpuPredicate::Semilinear(gpu::TextureId texture,
+                                      const SemilinearQuery& query) {
+  GpuPredicate p;
+  p.kind = Kind::kSemilinear;
+  p.texture = texture;
+  p.query = query;
+  return p;
+}
+
+namespace {
+
+/// Evaluates one simple predicate with the caller's stencil configuration
+/// active, leaving the stencil config untouched.
+Status PerformPredicate(gpu::Device* device, const GpuPredicate& pred) {
+  switch (pred.kind) {
+    case GpuPredicate::Kind::kDepthCompare:
+      // CopyToDepth runs under its own state guard (stencil disabled), then
+      // the comparison quad triggers the caller's stencil ops.
+      GPUDB_RETURN_NOT_OK(CopyToDepth(device, pred.attr));
+      return CompareQuad(device, pred.op, pred.constant, pred.attr.encoding);
+    case GpuPredicate::Kind::kSemilinear:
+      // Fragments failing the query are killed before the stencil stage;
+      // survivors trigger the caller's Op3. The depth unit must be inert.
+      device->SetDepthTest(false, gpu::CompareOp::kAlways);
+      device->SetDepthBoundsTest(false);
+      return SemilinearQuad(device, pred.texture, pred.query);
+  }
+  return Status::Internal("corrupt GpuPredicate");
+}
+
+Status ValidateClauses(const std::vector<GpuClause>& clauses) {
+  if (clauses.empty()) {
+    return Status::InvalidArgument("EvalCnf requires at least one clause");
+  }
+  for (const GpuClause& clause : clauses) {
+    if (clause.empty()) {
+      return Status::InvalidArgument("EvalCnf: empty clause");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StencilSelection> EvalCnf(gpu::Device* device,
+                                 const std::vector<GpuClause>& clauses) {
+  GPUDB_RETURN_NOT_OK(ValidateClauses(clauses));
+  StateGuard guard(device);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetColorWriteMask(false);
+
+  // Line 1: Clear Stencil to 1 (TRUE AND A_1).
+  device->ClearStencil(1);
+
+  const size_t k = clauses.size();
+  for (size_t i = 1; i <= k; ++i) {
+    const bool odd = (i % 2) == 1;
+    // Lines 4-10: valid records hold 1 on odd iterations (passing ones are
+    // INCRemented to 2), 2 on even iterations (passing ones DECRemented
+    // back to 1). Records that already passed an earlier predicate of this
+    // clause no longer match the valid value, so they cannot be bumped
+    // twice -- this is what makes the disjunction work.
+    device->SetStencilTest(true, gpu::CompareOp::kEqual, odd ? 1 : 2);
+    device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                         odd ? gpu::StencilOp::kIncr : gpu::StencilOp::kDecr);
+    // Lines 11-14: evaluate each B_ij of the clause.
+    for (const GpuPredicate& pred : clauses[i - 1]) {
+      GPUDB_RETURN_NOT_OK(PerformPredicate(device, pred));
+    }
+    // Lines 15-19: records still holding the old valid value failed every
+    // B_ij of this clause -> invalidate them (stencil 0).
+    GPUDB_RETURN_NOT_OK(ZeroStencilValue(device, odd ? 1 : 2));
+  }
+
+  StencilSelection sel;
+  sel.valid_value = (k % 2 == 1) ? 2 : 1;
+  GPUDB_ASSIGN_OR_RETURN(sel.count, CountSelected(device, sel.valid_value));
+  return sel;
+}
+
+Result<StencilSelection> EvalDnf(gpu::Device* device,
+                                 const std::vector<GpuTerm>& terms) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("EvalDnf requires at least one term");
+  }
+  for (const GpuTerm& term : terms) {
+    if (term.empty()) {
+      return Status::InvalidArgument("EvalDnf: empty term");
+    }
+    if (term.size() > 254) {
+      return Status::ResourceExhausted(
+          "EvalDnf terms support at most 254 conjuncts (8-bit stencil)");
+    }
+  }
+  StateGuard guard(device);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetColorWriteMask(false);
+  // 1 = candidate (not yet selected), 0 = selected by an earlier term.
+  device->ClearStencil(1);
+
+  for (const GpuTerm& term : terms) {
+    const auto m = static_cast<uint8_t>(term.size());
+    // Conjunction chain over candidates: predicate j bumps j -> j+1.
+    uint8_t value = 1;
+    for (const GpuPredicate& pred : term) {
+      device->SetStencilTest(true, gpu::CompareOp::kEqual, value);
+      device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                           gpu::StencilOp::kIncr);
+      GPUDB_RETURN_NOT_OK(PerformPredicate(device, pred));
+      ++value;
+    }
+    // Records at m+1 satisfied the whole term: stamp them selected (0).
+    device->SetStencilTest(true, gpu::CompareOp::kEqual,
+                           static_cast<uint8_t>(m + 1));
+    device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                         gpu::StencilOp::kZero);
+    device->SetDepthTest(false, gpu::CompareOp::kAlways);
+    device->SetDepthBoundsTest(false);
+    GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));
+    // Walk partial chains (values 2..m) back down to 1 so the next term
+    // starts clean: each pass decrements every value above 1.
+    for (int step = 0; step < m - 1; ++step) {
+      device->SetStencilTest(true, gpu::CompareOp::kLess, /*ref=*/1);
+      device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                           gpu::StencilOp::kDecr);
+      GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));
+    }
+  }
+
+  StencilSelection sel;
+  sel.valid_value = 0;
+  GPUDB_ASSIGN_OR_RETURN(sel.count, CountSelected(device, 0));
+  return sel;
+}
+
+Result<StencilSelection> EvalConjunction(
+    gpu::Device* device, const std::vector<GpuPredicate>& conjuncts) {
+  if (conjuncts.empty()) {
+    return Status::InvalidArgument(
+        "EvalConjunction requires at least one predicate");
+  }
+  if (conjuncts.size() > 254) {
+    return Status::ResourceExhausted(
+        "EvalConjunction supports at most 254 conjuncts (8-bit stencil); "
+        "got " +
+        std::to_string(conjuncts.size()));
+  }
+  StateGuard guard(device);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetColorWriteMask(false);
+  device->ClearStencil(1);
+
+  uint8_t valid = 1;
+  for (const GpuPredicate& pred : conjuncts) {
+    device->SetStencilTest(true, gpu::CompareOp::kEqual, valid);
+    device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                         gpu::StencilOp::kIncr);
+    GPUDB_RETURN_NOT_OK(PerformPredicate(device, pred));
+    ++valid;
+  }
+
+  StencilSelection sel;
+  sel.valid_value = valid;
+  GPUDB_ASSIGN_OR_RETURN(sel.count, CountSelected(device, sel.valid_value));
+  return sel;
+}
+
+}  // namespace core
+}  // namespace gpudb

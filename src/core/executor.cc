@@ -1,0 +1,325 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/core/bitonic_sort.h"
+#include "src/core/histogram.h"
+#include "src/core/kth_largest.h"
+#include "src/core/range.h"
+#include "src/core/selection.h"
+
+namespace gpudb {
+namespace core {
+
+Executor::Executor(gpu::Device* device, const db::Table* table)
+    : device_(device),
+      table_(table),
+      column_textures_(table->num_columns(), -1) {}
+
+Result<std::unique_ptr<Executor>> Executor::Make(gpu::Device* device,
+                                                 const db::Table* table) {
+  if (device == nullptr || table == nullptr) {
+    return Status::InvalidArgument("Executor requires a device and a table");
+  }
+  if (table->num_rows() == 0 || table->num_columns() == 0) {
+    return Status::InvalidArgument("Executor requires a non-empty table");
+  }
+  if (table->num_rows() > device->framebuffer().pixel_count()) {
+    return Status::ResourceExhausted(
+        "table has " + std::to_string(table->num_rows()) +
+        " rows but the device framebuffer holds only " +
+        std::to_string(device->framebuffer().pixel_count()) +
+        " pixels; use a larger framebuffer or partition the table");
+  }
+  GPUDB_RETURN_NOT_OK(device->SetViewport(table->num_rows()));
+  return std::unique_ptr<Executor>(new Executor(device, table));
+}
+
+Result<AttributeBinding> Executor::BindingFor(size_t column_index) {
+  if (column_index >= table_->num_columns()) {
+    return Status::OutOfRange("column index " + std::to_string(column_index) +
+                              " out of range");
+  }
+  if (column_textures_[column_index] < 0) {
+    const uint32_t width = static_cast<uint32_t>(
+        std::min<uint64_t>(table_->num_rows(), db::kDefaultTextureWidth));
+    GPUDB_ASSIGN_OR_RETURN(gpu::Texture tex,
+                           table_->ColumnTexture(column_index, width));
+    GPUDB_ASSIGN_OR_RETURN(gpu::TextureId id,
+                           device_->UploadTexture(std::move(tex)));
+    column_textures_[column_index] = id;
+  }
+  AttributeBinding binding;
+  binding.texture = column_textures_[column_index];
+  binding.channel = 0;
+  binding.encoding = DepthEncoding::ForColumn(table_->column(column_index));
+  return binding;
+}
+
+Result<gpu::TextureId> Executor::PairTexture(size_t a, size_t b) {
+  const auto key = std::make_pair(a, b);
+  auto it = pair_textures_.find(key);
+  if (it != pair_textures_.end()) return it->second;
+  const uint32_t width = static_cast<uint32_t>(
+      std::min<uint64_t>(table_->num_rows(), db::kDefaultTextureWidth));
+  GPUDB_ASSIGN_OR_RETURN(gpu::Texture tex, table_->ToTexture({a, b}, width));
+  GPUDB_ASSIGN_OR_RETURN(gpu::TextureId id,
+                         device_->UploadTexture(std::move(tex)));
+  pair_textures_.emplace(key, id);
+  return id;
+}
+
+Result<std::vector<GpuClause>> Executor::Lower(
+    const std::vector<std::vector<predicate::SimplePredicate>>& groups) {
+  std::vector<GpuClause> clauses;
+  clauses.reserve(groups.size());
+  for (const auto& clause : groups) {
+    GpuClause lowered;
+    lowered.reserve(clause.size());
+    for (const predicate::SimplePredicate& p : clause) {
+      if (p.rhs_is_attr) {
+        // a_i op a_j  ->  a_i - a_j op 0 as a semi-linear query (Section
+        // 4.1.2) over a two-channel texture.
+        GPUDB_ASSIGN_OR_RETURN(gpu::TextureId tex,
+                               PairTexture(p.attr, p.rhs_attr));
+        lowered.push_back(GpuPredicate::Semilinear(
+            tex, SemilinearQuery::AttrCompare(0, p.op, 1)));
+      } else {
+        GPUDB_ASSIGN_OR_RETURN(AttributeBinding binding, BindingFor(p.attr));
+        lowered.push_back(
+            GpuPredicate::DepthCompare(binding, p.op, p.constant));
+      }
+    }
+    clauses.push_back(std::move(lowered));
+  }
+  return clauses;
+}
+
+Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
+  if (expr == nullptr) {
+    return SelectAll(device_);
+  }
+  GPUDB_RETURN_NOT_OK(expr->Validate(*table_));
+  // Normal-form choice: convert to both CNF and DNF and evaluate whichever
+  // needs fewer simple predicates (each predicate is roughly one copy + one
+  // comparison pass). A naturally-conjunctive query stays CNF, a
+  // naturally-disjunctive one stays DNF, and an expression whose conversion
+  // blows up in one form falls back to the other.
+  auto cnf = predicate::ToCnf(expr);
+  auto dnf = predicate::ToDnf(expr);
+  if (!cnf.ok() && !dnf.ok()) {
+    return cnf.status();
+  }
+  const bool use_cnf =
+      cnf.ok() && (!dnf.ok() || cnf.ValueOrDie().predicate_count() <=
+                                    dnf.ValueOrDie().predicate_count());
+  if (use_cnf) {
+    GPUDB_ASSIGN_OR_RETURN(std::vector<GpuClause> clauses,
+                           Lower(cnf.ValueOrDie().clauses));
+    return EvalCnf(device_, clauses);
+  }
+  GPUDB_ASSIGN_OR_RETURN(std::vector<GpuTerm> terms,
+                         Lower(dnf.ValueOrDie().terms));
+  return EvalDnf(device_, terms);
+}
+
+Result<uint64_t> Executor::Count(const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
+  return sel.count;
+}
+
+Result<std::vector<uint8_t>> Executor::SelectBitmap(
+    const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
+  return SelectionToBitmap(device_, sel, table_->num_rows());
+}
+
+Result<std::vector<uint32_t>> Executor::SelectRowIds(
+    const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
+  return SelectionToRowIds(device_, sel, table_->num_rows());
+}
+
+Result<db::Table> Executor::SelectTable(const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, SelectRowIds(where));
+  return table_->GatherRows(rows);
+}
+
+Result<std::vector<std::pair<uint32_t, uint32_t>>> Executor::TopK(
+    std::string_view column, uint64_t k) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  const db::Column& c = table_->column(col);
+  if (c.type() != db::ColumnType::kInt24) {
+    return Status::NotImplemented("TopK requires an integer column");
+  }
+  if (k == 0 || k > table_->num_rows()) {
+    return Status::OutOfRange("k out of range");
+  }
+  GPUDB_ASSIGN_OR_RETURN(AttributeBinding binding, BindingFor(col));
+  // Threshold via Routine 4.5, then one selection pass for the candidates
+  // (>= threshold selects at most k plus ties of the threshold value).
+  GPUDB_ASSIGN_OR_RETURN(uint32_t threshold,
+                         core::KthLargest(device_, binding, c.bit_width(), k));
+  GPUDB_ASSIGN_OR_RETURN(
+      uint64_t selected,
+      CompareSelect(device_, binding, gpu::CompareOp::kGreaterEqual,
+                    static_cast<double>(threshold)));
+  GPUDB_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> rows,
+      SelectionToRowIds(device_, StencilSelection{1, selected},
+                        table_->num_rows()));
+  std::vector<std::pair<uint32_t, uint32_t>> result;
+  result.reserve(rows.size());
+  for (uint32_t row : rows) {
+    result.emplace_back(row, c.int_value(row));
+  }
+  // Sort the candidate handful on the CPU: value descending, row ascending.
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second > b.second
+                                          : a.first < b.first;
+            });
+  result.resize(k);  // trim threshold ties beyond k
+  return result;
+}
+
+Result<double> Executor::Aggregate(AggregateKind kind,
+                                   std::string_view column,
+                                   const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  const db::Column& c = table_->column(col);
+  if (kind != AggregateKind::kCount &&
+      c.type() != db::ColumnType::kInt24) {
+    return Status::NotImplemented(
+        "GPU aggregation of '" + std::string(column) +
+        "' requires an integer column (Accumulator and KthLargest operate on "
+        "binary representations; paper Sections 4.3.2-4.3.3)");
+  }
+  std::optional<StencilSelection> selection;
+  if (where != nullptr) {
+    GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
+    selection = sel;
+  }
+  GPUDB_ASSIGN_OR_RETURN(AttributeBinding binding, BindingFor(col));
+  return AggregateAttribute(device_, kind, binding, c.bit_width(), selection);
+}
+
+Result<uint32_t> Executor::KthLargest(std::string_view column, uint64_t k,
+                                      const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  const db::Column& c = table_->column(col);
+  if (c.type() != db::ColumnType::kInt24) {
+    return Status::NotImplemented(
+        "KthLargest requires an integer column (Routine 4.5 builds the "
+        "result bit by bit)");
+  }
+  KthOptions options;
+  if (where != nullptr) {
+    GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
+    options.selection = sel;
+  }
+  GPUDB_ASSIGN_OR_RETURN(AttributeBinding binding, BindingFor(col));
+  return core::KthLargest(device_, binding, c.bit_width(), k, options);
+}
+
+Result<std::vector<uint32_t>> Executor::OrderByRowIds(std::string_view column,
+                                                      bool ascending) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  const db::Column& c = table_->column(col);
+  std::vector<uint32_t> row_ids(table_->num_rows());
+  for (uint32_t i = 0; i < row_ids.size(); ++i) row_ids[i] = i;
+  GPUDB_ASSIGN_OR_RETURN(SortedPairs sorted,
+                         BitonicSortPairs(device_, c.values(), row_ids));
+  if (!ascending) {
+    std::reverse(sorted.payloads.begin(), sorted.payloads.end());
+  }
+  return sorted.payloads;
+}
+
+Result<uint64_t> Executor::RangeCount(std::string_view column, double low,
+                                      double high) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  GPUDB_ASSIGN_OR_RETURN(AttributeBinding binding, BindingFor(col));
+  return RangeSelect(device_, binding, low, high);
+}
+
+Result<uint64_t> Executor::SemilinearCount(
+    const std::vector<std::pair<std::string, float>>& weighted_columns,
+    gpu::CompareOp op, float b) {
+  if (weighted_columns.empty() || weighted_columns.size() > 8) {
+    return Status::InvalidArgument(
+        "semi-linear queries take 1-8 weighted columns (vectors longer than "
+        "one texture's four channels are split across two texture units, "
+        "paper Section 4.1.2)");
+  }
+  std::vector<size_t> cols;
+  cols.reserve(weighted_columns.size());
+  for (const auto& [name, weight] : weighted_columns) {
+    GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(name));
+    cols.push_back(col);
+  }
+  const uint32_t width = static_cast<uint32_t>(
+      std::min<uint64_t>(table_->num_rows(), db::kDefaultTextureWidth));
+
+  if (weighted_columns.size() <= static_cast<size_t>(gpu::kMaxChannels)) {
+    SemilinearQuery query;
+    query.op = op;
+    query.b = b;
+    for (size_t i = 0; i < weighted_columns.size(); ++i) {
+      query.weights[i] = weighted_columns[i].second;
+    }
+    GPUDB_ASSIGN_OR_RETURN(gpu::Texture tex, table_->ToTexture(cols, width));
+    GPUDB_ASSIGN_OR_RETURN(gpu::TextureId id,
+                           device_->UploadTexture(std::move(tex)));
+    return SemilinearSelect(device_, id, query);
+  }
+
+  // 5-8 columns: split across two textures and run the wide program.
+  const std::vector<size_t> first(cols.begin(), cols.begin() + 4);
+  const std::vector<size_t> second(cols.begin() + 4, cols.end());
+  std::array<float, 8> weights = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t i = 0; i < weighted_columns.size(); ++i) {
+    weights[i] = weighted_columns[i].second;
+  }
+  GPUDB_ASSIGN_OR_RETURN(gpu::Texture tex_a, table_->ToTexture(first, width));
+  GPUDB_ASSIGN_OR_RETURN(gpu::Texture tex_b, table_->ToTexture(second, width));
+  GPUDB_ASSIGN_OR_RETURN(gpu::TextureId id_a,
+                         device_->UploadTexture(std::move(tex_a)));
+  GPUDB_ASSIGN_OR_RETURN(gpu::TextureId id_b,
+                         device_->UploadTexture(std::move(tex_b)));
+  return SemilinearSelectWide(device_, id_a, id_b, weights, op, b);
+}
+
+Result<std::vector<GroupByRow>> Executor::GroupBy(std::string_view key_column,
+                                                  std::string_view value_column,
+                                                  AggregateKind kind,
+                                                  uint64_t max_groups) {
+  GPUDB_ASSIGN_OR_RETURN(size_t key_col, table_->ColumnIndex(key_column));
+  GPUDB_ASSIGN_OR_RETURN(size_t value_col, table_->ColumnIndex(value_column));
+  const db::Column& key = table_->column(key_col);
+  const db::Column& value = table_->column(value_col);
+  if (key.type() != db::ColumnType::kInt24 ||
+      value.type() != db::ColumnType::kInt24) {
+    return Status::NotImplemented(
+        "GROUP BY requires integer key and value columns");
+  }
+  GPUDB_ASSIGN_OR_RETURN(AttributeBinding key_attr, BindingFor(key_col));
+  GPUDB_ASSIGN_OR_RETURN(AttributeBinding value_attr, BindingFor(value_col));
+  return GroupByAggregate(device_, key_attr, key.bit_width(), value_attr,
+                          value.bit_width(), kind, max_groups);
+}
+
+Result<std::vector<uint32_t>> Executor::Quantiles(std::string_view column,
+                                                  int q) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  const db::Column& c = table_->column(col);
+  if (c.type() != db::ColumnType::kInt24) {
+    return Status::NotImplemented("quantiles require an integer column");
+  }
+  GPUDB_ASSIGN_OR_RETURN(AttributeBinding attr, BindingFor(col));
+  return GpuQuantiles(device_, attr, c.bit_width(), q);
+}
+
+}  // namespace core
+}  // namespace gpudb

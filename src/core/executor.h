@@ -1,0 +1,138 @@
+#ifndef GPUDB_CORE_EXECUTOR_H_
+#define GPUDB_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/aggregates.h"
+#include "src/core/compare.h"
+#include "src/core/eval_cnf.h"
+#include "src/core/group_by.h"
+#include "src/core/semilinear.h"
+#include "src/db/table.h"
+#include "src/gpu/device.h"
+#include "src/predicate/cnf.h"
+#include "src/predicate/expr.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief The public query facade: executes the paper's SQL fragment
+/// (SELECT <aggregate|rows> FROM table WHERE <boolean combination>) against
+/// a relational table using the GPU algorithms.
+///
+/// The executor owns the table's GPU residency: each referenced column is
+/// uploaded once as a single-channel texture (lazily, cached), and each
+/// attribute pair referenced by an attribute-attribute predicate gets a
+/// two-channel texture for the semi-linear rewrite.
+///
+///   gpu::Device device(1000, 1000);
+///   GPUDB_ASSIGN_OR_RETURN(auto exec, core::Executor::Make(&device, &table));
+///   auto where = predicate::Expr::And(
+///       predicate::Expr::Pred(0, gpu::CompareOp::kGreaterEqual, 100.0f),
+///       predicate::Expr::Pred(1, gpu::CompareOp::kLess, 5.0f));
+///   GPUDB_ASSIGN_OR_RETURN(uint64_t n, exec->Count(where));
+class Executor {
+ public:
+  /// Creates an executor for `table` on `device`. Fails if the table is
+  /// empty or does not fit the device framebuffer. Sets the device viewport
+  /// to the table's row count. Both pointers must outlive the executor.
+  static Result<std::unique_ptr<Executor>> Make(gpu::Device* device,
+                                                const db::Table* table);
+
+  /// Evaluates a WHERE clause on the GPU, leaving the selection mask in the
+  /// stencil buffer. A null expression selects every record.
+  Result<StencilSelection> Where(const predicate::ExprPtr& expr);
+
+  /// SELECT COUNT(*) FROM t WHERE expr.
+  Result<uint64_t> Count(const predicate::ExprPtr& where);
+
+  /// Selected rows as a 0/1 bitmap.
+  Result<std::vector<uint8_t>> SelectBitmap(const predicate::ExprPtr& where);
+
+  /// Selected rows as sorted row ids.
+  Result<std::vector<uint32_t>> SelectRowIds(const predicate::ExprPtr& where);
+
+  /// Selected rows materialized as a new table (same schema). Fails if the
+  /// selection is empty.
+  Result<db::Table> SelectTable(const predicate::ExprPtr& where);
+
+  /// ORDER BY column DESC LIMIT k, GPU-accelerated: Routine 4.5 finds the
+  /// k-th largest value as a threshold, one comparison pass selects the
+  /// (at most k + ties) candidate rows, and only those few rows are
+  /// materialized and sorted on the CPU. Returns exactly k (row, value)
+  /// pairs, ties broken by ascending row id.
+  Result<std::vector<std::pair<uint32_t, uint32_t>>> TopK(
+      std::string_view column, uint64_t k);
+
+  /// SELECT <agg>(column) FROM t WHERE expr (null = no WHERE).
+  Result<double> Aggregate(AggregateKind kind, std::string_view column,
+                           const predicate::ExprPtr& where = nullptr);
+
+  /// SELECT the k-th largest value of `column` among rows matching `where`.
+  Result<uint32_t> KthLargest(std::string_view column, uint64_t k,
+                              const predicate::ExprPtr& where = nullptr);
+
+  /// ORDER BY column: all row ids sorted by the column's value (ties broken
+  /// by ascending row id when ascending). Runs the GPU bitonic network over
+  /// (key, row id) pairs -- the sorting future-work of Section 7, priced
+  /// honestly at n log^2 n fragment operations (see ext_bitonic_sort).
+  Result<std::vector<uint32_t>> OrderByRowIds(std::string_view column,
+                                              bool ascending = true);
+
+  /// Range query with the depth-bounds fast path (Routine 4.4); equivalent
+  /// to Where(Between(...)) but one comparison pass cheaper.
+  Result<uint64_t> RangeCount(std::string_view column, double low,
+                              double high);
+
+  /// Semi-linear count: #records with dot(weights, columns) op b, over up to
+  /// four columns given as (column name, weight) pairs.
+  Result<uint64_t> SemilinearCount(
+      const std::vector<std::pair<std::string, float>>& weighted_columns,
+      gpu::CompareOp op, float b);
+
+  /// SELECT key, <agg>(value) FROM t GROUP BY key, for a low-cardinality
+  /// integer key column (OLAP roll-up; see core/group_by.h).
+  Result<std::vector<GroupByRow>> GroupBy(std::string_view key_column,
+                                          std::string_view value_column,
+                                          AggregateKind kind,
+                                          uint64_t max_groups = 256);
+
+  /// q-quantiles of an integer column (equi-depth histogram boundaries).
+  Result<std::vector<uint32_t>> Quantiles(std::string_view column, int q);
+
+  const db::Table& table() const { return *table_; }
+  gpu::Device& device() { return *device_; }
+
+  /// The GPU binding (texture/channel/encoding) for a column; uploads the
+  /// column texture on first use. Exposed for benchmarks that drive the
+  /// low-level routines directly.
+  Result<AttributeBinding> BindingFor(size_t column_index);
+
+ private:
+  Executor(gpu::Device* device, const db::Table* table);
+
+  /// Texture holding the (a, b) column pair in channels 0/1.
+  Result<gpu::TextureId> PairTexture(size_t a, size_t b);
+
+  /// Lowers CNF clauses / DNF terms into GPU predicates (the per-predicate
+  /// lowering is identical for both normal forms).
+  Result<std::vector<GpuClause>> Lower(
+      const std::vector<std::vector<predicate::SimplePredicate>>& groups);
+
+  gpu::Device* device_;
+  const db::Table* table_;
+  std::vector<gpu::TextureId> column_textures_;  // -1 = not uploaded yet
+  std::map<std::pair<size_t, size_t>, gpu::TextureId> pair_textures_;
+};
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_EXECUTOR_H_

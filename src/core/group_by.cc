@@ -1,0 +1,73 @@
+#include "src/core/group_by.h"
+
+#include <string>
+
+#include "src/core/kth_largest.h"
+
+namespace gpudb {
+namespace core {
+
+Result<std::vector<uint32_t>> DistinctValues(gpu::Device* device,
+                                             const AttributeBinding& attr,
+                                             int bit_width,
+                                             uint64_t max_values) {
+  if (max_values == 0) {
+    return Status::InvalidArgument("max_values must be positive");
+  }
+  std::vector<uint32_t> values;
+  // Smallest key overall, then repeatedly the smallest key above the last.
+  GPUDB_ASSIGN_OR_RETURN(uint32_t current, MinValue(device, attr, bit_width));
+  values.push_back(current);
+  for (;;) {
+    GPUDB_ASSIGN_OR_RETURN(
+        uint64_t remaining,
+        CompareSelect(device, attr, gpu::CompareOp::kGreater,
+                      static_cast<double>(current)));
+    if (remaining == 0) break;
+    if (values.size() >= max_values) {
+      return Status::ResourceExhausted(
+          "more than " + std::to_string(max_values) +
+          " distinct values; this execution model costs passes per value");
+    }
+    KthOptions options;
+    options.selection = StencilSelection{1, remaining};
+    GPUDB_ASSIGN_OR_RETURN(current,
+                           MinValue(device, attr, bit_width, options));
+    values.push_back(current);
+  }
+  return values;
+}
+
+Result<std::vector<GroupByRow>> GroupByAggregate(
+    gpu::Device* device, const AttributeBinding& key_attr, int key_bits,
+    const AttributeBinding& value_attr, int value_bits, AggregateKind kind,
+    uint64_t max_groups) {
+  GPUDB_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> keys,
+      DistinctValues(device, key_attr, key_bits, max_groups));
+  std::vector<GroupByRow> rows;
+  rows.reserve(keys.size());
+  for (uint32_t key : keys) {
+    // Mark this group's records in the stencil (Routine 4.1 selection).
+    GPUDB_ASSIGN_OR_RETURN(
+        uint64_t count,
+        CompareSelect(device, key_attr, gpu::CompareOp::kEqual,
+                      static_cast<double>(key)));
+    GroupByRow row;
+    row.key = key;
+    row.count = count;
+    if (count == 0) {
+      // Cannot happen for a discovered distinct key; guard anyway.
+      return Status::Internal("discovered key selects no records");
+    }
+    StencilSelection selection{1, count};
+    GPUDB_ASSIGN_OR_RETURN(
+        row.aggregate,
+        AggregateAttribute(device, kind, value_attr, value_bits, selection));
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace core
+}  // namespace gpudb

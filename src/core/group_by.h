@@ -1,0 +1,54 @@
+#ifndef GPUDB_CORE_GROUP_BY_H_
+#define GPUDB_CORE_GROUP_BY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/aggregates.h"
+#include "src/core/compare.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// One output row of a GROUP BY query.
+struct GroupByRow {
+  uint32_t key = 0;         ///< group key value
+  uint64_t count = 0;       ///< records in the group
+  double aggregate = 0.0;   ///< aggregate of the value attribute
+};
+
+/// \brief GROUP BY over a low-cardinality integer key -- the OLAP roll-up
+/// primitive the paper lists as future work (Section 7: "data cube roll up
+/// and drill-down").
+///
+/// Built entirely from the paper's machinery:
+///  1. distinct keys are discovered in ascending order by repeating
+///     "smallest key greater than the previous one", each step a selection
+///     (key > prev) plus a masked MIN (Routine 4.5);
+///  2. each group's members are marked with one equality selection
+///     (Routine 4.1 storing into stencil);
+///  3. the group aggregate runs masked by that stencil selection
+///     (occlusion COUNT / Routine 4.6 SUM / Routine 4.5 order statistics).
+///
+/// `max_groups` bounds the distinct-key cardinality; exceeding it returns
+/// ResourceExhausted (GROUP BY on a high-cardinality key does not fit this
+/// execution model -- each group costs rendering passes).
+Result<std::vector<GroupByRow>> GroupByAggregate(
+    gpu::Device* device, const AttributeBinding& key_attr, int key_bits,
+    const AttributeBinding& value_attr, int value_bits, AggregateKind kind,
+    uint64_t max_groups = 256);
+
+/// \brief Distinct values of an integer attribute in ascending order, via
+/// the same next-largest discovery loop. Costs one selection pass plus a
+/// bit-search per distinct value.
+Result<std::vector<uint32_t>> DistinctValues(gpu::Device* device,
+                                             const AttributeBinding& attr,
+                                             int bit_width,
+                                             uint64_t max_values = 4096);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_GROUP_BY_H_

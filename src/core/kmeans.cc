@@ -1,0 +1,146 @@
+#include "src/core/kmeans.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/core/accumulator.h"
+#include "src/core/eval_cnf.h"
+#include "src/core/semilinear.h"
+
+namespace gpudb {
+namespace core {
+
+namespace {
+
+/// The half-plane separating centroid j's cell from centroid l's:
+/// 2(c_l - c_j) . p (<= or <) |c_l|^2 - |c_j|^2, with <= exactly when
+/// j < l so boundary points land in the lower-indexed cell.
+GpuPredicate CellBoundary(gpu::TextureId xy,
+                          const std::pair<float, float>& cj,
+                          const std::pair<float, float>& cl, bool closed) {
+  SemilinearQuery query;
+  query.weights = {2.0f * (cl.first - cj.first),
+                   2.0f * (cl.second - cj.second), 0, 0};
+  query.op = closed ? gpu::CompareOp::kLessEqual : gpu::CompareOp::kLess;
+  query.b = cl.first * cl.first + cl.second * cl.second -
+            cj.first * cj.first - cj.second * cj.second;
+  return GpuPredicate::Semilinear(xy, query);
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans2D(
+    gpu::Device* device, gpu::TextureId xy_texture, int coord_bits,
+    const std::vector<std::pair<float, float>>& initial_centroids,
+    int max_iterations, float epsilon) {
+  const size_t k = initial_centroids.size();
+  if (k < 2) {
+    return Status::InvalidArgument("k-means needs at least 2 centroids");
+  }
+  if (coord_bits < 1 || coord_bits > 24) {
+    return Status::InvalidArgument("coord_bits must be in [1, 24]");
+  }
+  if (max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+
+  KMeansResult result;
+  result.centroids = initial_centroids;
+  result.cluster_sizes.assign(k, 0);
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    result.iterations_run = iteration + 1;
+    std::vector<std::pair<float, float>> next = result.centroids;
+    float max_shift = 0.0f;
+    for (size_t j = 0; j < k; ++j) {
+      // Assignment: cell j as a conjunction of k-1 half-planes.
+      std::vector<GpuClause> clauses;
+      clauses.reserve(k - 1);
+      for (size_t l = 0; l < k; ++l) {
+        if (l == j) continue;
+        clauses.push_back({CellBoundary(xy_texture, result.centroids[j],
+                                        result.centroids[l],
+                                        /*closed=*/j < l)});
+      }
+      GPUDB_ASSIGN_OR_RETURN(StencilSelection cell, EvalCnf(device, clauses));
+      result.cluster_sizes[j] = cell.count;
+      if (cell.count == 0) continue;  // empty cluster keeps its centroid
+
+      // Update: masked coordinate sums (Routine 4.6) over the cell.
+      AccumulatorOptions options;
+      options.selection = cell;
+      GPUDB_ASSIGN_OR_RETURN(
+          uint64_t sum_x,
+          Accumulate(device, xy_texture, /*channel=*/0, coord_bits, options));
+      GPUDB_ASSIGN_OR_RETURN(
+          uint64_t sum_y,
+          Accumulate(device, xy_texture, /*channel=*/1, coord_bits, options));
+      next[j] = {static_cast<float>(static_cast<double>(sum_x) /
+                                    static_cast<double>(cell.count)),
+                 static_cast<float>(static_cast<double>(sum_y) /
+                                    static_cast<double>(cell.count))};
+      max_shift = std::max(
+          max_shift, std::max(std::abs(next[j].first -
+                                       result.centroids[j].first),
+                              std::abs(next[j].second -
+                                       result.centroids[j].second)));
+    }
+    result.centroids = std::move(next);
+    if (max_shift <= epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+KMeansResult CpuKMeans2D(
+    const std::vector<uint32_t>& xs, const std::vector<uint32_t>& ys,
+    const std::vector<std::pair<float, float>>& initial_centroids,
+    int max_iterations, float epsilon) {
+  const size_t k = initial_centroids.size();
+  KMeansResult result;
+  result.centroids = initial_centroids;
+  result.cluster_sizes.assign(k, 0);
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    result.iterations_run = iteration + 1;
+    std::vector<uint64_t> count(k, 0), sum_x(k, 0), sum_y(k, 0);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      size_t best = 0;
+      double best_d = 1e300;
+      for (size_t j = 0; j < k; ++j) {
+        const double dx = xs[i] - result.centroids[j].first;
+        const double dy = ys[i] - result.centroids[j].second;
+        const double d = dx * dx + dy * dy;
+        if (d < best_d) {  // strict: ties keep the lower index
+          best_d = d;
+          best = j;
+        }
+      }
+      ++count[best];
+      sum_x[best] += xs[i];
+      sum_y[best] += ys[i];
+    }
+    float max_shift = 0.0f;
+    for (size_t j = 0; j < k; ++j) {
+      result.cluster_sizes[j] = count[j];
+      if (count[j] == 0) continue;
+      const std::pair<float, float> next = {
+          static_cast<float>(static_cast<double>(sum_x[j]) / count[j]),
+          static_cast<float>(static_cast<double>(sum_y[j]) / count[j])};
+      max_shift = std::max(
+          max_shift,
+          std::max(std::abs(next.first - result.centroids[j].first),
+                   std::abs(next.second - result.centroids[j].second)));
+      result.centroids[j] = next;
+    }
+    if (max_shift <= epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace gpudb

@@ -1,0 +1,56 @@
+#ifndef GPUDB_CORE_KMEANS_H_
+#define GPUDB_CORE_KMEANS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<std::pair<float, float>> centroids;
+  std::vector<uint64_t> cluster_sizes;
+  int iterations_run = 0;
+  bool converged = false;
+};
+
+/// \brief 2D k-means clustering on the GPU -- the "clustering" entry of the
+/// paper's future-work list (Section 7: "OLAP and data mining tasks such as
+/// data cube roll up and drill-down, classification, and clustering"),
+/// built entirely from the paper's own primitives:
+///
+///  * Assignment: centroid j's region is its Voronoi cell, and
+///    |p - c_j|^2 <= |p - c_l|^2 rearranges to the HALF-PLANE
+///    2(c_l - c_j) . p <= |c_l|^2 - |c_j|^2 -- so each cell is a conjunction
+///    of k-1 semi-linear predicates, evaluated with EvalCNF over the point
+///    texture. Boundary ties break toward the lower centroid index (the
+///    comparison is <= against higher indices, < against lower), making the
+///    assignment a true partition.
+///  * Update: each cell's centroid is (SUM x, SUM y) / COUNT -- one masked
+///    Accumulator run per coordinate plus the selection's occlusion count.
+///
+/// `xy_texture` holds integer point coordinates in channels 0 (x) and 1 (y),
+/// each within `coord_bits` bits (exact in the Accumulator); the device
+/// viewport must cover the point count. Empty clusters keep their previous
+/// centroid. Converges when no centroid moves by more than `epsilon`.
+Result<KMeansResult> KMeans2D(
+    gpu::Device* device, gpu::TextureId xy_texture, int coord_bits,
+    const std::vector<std::pair<float, float>>& initial_centroids,
+    int max_iterations, float epsilon = 0.01f);
+
+/// CPU reference with the same tie-break (nearest centroid, lowest index on
+/// ties), for cross-checking.
+KMeansResult CpuKMeans2D(
+    const std::vector<uint32_t>& xs, const std::vector<uint32_t>& ys,
+    const std::vector<std::pair<float, float>>& initial_centroids,
+    int max_iterations, float epsilon = 0.01f);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_KMEANS_H_

@@ -1,0 +1,84 @@
+#ifndef GPUDB_CORE_KTH_LARGEST_H_
+#define GPUDB_CORE_KTH_LARGEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/compare.h"
+#include "src/core/eval_cnf.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief Options for the order-statistic algorithms.
+struct KthOptions {
+  /// Restrict the statistic to records marked by a previous selection
+  /// (stencil == selection->valid_value). The paper's Section 5.9 Test 3
+  /// shows this costs the same as the unrestricted query: the stencil test
+  /// changes which fragments are counted, not how many passes run.
+  std::optional<StencilSelection> selection;
+};
+
+/// \brief Routine 4.5 (KthLargest): finds the k-th largest attribute value
+/// (k = 1 is the maximum) by building the answer one bit at a time from the
+/// MSB, using one comparison pass + occlusion count per bit.
+///
+/// The algorithm needs no data rearrangement and runs in exactly
+/// `bit_width` passes regardless of k (the flat-in-k behaviour of Figure 7).
+/// Correctness rests on the paper's Lemma 1: with count = #{v >= m},
+/// count > k-1 implies m <= v_k and count <= k-1 implies m > v_k.
+///
+/// `attr` must be an exactly-encoded integer attribute (DepthEncoding
+/// ExactInt24); `bit_width` is the column's b_max. Fails if k is out of
+/// range for the (selected) record count.
+Result<uint32_t> KthLargest(gpu::Device* device, const AttributeBinding& attr,
+                            int bit_width, uint64_t k,
+                            const KthOptions& options = {});
+
+/// \brief Multiple order statistics over one attribute (e.g. all quartiles)
+/// sharing a single CopyToDepth pass: the comparison passes never write
+/// depth, so the attribute stays resident across queries. Cost:
+/// 1 copy + |ks| * bit_width passes instead of |ks| * (1 + bit_width).
+/// Returns values positionally aligned with `ks`.
+Result<std::vector<uint32_t>> KthLargestBatch(gpu::Device* device,
+                                              const AttributeBinding& attr,
+                                              int bit_width,
+                                              const std::vector<uint64_t>& ks,
+                                              const KthOptions& options = {});
+
+/// k-th smallest (k = 1 is the minimum), via the order-statistic identity
+/// k-th smallest of n == (n-k+1)-th largest.
+Result<uint32_t> KthSmallest(gpu::Device* device, const AttributeBinding& attr,
+                             int bit_width, uint64_t k,
+                             const KthOptions& options = {});
+
+/// \brief The paper's literal k-th smallest: "The algorithm for the k-th
+/// smallest number is the same, except that the comparison in line 5 is
+/// inverted" (Section 4.3.2). Each step counts #{v < tentative} with a LESS
+/// comparison quad and keeps the tentative bit while at most k-1 values lie
+/// below it. Kept alongside the identity-based KthSmallest and
+/// property-tested equal to it.
+Result<uint32_t> KthSmallestDirect(gpu::Device* device,
+                                   const AttributeBinding& attr,
+                                   int bit_width, uint64_t k,
+                                   const KthOptions& options = {});
+
+/// MAX = 1st largest.
+Result<uint32_t> MaxValue(gpu::Device* device, const AttributeBinding& attr,
+                          int bit_width, const KthOptions& options = {});
+
+/// MIN = 1st smallest.
+Result<uint32_t> MinValue(gpu::Device* device, const AttributeBinding& attr,
+                          int bit_width, const KthOptions& options = {});
+
+/// Median = ceil(n/2)-th smallest, matching cpu::Median.
+Result<uint32_t> MedianValue(gpu::Device* device, const AttributeBinding& attr,
+                             int bit_width, const KthOptions& options = {});
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_KTH_LARGEST_H_

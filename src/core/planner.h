@@ -1,0 +1,78 @@
+#ifndef GPUDB_CORE_PLANNER_H_
+#define GPUDB_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/cpu/xeon_model.h"
+#include "src/gpu/perf_model.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief The operation classes the paper's Section 6.2 analysis covers.
+enum class OperationKind {
+  kPredicateSelect,      ///< attribute op constant (Section 5.5)
+  kRangeSelect,          ///< low <= attribute <= high (Section 5.6)
+  kMultiAttributeSelect, ///< conjunction over several attributes (5.7)
+  kSemilinearSelect,     ///< dot(s,a) op b (Section 5.8)
+  kKthLargest,           ///< order statistics / MIN / MAX / MEDIAN (5.9)
+  kSum,                  ///< Accumulator (Section 5.10)
+  kCount,                ///< occlusion-count selectivity (Section 5.11)
+};
+
+std::string_view ToString(OperationKind kind);
+
+/// Which processor should run an operation.
+enum class Backend { kGpu, kCpu };
+
+std::string_view ToString(Backend backend);
+
+/// \brief A co-processor routing decision with its rationale.
+///
+/// The paper's conclusion is that "the GPU is an excellent candidate for
+/// some database operations, but not all ... it would be useful for database
+/// designers to utilize GPU capabilities alongside traditional CPU-based
+/// code". The planner encodes that advice.
+struct PlanDecision {
+  Backend backend = Backend::kCpu;
+  double gpu_ms = 0;        ///< Modeled GPU time for the operation.
+  double cpu_ms = 0;        ///< Modeled CPU time.
+  std::string_view rationale;  ///< Paper-derived justification.
+};
+
+/// \brief Cost-based co-processor planner using the two analytic models.
+///
+/// `detail` is operation specific: the conjunct count for
+/// kMultiAttributeSelect, the attribute bit width (b_max) for kKthLargest
+/// and kSum, and ignored otherwise.
+class Planner {
+ public:
+  Planner() = default;
+  Planner(const gpu::PerfModelParams& gpu_params,
+          const cpu::XeonModelParams& cpu_params)
+      : gpu_params_(gpu_params), cpu_model_(cpu_params) {}
+
+  PlanDecision Choose(OperationKind op, uint64_t records, int detail = 0) const;
+
+  /// Modeled GPU time for an operation (closed-form over the pass structure
+  /// each routine executes; matches what PerfModel reports when the
+  /// operation actually runs).
+  double GpuMs(OperationKind op, uint64_t records, int detail = 0) const;
+
+  /// Modeled CPU time for the paper's optimized baseline.
+  double CpuMs(OperationKind op, uint64_t records, int detail = 0) const;
+
+ private:
+  double FillMs(uint64_t fragments, int instructions) const;
+  double CopyToDepthMs(uint64_t records) const;
+  double SimplePassMs(uint64_t records) const;
+
+  gpu::PerfModelParams gpu_params_;
+  cpu::XeonModel cpu_model_;
+};
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_PLANNER_H_

@@ -1,0 +1,42 @@
+#include "src/core/polynomial.h"
+
+#include <string>
+
+#include "src/core/state_guard.h"
+#include "src/gpu/fragment_program.h"
+
+namespace gpudb {
+namespace core {
+
+Result<uint64_t> PolynomialSelect(gpu::Device* device, gpu::TextureId texture,
+                                  const PolynomialQuery& query) {
+  for (int c = 0; c < 4; ++c) {
+    if (query.exponents[c] < 0 || query.exponents[c] > 8) {
+      return Status::InvalidArgument(
+          "polynomial exponents must be in [0, 8] (2004 fragment programs "
+          "expand powers to straight-line multiplies); got " +
+          std::to_string(query.exponents[c]));
+    }
+  }
+  StateGuard guard(device);
+  GPUDB_RETURN_NOT_OK(device->BindTexture(texture));
+  const gpu::PolynomialProgram program(query.weights, query.exponents,
+                                       query.op, query.b);
+  device->UseProgram(&program);
+  device->ClearStencil(0);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetDepthTest(false, gpu::CompareOp::kAlways);
+  device->SetDepthBoundsTest(false);
+  device->SetColorWriteMask(false);
+  device->SetStencilTest(true, gpu::CompareOp::kAlways, /*ref=*/1);
+  device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                       gpu::StencilOp::kReplace);
+  GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+  GPUDB_RETURN_NOT_OK(device->RenderTexturedQuad());
+  GPUDB_ASSIGN_OR_RETURN(uint64_t count, device->EndOcclusionQuery());
+  device->UseProgram(nullptr);
+  return count;
+}
+
+}  // namespace core
+}  // namespace gpudb

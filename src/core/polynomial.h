@@ -1,0 +1,34 @@
+#ifndef GPUDB_CORE_POLYNOMIAL_H_
+#define GPUDB_CORE_POLYNOMIAL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/gpu/device.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief A polynomial query `sum_c w_c * a_c^e_c op b` over up to four
+/// attributes in one texture's channels -- the extension of the semi-linear
+/// query the paper calls out in Section 4.1.2. Semi-linear queries are the
+/// special case with every exponent equal to 1.
+struct PolynomialQuery {
+  std::array<float, 4> weights = {0, 0, 0, 0};
+  std::array<int, 4> exponents = {1, 1, 1, 1};  ///< non-negative, <= 8
+  gpu::CompareOp op = gpu::CompareOp::kAlways;
+  float b = 0.0f;
+};
+
+/// \brief Evaluates the polynomial query in a single fragment-program pass:
+/// failing records are killed, survivors are counted by occlusion query and
+/// marked in the stencil buffer (stencil = 1). Returns the satisfying count.
+Result<uint64_t> PolynomialSelect(gpu::Device* device, gpu::TextureId texture,
+                                  const PolynomialQuery& query);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_POLYNOMIAL_H_

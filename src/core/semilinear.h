@@ -1,0 +1,60 @@
+#ifndef GPUDB_CORE_SEMILINEAR_H_
+#define GPUDB_CORE_SEMILINEAR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/gpu/device.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief A semi-linear query `dot(s, a) op b` (Section 4.1.2): a linear
+/// combination of up to four attributes (one texture's channels) compared
+/// against a scalar.
+///
+/// Attribute-attribute predicates `a_i op a_j` are the special case
+/// s = (1, -1), b = 0 (the paper's rewrite `a_i - a_j op 0`).
+struct SemilinearQuery {
+  std::array<float, 4> weights = {0, 0, 0, 0};
+  gpu::CompareOp op = gpu::CompareOp::kAlways;
+  float b = 0.0f;
+
+  /// Attribute-attribute comparison over texture channels `lhs` and `rhs`.
+  static SemilinearQuery AttrCompare(int lhs_channel, gpu::CompareOp op,
+                                     int rhs_channel);
+};
+
+/// \brief Routine 4.2: renders a textured quad with SemilinearFP, which
+/// KILLs every fragment whose record fails the query. Survivors are counted
+/// with an occlusion query and marked in the stencil buffer (stencil = 1;
+/// non-satisfying records keep their cleared 0).
+///
+/// Returns the number of satisfying records.
+Result<uint64_t> SemilinearSelect(gpu::Device* device, gpu::TextureId texture,
+                                  const SemilinearQuery& query);
+
+/// \brief Semilinear pass that leaves stencil/occlusion configuration to the
+/// caller (used inside EvalCnf clauses): renders the quad with the program
+/// installed; fragments failing the query are killed before the stencil
+/// stage.
+Status SemilinearQuad(gpu::Device* device, gpu::TextureId texture,
+                      const SemilinearQuery& query);
+
+/// \brief Semi-linear query over up to EIGHT attributes split across two
+/// textures (units 0 and 1) -- the paper's "longer vectors can be split
+/// into multiple textures, each with four components" (Section 4.1.2).
+/// `weights[0..3]` weight texture_a's channels, `weights[4..7]` texture_b's.
+/// Marks satisfying records in the stencil (value 1) and returns the count.
+Result<uint64_t> SemilinearSelectWide(gpu::Device* device,
+                                      gpu::TextureId texture_a,
+                                      gpu::TextureId texture_b,
+                                      const std::array<float, 8>& weights,
+                                      gpu::CompareOp op, float b);
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_SEMILINEAR_H_

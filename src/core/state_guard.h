@@ -1,0 +1,45 @@
+#ifndef GPUDB_CORE_STATE_GUARD_H_
+#define GPUDB_CORE_STATE_GUARD_H_
+
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief RAII save/restore of the device render state and fragment program
+/// around multi-pass algorithms, so core operations compose without leaking
+/// test configuration into each other.
+class StateGuard {
+ public:
+  explicit StateGuard(gpu::Device* device)
+      : device_(device),
+        saved_state_(device->state()),
+        saved_program_(device->program()),
+        saved_transform_(device->transform()),
+        saved_window_space_(device->window_space_vertices()) {}
+
+  StateGuard(const StateGuard&) = delete;
+  StateGuard& operator=(const StateGuard&) = delete;
+
+  ~StateGuard() {
+    device_->state() = saved_state_;
+    device_->UseProgram(saved_program_);
+    if (saved_window_space_) {
+      device_->ResetTransform();
+    } else {
+      device_->SetTransform(saved_transform_);
+    }
+  }
+
+ private:
+  gpu::Device* device_;
+  gpu::RenderState saved_state_;
+  const gpu::FragmentProgram* saved_program_;
+  gpu::Mat4 saved_transform_;
+  bool saved_window_space_;
+};
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_STATE_GUARD_H_

@@ -1,0 +1,102 @@
+#include "src/core/stream.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/bit_util.h"
+#include "src/core/accumulator.h"
+#include "src/core/kth_largest.h"
+
+namespace gpudb {
+namespace core {
+
+StreamWindow::StreamWindow(gpu::Device* device, gpu::TextureId texture,
+                           uint64_t capacity, int bit_width)
+    : device_(device), capacity_(capacity), bit_width_(bit_width) {
+  binding_.texture = texture;
+  binding_.channel = 0;
+  binding_.encoding = DepthEncoding::ExactInt24();
+}
+
+Result<StreamWindow> StreamWindow::Make(gpu::Device* device,
+                                        uint64_t capacity, int bit_width) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("null device");
+  }
+  if (capacity == 0 || capacity > device->framebuffer().pixel_count()) {
+    return Status::InvalidArgument(
+        "window capacity must be in [1, framebuffer pixels]");
+  }
+  if (bit_width < 1 || bit_width > 24) {
+    return Status::InvalidArgument("bit_width must be in [1, 24]");
+  }
+  const uint32_t width = static_cast<uint32_t>(
+      std::min<uint64_t>(capacity, device->framebuffer().width()));
+  const uint32_t height =
+      static_cast<uint32_t>(bit_util::CeilDiv(capacity, width));
+  GPUDB_ASSIGN_OR_RETURN(gpu::TextureId tex,
+                         device->CreateTexture(width, height, 1));
+  return StreamWindow(device, tex, capacity, bit_width);
+}
+
+Status StreamWindow::Push(const std::vector<uint32_t>& values) {
+  if (values.empty()) return Status::OK();
+  const uint64_t limit = bit_util::PowerOfTwo(bit_width_);
+  for (uint32_t v : values) {
+    if (v >= limit) {
+      return Status::OutOfRange("value " + std::to_string(v) +
+                                " exceeds the window's " +
+                                std::to_string(bit_width_) + "-bit domain");
+    }
+  }
+  // If the batch alone exceeds the capacity, only its most recent suffix
+  // can remain in the window.
+  size_t start = 0;
+  if (values.size() > capacity_) {
+    start = values.size() - capacity_;
+  }
+  // Write into the ring, wrapping at capacity (at most two updates).
+  std::vector<float> chunk;
+  size_t i = start;
+  while (i < values.size()) {
+    const uint64_t run =
+        std::min<uint64_t>(values.size() - i, capacity_ - head_);
+    chunk.assign(values.begin() + i, values.begin() + i + run);
+    GPUDB_RETURN_NOT_OK(
+        device_->UpdateTexture(binding_.texture, head_, chunk, 0));
+    head_ = (head_ + run) % capacity_;
+    i += run;
+  }
+  size_ = std::min<uint64_t>(capacity_, size_ + (values.size() - start));
+  return Status::OK();
+}
+
+Status StreamWindow::Activate() {
+  if (size_ == 0) {
+    return Status::FailedPrecondition("window is empty");
+  }
+  return device_->SetViewport(size_);
+}
+
+Result<uint64_t> StreamWindow::Count(gpu::CompareOp op, double constant) {
+  GPUDB_RETURN_NOT_OK(Activate());
+  return Compare(device_, binding_, op, constant);
+}
+
+Result<uint64_t> StreamWindow::Sum() {
+  GPUDB_RETURN_NOT_OK(Activate());
+  return Accumulate(device_, binding_.texture, 0, bit_width_);
+}
+
+Result<uint32_t> StreamWindow::KthLargest(uint64_t k) {
+  GPUDB_RETURN_NOT_OK(Activate());
+  return core::KthLargest(device_, binding_, bit_width_, k);
+}
+
+Result<uint32_t> StreamWindow::Median() {
+  GPUDB_RETURN_NOT_OK(Activate());
+  return MedianValue(device_, binding_, bit_width_);
+}
+
+}  // namespace core
+}  // namespace gpudb

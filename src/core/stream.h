@@ -1,0 +1,68 @@
+#ifndef GPUDB_CORE_STREAM_H_
+#define GPUDB_CORE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/compare.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace core {
+
+/// \brief Sliding-window monitor over a stream of integer records -- the
+/// "continuous queries over streams using GPUs" the paper names as future
+/// work (Section 7), built from its own primitives.
+///
+/// The window is a GPU-resident ring texture of the most recent `capacity`
+/// values. Each Push overwrites the oldest slots with a partial texture
+/// update (glTexSubImage2D), so only new records cross the bus; ring order
+/// is irrelevant to the supported queries (COUNT / SUM / order statistics
+/// are permutation-invariant).
+class StreamWindow {
+ public:
+  /// Creates a window of up to `capacity` records whose values fit in
+  /// `bit_width` bits. The capacity must fit the device framebuffer.
+  static Result<StreamWindow> Make(gpu::Device* device, uint64_t capacity,
+                                   int bit_width);
+
+  /// Appends a batch, evicting the oldest records once full. Values must fit
+  /// the declared bit width.
+  Status Push(const std::vector<uint32_t>& values);
+
+  /// Records currently in the window (<= capacity).
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+
+  /// COUNT(*) WHERE value op constant over the current window.
+  Result<uint64_t> Count(gpu::CompareOp op, double constant);
+
+  /// Exact SUM over the current window (Routine 4.6).
+  Result<uint64_t> Sum();
+
+  /// k-th largest over the current window (Routine 4.5).
+  Result<uint32_t> KthLargest(uint64_t k);
+
+  /// Median over the current window.
+  Result<uint32_t> Median();
+
+ private:
+  StreamWindow(gpu::Device* device, gpu::TextureId texture, uint64_t capacity,
+               int bit_width);
+
+  /// Points the device viewport at the live window region.
+  Status Activate();
+
+  gpu::Device* device_;
+  AttributeBinding binding_;
+  uint64_t capacity_;
+  int bit_width_;
+  uint64_t head_ = 0;  ///< next ring slot to overwrite
+  uint64_t size_ = 0;  ///< live records
+};
+
+}  // namespace core
+}  // namespace gpudb
+
+#endif  // GPUDB_CORE_STREAM_H_

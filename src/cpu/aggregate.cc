@@ -1,0 +1,54 @@
+#include "src/cpu/aggregate.h"
+
+#include <algorithm>
+
+namespace gpudb {
+namespace cpu {
+
+uint64_t SumInt(const std::vector<float>& values) {
+  uint64_t sum = 0;
+  for (float v : values) sum += static_cast<uint64_t>(v);
+  return sum;
+}
+
+uint64_t MaskedSumInt(const std::vector<float>& values,
+                      const std::vector<uint8_t>& mask) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    // Branch-free: multiply by the 0/1 mask.
+    sum += static_cast<uint64_t>(values[i]) * mask[i];
+  }
+  return sum;
+}
+
+uint64_t CountMask(const std::vector<uint8_t>& mask) {
+  uint64_t count = 0;
+  for (uint8_t m : mask) count += m;
+  return count;
+}
+
+Result<float> MinValue(const std::vector<float>& values) {
+  if (values.empty()) return Status::InvalidArgument("min of empty input");
+  return *std::min_element(values.begin(), values.end());
+}
+
+Result<float> MaxValue(const std::vector<float>& values) {
+  if (values.empty()) return Status::InvalidArgument("max of empty input");
+  return *std::max_element(values.begin(), values.end());
+}
+
+Result<double> MaskedAvgInt(const std::vector<float>& values,
+                            const std::vector<uint8_t>& mask) {
+  if (values.size() != mask.size()) {
+    return Status::InvalidArgument("mask length does not match values");
+  }
+  const uint64_t count = CountMask(mask);
+  if (count == 0) {
+    return Status::InvalidArgument("AVG over empty selection");
+  }
+  return static_cast<double>(MaskedSumInt(values, mask)) /
+         static_cast<double>(count);
+}
+
+}  // namespace cpu
+}  // namespace gpudb

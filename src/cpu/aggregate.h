@@ -1,0 +1,35 @@
+#ifndef GPUDB_CPU_AGGREGATE_H_
+#define GPUDB_CPU_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace gpudb {
+namespace cpu {
+
+/// \brief CPU reference/baseline aggregations (SUM, COUNT, AVG, MIN, MAX).
+/// Integer-valued columns (the only kind Accumulator handles; Section 4.3.3)
+/// are summed exactly in 64-bit integers.
+
+/// Exact integer sum of float-encoded integer values.
+uint64_t SumInt(const std::vector<float>& values);
+
+/// Sum restricted to a 0/1 selection mask.
+uint64_t MaskedSumInt(const std::vector<float>& values,
+                      const std::vector<uint8_t>& mask);
+
+uint64_t CountMask(const std::vector<uint8_t>& mask);
+
+Result<float> MinValue(const std::vector<float>& values);
+Result<float> MaxValue(const std::vector<float>& values);
+
+/// AVG = SUM / COUNT over selected values.
+Result<double> MaskedAvgInt(const std::vector<float>& values,
+                            const std::vector<uint8_t>& mask);
+
+}  // namespace cpu
+}  // namespace gpudb
+
+#endif  // GPUDB_CPU_AGGREGATE_H_

@@ -1,0 +1,111 @@
+#include "src/cpu/quickselect.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/common/random.h"
+
+namespace gpudb {
+namespace cpu {
+
+namespace {
+
+/// In-place QuickSelect for the k-th smallest (0-based order statistic) with
+/// randomized pivots (expected linear time).
+float SelectKthSmallest(std::vector<float>* data, uint64_t k, Random* rng) {
+  size_t lo = 0;
+  size_t hi = data->size();  // half-open [lo, hi)
+  std::vector<float>& a = *data;
+  for (;;) {
+    if (hi - lo <= 2) {
+      if (hi - lo == 2 && a[lo] > a[lo + 1]) std::swap(a[lo], a[lo + 1]);
+      return a[k];
+    }
+    const size_t pivot_idx = lo + rng->NextUint64(hi - lo);
+    const float pivot = a[pivot_idx];
+    // 3-way partition (Dutch national flag) for duplicate-heavy inputs.
+    size_t lt = lo, i = lo, gt = hi;
+    while (i < gt) {
+      if (a[i] < pivot) {
+        std::swap(a[i++], a[lt++]);
+      } else if (a[i] > pivot) {
+        std::swap(a[i], a[--gt]);
+      } else {
+        ++i;
+      }
+    }
+    if (k < lt) {
+      hi = lt;
+    } else if (k >= gt) {
+      lo = gt;
+    } else {
+      return pivot;  // a[lt..gt) all equal the pivot.
+    }
+  }
+}
+
+}  // namespace
+
+Result<float> QuickSelectLargest(const std::vector<float>& values, uint64_t k,
+                                 uint64_t seed) {
+  if (values.empty()) {
+    return Status::InvalidArgument("QuickSelect on empty input");
+  }
+  if (k == 0 || k > values.size()) {
+    return Status::OutOfRange("k=" + std::to_string(k) + " out of range [1," +
+                              std::to_string(values.size()) + "]");
+  }
+  std::vector<float> copy = values;
+  Random rng(seed);
+  // k-th largest (1-based) == (n-k)-th smallest (0-based).
+  return SelectKthSmallest(&copy, values.size() - k, &rng);
+}
+
+Result<float> QuickSelectSmallest(const std::vector<float>& values, uint64_t k,
+                                  uint64_t seed) {
+  if (values.empty()) {
+    return Status::InvalidArgument("QuickSelect on empty input");
+  }
+  if (k == 0 || k > values.size()) {
+    return Status::OutOfRange("k=" + std::to_string(k) + " out of range [1," +
+                              std::to_string(values.size()) + "]");
+  }
+  std::vector<float> copy = values;
+  Random rng(seed);
+  return SelectKthSmallest(&copy, k - 1, &rng);
+}
+
+Result<float> Median(const std::vector<float>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("median of empty input");
+  }
+  return QuickSelectSmallest(values, (values.size() + 1) / 2);
+}
+
+Result<float> MaskedQuickSelectLargest(const std::vector<float>& values,
+                                       const std::vector<uint8_t>& mask,
+                                       uint64_t k) {
+  if (values.size() != mask.size()) {
+    return Status::InvalidArgument("mask length does not match values");
+  }
+  std::vector<float> selected;
+  selected.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (mask[i] != 0) selected.push_back(values[i]);
+  }
+  if (selected.empty()) {
+    return Status::InvalidArgument("mask selects no values");
+  }
+  if (k == 0 || k > selected.size()) {
+    return Status::OutOfRange("k=" + std::to_string(k) +
+                              " out of range for " +
+                              std::to_string(selected.size()) +
+                              " selected values");
+  }
+  Random rng(12345);
+  return SelectKthSmallest(&selected, selected.size() - k, &rng);
+}
+
+}  // namespace cpu
+}  // namespace gpudb

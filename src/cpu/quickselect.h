@@ -1,0 +1,40 @@
+#ifndef GPUDB_CPU_QUICKSELECT_H_
+#define GPUDB_CPU_QUICKSELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace gpudb {
+namespace cpu {
+
+/// \brief Expected-linear-time selection (Hoare's FIND / QuickSelect), the
+/// paper's CPU comparator for KthLargest (Section 5.9, citing [14]).
+///
+/// Finds the k-th largest value (k is 1-based: k=1 is the maximum).
+/// The input is copied because the algorithm rearranges data -- the exact
+/// cost the paper's GPU algorithm is designed to avoid ("Most of these
+/// algorithms require data rearrangement, which is extremely expensive on
+/// current GPUs", Section 4.3.2).
+Result<float> QuickSelectLargest(const std::vector<float>& values, uint64_t k,
+                                 uint64_t seed = 12345);
+
+/// k-th smallest (k=1 is the minimum).
+Result<float> QuickSelectSmallest(const std::vector<float>& values, uint64_t k,
+                                  uint64_t seed = 12345);
+
+/// Median via QuickSelect: the ceil(n/2)-th smallest value.
+Result<float> Median(const std::vector<float>& values);
+
+/// QuickSelect restricted to values selected by a 0/1 mask: the paper's
+/// Section 5.9 Test 3 baseline ("we have copied the valid data into an array
+/// and passed it as a parameter to QuickSelect").
+Result<float> MaskedQuickSelectLargest(const std::vector<float>& values,
+                                       const std::vector<uint8_t>& mask,
+                                       uint64_t k);
+
+}  // namespace cpu
+}  // namespace gpudb
+
+#endif  // GPUDB_CPU_QUICKSELECT_H_

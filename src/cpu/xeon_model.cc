@@ -1,0 +1,51 @@
+#include "src/cpu/xeon_model.h"
+
+#include <cmath>
+
+namespace gpudb {
+namespace cpu {
+
+double XeonModel::PredicateScanMs(uint64_t records) const {
+  return Ms(static_cast<double>(records) *
+            params_.predicate_cycles_per_record);
+}
+
+double XeonModel::RangeScanMs(uint64_t records) const {
+  return Ms(static_cast<double>(records) * params_.range_cycles_per_record);
+}
+
+double XeonModel::MultiAttributeScanMs(uint64_t records, int conjuncts) const {
+  return Ms(static_cast<double>(records) * params_.conjunct_cycles_per_record *
+            conjuncts);
+}
+
+double XeonModel::SemilinearScanMs(uint64_t records) const {
+  return Ms(static_cast<double>(records) *
+            params_.semilinear_cycles_per_record);
+}
+
+double XeonModel::QuickSelectMs(uint64_t records) const {
+  return Ms(static_cast<double>(records) *
+            params_.quickselect_cycles_per_record);
+}
+
+double XeonModel::MaskedQuickSelectMs(uint64_t records,
+                                      uint64_t selected) const {
+  return Ms(static_cast<double>(records) * params_.copy_cycles_per_record +
+            static_cast<double>(selected) *
+                params_.quickselect_cycles_per_record);
+}
+
+double XeonModel::SumMs(uint64_t records) const {
+  return Ms(static_cast<double>(records) * params_.sum_cycles_per_record);
+}
+
+double XeonModel::SortMs(uint64_t records) const {
+  if (records < 2) return 0.0;
+  const double levels = std::log2(static_cast<double>(records));
+  return Ms(static_cast<double>(records) * levels *
+            params_.sort_cycles_per_record_per_level);
+}
+
+}  // namespace cpu
+}  // namespace gpudb

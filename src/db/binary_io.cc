@@ -1,0 +1,133 @@
+#include "src/db/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace gpudb {
+namespace db {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'P', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+// Hard caps so a corrupt header cannot drive huge allocations.
+constexpr uint32_t kMaxColumns = 4096;
+constexpr uint64_t kMaxRows = 1ull << 32;
+constexpr uint32_t kMaxNameLength = 4096;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status WriteBinary(const Table& table, const std::string& path) {
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("cannot serialize an empty table");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(table.num_columns()));
+  WritePod(out, static_cast<uint64_t>(table.num_rows()));
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    WritePod(out, static_cast<uint32_t>(col.name().size()));
+    out.write(col.name().data(),
+              static_cast<std::streamsize>(col.name().size()));
+    WritePod(out, static_cast<uint8_t>(
+                      col.type() == ColumnType::kInt24 ? 0 : 1));
+    out.write(reinterpret_cast<const char*>(col.values().data()),
+              static_cast<std::streamsize>(col.values().size() *
+                                           sizeof(float)));
+  }
+  if (!out.good()) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<Table> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open '" + path + "'");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a GPDB table file");
+  }
+  uint32_t version = 0, num_columns = 0;
+  uint64_t num_rows = 0;
+  if (!ReadPod(in, &version) || !ReadPod(in, &num_columns) ||
+      !ReadPod(in, &num_rows)) {
+    return Status::InvalidArgument("truncated header in '" + path + "'");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported GPDB version " +
+                                   std::to_string(version));
+  }
+  if (num_columns == 0 || num_columns > kMaxColumns || num_rows == 0 ||
+      num_rows > kMaxRows) {
+    return Status::InvalidArgument("implausible header in '" + path + "'");
+  }
+
+  Table table;
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    uint32_t name_length = 0;
+    if (!ReadPod(in, &name_length) || name_length == 0 ||
+        name_length > kMaxNameLength) {
+      return Status::InvalidArgument("corrupt column header in '" + path +
+                                     "'");
+    }
+    std::string name(name_length, '\0');
+    in.read(name.data(), name_length);
+    uint8_t type = 0;
+    if (!in.good() || !ReadPod(in, &type) || type > 1) {
+      return Status::InvalidArgument("corrupt column header in '" + path +
+                                     "'");
+    }
+    std::vector<float> values(num_rows);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(num_rows * sizeof(float)));
+    if (!in.good()) {
+      return Status::InvalidArgument("truncated column data in '" + path +
+                                     "'");
+    }
+    if (type == 0) {
+      std::vector<uint32_t> ints(num_rows);
+      for (uint64_t i = 0; i < num_rows; ++i) {
+        const float v = values[i];
+        if (v < 0 || v != static_cast<float>(static_cast<uint32_t>(v)) ||
+            v >= static_cast<float>(gpu::kMaxExactInt)) {
+          return Status::InvalidArgument(
+              "Int24 column '" + name + "' contains a non-Int24 value");
+        }
+        ints[i] = static_cast<uint32_t>(v);
+      }
+      GPUDB_ASSIGN_OR_RETURN(Column col,
+                             Column::MakeInt24(std::move(name), ints));
+      GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+    } else {
+      GPUDB_ASSIGN_OR_RETURN(
+          Column col, Column::MakeFloat(std::move(name), std::move(values)));
+      GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+    }
+  }
+  return table;
+}
+
+}  // namespace db
+}  // namespace gpudb

@@ -1,0 +1,26 @@
+#ifndef GPUDB_DB_BINARY_IO_H_
+#define GPUDB_DB_BINARY_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/db/table.h"
+
+namespace gpudb {
+namespace db {
+
+/// \brief Columnar binary table format ("GPDB"), for fast save/load of
+/// generated workloads without CSV parsing overhead.
+///
+/// Layout (all integers little-endian):
+///   magic "GPDB" | u32 version | u32 num_columns | u64 num_rows
+///   per column: u32 name_length | name bytes | u8 type (0=Int24, 1=Float32)
+///               | num_rows raw float32 values
+Result<Table> ReadBinary(const std::string& path);
+
+Status WriteBinary(const Table& table, const std::string& path);
+
+}  // namespace db
+}  // namespace gpudb
+
+#endif  // GPUDB_DB_BINARY_IO_H_

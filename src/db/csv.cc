@@ -1,0 +1,166 @@
+#include "src/db/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/gpu/texture.h"
+
+namespace gpudb {
+namespace db {
+
+namespace {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> SplitLine(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      fields.push_back(TrimWhitespace(line.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      const std::string_view line =
+          TrimWhitespace(text.substr(start, i - start));
+      if (!line.empty()) lines.push_back(line);
+      start = i + 1;
+    }
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  const std::vector<std::string_view> header = SplitLine(lines[0]);
+  const size_t num_cols = header.size();
+  for (const auto& name : header) {
+    if (name.empty()) {
+      return Status::InvalidArgument("CSV header contains an empty name");
+    }
+  }
+  if (lines.size() < 2) {
+    return Status::InvalidArgument("CSV has no data rows");
+  }
+
+  std::vector<std::vector<float>> columns(num_cols);
+  std::vector<bool> is_int(num_cols, true);
+  for (size_t row = 1; row < lines.size(); ++row) {
+    const std::vector<std::string_view> fields = SplitLine(lines[row]);
+    if (fields.size() != num_cols) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(row) + " has " +
+          std::to_string(fields.size()) + " fields; header has " +
+          std::to_string(num_cols));
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string cell(fields[c]);
+      if (cell.empty()) {
+        return Status::InvalidArgument("empty cell at row " +
+                                       std::to_string(row) + " column " +
+                                       std::to_string(c));
+      }
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end != cell.c_str() + cell.size() || !std::isfinite(value)) {
+        return Status::InvalidArgument("non-numeric value '" + cell +
+                                       "' at row " + std::to_string(row) +
+                                       " column " + std::to_string(c));
+      }
+      columns[c].push_back(static_cast<float>(value));
+      if (value < 0 || value != std::floor(value) ||
+          value >= static_cast<double>(gpu::kMaxExactInt)) {
+        is_int[c] = false;
+      }
+    }
+  }
+
+  Table table;
+  for (size_t c = 0; c < num_cols; ++c) {
+    const std::string name(header[c]);
+    if (is_int[c]) {
+      std::vector<uint32_t> ints(columns[c].size());
+      for (size_t i = 0; i < ints.size(); ++i) {
+        ints[i] = static_cast<uint32_t>(columns[c][i]);
+      }
+      GPUDB_ASSIGN_OR_RETURN(Column col, Column::MakeInt24(name, ints));
+      GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+    } else {
+      GPUDB_ASSIGN_OR_RETURN(Column col,
+                             Column::MakeFloat(name, std::move(columns[c])));
+      GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+    }
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsv(buffer.str());
+}
+
+std::string WriteCsv(const Table& table) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += table.column(c).name();
+  }
+  out += "\n";
+  char buf[64];
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      const Column& col = table.column(c);
+      if (col.type() == ColumnType::kInt24) {
+        std::snprintf(buf, sizeof(buf), "%u", col.int_value(row));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", col.value(row));
+      }
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  file << WriteCsv(table);
+  if (!file.good()) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace db
+}  // namespace gpudb

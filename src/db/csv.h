@@ -1,0 +1,36 @@
+#ifndef GPUDB_DB_CSV_H_
+#define GPUDB_DB_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/db/table.h"
+
+namespace gpudb {
+namespace db {
+
+/// \brief Loads a table from numeric CSV text.
+///
+/// Format: the first row holds column names; every following row holds one
+/// numeric value per column. Columns whose values are all integral and fit
+/// the exact 24-bit texture range become kInt24 (eligible for the depth
+/// buffer and bit-loop algorithms); any other column becomes kFloat32.
+/// Quoting is not supported -- this is a loader for numeric relational
+/// data, not a general CSV parser.
+Result<Table> ReadCsv(std::string_view text);
+
+/// Reads and parses a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path);
+
+/// Serializes a table back to CSV (header + one row per record). Int24
+/// columns print as integers, float columns with full precision.
+std::string WriteCsv(const Table& table);
+
+/// Writes the table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace db
+}  // namespace gpudb
+
+#endif  // GPUDB_DB_CSV_H_

@@ -1,0 +1,163 @@
+#include "src/db/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace gpudb {
+namespace db {
+
+namespace {
+
+// Clips v to [0, 2^bits - 1].
+uint32_t ClipToBits(double v, int bits) {
+  const double hi = static_cast<double>((uint64_t{1} << bits) - 1);
+  return static_cast<uint32_t>(std::clamp(v, 0.0, hi));
+}
+
+}  // namespace
+
+Result<Table> MakeTcpIpTable(size_t count, uint64_t seed) {
+  if (count == 0) {
+    return Status::InvalidArgument("record count must be positive");
+  }
+  Random rng(seed);
+  std::vector<uint32_t> data_count(count);
+  std::vector<uint32_t> data_loss(count);
+  std::vector<uint32_t> flow_rate(count);
+  std::vector<uint32_t> retransmissions(count);
+
+  for (size_t i = 0; i < count; ++i) {
+    // 19-bit, high-variance payload sizes (paper Section 5.9).
+    data_count[i] = ClipToBits(rng.NextLognormal(/*mu=*/10.0, /*sigma=*/1.6),
+                               /*bits=*/19);
+    // Loss events: mostly zero, occasionally bursty.
+    const double loss = rng.NextDouble() < 0.8
+                            ? 0.0
+                            : rng.NextLognormal(/*mu=*/2.0, /*sigma=*/1.0);
+    data_loss[i] = ClipToBits(loss, /*bits=*/12);
+    // Flow rate in KB/s-ish units; broad positive spread, 20 bits.
+    flow_rate[i] = ClipToBits(rng.NextLognormal(/*mu=*/8.0, /*sigma=*/2.0),
+                              /*bits=*/20);
+    // Retransmission counts: small skewed integers.
+    const double retx = rng.NextDouble() < 0.6
+                            ? 0.0
+                            : rng.NextLognormal(/*mu=*/1.0, /*sigma=*/0.8);
+    retransmissions[i] = ClipToBits(retx, /*bits=*/8);
+  }
+  // Pin the maximum so bit_width() is deterministically 19 even for small
+  // tables (the KthLargest pass count depends on it).
+  data_count[0] = (1u << 19) - 1;
+
+  Table table;
+  GPUDB_ASSIGN_OR_RETURN(Column c0,
+                         Column::MakeInt24("data_count", data_count));
+  GPUDB_ASSIGN_OR_RETURN(Column c1, Column::MakeInt24("data_loss", data_loss));
+  GPUDB_ASSIGN_OR_RETURN(Column c2, Column::MakeInt24("flow_rate", flow_rate));
+  GPUDB_ASSIGN_OR_RETURN(
+      Column c3, Column::MakeInt24("retransmissions", retransmissions));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c0)));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c1)));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c2)));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c3)));
+  return table;
+}
+
+Result<Table> MakeCensusTable(size_t count, uint64_t seed) {
+  if (count == 0) {
+    return Status::InvalidArgument("record count must be positive");
+  }
+  Random rng(seed);
+  std::vector<uint32_t> income(count);
+  std::vector<uint32_t> age(count);
+  std::vector<uint32_t> weeks_worked(count);
+  std::vector<uint32_t> household(count);
+
+  for (size_t i = 0; i < count; ++i) {
+    // Monthly income: lognormal, median ~$2.2K, long right tail, <= 2^18.
+    income[i] = ClipToBits(rng.NextLognormal(/*mu=*/7.7, /*sigma=*/0.8),
+                           /*bits=*/18);
+    // Age 16..90, roughly triangular.
+    age[i] = static_cast<uint32_t>(
+        16 + (rng.NextUint64(75) + rng.NextUint64(75)) / 2);
+    weeks_worked[i] = static_cast<uint32_t>(rng.NextUint64(53));
+    household[i] = static_cast<uint32_t>(1 + rng.NextUint64(8));
+  }
+
+  Table table;
+  GPUDB_ASSIGN_OR_RETURN(Column c0,
+                         Column::MakeInt24("monthly_income", income));
+  GPUDB_ASSIGN_OR_RETURN(Column c1, Column::MakeInt24("age", age));
+  GPUDB_ASSIGN_OR_RETURN(Column c2,
+                         Column::MakeInt24("weeks_worked", weeks_worked));
+  GPUDB_ASSIGN_OR_RETURN(Column c3,
+                         Column::MakeInt24("household_size", household));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c0)));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c1)));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c2)));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(c3)));
+  return table;
+}
+
+Result<Table> MakeUniformTable(size_t count, int bits, int num_columns,
+                               uint64_t seed) {
+  if (count == 0) {
+    return Status::InvalidArgument("record count must be positive");
+  }
+  if (bits < 1 || bits > 24) {
+    return Status::InvalidArgument("bits must be in [1,24], got " +
+                                   std::to_string(bits));
+  }
+  if (num_columns < 1 || num_columns > 4) {
+    return Status::InvalidArgument("num_columns must be in [1,4]");
+  }
+  Random rng(seed);
+  Table table;
+  for (int c = 0; c < num_columns; ++c) {
+    std::vector<uint32_t> values(count);
+    for (auto& v : values) {
+      v = static_cast<uint32_t>(rng.NextUint64(uint64_t{1} << bits));
+    }
+    GPUDB_ASSIGN_OR_RETURN(
+        Column col, Column::MakeInt24("u" + std::to_string(c), values));
+    GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+  }
+  return table;
+}
+
+Result<Table> MakeZipfTable(size_t count, uint32_t domain, double theta,
+                            uint64_t seed) {
+  if (count == 0) {
+    return Status::InvalidArgument("record count must be positive");
+  }
+  if (domain == 0 || domain >= (1u << 24)) {
+    return Status::InvalidArgument("domain must be in [1, 2^24)");
+  }
+  if (theta <= 0.0) {
+    return Status::InvalidArgument("theta must be positive");
+  }
+  // Inverse-CDF sampling over the (finite) Zipf mass function.
+  std::vector<double> cdf(domain);
+  double total = 0.0;
+  for (uint32_t v = 0; v < domain; ++v) {
+    total += 1.0 / std::pow(static_cast<double>(v) + 1.0, theta);
+    cdf[v] = total;
+  }
+  Random rng(seed);
+  std::vector<uint32_t> values(count);
+  for (auto& out : values) {
+    const double u = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    out = static_cast<uint32_t>(it - cdf.begin());
+  }
+  Table table;
+  GPUDB_ASSIGN_OR_RETURN(Column col, Column::MakeInt24("zipf", values));
+  GPUDB_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+  return table;
+}
+
+}  // namespace db
+}  // namespace gpudb

@@ -1,0 +1,154 @@
+#include "src/db/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace gpudb {
+namespace db {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " +
+        std::to_string(column.size()) + " rows; table has " +
+        std::to_string(num_rows()));
+  }
+  for (const Column& existing : columns_) {
+    if (existing.name() == column.name()) {
+      return Status::InvalidArgument("duplicate column name '" +
+                                     column.name() + "'");
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<const Column*> Table::ColumnByName(std::string_view name) const {
+  for (const Column& c : columns_) {
+    if (c.name() == name) return &c;
+  }
+  return Status::InvalidArgument("no column named '" + std::string(name) +
+                                 "'");
+}
+
+Result<size_t> Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return Status::InvalidArgument("no column named '" + std::string(name) +
+                                 "'");
+}
+
+Result<gpu::Texture> Table::ToTexture(
+    const std::vector<size_t>& column_indices, uint32_t width) const {
+  if (column_indices.empty() ||
+      column_indices.size() > static_cast<size_t>(gpu::kMaxChannels)) {
+    return Status::InvalidArgument(
+        "a texture packs 1-4 columns (paper Section 4.1.2: four channels per "
+        "texture); got " +
+        std::to_string(column_indices.size()));
+  }
+  std::vector<const std::vector<float>*> channels;
+  channels.reserve(column_indices.size());
+  for (size_t idx : column_indices) {
+    if (idx >= columns_.size()) {
+      return Status::OutOfRange("column index " + std::to_string(idx) +
+                                " out of range");
+    }
+    channels.push_back(&columns_[idx].values());
+  }
+  return gpu::Texture::FromColumns(channels, width);
+}
+
+Result<gpu::Texture> Table::ColumnTexture(size_t column_index,
+                                          uint32_t width) const {
+  return ToTexture({column_index}, width);
+}
+
+Result<Table> Table::GatherRows(const std::vector<uint32_t>& row_ids) const {
+  if (row_ids.empty()) {
+    return Status::InvalidArgument(
+        "GatherRows with no rows (tables cannot be empty)");
+  }
+  for (uint32_t row : row_ids) {
+    if (row >= num_rows()) {
+      return Status::OutOfRange("row id " + std::to_string(row) +
+                                " out of range");
+    }
+  }
+  Table out;
+  for (const Column& col : columns_) {
+    if (col.type() == ColumnType::kInt24) {
+      std::vector<uint32_t> values(row_ids.size());
+      for (size_t i = 0; i < row_ids.size(); ++i) {
+        values[i] = col.int_value(row_ids[i]);
+      }
+      GPUDB_ASSIGN_OR_RETURN(Column gathered,
+                             Column::MakeInt24(col.name(), values));
+      GPUDB_RETURN_NOT_OK(out.AddColumn(std::move(gathered)));
+    } else {
+      std::vector<float> values(row_ids.size());
+      for (size_t i = 0; i < row_ids.size(); ++i) {
+        values[i] = col.value(row_ids[i]);
+      }
+      GPUDB_ASSIGN_OR_RETURN(Column gathered,
+                             Column::MakeFloat(col.name(), std::move(values)));
+      GPUDB_RETURN_NOT_OK(out.AddColumn(std::move(gathered)));
+    }
+  }
+  return out;
+}
+
+std::string Table::FormatRows(const std::vector<uint32_t>& row_ids,
+                              size_t max_rows) const {
+  const size_t shown = std::min(max_rows, row_ids.size());
+  // Render every cell, then size columns to their widest entry.
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header = {"row"};
+  for (size_t c = 0; c < num_columns(); ++c) {
+    header.push_back(columns_[c].name());
+  }
+  cells.push_back(header);
+  char buf[64];
+  for (size_t i = 0; i < shown; ++i) {
+    const uint32_t row = row_ids[i];
+    std::vector<std::string> line;
+    line.push_back(std::to_string(row));
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (row >= num_rows()) {
+        line.push_back("?");
+        continue;
+      }
+      if (columns_[c].type() == ColumnType::kInt24) {
+        std::snprintf(buf, sizeof(buf), "%u", columns_[c].int_value(row));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", columns_[c].value(row));
+      }
+      line.push_back(buf);
+    }
+    cells.push_back(std::move(line));
+  }
+  std::vector<size_t> widths(cells[0].size(), 0);
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      if (c > 0) out += "  ";
+      out.append(widths[c] - line[c].size(), ' ');
+      out += line[c];
+    }
+    out += "\n";
+  }
+  if (row_ids.size() > shown) {
+    out += "... (" + std::to_string(row_ids.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace db
+}  // namespace gpudb

@@ -1,0 +1,71 @@
+#ifndef GPUDB_DB_TABLE_H_
+#define GPUDB_DB_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/db/column.h"
+#include "src/gpu/texture.h"
+
+namespace gpudb {
+namespace db {
+
+/// Texture row width used throughout; the paper lays records out in
+/// 1000x1000 textures (Section 5.1).
+inline constexpr uint32_t kDefaultTextureWidth = 1000;
+
+/// \brief An in-memory relational table: equal-length named columns.
+///
+/// Tables are the CPU-side source of truth; ToTexture packs columns into the
+/// GPU representation (attributes in texel channels, paper Section 3.3:
+/// "we store the attributes of each record in multiple channels of a single
+/// texel, or the same texel location in multiple textures").
+class Table {
+ public:
+  Table() = default;
+
+  /// Appends a column; all columns must have identical length.
+  Status AddColumn(Column column);
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Looks a column up by name.
+  Result<const Column*> ColumnByName(std::string_view name) const;
+
+  /// Index of a named column, or an error.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Packs the given columns (by index, 1-4 of them) into one texture whose
+  /// channels are the columns in order.
+  Result<gpu::Texture> ToTexture(const std::vector<size_t>& column_indices,
+                                 uint32_t width = kDefaultTextureWidth) const;
+
+  /// Packs a single column into a single-channel texture.
+  Result<gpu::Texture> ColumnTexture(
+      size_t column_index, uint32_t width = kDefaultTextureWidth) const;
+
+  /// Materializes the given rows (in order, duplicates allowed) as a new
+  /// table with the same schema. This is how a SELECT's output becomes a
+  /// relation again.
+  Result<Table> GatherRows(const std::vector<uint32_t>& row_ids) const;
+
+  /// Renders the given rows (at most `max_rows` of them) as an aligned text
+  /// table with a header -- the shell's SELECT * display.
+  std::string FormatRows(const std::vector<uint32_t>& row_ids,
+                         size_t max_rows = 20) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace db
+}  // namespace gpudb
+
+#endif  // GPUDB_DB_TABLE_H_

@@ -1,0 +1,556 @@
+#include "src/gpu/device.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace gpudb {
+namespace gpu {
+
+Device::Device(uint32_t width, uint32_t height, int depth_bits)
+    : fb_(width, height, depth_bits),
+      viewport_pixels_(uint64_t{width} * height) {}
+
+Result<TextureId> Device::UploadTexture(Texture texture) {
+  const uint64_t bytes = texture.byte_size();
+  textures_.emplace_back(std::move(texture));
+  const auto id = static_cast<TextureId>(textures_.size() - 1);
+  // The initial upload makes the texture resident (evicting others if the
+  // working set exceeds the card). A texture that cannot fit at all fails
+  // before any bus transfer is charged.
+  GPUDB_RETURN_NOT_OK(EnsureResident(id));
+  // EnsureResident charged this as a swap; the initial transfer belongs in
+  // bytes_uploaded instead.
+  counters_.bytes_swapped -= bytes;
+  --counters_.texture_swap_ins;
+  counters_.bytes_uploaded += bytes;
+  return id;
+}
+
+Status Device::SetVideoMemoryBudget(uint64_t bytes) {
+  if (bytes == 0) {
+    return Status::InvalidArgument("video memory budget must be positive");
+  }
+  video_memory_budget_ = bytes;
+  // Evict immediately if the resident set no longer fits.
+  for (TextureSlot& slot : textures_) {
+    if (resident_bytes_ <= video_memory_budget_) break;
+    if (slot.resident) {
+      slot.resident = false;
+      resident_bytes_ -= slot.data.byte_size();
+    }
+  }
+  if (resident_bytes_ > video_memory_budget_) {
+    return Status::Internal("resident accounting out of sync");
+  }
+  return Status::OK();
+}
+
+Status Device::EnsureResident(TextureId id) {
+  TextureSlot& slot = textures_[id];
+  slot.last_use = ++lru_clock_;
+  if (slot.resident) return Status::OK();
+  const uint64_t bytes = slot.data.byte_size();
+  if (bytes > video_memory_budget_) {
+    return Status::ResourceExhausted(
+        "texture of " + std::to_string(bytes) +
+        " bytes exceeds the video memory budget of " +
+        std::to_string(video_memory_budget_));
+  }
+  // Evict least-recently-used resident textures (never the bound units)
+  // until the texture fits.
+  while (resident_bytes_ + bytes > video_memory_budget_) {
+    TextureId victim = -1;
+    uint64_t oldest = ~uint64_t{0};
+    for (size_t i = 0; i < textures_.size(); ++i) {
+      if (!textures_[i].resident) continue;
+      bool bound = static_cast<TextureId>(i) == id;
+      for (TextureId unit : bound_units_) {
+        bound = bound || unit == static_cast<TextureId>(i);
+      }
+      if (bound) continue;
+      if (textures_[i].last_use < oldest) {
+        oldest = textures_[i].last_use;
+        victim = static_cast<TextureId>(i);
+      }
+    }
+    if (victim < 0) {
+      return Status::ResourceExhausted(
+          "cannot evict enough textures (all bound) to fit " +
+          std::to_string(bytes) + " bytes");
+    }
+    textures_[victim].resident = false;
+    resident_bytes_ -= textures_[victim].data.byte_size();
+  }
+  slot.resident = true;
+  resident_bytes_ += bytes;
+  ++counters_.texture_swap_ins;
+  counters_.bytes_swapped += bytes;
+  return Status::OK();
+}
+
+Result<TextureId> Device::CreateTexture(uint32_t width, uint32_t height,
+                                        int channels) {
+  GPUDB_ASSIGN_OR_RETURN(Texture tex, Texture::Make(width, height, channels));
+  textures_.emplace_back(std::move(tex));
+  const auto id = static_cast<TextureId>(textures_.size() - 1);
+  // Allocation is on-card (no bus transfer), but it occupies the budget.
+  GPUDB_RETURN_NOT_OK(EnsureResident(id));
+  counters_.bytes_swapped -= textures_[id].data.byte_size();
+  --counters_.texture_swap_ins;
+  return id;
+}
+
+Status Device::CopyColorToTexture(TextureId dst) {
+  if (dst < 0 || static_cast<size_t>(dst) >= textures_.size()) {
+    return Status::InvalidArgument("CopyColorToTexture: invalid texture id " +
+                                   std::to_string(dst));
+  }
+  GPUDB_RETURN_NOT_OK(EnsureResident(dst));
+  Texture& tex = textures_[dst].data;
+  if (tex.total_texels() < viewport_pixels_) {
+    return Status::InvalidArgument(
+        "CopyColorToTexture: destination texture smaller than viewport");
+  }
+  for (uint64_t i = 0; i < viewport_pixels_; ++i) {
+    const float* rgba = fb_.color(i);
+    for (int c = 0; c < tex.channels(); ++c) {
+      tex.Set(i, c, rgba[c]);
+    }
+  }
+  // Charged as an on-card one-cycle-per-texel pass (glCopyTexSubImage2D).
+  PassRecord pass;
+  pass.label = "copy-color-to-texture";
+  pass.fragments = viewport_pixels_;
+  pass.fp_instructions = 1;
+  pass.fragments_passed = viewport_pixels_;
+  ++counters_.passes;
+  counters_.fragments_generated += pass.fragments;
+  counters_.fragments_passed += pass.fragments_passed;
+  counters_.fp_instructions_executed += pass.fragments;
+  counters_.pass_log.push_back(std::move(pass));
+  return Status::OK();
+}
+
+Result<std::vector<float>> Device::ReadTexture(TextureId id, int channel) {
+  if (id < 0 || static_cast<size_t>(id) >= textures_.size()) {
+    return Status::InvalidArgument("ReadTexture: invalid texture id " +
+                                   std::to_string(id));
+  }
+  const Texture& tex = textures_[id].data;
+  if (channel < 0 || channel >= tex.channels()) {
+    return Status::InvalidArgument("ReadTexture: invalid channel " +
+                                   std::to_string(channel));
+  }
+  counters_.bytes_read_back += tex.total_texels() * 4;
+  std::vector<float> out(tex.total_texels());
+  for (uint64_t i = 0; i < tex.total_texels(); ++i) {
+    out[i] = tex.At(i, channel);
+  }
+  return out;
+}
+
+Status Device::UpdateTexture(TextureId id, uint64_t offset,
+                             const std::vector<float>& values, int channel) {
+  if (id < 0 || static_cast<size_t>(id) >= textures_.size()) {
+    return Status::InvalidArgument("UpdateTexture: invalid texture id " +
+                                   std::to_string(id));
+  }
+  GPUDB_RETURN_NOT_OK(EnsureResident(id));
+  Texture& tex = textures_[id].data;
+  if (channel < 0 || channel >= tex.channels()) {
+    return Status::InvalidArgument("UpdateTexture: invalid channel " +
+                                   std::to_string(channel));
+  }
+  if (offset + values.size() > tex.total_texels()) {
+    return Status::OutOfRange("UpdateTexture: write of " +
+                              std::to_string(values.size()) +
+                              " texels at offset " + std::to_string(offset) +
+                              " exceeds texture");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    tex.Set(offset + i, channel, values[i]);
+  }
+  counters_.bytes_uploaded += values.size() * 4;
+  return Status::OK();
+}
+
+Status Device::BindTexture(TextureId id) { return BindTextureUnit(0, id); }
+
+Status Device::BindTextureUnit(int unit, TextureId id) {
+  if (unit < 0 || unit >= kTextureUnits) {
+    return Status::InvalidArgument("texture unit must be in [0,3], got " +
+                                   std::to_string(unit));
+  }
+  if (id < 0 || static_cast<size_t>(id) >= textures_.size()) {
+    return Status::InvalidArgument("BindTexture: invalid texture id " +
+                                   std::to_string(id));
+  }
+  bound_units_[unit] = id;
+  return Status::OK();
+}
+
+Status Device::UnbindTextureUnit(int unit) {
+  if (unit < 0 || unit >= kTextureUnits) {
+    return Status::InvalidArgument("texture unit must be in [0,3], got " +
+                                   std::to_string(unit));
+  }
+  bound_units_[unit] = -1;
+  return Status::OK();
+}
+
+void Device::SetAlphaTest(bool enabled, CompareOp func, float ref) {
+  state_.alpha_test_enabled = enabled;
+  state_.alpha_func = func;
+  state_.alpha_ref = ref;
+}
+
+void Device::SetStencilTest(bool enabled, CompareOp func, uint8_t ref,
+                            uint8_t value_mask) {
+  state_.stencil_test_enabled = enabled;
+  state_.stencil_func = func;
+  state_.stencil_ref = ref;
+  state_.stencil_value_mask = value_mask;
+}
+
+void Device::SetStencilOp(StencilOp fail, StencilOp zfail, StencilOp zpass) {
+  state_.stencil_fail_op = fail;
+  state_.stencil_zfail_op = zfail;
+  state_.stencil_zpass_op = zpass;
+}
+
+void Device::SetDepthTest(bool enabled, CompareOp func) {
+  state_.depth_test_enabled = enabled;
+  state_.depth_func = func;
+}
+
+void Device::SetDepthWriteMask(bool enabled) {
+  state_.depth_write_mask = enabled;
+}
+
+void Device::SetColorWriteMask(bool enabled) {
+  state_.color_write_mask = enabled;
+}
+
+void Device::SetDepthBoundsTest(bool enabled, float zmin, float zmax) {
+  state_.depth_bounds_test_enabled = enabled;
+  state_.depth_bounds_min = fb_.Quantize(zmin);
+  state_.depth_bounds_max = fb_.Quantize(zmax);
+}
+
+Status Device::SetViewport(uint64_t pixels) {
+  if (pixels == 0 || pixels > fb_.pixel_count()) {
+    return Status::OutOfRange("viewport of " + std::to_string(pixels) +
+                              " pixels exceeds framebuffer of " +
+                              std::to_string(fb_.pixel_count()));
+  }
+  viewport_pixels_ = pixels;
+  return Status::OK();
+}
+
+void Device::ClearColor(float r, float g, float b, float a) {
+  fb_.ClearColor(r, g, b, a);
+}
+
+void Device::ClearDepth(float d) { fb_.ClearDepth(d); }
+
+void Device::ClearStencil(uint8_t s) { fb_.ClearStencil(s); }
+
+Status Device::RenderQuad(float depth) {
+  return RenderInternal(depth, /*textured=*/false);
+}
+
+Status Device::RenderTexturedQuad() {
+  if (bound_units_[0] < 0) {
+    return Status::FailedPrecondition(
+        "RenderTexturedQuad requires a bound texture");
+  }
+  return RenderInternal(/*quad_depth=*/0.0f, /*textured=*/true);
+}
+
+ScreenVertex Device::ApplyVertexStage(const Vertex& v) const {
+  ScreenVertex out;
+  if (window_space_vertices_) {
+    // Default host setup: positions already in window coordinates with
+    // z = window depth (the orthographic screen-aligned configuration every
+    // algorithm in the paper renders under).
+    out.x = v.position.x;
+    out.y = v.position.y;
+    out.depth = v.position.z;
+  } else {
+    const Vec4 clip = transform_.Transform(v.position);
+    const float w = clip.w != 0.0f ? clip.w : 1.0f;
+    // Viewport transform over the full framebuffer, depth range [0,1].
+    out.x = (clip.x / w + 1.0f) * 0.5f * static_cast<float>(fb_.width());
+    out.y = (clip.y / w + 1.0f) * 0.5f * static_cast<float>(fb_.height());
+    out.depth = (clip.z / w + 1.0f) * 0.5f;
+  }
+  out.u = v.u;
+  out.v = v.v;
+  return out;
+}
+
+void Device::SetTransform(const Mat4& mvp) {
+  transform_ = mvp;
+  window_space_vertices_ = false;
+}
+
+void Device::ResetTransform() {
+  transform_ = Mat4::Identity();
+  window_space_vertices_ = true;
+}
+
+void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
+  const RenderState& rs = state_;
+  const uint64_t i = uint64_t{frag.y} * fb_.width() + frag.x;
+  ++ctx->pass->fragments;
+
+  // --- Fragment program (pixel processing engine) ----------------------
+  FragmentOutput out;
+  out.depth = frag.depth;
+  if (ctx->program != nullptr) {
+    FragmentInput in;
+    in.texel_index = i;
+    in.frag_depth = frag.depth;
+    in.tex0 = ctx->units[0];
+    in.tex1 = ctx->units[1];
+    in.tex2 = ctx->units[2];
+    in.tex3 = ctx->units[3];
+    ctx->program->Execute(in, &out);
+    if (out.discarded) return;  // KILL: skips all later stages.
+  }
+  const uint32_t frag_depth_q =
+      out.depth_written ? fb_.Quantize(out.depth) : fb_.Quantize(frag.depth);
+
+  // --- Alpha test -------------------------------------------------------
+  if (rs.alpha_test_enabled &&
+      !EvalCompare(rs.alpha_func, out.color[3], rs.alpha_ref)) {
+    return;  // Alpha failures do not reach the stencil stage.
+  }
+
+  // --- Stencil test -------------------------------------------------------
+  const uint8_t stored_stencil = fb_.stencil(i);
+  auto update_stencil = [&](StencilOp op) {
+    const uint8_t result = ApplyStencilOp(op, stored_stencil, rs.stencil_ref);
+    const uint8_t merged =
+        static_cast<uint8_t>((stored_stencil & ~rs.stencil_write_mask) |
+                             (result & rs.stencil_write_mask));
+    if (merged != stored_stencil) {
+      fb_.set_stencil(i, merged);
+      ++ctx->pass->stencil_updates;
+    }
+  };
+  if (rs.stencil_test_enabled) {
+    // GL semantics: (ref & mask) FUNC (stored & mask).
+    const auto ref =
+        static_cast<uint8_t>(rs.stencil_ref & rs.stencil_value_mask);
+    const auto val =
+        static_cast<uint8_t>(stored_stencil & rs.stencil_value_mask);
+    if (!EvalCompare(rs.stencil_func, ref, val)) {
+      update_stencil(rs.stencil_fail_op);  // Op1
+      return;
+    }
+  }
+
+  // --- Depth bounds test (GL_EXT_depth_bounds_test) -----------------------
+  // Tests the depth value stored in the framebuffer, not the fragment's.
+  // A bounds failure counts as a depth-test failure (Op2).
+  bool depth_pass = true;
+  if (rs.depth_bounds_test_enabled) {
+    const uint32_t stored_depth = fb_.depth(i);
+    depth_pass = stored_depth >= rs.depth_bounds_min &&
+                 stored_depth <= rs.depth_bounds_max;
+  }
+
+  // --- Depth test ----------------------------------------------------------
+  if (depth_pass && rs.depth_test_enabled) {
+    depth_pass = EvalCompare(rs.depth_func, frag_depth_q, fb_.depth(i));
+  }
+
+  if (!depth_pass) {
+    if (rs.stencil_test_enabled) update_stencil(rs.stencil_zfail_op);  // Op2
+    return;
+  }
+  if (rs.stencil_test_enabled) update_stencil(rs.stencil_zpass_op);  // Op3
+
+  // --- Fragment passed: count and write -----------------------------------
+  ++ctx->pass->fragments_passed;
+  if (occlusion_active_) ++occlusion_count_;
+
+  // As in OpenGL, depth writes only happen when the depth test is enabled
+  // (CopyToDepth therefore enables the test with func ALWAYS).
+  if (rs.depth_test_enabled && rs.depth_write_mask) {
+    if (fb_.depth(i) != frag_depth_q) {
+      fb_.set_depth(i, frag_depth_q);
+    }
+    ++ctx->pass->depth_writes;
+  }
+  if (rs.color_write_mask) {
+    fb_.set_color(i, out.color);
+  }
+}
+
+void Device::FinishPass(PassRecord pass) {
+  ++counters_.passes;
+  counters_.fragments_generated += pass.fragments;
+  counters_.fragments_passed += pass.fragments_passed;
+  counters_.fp_instructions_executed +=
+      pass.fragments * static_cast<uint64_t>(pass.fp_instructions);
+  counters_.depth_writes += pass.depth_writes;
+  counters_.stencil_updates += pass.stencil_updates;
+  counters_.pass_log.push_back(std::move(pass));
+}
+
+Status Device::RenderInternal(float quad_depth, bool textured) {
+  const FragmentProgram* program = textured ? program_ : nullptr;
+  std::array<const Texture*, 4> units = {nullptr, nullptr, nullptr, nullptr};
+  if (textured) {
+    for (int u = 0; u < kTextureUnits; ++u) {
+      if (bound_units_[u] < 0) continue;
+      GPUDB_RETURN_NOT_OK(EnsureResident(bound_units_[u]));
+      units[u] = &textures_[bound_units_[u]].data;
+      if (units[u]->total_texels() < viewport_pixels_) {
+        return Status::FailedPrecondition(
+            "bound texture has fewer texels than the viewport covers");
+      }
+    }
+  }
+
+  PassRecord pass;
+  pass.label = program != nullptr ? std::string(program->name())
+                                  : std::string("fixed-function");
+  pass.fp_instructions = program != nullptr ? program->instruction_count() : 0;
+  pass.in_occlusion_query = occlusion_active_;
+
+  PassContext ctx;
+  ctx.units = units;
+  ctx.program = program;
+  ctx.pass = &pass;
+  const FragmentEmitter emit = [this, &ctx](const RasterFragment& frag) {
+    ProcessFragment(frag, &ctx);
+  };
+
+  // The viewport's first n pixels form up to two rectangles: the full rows
+  // and a partial final row. Each is drawn as a screen-aligned quad (two
+  // triangles through the setup engine), scissored to itself.
+  const uint32_t w = fb_.width();
+  const uint32_t full_rows = static_cast<uint32_t>(viewport_pixels_ / w);
+  const uint32_t remainder = static_cast<uint32_t>(viewport_pixels_ % w);
+  std::vector<ScissorRect> rects;
+  if (full_rows > 0) rects.push_back({0, 0, w, full_rows});
+  if (remainder > 0) rects.push_back({0, full_rows, remainder, full_rows + 1});
+
+  for (ScissorRect rect : rects) {
+    if (state_.scissor_test_enabled) {
+      const ScissorRect& s = state_.scissor;
+      rect.x0 = std::max(rect.x0, s.x0);
+      rect.y0 = std::max(rect.y0, s.y0);
+      rect.x1 = std::min(rect.x1, s.x1);
+      rect.y1 = std::min(rect.y1, s.y1);
+      if (rect.x0 >= rect.x1 || rect.y0 >= rect.y1) continue;
+    }
+    ScreenVertex corner[4];
+    const float x0 = static_cast<float>(rect.x0);
+    const float y0 = static_cast<float>(rect.y0);
+    const float x1 = static_cast<float>(rect.x1);
+    const float y1 = static_cast<float>(rect.y1);
+    corner[0] = {x0, y0, quad_depth, x0, y0};
+    corner[1] = {x1, y0, quad_depth, x1, y0};
+    corner[2] = {x1, y1, quad_depth, x1, y1};
+    corner[3] = {x0, y1, quad_depth, x0, y1};
+    RasterizeTriangle(corner[0], corner[1], corner[2], rect, emit);
+    RasterizeTriangle(corner[0], corner[2], corner[3], rect, emit);
+  }
+
+  FinishPass(std::move(pass));
+  return Status::OK();
+}
+
+Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
+  if (vertices.empty() || vertices.size() % 3 != 0) {
+    return Status::InvalidArgument(
+        "DrawTriangles requires a positive multiple of 3 vertices");
+  }
+  std::array<const Texture*, 4> units = {nullptr, nullptr, nullptr, nullptr};
+  for (int u = 0; u < kTextureUnits; ++u) {
+    if (bound_units_[u] < 0) continue;
+    GPUDB_RETURN_NOT_OK(EnsureResident(bound_units_[u]));
+    units[u] = &textures_[bound_units_[u]].data;
+  }
+  PassRecord pass;
+  pass.label = program_ != nullptr ? std::string(program_->name())
+                                   : std::string("triangles");
+  pass.fp_instructions =
+      program_ != nullptr ? program_->instruction_count() : 0;
+  pass.in_occlusion_query = occlusion_active_;
+
+  PassContext ctx;
+  ctx.units = units;
+  ctx.program = program_;
+  ctx.pass = &pass;
+  const FragmentEmitter emit = [this, &ctx](const RasterFragment& frag) {
+    ProcessFragment(frag, &ctx);
+  };
+
+  ScissorRect clip{0, 0, fb_.width(), fb_.height()};
+  if (state_.scissor_test_enabled) {
+    const ScissorRect& s = state_.scissor;
+    clip.x0 = std::max(clip.x0, s.x0);
+    clip.y0 = std::max(clip.y0, s.y0);
+    clip.x1 = std::min(clip.x1, s.x1);
+    clip.y1 = std::min(clip.y1, s.y1);
+    if (clip.x0 >= clip.x1 || clip.y0 >= clip.y1) {
+      FinishPass(std::move(pass));
+      return Status::OK();
+    }
+  }
+  for (size_t t = 0; t + 2 < vertices.size(); t += 3) {
+    const ScreenVertex a = ApplyVertexStage(vertices[t]);
+    const ScreenVertex b = ApplyVertexStage(vertices[t + 1]);
+    const ScreenVertex c = ApplyVertexStage(vertices[t + 2]);
+    RasterizeTriangle(a, b, c, clip, emit);
+  }
+  FinishPass(std::move(pass));
+  return Status::OK();
+}
+
+Status Device::BeginOcclusionQuery() {
+  if (occlusion_active_) {
+    return Status::FailedPrecondition("occlusion query already active");
+  }
+  occlusion_active_ = true;
+  occlusion_count_ = 0;
+  return Status::OK();
+}
+
+Result<uint64_t> Device::EndOcclusionQuery() {
+  if (!occlusion_active_) {
+    return Status::FailedPrecondition("no active occlusion query");
+  }
+  occlusion_active_ = false;
+  ++counters_.occlusion_readbacks;
+  counters_.bytes_read_back += 4;  // the pixel pass count
+  return occlusion_count_;
+}
+
+std::vector<uint8_t> Device::ReadStencil() {
+  counters_.bytes_read_back += fb_.pixel_count();
+  return fb_.stencil_plane();
+}
+
+std::vector<uint32_t> Device::ReadDepth() {
+  counters_.bytes_read_back += fb_.pixel_count() * 4;
+  return fb_.depth_plane();
+}
+
+std::vector<float> Device::ReadColorChannel(int channel) {
+  counters_.bytes_read_back += fb_.pixel_count() * 4;
+  std::vector<float> out(fb_.pixel_count());
+  for (uint64_t i = 0; i < fb_.pixel_count(); ++i) {
+    out[i] = fb_.color(i)[channel];
+  }
+  return out;
+}
+
+}  // namespace gpu
+}  // namespace gpudb

@@ -1,0 +1,278 @@
+#ifndef GPUDB_GPU_DEVICE_H_
+#define GPUDB_GPU_DEVICE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/gpu/counters.h"
+#include "src/gpu/fragment_program.h"
+#include "src/gpu/framebuffer.h"
+#include "src/gpu/geometry.h"
+#include "src/gpu/rasterizer.h"
+#include "src/gpu/render_state.h"
+#include "src/gpu/texture.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace gpu {
+
+/// Texture object handle returned by Device::UploadTexture.
+using TextureId = int;
+
+/// \brief Software model of the 2004-era graphics pipeline slice used by the
+/// paper: texture memory, a color/depth/stencil framebuffer, programmable
+/// fragment processing, the alpha/stencil/depth/depth-bounds test chain, and
+/// NV_occlusion_query-style pixel pass counting.
+///
+/// Semantics follow the OpenGL 1.5 fragment pipeline:
+///   fragment program -> alpha test -> stencil test -> depth bounds test ->
+///   depth test -> (occlusion count, buffer writes)
+/// with the three-outcome stencil operation of Section 3.4 (Op1 on stencil
+/// fail, Op2 on depth fail, Op3 on pass).
+///
+/// Screen-filling quads are modeled as covering the first `viewport_pixels()`
+/// pixels of the framebuffer in row-major order; real host code achieves the
+/// same coverage with a scissor rectangle or a pair of quads, so this is a
+/// simulation-level shortcut with identical semantics.
+///
+/// The class is a facade: all mutating calls also maintain DeviceCounters so
+/// that PerfModel can reconstruct what the operations would have cost on the
+/// paper's GeForce FX 5900 Ultra.
+class Device {
+ public:
+  /// Creates a device whose framebuffer is `width` x `height` pixels.
+  /// The paper's setup is 1000x1000 (one million records per screen) with
+  /// the 24-bit depth buffer that was the 2004 maximum; `depth_bits` can be
+  /// lowered to reproduce the Section 6.1 precision ceiling.
+  explicit Device(uint32_t width, uint32_t height,
+                  int depth_bits = kDepthBits);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // --- Texture memory --------------------------------------------------
+
+  /// Copies a texture into video memory, charging the AGP upload to the
+  /// counters. Returns a handle for BindTexture.
+  Result<TextureId> UploadTexture(Texture texture);
+
+  /// Allocates an uninitialized texture in video memory (no bus transfer) --
+  /// scratch storage for multi-pass ping-pong algorithms such as the bitonic
+  /// sort (glTexImage2D with a null pointer, in 2004 terms).
+  Result<TextureId> CreateTexture(uint32_t width, uint32_t height,
+                                  int channels);
+
+  /// Copies the framebuffer's color plane into a texture of matching
+  /// dimensions (glCopyTexSubImage2D): the 2004 idiom for render-to-texture
+  /// ping-pong. Only the first `channels()` color channels are copied.
+  /// Charged as a one-cycle-per-texel on-card pass.
+  Status CopyColorToTexture(TextureId dst);
+
+  /// Reads a texture's contents back to the CPU (charged as a GPU->CPU
+  /// transfer). Used to materialize sorted output.
+  Result<std::vector<float>> ReadTexture(TextureId id, int channel);
+
+  /// Partial texture update (glTexSubImage2D): overwrites `values.size()`
+  /// texels of channel `channel` starting at linear texel `offset`, charging
+  /// only the updated bytes to the upload bus. This is what keeps streaming
+  /// windows incremental (only new records cross the AGP bus).
+  Status UpdateTexture(TextureId id, uint64_t offset,
+                       const std::vector<float>& values, int channel = 0);
+
+  /// Binds a texture to texture unit 0.
+  Status BindTexture(TextureId id);
+
+  /// Binds a texture to a numbered unit (0..3). Multi-unit programs read
+  /// attribute vectors split across textures (paper Section 4.1.2).
+  Status BindTextureUnit(int unit, TextureId id);
+
+  /// Unbinds a unit (fragments see a null texture there).
+  Status UnbindTextureUnit(int unit);
+
+  const Texture& texture(TextureId id) const { return textures_[id].data; }
+
+  // --- Video memory management (paper Sections 5.1, 6.1) -----------------
+
+  /// Sets the video memory budget in bytes (default 256 MB, the paper's
+  /// GeForce FX 5900 Ultra). Textures beyond the budget are evicted
+  /// least-recently-used; touching an evicted texture swaps it back in
+  /// across the bus, charged to the `bytes_swapped` counter -- the
+  /// out-of-core texture traffic Section 6.1 describes. Shrinking the
+  /// budget below the size of any single texture makes that texture
+  /// unusable (ResourceExhausted on touch).
+  Status SetVideoMemoryBudget(uint64_t bytes);
+
+  uint64_t video_memory_budget() const { return video_memory_budget_; }
+  uint64_t video_memory_used() const { return resident_bytes_; }
+
+  // --- Render state (glEnable/glDepthFunc/... equivalents) -------------
+
+  /// Mutable render state; core operations snapshot/restore this around
+  /// multi-pass algorithms.
+  RenderState& state() { return state_; }
+  const RenderState& state() const { return state_; }
+
+  void SetAlphaTest(bool enabled, CompareOp func, float ref);
+  void SetStencilTest(bool enabled, CompareOp func, uint8_t ref,
+                      uint8_t value_mask = 0xff);
+  /// StencilOp(Op1, Op2, Op3) exactly as in the paper's Section 3.4.
+  void SetStencilOp(StencilOp fail, StencilOp zfail, StencilOp zpass);
+  void SetDepthTest(bool enabled, CompareOp func);
+  void SetDepthWriteMask(bool enabled);
+  void SetColorWriteMask(bool enabled);
+  /// Depth bounds in normalized [0,1] coordinates (quantized internally).
+  void SetDepthBoundsTest(bool enabled, float zmin = 0.0f, float zmax = 1.0f);
+
+  /// Installs a fragment program for subsequent textured quads (nullptr
+  /// restores fixed function). The program must outlive its use.
+  void UseProgram(const FragmentProgram* program) { program_ = program; }
+
+  /// The currently installed fragment program (nullptr = fixed function).
+  const FragmentProgram* program() const { return program_; }
+
+  /// The current vertex-stage transform and whether the default
+  /// window-space stage is active (for state save/restore).
+  const Mat4& transform() const { return transform_; }
+  bool window_space_vertices() const { return window_space_vertices_; }
+
+  // --- Viewport ----------------------------------------------------------
+
+  /// Limits quads to the first `pixels` pixels (<= framebuffer size).
+  /// Database operations set this to the record count.
+  Status SetViewport(uint64_t pixels);
+  uint64_t viewport_pixels() const { return viewport_pixels_; }
+
+  // --- Clears ------------------------------------------------------------
+
+  void ClearColor(float r, float g, float b, float a);
+  void ClearDepth(float d = 1.0f);
+  void ClearStencil(uint8_t s = 0);
+
+  // --- Drawing -------------------------------------------------------------
+
+  /// Renders a screen-filling quad at normalized depth `depth` with no bound
+  /// texture (fixed-function). This is the paper's RenderQuad(d).
+  ///
+  /// The quad covers the viewport's pixel range as two scissored rectangles
+  /// (full rows plus a partial row), each split into two triangles that run
+  /// through the setup engine and rasterizer like any other geometry.
+  Status RenderQuad(float depth);
+
+  /// Renders a screen-filling quad textured with the bound texture, running
+  /// the installed fragment program per fragment. This is the paper's
+  /// RenderTexturedQuad(tex).
+  Status RenderTexturedQuad();
+
+  // --- General geometry path (vertex processing engine) ------------------
+
+  /// Sets the clip-space transform applied to DrawTriangles vertices
+  /// (modelview-projection). Window coordinates come from the standard
+  /// viewport mapping of NDC over the full framebuffer with depth range
+  /// [0,1].
+  void SetTransform(const Mat4& mvp);
+
+  /// Restores the default vertex stage: positions are interpreted directly
+  /// as window coordinates (x, y in pixels, z = window depth), the setup a
+  /// host uses for the screen-aligned quads of the database algorithms.
+  void ResetTransform();
+
+  /// Draws triangles (consecutive vertex triples) through the full pipeline:
+  /// vertex transform, triangle setup/rasterization with the top-left fill
+  /// rule, then the per-fragment test chain. The fragment count of the call
+  /// is whatever the rasterizer emits.
+  Status DrawTriangles(const std::vector<Vertex>& vertices);
+
+  // --- Occlusion queries (GL_NV_occlusion_query) -------------------------
+
+  /// Starts counting fragments that pass all tests.
+  Status BeginOcclusionQuery();
+
+  /// Stops counting and returns the pixel pass count; charges the readback
+  /// latency to the counters.
+  Result<uint64_t> EndOcclusionQuery();
+
+  // --- Readback ------------------------------------------------------------
+
+  /// Reads the stencil plane back to the CPU (charged as a GPU->CPU
+  /// transfer). Used to materialize selection results.
+  std::vector<uint8_t> ReadStencil();
+
+  /// Reads the depth plane back (quantized values).
+  std::vector<uint32_t> ReadDepth();
+
+  /// Reads one color channel (0=R..3=A) back.
+  std::vector<float> ReadColorChannel(int channel);
+
+  FrameBuffer& framebuffer() { return fb_; }
+  const FrameBuffer& framebuffer() const { return fb_; }
+
+  // --- Counters ------------------------------------------------------------
+
+  const DeviceCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_.Reset(); }
+
+ private:
+  /// A texture object plus its residency bookkeeping.
+  struct TextureSlot {
+    Texture data;
+    bool resident = false;
+    uint64_t last_use = 0;  ///< LRU stamp
+
+    explicit TextureSlot(Texture t) : data(std::move(t)) {}
+  };
+
+  /// Context shared by all fragments of one pass.
+  struct PassContext {
+    std::array<const Texture*, 4> units = {nullptr, nullptr, nullptr,
+                                           nullptr};
+    const FragmentProgram* program = nullptr;
+    PassRecord* pass = nullptr;
+  };
+
+  /// Swaps a texture into video memory if evicted, evicting LRU textures as
+  /// needed, and stamps its LRU slot.
+  Status EnsureResident(TextureId id);
+
+  /// Shared quad path for RenderQuad / RenderTexturedQuad: rasterizes the
+  /// viewport rectangles at constant depth. `textured` selects whether the
+  /// fragment program runs with the bound texture.
+  Status RenderInternal(float quad_depth, bool textured);
+
+  /// Runs one rasterized fragment through the program + alpha/stencil/
+  /// depth-bounds/depth chain and the buffer writes.
+  void ProcessFragment(const RasterFragment& frag, PassContext* ctx);
+
+  /// Applies the vertex processing engine to one vertex.
+  ScreenVertex ApplyVertexStage(const Vertex& v) const;
+
+  /// Folds a finished pass into the cumulative counters.
+  void FinishPass(PassRecord pass);
+
+  FrameBuffer fb_;
+  RenderState state_;
+  std::vector<TextureSlot> textures_;
+  std::array<TextureId, 4> bound_units_ = {-1, -1, -1, -1};
+  const FragmentProgram* program_ = nullptr;
+  uint64_t viewport_pixels_;
+
+  uint64_t video_memory_budget_ = 256ull * 1024 * 1024;  // paper Section 5.1
+  uint64_t resident_bytes_ = 0;
+  uint64_t lru_clock_ = 0;
+
+  Mat4 transform_;
+  bool window_space_vertices_ = true;  // default vertex stage is identity
+
+  bool occlusion_active_ = false;
+  uint64_t occlusion_count_ = 0;
+
+  DeviceCounters counters_;
+};
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_DEVICE_H_

@@ -1,0 +1,254 @@
+#ifndef GPUDB_GPU_FRAGMENT_PROGRAM_H_
+#define GPUDB_GPU_FRAGMENT_PROGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/gpu/texture.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace gpu {
+
+/// Number of texture units (2004-era hardware exposed at least four).
+inline constexpr int kTextureUnits = 4;
+
+/// Inputs available to a fragment program invocation.
+struct FragmentInput {
+  uint64_t texel_index = 0;   ///< Linear index of the covered texel/pixel.
+  float frag_depth = 0.0f;    ///< Interpolated depth of the incoming fragment.
+  const Texture* tex0 = nullptr;  ///< Texture bound to unit 0 (may be null).
+  /// Textures bound to units 1..3 (null when unbound); unit 0 is `tex0`.
+  /// Multi-unit programs implement the paper's "longer vectors can be split
+  /// into multiple textures, each with four components" (Section 4.1.2).
+  const Texture* tex1 = nullptr;
+  const Texture* tex2 = nullptr;
+  const Texture* tex3 = nullptr;
+};
+
+/// Outputs of a fragment program invocation.
+struct FragmentOutput {
+  std::array<float, 4> color = {0, 0, 0, 1};  ///< RGBA; alpha feeds alpha test.
+  float depth = 0.0f;          ///< Replacement depth if depth_written.
+  bool depth_written = false;  ///< True if the program wrote o.depth.
+  bool discarded = false;      ///< True if the program executed KILL.
+};
+
+/// \brief A programmable pixel-processing-engine program (Section 3.1).
+///
+/// 2004-era fragment programs (NV_fragment_program / ARB_fragment_program)
+/// were short, branch-free instruction sequences with texture fetch, float
+/// vector arithmetic, and a KILL instruction; there was no integer arithmetic
+/// and no dynamic branching (paper Section 6.1). Implementations here declare
+/// their static instruction count so the performance model can charge
+/// `fragments x instructions / (pipes x clock)` per pass exactly as the
+/// paper's utilization analysis does (Section 6.2.2).
+class FragmentProgram {
+ public:
+  virtual ~FragmentProgram() = default;
+
+  /// Executes the program for one fragment.
+  virtual void Execute(const FragmentInput& in, FragmentOutput* out) const = 0;
+
+  /// Number of fragment-program instructions executed per fragment.
+  virtual int instruction_count() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// \brief CopyToDepth (Routine 4.1): fetch the texel channel, normalize it to
+/// [0,1], and write it to the fragment depth.
+///
+/// Matches the paper's 3-instruction copy program (Section 5.4): texture
+/// fetch, normalization, copy-to-depth.
+class CopyToDepthProgram final : public FragmentProgram {
+ public:
+  /// `channel` selects which attribute channel of tex0 to copy;
+  /// `scale`/`offset` normalize attribute values to [0,1]:
+  /// depth = (value - offset) * scale.
+  ///
+  /// The normalization multiply runs in double precision before rounding the
+  /// result once to the float32 fragment depth. This models the extended
+  /// internal precision of the hardware normalization path and guarantees
+  /// the exact-integer round trip through the 24-bit depth buffer (see
+  /// QuantizeDepth); a pure-float multiply would drift by one code for
+  /// values >= 2^23.
+  CopyToDepthProgram(int channel, double scale, double offset)
+      : channel_(channel), scale_(scale), offset_(offset) {}
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  int instruction_count() const override { return 3; }
+  std::string_view name() const override { return "CopyToDepthFP"; }
+
+ private:
+  int channel_;
+  double scale_;
+  double offset_;
+};
+
+/// \brief SemilinearFP (Routine 4.2): computes dot(s, a) and KILLs fragments
+/// for which `dot(s, a) op b` is false.
+///
+/// `s` has one weight per texture channel; unused channels must be 0.
+class SemilinearProgram final : public FragmentProgram {
+ public:
+  SemilinearProgram(const std::array<float, 4>& weights, CompareOp op, float b);
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  // DP4 + compare/KILL sequence: fetch, dot product, set-on-compare, kill.
+  int instruction_count() const override { return 4; }
+  std::string_view name() const override { return "SemilinearFP"; }
+
+ private:
+  std::array<float, 4> weights_;
+  CompareOp op_;
+  float b_;
+};
+
+/// \brief TestBit (Routine 4.6): writes frac(value / 2^(i+1)) into the
+/// fragment alpha so the alpha test (alpha >= 0.5) passes exactly when bit i
+/// of the integer value is set.
+///
+/// The paper uses this construction because 2004 GPUs "do not support
+/// bit-masking operations in fragment programs" (Section 4.3.3).
+class TestBitProgram final : public FragmentProgram {
+ public:
+  TestBitProgram(int channel, int bit) : channel_(channel), bit_(bit) {}
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  // Paper Section 6.2.3: "we used a fragment program with at least 5
+  // instructions to test if the i-th bit of a texel is 1".
+  int instruction_count() const override { return 5; }
+  std::string_view name() const override { return "TestBitFP"; }
+
+ private:
+  int channel_;
+  int bit_;
+};
+
+/// \brief Ablation variant of TestBit that rejects failing fragments with
+/// KILL inside the program instead of relying on the alpha test. The paper
+/// observes this is slower in practice (Section 4.3.3); the extra
+/// compare-and-kill instructions make that visible in the cost model.
+class TestBitKillProgram final : public FragmentProgram {
+ public:
+  TestBitKillProgram(int channel, int bit) : channel_(channel), bit_(bit) {}
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  // TestBit's 5 instructions plus an in-program compare and KILL.
+  int instruction_count() const override { return 7; }
+  std::string_view name() const override { return "TestBitKillFP"; }
+
+ private:
+  int channel_;
+  int bit_;
+};
+
+/// \brief Wide SemilinearFP: a semi-linear query over up to eight attributes
+/// split across texture units 0 and 1, four channels each -- the paper's
+/// prescription for vectors longer than one texture's four channels
+/// (Section 4.1.2). Two fetches, two DP4s, an ADD, and the compare/KILL.
+class WideSemilinearProgram final : public FragmentProgram {
+ public:
+  WideSemilinearProgram(const std::array<float, 8>& weights, CompareOp op,
+                        float b);
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  int instruction_count() const override { return 6; }
+  std::string_view name() const override { return "WideSemilinearFP"; }
+
+ private:
+  std::array<float, 8> weights_;
+  CompareOp op_;
+  float b_;
+};
+
+/// \brief PolynomialFP: evaluates sum_c w_c * a_c^e_c and KILLs fragments
+/// failing `poly op b` -- the polynomial-query extension of Semilinear the
+/// paper notes in Section 4.1.2 ("This algorithm can also be extended for
+/// evaluating polynomial queries").
+///
+/// Exponents are small non-negative integers; each power is expanded to
+/// repeated multiplies, as a 2004 fragment program (no loops) would be.
+class PolynomialProgram final : public FragmentProgram {
+ public:
+  PolynomialProgram(const std::array<float, 4>& weights,
+                    const std::array<int, 4>& exponents, CompareOp op,
+                    float b);
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  int instruction_count() const override { return instruction_count_; }
+  std::string_view name() const override { return "PolynomialFP"; }
+
+ private:
+  std::array<float, 4> weights_;
+  std::array<int, 4> exponents_;
+  CompareOp op_;
+  float b_;
+  int instruction_count_;
+};
+
+/// \brief One step of the bitonic sorting network (Batcher), executed as a
+/// fragment program in the style of Purcell et al. [30], which the paper
+/// cites: "the output routing from one step to another is known in advance
+/// ... each stage of the sorting algorithm is performed as one rendering
+/// pass" (Section 2.2).
+///
+/// For fragment i with network parameters (j, k): the partner is i XOR j;
+/// the comparison direction follows the classic bitonic rule, so after all
+/// log^2 n steps channel 0 of the output is sorted ascending.
+///
+/// The instruction count (8) reflects the 2004 reality that computing the
+/// partner's texture coordinate from the fragment position costs several
+/// arithmetic instructions on top of the two fetches and the compare/select.
+class BitonicStepProgram final : public FragmentProgram {
+ public:
+  BitonicStepProgram(uint64_t j, uint64_t k) : j_(j), k_(k) {}
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  int instruction_count() const override { return 8; }
+  std::string_view name() const override { return "BitonicStepFP"; }
+
+ private:
+  uint64_t j_;
+  uint64_t k_;
+};
+
+/// \brief Bitonic network step over (key, payload) pairs stored in a
+/// two-channel texture: comparisons use channel 0, and both channels move
+/// together, so sorting carries row ids (or any 24-bit payload) along with
+/// the keys -- the building block for ORDER BY.
+class BitonicPairStepProgram final : public FragmentProgram {
+ public:
+  BitonicPairStepProgram(uint64_t j, uint64_t k) : j_(j), k_(k) {}
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  // The scalar step's 8 instructions plus the conditional selects that move
+  // the payload channel alongside the key.
+  int instruction_count() const override { return 10; }
+  std::string_view name() const override { return "BitonicPairStepFP"; }
+
+ private:
+  uint64_t j_;
+  uint64_t k_;
+};
+
+/// \brief Passthrough program used where fixed-function texturing would be:
+/// copies the fetched texel to the color output.
+class PassthroughProgram final : public FragmentProgram {
+ public:
+  explicit PassthroughProgram(int channel = 0) : channel_(channel) {}
+
+  void Execute(const FragmentInput& in, FragmentOutput* out) const override;
+  int instruction_count() const override { return 1; }
+  std::string_view name() const override { return "PassthroughFP"; }
+
+ private:
+  int channel_;
+};
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_FRAGMENT_PROGRAM_H_

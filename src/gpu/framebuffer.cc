@@ -1,0 +1,26 @@
+#include "src/gpu/framebuffer.h"
+
+#include <algorithm>
+
+namespace gpudb {
+namespace gpu {
+
+void FrameBuffer::ClearColor(float r, float g, float b, float a) {
+  for (uint64_t i = 0; i < pixel_count(); ++i) {
+    color_[i * 4 + 0] = r;
+    color_[i * 4 + 1] = g;
+    color_[i * 4 + 2] = b;
+    color_[i * 4 + 3] = a;
+  }
+}
+
+void FrameBuffer::ClearDepth(float d) {
+  std::fill(depth_.begin(), depth_.end(), Quantize(d));
+}
+
+void FrameBuffer::ClearStencil(uint8_t s) {
+  std::fill(stencil_.begin(), stencil_.end(), s);
+}
+
+}  // namespace gpu
+}  // namespace gpudb

@@ -1,0 +1,64 @@
+#include "src/gpu/geometry.h"
+
+namespace gpudb {
+namespace gpu {
+
+Mat4::Mat4() : m_{} {
+  m_[0] = m_[5] = m_[10] = m_[15] = 1.0f;
+}
+
+Mat4 Mat4::Identity() { return Mat4(); }
+
+Mat4 Mat4::operator*(const Mat4& rhs) const {
+  Mat4 out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      float sum = 0;
+      for (int k = 0; k < 4; ++k) {
+        sum += at(r, k) * rhs.at(k, c);
+      }
+      out.set(r, c, sum);
+    }
+  }
+  return out;
+}
+
+Vec4 Mat4::Transform(const Vec4& v) const {
+  Vec4 out;
+  out.x = at(0, 0) * v.x + at(0, 1) * v.y + at(0, 2) * v.z + at(0, 3) * v.w;
+  out.y = at(1, 0) * v.x + at(1, 1) * v.y + at(1, 2) * v.z + at(1, 3) * v.w;
+  out.z = at(2, 0) * v.x + at(2, 1) * v.y + at(2, 2) * v.z + at(2, 3) * v.w;
+  out.w = at(3, 0) * v.x + at(3, 1) * v.y + at(3, 2) * v.z + at(3, 3) * v.w;
+  return out;
+}
+
+Mat4 Mat4::Ortho(float left, float right, float bottom, float top,
+                 float near_z, float far_z) {
+  Mat4 out;
+  out.set(0, 0, 2.0f / (right - left));
+  out.set(1, 1, 2.0f / (top - bottom));
+  out.set(2, 2, -2.0f / (far_z - near_z));
+  out.set(0, 3, -(right + left) / (right - left));
+  out.set(1, 3, -(top + bottom) / (top - bottom));
+  out.set(2, 3, -(far_z + near_z) / (far_z - near_z));
+  return out;
+}
+
+Mat4 Mat4::Translate(float tx, float ty, float tz) {
+  Mat4 out;
+  out.set(0, 3, tx);
+  out.set(1, 3, ty);
+  out.set(2, 3, tz);
+  return out;
+}
+
+Mat4 Mat4::Scale(float sx, float sy, float sz) {
+  Mat4 out;
+  out.set(0, 0, sx);
+  out.set(1, 1, sy);
+  out.set(2, 2, sz);
+  return out;
+}
+
+}  // namespace gpu
+}  // namespace gpudb

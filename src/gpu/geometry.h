@@ -1,0 +1,66 @@
+#ifndef GPUDB_GPU_GEOMETRY_H_
+#define GPUDB_GPU_GEOMETRY_H_
+
+#include <array>
+#include <cstdint>
+
+namespace gpudb {
+namespace gpu {
+
+/// \brief Homogeneous 4-vector used by the vertex processing engine.
+struct Vec4 {
+  float x = 0, y = 0, z = 0, w = 1;
+};
+
+/// \brief Column-major 4x4 matrix (OpenGL convention).
+class Mat4 {
+ public:
+  /// Identity by default.
+  Mat4();
+
+  /// Element access: row r, column c.
+  float at(int r, int c) const { return m_[c * 4 + r]; }
+  void set(int r, int c, float v) { m_[c * 4 + r] = v; }
+
+  /// Matrix product this * rhs.
+  Mat4 operator*(const Mat4& rhs) const;
+
+  /// Transforms a homogeneous vector.
+  Vec4 Transform(const Vec4& v) const;
+
+  static Mat4 Identity();
+
+  /// Orthographic projection mapping [left,right]x[bottom,top]x[near,far]
+  /// to the [-1,1] clip cube (glOrtho).
+  static Mat4 Ortho(float left, float right, float bottom, float top,
+                    float near_z, float far_z);
+
+  /// Translation matrix.
+  static Mat4 Translate(float tx, float ty, float tz);
+
+  /// Non-uniform scale.
+  static Mat4 Scale(float sx, float sy, float sz);
+
+ private:
+  std::array<float, 16> m_;
+};
+
+/// \brief A vertex as submitted to the pipeline: object-space position plus
+/// a texture coordinate.
+struct Vertex {
+  Vec4 position;
+  float u = 0, v = 0;
+};
+
+/// \brief A vertex after the vertex processing engine and viewport
+/// transform: window coordinates (pixels), depth in [0,1], texcoords.
+struct ScreenVertex {
+  float x = 0, y = 0;
+  float depth = 0;
+  float u = 0, v = 0;
+};
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_GEOMETRY_H_

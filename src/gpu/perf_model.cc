@@ -1,0 +1,63 @@
+#include "src/gpu/perf_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpudb {
+namespace gpu {
+
+double PerfModel::PassFillMs(const PassRecord& pass) const {
+  // Each pipe retires one instruction per fragment per clock; fixed-function
+  // passes (depth/stencil-only) cost one cycle per fragment.
+  const double instr = std::max(1, pass.fp_instructions);
+  const double cycles = static_cast<double>(pass.fragments) * instr;
+  const double throughput =
+      params_.clock_hz * static_cast<double>(params_.pixel_pipes);
+  return cycles / throughput * 1e3;
+}
+
+GpuTimeBreakdown PerfModel::Estimate(const DeviceCounters& counters) const {
+  GpuTimeBreakdown b;
+  const double throughput =
+      params_.clock_hz * static_cast<double>(params_.pixel_pipes);
+  for (const PassRecord& pass : counters.pass_log) {
+    b.fill_ms += PassFillMs(pass);
+    b.depth_write_ms += static_cast<double>(pass.depth_writes) *
+                        params_.depth_write_cycles / throughput * 1e3;
+    b.setup_ms += params_.pass_setup_ms;
+  }
+  b.readback_ms += static_cast<double>(counters.occlusion_readbacks) *
+                   params_.occlusion_readback_ms;
+  b.upload_ms = static_cast<double>(counters.bytes_uploaded) /
+                params_.upload_bytes_per_ms;
+  b.swap_ms = static_cast<double>(counters.bytes_swapped) /
+              params_.upload_bytes_per_ms;
+  // Occlusion counts (4 bytes each) are covered by the latency term above;
+  // bulk buffer readbacks are charged at PCI bandwidth.
+  const double bulk_bytes =
+      static_cast<double>(counters.bytes_read_back) -
+      4.0 * static_cast<double>(counters.occlusion_readbacks);
+  b.buffer_readback_ms =
+      std::max(0.0, bulk_bytes) / params_.readback_bytes_per_ms;
+  return b;
+}
+
+double PerfModel::Utilization(const DeviceCounters& counters) const {
+  const GpuTimeBreakdown b = Estimate(counters);
+  const double total = b.ComputeMs();
+  if (total <= 0) return 1.0;
+  return b.fill_ms / total;
+}
+
+std::string PerfModel::FormatBreakdown(const GpuTimeBreakdown& b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "fill=%.3fms depth_write=%.3fms setup=%.3fms "
+                "occl_readback=%.3fms buf_readback=%.3fms total=%.3fms",
+                b.fill_ms, b.depth_write_ms, b.setup_ms, b.readback_ms,
+                b.buffer_readback_ms, b.TotalMs());
+  return std::string(buf);
+}
+
+}  // namespace gpu
+}  // namespace gpudb

@@ -1,0 +1,97 @@
+#ifndef GPUDB_GPU_PERF_MODEL_H_
+#define GPUDB_GPU_PERF_MODEL_H_
+
+#include <string>
+
+#include "src/gpu/counters.h"
+
+namespace gpudb {
+namespace gpu {
+
+/// \brief Analytic timing model of the paper's GPU testbed (NVIDIA GeForce
+/// FX 5900 Ultra: 450 MHz core, 8 pixel pipes, 256 MB video memory, AGP 8x).
+///
+/// The model converts the exact work recorded in DeviceCounters into
+/// simulated milliseconds. Its constants are calibrated from numbers stated
+/// in the paper itself (see DESIGN.md section 6):
+///
+///  * A simple one-cycle pass over a 1000x1000 quad takes
+///    10^6 / (8 x 450 MHz) = 0.278 ms -- stated directly in Section 6.2.2.
+///  * Per-pass overhead (setup + occlusion readback) back-solved from the
+///    same section: 19 passes ideal 5.28 ms vs 6.6 ms observed (~80%
+///    pipeline utilization) gives ~70 us per pass, which we split into
+///    10 us setup + 60 us occlusion readback.
+///  * Depth-buffer writes are charged 3 extra cycles per fragment; with the
+///    3-instruction copy program this makes CopyToDepth cost ~1.67 ms per
+///    million records, the value that simultaneously reproduces the paper's
+///    Figure 3 (20x compute-only / 3x overall) and Figure 4 (40x / 5.5x)
+///    ratios.
+struct PerfModelParams {
+  double clock_hz = 450e6;            ///< Core clock.
+  int pixel_pipes = 8;                ///< Parallel pixel processing engines.
+  double depth_write_cycles = 3.0;    ///< Extra cycles per depth write.
+  double pass_setup_ms = 0.010;       ///< Driver/pipeline setup per pass.
+  double occlusion_readback_ms = 0.060;  ///< Latency per query readback.
+  double upload_bytes_per_ms = 2.1e6;    ///< AGP 8x effective bandwidth.
+  double readback_bytes_per_ms = 0.8e6;  ///< PCI readback bandwidth.
+};
+
+/// \brief Cost breakdown for a sequence of passes.
+struct GpuTimeBreakdown {
+  double fill_ms = 0;        ///< Fragment processing (instructions x frags).
+  double depth_write_ms = 0; ///< Depth-buffer write penalty.
+  double setup_ms = 0;       ///< Per-pass fixed overhead.
+  double readback_ms = 0;    ///< Occlusion query readbacks.
+  double upload_ms = 0;      ///< CPU->GPU texture transfer.
+  double swap_ms = 0;        ///< Re-uploads of evicted textures (Section 6.1).
+  double buffer_readback_ms = 0;  ///< Bulk stencil/depth/color readbacks.
+
+  /// Time attributable to computation alone (the paper's "computation time
+  /// only" comparisons exclude data transfer but include all passes).
+  double ComputeMs() const {
+    return fill_ms + depth_write_ms + setup_ms + readback_ms;
+  }
+  /// End-to-end time excluding initial texture upload (the paper keeps data
+  /// resident in video memory and excludes upload from its timings), but
+  /// including swap traffic: out-of-core re-uploads are part of running the
+  /// operation, not of loading the database.
+  double TotalMs() const {
+    return ComputeMs() + buffer_readback_ms + swap_ms;
+  }
+};
+
+/// \brief Converts DeviceCounters into simulated GeForce FX 5900 time.
+class PerfModel {
+ public:
+  PerfModel() = default;
+  explicit PerfModel(const PerfModelParams& params) : params_(params) {}
+
+  const PerfModelParams& params() const { return params_; }
+
+  /// Cost of a single recorded pass in milliseconds, excluding per-pass
+  /// setup overhead (the "ideal" time of Section 6.2.2).
+  double PassFillMs(const PassRecord& pass) const;
+
+  /// Full breakdown for everything recorded in `counters`.
+  GpuTimeBreakdown Estimate(const DeviceCounters& counters) const;
+
+  /// Convenience: Estimate(counters).TotalMs().
+  double EstimateMs(const DeviceCounters& counters) const {
+    return Estimate(counters).TotalMs();
+  }
+
+  /// Pipeline utilization = ideal fill time / (fill + overheads), the metric
+  /// the paper reports as ~80% for KthLargest (Section 6.2.2).
+  double Utilization(const DeviceCounters& counters) const;
+
+  /// Human-readable dump of the breakdown, used by the bench harness.
+  static std::string FormatBreakdown(const GpuTimeBreakdown& b);
+
+ private:
+  PerfModelParams params_;
+};
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_PERF_MODEL_H_

@@ -1,0 +1,53 @@
+#ifndef GPUDB_GPU_RASTERIZER_H_
+#define GPUDB_GPU_RASTERIZER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/gpu/geometry.h"
+
+namespace gpudb {
+namespace gpu {
+
+/// \brief Scissor rectangle in window coordinates, half-open:
+/// pixels with x in [x0, x1) and y in [y0, y1) pass.
+struct ScissorRect {
+  uint32_t x0 = 0, y0 = 0;
+  uint32_t x1 = 0, y1 = 0;
+
+  bool Contains(uint32_t x, uint32_t y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+  uint64_t Area() const {
+    return uint64_t{x1 - x0} * (y1 - y0);
+  }
+};
+
+/// \brief A fragment emitted by the setup/rasterization stage: pixel
+/// coordinates plus interpolated depth and texture coordinates.
+struct RasterFragment {
+  uint32_t x = 0, y = 0;
+  float depth = 0;
+  float u = 0, v = 0;
+};
+
+using FragmentEmitter = std::function<void(const RasterFragment&)>;
+
+/// \brief The setup engine + rasterizer (paper Section 3.1: "Transformed
+/// vertex data is streamed to the setup engine which generates slope and
+/// initial value information ... used during rasterization for constructing
+/// fragments at each pixel location covered by the primitive").
+///
+/// Rasterizes one triangle given screen-space vertices: edge-function
+/// coverage with the top-left fill rule (shared edges covered exactly once),
+/// pixel centers at (x+0.5, y+0.5), barycentric interpolation of depth and
+/// texcoords. Fragments outside the scissor rectangle are culled before the
+/// emitter is called. Winding is irrelevant (no face culling).
+void RasterizeTriangle(const ScreenVertex& a, const ScreenVertex& b,
+                       const ScreenVertex& c, const ScissorRect& scissor,
+                       const FragmentEmitter& emit);
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_RASTERIZER_H_

@@ -1,0 +1,63 @@
+#ifndef GPUDB_GPU_RENDER_STATE_H_
+#define GPUDB_GPU_RENDER_STATE_H_
+
+#include <cstdint>
+
+#include "src/gpu/framebuffer.h"
+#include "src/gpu/rasterizer.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace gpu {
+
+/// \brief Per-fragment test configuration (the OpenGL state machine slice the
+/// paper's algorithms use: alpha, stencil, depth, and depth-bounds tests plus
+/// write masks; Sections 3.1, 3.4 and the GL_EXT_depth_bounds_test feature
+/// used by Routine 4.4).
+///
+/// This is a passive value object; Device owns the authoritative instance and
+/// exposes mutators mirroring glEnable/glDepthFunc/etc.
+struct RenderState {
+  // --- Alpha test (runs before stencil and depth) ---------------------
+  bool alpha_test_enabled = false;
+  CompareOp alpha_func = CompareOp::kAlways;
+  float alpha_ref = 0.0f;
+
+  // --- Stencil test ----------------------------------------------------
+  bool stencil_test_enabled = false;
+  CompareOp stencil_func = CompareOp::kAlways;
+  uint8_t stencil_ref = 0;
+  uint8_t stencil_value_mask = 0xff;
+  uint8_t stencil_write_mask = 0xff;
+  StencilOp stencil_fail_op = StencilOp::kKeep;    // Op1: stencil test fails
+  StencilOp stencil_zfail_op = StencilOp::kKeep;   // Op2: depth test fails
+  StencilOp stencil_zpass_op = StencilOp::kKeep;   // Op3: both pass
+
+  // --- Depth test ------------------------------------------------------
+  bool depth_test_enabled = false;
+  CompareOp depth_func = CompareOp::kLess;
+  bool depth_write_mask = true;
+
+  // --- Depth bounds test (GL_EXT_depth_bounds_test) --------------------
+  // Tests the depth value ALREADY STORED in the framebuffer at the
+  // fragment's pixel against [min, max] -- not the fragment's own depth.
+  // This is exactly why Routine 4.4 (Range) works: attribute values are
+  // first copied into the depth buffer, then a quad is rendered and only
+  // fragments over in-range stored values survive.
+  bool depth_bounds_test_enabled = false;
+  uint32_t depth_bounds_min = 0;         // quantized, inclusive
+  uint32_t depth_bounds_max = kDepthMax; // quantized, inclusive
+
+  // --- Scissor test ------------------------------------------------------
+  // Restricts rasterization to a window-space rectangle (glScissor).
+  bool scissor_test_enabled = false;
+  ScissorRect scissor;
+
+  // --- Write masks -----------------------------------------------------
+  bool color_write_mask = true;
+};
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_RENDER_STATE_H_

@@ -1,0 +1,59 @@
+#include "src/gpu/texture.h"
+
+#include <string>
+
+#include "src/common/bit_util.h"
+
+namespace gpudb {
+namespace gpu {
+
+Result<Texture> Texture::Make(uint32_t width, uint32_t height, int channels) {
+  if (width == 0 || height == 0) {
+    return Status::InvalidArgument("texture dimensions must be positive");
+  }
+  if (channels < 1 || channels > kMaxChannels) {
+    return Status::InvalidArgument("texture must have 1-4 channels, got " +
+                                   std::to_string(channels));
+  }
+  return Texture(width, height, channels);
+}
+
+Result<Texture> Texture::FromColumns(
+    const std::vector<const std::vector<float>*>& values, uint32_t width) {
+  if (values.empty() || values.size() > static_cast<size_t>(kMaxChannels)) {
+    return Status::InvalidArgument(
+        "FromColumns requires 1-4 channel vectors, got " +
+        std::to_string(values.size()));
+  }
+  if (width == 0) {
+    return Status::InvalidArgument("texture width must be positive");
+  }
+  for (const auto* v : values) {
+    if (v == nullptr) {
+      return Status::InvalidArgument("null channel vector");
+    }
+  }
+  const size_t count = values[0]->size();
+  if (count == 0) {
+    return Status::InvalidArgument("cannot build a texture from 0 records");
+  }
+  for (const auto* v : values) {
+    if (v->size() != count) {
+      return Status::InvalidArgument("channel vectors must have equal length");
+    }
+  }
+  const uint32_t height =
+      static_cast<uint32_t>(bit_util::CeilDiv(count, width));
+  GPUDB_ASSIGN_OR_RETURN(Texture tex,
+                         Make(width, height, static_cast<int>(values.size())));
+  tex.valid_texels_ = count;
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t c = 0; c < values.size(); ++c) {
+      tex.Set(i, static_cast<int>(c), (*values[c])[i]);
+    }
+  }
+  return tex;
+}
+
+}  // namespace gpu
+}  // namespace gpudb

@@ -1,0 +1,79 @@
+#ifndef GPUDB_GPU_TEXTURE_H_
+#define GPUDB_GPU_TEXTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace gpudb {
+namespace gpu {
+
+/// Maximum number of channels per texture (RGBA), as on real hardware and as
+/// the paper notes for Semilinear: "There is a limit of four channels per
+/// texture. Longer vectors can be split into multiple textures."
+inline constexpr int kMaxChannels = 4;
+
+/// Largest integer exactly representable in a float32 texel (paper Section
+/// 3.3: "This format can precisely represent integers up to 24 bits").
+inline constexpr uint32_t kMaxExactInt = (1u << 24);
+
+/// \brief A 2D array of float texels with 1-4 channels, the on-GPU data
+/// representation for database attributes (paper Section 3.3).
+///
+/// Each record of a relational table maps to one texel; up to four attributes
+/// of the record occupy the R/G/B/A channels of that texel (or the same texel
+/// location across multiple single-channel textures).
+class Texture {
+ public:
+  /// Creates a zero-filled texture. Fails if the dimensions or channel count
+  /// are out of range.
+  static Result<Texture> Make(uint32_t width, uint32_t height, int channels);
+
+  /// Creates a texture sized to hold `count` records in row-major order with
+  /// the given row width (the paper uses 1000x1000 textures; the last row may
+  /// be partially used). `values[c]` supplies channel c.
+  static Result<Texture> FromColumns(
+      const std::vector<const std::vector<float>*>& values, uint32_t width);
+
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+  int channels() const { return channels_; }
+  /// Number of texels actually backed by records (<= width*height).
+  uint64_t valid_texels() const { return valid_texels_; }
+  /// Total allocated texels (width * height).
+  uint64_t total_texels() const { return uint64_t{width_} * height_; }
+  /// Size of the texel payload in bytes (float32 per channel).
+  uint64_t byte_size() const { return total_texels() * channels_ * 4; }
+
+  /// Value of channel `c` at linear texel index `i` (row-major).
+  float At(uint64_t i, int c) const { return data_[i * channels_ + c]; }
+  void Set(uint64_t i, int c, float v) { data_[i * channels_ + c] = v; }
+
+  /// Value at pixel coordinates.
+  float At(uint32_t x, uint32_t y, int c) const {
+    return At(uint64_t{y} * width_ + x, c);
+  }
+
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  Texture(uint32_t width, uint32_t height, int channels)
+      : width_(width),
+        height_(height),
+        channels_(channels),
+        valid_texels_(uint64_t{width} * height),
+        data_(uint64_t{width} * height * channels, 0.0f) {}
+
+  uint32_t width_;
+  uint32_t height_;
+  int channels_;
+  uint64_t valid_texels_;
+  std::vector<float> data_;
+};
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_TEXTURE_H_

@@ -1,0 +1,106 @@
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace gpu {
+
+std::string_view ToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kNever:
+      return "NEVER";
+    case CompareOp::kLess:
+      return "LESS";
+    case CompareOp::kLessEqual:
+      return "LEQUAL";
+    case CompareOp::kEqual:
+      return "EQUAL";
+    case CompareOp::kGreaterEqual:
+      return "GEQUAL";
+    case CompareOp::kGreater:
+      return "GREATER";
+    case CompareOp::kNotEqual:
+      return "NOTEQUAL";
+    case CompareOp::kAlways:
+      return "ALWAYS";
+  }
+  return "UNKNOWN";
+}
+
+CompareOp Invert(CompareOp op) {
+  switch (op) {
+    case CompareOp::kNever:
+      return CompareOp::kAlways;
+    case CompareOp::kLess:
+      return CompareOp::kGreaterEqual;
+    case CompareOp::kLessEqual:
+      return CompareOp::kGreater;
+    case CompareOp::kEqual:
+      return CompareOp::kNotEqual;
+    case CompareOp::kGreaterEqual:
+      return CompareOp::kLess;
+    case CompareOp::kGreater:
+      return CompareOp::kLessEqual;
+    case CompareOp::kNotEqual:
+      return CompareOp::kEqual;
+    case CompareOp::kAlways:
+      return CompareOp::kNever;
+  }
+  return CompareOp::kNever;
+}
+
+CompareOp Mirror(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLess:
+      return CompareOp::kGreater;
+    case CompareOp::kLessEqual:
+      return CompareOp::kGreaterEqual;
+    case CompareOp::kGreaterEqual:
+      return CompareOp::kLessEqual;
+    case CompareOp::kGreater:
+      return CompareOp::kLess;
+    case CompareOp::kNever:
+    case CompareOp::kEqual:
+    case CompareOp::kNotEqual:
+    case CompareOp::kAlways:
+      return op;  // symmetric
+  }
+  return op;
+}
+
+std::string_view ToString(StencilOp op) {
+  switch (op) {
+    case StencilOp::kKeep:
+      return "KEEP";
+    case StencilOp::kZero:
+      return "ZERO";
+    case StencilOp::kReplace:
+      return "REPLACE";
+    case StencilOp::kIncr:
+      return "INCR";
+    case StencilOp::kDecr:
+      return "DECR";
+    case StencilOp::kInvert:
+      return "INVERT";
+  }
+  return "UNKNOWN";
+}
+
+uint8_t ApplyStencilOp(StencilOp op, uint8_t stored, uint8_t ref) {
+  switch (op) {
+    case StencilOp::kKeep:
+      return stored;
+    case StencilOp::kZero:
+      return 0;
+    case StencilOp::kReplace:
+      return ref;
+    case StencilOp::kIncr:
+      return stored == 0xff ? stored : static_cast<uint8_t>(stored + 1);
+    case StencilOp::kDecr:
+      return stored == 0 ? stored : static_cast<uint8_t>(stored - 1);
+    case StencilOp::kInvert:
+      return static_cast<uint8_t>(~stored);
+  }
+  return stored;
+}
+
+}  // namespace gpu
+}  // namespace gpudb

@@ -1,0 +1,78 @@
+#ifndef GPUDB_GPU_TYPES_H_
+#define GPUDB_GPU_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace gpudb {
+namespace gpu {
+
+/// \brief Relational operator used by the alpha, stencil, and depth tests.
+///
+/// Mirrors the OpenGL comparison functions the paper relies on (Section 3.1:
+/// "The relational operator can be any of the following: =, <, >, <=, >=, !=.
+/// In addition, there are two operators, never and always.").
+enum class CompareOp : uint8_t {
+  kNever,
+  kLess,
+  kLessEqual,
+  kEqual,
+  kGreaterEqual,
+  kGreater,
+  kNotEqual,
+  kAlways,
+};
+
+std::string_view ToString(CompareOp op);
+
+/// Applies `op` to (lhs, rhs): "lhs op rhs".
+template <typename T>
+inline bool EvalCompare(CompareOp op, T lhs, T rhs) {
+  switch (op) {
+    case CompareOp::kNever:
+      return false;
+    case CompareOp::kLess:
+      return lhs < rhs;
+    case CompareOp::kLessEqual:
+      return lhs <= rhs;
+    case CompareOp::kEqual:
+      return lhs == rhs;
+    case CompareOp::kGreaterEqual:
+      return lhs >= rhs;
+    case CompareOp::kGreater:
+      return lhs > rhs;
+    case CompareOp::kNotEqual:
+      return lhs != rhs;
+    case CompareOp::kAlways:
+      return true;
+  }
+  return false;
+}
+
+/// Logical negation of a comparison: NOT (x op y) == (x Invert(op) y).
+/// Used by the CNF rewriter to eliminate NOT operators (Section 4.2: "If a
+/// simple predicate has a NOT operator, we can invert the comparison").
+CompareOp Invert(CompareOp op);
+
+/// Mirror image of a comparison: (x op y) == (y Mirror(op) x).
+CompareOp Mirror(CompareOp op);
+
+/// \brief Stencil update operation (Section 3.4).
+enum class StencilOp : uint8_t {
+  kKeep,     ///< Keep the stored stencil value.
+  kZero,     ///< Set the stencil value to zero.
+  kReplace,  ///< Set the stencil value to the reference value.
+  kIncr,     ///< Increment (saturating, as in core OpenGL GL_INCR).
+  kDecr,     ///< Decrement (saturating).
+  kInvert,   ///< Bitwise invert.
+};
+
+std::string_view ToString(StencilOp op);
+
+/// Applies a stencil operation to a stored 8-bit stencil value.
+uint8_t ApplyStencilOp(StencilOp op, uint8_t stored, uint8_t ref);
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_TYPES_H_

@@ -1,0 +1,227 @@
+#include "src/predicate/cnf.h"
+
+#include <utility>
+
+namespace gpudb {
+namespace predicate {
+
+namespace {
+
+/// Rewrites the tree into one with NOT only applied away at the leaves.
+/// `negated` tracks whether an odd number of NOTs wraps the current node.
+ExprPtr EliminateNot(const ExprPtr& node, bool negated) {
+  switch (node->kind()) {
+    case Expr::Kind::kPredicate: {
+      if (!negated) return node;
+      const SimplePredicate& p = node->pred();
+      const gpu::CompareOp inv = gpu::Invert(p.op);
+      return p.rhs_is_attr ? Expr::PredAttr(p.attr, inv, p.rhs_attr)
+                           : Expr::Pred(p.attr, inv, p.constant);
+    }
+    case Expr::Kind::kNot:
+      return EliminateNot(node->children()[0], !negated);
+    case Expr::Kind::kAnd: {
+      ExprPtr l = EliminateNot(node->children()[0], negated);
+      ExprPtr r = EliminateNot(node->children()[1], negated);
+      // De Morgan: NOT (a AND b) == (NOT a) OR (NOT b).
+      return negated ? Expr::Or(std::move(l), std::move(r))
+                     : Expr::And(std::move(l), std::move(r));
+    }
+    case Expr::Kind::kOr: {
+      ExprPtr l = EliminateNot(node->children()[0], negated);
+      ExprPtr r = EliminateNot(node->children()[1], negated);
+      return negated ? Expr::And(std::move(l), std::move(r))
+                     : Expr::Or(std::move(l), std::move(r));
+    }
+  }
+  return node;
+}
+
+/// Converts a NOT-free tree into clause lists, distributing OR over AND.
+Status BuildCnf(const ExprPtr& node,
+                std::vector<std::vector<SimplePredicate>>* out) {
+  switch (node->kind()) {
+    case Expr::Kind::kPredicate:
+      out->push_back({node->pred()});
+      return Status::OK();
+    case Expr::Kind::kAnd: {
+      GPUDB_RETURN_NOT_OK(BuildCnf(node->children()[0], out));
+      GPUDB_RETURN_NOT_OK(BuildCnf(node->children()[1], out));
+      if (out->size() > kMaxCnfClauses) {
+        return Status::ResourceExhausted("CNF conversion exceeded " +
+                                         std::to_string(kMaxCnfClauses) +
+                                         " clauses");
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kOr: {
+      std::vector<std::vector<SimplePredicate>> left, right;
+      GPUDB_RETURN_NOT_OK(BuildCnf(node->children()[0], &left));
+      GPUDB_RETURN_NOT_OK(BuildCnf(node->children()[1], &right));
+      // (L1 AND ... Lm) OR (R1 AND ... Rn)
+      //   == AND over all i,j of (Li OR Rj)
+      if (left.size() * right.size() > kMaxCnfClauses) {
+        return Status::ResourceExhausted(
+            "CNF distribution would produce " +
+            std::to_string(left.size() * right.size()) + " clauses");
+      }
+      for (const auto& l : left) {
+        for (const auto& r : right) {
+          std::vector<SimplePredicate> clause = l;
+          clause.insert(clause.end(), r.begin(), r.end());
+          out->push_back(std::move(clause));
+        }
+      }
+      if (out->size() > kMaxCnfClauses) {
+        return Status::ResourceExhausted("CNF conversion exceeded " +
+                                         std::to_string(kMaxCnfClauses) +
+                                         " clauses");
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kNot:
+      return Status::Internal("NOT node survived EliminateNot");
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+/// Converts a NOT-free tree into DNF term lists, distributing AND over OR.
+/// Dual of BuildCnf.
+Status BuildDnf(const ExprPtr& node,
+                std::vector<std::vector<SimplePredicate>>* out) {
+  switch (node->kind()) {
+    case Expr::Kind::kPredicate:
+      out->push_back({node->pred()});
+      return Status::OK();
+    case Expr::Kind::kOr: {
+      GPUDB_RETURN_NOT_OK(BuildDnf(node->children()[0], out));
+      GPUDB_RETURN_NOT_OK(BuildDnf(node->children()[1], out));
+      if (out->size() > kMaxCnfClauses) {
+        return Status::ResourceExhausted("DNF conversion exceeded " +
+                                         std::to_string(kMaxCnfClauses) +
+                                         " terms");
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kAnd: {
+      std::vector<std::vector<SimplePredicate>> left, right;
+      GPUDB_RETURN_NOT_OK(BuildDnf(node->children()[0], &left));
+      GPUDB_RETURN_NOT_OK(BuildDnf(node->children()[1], &right));
+      // (L1 OR ... Lm) AND (R1 OR ... Rn) == OR over all i,j of (Li AND Rj).
+      if (left.size() * right.size() > kMaxCnfClauses) {
+        return Status::ResourceExhausted(
+            "DNF distribution would produce " +
+            std::to_string(left.size() * right.size()) + " terms");
+      }
+      for (const auto& l : left) {
+        for (const auto& r : right) {
+          std::vector<SimplePredicate> term = l;
+          term.insert(term.end(), r.begin(), r.end());
+          out->push_back(std::move(term));
+        }
+      }
+      if (out->size() > kMaxCnfClauses) {
+        return Status::ResourceExhausted("DNF conversion exceeded " +
+                                         std::to_string(kMaxCnfClauses) +
+                                         " terms");
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kNot:
+      return Status::Internal("NOT node survived EliminateNot");
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+}  // namespace
+
+bool Dnf::EvaluateRow(const db::Table& table, size_t row) const {
+  for (const auto& term : terms) {
+    bool all = true;
+    for (const SimplePredicate& p : term) {
+      if (!p.EvaluateRow(table, row)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+size_t Dnf::predicate_count() const {
+  size_t n = 0;
+  for (const auto& term : terms) n += term.size();
+  return n;
+}
+
+std::string Dnf::ToString(const db::Table* table) const {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += " OR ";
+    out += "(";
+    for (size_t j = 0; j < terms[i].size(); ++j) {
+      if (j > 0) out += " AND ";
+      out += terms[i][j].ToString(table);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Result<Dnf> ToDnf(const ExprPtr& expr) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null expression");
+  }
+  const ExprPtr not_free = EliminateNot(expr, /*negated=*/false);
+  Dnf dnf;
+  GPUDB_RETURN_NOT_OK(BuildDnf(not_free, &dnf.terms));
+  return dnf;
+}
+
+bool Cnf::EvaluateRow(const db::Table& table, size_t row) const {
+  for (const auto& clause : clauses) {
+    bool any = false;
+    for (const SimplePredicate& p : clause) {
+      if (p.EvaluateRow(table, row)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+size_t Cnf::predicate_count() const {
+  size_t n = 0;
+  for (const auto& clause : clauses) n += clause.size();
+  return n;
+}
+
+std::string Cnf::ToString(const db::Table* table) const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out += " OR ";
+      out += clauses[i][j].ToString(table);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Result<Cnf> ToCnf(const ExprPtr& expr) {
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null expression");
+  }
+  const ExprPtr not_free = EliminateNot(expr, /*negated=*/false);
+  Cnf cnf;
+  GPUDB_RETURN_NOT_OK(BuildCnf(not_free, &cnf.clauses));
+  return cnf;
+}
+
+}  // namespace predicate
+}  // namespace gpudb

@@ -1,0 +1,131 @@
+#include "src/predicate/expr.h"
+
+#include <utility>
+
+namespace gpudb {
+namespace predicate {
+
+bool SimplePredicate::EvaluateRow(const db::Table& table, size_t row) const {
+  const float lhs = table.column(attr).value(row);
+  const float rhs =
+      rhs_is_attr ? table.column(rhs_attr).value(row) : constant;
+  return gpu::EvalCompare(op, lhs, rhs);
+}
+
+std::string SimplePredicate::ToString(const db::Table* table) const {
+  auto attr_name = [&](size_t i) {
+    if (table != nullptr && i < table->num_columns()) {
+      return table->column(i).name();
+    }
+    return "a" + std::to_string(i);
+  };
+  std::string out = attr_name(attr);
+  out += " ";
+  out += gpu::ToString(op);
+  out += " ";
+  if (rhs_is_attr) {
+    out += attr_name(rhs_attr);
+  } else {
+    out += std::to_string(constant);
+  }
+  return out;
+}
+
+ExprPtr Expr::Pred(size_t attr, gpu::CompareOp op, float constant) {
+  SimplePredicate p;
+  p.attr = attr;
+  p.op = op;
+  p.rhs_is_attr = false;
+  p.constant = constant;
+  return ExprPtr(new Expr(Kind::kPredicate, p, {}));
+}
+
+ExprPtr Expr::PredAttr(size_t attr, gpu::CompareOp op, size_t rhs_attr) {
+  SimplePredicate p;
+  p.attr = attr;
+  p.op = op;
+  p.rhs_is_attr = true;
+  p.rhs_attr = rhs_attr;
+  return ExprPtr(new Expr(Kind::kPredicate, p, {}));
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  return ExprPtr(
+      new Expr(Kind::kAnd, SimplePredicate{}, {std::move(lhs), std::move(rhs)}));
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  return ExprPtr(
+      new Expr(Kind::kOr, SimplePredicate{}, {std::move(lhs), std::move(rhs)}));
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  return ExprPtr(new Expr(Kind::kNot, SimplePredicate{}, {std::move(child)}));
+}
+
+ExprPtr Expr::Between(size_t attr, float low, float high) {
+  return And(Pred(attr, gpu::CompareOp::kGreaterEqual, low),
+             Pred(attr, gpu::CompareOp::kLessEqual, high));
+}
+
+bool Expr::EvaluateRow(const db::Table& table, size_t row) const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return pred_.EvaluateRow(table, row);
+    case Kind::kAnd:
+      return children_[0]->EvaluateRow(table, row) &&
+             children_[1]->EvaluateRow(table, row);
+    case Kind::kOr:
+      return children_[0]->EvaluateRow(table, row) ||
+             children_[1]->EvaluateRow(table, row);
+    case Kind::kNot:
+      return !children_[0]->EvaluateRow(table, row);
+  }
+  return false;
+}
+
+Status Expr::Validate(const db::Table& table) const {
+  switch (kind_) {
+    case Kind::kPredicate: {
+      if (pred_.attr >= table.num_columns()) {
+        return Status::OutOfRange("predicate references column " +
+                                  std::to_string(pred_.attr) +
+                                  " but table has " +
+                                  std::to_string(table.num_columns()));
+      }
+      if (pred_.rhs_is_attr && pred_.rhs_attr >= table.num_columns()) {
+        return Status::OutOfRange("predicate references column " +
+                                  std::to_string(pred_.rhs_attr) +
+                                  " but table has " +
+                                  std::to_string(table.num_columns()));
+      }
+      return Status::OK();
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+      GPUDB_RETURN_NOT_OK(children_[0]->Validate(table));
+      return children_[1]->Validate(table);
+    case Kind::kNot:
+      return children_[0]->Validate(table);
+  }
+  return Status::Internal("corrupt expression node");
+}
+
+std::string Expr::ToString(const db::Table* table) const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return pred_.ToString(table);
+    case Kind::kAnd:
+      return "(" + children_[0]->ToString(table) + " AND " +
+             children_[1]->ToString(table) + ")";
+    case Kind::kOr:
+      return "(" + children_[0]->ToString(table) + " OR " +
+             children_[1]->ToString(table) + ")";
+    case Kind::kNot:
+      return "NOT " + children_[0]->ToString(table);
+  }
+  return "?";
+}
+
+}  // namespace predicate
+}  // namespace gpudb

@@ -1,0 +1,76 @@
+#ifndef GPUDB_PREDICATE_EXPR_H_
+#define GPUDB_PREDICATE_EXPR_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/db/table.h"
+#include "src/gpu/types.h"
+
+namespace gpudb {
+namespace predicate {
+
+/// \brief A simple predicate of the SQL WHERE grammar the paper targets
+/// (Section 4): `a_i op a_j` or `a_i op constant`, with op one of
+/// =, !=, >, >=, <, <=.
+struct SimplePredicate {
+  size_t attr = 0;            ///< Left-hand column index.
+  gpu::CompareOp op = gpu::CompareOp::kAlways;
+  bool rhs_is_attr = false;   ///< True for attribute-attribute comparison.
+  size_t rhs_attr = 0;        ///< Right-hand column index if rhs_is_attr.
+  float constant = 0.0f;      ///< Right-hand constant otherwise.
+
+  /// Reference (CPU) evaluation against a table row.
+  bool EvaluateRow(const db::Table& table, size_t row) const;
+
+  std::string ToString(const db::Table* table = nullptr) const;
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief Immutable boolean expression tree over simple predicates, using
+/// AND/OR/NOT (the boolean combinations of paper Section 4.2).
+class Expr {
+ public:
+  enum class Kind { kPredicate, kAnd, kOr, kNot };
+
+  // Factory functions; expressions are shared immutable nodes.
+  static ExprPtr Pred(size_t attr, gpu::CompareOp op, float constant);
+  static ExprPtr PredAttr(size_t attr, gpu::CompareOp op, size_t rhs_attr);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr child);
+  /// `low <= attr AND attr <= high`, the paper's range query.
+  static ExprPtr Between(size_t attr, float low, float high);
+
+  Kind kind() const { return kind_; }
+  const SimplePredicate& pred() const { return pred_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Reference (CPU) evaluation of the whole tree against a table row; used
+  /// by tests to cross-check every GPU result.
+  bool EvaluateRow(const db::Table& table, size_t row) const;
+
+  /// Checks that every referenced column index exists and that the
+  /// comparison types make sense for the table.
+  Status Validate(const db::Table& table) const;
+
+  std::string ToString(const db::Table* table = nullptr) const;
+
+ private:
+  Expr(Kind kind, SimplePredicate pred, std::vector<ExprPtr> children)
+      : kind_(kind), pred_(pred), children_(std::move(children)) {}
+
+  Kind kind_;
+  SimplePredicate pred_;          // valid iff kind_ == kPredicate
+  std::vector<ExprPtr> children_; // 1 for NOT, 2 for AND/OR
+};
+
+}  // namespace predicate
+}  // namespace gpudb
+
+#endif  // GPUDB_PREDICATE_EXPR_H_

@@ -1,0 +1,84 @@
+#ifndef GPUDB_SQL_PARSER_H_
+#define GPUDB_SQL_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/aggregates.h"
+#include "src/core/executor.h"
+#include "src/db/table.h"
+#include "src/predicate/expr.h"
+
+namespace gpudb {
+namespace sql {
+
+/// \brief A parsed query of the paper's SQL fragment (Section 4):
+///
+///   SELECT A FROM T WHERE C
+///
+/// where A is `*`, `COUNT(*)`, an aggregate over one attribute
+/// (SUM/AVG/MIN/MAX/MEDIAN/COUNT), or `KTH_LARGEST(attr, k)`, and C is a
+/// boolean combination (AND/OR/NOT, parentheses, BETWEEN) of comparisons of
+/// the forms `attr op constant`, `attr op attr`, `constant op attr`.
+/// An aggregate select may add `GROUP BY key_column` (OLAP roll-up; no WHERE
+/// in that case -- the grouped execution path has no selection support).
+struct Query {
+  enum class Kind {
+    kSelectRows,  ///< SELECT * : materialize row ids
+    kCount,       ///< SELECT COUNT(*)
+    kAggregate,   ///< SELECT agg(column)
+    kKthLargest,  ///< SELECT KTH_LARGEST(column, k)
+    kGroupBy,     ///< SELECT agg(column) ... GROUP BY key
+  };
+
+  Kind kind = Kind::kCount;
+  core::AggregateKind aggregate = core::AggregateKind::kCount;
+  std::string column;           ///< aggregate / order-statistic attribute
+  uint64_t k = 0;               ///< for kKthLargest
+  std::string table_name;       ///< as written after FROM
+  std::string group_by_column;  ///< for kGroupBy
+  predicate::ExprPtr where;     ///< null when there is no WHERE clause
+
+  /// ORDER BY column [ASC|DESC], for SELECT * only. Orders the returned row
+  /// ids by the column's value via the GPU bitonic sort; combining ORDER BY
+  /// with WHERE is not supported (the sort network runs over the full
+  /// relation). Empty = unordered.
+  std::string order_by_column;
+  bool order_descending = false;
+
+  /// LIMIT n on SELECT * row ids (0 = no limit).
+  uint64_t limit = 0;
+};
+
+/// \brief Parses `input` against `table` (column names resolve to indices;
+/// unknown columns are errors with positions).
+Result<Query> ParseQuery(std::string_view input, const db::Table& table);
+
+/// \brief Result of executing a parsed query.
+struct QueryResult {
+  Query::Kind kind = Query::Kind::kCount;
+  double scalar = 0.0;             ///< aggregate value / order statistic
+  uint64_t count = 0;              ///< for kCount
+  std::vector<uint32_t> row_ids;   ///< for kSelectRows
+  std::vector<core::GroupByRow> groups;  ///< for kGroupBy
+
+  std::string ToString() const;
+};
+
+/// \brief One-call convenience: parse `input` against the executor's table
+/// and run it on the GPU.
+Result<QueryResult> ExecuteSql(core::Executor* executor,
+                               std::string_view input);
+
+/// \brief Runs a semicolon-separated script of queries in order, stopping at
+/// the first error. Returns one result per executed statement.
+Result<std::vector<QueryResult>> ExecuteScript(core::Executor* executor,
+                                               std::string_view script);
+
+}  // namespace sql
+}  // namespace gpudb
+
+#endif  // GPUDB_SQL_PARSER_H_

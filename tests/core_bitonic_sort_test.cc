@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/bitonic_sort.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using testing_util::RandomInts;
+using testing_util::ToFloats;
+
+class BitonicSortTest : public ::testing::Test {
+ protected:
+  BitonicSortTest() : device_(128, 128) {}
+  gpu::Device device_;
+};
+
+TEST_F(BitonicSortTest, SortsPowerOfTwoInput) {
+  const std::vector<float> values = ToFloats(RandomInts(1024, 12, 201));
+  std::vector<float> expected = values;
+  std::sort(expected.begin(), expected.end());
+  ASSERT_OK_AND_ASSIGN(std::vector<float> sorted,
+                       BitonicSort(&device_, values));
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(BitonicSortTest, SortsNonPowerOfTwoInput) {
+  // Padding with +inf must not leak into the result.
+  const std::vector<float> values = ToFloats(RandomInts(1000, 10, 202));
+  std::vector<float> expected = values;
+  std::sort(expected.begin(), expected.end());
+  ASSERT_OK_AND_ASSIGN(std::vector<float> sorted,
+                       BitonicSort(&device_, values));
+  ASSERT_EQ(sorted.size(), values.size());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(BitonicSortTest, HandlesTinyInputs) {
+  ASSERT_OK_AND_ASSIGN(std::vector<float> one, BitonicSort(&device_, {5.0f}));
+  EXPECT_EQ(one, std::vector<float>({5.0f}));
+  ASSERT_OK_AND_ASSIGN(std::vector<float> two,
+                       BitonicSort(&device_, {9.0f, 3.0f}));
+  EXPECT_EQ(two, std::vector<float>({3.0f, 9.0f}));
+  EXPECT_FALSE(BitonicSort(&device_, {}).ok());
+}
+
+TEST_F(BitonicSortTest, SortsDuplicatesAndNegatives) {
+  const std::vector<float> values = {3.5f, -1.0f, 3.5f, 0.0f, -7.25f,
+                                     3.5f, 0.0f,  100.0f};
+  std::vector<float> expected = values;
+  std::sort(expected.begin(), expected.end());
+  ASSERT_OK_AND_ASSIGN(std::vector<float> sorted,
+                       BitonicSort(&device_, values));
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(BitonicSortTest, AlreadySortedAndReversed) {
+  std::vector<float> ascending(512), descending(512);
+  for (int i = 0; i < 512; ++i) {
+    ascending[i] = static_cast<float>(i);
+    descending[i] = static_cast<float>(511 - i);
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<float> a, BitonicSort(&device_, ascending));
+  EXPECT_EQ(a, ascending);
+  ASSERT_OK_AND_ASSIGN(std::vector<float> d,
+                       BitonicSort(&device_, descending));
+  EXPECT_EQ(d, ascending);
+}
+
+TEST_F(BitonicSortTest, StepCountIsLogSquared) {
+  EXPECT_EQ(BitonicStepCount(1), 0u);
+  EXPECT_EQ(BitonicStepCount(2), 1u);
+  EXPECT_EQ(BitonicStepCount(4), 3u);
+  EXPECT_EQ(BitonicStepCount(8), 6u);
+  EXPECT_EQ(BitonicStepCount(1024), 55u);
+  // Non-powers round up to the padded size.
+  EXPECT_EQ(BitonicStepCount(1000), 55u);
+}
+
+TEST_F(BitonicSortTest, PassCountMatchesNetworkSize) {
+  const std::vector<float> values = ToFloats(RandomInts(256, 8, 203));
+  device_.ResetCounters();
+  ASSERT_OK(BitonicSort(&device_, values).status());
+  // Each network step = one render pass + one ping-pong copy pass.
+  EXPECT_EQ(device_.counters().passes, 2 * BitonicStepCount(256));
+}
+
+TEST_F(BitonicSortTest, RejectsInputLargerThanFramebuffer) {
+  gpu::Device tiny(8, 8);
+  const std::vector<float> values = ToFloats(RandomInts(100, 8, 204));
+  auto result = BitonicSort(&tiny, values);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BitonicSortTest, RestoresViewport) {
+  ASSERT_OK(device_.SetViewport(5000));
+  const std::vector<float> values = ToFloats(RandomInts(128, 8, 205));
+  ASSERT_OK(BitonicSort(&device_, values).status());
+  EXPECT_EQ(device_.viewport_pixels(), 5000u);
+}
+
+TEST_F(BitonicSortTest, PairsSortCarriesPayloads) {
+  const std::vector<uint32_t> keys_int = RandomInts(1000, 10, 206);
+  const std::vector<float> keys = ToFloats(keys_int);
+  std::vector<uint32_t> payloads(1000);
+  for (uint32_t i = 0; i < payloads.size(); ++i) payloads[i] = i;
+  ASSERT_OK_AND_ASSIGN(SortedPairs sorted,
+                       BitonicSortPairs(&device_, keys, payloads));
+  ASSERT_EQ(sorted.keys.size(), keys.size());
+  // Keys ascending; each payload points back at a row with that key; the
+  // payload set is the full permutation.
+  std::vector<bool> seen(keys.size(), false);
+  for (size_t i = 0; i < sorted.keys.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(sorted.keys[i - 1], sorted.keys[i]) << i;
+    }
+    const uint32_t row = sorted.payloads[i];
+    ASSERT_LT(row, keys.size());
+    EXPECT_EQ(keys[row], sorted.keys[i]) << i;
+    EXPECT_FALSE(seen[row]) << "payload " << row << " duplicated";
+    seen[row] = true;
+  }
+}
+
+TEST_F(BitonicSortTest, PairsTieBreakOnPayload) {
+  // All-equal keys: payloads must come out ascending (the deterministic
+  // tie-break), making the pair order total.
+  const std::vector<float> keys(256, 7.0f);
+  std::vector<uint32_t> payloads(256);
+  for (uint32_t i = 0; i < payloads.size(); ++i) {
+    payloads[i] = 255 - i;  // reversed
+  }
+  ASSERT_OK_AND_ASSIGN(SortedPairs sorted,
+                       BitonicSortPairs(&device_, keys, payloads));
+  for (size_t i = 0; i < sorted.payloads.size(); ++i) {
+    EXPECT_EQ(sorted.payloads[i], i);
+  }
+}
+
+TEST_F(BitonicSortTest, PairsValidateInput) {
+  EXPECT_FALSE(BitonicSortPairs(&device_, {}, {}).ok());
+  EXPECT_FALSE(BitonicSortPairs(&device_, {1.0f}, {1, 2}).ok());
+  EXPECT_FALSE(BitonicSortPairs(&device_, {1.0f}, {1u << 24}).ok());
+}
+
+class BitonicSortProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitonicSortProperty, MatchesStdSortAtManySizes) {
+  const int n = GetParam();
+  gpu::Device device(128, 128);
+  const std::vector<float> values =
+      ToFloats(RandomInts(n, 14, 300 + n));
+  std::vector<float> expected = values;
+  std::sort(expected.begin(), expected.end());
+  auto sorted = BitonicSort(&device, values);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  EXPECT_EQ(sorted.ValueOrDie(), expected) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitonicSortProperty,
+                         ::testing::Values(1, 2, 3, 5, 7, 16, 100, 255, 256,
+                                           257, 1023, 2048, 5000));
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

@@ -1,0 +1,132 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/group_by.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using testing_util::RandomInts;
+using testing_util::UploadIntAttribute;
+
+class GroupByTest : public ::testing::Test {
+ protected:
+  GroupByTest() : device_(64, 64) {}
+
+  /// Uploads keys and values as two single-channel textures; the viewport
+  /// follows the key upload.
+  void Upload(const std::vector<uint32_t>& keys,
+              const std::vector<uint32_t>& values) {
+    value_attr_ = UploadIntAttribute(&device_, values);
+    key_attr_ = UploadIntAttribute(&device_, keys);
+  }
+
+  gpu::Device device_;
+  AttributeBinding key_attr_;
+  AttributeBinding value_attr_;
+};
+
+TEST_F(GroupByTest, DistinctValuesAscending) {
+  const std::vector<uint32_t> keys = {5, 3, 9, 3, 5, 5, 0, 9, 3};
+  AttributeBinding attr = UploadIntAttribute(&device_, keys);
+  ASSERT_OK_AND_ASSIGN(std::vector<uint32_t> distinct,
+                       DistinctValues(&device_, attr, 4));
+  EXPECT_EQ(distinct, (std::vector<uint32_t>{0, 3, 5, 9}));
+}
+
+TEST_F(GroupByTest, DistinctValuesSingleValue) {
+  const std::vector<uint32_t> keys(20, 7);
+  AttributeBinding attr = UploadIntAttribute(&device_, keys);
+  ASSERT_OK_AND_ASSIGN(std::vector<uint32_t> distinct,
+                       DistinctValues(&device_, attr, 3));
+  EXPECT_EQ(distinct, (std::vector<uint32_t>{7}));
+}
+
+TEST_F(GroupByTest, DistinctValuesCardinalityGuard) {
+  std::vector<uint32_t> keys(200);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<uint32_t>(i);
+  AttributeBinding attr = UploadIntAttribute(&device_, keys);
+  auto result = DistinctValues(&device_, attr, 8, /*max_values=*/50);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(GroupByTest, SumPerGroupMatchesMapReference) {
+  const std::vector<uint32_t> keys = RandomInts(3000, 3, 241);  // 8 groups
+  const std::vector<uint32_t> values = RandomInts(3000, 10, 242);
+  Upload(keys, values);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<GroupByRow> rows,
+      GroupByAggregate(&device_, key_attr_, 3, value_attr_, 10,
+                       AggregateKind::kSum));
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> expected;  // count, sum
+  for (size_t i = 0; i < keys.size(); ++i) {
+    expected[keys[i]].first += 1;
+    expected[keys[i]].second += values[i];
+  }
+  ASSERT_EQ(rows.size(), expected.size());
+  for (const GroupByRow& row : rows) {
+    ASSERT_TRUE(expected.count(row.key)) << row.key;
+    EXPECT_EQ(row.count, expected[row.key].first) << "key " << row.key;
+    EXPECT_DOUBLE_EQ(row.aggregate,
+                     static_cast<double>(expected[row.key].second))
+        << "key " << row.key;
+  }
+}
+
+TEST_F(GroupByTest, MaxAndMedianPerGroup) {
+  const std::vector<uint32_t> keys = {1, 1, 1, 2, 2, 2, 2};
+  const std::vector<uint32_t> values = {10, 30, 20, 5, 8, 1, 9};
+  Upload(keys, values);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<GroupByRow> max_rows,
+      GroupByAggregate(&device_, key_attr_, 2, value_attr_, 5,
+                       AggregateKind::kMax));
+  ASSERT_EQ(max_rows.size(), 2u);
+  EXPECT_EQ(max_rows[0].key, 1u);
+  EXPECT_DOUBLE_EQ(max_rows[0].aggregate, 30.0);
+  EXPECT_EQ(max_rows[1].key, 2u);
+  EXPECT_DOUBLE_EQ(max_rows[1].aggregate, 9.0);
+
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<GroupByRow> med_rows,
+      GroupByAggregate(&device_, key_attr_, 2, value_attr_, 5,
+                       AggregateKind::kMedian));
+  EXPECT_DOUBLE_EQ(med_rows[0].aggregate, 20.0);  // {10,20,30}
+  EXPECT_DOUBLE_EQ(med_rows[1].aggregate, 5.0);   // {1,5,8,9} -> 2nd smallest
+}
+
+TEST_F(GroupByTest, CountAggregateEqualsGroupSizes) {
+  const std::vector<uint32_t> keys = {0, 1, 0, 1, 1};
+  const std::vector<uint32_t> values = {7, 7, 7, 7, 7};
+  Upload(keys, values);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<GroupByRow> rows,
+      GroupByAggregate(&device_, key_attr_, 1, value_attr_, 3,
+                       AggregateKind::kCount));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].aggregate, 2.0);
+  EXPECT_EQ(rows[1].count, 3u);
+  EXPECT_DOUBLE_EQ(rows[1].aggregate, 3.0);
+}
+
+TEST_F(GroupByTest, GroupCapEnforced) {
+  std::vector<uint32_t> keys(100);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<uint32_t>(i);
+  Upload(keys, keys);
+  auto result = GroupByAggregate(&device_, key_attr_, 7, value_attr_, 7,
+                                 AggregateKind::kSum, /*max_groups=*/10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

@@ -1,0 +1,198 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/histogram.h"
+#include "src/core/join.h"
+#include "src/db/datagen.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using testing_util::RandomInts;
+using testing_util::UploadIntAttribute;
+
+bool operator_less(const JoinPair& a, const JoinPair& b) {
+  return a.left_row != b.left_row ? a.left_row < b.left_row
+                                  : a.right_row < b.right_row;
+}
+
+class EquiJoinTest : public ::testing::Test {
+ protected:
+  EquiJoinTest() : device_(64, 64) {}
+
+  JoinSide Upload(const std::vector<uint32_t>& keys, int bits) {
+    JoinSide side;
+    side.key = UploadIntAttribute(&device_, keys);
+    side.rows = keys.size();
+    side.key_bits = bits;
+    return side;
+  }
+
+  /// CPU hash-join reference.
+  static std::vector<JoinPair> ReferenceJoin(
+      const std::vector<uint32_t>& left, const std::vector<uint32_t>& right) {
+    std::map<uint32_t, std::vector<uint32_t>> right_index;
+    for (uint32_t r = 0; r < right.size(); ++r) {
+      right_index[right[r]].push_back(r);
+    }
+    std::vector<JoinPair> out;
+    for (uint32_t l = 0; l < left.size(); ++l) {
+      auto it = right_index.find(left[l]);
+      if (it == right_index.end()) continue;
+      for (uint32_t r : it->second) out.push_back(JoinPair{l, r});
+    }
+    std::sort(out.begin(), out.end(), operator_less);
+    return out;
+  }
+
+  gpu::Device device_;
+};
+
+TEST_F(EquiJoinTest, SmallHandCheckedJoin) {
+  const JoinSide left = Upload({1, 2, 3, 2}, 2);
+  const JoinSide right = Upload({2, 2, 9, 1}, 4);
+  ASSERT_OK_AND_ASSIGN(std::vector<JoinPair> pairs,
+                       EquiJoin(&device_, left, right));
+  std::sort(pairs.begin(), pairs.end(), operator_less);
+  // left 0 (key 1) x right 3; left 1,3 (key 2) x right 0,1.
+  ASSERT_EQ(pairs.size(), 5u);
+  EXPECT_EQ(pairs[0].left_row, 0u);
+  EXPECT_EQ(pairs[0].right_row, 3u);
+  EXPECT_EQ(pairs[1].left_row, 1u);
+  EXPECT_EQ(pairs[1].right_row, 0u);
+  EXPECT_EQ(pairs[4].left_row, 3u);
+  EXPECT_EQ(pairs[4].right_row, 1u);
+}
+
+TEST_F(EquiJoinTest, MatchesHashJoinOnRandomData) {
+  const std::vector<uint32_t> left = RandomInts(800, 5, 261);   // 32 keys
+  const std::vector<uint32_t> right = RandomInts(1200, 5, 262);
+  const JoinSide ls = Upload(left, 5);
+  const JoinSide rs = Upload(right, 5);
+  ASSERT_OK_AND_ASSIGN(std::vector<JoinPair> pairs,
+                       EquiJoin(&device_, ls, rs));
+  std::sort(pairs.begin(), pairs.end(), operator_less);
+  const std::vector<JoinPair> expected = ReferenceJoin(left, right);
+  ASSERT_EQ(pairs.size(), expected.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].left_row, expected[i].left_row) << i;
+    EXPECT_EQ(pairs[i].right_row, expected[i].right_row) << i;
+  }
+}
+
+TEST_F(EquiJoinTest, DisjointKeysProduceEmptyJoin) {
+  std::vector<uint32_t> left(100, 1);
+  std::vector<uint32_t> right(100, 2);
+  const JoinSide ls = Upload(left, 2);
+  const JoinSide rs = Upload(right, 2);
+  ASSERT_OK_AND_ASSIGN(std::vector<JoinPair> pairs,
+                       EquiJoin(&device_, ls, rs));
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST_F(EquiJoinTest, SizeMatchesMaterializedCount) {
+  const std::vector<uint32_t> left = RandomInts(500, 4, 263);
+  const std::vector<uint32_t> right = RandomInts(700, 4, 264);
+  const JoinSide ls = Upload(left, 4);
+  const JoinSide rs = Upload(right, 4);
+  ASSERT_OK_AND_ASSIGN(uint64_t size, EquiJoinSize(&device_, ls, rs));
+  ASSERT_OK_AND_ASSIGN(std::vector<JoinPair> pairs,
+                       EquiJoin(&device_, ls, rs));
+  EXPECT_EQ(size, pairs.size());
+  EXPECT_EQ(size, ReferenceJoin(left, right).size());
+}
+
+TEST_F(EquiJoinTest, HistogramEstimateBracketsExactSize) {
+  // Ties the join machinery to the Section 5.11 selectivity-estimation
+  // story: the histogram estimate should land near the exact GPU-counted
+  // size on uniform data.
+  const std::vector<uint32_t> left = RandomInts(2000, 8, 265);
+  const std::vector<uint32_t> right = RandomInts(2000, 8, 266);
+  const JoinSide ls = Upload(left, 8);
+  const JoinSide rs = Upload(right, 8);
+  ASSERT_OK_AND_ASSIGN(uint64_t exact, EquiJoinSize(&device_, ls, rs));
+
+  ASSERT_OK(device_.SetViewport(left.size()));
+  ASSERT_OK_AND_ASSIGN(Histogram hl,
+                       GpuHistogram(&device_, ls.key, 0, 256, 16));
+  ASSERT_OK(device_.SetViewport(right.size()));
+  ASSERT_OK_AND_ASSIGN(Histogram hr,
+                       GpuHistogram(&device_, rs.key, 0, 256, 16));
+  ASSERT_OK_AND_ASSIGN(double estimate, EstimateEquiJoinSize(hl, hr));
+  EXPECT_GT(estimate, 0.5 * static_cast<double>(exact));
+  EXPECT_LT(estimate, 2.0 * static_cast<double>(exact));
+}
+
+TEST_F(EquiJoinTest, TableConvenienceWrapper) {
+  auto orders = db::MakeUniformTable(600, 4, 1, /*seed=*/267);
+  auto customers = db::MakeUniformTable(300, 4, 1, /*seed=*/268);
+  ASSERT_TRUE(orders.ok() && customers.ok());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<JoinPair> pairs,
+      EquiJoinTables(&device_, customers.ValueOrDie(), "u0",
+                     orders.ValueOrDie(), "u0"));
+  std::vector<uint32_t> left_keys(customers.ValueOrDie().num_rows());
+  std::vector<uint32_t> right_keys(orders.ValueOrDie().num_rows());
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    left_keys[i] = customers.ValueOrDie().column(0).int_value(i);
+  }
+  for (size_t i = 0; i < right_keys.size(); ++i) {
+    right_keys[i] = orders.ValueOrDie().column(0).int_value(i);
+  }
+  std::sort(pairs.begin(), pairs.end(), operator_less);
+  const std::vector<JoinPair> expected = ReferenceJoin(left_keys, right_keys);
+  ASSERT_EQ(pairs.size(), expected.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].left_row, expected[i].left_row);
+    EXPECT_EQ(pairs[i].right_row, expected[i].right_row);
+  }
+  // Float key columns are rejected.
+  db::Table float_table;
+  auto fcol = db::Column::MakeFloat("f", {1.5f, 2.5f});
+  ASSERT_TRUE(fcol.ok());
+  ASSERT_OK(float_table.AddColumn(std::move(fcol).ValueOrDie()));
+  EXPECT_FALSE(EquiJoinTables(&device_, float_table, "f",
+                              orders.ValueOrDie(), "u0")
+                   .ok());
+  EXPECT_FALSE(EquiJoinTables(&device_, float_table, "nope",
+                              orders.ValueOrDie(), "u0")
+                   .ok());
+}
+
+TEST_F(EquiJoinTest, GuardsAndValidation) {
+  const JoinSide ls = Upload({1, 2}, 2);
+  const JoinSide rs = Upload({1, 2}, 2);
+  EXPECT_FALSE(EquiJoin(nullptr, ls, rs).ok());
+  JoinSide bad = ls;
+  bad.rows = 0;
+  EXPECT_FALSE(EquiJoin(&device_, bad, rs).ok());
+  bad = ls;
+  bad.key_bits = 0;
+  EXPECT_FALSE(EquiJoin(&device_, ls, bad).ok());
+  // Result-size guard.
+  std::vector<uint32_t> ones(200, 1);
+  const JoinSide big_l = Upload(ones, 1);
+  const JoinSide big_r = Upload(ones, 1);
+  EquiJoinOptions options;
+  options.max_result_pairs = 100;  // 200*200 pairs would overflow this
+  auto r = EquiJoin(&device_, big_l, big_r, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // Key-cardinality guard.
+  std::vector<uint32_t> many(300);
+  for (size_t i = 0; i < many.size(); ++i) many[i] = static_cast<uint32_t>(i);
+  const JoinSide wide = Upload(many, 9);
+  EquiJoinOptions few_keys;
+  few_keys.max_keys = 10;
+  EXPECT_FALSE(EquiJoin(&device_, wide, rs, few_keys).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

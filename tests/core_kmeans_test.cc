@@ -1,0 +1,131 @@
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/kmeans.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+/// Generates `per_blob` integer points around each center (well separated so
+/// boundary rounding cannot flip any assignment between GPU half-plane and
+/// CPU distance evaluation).
+struct Blobs {
+  std::vector<float> xs_f, ys_f;
+  std::vector<uint32_t> xs, ys;
+};
+
+Blobs MakeBlobs(const std::vector<std::pair<float, float>>& centers,
+                size_t per_blob, double sigma, uint64_t seed) {
+  Random rng(seed);
+  Blobs out;
+  for (const auto& [cx, cy] : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      const double x = std::clamp(cx + sigma * rng.NextGaussian(), 0.0, 1023.0);
+      const double y = std::clamp(cy + sigma * rng.NextGaussian(), 0.0, 1023.0);
+      out.xs.push_back(static_cast<uint32_t>(x));
+      out.ys.push_back(static_cast<uint32_t>(y));
+      out.xs_f.push_back(static_cast<float>(out.xs.back()));
+      out.ys_f.push_back(static_cast<float>(out.ys.back()));
+    }
+  }
+  return out;
+}
+
+class KMeansTest : public ::testing::Test {
+ protected:
+  KMeansTest() : device_(64, 64) {}
+
+  gpu::TextureId Upload(const Blobs& blobs) {
+    auto tex = gpu::Texture::FromColumns({&blobs.xs_f, &blobs.ys_f}, 64);
+    EXPECT_TRUE(tex.ok());
+    auto id = device_.UploadTexture(std::move(tex).ValueOrDie());
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(device_.SetViewport(blobs.xs.size()).ok());
+    return id.ValueOrDie();
+  }
+
+  gpu::Device device_;
+};
+
+TEST_F(KMeansTest, RecoversWellSeparatedClusters) {
+  const std::vector<std::pair<float, float>> truth = {
+      {150, 150}, {800, 200}, {400, 850}};
+  const Blobs blobs = MakeBlobs(truth, 400, 30.0, 311);
+  const gpu::TextureId tex = Upload(blobs);
+  const std::vector<std::pair<float, float>> init = {
+      {100, 100}, {900, 100}, {500, 900}};
+  ASSERT_OK_AND_ASSIGN(KMeansResult r,
+                       KMeans2D(&device_, tex, 10, init, 20));
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(r.centroids[j].first, truth[j].first, 10.0) << j;
+    EXPECT_NEAR(r.centroids[j].second, truth[j].second, 10.0) << j;
+    EXPECT_EQ(r.cluster_sizes[j], 400u);
+  }
+}
+
+TEST_F(KMeansTest, MatchesCpuReferenceExactly) {
+  const std::vector<std::pair<float, float>> truth = {{200, 300}, {700, 600}};
+  const Blobs blobs = MakeBlobs(truth, 500, 40.0, 312);
+  const gpu::TextureId tex = Upload(blobs);
+  const std::vector<std::pair<float, float>> init = {{100, 100}, {900, 900}};
+  ASSERT_OK_AND_ASSIGN(KMeansResult gpu_r,
+                       KMeans2D(&device_, tex, 10, init, 15));
+  const KMeansResult cpu_r = CpuKMeans2D(blobs.xs, blobs.ys, init, 15);
+  EXPECT_EQ(gpu_r.converged, cpu_r.converged);
+  EXPECT_EQ(gpu_r.iterations_run, cpu_r.iterations_run);
+  ASSERT_EQ(gpu_r.centroids.size(), cpu_r.centroids.size());
+  for (size_t j = 0; j < gpu_r.centroids.size(); ++j) {
+    EXPECT_EQ(gpu_r.cluster_sizes[j], cpu_r.cluster_sizes[j]) << j;
+    EXPECT_NEAR(gpu_r.centroids[j].first, cpu_r.centroids[j].first, 1e-3) << j;
+    EXPECT_NEAR(gpu_r.centroids[j].second, cpu_r.centroids[j].second, 1e-3)
+        << j;
+  }
+}
+
+TEST_F(KMeansTest, AssignmentIsAPartition) {
+  // Cluster sizes must sum to the point count every run, even with awkward
+  // centroids (the asymmetric tie rule guarantees a partition).
+  const Blobs blobs = MakeBlobs({{300, 300}, {320, 300}, {310, 320}}, 300,
+                                60.0, 313);
+  const gpu::TextureId tex = Upload(blobs);
+  const std::vector<std::pair<float, float>> init = {
+      {300, 300}, {320, 300}, {310, 320}};
+  ASSERT_OK_AND_ASSIGN(KMeansResult r, KMeans2D(&device_, tex, 10, init, 3));
+  uint64_t total = 0;
+  for (uint64_t size : r.cluster_sizes) total += size;
+  EXPECT_EQ(total, blobs.xs.size());
+}
+
+TEST_F(KMeansTest, EmptyClusterKeepsCentroid) {
+  const Blobs blobs = MakeBlobs({{100, 100}}, 200, 10.0, 314);
+  const gpu::TextureId tex = Upload(blobs);
+  // Second centroid far from all data: its cell stays empty.
+  const std::vector<std::pair<float, float>> init = {{100, 100}, {1000, 1000}};
+  ASSERT_OK_AND_ASSIGN(KMeansResult r, KMeans2D(&device_, tex, 10, init, 5));
+  EXPECT_EQ(r.cluster_sizes[1], 0u);
+  EXPECT_FLOAT_EQ(r.centroids[1].first, 1000.0f);
+  EXPECT_FLOAT_EQ(r.centroids[1].second, 1000.0f);
+  EXPECT_GT(r.cluster_sizes[0], 0u);
+}
+
+TEST_F(KMeansTest, ValidatesArguments) {
+  const Blobs blobs = MakeBlobs({{100, 100}}, 10, 5.0, 315);
+  const gpu::TextureId tex = Upload(blobs);
+  EXPECT_FALSE(KMeans2D(&device_, tex, 10, {{1, 1}}, 5).ok());       // k < 2
+  EXPECT_FALSE(KMeans2D(&device_, tex, 0, {{1, 1}, {2, 2}}, 5).ok());
+  EXPECT_FALSE(KMeans2D(&device_, tex, 25, {{1, 1}, {2, 2}}, 5).ok());
+  EXPECT_FALSE(KMeans2D(&device_, tex, 10, {{1, 1}, {2, 2}}, 0).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

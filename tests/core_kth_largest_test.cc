@@ -1,0 +1,214 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bit_util.h"
+#include "src/core/compare.h"
+#include "src/core/eval_cnf.h"
+#include "src/core/kth_largest.h"
+#include "src/cpu/quickselect.h"
+#include "src/cpu/scan.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using testing_util::RandomInts;
+using testing_util::ToFloats;
+using testing_util::UploadIntAttribute;
+
+class KthLargestTest : public ::testing::Test {
+ protected:
+  KthLargestTest() : device_(64, 64) {}
+  gpu::Device device_;
+};
+
+TEST_F(KthLargestTest, MatchesQuickSelectAcrossK) {
+  const std::vector<uint32_t> ints = RandomInts(3000, 12, 81);
+  const std::vector<float> floats = ToFloats(ints);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  for (uint64_t k : {uint64_t{1}, uint64_t{7}, uint64_t{100}, uint64_t{1500},
+                     uint64_t{2999}, uint64_t{3000}}) {
+    ASSERT_OK_AND_ASSIGN(uint32_t gpu_v, KthLargest(&device_, attr, 12, k));
+    ASSERT_OK_AND_ASSIGN(float cpu_v, cpu::QuickSelectLargest(floats, k));
+    EXPECT_EQ(gpu_v, static_cast<uint32_t>(cpu_v)) << "k=" << k;
+  }
+}
+
+TEST_F(KthLargestTest, PassCountIsBitWidthIndependentOfK) {
+  // Figure 7's flat curve: time is constant in k -- always one copy plus
+  // bit_width comparison passes.
+  const std::vector<uint32_t> ints = RandomInts(1000, 10, 82);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  uint64_t passes_for_k1 = 0;
+  for (uint64_t k : {uint64_t{1}, uint64_t{500}, uint64_t{1000}}) {
+    device_.ResetCounters();
+    ASSERT_OK(KthLargest(&device_, attr, 10, k).status());
+    const uint64_t passes = device_.counters().passes;
+    EXPECT_EQ(passes, 1u + 10u) << "k=" << k;
+    if (k == 1) passes_for_k1 = passes;
+    EXPECT_EQ(passes, passes_for_k1);
+    EXPECT_EQ(device_.counters().occlusion_readbacks, 10u);
+  }
+}
+
+TEST_F(KthLargestTest, DuplicateHeavyData) {
+  std::vector<uint32_t> ints(1000, 42);
+  for (size_t i = 0; i < 250; ++i) ints[i] = 17;
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  ASSERT_OK_AND_ASSIGN(uint32_t top, KthLargest(&device_, attr, 6, 1));
+  EXPECT_EQ(top, 42u);
+  ASSERT_OK_AND_ASSIGN(uint32_t mid, KthLargest(&device_, attr, 6, 750));
+  EXPECT_EQ(mid, 42u);
+  ASSERT_OK_AND_ASSIGN(uint32_t low, KthLargest(&device_, attr, 6, 751));
+  EXPECT_EQ(low, 17u);
+}
+
+TEST_F(KthLargestTest, KthSmallestMirrorsKthLargest) {
+  const std::vector<uint32_t> ints = RandomInts(800, 10, 83);
+  const std::vector<float> floats = ToFloats(ints);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  for (uint64_t k : {uint64_t{1}, uint64_t{400}, uint64_t{800}}) {
+    ASSERT_OK_AND_ASSIGN(uint32_t gpu_v, KthSmallest(&device_, attr, 10, k));
+    ASSERT_OK_AND_ASSIGN(float cpu_v, cpu::QuickSelectSmallest(floats, k));
+    EXPECT_EQ(gpu_v, static_cast<uint32_t>(cpu_v)) << "k=" << k;
+  }
+}
+
+TEST_F(KthLargestTest, MinMaxMedianWrappers) {
+  const std::vector<uint32_t> ints = RandomInts(999, 11, 84);
+  const std::vector<float> floats = ToFloats(ints);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  ASSERT_OK_AND_ASSIGN(uint32_t max_v, MaxValue(&device_, attr, 11));
+  EXPECT_EQ(max_v, static_cast<uint32_t>(
+                       *std::max_element(floats.begin(), floats.end())));
+  ASSERT_OK_AND_ASSIGN(uint32_t min_v, MinValue(&device_, attr, 11));
+  EXPECT_EQ(min_v, static_cast<uint32_t>(
+                       *std::min_element(floats.begin(), floats.end())));
+  ASSERT_OK_AND_ASSIGN(uint32_t med_v, MedianValue(&device_, attr, 11));
+  ASSERT_OK_AND_ASSIGN(float cpu_med, cpu::Median(floats));
+  EXPECT_EQ(med_v, static_cast<uint32_t>(cpu_med));
+}
+
+TEST_F(KthLargestTest, MaskedSelectionMatchesCpu) {
+  // Figure 9's experiment: median over an 80%-selectivity subset.
+  const std::vector<uint32_t> ints = RandomInts(2000, 12, 85);
+  const std::vector<float> floats = ToFloats(ints);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+
+  // Select records with value >= p20 via a GPU selection.
+  std::vector<float> sorted = floats;
+  std::sort(sorted.begin(), sorted.end());
+  const float p20 = sorted[sorted.size() / 5];
+  ASSERT_OK_AND_ASSIGN(
+      uint64_t selected,
+      CompareSelect(&device_, attr, gpu::CompareOp::kGreaterEqual, p20));
+  StencilSelection sel;
+  sel.valid_value = 1;
+  sel.count = selected;
+
+  std::vector<uint8_t> cpu_mask;
+  cpu::PredicateScan(floats, gpu::CompareOp::kGreaterEqual, p20, &cpu_mask);
+
+  KthOptions options;
+  options.selection = sel;
+  const uint64_t k = selected / 2;
+  ASSERT_OK_AND_ASSIGN(uint32_t gpu_v,
+                       KthLargest(&device_, attr, 12, k, options));
+  ASSERT_OK_AND_ASSIGN(float cpu_v,
+                       cpu::MaskedQuickSelectLargest(floats, cpu_mask, k));
+  EXPECT_EQ(gpu_v, static_cast<uint32_t>(cpu_v));
+}
+
+TEST_F(KthLargestTest, MaskedRunsSamePassCountAsUnmasked) {
+  // The paper's Section 5.9 Test 3 observation: selectivity does not change
+  // the GPU cost.
+  const std::vector<uint32_t> ints = RandomInts(1000, 10, 86);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  device_.ResetCounters();
+  ASSERT_OK(KthLargest(&device_, attr, 10, 500).status());
+  const uint64_t unmasked_passes = device_.counters().passes;
+
+  ASSERT_OK_AND_ASSIGN(
+      uint64_t selected,
+      CompareSelect(&device_, attr, gpu::CompareOp::kGreaterEqual, 100.0));
+  ASSERT_GT(selected, 0u);
+  StencilSelection sel{1, selected};
+  KthOptions options;
+  options.selection = sel;
+  device_.ResetCounters();
+  ASSERT_OK(KthLargest(&device_, attr, 10, selected / 2 + 1, options).status());
+  EXPECT_EQ(device_.counters().passes, unmasked_passes);
+}
+
+TEST_F(KthLargestTest, ValidatesArguments) {
+  const std::vector<uint32_t> ints = {1, 2, 3};
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  EXPECT_FALSE(KthLargest(&device_, attr, 0, 1).ok());
+  EXPECT_FALSE(KthLargest(&device_, attr, 25, 1).ok());
+  EXPECT_FALSE(KthLargest(&device_, attr, 4, 0).ok());
+  EXPECT_FALSE(KthLargest(&device_, attr, 4, 4).ok());  // k > n
+  EXPECT_FALSE(MedianValue(&device_, attr, 0).ok());
+}
+
+TEST_F(KthLargestTest, BatchMatchesIndividualQueries) {
+  const std::vector<uint32_t> ints = RandomInts(2000, 12, 87);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  const std::vector<uint64_t> ks = {1, 500, 1000, 1500, 2000};
+  ASSERT_OK_AND_ASSIGN(std::vector<uint32_t> batch,
+                       KthLargestBatch(&device_, attr, 12, ks));
+  ASSERT_EQ(batch.size(), ks.size());
+  for (size_t i = 0; i < ks.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(uint32_t single,
+                         KthLargest(&device_, attr, 12, ks[i]));
+    EXPECT_EQ(batch[i], single) << "k=" << ks[i];
+  }
+}
+
+TEST_F(KthLargestTest, BatchSharesTheCopyPass) {
+  const std::vector<uint32_t> ints = RandomInts(500, 10, 88);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  const std::vector<uint64_t> ks = {1, 100, 250, 400};
+  device_.ResetCounters();
+  ASSERT_OK(KthLargestBatch(&device_, attr, 10, ks).status());
+  // 1 shared copy + |ks| * bit_width comparison passes.
+  EXPECT_EQ(device_.counters().passes, 1u + ks.size() * 10u);
+
+  device_.ResetCounters();
+  for (uint64_t k : ks) {
+    ASSERT_OK(KthLargest(&device_, attr, 10, k).status());
+  }
+  EXPECT_EQ(device_.counters().passes, ks.size() * (1u + 10u));
+}
+
+TEST_F(KthLargestTest, BatchValidatesEveryK) {
+  const std::vector<uint32_t> ints = {1, 2, 3};
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  EXPECT_FALSE(KthLargestBatch(&device_, attr, 4, {}).ok());
+  EXPECT_FALSE(KthLargestBatch(&device_, attr, 4, {1, 0}).ok());
+  EXPECT_FALSE(KthLargestBatch(&device_, attr, 4, {1, 4}).ok());
+}
+
+TEST_F(KthLargestTest, ExtremeBitWidths) {
+  // 1-bit data.
+  std::vector<uint32_t> bits = {0, 1, 1, 0, 1};
+  AttributeBinding attr1 = UploadIntAttribute(&device_, bits);
+  ASSERT_OK_AND_ASSIGN(uint32_t v1, KthLargest(&device_, attr1, 1, 2));
+  EXPECT_EQ(v1, 1u);
+  ASSERT_OK_AND_ASSIGN(uint32_t v4, KthLargest(&device_, attr1, 1, 4));
+  EXPECT_EQ(v4, 0u);
+  // Full 24-bit data.
+  std::vector<uint32_t> big = {(1u << 24) - 1, 12345, 0, (1u << 23)};
+  AttributeBinding attr2 = UploadIntAttribute(&device_, big);
+  ASSERT_OK_AND_ASSIGN(uint32_t top, KthLargest(&device_, attr2, 24, 1));
+  EXPECT_EQ(top, (1u << 24) - 1);
+  ASSERT_OK_AND_ASSIGN(uint32_t second, KthLargest(&device_, attr2, 24, 2));
+  EXPECT_EQ(second, 1u << 23);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

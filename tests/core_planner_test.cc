@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/core/planner.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+TEST(PlannerTest, SelectionQueriesRouteToGpuAtScale) {
+  // Section 6.2.1: selection and semi-linear queries are the high-gain
+  // class; at a million records the GPU must win.
+  Planner planner;
+  for (OperationKind op :
+       {OperationKind::kPredicateSelect, OperationKind::kRangeSelect,
+        OperationKind::kSemilinearSelect}) {
+    const PlanDecision d = planner.Choose(op, 1'000'000);
+    EXPECT_EQ(d.backend, Backend::kGpu) << ToString(op);
+    EXPECT_GT(d.cpu_ms / d.gpu_ms, 2.0) << ToString(op);
+  }
+}
+
+TEST(PlannerTest, MultiAttributeRoutesToGpu) {
+  Planner planner;
+  const PlanDecision d =
+      planner.Choose(OperationKind::kMultiAttributeSelect, 1'000'000,
+                     /*detail=*/4);
+  EXPECT_EQ(d.backend, Backend::kGpu);
+  // Figure 5: "nearly 2 times faster".
+  EXPECT_GT(d.cpu_ms / d.gpu_ms, 1.5);
+  EXPECT_LT(d.cpu_ms / d.gpu_ms, 4.0);
+}
+
+TEST(PlannerTest, KthLargestRoutesToGpuWithMediumGain) {
+  Planner planner;
+  const PlanDecision d =
+      planner.Choose(OperationKind::kKthLargest, 250'000, /*detail=*/19);
+  EXPECT_EQ(d.backend, Backend::kGpu);
+  // Figure 7: about twice as fast.
+  EXPECT_GT(d.cpu_ms / d.gpu_ms, 1.3);
+  EXPECT_LT(d.cpu_ms / d.gpu_ms, 4.0);
+}
+
+TEST(PlannerTest, SumRoutesToCpu) {
+  // Section 6.2.3 / Figure 10: the Accumulator is ~20x slower than the
+  // CPU's SIMD sum.
+  Planner planner;
+  const PlanDecision d =
+      planner.Choose(OperationKind::kSum, 1'000'000, /*detail=*/19);
+  EXPECT_EQ(d.backend, Backend::kCpu);
+  EXPECT_GT(d.gpu_ms / d.cpu_ms, 10.0);
+  EXPECT_NE(d.rationale.find("20x"), std::string_view::npos);
+}
+
+TEST(PlannerTest, TinyInputsPreferCpu) {
+  // Fixed per-pass setup + readback latency dominates at small n, so the
+  // crossover pushes small selections back to the CPU.
+  Planner planner;
+  const PlanDecision d = planner.Choose(OperationKind::kPredicateSelect, 500);
+  EXPECT_EQ(d.backend, Backend::kCpu);
+}
+
+TEST(PlannerTest, CrossoverExistsForPredicates) {
+  Planner planner;
+  const double small_gpu = planner.GpuMs(OperationKind::kPredicateSelect, 100);
+  const double small_cpu = planner.CpuMs(OperationKind::kPredicateSelect, 100);
+  EXPECT_GT(small_gpu, small_cpu);
+  const double big_gpu =
+      planner.GpuMs(OperationKind::kPredicateSelect, 1'000'000);
+  const double big_cpu =
+      planner.CpuMs(OperationKind::kPredicateSelect, 1'000'000);
+  EXPECT_LT(big_gpu, big_cpu);
+}
+
+TEST(PlannerTest, ModelMatchesPaperHeadlineRatios) {
+  Planner planner;
+  const uint64_t n = 1'000'000;
+  // Figure 3: overall ~3x for single predicates.
+  EXPECT_NEAR(planner.CpuMs(OperationKind::kPredicateSelect, n) /
+                  planner.GpuMs(OperationKind::kPredicateSelect, n),
+              3.0, 0.5);
+  // Figure 4: overall ~5.5x for range queries.
+  EXPECT_NEAR(planner.CpuMs(OperationKind::kRangeSelect, n) /
+                  planner.GpuMs(OperationKind::kRangeSelect, n),
+              5.5, 0.8);
+  // Figure 6: ~9x for semi-linear queries.
+  EXPECT_NEAR(planner.CpuMs(OperationKind::kSemilinearSelect, n) /
+                  planner.GpuMs(OperationKind::kSemilinearSelect, n),
+              9.0, 1.5);
+}
+
+TEST(PlannerTest, CountIsCheapOnGpu) {
+  Planner planner;
+  const double ms = planner.GpuMs(OperationKind::kCount, 1'000'000);
+  // Section 5.11: counts over a 1000x1000 buffer within 0.25 ms plus the
+  // rendering pass.
+  EXPECT_LT(ms, 0.5);
+  const PlanDecision d = planner.Choose(OperationKind::kCount, 1'000'000);
+  EXPECT_EQ(d.backend, Backend::kGpu);
+}
+
+TEST(PlannerTest, RationaleAlwaysProvided) {
+  Planner planner;
+  for (OperationKind op :
+       {OperationKind::kPredicateSelect, OperationKind::kRangeSelect,
+        OperationKind::kMultiAttributeSelect, OperationKind::kSemilinearSelect,
+        OperationKind::kKthLargest, OperationKind::kSum,
+        OperationKind::kCount}) {
+    EXPECT_FALSE(planner.Choose(op, 1'000'000, 8).rationale.empty())
+        << ToString(op);
+  }
+}
+
+TEST(PlannerTest, OperationNamesRoundTrip) {
+  EXPECT_EQ(ToString(OperationKind::kSum), "sum");
+  EXPECT_EQ(ToString(Backend::kGpu), "GPU");
+  EXPECT_EQ(ToString(Backend::kCpu), "CPU");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

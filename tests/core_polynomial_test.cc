@@ -1,0 +1,152 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/polynomial.h"
+#include "src/cpu/scan.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using gpu::CompareOp;
+using testing_util::RandomInts;
+using testing_util::ToFloats;
+
+class PolynomialTest : public ::testing::Test {
+ protected:
+  PolynomialTest() : device_(64, 64) {}
+
+  gpu::TextureId Upload(const std::vector<const std::vector<float>*>& cols) {
+    auto tex = gpu::Texture::FromColumns(cols, 64);
+    EXPECT_TRUE(tex.ok());
+    auto id = device_.UploadTexture(std::move(tex).ValueOrDie());
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(device_.SetViewport(cols[0]->size()).ok());
+    return id.ValueOrDie();
+  }
+
+  gpu::Device device_;
+};
+
+TEST_F(PolynomialTest, QuadraticMatchesCpu) {
+  // x^2 - 10x > 200 over small integers (exact in float).
+  const std::vector<float> x = ToFloats(RandomInts(2000, 6, 231));
+  const gpu::TextureId tex = Upload({&x, &x});
+  PolynomialQuery q;
+  q.weights = {1.0f, -10.0f, 0, 0};
+  q.exponents = {2, 1, 1, 1};
+  q.op = CompareOp::kGreater;
+  q.b = 200.0f;
+  std::vector<uint8_t> mask;
+  const uint64_t expected = cpu::PolynomialScan(
+      {&x, &x}, q.weights, q.exponents, q.op, q.b, &mask);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, PolynomialSelect(&device_, tex, q));
+  EXPECT_EQ(count, expected);
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, x.size());
+}
+
+TEST_F(PolynomialTest, DegreeOneReducesToSemilinear) {
+  const std::vector<float> a = ToFloats(RandomInts(1000, 8, 232));
+  const std::vector<float> b = ToFloats(RandomInts(1000, 8, 233));
+  const gpu::TextureId tex = Upload({&a, &b});
+  PolynomialQuery q;
+  q.weights = {1.0f, -1.0f, 0, 0};
+  q.exponents = {1, 1, 1, 1};
+  q.op = CompareOp::kGreaterEqual;
+  q.b = 0.0f;
+  std::vector<uint8_t> mask;
+  const uint64_t expected =
+      cpu::AttrCompareScan(a, b, CompareOp::kGreaterEqual, &mask);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, PolynomialSelect(&device_, tex, q));
+  EXPECT_EQ(count, expected);
+}
+
+TEST_F(PolynomialTest, EllipseMembershipQuery) {
+  // The GIS-flavored use the paper motivates for semi-linear sets, extended
+  // to degree 2: points inside x^2/a^2 + y^2/b^2 <= 1 (scaled).
+  std::vector<float> x, y;
+  for (int i = -20; i <= 20; ++i) {
+    for (int j = -20; j <= 20; ++j) {
+      x.push_back(static_cast<float>(i));
+      y.push_back(static_cast<float>(j));
+    }
+  }
+  const gpu::TextureId tex = Upload({&x, &y});
+  PolynomialQuery q;
+  q.weights = {1.0f, 4.0f, 0, 0};  // x^2 + 4 y^2 <= 400
+  q.exponents = {2, 2, 1, 1};
+  q.op = CompareOp::kLessEqual;
+  q.b = 400.0f;
+  uint64_t expected = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    expected += (x[i] * x[i] + 4.0f * y[i] * y[i] <= 400.0f) ? 1 : 0;
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t count, PolynomialSelect(&device_, tex, q));
+  EXPECT_EQ(count, expected);
+}
+
+TEST_F(PolynomialTest, ZeroExponentGivesConstantTerm) {
+  const std::vector<float> a = {1, 2, 3, 4};
+  const gpu::TextureId tex = Upload({&a});
+  PolynomialQuery q;
+  q.weights = {5.0f, 0, 0, 0};
+  q.exponents = {0, 1, 1, 1};  // 5 * a^0 == 5 for every record
+  q.op = CompareOp::kEqual;
+  q.b = 5.0f;
+  ASSERT_OK_AND_ASSIGN(uint64_t count, PolynomialSelect(&device_, tex, q));
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(PolynomialTest, InstructionCountGrowsWithDegree) {
+  const std::vector<float> a = ToFloats(RandomInts(100, 6, 234));
+  const gpu::TextureId tex = Upload({&a});
+  PolynomialQuery linear;
+  linear.weights = {1.0f, 0, 0, 0};
+  linear.exponents = {1, 1, 1, 1};
+  linear.op = CompareOp::kGreaterEqual;
+  linear.b = 0.0f;
+  device_.ResetCounters();
+  ASSERT_OK(PolynomialSelect(&device_, tex, linear).status());
+  const uint64_t linear_instr = device_.counters().fp_instructions_executed;
+
+  PolynomialQuery cubic = linear;
+  cubic.exponents = {3, 1, 1, 1};
+  device_.ResetCounters();
+  ASSERT_OK(PolynomialSelect(&device_, tex, cubic).status());
+  EXPECT_GT(device_.counters().fp_instructions_executed, linear_instr);
+}
+
+TEST_F(PolynomialTest, MarksSelectionInStencil) {
+  const std::vector<float> a = {1, 5, 9, 2};
+  const gpu::TextureId tex = Upload({&a});
+  PolynomialQuery q;
+  q.weights = {1.0f, 0, 0, 0};
+  q.exponents = {2, 1, 1, 1};
+  q.op = CompareOp::kGreater;
+  q.b = 20.0f;  // a^2 > 20: {5, 9}
+  ASSERT_OK_AND_ASSIGN(uint64_t count, PolynomialSelect(&device_, tex, q));
+  EXPECT_EQ(count, 2u);
+  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  EXPECT_EQ(stencil[0], 0);
+  EXPECT_EQ(stencil[1], 1);
+  EXPECT_EQ(stencil[2], 1);
+  EXPECT_EQ(stencil[3], 0);
+}
+
+TEST_F(PolynomialTest, RejectsBadExponents) {
+  const std::vector<float> a = {1};
+  const gpu::TextureId tex = Upload({&a});
+  PolynomialQuery q;
+  q.exponents = {9, 1, 1, 1};
+  EXPECT_FALSE(PolynomialSelect(&device_, tex, q).ok());
+  q.exponents = {-1, 1, 1, 1};
+  EXPECT_FALSE(PolynomialSelect(&device_, tex, q).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

@@ -1,0 +1,115 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/range.h"
+#include "src/cpu/scan.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using testing_util::RandomInts;
+using testing_util::ToFloats;
+using testing_util::UploadIntAttribute;
+
+class RangeTest : public ::testing::Test {
+ protected:
+  RangeTest() : device_(100, 100) {}
+  gpu::Device device_;
+};
+
+TEST_F(RangeTest, CountMatchesCpu) {
+  const std::vector<uint32_t> ints = RandomInts(4000, 12, 61);
+  const std::vector<float> floats = ToFloats(ints);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  std::vector<uint8_t> cpu_mask;
+  const uint64_t expected = cpu::RangeScan(floats, 500.0f, 3000.0f, &cpu_mask);
+  ASSERT_OK_AND_ASSIGN(uint64_t count,
+                       RangeSelect(&device_, attr, 500.0, 3000.0));
+  EXPECT_EQ(count, expected);
+  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  for (size_t i = 0; i < ints.size(); ++i) {
+    EXPECT_EQ(stencil[i], cpu_mask[i]) << "record " << i;
+  }
+}
+
+TEST_F(RangeTest, BoundsAreInclusive) {
+  const std::vector<uint32_t> ints = {5, 10, 15, 20, 25};
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, RangeSelect(&device_, attr, 10, 20));
+  EXPECT_EQ(count, 3u);  // 10, 15, 20
+}
+
+TEST_F(RangeTest, DegenerateSingleValueRange) {
+  const std::vector<uint32_t> ints = {5, 10, 10, 20};
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, RangeSelect(&device_, attr, 10, 10));
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(RangeTest, RejectsInvertedRange) {
+  const std::vector<uint32_t> ints = {1, 2, 3};
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  EXPECT_FALSE(RangeSelect(&device_, attr, 20, 10).ok());
+  EXPECT_FALSE(RangeSelectTwoPass(&device_, attr, 20, 10).ok());
+}
+
+TEST_F(RangeTest, TwoPassBaselineAgrees) {
+  const std::vector<uint32_t> ints = RandomInts(2000, 10, 62);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  ASSERT_OK_AND_ASSIGN(uint64_t bounds_count,
+                       RangeSelect(&device_, attr, 200.0, 800.0));
+  ASSERT_OK_AND_ASSIGN(uint64_t two_pass_count,
+                       RangeSelectTwoPass(&device_, attr, 200.0, 800.0));
+  EXPECT_EQ(bounds_count, two_pass_count);
+}
+
+TEST_F(RangeTest, TwoPassNormalizesStencilToBinary) {
+  const std::vector<uint32_t> ints = RandomInts(500, 8, 63);
+  const std::vector<float> floats = ToFloats(ints);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  std::vector<uint8_t> cpu_mask;
+  cpu::RangeScan(floats, 64.0f, 192.0f, &cpu_mask);
+  ASSERT_OK(RangeSelectTwoPass(&device_, attr, 64.0, 192.0).status());
+  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  for (size_t i = 0; i < ints.size(); ++i) {
+    EXPECT_EQ(stencil[i], cpu_mask[i]) << "record " << i;
+  }
+}
+
+TEST_F(RangeTest, DepthBoundsPathUsesFewerComparisonPasses) {
+  // The point of Routine 4.4: the depth-bounds range costs like a single
+  // predicate, while the CNF formulation needs two comparison passes plus
+  // normalization.
+  const std::vector<uint32_t> ints = RandomInts(500, 8, 64);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  device_.ResetCounters();
+  ASSERT_OK(RangeSelect(&device_, attr, 10, 200).status());
+  const uint64_t bounds_passes = device_.counters().passes;
+  device_.ResetCounters();
+  ASSERT_OK(RangeSelectTwoPass(&device_, attr, 10, 200).status());
+  const uint64_t two_pass_passes = device_.counters().passes;
+  EXPECT_LT(bounds_passes, two_pass_passes);
+  EXPECT_EQ(bounds_passes, 2u);  // copy + one bounds-tested quad
+}
+
+TEST_F(RangeTest, FullDomainRangeSelectsEverything) {
+  const std::vector<uint32_t> ints = RandomInts(300, 8, 65);
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, RangeSelect(&device_, attr, 0, 255));
+  EXPECT_EQ(count, 300u);
+}
+
+TEST_F(RangeTest, EmptyRangeBelowDomain) {
+  const std::vector<uint32_t> ints = {10, 20, 30};
+  AttributeBinding attr = UploadIntAttribute(&device_, ints);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, RangeSelect(&device_, attr, 1, 5));
+  EXPECT_EQ(count, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

@@ -1,0 +1,139 @@
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/stream.h"
+#include "src/cpu/quickselect.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using testing_util::RandomInts;
+
+class StreamWindowTest : public ::testing::Test {
+ protected:
+  StreamWindowTest() : device_(32, 32) {}
+  gpu::Device device_;
+};
+
+TEST_F(StreamWindowTest, MakeValidatesArguments) {
+  EXPECT_FALSE(StreamWindow::Make(nullptr, 10, 8).ok());
+  EXPECT_FALSE(StreamWindow::Make(&device_, 0, 8).ok());
+  EXPECT_FALSE(StreamWindow::Make(&device_, 2000, 8).ok());  // > 1024 pixels
+  EXPECT_FALSE(StreamWindow::Make(&device_, 10, 0).ok());
+  EXPECT_FALSE(StreamWindow::Make(&device_, 10, 25).ok());
+  EXPECT_TRUE(StreamWindow::Make(&device_, 1024, 8).ok());
+}
+
+TEST_F(StreamWindowTest, FillsThenSlides) {
+  ASSERT_OK_AND_ASSIGN(StreamWindow window,
+                       StreamWindow::Make(&device_, 100, 10));
+  EXPECT_EQ(window.size(), 0u);
+  EXPECT_FALSE(window.Sum().ok());  // empty window
+
+  ASSERT_OK(window.Push({1, 2, 3}));
+  EXPECT_EQ(window.size(), 3u);
+  ASSERT_OK_AND_ASSIGN(uint64_t sum, window.Sum());
+  EXPECT_EQ(sum, 6u);
+
+  // Fill to capacity and beyond; the oldest records must be evicted.
+  std::vector<uint32_t> batch(97, 10);
+  ASSERT_OK(window.Push(batch));
+  EXPECT_EQ(window.size(), 100u);
+  ASSERT_OK_AND_ASSIGN(uint64_t full_sum, window.Sum());
+  EXPECT_EQ(full_sum, 6u + 97u * 10u);
+
+  // Push 5 more: evicts {1,2,3} and two 10s.
+  ASSERT_OK(window.Push({100, 100, 100, 100, 100}));
+  EXPECT_EQ(window.size(), 100u);
+  ASSERT_OK_AND_ASSIGN(uint64_t slid_sum, window.Sum());
+  EXPECT_EQ(slid_sum, 95u * 10u + 5u * 100u);
+}
+
+TEST_F(StreamWindowTest, MatchesDequeReferenceUnderRandomTraffic) {
+  constexpr uint64_t kCapacity = 200;
+  ASSERT_OK_AND_ASSIGN(StreamWindow window,
+                       StreamWindow::Make(&device_, kCapacity, 12));
+  std::deque<uint32_t> reference;
+  Random rng(251);
+  for (int round = 0; round < 20; ++round) {
+    const size_t batch_size = 1 + rng.NextUint64(80);
+    std::vector<uint32_t> batch(batch_size);
+    for (auto& v : batch) {
+      v = static_cast<uint32_t>(rng.NextUint64(1u << 12));
+    }
+    ASSERT_OK(window.Push(batch));
+    for (uint32_t v : batch) {
+      reference.push_back(v);
+      if (reference.size() > kCapacity) reference.pop_front();
+    }
+    ASSERT_EQ(window.size(), reference.size());
+
+    uint64_t expected_sum = 0;
+    for (uint32_t v : reference) expected_sum += v;
+    ASSERT_OK_AND_ASSIGN(uint64_t sum, window.Sum());
+    ASSERT_EQ(sum, expected_sum) << "round " << round;
+
+    const std::vector<float> ref_floats(reference.begin(), reference.end());
+    ASSERT_OK_AND_ASSIGN(uint32_t med, window.Median());
+    ASSERT_OK_AND_ASSIGN(float expected_med, cpu::Median(ref_floats));
+    ASSERT_EQ(med, static_cast<uint32_t>(expected_med)) << "round " << round;
+  }
+}
+
+TEST_F(StreamWindowTest, CountAndKthOverWindow) {
+  ASSERT_OK_AND_ASSIGN(StreamWindow window,
+                       StreamWindow::Make(&device_, 50, 8));
+  std::vector<uint32_t> values(50);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<uint32_t>(i);  // 0..49
+  }
+  ASSERT_OK(window.Push(values));
+  ASSERT_OK_AND_ASSIGN(uint64_t count,
+                       window.Count(gpu::CompareOp::kGreaterEqual, 40.0));
+  EXPECT_EQ(count, 10u);
+  ASSERT_OK_AND_ASSIGN(uint32_t top3, window.KthLargest(3));
+  EXPECT_EQ(top3, 47u);
+}
+
+TEST_F(StreamWindowTest, OversizedBatchKeepsSuffix) {
+  ASSERT_OK_AND_ASSIGN(StreamWindow window,
+                       StreamWindow::Make(&device_, 10, 8));
+  std::vector<uint32_t> batch(25);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i] = static_cast<uint32_t>(i);  // 0..24
+  }
+  ASSERT_OK(window.Push(batch));
+  EXPECT_EQ(window.size(), 10u);
+  // Window must hold 15..24.
+  ASSERT_OK_AND_ASSIGN(uint64_t sum, window.Sum());
+  uint64_t expected = 0;
+  for (uint32_t v = 15; v <= 24; ++v) expected += v;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST_F(StreamWindowTest, RejectsOutOfDomainValues) {
+  ASSERT_OK_AND_ASSIGN(StreamWindow window,
+                       StreamWindow::Make(&device_, 10, 4));
+  EXPECT_FALSE(window.Push({16}).ok());  // 4-bit domain is [0, 16)
+  EXPECT_TRUE(window.Push({15}).ok());
+}
+
+TEST_F(StreamWindowTest, IncrementalUploadsOnlyNewRecords) {
+  ASSERT_OK_AND_ASSIGN(StreamWindow window,
+                       StreamWindow::Make(&device_, 500, 8));
+  ASSERT_OK(window.Push(RandomInts(500, 8, 252)));
+  device_.ResetCounters();
+  ASSERT_OK(window.Push(RandomInts(20, 8, 253)));
+  // Only the 20 new records (80 bytes) cross the bus.
+  EXPECT_EQ(device_.counters().bytes_uploaded, 20u * 4u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

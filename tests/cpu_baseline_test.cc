@@ -1,0 +1,232 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/aggregate.h"
+#include "src/cpu/quickselect.h"
+#include "src/cpu/scan.h"
+#include "src/cpu/xeon_model.h"
+#include "src/db/datagen.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace cpu {
+namespace {
+
+using gpu::CompareOp;
+using testing_util::RandomInts;
+using testing_util::ToFloats;
+
+TEST(PredicateScanTest, AllOperatorsMatchNaive) {
+  const std::vector<float> values = ToFloats(RandomInts(500, 8, 3));
+  const float c = 100.0f;
+  for (CompareOp op : {CompareOp::kLess, CompareOp::kLessEqual,
+                       CompareOp::kEqual, CompareOp::kGreaterEqual,
+                       CompareOp::kGreater, CompareOp::kNotEqual,
+                       CompareOp::kAlways, CompareOp::kNever}) {
+    std::vector<uint8_t> mask;
+    const uint64_t count = PredicateScan(values, op, c, &mask);
+    uint64_t expected = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const bool want = gpu::EvalCompare(op, values[i], c);
+      EXPECT_EQ(mask[i], want ? 1 : 0);
+      expected += want;
+    }
+    EXPECT_EQ(count, expected) << gpu::ToString(op);
+  }
+}
+
+TEST(RangeScanTest, InclusiveBounds) {
+  const std::vector<float> values = {1, 5, 10, 15, 20};
+  std::vector<uint8_t> mask;
+  const uint64_t count = RangeScan(values, 5.0f, 15.0f, &mask);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(mask[0], 0);
+  EXPECT_EQ(mask[1], 1);
+  EXPECT_EQ(mask[4], 0);
+}
+
+TEST(AttrCompareScanTest, MatchesPerRow) {
+  const std::vector<float> a = ToFloats(RandomInts(300, 8, 5));
+  const std::vector<float> b = ToFloats(RandomInts(300, 8, 6));
+  std::vector<uint8_t> mask;
+  const uint64_t count = AttrCompareScan(a, b, CompareOp::kGreater, &mask);
+  uint64_t expected = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(mask[i], a[i] > b[i] ? 1 : 0);
+    expected += a[i] > b[i];
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(SemilinearScanTest, DotProductPredicate) {
+  const std::vector<float> a = ToFloats(RandomInts(200, 8, 7));
+  const std::vector<float> b = ToFloats(RandomInts(200, 8, 8));
+  std::vector<uint8_t> mask;
+  const uint64_t count = SemilinearScan({&a, &b}, {2.0f, -1.0f, 0, 0},
+                                        CompareOp::kGreaterEqual, 50.0f,
+                                        &mask);
+  uint64_t expected = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool want = 2.0f * a[i] - b[i] >= 50.0f;
+    EXPECT_EQ(mask[i], want ? 1 : 0);
+    expected += want;
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(CnfScanTest, MatchesExpressionEvaluation) {
+  ASSERT_OK_AND_ASSIGN(db::Table t, db::MakeUniformTable(300, 8, 3, 17));
+  using predicate::Expr;
+  auto e = Expr::And(
+      Expr::Or(Expr::Pred(0, CompareOp::kLess, 100.0f),
+               Expr::Pred(1, CompareOp::kGreaterEqual, 200.0f)),
+      Expr::PredAttr(1, CompareOp::kLessEqual, 2));
+  ASSERT_OK_AND_ASSIGN(predicate::Cnf cnf, predicate::ToCnf(e));
+  std::vector<uint8_t> mask;
+  ASSERT_OK_AND_ASSIGN(uint64_t count, CnfScan(t, cnf, &mask));
+  uint64_t expected = 0;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    const bool want = e->EvaluateRow(t, row);
+    EXPECT_EQ(mask[row], want ? 1 : 0) << "row " << row;
+    expected += want;
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(CnfScanTest, RejectsBadCnf) {
+  ASSERT_OK_AND_ASSIGN(db::Table t, db::MakeUniformTable(10, 8, 1, 1));
+  predicate::Cnf empty_clause;
+  empty_clause.clauses.push_back({});
+  std::vector<uint8_t> mask;
+  EXPECT_FALSE(CnfScan(t, empty_clause, &mask).ok());
+
+  predicate::Cnf bad_column;
+  predicate::SimplePredicate p;
+  p.attr = 9;
+  bad_column.clauses.push_back({p});
+  EXPECT_FALSE(CnfScan(t, bad_column, &mask).ok());
+}
+
+TEST(QuickSelectTest, MatchesSortedOrder) {
+  const std::vector<float> values = ToFloats(RandomInts(1000, 12, 21));
+  std::vector<float> sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<float>());
+  for (uint64_t k : {uint64_t{1}, uint64_t{2}, uint64_t{10}, uint64_t{500},
+                     uint64_t{999}, uint64_t{1000}}) {
+    ASSERT_OK_AND_ASSIGN(float v, QuickSelectLargest(values, k));
+    EXPECT_EQ(v, sorted[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(QuickSelectTest, SmallestMatchesSortedOrder) {
+  const std::vector<float> values = ToFloats(RandomInts(1000, 12, 22));
+  std::vector<float> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t k : {uint64_t{1}, uint64_t{3}, uint64_t{500}, uint64_t{1000}}) {
+    ASSERT_OK_AND_ASSIGN(float v, QuickSelectSmallest(values, k));
+    EXPECT_EQ(v, sorted[k - 1]) << "k=" << k;
+  }
+}
+
+TEST(QuickSelectTest, HandlesDuplicateHeavyInput) {
+  std::vector<float> values(500, 7.0f);
+  for (size_t i = 0; i < 100; ++i) values[i] = 3.0f;
+  // 400 sevens then 100 threes in descending order.
+  ASSERT_OK_AND_ASSIGN(float v400, QuickSelectLargest(values, 400));
+  EXPECT_EQ(v400, 7.0f);
+  ASSERT_OK_AND_ASSIGN(float v401, QuickSelectLargest(values, 401));
+  EXPECT_EQ(v401, 3.0f);
+  ASSERT_OK_AND_ASSIGN(float w, QuickSelectSmallest(values, 50));
+  EXPECT_EQ(w, 3.0f);
+}
+
+TEST(QuickSelectTest, ValidatesArguments) {
+  EXPECT_FALSE(QuickSelectLargest({}, 1).ok());
+  EXPECT_FALSE(QuickSelectLargest({1.0f}, 0).ok());
+  EXPECT_FALSE(QuickSelectLargest({1.0f}, 2).ok());
+}
+
+TEST(MedianTest, OddAndEvenLengths) {
+  EXPECT_EQ(Median({3, 1, 2}).ValueOrDie(), 2.0f);
+  // Even length: (n+1)/2 = 2nd smallest.
+  EXPECT_EQ(Median({4, 1, 3, 2}).ValueOrDie(), 2.0f);
+  EXPECT_FALSE(Median({}).ok());
+}
+
+TEST(MaskedQuickSelectTest, SelectsOnlyMaskedValues) {
+  const std::vector<float> values = {10, 20, 30, 40, 50};
+  const std::vector<uint8_t> mask = {1, 0, 1, 0, 1};  // {10, 30, 50}
+  EXPECT_EQ(MaskedQuickSelectLargest(values, mask, 1).ValueOrDie(), 50.0f);
+  EXPECT_EQ(MaskedQuickSelectLargest(values, mask, 2).ValueOrDie(), 30.0f);
+  EXPECT_EQ(MaskedQuickSelectLargest(values, mask, 3).ValueOrDie(), 10.0f);
+  EXPECT_FALSE(MaskedQuickSelectLargest(values, mask, 4).ok());
+  EXPECT_FALSE(MaskedQuickSelectLargest(values, {1, 0}, 1).ok());
+  EXPECT_FALSE(
+      MaskedQuickSelectLargest(values, {0, 0, 0, 0, 0}, 1).ok());
+}
+
+TEST(AggregateTest, SumIntExact) {
+  const std::vector<uint32_t> ints = RandomInts(10000, 16, 31);
+  const std::vector<float> values = ToFloats(ints);
+  uint64_t expected = 0;
+  for (uint32_t v : ints) expected += v;
+  EXPECT_EQ(SumInt(values), expected);
+}
+
+TEST(AggregateTest, MaskedSumAndAvg) {
+  const std::vector<float> values = {1, 2, 3, 4};
+  const std::vector<uint8_t> mask = {1, 0, 1, 0};
+  EXPECT_EQ(MaskedSumInt(values, mask), 4u);
+  EXPECT_EQ(CountMask(mask), 2u);
+  EXPECT_DOUBLE_EQ(MaskedAvgInt(values, mask).ValueOrDie(), 2.0);
+  EXPECT_FALSE(MaskedAvgInt(values, {0, 0, 0, 0}).ok());
+  EXPECT_FALSE(MaskedAvgInt(values, {1, 0}).ok());
+}
+
+TEST(AggregateTest, MinMax) {
+  EXPECT_EQ(MinValue({3, 1, 2}).ValueOrDie(), 1.0f);
+  EXPECT_EQ(MaxValue({3, 1, 2}).ValueOrDie(), 3.0f);
+  EXPECT_FALSE(MinValue({}).ok());
+  EXPECT_FALSE(MaxValue({}).ok());
+}
+
+TEST(XeonModelTest, CalibratedCostsMatchDesignDoc) {
+  XeonModel model;
+  // DESIGN.md section 6: ~6.0 ms per million-record predicate scan, etc.
+  EXPECT_NEAR(model.PredicateScanMs(1000000), 6.0, 0.1);
+  EXPECT_NEAR(model.RangeScanMs(1000000), 11.1, 0.2);
+  EXPECT_NEAR(model.SemilinearScanMs(1000000), 10.0, 0.2);
+  EXPECT_NEAR(model.SumMs(1000000), 1.39, 0.05);
+  EXPECT_NEAR(model.QuickSelectMs(250000), 6.25, 0.2);
+}
+
+TEST(XeonModelTest, SortIsNLogN) {
+  XeonModel model;
+  EXPECT_EQ(model.SortMs(1), 0.0);
+  // 1M floats at 5 cycles per element per level: ~35.7 ms.
+  EXPECT_NEAR(model.SortMs(1'000'000), 35.7, 0.5);
+  // Doubling n slightly more than doubles the time.
+  EXPECT_GT(model.SortMs(2'000'000), 2.0 * model.SortMs(1'000'000));
+}
+
+TEST(XeonModelTest, MultiAttributeScalesLinearly) {
+  XeonModel model;
+  const double one = model.MultiAttributeScanMs(1000000, 1);
+  EXPECT_NEAR(model.MultiAttributeScanMs(1000000, 4), 4 * one, 1e-9);
+}
+
+TEST(XeonModelTest, MaskedQuickSelectClosesToFull) {
+  // Paper Section 5.9 Test 3: the masked CPU baseline costs about the same
+  // as the full run (copy + select over survivors).
+  XeonModel model;
+  const double full = model.QuickSelectMs(250000);
+  const double masked = model.MaskedQuickSelectMs(250000, 200000);
+  EXPECT_GT(masked, 0.8 * full);
+  EXPECT_LT(masked, 1.2 * full);
+}
+
+}  // namespace
+}  // namespace cpu
+}  // namespace gpudb

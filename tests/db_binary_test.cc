@@ -1,0 +1,110 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/db/binary_io.h"
+#include "src/db/datagen.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace db {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(BinaryIoTest, RoundTripsMixedTypes) {
+  Table original;
+  ASSERT_OK_AND_ASSIGN(Column ints,
+                       Column::MakeInt24("counts", {0, 1, 12345, (1u << 24) - 1}));
+  ASSERT_OK_AND_ASSIGN(Column floats,
+                       Column::MakeFloat("scores", {-1.5f, 0.0f, 3.25f, 1e6f}));
+  ASSERT_OK(original.AddColumn(std::move(ints)));
+  ASSERT_OK(original.AddColumn(std::move(floats)));
+
+  const std::string path = TempPath("gpudb_binary_roundtrip.gpdb");
+  ASSERT_OK(WriteBinary(original, path));
+  ASSERT_OK_AND_ASSIGN(Table reloaded, ReadBinary(path));
+  ASSERT_EQ(reloaded.num_rows(), original.num_rows());
+  ASSERT_EQ(reloaded.num_columns(), original.num_columns());
+  for (size_t c = 0; c < original.num_columns(); ++c) {
+    EXPECT_EQ(reloaded.column(c).name(), original.column(c).name());
+    EXPECT_EQ(reloaded.column(c).type(), original.column(c).type());
+    for (size_t row = 0; row < original.num_rows(); ++row) {
+      EXPECT_EQ(reloaded.column(c).value(row), original.column(c).value(row));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripsGeneratedWorkload) {
+  ASSERT_OK_AND_ASSIGN(Table table, MakeTcpIpTable(5000));
+  const std::string path = TempPath("gpudb_binary_tcpip.gpdb");
+  ASSERT_OK(WriteBinary(table, path));
+  ASSERT_OK_AND_ASSIGN(Table reloaded, ReadBinary(path));
+  EXPECT_EQ(reloaded.num_rows(), 5000u);
+  EXPECT_EQ(reloaded.column(0).bit_width(), table.column(0).bit_width());
+  EXPECT_EQ(reloaded.column(2).value(4321), table.column(2).value(4321));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsCorruptInput) {
+  EXPECT_FALSE(ReadBinary("/no/such/file.gpdb").ok());
+  const std::string path = TempPath("gpudb_binary_corrupt.gpdb");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE this is not a table";
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+  {
+    // Valid magic, truncated header.
+    std::ofstream out(path, std::ios::binary);
+    out << "GPDB";
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+
+  Table empty;
+  EXPECT_FALSE(WriteBinary(empty, TempPath("x.gpdb")).ok());
+}
+
+TEST(BinaryIoTest, RejectsTruncatedColumnData) {
+  ASSERT_OK_AND_ASSIGN(Table table, MakeUniformTable(100, 8, 2));
+  const std::string path = TempPath("gpudb_binary_truncated.gpdb");
+  ASSERT_OK(WriteBinary(table, path));
+  // Chop the file short.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::string bytes(size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(size));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(size / 2));
+  }
+  EXPECT_FALSE(ReadBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TableFormatTest, FormatRowsAlignsAndTruncates) {
+  Table t;
+  ASSERT_OK_AND_ASSIGN(Column a, Column::MakeInt24("id", {7, 42, 100000}));
+  ASSERT_OK_AND_ASSIGN(Column b, Column::MakeFloat("score", {1.5f, -2.0f, 0.25f}));
+  ASSERT_OK(t.AddColumn(std::move(a)));
+  ASSERT_OK(t.AddColumn(std::move(b)));
+  const std::string text = t.FormatRows({2, 0}, /*max_rows=*/10);
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("100000"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_EQ(text.find("42"), std::string::npos);  // row 1 not requested
+  const std::string truncated = t.FormatRows({0, 1, 2}, /*max_rows=*/2);
+  EXPECT_NE(truncated.find("(1 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace gpudb

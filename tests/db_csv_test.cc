@@ -1,0 +1,87 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/db/csv.h"
+#include "src/db/datagen.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace db {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTypes) {
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsv("a,b,c\n"
+                                        "1,2.5,3\n"
+                                        "4,5.25,6\n"));
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.column(0).type(), ColumnType::kInt24);   // all integral
+  EXPECT_EQ(t.column(1).type(), ColumnType::kFloat32); // fractional
+  EXPECT_EQ(t.column(2).type(), ColumnType::kInt24);
+  EXPECT_EQ(t.column(0).int_value(1), 4u);
+  EXPECT_FLOAT_EQ(t.column(1).value(0), 2.5f);
+}
+
+TEST(CsvTest, NegativeAndHugeValuesBecomeFloat) {
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsv("x,y\n-1,20000000\n2,1\n"));
+  EXPECT_EQ(t.column(0).type(), ColumnType::kFloat32);  // negative
+  EXPECT_EQ(t.column(1).type(), ColumnType::kFloat32);  // >= 2^24
+}
+
+TEST(CsvTest, HandlesWhitespaceAndCrLf) {
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsv(" a , b \r\n 1 , 2 \r\n 3 , 4 \r\n"));
+  EXPECT_EQ(t.column(0).name(), "a");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(1).int_value(1), 4u);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ReadCsv("").ok());
+  EXPECT_FALSE(ReadCsv("a,b\n").ok());              // no data
+  EXPECT_FALSE(ReadCsv("a,b\n1\n").ok());           // field count mismatch
+  EXPECT_FALSE(ReadCsv("a,b\n1,x\n").ok());         // non-numeric
+  EXPECT_FALSE(ReadCsv("a,b\n1,\n").ok());          // empty cell
+  EXPECT_FALSE(ReadCsv("a,\n1,2\n").ok());          // empty header name
+  EXPECT_FALSE(ReadCsv("a,a\n1,2\n").ok());         // duplicate column
+  EXPECT_FALSE(ReadCsv("a,b\n1,2e\n").ok());        // trailing garbage
+}
+
+TEST(CsvTest, RoundTripsThroughWrite) {
+  ASSERT_OK_AND_ASSIGN(Table original, MakeCensusTable(200));
+  const std::string csv = WriteCsv(original);
+  ASSERT_OK_AND_ASSIGN(Table reloaded, ReadCsv(csv));
+  ASSERT_EQ(reloaded.num_rows(), original.num_rows());
+  ASSERT_EQ(reloaded.num_columns(), original.num_columns());
+  for (size_t c = 0; c < original.num_columns(); ++c) {
+    EXPECT_EQ(reloaded.column(c).name(), original.column(c).name());
+    EXPECT_EQ(reloaded.column(c).type(), original.column(c).type());
+    for (size_t row = 0; row < original.num_rows(); ++row) {
+      EXPECT_EQ(reloaded.column(c).value(row), original.column(c).value(row))
+          << "col " << c << " row " << row;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Table original, MakeTcpIpTable(100));
+  const std::string path = ::testing::TempDir() + "/gpudb_csv_test.csv";
+  ASSERT_OK(WriteCsvFile(original, path));
+  ASSERT_OK_AND_ASSIGN(Table reloaded, ReadCsvFile(path));
+  EXPECT_EQ(reloaded.num_rows(), 100u);
+  EXPECT_EQ(reloaded.column(0).value(42), original.column(0).value(42));
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv").ok());
+}
+
+TEST(CsvTest, ScientificNotationFloats) {
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsv("v\n1e3\n2.5e-2\n"));
+  EXPECT_EQ(t.column(0).type(), ColumnType::kFloat32);
+  EXPECT_FLOAT_EQ(t.column(0).value(0), 1000.0f);
+  EXPECT_FLOAT_EQ(t.column(0).value(1), 0.025f);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace gpudb

@@ -1,0 +1,145 @@
+// State-machine fuzz: drive the Device through long random sequences of API
+// calls (valid and invalid) and check that it never crashes, that errors are
+// Status values rather than corruption, and that the hardware counters stay
+// internally consistent. The simulator is the foundation of every result in
+// this repository; this test pins its robustness under arbitrary use.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/gpu/device.h"
+#include "src/gpu/fragment_program.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace gpu {
+namespace {
+
+class DeviceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeviceFuzz, RandomApiSequencesNeverCorruptState) {
+  Random rng(GetParam());
+  Device dev(32, 32);
+  std::vector<TextureId> ids;
+  const TestBitProgram test_bit(0, 2);
+  const SemilinearProgram semilinear({1, 0, 0, 0}, CompareOp::kGreater, 8.0f);
+  bool query_open = false;
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.NextUint64(16)) {
+      case 0: {  // upload a random texture
+        const size_t n = 1 + rng.NextUint64(1024);
+        std::vector<float> vals(n);
+        for (auto& v : vals) {
+          v = static_cast<float>(rng.NextUint64(256));
+        }
+        auto tex = Texture::FromColumns({&vals}, 32);
+        ASSERT_TRUE(tex.ok());
+        auto id = dev.UploadTexture(std::move(tex).ValueOrDie());
+        if (id.ok()) ids.push_back(id.ValueOrDie());
+        break;
+      }
+      case 1: {  // bind something (possibly invalid)
+        const int unit = static_cast<int>(rng.NextUint64(6)) - 1;
+        const TextureId id =
+            ids.empty() ? static_cast<TextureId>(rng.NextUint64(4))
+                        : ids[rng.NextUint64(ids.size())];
+        (void)dev.BindTextureUnit(unit, id);  // may legitimately fail
+        break;
+      }
+      case 2:
+        (void)dev.SetViewport(rng.NextUint64(1200));  // may exceed fb
+        break;
+      case 3:
+        dev.SetDepthTest(rng.NextUint64(2) == 0,
+                         static_cast<CompareOp>(rng.NextUint64(8)));
+        break;
+      case 4:
+        dev.SetStencilTest(rng.NextUint64(2) == 0,
+                           static_cast<CompareOp>(rng.NextUint64(8)),
+                           static_cast<uint8_t>(rng.NextUint64(256)),
+                           static_cast<uint8_t>(rng.NextUint64(256)));
+        dev.SetStencilOp(static_cast<StencilOp>(rng.NextUint64(6)),
+                         static_cast<StencilOp>(rng.NextUint64(6)),
+                         static_cast<StencilOp>(rng.NextUint64(6)));
+        break;
+      case 5:
+        dev.SetAlphaTest(rng.NextUint64(2) == 0,
+                         static_cast<CompareOp>(rng.NextUint64(8)),
+                         static_cast<float>(rng.NextDouble()));
+        break;
+      case 6:
+        dev.SetDepthBoundsTest(rng.NextUint64(2) == 0,
+                               static_cast<float>(rng.NextDouble()),
+                               static_cast<float>(rng.NextDouble()));
+        break;
+      case 7:
+        dev.ClearDepth(static_cast<float>(rng.NextDouble()));
+        dev.ClearStencil(static_cast<uint8_t>(rng.NextUint64(256)));
+        break;
+      case 8:
+        (void)dev.RenderQuad(static_cast<float>(rng.NextDouble()));
+        break;
+      case 9: {
+        // Randomly install a program (or none) and draw textured.
+        const uint64_t pick = rng.NextUint64(3);
+        dev.UseProgram(pick == 0   ? &test_bit
+                       : pick == 1 ? static_cast<const FragmentProgram*>(
+                                         &semilinear)
+                                   : nullptr);
+        (void)dev.RenderTexturedQuad();  // may fail: unbound / small texture
+        dev.UseProgram(nullptr);
+        break;
+      }
+      case 10:
+        if (!query_open) {
+          query_open = dev.BeginOcclusionQuery().ok();
+        }
+        break;
+      case 11:
+        if (query_open) {
+          auto r = dev.EndOcclusionQuery();
+          ASSERT_TRUE(r.ok());
+          query_open = false;
+        } else {
+          ASSERT_FALSE(dev.EndOcclusionQuery().ok());
+        }
+        break;
+      case 12:
+        (void)dev.ReadStencil();
+        break;
+      case 13:
+        if (!ids.empty()) {
+          (void)dev.CopyColorToTexture(ids[rng.NextUint64(ids.size())]);
+        }
+        break;
+      case 14:
+        if (!ids.empty()) {
+          std::vector<float> patch(1 + rng.NextUint64(64), 3.0f);
+          (void)dev.UpdateTexture(ids[rng.NextUint64(ids.size())],
+                                  rng.NextUint64(1200), patch, 0);
+        }
+        break;
+      case 15:
+        (void)dev.SetVideoMemoryBudget(512 + rng.NextUint64(16384));
+        break;
+    }
+
+    // Invariants after every step.
+    const DeviceCounters& c = dev.counters();
+    ASSERT_GE(c.fragments_generated, c.fragments_passed);
+    ASSERT_EQ(c.passes, c.pass_log.size());
+    ASSERT_LE(dev.video_memory_used(), dev.video_memory_budget());
+    ASSERT_GE(dev.viewport_pixels(), 1u);
+    ASSERT_LE(dev.viewport_pixels(), dev.framebuffer().pixel_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace gpu
+}  // namespace gpudb

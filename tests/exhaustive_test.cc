@@ -1,0 +1,174 @@
+// Bounded-exhaustive verification on tiny domains: for 3-bit values and a
+// handful of records, EVERY comparison (all operators x all constants), every
+// range, every two-clause CNF over a fixed predicate pool, and every k of the
+// order statistic is checked against brute-force evaluation. Small enough to
+// enumerate completely, strong enough to pin the exact semantics of the
+// depth/stencil machinery.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/accumulator.h"
+#include "src/core/compare.h"
+#include "src/core/eval_cnf.h"
+#include "src/core/kth_largest.h"
+#include "src/core/range.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using gpu::CompareOp;
+using testing_util::RandomInts;
+using testing_util::UploadIntAttribute;
+
+constexpr int kBits = 3;          // domain [0, 8)
+constexpr size_t kRecords = 37;   // covers full + partial texture rows
+
+const std::vector<CompareOp> kAllOps = {
+    CompareOp::kLess,    CompareOp::kLessEqual,    CompareOp::kEqual,
+    CompareOp::kGreater, CompareOp::kGreaterEqual, CompareOp::kNotEqual,
+    CompareOp::kAlways,  CompareOp::kNever};
+
+class ExhaustiveSmallDomain : public ::testing::Test {
+ protected:
+  ExhaustiveSmallDomain() : device_(8, 8) {
+    values_ = RandomInts(kRecords, kBits, /*seed=*/271);
+    attr_ = UploadIntAttribute(&device_, values_, /*width=*/8);
+  }
+
+  uint64_t BruteCount(CompareOp op, uint32_t c) const {
+    uint64_t n = 0;
+    for (uint32_t v : values_) n += gpu::EvalCompare(op, v, c) ? 1 : 0;
+    return n;
+  }
+
+  gpu::Device device_;
+  std::vector<uint32_t> values_;
+  AttributeBinding attr_;
+};
+
+TEST_F(ExhaustiveSmallDomain, EveryComparison) {
+  for (CompareOp op : kAllOps) {
+    for (uint32_t c = 0; c < (1u << kBits); ++c) {
+      auto count = Compare(&device_, attr_, op, static_cast<double>(c));
+      ASSERT_TRUE(count.ok());
+      ASSERT_EQ(count.ValueOrDie(), BruteCount(op, c))
+          << gpu::ToString(op) << " " << c;
+    }
+  }
+}
+
+TEST_F(ExhaustiveSmallDomain, EveryRange) {
+  for (uint32_t lo = 0; lo < (1u << kBits); ++lo) {
+    for (uint32_t hi = lo; hi < (1u << kBits); ++hi) {
+      auto count = RangeSelect(&device_, attr_, lo, hi);
+      ASSERT_TRUE(count.ok());
+      uint64_t expected = 0;
+      for (uint32_t v : values_) expected += (v >= lo && v <= hi) ? 1 : 0;
+      ASSERT_EQ(count.ValueOrDie(), expected) << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_F(ExhaustiveSmallDomain, EveryOrderStatistic) {
+  std::vector<uint32_t> sorted = values_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint32_t>());
+  for (uint64_t k = 1; k <= kRecords; ++k) {
+    auto v = KthLargest(&device_, attr_, kBits, k);
+    ASSERT_TRUE(v.ok());
+    ASSERT_EQ(v.ValueOrDie(), sorted[k - 1]) << "k=" << k;
+  }
+}
+
+TEST_F(ExhaustiveSmallDomain, EveryTwoClauseCnf) {
+  // Predicate pool: {<, >=} x constants {2, 5}; all (p, q) clause pairs
+  // (p AND q) and all single-clause disjunctions (p OR q).
+  struct P {
+    CompareOp op;
+    uint32_t c;
+  };
+  std::vector<P> pool;
+  for (CompareOp op : {CompareOp::kLess, CompareOp::kGreaterEqual,
+                       CompareOp::kEqual, CompareOp::kNotEqual}) {
+    for (uint32_t c : {2u, 5u}) pool.push_back({op, c});
+  }
+  auto lower = [&](const P& p) {
+    return GpuPredicate::DepthCompare(attr_, p.op, p.c);
+  };
+  for (const P& p : pool) {
+    for (const P& q : pool) {
+      // Conjunction p AND q.
+      {
+        auto sel = EvalCnf(&device_, {{lower(p)}, {lower(q)}});
+        ASSERT_TRUE(sel.ok());
+        uint64_t expected = 0;
+        for (uint32_t v : values_) {
+          expected += (gpu::EvalCompare(p.op, v, p.c) &&
+                       gpu::EvalCompare(q.op, v, q.c))
+                          ? 1
+                          : 0;
+        }
+        ASSERT_EQ(sel.ValueOrDie().count, expected)
+            << gpu::ToString(p.op) << p.c << " AND " << gpu::ToString(q.op)
+            << q.c;
+      }
+      // Disjunction p OR q.
+      {
+        auto sel = EvalCnf(&device_, {{lower(p), lower(q)}});
+        ASSERT_TRUE(sel.ok());
+        uint64_t expected = 0;
+        for (uint32_t v : values_) {
+          expected += (gpu::EvalCompare(p.op, v, p.c) ||
+                       gpu::EvalCompare(q.op, v, q.c))
+                          ? 1
+                          : 0;
+        }
+        ASSERT_EQ(sel.ValueOrDie().count, expected)
+            << gpu::ToString(p.op) << p.c << " OR " << gpu::ToString(q.op)
+            << q.c;
+      }
+      // The same pair through the DNF path: (p) OR (q) as two terms.
+      {
+        auto sel = EvalDnf(&device_, {{lower(p)}, {lower(q)}});
+        ASSERT_TRUE(sel.ok());
+        uint64_t expected = 0;
+        for (uint32_t v : values_) {
+          expected += (gpu::EvalCompare(p.op, v, p.c) ||
+                       gpu::EvalCompare(q.op, v, q.c))
+                          ? 1
+                          : 0;
+        }
+        ASSERT_EQ(sel.ValueOrDie().count, expected) << "DNF";
+      }
+    }
+  }
+}
+
+TEST_F(ExhaustiveSmallDomain, AccumulatorOverEverySelection) {
+  // Masked SUM under every single-predicate selection.
+  for (CompareOp op : {CompareOp::kLess, CompareOp::kGreaterEqual}) {
+    for (uint32_t c = 0; c < (1u << kBits); ++c) {
+      auto selected = CompareSelect(&device_, attr_, op,
+                                    static_cast<double>(c));
+      ASSERT_TRUE(selected.ok());
+      AccumulatorOptions options;
+      options.selection = StencilSelection{1, selected.ValueOrDie()};
+      auto sum = Accumulate(&device_, attr_.texture, 0, kBits, options);
+      ASSERT_TRUE(sum.ok());
+      uint64_t expected = 0;
+      for (uint32_t v : values_) {
+        if (gpu::EvalCompare(op, v, c)) expected += v;
+      }
+      ASSERT_EQ(sum.ValueOrDie(), expected)
+          << gpu::ToString(op) << " " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

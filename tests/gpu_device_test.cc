@@ -1,0 +1,441 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/device.h"
+#include "src/gpu/fragment_program.h"
+#include "src/gpu/perf_model.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace gpu {
+namespace {
+
+using testing_util::ToFloats;
+
+TEST(DepthQuantizationTest, ExactAtBoundaries) {
+  EXPECT_EQ(QuantizeDepth(0.0f), 0u);
+  EXPECT_EQ(QuantizeDepth(1.0f), kDepthMax);
+  EXPECT_EQ(QuantizeDepth(-0.5f), 0u);
+  EXPECT_EQ(QuantizeDepth(2.0f), kDepthMax);
+}
+
+TEST(DepthQuantizationTest, IntegerIdentityUnderExactEncoding) {
+  // v / (2^24 - 1) must quantize back to v for every 24-bit integer.
+  for (uint32_t v :
+       {0u, 1u, 2u, 255u, 65535u, (1u << 23), (1u << 24) - 2, kDepthMax}) {
+    const float d = static_cast<float>(v) / static_cast<float>(kDepthMax);
+    EXPECT_EQ(QuantizeDepth(d), v) << "v=" << v;
+  }
+}
+
+TEST(DepthPrecisionTest, ConfigurableDepthBits) {
+  gpu::FrameBuffer fb16(4, 4, 16);
+  EXPECT_EQ(fb16.depth_bits(), 16);
+  EXPECT_EQ(fb16.depth_max(), (1u << 16) - 1);
+  EXPECT_EQ(fb16.depth(0), (1u << 16) - 1);  // cleared to far plane
+  // Quantization respects the narrower precision.
+  EXPECT_EQ(fb16.Quantize(1.0f), (1u << 16) - 1);
+  EXPECT_EQ(fb16.Quantize(0.0f), 0u);
+}
+
+TEST(DepthPrecisionTest, SixteenBitBufferExactForSixteenBitData) {
+  // Integers within the buffer's precision still round-trip exactly.
+  const uint32_t max16 = (1u << 16) - 1;
+  gpu::FrameBuffer fb16(1, 1, 16);
+  for (uint32_t v : {0u, 1u, 255u, 32768u, max16}) {
+    const float d = static_cast<float>(v) / static_cast<float>(max16);
+    EXPECT_EQ(fb16.Quantize(d), v) << v;
+  }
+}
+
+TEST(DepthPrecisionTest, NarrowBufferCollidesWideValues) {
+  // Two distinct 19-bit values that share a 16-bit depth code: a strict
+  // comparison between them is no longer representable -- the Section 6.1
+  // precision issue in miniature.
+  gpu::FrameBuffer fb16(1, 1, 16);
+  const double scale = 1.0 / ((1u << 19) - 1);  // 19-bit exact encoding
+  const uint32_t a = 100000;
+  const uint32_t b = 100001;
+  const uint32_t qa = fb16.Quantize(static_cast<float>(a * scale));
+  const uint32_t qb = fb16.Quantize(static_cast<float>(b * scale));
+  EXPECT_EQ(qa, qb);  // collision
+  gpu::FrameBuffer fb24(1, 1, 24);
+  EXPECT_NE(fb24.Quantize(static_cast<float>(a * scale)),
+            fb24.Quantize(static_cast<float>(b * scale)));
+}
+
+TEST(DeviceTest, ClearsAffectAllPlanes) {
+  Device dev(4, 4);
+  dev.ClearDepth(0.5f);
+  dev.ClearStencil(3);
+  dev.ClearColor(0.1f, 0.2f, 0.3f, 0.4f);
+  const FrameBuffer& fb = dev.framebuffer();
+  for (uint64_t i = 0; i < fb.pixel_count(); ++i) {
+    EXPECT_EQ(fb.depth(i), QuantizeDepth(0.5f));
+    EXPECT_EQ(fb.stencil(i), 3);
+    EXPECT_FLOAT_EQ(fb.color(i)[3], 0.4f);
+  }
+}
+
+TEST(DeviceTest, RenderQuadDepthTestLess) {
+  Device dev(2, 2);
+  dev.ClearDepth(0.5f);
+  dev.SetDepthTest(true, CompareOp::kLess);
+  dev.SetDepthWriteMask(true);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  ASSERT_OK(dev.RenderQuad(0.25f));  // 0.25 < 0.5 everywhere -> 4 pass
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 4u);
+  // Depth written on pass.
+  EXPECT_EQ(dev.framebuffer().depth(0), QuantizeDepth(0.25f));
+}
+
+TEST(DeviceTest, DepthWriteRequiresDepthTestEnabled) {
+  Device dev(2, 2);
+  dev.ClearDepth(1.0f);
+  dev.SetDepthTest(false, CompareOp::kAlways);
+  dev.SetDepthWriteMask(true);
+  ASSERT_OK(dev.RenderQuad(0.25f));
+  // OpenGL semantics: depth test disabled bypasses depth update.
+  EXPECT_EQ(dev.framebuffer().depth(0), kDepthMax);
+}
+
+TEST(DeviceTest, DepthWriteMaskBlocksWrites) {
+  Device dev(2, 2);
+  dev.ClearDepth(1.0f);
+  dev.SetDepthTest(true, CompareOp::kAlways);
+  dev.SetDepthWriteMask(false);
+  ASSERT_OK(dev.RenderQuad(0.25f));
+  EXPECT_EQ(dev.framebuffer().depth(0), kDepthMax);
+}
+
+TEST(DeviceTest, StencilThreeOutcomeOps) {
+  // Exercise Op1 (stencil fail), Op2 (depth fail), Op3 (pass) in one pass:
+  // pixel stencil values 0,1 and depth values arranged to split outcomes.
+  Device dev(3, 1);
+  ASSERT_OK(dev.SetViewport(3));
+  dev.ClearDepth(0.5f);
+  // Pixel 0: stencil 0 -> fails stencil test (ref 1 EQUAL) -> Op1 INVERT.
+  // Pixel 1: stencil 1, depth test LESS fails (0.75 !< 0.5) -> Op2 ZERO...
+  //          use DECR to see 1 -> 0.
+  // Pixel 2: stencil 1, make stored depth 1.0 so 0.75 < 1.0 -> Op3 INCR.
+  dev.framebuffer().set_stencil(0, 0);
+  dev.framebuffer().set_stencil(1, 1);
+  dev.framebuffer().set_stencil(2, 1);
+  dev.framebuffer().set_depth(2, kDepthMax);
+  dev.SetStencilTest(true, CompareOp::kEqual, 1);
+  dev.SetStencilOp(StencilOp::kInvert, StencilOp::kDecr, StencilOp::kIncr);
+  dev.SetDepthTest(true, CompareOp::kLess);
+  dev.SetDepthWriteMask(false);
+  ASSERT_OK(dev.RenderQuad(0.75f));
+  EXPECT_EQ(dev.framebuffer().stencil(0), 0xff);  // INVERT of 0
+  EXPECT_EQ(dev.framebuffer().stencil(1), 0);     // DECR of 1
+  EXPECT_EQ(dev.framebuffer().stencil(2), 2);     // INCR of 1
+}
+
+TEST(DeviceTest, StencilIncrDecrSaturate) {
+  EXPECT_EQ(ApplyStencilOp(StencilOp::kIncr, 0xff, 0), 0xff);
+  EXPECT_EQ(ApplyStencilOp(StencilOp::kDecr, 0, 0), 0);
+  EXPECT_EQ(ApplyStencilOp(StencilOp::kIncr, 7, 0), 8);
+  EXPECT_EQ(ApplyStencilOp(StencilOp::kDecr, 7, 0), 6);
+  EXPECT_EQ(ApplyStencilOp(StencilOp::kReplace, 7, 5), 5);
+  EXPECT_EQ(ApplyStencilOp(StencilOp::kZero, 7, 5), 0);
+  EXPECT_EQ(ApplyStencilOp(StencilOp::kKeep, 7, 5), 7);
+}
+
+TEST(DeviceTest, StencilValueMaskAppliesToComparison) {
+  Device dev(1, 1);
+  dev.framebuffer().set_stencil(0, 0b1010);
+  // Compare only the low two bits: (ref & 0b11) == (stored & 0b11) ->
+  // (0b10 & 0b11)=2 vs (0b1010 & 0b11)=2 -> pass.
+  dev.SetStencilTest(true, CompareOp::kEqual, 0b10, /*value_mask=*/0b11);
+  dev.SetStencilOp(StencilOp::kKeep, StencilOp::kKeep, StencilOp::kKeep);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  ASSERT_OK(dev.RenderQuad(0.0f));
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(DeviceTest, AlphaTestFailureSkipsStencilUpdate) {
+  // Alpha test runs before the stencil stage; failing fragments must not
+  // trigger any stencil op.
+  Device dev(2, 1);
+  ASSERT_OK(dev.SetViewport(2));
+  std::vector<float> vals = {0.0f, 1.0f};
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::FromColumns({&vals}, 2));
+  ASSERT_OK_AND_ASSIGN(TextureId id, dev.UploadTexture(std::move(tex)));
+  ASSERT_OK(dev.BindTexture(id));
+  // TestBit(bit 0): alpha = frac(v/2) -> 0.0 for v=0, 0.5 for v=1.
+  TestBitProgram program(0, 0);
+  dev.UseProgram(&program);
+  dev.SetAlphaTest(true, CompareOp::kGreaterEqual, 0.5f);
+  dev.ClearStencil(0);
+  dev.SetStencilTest(true, CompareOp::kAlways, 1);
+  dev.SetStencilOp(StencilOp::kReplace, StencilOp::kReplace,
+                   StencilOp::kReplace);
+  ASSERT_OK(dev.RenderTexturedQuad());
+  EXPECT_EQ(dev.framebuffer().stencil(0), 0);  // alpha-failed: untouched
+  EXPECT_EQ(dev.framebuffer().stencil(1), 1);  // passed: Op3
+}
+
+TEST(DeviceTest, DepthBoundsTestChecksStoredDepth) {
+  // GL_EXT_depth_bounds_test semantics: the stored framebuffer depth is
+  // tested, not the incoming fragment depth.
+  Device dev(3, 1);
+  ASSERT_OK(dev.SetViewport(3));
+  dev.framebuffer().set_depth(0, QuantizeDepth(0.1f));
+  dev.framebuffer().set_depth(1, QuantizeDepth(0.5f));
+  dev.framebuffer().set_depth(2, QuantizeDepth(0.9f));
+  dev.SetDepthBoundsTest(true, 0.4f, 0.6f);
+  dev.SetDepthTest(false, CompareOp::kAlways);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  // Fragment depth 0.99 is irrelevant to the bounds test.
+  ASSERT_OK(dev.RenderQuad(0.99f));
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 1u);  // only the pixel storing 0.5
+}
+
+TEST(DeviceTest, DepthBoundsFailureTriggersZFailOp) {
+  Device dev(1, 1);
+  dev.framebuffer().set_depth(0, QuantizeDepth(0.9f));
+  dev.ClearStencil(1);
+  dev.SetDepthBoundsTest(true, 0.0f, 0.5f);
+  dev.SetStencilTest(true, CompareOp::kAlways, 0);
+  dev.SetStencilOp(StencilOp::kKeep, StencilOp::kZero, StencilOp::kKeep);
+  ASSERT_OK(dev.RenderQuad(0.0f));
+  EXPECT_EQ(dev.framebuffer().stencil(0), 0);  // Op2 fired
+}
+
+TEST(DeviceTest, ViewportLimitsFragmentGeneration) {
+  Device dev(10, 10);
+  ASSERT_OK(dev.SetViewport(37));
+  dev.SetDepthTest(false, CompareOp::kAlways);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  ASSERT_OK(dev.RenderQuad(0.0f));
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 37u);
+  EXPECT_FALSE(dev.SetViewport(0).ok());
+  EXPECT_FALSE(dev.SetViewport(101).ok());
+}
+
+TEST(DeviceTest, OcclusionQueryErrors) {
+  Device dev(2, 2);
+  EXPECT_FALSE(dev.EndOcclusionQuery().ok());  // none active
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  EXPECT_FALSE(dev.BeginOcclusionQuery().ok());  // already active
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 0u);  // nothing rendered
+}
+
+TEST(DeviceTest, BindTextureValidatesId) {
+  Device dev(2, 2);
+  EXPECT_FALSE(dev.BindTexture(0).ok());
+  EXPECT_FALSE(dev.RenderTexturedQuad().ok());  // nothing bound
+}
+
+TEST(DeviceTest, CountersTrackWork) {
+  Device dev(4, 4);
+  dev.SetDepthTest(true, CompareOp::kAlways);
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  const DeviceCounters& c = dev.counters();
+  EXPECT_EQ(c.passes, 2u);
+  EXPECT_EQ(c.fragments_generated, 32u);
+  EXPECT_EQ(c.fragments_passed, 32u);
+  EXPECT_EQ(c.depth_writes, 32u);
+  ASSERT_EQ(c.pass_log.size(), 2u);
+  EXPECT_EQ(c.pass_log[0].fragments, 16u);
+  dev.ResetCounters();
+  EXPECT_EQ(dev.counters().passes, 0u);
+}
+
+TEST(DeviceTest, UploadChargesBusBytes) {
+  Device dev(4, 4);
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::Make(4, 4, 2));
+  const uint64_t bytes = tex.byte_size();
+  ASSERT_OK_AND_ASSIGN(TextureId id, dev.UploadTexture(std::move(tex)));
+  EXPECT_GE(id, 0);
+  EXPECT_EQ(dev.counters().bytes_uploaded, bytes);
+}
+
+TEST(DeviceTest, ReadbacksChargeBytes) {
+  Device dev(4, 4);
+  (void)dev.ReadStencil();
+  EXPECT_EQ(dev.counters().bytes_read_back, 16u);
+  (void)dev.ReadDepth();
+  EXPECT_EQ(dev.counters().bytes_read_back, 16u + 64u);
+}
+
+TEST(DeviceTest, FragmentProgramKillSkipsEverything) {
+  Device dev(2, 1);
+  ASSERT_OK(dev.SetViewport(2));
+  std::vector<float> a = {1.0f, -1.0f};
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::FromColumns({&a}, 2));
+  ASSERT_OK_AND_ASSIGN(TextureId id, dev.UploadTexture(std::move(tex)));
+  ASSERT_OK(dev.BindTexture(id));
+  // Keep fragments with value >= 0.
+  SemilinearProgram program({1, 0, 0, 0}, CompareOp::kGreaterEqual, 0.0f);
+  dev.UseProgram(&program);
+  dev.ClearStencil(0);
+  dev.SetStencilTest(true, CompareOp::kAlways, 1);
+  dev.SetStencilOp(StencilOp::kReplace, StencilOp::kReplace,
+                   StencilOp::kReplace);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  ASSERT_OK(dev.RenderTexturedQuad());
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(dev.framebuffer().stencil(0), 1);
+  EXPECT_EQ(dev.framebuffer().stencil(1), 0);  // killed: no stencil op
+}
+
+TEST(VideoMemoryTest, UploadWithinBudgetStaysResident) {
+  Device dev(8, 8);
+  ASSERT_OK(dev.SetVideoMemoryBudget(4096));
+  std::vector<float> vals(64, 1.0f);
+  auto tex = Texture::FromColumns({&vals}, 8);  // 64 * 4 = 256 bytes
+  ASSERT_OK_AND_ASSIGN(TextureId id,
+                       dev.UploadTexture(std::move(tex).ValueOrDie()));
+  (void)id;
+  EXPECT_EQ(dev.video_memory_used(), 256u);
+  EXPECT_EQ(dev.counters().texture_swap_ins, 0u);
+  EXPECT_EQ(dev.counters().bytes_swapped, 0u);
+}
+
+TEST(VideoMemoryTest, ExceedingBudgetEvictsLruAndChargesSwaps) {
+  Device dev(8, 8);
+  // Budget fits exactly two 256-byte textures.
+  ASSERT_OK(dev.SetVideoMemoryBudget(512));
+  std::vector<float> vals(64, 1.0f);
+  TextureId ids[3];
+  for (auto& id : ids) {
+    auto tex = Texture::FromColumns({&vals}, 8);
+    ASSERT_OK_AND_ASSIGN(id, dev.UploadTexture(std::move(tex).ValueOrDie()));
+  }
+  // Uploading the third evicted the first (LRU).
+  EXPECT_EQ(dev.video_memory_used(), 512u);
+  ASSERT_OK(dev.SetViewport(64));
+  dev.SetDepthTest(false, CompareOp::kAlways);
+  // Touching the evicted texture swaps it back in (and evicts another).
+  ASSERT_OK(dev.BindTexture(ids[0]));
+  ASSERT_OK(dev.RenderTexturedQuad());
+  EXPECT_EQ(dev.counters().texture_swap_ins, 1u);
+  EXPECT_EQ(dev.counters().bytes_swapped, 256u);
+  // Re-touching while resident costs nothing more.
+  ASSERT_OK(dev.RenderTexturedQuad());
+  EXPECT_EQ(dev.counters().texture_swap_ins, 1u);
+}
+
+TEST(VideoMemoryTest, TextureLargerThanBudgetRejected) {
+  Device dev(8, 8);
+  ASSERT_OK(dev.SetVideoMemoryBudget(100));
+  std::vector<float> vals(64, 1.0f);
+  auto tex = Texture::FromColumns({&vals}, 8);
+  auto id = dev.UploadTexture(std::move(tex).ValueOrDie());
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(dev.SetVideoMemoryBudget(0).ok());
+}
+
+TEST(VideoMemoryTest, SwapTimeChargedByPerfModel) {
+  Device dev(8, 8);
+  ASSERT_OK(dev.SetVideoMemoryBudget(512));
+  std::vector<float> vals(64, 1.0f);
+  TextureId ids[3];
+  for (auto& id : ids) {
+    auto tex = Texture::FromColumns({&vals}, 8);
+    ASSERT_OK_AND_ASSIGN(id, dev.UploadTexture(std::move(tex).ValueOrDie()));
+  }
+  ASSERT_OK(dev.SetViewport(64));
+  dev.ResetCounters();
+  ASSERT_OK(dev.BindTexture(ids[0]));  // evicted: will swap on use
+  ASSERT_OK(dev.RenderTexturedQuad());
+  PerfModel model;
+  const GpuTimeBreakdown b = model.Estimate(dev.counters());
+  EXPECT_GT(b.swap_ms, 0.0);
+  EXPECT_GT(b.TotalMs(), b.ComputeMs());
+}
+
+TEST(TextureUnitTest, BindAndUnbindUnits) {
+  Device dev(4, 4);
+  std::vector<float> vals(16, 2.0f);
+  auto tex = Texture::FromColumns({&vals}, 4);
+  ASSERT_OK_AND_ASSIGN(TextureId id,
+                       dev.UploadTexture(std::move(tex).ValueOrDie()));
+  ASSERT_OK(dev.BindTextureUnit(1, id));
+  ASSERT_OK(dev.UnbindTextureUnit(1));
+  EXPECT_FALSE(dev.BindTextureUnit(4, id).ok());
+  EXPECT_FALSE(dev.BindTextureUnit(-1, id).ok());
+  EXPECT_FALSE(dev.BindTextureUnit(0, 99).ok());
+  EXPECT_FALSE(dev.UnbindTextureUnit(7).ok());
+}
+
+TEST(TextureUnitTest, WideSemilinearReadsTwoUnits) {
+  Device dev(4, 4);
+  std::vector<float> a = {1, 2, 3, 4};
+  std::vector<float> b = {10, 20, 30, 40};
+  auto ta = Texture::FromColumns({&a}, 4);
+  auto tb = Texture::FromColumns({&b}, 4);
+  ASSERT_OK_AND_ASSIGN(TextureId ia,
+                       dev.UploadTexture(std::move(ta).ValueOrDie()));
+  ASSERT_OK_AND_ASSIGN(TextureId ib,
+                       dev.UploadTexture(std::move(tb).ValueOrDie()));
+  ASSERT_OK(dev.SetViewport(4));
+  ASSERT_OK(dev.BindTextureUnit(0, ia));
+  ASSERT_OK(dev.BindTextureUnit(1, ib));
+  // dot = a + b: {11, 22, 33, 44}; keep > 25.
+  WideSemilinearProgram program({1, 0, 0, 0, 1, 0, 0, 0},
+                                CompareOp::kGreater, 25.0f);
+  dev.UseProgram(&program);
+  dev.SetDepthTest(false, CompareOp::kAlways);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  ASSERT_OK(dev.RenderTexturedQuad());
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(CompareOpTest, EvalCompareAllOps) {
+  EXPECT_TRUE(EvalCompare(CompareOp::kLess, 1, 2));
+  EXPECT_FALSE(EvalCompare(CompareOp::kLess, 2, 2));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLessEqual, 2, 2));
+  EXPECT_TRUE(EvalCompare(CompareOp::kEqual, 2, 2));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGreaterEqual, 2, 2));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGreater, 3, 2));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNotEqual, 3, 2));
+  EXPECT_FALSE(EvalCompare(CompareOp::kNever, 1, 1));
+  EXPECT_TRUE(EvalCompare(CompareOp::kAlways, 1, 1));
+}
+
+TEST(CompareOpTest, InvertIsLogicalNegation) {
+  const int values[] = {-1, 0, 1};
+  for (CompareOp op :
+       {CompareOp::kNever, CompareOp::kLess, CompareOp::kLessEqual,
+        CompareOp::kEqual, CompareOp::kGreaterEqual, CompareOp::kGreater,
+        CompareOp::kNotEqual, CompareOp::kAlways}) {
+    for (int a : values) {
+      for (int b : values) {
+        EXPECT_EQ(EvalCompare(Invert(op), a, b), !EvalCompare(op, a, b))
+            << ToString(op) << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(CompareOpTest, MirrorSwapsOperands) {
+  const int values[] = {-1, 0, 1};
+  for (CompareOp op :
+       {CompareOp::kNever, CompareOp::kLess, CompareOp::kLessEqual,
+        CompareOp::kEqual, CompareOp::kGreaterEqual, CompareOp::kGreater,
+        CompareOp::kNotEqual, CompareOp::kAlways}) {
+    for (int a : values) {
+      for (int b : values) {
+        EXPECT_EQ(EvalCompare(Mirror(op), b, a), EvalCompare(op, a, b))
+            << ToString(op) << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpu
+}  // namespace gpudb

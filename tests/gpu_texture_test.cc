@@ -1,0 +1,84 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/texture.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace gpu {
+namespace {
+
+TEST(TextureTest, MakeValidatesDimensions) {
+  EXPECT_FALSE(Texture::Make(0, 10, 1).ok());
+  EXPECT_FALSE(Texture::Make(10, 0, 1).ok());
+  EXPECT_FALSE(Texture::Make(10, 10, 0).ok());
+  EXPECT_FALSE(Texture::Make(10, 10, 5).ok());
+  EXPECT_TRUE(Texture::Make(10, 10, 4).ok());
+}
+
+TEST(TextureTest, ZeroInitialized) {
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::Make(4, 4, 2));
+  for (uint64_t i = 0; i < tex.total_texels(); ++i) {
+    EXPECT_EQ(tex.At(i, 0), 0.0f);
+    EXPECT_EQ(tex.At(i, 1), 0.0f);
+  }
+}
+
+TEST(TextureTest, FromColumnsRowMajorLayout) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  std::vector<float> b = {10, 20, 30, 40, 50};
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::FromColumns({&a, &b}, 2));
+  EXPECT_EQ(tex.width(), 2u);
+  EXPECT_EQ(tex.height(), 3u);  // ceil(5/2)
+  EXPECT_EQ(tex.channels(), 2);
+  EXPECT_EQ(tex.valid_texels(), 5u);
+  EXPECT_EQ(tex.total_texels(), 6u);
+  // Linear index addressing.
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(tex.At(i, 0), a[i]);
+    EXPECT_EQ(tex.At(i, 1), b[i]);
+  }
+  // Pixel-coordinate addressing: record 3 lives at (x=1, y=1).
+  EXPECT_EQ(tex.At(/*x=*/1, /*y=*/1, /*c=*/0), 4.0f);
+  // Padding texel stays zero.
+  EXPECT_EQ(tex.At(5, 0), 0.0f);
+}
+
+TEST(TextureTest, FromColumnsRejectsBadInput) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> shorter = {1, 2};
+  EXPECT_FALSE(Texture::FromColumns({}, 10).ok());
+  EXPECT_FALSE(Texture::FromColumns({&a, &shorter}, 10).ok());
+  EXPECT_FALSE(Texture::FromColumns({&a}, 0).ok());
+  EXPECT_FALSE(Texture::FromColumns({&a, &a, &a, &a, &a}, 10).ok());
+  EXPECT_FALSE(Texture::FromColumns({nullptr}, 10).ok());
+  std::vector<float> empty;
+  EXPECT_FALSE(Texture::FromColumns({&empty}, 10).ok());
+}
+
+TEST(TextureTest, ByteSizeCountsAllChannels) {
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::Make(100, 10, 4));
+  EXPECT_EQ(tex.byte_size(), 100u * 10 * 4 * 4);
+}
+
+TEST(TextureTest, Int24ValuesExactThroughFloat) {
+  // Paper Section 3.3: float textures precisely represent ints up to 24
+  // bits. Check boundaries round-trip.
+  std::vector<float> vals = {0.0f, 1.0f, static_cast<float>((1u << 24) - 1),
+                             static_cast<float>(1u << 23)};
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::FromColumns({&vals}, 4));
+  EXPECT_EQ(static_cast<uint32_t>(tex.At(2, 0)), (1u << 24) - 1);
+  EXPECT_EQ(static_cast<uint32_t>(tex.At(3, 0)), 1u << 23);
+}
+
+TEST(TextureTest, SetUpdatesValue) {
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::Make(2, 2, 1));
+  tex.Set(3, 0, 7.5f);
+  EXPECT_EQ(tex.At(3, 0), 7.5f);
+  EXPECT_EQ(tex.At(1, 1, 0), 7.5f);
+}
+
+}  // namespace
+}  // namespace gpu
+}  // namespace gpudb

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/db/datagen.h"
+#include "src/predicate/cnf.h"
+#include "src/predicate/expr.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace predicate {
+namespace {
+
+using gpu::CompareOp;
+
+db::Table SmallTable() {
+  auto t = db::MakeUniformTable(200, 8, 3, /*seed=*/11);
+  EXPECT_TRUE(t.ok());
+  return std::move(t).ValueOrDie();
+}
+
+TEST(ExprTest, SimplePredicateEvaluation) {
+  db::Table t = SmallTable();
+  ExprPtr e = Expr::Pred(0, CompareOp::kGreaterEqual, 128.0f);
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    EXPECT_EQ(e->EvaluateRow(t, row), t.column(0).value(row) >= 128.0f);
+  }
+}
+
+TEST(ExprTest, AttrAttrPredicateEvaluation) {
+  db::Table t = SmallTable();
+  ExprPtr e = Expr::PredAttr(0, CompareOp::kLess, 1);
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    EXPECT_EQ(e->EvaluateRow(t, row),
+              t.column(0).value(row) < t.column(1).value(row));
+  }
+}
+
+TEST(ExprTest, BooleanCombinations) {
+  db::Table t = SmallTable();
+  ExprPtr a = Expr::Pred(0, CompareOp::kLess, 100.0f);
+  ExprPtr b = Expr::Pred(1, CompareOp::kGreater, 50.0f);
+  ExprPtr and_e = Expr::And(a, b);
+  ExprPtr or_e = Expr::Or(a, b);
+  ExprPtr not_e = Expr::Not(a);
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    const bool va = a->EvaluateRow(t, row);
+    const bool vb = b->EvaluateRow(t, row);
+    EXPECT_EQ(and_e->EvaluateRow(t, row), va && vb);
+    EXPECT_EQ(or_e->EvaluateRow(t, row), va || vb);
+    EXPECT_EQ(not_e->EvaluateRow(t, row), !va);
+  }
+}
+
+TEST(ExprTest, BetweenIsInclusiveRange) {
+  db::Table t = SmallTable();
+  ExprPtr e = Expr::Between(0, 50.0f, 150.0f);
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    const float v = t.column(0).value(row);
+    EXPECT_EQ(e->EvaluateRow(t, row), v >= 50.0f && v <= 150.0f);
+  }
+}
+
+TEST(ExprTest, ValidateChecksColumnIndices) {
+  db::Table t = SmallTable();
+  EXPECT_OK(Expr::Pred(2, CompareOp::kEqual, 1.0f)->Validate(t));
+  EXPECT_FALSE(Expr::Pred(3, CompareOp::kEqual, 1.0f)->Validate(t).ok());
+  EXPECT_FALSE(Expr::PredAttr(0, CompareOp::kEqual, 9)->Validate(t).ok());
+  EXPECT_FALSE(
+      Expr::Not(Expr::Pred(7, CompareOp::kEqual, 1.0f))->Validate(t).ok());
+}
+
+TEST(ExprTest, ToStringUsesColumnNames) {
+  db::Table t = SmallTable();
+  ExprPtr e = Expr::And(Expr::Pred(0, CompareOp::kGreaterEqual, 10.0f),
+                        Expr::Not(Expr::PredAttr(1, CompareOp::kLess, 2)));
+  const std::string s = e->ToString(&t);
+  EXPECT_NE(s.find("u0"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_NE(s.find("NOT"), std::string::npos);
+}
+
+TEST(CnfTest, SimplePredicatePassesThrough) {
+  ExprPtr e = Expr::Pred(0, CompareOp::kLess, 5.0f);
+  ASSERT_OK_AND_ASSIGN(Cnf cnf, ToCnf(e));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  ASSERT_EQ(cnf.clauses[0].size(), 1u);
+  EXPECT_EQ(cnf.clauses[0][0].op, CompareOp::kLess);
+}
+
+TEST(CnfTest, NotEliminationInvertsLeafComparison) {
+  // NOT (a < 5) -> a >= 5 (Section 4.2).
+  ExprPtr e = Expr::Not(Expr::Pred(0, CompareOp::kLess, 5.0f));
+  ASSERT_OK_AND_ASSIGN(Cnf cnf, ToCnf(e));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0][0].op, CompareOp::kGreaterEqual);
+}
+
+TEST(CnfTest, DeMorganOnNegatedAnd) {
+  // NOT (a AND b) -> (NOT a) OR (NOT b): one clause with two predicates.
+  ExprPtr e = Expr::Not(Expr::And(Expr::Pred(0, CompareOp::kLess, 1.0f),
+                                  Expr::Pred(1, CompareOp::kGreater, 2.0f)));
+  ASSERT_OK_AND_ASSIGN(Cnf cnf, ToCnf(e));
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  ASSERT_EQ(cnf.clauses[0].size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0].op, CompareOp::kGreaterEqual);
+  EXPECT_EQ(cnf.clauses[0][1].op, CompareOp::kLessEqual);
+}
+
+TEST(CnfTest, OrDistributesOverAnd) {
+  // (a AND b) OR c  ->  (a OR c) AND (b OR c).
+  ExprPtr a = Expr::Pred(0, CompareOp::kLess, 1.0f);
+  ExprPtr b = Expr::Pred(1, CompareOp::kLess, 2.0f);
+  ExprPtr c = Expr::Pred(2, CompareOp::kLess, 3.0f);
+  ASSERT_OK_AND_ASSIGN(Cnf cnf, ToCnf(Expr::Or(Expr::And(a, b), c)));
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0].size(), 2u);
+  EXPECT_EQ(cnf.clauses[1].size(), 2u);
+}
+
+TEST(CnfTest, NullExpressionRejected) {
+  EXPECT_FALSE(ToCnf(nullptr).ok());
+}
+
+TEST(CnfTest, DoubleNegationCancels) {
+  ExprPtr e = Expr::Not(Expr::Not(Expr::Pred(0, CompareOp::kEqual, 7.0f)));
+  ASSERT_OK_AND_ASSIGN(Cnf cnf, ToCnf(e));
+  EXPECT_EQ(cnf.clauses[0][0].op, CompareOp::kEqual);
+}
+
+/// Builds a random expression tree of the given depth.
+ExprPtr RandomExpr(Random* rng, int depth) {
+  if (depth == 0 || rng->NextUint64(4) == 0) {
+    const auto attr = static_cast<size_t>(rng->NextUint64(3));
+    const auto op = static_cast<CompareOp>(1 + rng->NextUint64(6));
+    if (rng->NextUint64(4) == 0) {
+      return Expr::PredAttr(attr, op, (attr + 1) % 3);
+    }
+    return Expr::Pred(attr, op,
+                      static_cast<float>(rng->NextUint64(256)));
+  }
+  switch (rng->NextUint64(3)) {
+    case 0:
+      return Expr::And(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 1:
+      return Expr::Or(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    default:
+      return Expr::Not(RandomExpr(rng, depth - 1));
+  }
+}
+
+TEST(CnfTest, RandomExpressionsPreserveSemantics) {
+  // Property: for random expression trees, the CNF conversion evaluates
+  // identically to the original tree on every row.
+  db::Table t = SmallTable();
+  Random rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    ExprPtr e = RandomExpr(&rng, 4);
+    auto cnf = ToCnf(e);
+    ASSERT_TRUE(cnf.ok()) << e->ToString();
+    for (size_t row = 0; row < t.num_rows(); ++row) {
+      ASSERT_EQ(cnf.ValueOrDie().EvaluateRow(t, row), e->EvaluateRow(t, row))
+          << "trial " << trial << " row " << row << ": " << e->ToString();
+    }
+  }
+}
+
+TEST(DnfTest, AndDistributesOverOr) {
+  // a AND (b OR c)  ->  (a AND b) OR (a AND c).
+  ExprPtr a = Expr::Pred(0, CompareOp::kLess, 1.0f);
+  ExprPtr b = Expr::Pred(1, CompareOp::kLess, 2.0f);
+  ExprPtr c = Expr::Pred(2, CompareOp::kLess, 3.0f);
+  ASSERT_OK_AND_ASSIGN(Dnf dnf, ToDnf(Expr::And(a, Expr::Or(b, c))));
+  ASSERT_EQ(dnf.terms.size(), 2u);
+  EXPECT_EQ(dnf.terms[0].size(), 2u);
+  EXPECT_EQ(dnf.terms[1].size(), 2u);
+  EXPECT_EQ(dnf.predicate_count(), 4u);
+}
+
+TEST(DnfTest, NaturalDnfPassesThrough) {
+  // (a AND b) OR c stays two terms -- no distribution needed.
+  ExprPtr e = Expr::Or(Expr::And(Expr::Pred(0, CompareOp::kLess, 1.0f),
+                                 Expr::Pred(1, CompareOp::kLess, 2.0f)),
+                       Expr::Pred(2, CompareOp::kLess, 3.0f));
+  ASSERT_OK_AND_ASSIGN(Dnf dnf, ToDnf(e));
+  ASSERT_EQ(dnf.terms.size(), 2u);
+  EXPECT_EQ(dnf.terms[0].size(), 2u);
+  EXPECT_EQ(dnf.terms[1].size(), 1u);
+  EXPECT_NE(dnf.ToString().find("OR"), std::string::npos);
+}
+
+TEST(DnfTest, RandomExpressionsPreserveSemantics) {
+  db::Table t = SmallTable();
+  Random rng(4048);
+  for (int trial = 0; trial < 60; ++trial) {
+    ExprPtr e = RandomExpr(&rng, 4);
+    auto dnf = ToDnf(e);
+    ASSERT_TRUE(dnf.ok()) << e->ToString();
+    for (size_t row = 0; row < t.num_rows(); ++row) {
+      ASSERT_EQ(dnf.ValueOrDie().EvaluateRow(t, row), e->EvaluateRow(t, row))
+          << "trial " << trial << " row " << row << ": " << e->ToString();
+    }
+  }
+}
+
+TEST(DnfTest, DualBlowupGuard) {
+  // AND of many ORs explodes under DNF distribution.
+  ExprPtr e = Expr::Or(Expr::Pred(0, CompareOp::kLess, 0.0f),
+                       Expr::Pred(0, CompareOp::kLess, 1.0f));
+  for (int i = 0; i < 16; ++i) {
+    e = Expr::And(e, Expr::Or(Expr::Pred(0, CompareOp::kLess, float(i)),
+                              Expr::Pred(0, CompareOp::kLess, float(i + 1))));
+  }
+  auto dnf = ToDnf(e);
+  EXPECT_FALSE(dnf.ok());
+  EXPECT_EQ(dnf.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(ToDnf(nullptr).ok());
+}
+
+TEST(CnfTest, PredicateCountSumsClauses) {
+  ExprPtr e = Expr::And(Expr::Or(Expr::Pred(0, CompareOp::kLess, 1.0f),
+                                 Expr::Pred(1, CompareOp::kLess, 2.0f)),
+                        Expr::Pred(2, CompareOp::kLess, 3.0f));
+  ASSERT_OK_AND_ASSIGN(Cnf cnf, ToCnf(e));
+  EXPECT_EQ(cnf.predicate_count(), 3u);
+}
+
+TEST(CnfTest, ToStringShowsStructure) {
+  ExprPtr e = Expr::Or(Expr::Pred(0, CompareOp::kLess, 1.0f),
+                       Expr::Pred(1, CompareOp::kGreater, 2.0f));
+  ASSERT_OK_AND_ASSIGN(Cnf cnf, ToCnf(e));
+  const std::string s = cnf.ToString();
+  EXPECT_NE(s.find("OR"), std::string::npos);
+}
+
+TEST(CnfTest, ExponentialBlowupGuard) {
+  // Build OR of many ANDs: CNF size multiplies and must hit the cap.
+  Random rng(1);
+  ExprPtr e = Expr::And(Expr::Pred(0, CompareOp::kLess, 0.0f),
+                        Expr::Pred(0, CompareOp::kLess, 1.0f));
+  for (int i = 0; i < 16; ++i) {
+    e = Expr::Or(e, Expr::And(Expr::Pred(0, CompareOp::kLess, float(i)),
+                              Expr::Pred(0, CompareOp::kLess, float(i + 1))));
+  }
+  auto cnf = ToCnf(e);
+  EXPECT_FALSE(cnf.ok());
+  EXPECT_EQ(cnf.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace predicate
+}  // namespace gpudb

@@ -1,0 +1,242 @@
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/accumulator.h"
+#include "src/core/compare.h"
+#include "src/core/depth_encoding.h"
+#include "src/core/kth_largest.h"
+#include "src/core/range.h"
+#include "src/cpu/quickselect.h"
+#include "src/cpu/scan.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using testing_util::RandomInts;
+using testing_util::ToFloats;
+using testing_util::UploadIntAttribute;
+
+// ---------------------------------------------------------------------------
+// Property: KthLargest equals the sorted-order reference for every (bits, n,
+// k-fraction) combination.
+// ---------------------------------------------------------------------------
+
+using KthParam = std::tuple<int /*bits*/, int /*n*/, double /*k_fraction*/>;
+
+class KthLargestProperty : public ::testing::TestWithParam<KthParam> {};
+
+TEST_P(KthLargestProperty, MatchesSortedReference) {
+  const auto [bits, n, k_fraction] = GetParam();
+  const std::vector<uint32_t> ints =
+      RandomInts(n, bits, /*seed=*/1000 + bits * 7 + n);
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+
+  std::vector<uint32_t> sorted = ints;
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint32_t>());
+  const uint64_t k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(k_fraction * static_cast<double>(n)));
+
+  auto result = KthLargest(&device, attr, bits, k);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie(), sorted[k - 1])
+      << "bits=" << bits << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KthLargestProperty,
+    ::testing::Combine(::testing::Values(1, 4, 8, 12, 19, 24),
+                       ::testing::Values(100, 999, 2500),
+                       ::testing::Values(0.001, 0.25, 0.5, 0.75, 1.0)));
+
+TEST_P(KthLargestProperty, DirectKthSmallestAgreesWithIdentityForm) {
+  // The paper's "inverted comparison" k-th smallest (Section 4.3.2) must
+  // agree with the (n-k+1)-th-largest identity across the same sweep.
+  const auto [bits, n, k_fraction] = GetParam();
+  const std::vector<uint32_t> ints =
+      RandomInts(n, bits, /*seed=*/5000 + bits * 3 + n);
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  const uint64_t k = std::max<uint64_t>(
+      1, static_cast<uint64_t>(k_fraction * static_cast<double>(n)));
+  auto direct = KthSmallestDirect(&device, attr, bits, k);
+  auto identity = KthSmallest(&device, attr, bits, k);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_TRUE(identity.ok()) << identity.status().ToString();
+  EXPECT_EQ(direct.ValueOrDie(), identity.ValueOrDie())
+      << "bits=" << bits << " n=" << n << " k=" << k;
+}
+
+// ---------------------------------------------------------------------------
+// Property: Accumulator computes the exact sum for every bit width.
+// ---------------------------------------------------------------------------
+
+class AccumulatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccumulatorProperty, ExactSumAtEveryBitWidth) {
+  const int bits = GetParam();
+  const std::vector<uint32_t> ints = RandomInts(2000, bits, 2000 + bits);
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  uint64_t expected = 0;
+  for (uint32_t v : ints) expected += v;
+  auto sum = Accumulate(&device, attr.texture, 0, bits);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(sum.ValueOrDie(), expected) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AccumulatorProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 20, 24));
+
+// ---------------------------------------------------------------------------
+// Property: predicate counts match the CPU scan for every operator and
+// selectivity target.
+// ---------------------------------------------------------------------------
+
+using PredParam = std::tuple<gpu::CompareOp, double /*percentile*/>;
+
+class PredicateProperty : public ::testing::TestWithParam<PredParam> {};
+
+TEST_P(PredicateProperty, CountMatchesCpuAtTargetSelectivity) {
+  const auto [op, percentile] = GetParam();
+  const std::vector<uint32_t> ints = RandomInts(3000, 12, 77);
+  const std::vector<float> floats = ToFloats(ints);
+  std::vector<float> sorted = floats;
+  std::sort(sorted.begin(), sorted.end());
+  const float threshold =
+      sorted[static_cast<size_t>(percentile * (sorted.size() - 1))];
+
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  std::vector<uint8_t> mask;
+  const uint64_t expected = cpu::PredicateScan(floats, op, threshold, &mask);
+  auto count = Compare(&device, attr, op, threshold);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.ValueOrDie(), expected)
+      << gpu::ToString(op) << " @p" << percentile;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PredicateProperty,
+    ::testing::Combine(::testing::Values(gpu::CompareOp::kLess,
+                                         gpu::CompareOp::kLessEqual,
+                                         gpu::CompareOp::kEqual,
+                                         gpu::CompareOp::kGreaterEqual,
+                                         gpu::CompareOp::kGreater,
+                                         gpu::CompareOp::kNotEqual),
+                       ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Property: range counts match the CPU scan for every percentile window.
+// ---------------------------------------------------------------------------
+
+using RangeParam = std::tuple<double /*lo_pct*/, double /*hi_pct*/>;
+
+class RangeProperty : public ::testing::TestWithParam<RangeParam> {};
+
+TEST_P(RangeProperty, CountMatchesCpuScan) {
+  const auto [lo_pct, hi_pct] = GetParam();
+  if (lo_pct > hi_pct) GTEST_SKIP();
+  const std::vector<uint32_t> ints = RandomInts(3000, 14, 88);
+  const std::vector<float> floats = ToFloats(ints);
+  std::vector<float> sorted = floats;
+  std::sort(sorted.begin(), sorted.end());
+  const float lo = sorted[static_cast<size_t>(lo_pct * (sorted.size() - 1))];
+  const float hi = sorted[static_cast<size_t>(hi_pct * (sorted.size() - 1))];
+
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  std::vector<uint8_t> mask;
+  const uint64_t expected = cpu::RangeScan(floats, lo, hi, &mask);
+  auto count = RangeSelect(&device, attr, lo, hi);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.ValueOrDie(), expected)
+      << "window [p" << lo_pct << ", p" << hi_pct << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.5),
+                       ::testing::Values(0.5, 0.8, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Property: the exact integer depth encoding round-trips every boundary and
+// random 24-bit value through quantization.
+// ---------------------------------------------------------------------------
+
+class DepthEncodingProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DepthEncodingProperty, QuantizedIdentity) {
+  const uint32_t v = GetParam();
+  const DepthEncoding enc = DepthEncoding::ExactInt24();
+  EXPECT_EQ(enc.EncodeQuantized(v), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, DepthEncodingProperty,
+                         ::testing::Values(0u, 1u, 2u, 255u, 256u, 65535u,
+                                           65536u, (1u << 20), (1u << 23) - 1,
+                                           (1u << 23), (1u << 23) + 1,
+                                           (1u << 24) - 2, (1u << 24) - 1));
+
+TEST(DepthEncodingRandomProperty, QuantizedIdentityRandomSample) {
+  const DepthEncoding enc = DepthEncoding::ExactInt24();
+  Random rng(55);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<uint32_t>(rng.NextUint64(1u << 24));
+    ASSERT_EQ(enc.EncodeQuantized(v), v) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: GPU and CPU order statistics agree on adversarial distributions.
+// ---------------------------------------------------------------------------
+
+TEST(KthLargestAdversarial, AllEqualValues) {
+  const std::vector<uint32_t> ints(500, 12345);
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  for (uint64_t k : {uint64_t{1}, uint64_t{250}, uint64_t{500}}) {
+    ASSERT_OK_AND_ASSIGN(uint32_t v, KthLargest(&device, attr, 14, k));
+    EXPECT_EQ(v, 12345u);
+  }
+}
+
+TEST(KthLargestAdversarial, StrictlyIncreasingSequence) {
+  std::vector<uint32_t> ints(1000);
+  for (size_t i = 0; i < ints.size(); ++i) ints[i] = static_cast<uint32_t>(i);
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  for (uint64_t k : {uint64_t{1}, uint64_t{10}, uint64_t{999}}) {
+    ASSERT_OK_AND_ASSIGN(uint32_t v, KthLargest(&device, attr, 10, k));
+    EXPECT_EQ(v, 1000 - k);
+  }
+}
+
+TEST(KthLargestAdversarial, PowerOfTwoClusters) {
+  // Values sitting exactly on bit boundaries stress the MSB-first search.
+  std::vector<uint32_t> ints;
+  for (int bit = 0; bit < 16; ++bit) {
+    for (int rep = 0; rep < 10; ++rep) {
+      ints.push_back(1u << bit);
+      ints.push_back((1u << bit) - 1);
+    }
+  }
+  gpu::Device device(64, 64);
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  std::vector<uint32_t> sorted = ints;
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint32_t>());
+  for (uint64_t k = 1; k <= sorted.size(); k += 37) {
+    ASSERT_OK_AND_ASSIGN(uint32_t v, KthLargest(&device, attr, 16, k));
+    EXPECT_EQ(v, sorted[k - 1]) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

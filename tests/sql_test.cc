@@ -1,0 +1,326 @@
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/executor.h"
+#include "src/db/datagen.h"
+#include "src/gpu/device.h"
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace sql {
+namespace {
+
+using core::AggregateKind;
+
+TEST(LexerTest, TokenizesAllKinds) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Token> tokens,
+      Tokenize("SELECT COUNT(*) FROM t WHERE a >= 1.5 AND b <> c;"));
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  const std::vector<TokenKind> expected = {
+      TokenKind::kSelect, TokenKind::kCount,  TokenKind::kLParen,
+      TokenKind::kStar,   TokenKind::kRParen, TokenKind::kFrom,
+      TokenKind::kIdentifier, TokenKind::kWhere, TokenKind::kIdentifier,
+      TokenKind::kGe,     TokenKind::kNumber, TokenKind::kAnd,
+      TokenKind::kIdentifier, TokenKind::kNe, TokenKind::kIdentifier,
+      TokenKind::kSemicolon, TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                       Tokenize("select Sum(x) from T where NOT a < 2"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSum);
+  // select(0) Sum(1) "("(2) x(3) ")"(4) from(5) T(6) where(7) NOT(8)
+  EXPECT_EQ(tokens[7].kind, TokenKind::kWhere);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kNot);
+}
+
+TEST(LexerTest, NumbersParse) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("3.25 100 .5"));
+  EXPECT_DOUBLE_EQ(tokens[0].number, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 100.0);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.5);
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("SELECT @ FROM t").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() {
+    auto t = db::MakeUniformTable(500, 8, 3, /*seed=*/51);
+    EXPECT_TRUE(t.ok());
+    table_ = std::move(t).ValueOrDie();
+    // Columns are named u0, u1, u2.
+  }
+  db::Table table_;
+};
+
+TEST_F(ParserTest, CountStar) {
+  ASSERT_OK_AND_ASSIGN(Query q,
+                       ParseQuery("SELECT COUNT(*) FROM flows", table_));
+  EXPECT_EQ(q.kind, Query::Kind::kCount);
+  EXPECT_EQ(q.table_name, "flows");
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST_F(ParserTest, AggregateWithWhere) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery("SELECT AVG(u0) FROM t WHERE u1 >= 10 AND u2 < 200",
+                 table_));
+  EXPECT_EQ(q.kind, Query::Kind::kAggregate);
+  EXPECT_EQ(q.aggregate, AggregateKind::kAvg);
+  EXPECT_EQ(q.column, "u0");
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind(), predicate::Expr::Kind::kAnd);
+}
+
+TEST_F(ParserTest, KthLargest) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q, ParseQuery("SELECT KTH_LARGEST(u0, 42) FROM t", table_));
+  EXPECT_EQ(q.kind, Query::Kind::kKthLargest);
+  EXPECT_EQ(q.k, 42u);
+  EXPECT_FALSE(
+      ParseQuery("SELECT KTH_LARGEST(u0, 1.5) FROM t", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT KTH_LARGEST(u0, 0) FROM t", table_).ok());
+}
+
+TEST_F(ParserTest, PrecedenceAndOverOr) {
+  // a OR b AND c parses as a OR (b AND c).
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery("SELECT COUNT(*) FROM t WHERE u0 < 1 OR u1 < 2 AND u2 < 3",
+                 table_));
+  ASSERT_EQ(q.where->kind(), predicate::Expr::Kind::kOr);
+  EXPECT_EQ(q.where->children()[1]->kind(), predicate::Expr::Kind::kAnd);
+}
+
+TEST_F(ParserTest, ParenthesesOverridePrecedence) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery(
+          "SELECT COUNT(*) FROM t WHERE (u0 < 1 OR u1 < 2) AND u2 < 3",
+          table_));
+  ASSERT_EQ(q.where->kind(), predicate::Expr::Kind::kAnd);
+  EXPECT_EQ(q.where->children()[0]->kind(), predicate::Expr::Kind::kOr);
+}
+
+TEST_F(ParserTest, BetweenAndReversedComparison) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery("SELECT COUNT(*) FROM t WHERE u0 BETWEEN 10 AND 20",
+                 table_));
+  // BETWEEN expands to the two-sided AND.
+  EXPECT_EQ(q.where->kind(), predicate::Expr::Kind::kAnd);
+  // number op column mirrors correctly: 5 < u0  ==  u0 > 5.
+  ASSERT_OK_AND_ASSIGN(
+      Query q2,
+      ParseQuery("SELECT COUNT(*) FROM t WHERE 5 < u0", table_));
+  EXPECT_EQ(q2.where->pred().op, gpu::CompareOp::kGreater);
+  EXPECT_EQ(q2.where->pred().constant, 5.0f);
+}
+
+TEST_F(ParserTest, AttrAttrComparison) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery("SELECT COUNT(*) FROM t WHERE u0 >= u1", table_));
+  EXPECT_TRUE(q.where->pred().rhs_is_attr);
+  EXPECT_EQ(q.where->pred().rhs_attr, 1u);
+}
+
+TEST_F(ParserTest, ErrorsCarryPosition) {
+  auto r = ParseQuery("SELECT COUNT(*) FROM t WHERE nope > 1", table_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown column 'nope'"),
+            std::string::npos);
+  EXPECT_FALSE(ParseQuery("SELECT FROM t", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) t", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE", table_).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT COUNT(*) FROM t WHERE u0 >", table_).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT COUNT(*) FROM t trailing", table_).ok());
+}
+
+class SqlEndToEndTest : public ::testing::Test {
+ protected:
+  SqlEndToEndTest() : device_(64, 64) {
+    auto t = db::MakeUniformTable(2000, 8, 3, /*seed=*/52);
+    EXPECT_TRUE(t.ok());
+    table_ = std::move(t).ValueOrDie();
+    auto exec = core::Executor::Make(&device_, &table_);
+    EXPECT_TRUE(exec.ok());
+    executor_ = std::move(exec).ValueOrDie();
+  }
+
+  gpu::Device device_;
+  db::Table table_;
+  std::unique_ptr<core::Executor> executor_;
+};
+
+TEST_F(SqlEndToEndTest, CountMatchesDirectEvaluation) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult r,
+      ExecuteSql(executor_.get(),
+                 "SELECT COUNT(*) FROM t WHERE u0 >= 100 AND NOT u1 = 7"));
+  uint64_t expected = 0;
+  for (size_t row = 0; row < table_.num_rows(); ++row) {
+    expected += (table_.column(0).value(row) >= 100.0f &&
+                 table_.column(1).value(row) != 7.0f)
+                    ? 1
+                    : 0;
+  }
+  EXPECT_EQ(r.count, expected);
+  EXPECT_NE(r.ToString().find("count"), std::string::npos);
+}
+
+TEST_F(SqlEndToEndTest, AggregatesRun) {
+  ASSERT_OK_AND_ASSIGN(QueryResult sum,
+                       ExecuteSql(executor_.get(),
+                                  "SELECT SUM(u0) FROM t WHERE u1 < 128"));
+  uint64_t expected = 0;
+  for (size_t row = 0; row < table_.num_rows(); ++row) {
+    if (table_.column(1).value(row) < 128.0f) {
+      expected += static_cast<uint64_t>(table_.column(0).value(row));
+    }
+  }
+  EXPECT_DOUBLE_EQ(sum.scalar, static_cast<double>(expected));
+
+  ASSERT_OK_AND_ASSIGN(QueryResult max_r,
+                       ExecuteSql(executor_.get(), "SELECT MAX(u2) FROM t"));
+  EXPECT_DOUBLE_EQ(max_r.scalar,
+                   static_cast<double>(table_.column(2).max()));
+}
+
+TEST_F(SqlEndToEndTest, SelectRowsAndKth) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult rows,
+      ExecuteSql(executor_.get(), "SELECT * FROM t WHERE u0 BETWEEN 0 AND 9"));
+  for (uint32_t row : rows.row_ids) {
+    EXPECT_LE(table_.column(0).value(row), 9.0f);
+  }
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult kth,
+      ExecuteSql(executor_.get(), "SELECT KTH_LARGEST(u0, 1) FROM t"));
+  EXPECT_DOUBLE_EQ(kth.scalar, static_cast<double>(table_.column(0).max()));
+}
+
+TEST_F(ParserTest, GroupByParses) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q, ParseQuery("SELECT SUM(u0) FROM t GROUP BY u1", table_));
+  EXPECT_EQ(q.kind, Query::Kind::kGroupBy);
+  EXPECT_EQ(q.column, "u0");
+  EXPECT_EQ(q.group_by_column, "u1");
+  EXPECT_EQ(q.aggregate, core::AggregateKind::kSum);
+  // GROUP BY without an aggregate, with WHERE, or with bad syntax fails.
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t GROUP BY u1", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t GROUP BY u1", table_).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT SUM(u0) FROM t WHERE u0 > 1 GROUP BY u1", table_)
+          .ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(u0) FROM t GROUP u1", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(u0) FROM t GROUP BY 5", table_).ok());
+}
+
+TEST_F(ParserTest, OrderByAndLimitParse) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery("SELECT * FROM t ORDER BY u0 DESC LIMIT 10", table_));
+  EXPECT_EQ(q.kind, Query::Kind::kSelectRows);
+  EXPECT_EQ(q.order_by_column, "u0");
+  EXPECT_TRUE(q.order_descending);
+  EXPECT_EQ(q.limit, 10u);
+  ASSERT_OK_AND_ASSIGN(Query asc,
+                       ParseQuery("SELECT * FROM t ORDER BY u1 ASC", table_));
+  EXPECT_FALSE(asc.order_descending);
+  EXPECT_EQ(asc.limit, 0u);
+  // Restrictions and syntax errors.
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t ORDER BY u0", table_).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT * FROM t WHERE u0 > 1 ORDER BY u0", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t ORDER u0", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t LIMIT 0", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t LIMIT 2.5", table_).ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(u0) FROM t LIMIT 3", table_).ok());
+}
+
+TEST_F(SqlEndToEndTest, OrderByLimitExecutes) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult r,
+      ExecuteSql(executor_.get(),
+                 "SELECT * FROM t ORDER BY u0 DESC LIMIT 5"));
+  ASSERT_EQ(r.row_ids.size(), 5u);
+  const auto& vals = table_.column(0).values();
+  for (size_t i = 1; i < r.row_ids.size(); ++i) {
+    EXPECT_GE(vals[r.row_ids[i - 1]], vals[r.row_ids[i]]);
+  }
+  EXPECT_EQ(vals[r.row_ids[0]], table_.column(0).max());
+  // WHERE + LIMIT without ORDER BY trims the selection.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult limited,
+      ExecuteSql(executor_.get(),
+                 "SELECT * FROM t WHERE u0 >= 0 LIMIT 7"));
+  EXPECT_EQ(limited.row_ids.size(), 7u);
+}
+
+TEST_F(SqlEndToEndTest, GroupByExecutes) {
+  // Group u0 sums by the low-cardinality derived key... use a small table
+  // with a 2-bit key column instead.
+  auto small = db::MakeUniformTable(500, 2, 2, /*seed=*/53);
+  ASSERT_TRUE(small.ok());
+  gpu::Device device(32, 32);
+  auto exec = core::Executor::Make(&device, &small.ValueOrDie());
+  ASSERT_TRUE(exec.ok());
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult r,
+      ExecuteSql(exec.ValueOrDie().get(),
+                 "SELECT SUM(u1) FROM t GROUP BY u0"));
+  EXPECT_EQ(r.kind, Query::Kind::kGroupBy);
+  std::map<uint32_t, uint64_t> expected;
+  const db::Table& t = small.ValueOrDie();
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    expected[t.column(0).int_value(row)] += t.column(1).int_value(row);
+  }
+  ASSERT_EQ(r.groups.size(), expected.size());
+  for (const core::GroupByRow& g : r.groups) {
+    EXPECT_DOUBLE_EQ(g.aggregate, static_cast<double>(expected[g.key]));
+  }
+  EXPECT_NE(r.ToString().find("group(s)"), std::string::npos);
+}
+
+TEST_F(SqlEndToEndTest, ScriptRunsStatementsInOrder) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<QueryResult> results,
+      ExecuteScript(executor_.get(),
+                    "SELECT COUNT(*) FROM t;\n"
+                    "SELECT MAX(u0) FROM t;\n"
+                    "  ;\n"  // blank statement skipped
+                    "SELECT COUNT(*) FROM t WHERE u1 < 100"));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].count, table_.num_rows());
+  EXPECT_DOUBLE_EQ(results[1].scalar,
+                   static_cast<double>(table_.column(0).max()));
+  // Errors stop the script.
+  EXPECT_FALSE(ExecuteScript(executor_.get(),
+                             "SELECT COUNT(*) FROM t; SELECT NOPE(u0) FROM t")
+                   .ok());
+  EXPECT_FALSE(ExecuteScript(executor_.get(), " ;; ").ok());
+}
+
+TEST_F(SqlEndToEndTest, NullExecutorRejected) {
+  EXPECT_FALSE(ExecuteSql(nullptr, "SELECT COUNT(*) FROM t").ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace gpudb

@@ -1,0 +1,80 @@
+#ifndef GPUDB_TESTS_TEST_UTIL_H_
+#define GPUDB_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/compare.h"
+#include "src/gpu/device.h"
+
+namespace gpudb {
+namespace testing_util {
+
+#define ASSERT_OK(expr)                                         \
+  do {                                                          \
+    const auto& _st = (expr);                                   \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();      \
+  } while (0)
+
+#define EXPECT_OK(expr)                                         \
+  do {                                                          \
+    const auto& _st = (expr);                                   \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();      \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                               \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                          \
+      GPUDB_ASSIGN_OR_RETURN_NAME(_assert_result_, __COUNTER__), lhs, \
+      expr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)                     \
+  auto tmp = (expr);                                                  \
+  ASSERT_TRUE(tmp.ok()) << "status: " << tmp.status().ToString();    \
+  lhs = std::move(tmp).ValueOrDie();
+
+/// Random integer values in [0, 2^bits).
+inline std::vector<uint32_t> RandomInts(size_t n, int bits, uint64_t seed) {
+  Random rng(seed);
+  std::vector<uint32_t> out(n);
+  for (auto& v : out) {
+    v = static_cast<uint32_t>(rng.NextUint64(uint64_t{1} << bits));
+  }
+  return out;
+}
+
+inline std::vector<float> ToFloats(const std::vector<uint32_t>& ints) {
+  std::vector<float> out(ints.size());
+  for (size_t i = 0; i < ints.size(); ++i) {
+    out[i] = static_cast<float>(ints[i]);
+  }
+  return out;
+}
+
+/// Uploads a single-channel texture of `values` sized width x ceil(n/width)
+/// and returns an exactly-encoded attribute binding for it. Sets the device
+/// viewport to n.
+inline core::AttributeBinding UploadIntAttribute(
+    gpu::Device* device, const std::vector<uint32_t>& values,
+    uint32_t width = 100) {
+  const std::vector<float> floats = ToFloats(values);
+  auto tex = gpu::Texture::FromColumns({&floats}, width);
+  EXPECT_TRUE(tex.ok()) << tex.status().ToString();
+  auto id = device->UploadTexture(std::move(tex).ValueOrDie());
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(device->SetViewport(values.size()).ok());
+  core::AttributeBinding binding;
+  binding.texture = id.ValueOrDie();
+  binding.channel = 0;
+  binding.encoding = core::DepthEncoding::ExactInt24();
+  return binding;
+}
+
+}  // namespace testing_util
+}  // namespace gpudb
+
+#endif  // GPUDB_TESTS_TEST_UTIL_H_
