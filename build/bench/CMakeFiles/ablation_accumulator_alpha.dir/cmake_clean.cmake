@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accumulator_alpha.dir/ablation_accumulator_alpha.cc.o"
+  "CMakeFiles/ablation_accumulator_alpha.dir/ablation_accumulator_alpha.cc.o.d"
+  "CMakeFiles/ablation_accumulator_alpha.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_accumulator_alpha.dir/bench_util.cc.o.d"
+  "ablation_accumulator_alpha"
+  "ablation_accumulator_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accumulator_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

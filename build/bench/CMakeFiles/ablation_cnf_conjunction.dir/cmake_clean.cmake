@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cnf_conjunction.dir/ablation_cnf_conjunction.cc.o"
+  "CMakeFiles/ablation_cnf_conjunction.dir/ablation_cnf_conjunction.cc.o.d"
+  "CMakeFiles/ablation_cnf_conjunction.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_cnf_conjunction.dir/bench_util.cc.o.d"
+  "ablation_cnf_conjunction"
+  "ablation_cnf_conjunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cnf_conjunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

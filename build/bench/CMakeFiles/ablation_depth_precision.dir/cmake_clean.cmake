@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_depth_precision.dir/ablation_depth_precision.cc.o"
+  "CMakeFiles/ablation_depth_precision.dir/ablation_depth_precision.cc.o.d"
+  "CMakeFiles/ablation_depth_precision.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_depth_precision.dir/bench_util.cc.o.d"
+  "ablation_depth_precision"
+  "ablation_depth_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_depth_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dnf_vs_cnf.dir/ablation_dnf_vs_cnf.cc.o"
+  "CMakeFiles/ablation_dnf_vs_cnf.dir/ablation_dnf_vs_cnf.cc.o.d"
+  "CMakeFiles/ablation_dnf_vs_cnf.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_dnf_vs_cnf.dir/bench_util.cc.o.d"
+  "ablation_dnf_vs_cnf"
+  "ablation_dnf_vs_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dnf_vs_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_dnf_vs_cnf.
+# This may be replaced when dependencies are built.

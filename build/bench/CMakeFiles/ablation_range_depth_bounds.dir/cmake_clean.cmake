@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_range_depth_bounds.dir/ablation_range_depth_bounds.cc.o"
+  "CMakeFiles/ablation_range_depth_bounds.dir/ablation_range_depth_bounds.cc.o.d"
+  "CMakeFiles/ablation_range_depth_bounds.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_range_depth_bounds.dir/bench_util.cc.o.d"
+  "ablation_range_depth_bounds"
+  "ablation_range_depth_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_range_depth_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_consistency.dir/bench_util.cc.o"
+  "CMakeFiles/census_consistency.dir/bench_util.cc.o.d"
+  "CMakeFiles/census_consistency.dir/census_consistency.cc.o"
+  "CMakeFiles/census_consistency.dir/census_consistency.cc.o.d"
+  "census_consistency"
+  "census_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batch_kth.dir/bench_util.cc.o"
+  "CMakeFiles/ext_batch_kth.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_batch_kth.dir/ext_batch_kth.cc.o"
+  "CMakeFiles/ext_batch_kth.dir/ext_batch_kth.cc.o.d"
+  "ext_batch_kth"
+  "ext_batch_kth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batch_kth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

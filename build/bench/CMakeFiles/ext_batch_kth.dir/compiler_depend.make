@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_batch_kth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bitonic_sort.dir/bench_util.cc.o"
+  "CMakeFiles/ext_bitonic_sort.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_bitonic_sort.dir/ext_bitonic_sort.cc.o"
+  "CMakeFiles/ext_bitonic_sort.dir/ext_bitonic_sort.cc.o.d"
+  "ext_bitonic_sort"
+  "ext_bitonic_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bitonic_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_groupby.dir/bench_util.cc.o"
+  "CMakeFiles/ext_groupby.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_groupby.dir/ext_groupby.cc.o"
+  "CMakeFiles/ext_groupby.dir/ext_groupby.cc.o.d"
+  "ext_groupby"
+  "ext_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_join.dir/bench_util.cc.o"
+  "CMakeFiles/ext_join.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_join.dir/ext_join.cc.o"
+  "CMakeFiles/ext_join.dir/ext_join.cc.o.d"
+  "ext_join"
+  "ext_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_kmeans.dir/bench_util.cc.o"
+  "CMakeFiles/ext_kmeans.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_kmeans.dir/ext_kmeans.cc.o"
+  "CMakeFiles/ext_kmeans.dir/ext_kmeans.cc.o.d"
+  "ext_kmeans"
+  "ext_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

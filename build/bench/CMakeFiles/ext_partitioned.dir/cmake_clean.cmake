@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_partitioned.dir/bench_util.cc.o"
+  "CMakeFiles/ext_partitioned.dir/bench_util.cc.o.d"
+  "CMakeFiles/ext_partitioned.dir/ext_partitioned.cc.o"
+  "CMakeFiles/ext_partitioned.dir/ext_partitioned.cc.o.d"
+  "ext_partitioned"
+  "ext_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

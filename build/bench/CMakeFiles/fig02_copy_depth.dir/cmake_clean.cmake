@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_copy_depth.dir/bench_util.cc.o"
+  "CMakeFiles/fig02_copy_depth.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig02_copy_depth.dir/fig02_copy_depth.cc.o"
+  "CMakeFiles/fig02_copy_depth.dir/fig02_copy_depth.cc.o.d"
+  "fig02_copy_depth"
+  "fig02_copy_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_copy_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_predicate.dir/bench_util.cc.o"
+  "CMakeFiles/fig03_predicate.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig03_predicate.dir/fig03_predicate.cc.o"
+  "CMakeFiles/fig03_predicate.dir/fig03_predicate.cc.o.d"
+  "fig03_predicate"
+  "fig03_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

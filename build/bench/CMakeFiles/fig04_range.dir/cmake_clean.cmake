@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_range.dir/bench_util.cc.o"
+  "CMakeFiles/fig04_range.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig04_range.dir/fig04_range.cc.o"
+  "CMakeFiles/fig04_range.dir/fig04_range.cc.o.d"
+  "fig04_range"
+  "fig04_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_multiattr.dir/bench_util.cc.o"
+  "CMakeFiles/fig05_multiattr.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig05_multiattr.dir/fig05_multiattr.cc.o"
+  "CMakeFiles/fig05_multiattr.dir/fig05_multiattr.cc.o.d"
+  "fig05_multiattr"
+  "fig05_multiattr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_multiattr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_semilinear.dir/bench_util.cc.o"
+  "CMakeFiles/fig06_semilinear.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig06_semilinear.dir/fig06_semilinear.cc.o"
+  "CMakeFiles/fig06_semilinear.dir/fig06_semilinear.cc.o.d"
+  "fig06_semilinear"
+  "fig06_semilinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_semilinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

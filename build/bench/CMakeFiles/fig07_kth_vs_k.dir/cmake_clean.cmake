@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_kth_vs_k.dir/bench_util.cc.o"
+  "CMakeFiles/fig07_kth_vs_k.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig07_kth_vs_k.dir/fig07_kth_vs_k.cc.o"
+  "CMakeFiles/fig07_kth_vs_k.dir/fig07_kth_vs_k.cc.o.d"
+  "fig07_kth_vs_k"
+  "fig07_kth_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_kth_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

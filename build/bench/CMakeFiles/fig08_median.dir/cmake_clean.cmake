@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_median.dir/bench_util.cc.o"
+  "CMakeFiles/fig08_median.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig08_median.dir/fig08_median.cc.o"
+  "CMakeFiles/fig08_median.dir/fig08_median.cc.o.d"
+  "fig08_median"
+  "fig08_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

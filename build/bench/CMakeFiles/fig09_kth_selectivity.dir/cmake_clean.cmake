@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kth_selectivity.dir/bench_util.cc.o"
+  "CMakeFiles/fig09_kth_selectivity.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig09_kth_selectivity.dir/fig09_kth_selectivity.cc.o"
+  "CMakeFiles/fig09_kth_selectivity.dir/fig09_kth_selectivity.cc.o.d"
+  "fig09_kth_selectivity"
+  "fig09_kth_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kth_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

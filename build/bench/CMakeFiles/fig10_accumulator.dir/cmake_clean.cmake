@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accumulator.dir/bench_util.cc.o"
+  "CMakeFiles/fig10_accumulator.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig10_accumulator.dir/fig10_accumulator.cc.o"
+  "CMakeFiles/fig10_accumulator.dir/fig10_accumulator.cc.o.d"
+  "fig10_accumulator"
+  "fig10_accumulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accumulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

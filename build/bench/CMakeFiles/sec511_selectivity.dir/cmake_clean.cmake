@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec511_selectivity.dir/bench_util.cc.o"
+  "CMakeFiles/sec511_selectivity.dir/bench_util.cc.o.d"
+  "CMakeFiles/sec511_selectivity.dir/sec511_selectivity.cc.o"
+  "CMakeFiles/sec511_selectivity.dir/sec511_selectivity.cc.o.d"
+  "sec511_selectivity"
+  "sec511_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec511_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

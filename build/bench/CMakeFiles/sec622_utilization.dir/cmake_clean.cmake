@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec622_utilization.dir/bench_util.cc.o"
+  "CMakeFiles/sec622_utilization.dir/bench_util.cc.o.d"
+  "CMakeFiles/sec622_utilization.dir/sec622_utilization.cc.o"
+  "CMakeFiles/sec622_utilization.dir/sec622_utilization.cc.o.d"
+  "sec622_utilization"
+  "sec622_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec622_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

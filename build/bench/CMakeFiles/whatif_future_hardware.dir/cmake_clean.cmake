@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_future_hardware.dir/bench_util.cc.o"
+  "CMakeFiles/whatif_future_hardware.dir/bench_util.cc.o.d"
+  "CMakeFiles/whatif_future_hardware.dir/whatif_future_hardware.cc.o"
+  "CMakeFiles/whatif_future_hardware.dir/whatif_future_hardware.cc.o.d"
+  "whatif_future_hardware"
+  "whatif_future_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_future_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_suite.dir/bench_util.cc.o"
+  "CMakeFiles/workload_suite.dir/bench_util.cc.o.d"
+  "CMakeFiles/workload_suite.dir/workload_suite.cc.o"
+  "CMakeFiles/workload_suite.dir/workload_suite.cc.o.d"
+  "workload_suite"
+  "workload_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_income.dir/census_income.cpp.o"
+  "CMakeFiles/census_income.dir/census_income.cpp.o.d"
+  "census_income"
+  "census_income.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_income.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coprocessor_policy.dir/coprocessor_policy.cpp.o"
+  "CMakeFiles/coprocessor_policy.dir/coprocessor_policy.cpp.o.d"
+  "coprocessor_policy"
+  "coprocessor_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coprocessor_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

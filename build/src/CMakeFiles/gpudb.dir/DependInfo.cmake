@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/gpudb.dir/common/random.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gpudb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/common/status.cc.o.d"
+  "/root/repo/src/core/accumulator.cc" "src/CMakeFiles/gpudb.dir/core/accumulator.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/accumulator.cc.o.d"
+  "/root/repo/src/core/aggregates.cc" "src/CMakeFiles/gpudb.dir/core/aggregates.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/aggregates.cc.o.d"
+  "/root/repo/src/core/bitonic_sort.cc" "src/CMakeFiles/gpudb.dir/core/bitonic_sort.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/bitonic_sort.cc.o.d"
+  "/root/repo/src/core/compare.cc" "src/CMakeFiles/gpudb.dir/core/compare.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/compare.cc.o.d"
+  "/root/repo/src/core/count.cc" "src/CMakeFiles/gpudb.dir/core/count.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/count.cc.o.d"
+  "/root/repo/src/core/depth_encoding.cc" "src/CMakeFiles/gpudb.dir/core/depth_encoding.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/depth_encoding.cc.o.d"
+  "/root/repo/src/core/eval_cnf.cc" "src/CMakeFiles/gpudb.dir/core/eval_cnf.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/eval_cnf.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/CMakeFiles/gpudb.dir/core/executor.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/executor.cc.o.d"
+  "/root/repo/src/core/group_by.cc" "src/CMakeFiles/gpudb.dir/core/group_by.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/group_by.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/CMakeFiles/gpudb.dir/core/histogram.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/histogram.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/CMakeFiles/gpudb.dir/core/join.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/join.cc.o.d"
+  "/root/repo/src/core/kmeans.cc" "src/CMakeFiles/gpudb.dir/core/kmeans.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/kmeans.cc.o.d"
+  "/root/repo/src/core/kth_largest.cc" "src/CMakeFiles/gpudb.dir/core/kth_largest.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/kth_largest.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/CMakeFiles/gpudb.dir/core/partition.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/partition.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/gpudb.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/polynomial.cc" "src/CMakeFiles/gpudb.dir/core/polynomial.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/polynomial.cc.o.d"
+  "/root/repo/src/core/range.cc" "src/CMakeFiles/gpudb.dir/core/range.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/range.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/CMakeFiles/gpudb.dir/core/selection.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/selection.cc.o.d"
+  "/root/repo/src/core/semilinear.cc" "src/CMakeFiles/gpudb.dir/core/semilinear.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/semilinear.cc.o.d"
+  "/root/repo/src/core/spatial.cc" "src/CMakeFiles/gpudb.dir/core/spatial.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/spatial.cc.o.d"
+  "/root/repo/src/core/spatial_join.cc" "src/CMakeFiles/gpudb.dir/core/spatial_join.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/spatial_join.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/CMakeFiles/gpudb.dir/core/stream.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/core/stream.cc.o.d"
+  "/root/repo/src/cpu/aggregate.cc" "src/CMakeFiles/gpudb.dir/cpu/aggregate.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/cpu/aggregate.cc.o.d"
+  "/root/repo/src/cpu/quickselect.cc" "src/CMakeFiles/gpudb.dir/cpu/quickselect.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/cpu/quickselect.cc.o.d"
+  "/root/repo/src/cpu/scan.cc" "src/CMakeFiles/gpudb.dir/cpu/scan.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/cpu/scan.cc.o.d"
+  "/root/repo/src/cpu/xeon_model.cc" "src/CMakeFiles/gpudb.dir/cpu/xeon_model.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/cpu/xeon_model.cc.o.d"
+  "/root/repo/src/db/binary_io.cc" "src/CMakeFiles/gpudb.dir/db/binary_io.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/db/binary_io.cc.o.d"
+  "/root/repo/src/db/column.cc" "src/CMakeFiles/gpudb.dir/db/column.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/db/column.cc.o.d"
+  "/root/repo/src/db/csv.cc" "src/CMakeFiles/gpudb.dir/db/csv.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/db/csv.cc.o.d"
+  "/root/repo/src/db/datagen.cc" "src/CMakeFiles/gpudb.dir/db/datagen.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/db/datagen.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/gpudb.dir/db/table.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/db/table.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/CMakeFiles/gpudb.dir/gpu/device.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/device.cc.o.d"
+  "/root/repo/src/gpu/fragment_program.cc" "src/CMakeFiles/gpudb.dir/gpu/fragment_program.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/fragment_program.cc.o.d"
+  "/root/repo/src/gpu/framebuffer.cc" "src/CMakeFiles/gpudb.dir/gpu/framebuffer.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/framebuffer.cc.o.d"
+  "/root/repo/src/gpu/geometry.cc" "src/CMakeFiles/gpudb.dir/gpu/geometry.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/geometry.cc.o.d"
+  "/root/repo/src/gpu/perf_model.cc" "src/CMakeFiles/gpudb.dir/gpu/perf_model.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/perf_model.cc.o.d"
+  "/root/repo/src/gpu/rasterizer.cc" "src/CMakeFiles/gpudb.dir/gpu/rasterizer.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/rasterizer.cc.o.d"
+  "/root/repo/src/gpu/texture.cc" "src/CMakeFiles/gpudb.dir/gpu/texture.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/texture.cc.o.d"
+  "/root/repo/src/gpu/types.cc" "src/CMakeFiles/gpudb.dir/gpu/types.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/gpu/types.cc.o.d"
+  "/root/repo/src/predicate/cnf.cc" "src/CMakeFiles/gpudb.dir/predicate/cnf.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/predicate/cnf.cc.o.d"
+  "/root/repo/src/predicate/expr.cc" "src/CMakeFiles/gpudb.dir/predicate/expr.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/predicate/expr.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/gpudb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/gpudb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/gpudb.dir/sql/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_accumulator_test.dir/core_accumulator_test.cc.o"
+  "CMakeFiles/core_accumulator_test.dir/core_accumulator_test.cc.o.d"
+  "core_accumulator_test"
+  "core_accumulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_accumulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

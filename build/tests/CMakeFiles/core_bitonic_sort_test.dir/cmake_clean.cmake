@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bitonic_sort_test.dir/core_bitonic_sort_test.cc.o"
+  "CMakeFiles/core_bitonic_sort_test.dir/core_bitonic_sort_test.cc.o.d"
+  "core_bitonic_sort_test"
+  "core_bitonic_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bitonic_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

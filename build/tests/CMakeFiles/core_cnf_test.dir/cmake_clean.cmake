@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cnf_test.dir/core_cnf_test.cc.o"
+  "CMakeFiles/core_cnf_test.dir/core_cnf_test.cc.o.d"
+  "core_cnf_test"
+  "core_cnf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_group_by_test.dir/core_group_by_test.cc.o"
+  "CMakeFiles/core_group_by_test.dir/core_group_by_test.cc.o.d"
+  "core_group_by_test"
+  "core_group_by_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_group_by_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

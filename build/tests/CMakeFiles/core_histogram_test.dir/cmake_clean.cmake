@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_histogram_test.dir/core_histogram_test.cc.o"
+  "CMakeFiles/core_histogram_test.dir/core_histogram_test.cc.o.d"
+  "core_histogram_test"
+  "core_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

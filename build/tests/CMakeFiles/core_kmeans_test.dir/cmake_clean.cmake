@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_kmeans_test.dir/core_kmeans_test.cc.o"
+  "CMakeFiles/core_kmeans_test.dir/core_kmeans_test.cc.o.d"
+  "core_kmeans_test"
+  "core_kmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

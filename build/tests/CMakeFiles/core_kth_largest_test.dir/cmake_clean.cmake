@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_kth_largest_test.dir/core_kth_largest_test.cc.o"
+  "CMakeFiles/core_kth_largest_test.dir/core_kth_largest_test.cc.o.d"
+  "core_kth_largest_test"
+  "core_kth_largest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_kth_largest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_polynomial_test.dir/core_polynomial_test.cc.o"
+  "CMakeFiles/core_polynomial_test.dir/core_polynomial_test.cc.o.d"
+  "core_polynomial_test"
+  "core_polynomial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

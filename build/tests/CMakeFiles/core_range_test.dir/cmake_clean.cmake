@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_range_test.dir/core_range_test.cc.o"
+  "CMakeFiles/core_range_test.dir/core_range_test.cc.o.d"
+  "core_range_test"
+  "core_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_semilinear_test.dir/core_semilinear_test.cc.o"
+  "CMakeFiles/core_semilinear_test.dir/core_semilinear_test.cc.o.d"
+  "core_semilinear_test"
+  "core_semilinear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_semilinear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_spatial_test.dir/core_spatial_test.cc.o"
+  "CMakeFiles/core_spatial_test.dir/core_spatial_test.cc.o.d"
+  "core_spatial_test"
+  "core_spatial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_spatial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

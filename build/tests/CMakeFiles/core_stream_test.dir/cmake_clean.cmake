@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stream_test.dir/core_stream_test.cc.o"
+  "CMakeFiles/core_stream_test.dir/core_stream_test.cc.o.d"
+  "core_stream_test"
+  "core_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_binary_test.dir/db_binary_test.cc.o"
+  "CMakeFiles/db_binary_test.dir/db_binary_test.cc.o.d"
+  "db_binary_test"
+  "db_binary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_binary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

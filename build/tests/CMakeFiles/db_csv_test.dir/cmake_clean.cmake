@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_csv_test.dir/db_csv_test.cc.o"
+  "CMakeFiles/db_csv_test.dir/db_csv_test.cc.o.d"
+  "db_csv_test"
+  "db_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

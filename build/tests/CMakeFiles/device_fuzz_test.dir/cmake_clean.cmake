@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_fuzz_test.dir/device_fuzz_test.cc.o"
+  "CMakeFiles/device_fuzz_test.dir/device_fuzz_test.cc.o.d"
+  "device_fuzz_test"
+  "device_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
