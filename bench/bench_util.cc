@@ -1,10 +1,80 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
+#include <fstream>
+
+#include "src/common/json.h"
 
 namespace gpudb {
 namespace bench {
+
+namespace {
+
+/// Rows of the figure currently being printed, gathered between PrintHeader
+/// and PrintFooter for the JSON side channel.
+struct FigureRecording {
+  bool active = false;
+  std::string figure;
+  std::string description;
+  std::string paper_claim;
+  std::vector<ResultRow> rows;
+};
+
+FigureRecording& Recording() {
+  static FigureRecording recording;
+  return recording;
+}
+
+std::string SanitizeFigureName(const std::string& figure) {
+  std::string out;
+  out.reserve(figure.size());
+  for (char c : figure) {
+    out += std::isalnum(static_cast<unsigned char>(c))
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  }
+  return out;
+}
+
+void WriteFigureJson(const FigureRecording& rec, const std::string& note) {
+  const char* dir = std::getenv("GPUDB_BENCH_JSON_DIR");
+  const std::string path = std::string(dir != nullptr ? dir : ".") +
+                           "/BENCH_" + SanitizeFigureName(rec.figure) +
+                           ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"figure\": " << json::Quote(rec.figure) << ",\n";
+  out << "  \"description\": " << json::Quote(rec.description) << ",\n";
+  out << "  \"paper_claim\": " << json::Quote(rec.paper_claim) << ",\n";
+  out << "  \"note\": " << json::Quote(note) << ",\n";
+  out << "  \"rows\": [";
+  for (size_t i = 0; i < rec.rows.size(); ++i) {
+    const ResultRow& row = rec.rows[i];
+    const double speedup = row.gpu_model_total_ms > 0
+                               ? row.cpu_model_ms / row.gpu_model_total_ms
+                               : 0.0;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"label\": " << json::Quote(row.label)
+        << ", \"gpu_model_total_ms\": " << json::Number(row.gpu_model_total_ms)
+        << ", \"gpu_model_compute_ms\": "
+        << json::Number(row.gpu_model_compute_ms)
+        << ", \"cpu_model_ms\": " << json::Number(row.cpu_model_ms)
+        << ", \"speedup\": " << json::Number(speedup)
+        << ", \"gpu_wall_ms\": " << json::Number(row.gpu_wall_ms)
+        << ", \"cpu_wall_ms\": " << json::Number(row.cpu_wall_ms)
+        << ", \"check_passed\": " << (row.check_passed ? "true" : "false")
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace
 
 std::vector<size_t> RecordSweep() {
   return {250'000, 500'000, 750'000, 1'000'000};
@@ -75,6 +145,7 @@ float ThresholdForSelectivity(const db::Column& column, size_t n,
 
 void PrintHeader(const std::string& figure, const std::string& description,
                  const std::string& paper_claim) {
+  Recording() = {true, figure, description, paper_claim, {}};
   std::printf("================================================================================\n");
   std::printf("%s: %s\n", figure.c_str(), description.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
@@ -90,6 +161,7 @@ void PrintRowHeader() {
 }
 
 void PrintRow(const ResultRow& row) {
+  if (Recording().active) Recording().rows.push_back(row);
   const double speedup =
       row.gpu_model_total_ms > 0 ? row.cpu_model_ms / row.gpu_model_total_ms
                                  : 0.0;
@@ -103,6 +175,10 @@ void PrintRow(const ResultRow& row) {
 void PrintFooter(const std::string& note) {
   std::printf("--------------------------------------------------------------------------------\n");
   std::printf("%s\n\n", note.c_str());
+  if (Recording().active) {
+    WriteFigureJson(Recording(), note);
+    Recording() = {};
+  }
 }
 
 }  // namespace bench

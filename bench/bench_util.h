@@ -42,7 +42,9 @@ core::AttributeBinding UploadColumn(gpu::Device* device,
 float ThresholdForSelectivity(const db::Column& column, size_t n,
                               double selectivity);
 
-/// Prints the figure banner with the paper's claim for easy comparison.
+/// Prints the figure banner with the paper's claim for easy comparison, and
+/// starts recording the figure's rows for the machine-readable JSON emitted
+/// by PrintFooter.
 void PrintHeader(const std::string& figure, const std::string& description,
                  const std::string& paper_claim);
 
@@ -63,7 +65,11 @@ struct ResultRow {
 void PrintRowHeader();
 void PrintRow(const ResultRow& row);
 
-/// Footer: summarizing the shape vs the paper's claim.
+/// Footer: summarizes the shape vs the paper's claim, and writes every row
+/// recorded since the last PrintHeader to BENCH_<figure>.json (figure name
+/// lowercased, non-alphanumerics folded to '_') in the directory named by
+/// $GPUDB_BENCH_JSON_DIR, defaulting to the current directory. Emission
+/// failures only warn -- the console table is the primary output.
 void PrintFooter(const std::string& note);
 
 }  // namespace bench

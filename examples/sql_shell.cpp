@@ -3,16 +3,25 @@
 //
 //   $ ./build/examples/sql_shell                      # runs a demo script
 //   $ ./build/examples/sql_shell "SELECT COUNT(*) FROM flows WHERE data_loss > 0"
+//   $ ./build/examples/sql_shell "EXPLAIN ANALYZE SELECT COUNT(*) FROM flows"
 //   $ echo "SELECT MEDIAN(data_count) FROM flows" | ./build/examples/sql_shell -
+//
+// Flags:
+//   --trace=FILE   write a Chrome trace_event JSON of every traced span to
+//                  FILE on exit (open in chrome://tracing or Perfetto)
+//   --metrics      dump the process metrics registry after the queries
 //
 // Columns: data_count, data_loss, flow_rate, retransmissions.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/core/executor.h"
 #include "src/db/datagen.h"
 #include "src/gpu/device.h"
@@ -28,10 +37,19 @@ void RunOne(gpudb::core::Executor* executor, const std::string& query) {
     return;
   }
   const gpudb::sql::QueryResult& r = result.ValueOrDie();
+  if (r.analyzed) {
+    std::printf("%s  simulated GPU time: %.3f ms\n", r.explain.c_str(),
+                r.simulated_total_ms);
+  }
   if (r.kind == gpudb::sql::Query::Kind::kSelectRows) {
     std::printf("%s", executor->table()
                           .FormatRows(r.row_ids, /*max_rows=*/10)
                           .c_str());
+    return;
+  }
+  if (r.analyzed) {
+    // ToString would repeat the tree; just print the value line.
+    std::printf("  %s\n", r.ToString().substr(0, r.ToString().find('\n')).c_str());
     return;
   }
   std::printf("  %s\n", r.ToString().c_str());
@@ -40,6 +58,21 @@ void RunOne(gpudb::core::Executor* executor, const std::string& query) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_file;
+  bool dump_metrics = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_file = argv[i] + 8;
+      // Record every query, not just EXPLAIN ANALYZE ones.
+      gpudb::Tracer::Global().set_enabled(true);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+
   std::printf("loading 100K-flow TCP/IP table...\n");
   auto table = gpudb::db::MakeTcpIpTable(100'000);
   if (!table.ok()) return 1;
@@ -50,42 +83,57 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (argc > 1 && std::strcmp(argv[1], "-") == 0) {
+  if (!args.empty() && args[0] == "-") {
     // Read queries line by line from stdin.
     std::string line;
     while (std::getline(std::cin, line)) {
       if (!line.empty()) RunOne(exec.ValueOrDie().get(), line);
     }
-    return 0;
-  }
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) {
-      RunOne(exec.ValueOrDie().get(), argv[i]);
+  } else if (!args.empty()) {
+    for (const std::string& q : args) {
+      RunOne(exec.ValueOrDie().get(), q);
     }
-    return 0;
+  } else {
+    // Demo script.
+    const std::vector<std::string> demo = {
+        "SELECT COUNT(*) FROM flows",
+        "SELECT COUNT(*) FROM flows WHERE data_loss > 0 AND flow_rate >= "
+        "1000",
+        "SELECT AVG(data_count) FROM flows WHERE retransmissions > 0",
+        "SELECT MEDIAN(data_count) FROM flows",
+        "SELECT KTH_LARGEST(data_count, 100) FROM flows",
+        "SELECT MAX(flow_rate) FROM flows WHERE data_count BETWEEN 1000 AND "
+        "100000",
+        "SELECT COUNT(*) FROM flows WHERE NOT (data_loss = 0 OR "
+        "retransmissions = 0)",
+        "SELECT COUNT(*) FROM flows WHERE data_loss >= retransmissions AND "
+        "data_loss > 0",
+        "SELECT COUNT(data_count) FROM flows GROUP BY retransmissions",
+        "SELECT * FROM flows ORDER BY data_count DESC LIMIT 5",
+        // The observability story: per-operator simulated cost tree.
+        "EXPLAIN ANALYZE SELECT COUNT(*) FROM flows WHERE data_loss > 0 AND "
+        "flow_rate >= 1000",
+        "EXPLAIN ANALYZE SELECT KTH_LARGEST(data_count, 100) FROM flows",
+        // A couple of deliberate errors to show diagnostics:
+        "SELECT COUNT(*) FROM flows WHERE no_such_column > 1",
+        "SELECT NOPE(data_count) FROM flows",
+    };
+    for (const std::string& q : demo) {
+      RunOne(exec.ValueOrDie().get(), q);
+    }
   }
 
-  // Demo script.
-  const std::vector<std::string> demo = {
-      "SELECT COUNT(*) FROM flows",
-      "SELECT COUNT(*) FROM flows WHERE data_loss > 0 AND flow_rate >= 1000",
-      "SELECT AVG(data_count) FROM flows WHERE retransmissions > 0",
-      "SELECT MEDIAN(data_count) FROM flows",
-      "SELECT KTH_LARGEST(data_count, 100) FROM flows",
-      "SELECT MAX(flow_rate) FROM flows WHERE data_count BETWEEN 1000 AND "
-      "100000",
-      "SELECT COUNT(*) FROM flows WHERE NOT (data_loss = 0 OR "
-      "retransmissions = 0)",
-      "SELECT COUNT(*) FROM flows WHERE data_loss >= retransmissions AND "
-      "data_loss > 0",
-      "SELECT COUNT(data_count) FROM flows GROUP BY retransmissions",
-      "SELECT * FROM flows ORDER BY data_count DESC LIMIT 5",
-      // A couple of deliberate errors to show diagnostics:
-      "SELECT COUNT(*) FROM flows WHERE no_such_column > 1",
-      "SELECT NOPE(data_count) FROM flows",
-  };
-  for (const std::string& q : demo) {
-    RunOne(exec.ValueOrDie().get(), q);
+  if (!trace_file.empty()) {
+    const std::string json =
+        gpudb::Tracer::ToChromeTrace(gpudb::Tracer::Global().Finished());
+    std::ofstream out(trace_file);
+    out << json;
+    std::printf("wrote %zu span(s) to %s\n",
+                gpudb::Tracer::Global().FinishedCount(), trace_file.c_str());
+  }
+  if (dump_metrics) {
+    std::printf("-- metrics --\n%s",
+                gpudb::MetricsRegistry::Global().DumpText().c_str());
   }
   return 0;
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the sanitizer configuration:
+#   1. the standard build + full ctest run (what CI gates on), and
+#   2. an ASan+UBSan Debug build of the test suite, which also turns on the
+#      record-time PassRecord invariant asserts in gpu::Device.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: standard build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "== sanitizers: ASan+UBSan Debug build + tests =="
+cmake -B build-asan -S . -DGPUDB_SANITIZE=ON >/dev/null
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j
+
+echo "check.sh: all green"

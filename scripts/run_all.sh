@@ -10,6 +10,10 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Machine-readable per-figure results (BENCH_<figure>.json) land here.
+mkdir -p bench_json
+export GPUDB_BENCH_JSON_DIR=bench_json
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
@@ -17,4 +21,4 @@ for b in build/bench/*; do
   "$b" 2>&1 | tee -a bench_output.txt
 done
 
-echo "done: test_output.txt, bench_output.txt"
+echo "done: test_output.txt, bench_output.txt, $(ls bench_json | wc -l) JSON file(s) in bench_json/"

@@ -1,0 +1,173 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/json.h"
+
+namespace gpudb {
+
+void MetricHistogram::Record(double value) {
+  const int bucket = BucketFor(value);
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // atomic<double> has no fetch_add pre-C++20 on all targets; CAS-loop keeps
+  // the sum exact under concurrent recording.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+  std::lock_guard<std::mutex> lock(minmax_mu_);
+  if (count() == 1 || value < min_.load(std::memory_order_relaxed)) {
+    min_.store(value, std::memory_order_relaxed);
+  }
+  if (count() == 1 || value > max_.load(std::memory_order_relaxed)) {
+    max_.store(value, std::memory_order_relaxed);
+  }
+}
+
+double MetricHistogram::min() const {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double MetricHistogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double MetricHistogram::BucketUpperBound(int bucket) {
+  return std::ldexp(1.0, bucket + kMinExp);
+}
+
+int MetricHistogram::BucketFor(double value) {
+  if (!(value > 0.0)) return 0;  // catches negatives and NaN
+  const int exp = static_cast<int>(std::ceil(std::log2(value)));
+  return std::clamp(exp - kMinExp, 0, kBuckets - 1);
+}
+
+double MetricHistogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void MetricHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricCounter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return *slot;
+}
+
+MetricGauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricGauge>();
+  return *slot;
+}
+
+MetricHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "counter   %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge     %-32s %.6g\n", name.c_str(),
+                  g->value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %-32s count=%llu sum=%.6g min=%.6g max=%.6g "
+                  "p50=%.6g p95=%.6g p99=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->sum(), h->min(), h->max(), h->Quantile(0.5),
+                  h->Quantile(0.95), h->Quantile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += json::Quote(name) + ":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += json::Quote(name) + ":" + json::Number(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += json::Quote(name) + ":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + json::Number(h->sum()) +
+           ",\"min\":" + json::Number(h->min()) +
+           ",\"max\":" + json::Number(h->max()) +
+           ",\"p50\":" + json::Number(h->Quantile(0.5)) +
+           ",\"p95\":" + json::Number(h->Quantile(0.95)) +
+           ",\"p99\":" + json::Number(h->Quantile(0.99)) + ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < MetricHistogram::kBuckets; ++b) {
+      const uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "{\"le\":" + json::Number(MetricHistogram::BucketUpperBound(b)) +
+             ",\"count\":" + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace gpudb

@@ -1,0 +1,129 @@
+#ifndef GPUDB_COMMON_METRICS_H_
+#define GPUDB_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpudb {
+
+/// \brief Monotonically increasing event count (queries run, passes
+/// rendered, bytes moved). Thread-safe; cheap enough for simulator hot
+/// paths.
+class MetricCounter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-value-wins instantaneous measurement (resident video memory,
+/// table row count).
+class MetricGauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Log-scale latency histogram.
+///
+/// Buckets are powers of two: bucket i counts values in (2^(i-1+kMinExp),
+/// 2^(i+kMinExp)], with bucket 0 catching everything at or below 2^kMinExp.
+/// With kMinExp = -10 the histogram resolves ~1 microsecond to ~9 hours when
+/// recording milliseconds, which covers every latency this codebase can
+/// produce. Negative values clamp into bucket 0.
+class MetricHistogram {
+ public:
+  static constexpr int kBuckets = 45;
+  static constexpr int kMinExp = -10;
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  uint64_t bucket_count(int bucket) const {
+    return buckets_[static_cast<size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Upper bound of a bucket (2^(bucket + kMinExp)).
+  static double BucketUpperBound(int bucket);
+  /// The bucket a value falls into.
+  static int BucketFor(double value);
+
+  /// Estimated value at quantile q in [0,1] (upper bound of the bucket that
+  /// contains the q-th recorded value; 0 when empty).
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  mutable std::mutex minmax_mu_;
+};
+
+/// \brief Process-wide registry of named metrics.
+///
+/// Instruments are created on first use and live for the registry's
+/// lifetime, so call sites may cache the returned references:
+///
+///   static MetricCounter& passes =
+///       MetricsRegistry::Global().counter("gpu.passes");
+///   passes.Increment();
+///
+/// Names are dotted paths by convention ("gpu.passes", "sql.query_ms").
+/// Tests may construct private registries; Global() is the shared one.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  MetricCounter& counter(std::string_view name);
+  MetricGauge& gauge(std::string_view name);
+  MetricHistogram& histogram(std::string_view name);
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string DumpText() const;
+
+  /// JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string DumpJson() const;
+
+  /// Zeroes every registered instrument (instruments stay registered, so
+  /// cached references remain valid). Intended for tests and bench setup.
+  void ResetForTesting();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace gpudb
+
+#endif  // GPUDB_COMMON_METRICS_H_

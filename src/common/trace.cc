@@ -1,0 +1,164 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/json.h"
+
+namespace gpudb {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t ThisThreadOrdinal() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+/// Stack of open span ids on this thread, innermost last.
+std::vector<uint64_t>& ThreadSpanStack() {
+  thread_local std::vector<uint64_t> stack;
+  return stack;
+}
+
+}  // namespace
+
+double FinishedSpan::NumberTag(std::string_view key, double fallback) const {
+  for (const TraceTag& tag : tags) {
+    if (tag.key == key) return tag.is_number ? tag.number : fallback;
+  }
+  return fallback;
+}
+
+std::string_view FinishedSpan::TextTag(std::string_view key) const {
+  for (const TraceTag& tag : tags) {
+    if (tag.key == key) return tag.text;
+  }
+  return {};
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+size_t Tracer::FinishedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_.size();
+}
+
+std::vector<FinishedSpan> Tracer::FinishedSince(size_t mark) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mark >= finished_.size()) return {};
+  return std::vector<FinishedSpan>(finished_.begin() + mark, finished_.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+}
+
+uint64_t Tracer::Begin(std::string_view name) {
+  if (!enabled()) return 0;
+  OpenSpan span;
+  const uint64_t id = next_id_.fetch_add(1);
+  span.id = id;
+  span.thread_id = ThisThreadOrdinal();
+  span.name = std::string(name);
+  span.start_us = NowMicros();
+  std::vector<uint64_t>& stack = ThreadSpanStack();
+  span.parent_id = stack.empty() ? 0 : stack.back();
+  stack.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_.push_back(std::move(span));
+  }
+  return id;
+}
+
+void Tracer::End(uint64_t id, std::vector<TraceTag> tags) {
+  if (id == 0) return;
+  std::vector<uint64_t>& stack = ThreadSpanStack();
+  // Spans are RAII so they close innermost-first; tolerate (and repair)
+  // out-of-order closes from moved-about handles by searching the stack.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == id) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = open_.begin(); it != open_.end(); ++it) {
+    if (it->id != id) continue;
+    FinishedSpan done;
+    done.id = it->id;
+    done.parent_id = it->parent_id;
+    done.thread_id = it->thread_id;
+    done.name = std::move(it->name);
+    done.start_us = it->start_us;
+    done.end_us = now;
+    done.tags = std::move(tags);
+    open_.erase(it);
+    finished_.push_back(std::move(done));
+    return;
+  }
+}
+
+std::string Tracer::ToChromeTrace(const std::vector<FinishedSpan>& spans) {
+  // Chrome's trace_event format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+  // Complete ("X") events carry ts + dur; parent/child structure is implied
+  // by nesting on the same pid/tid timeline. Span ids and parent ids are
+  // also exported under args for tools that want the exact forest.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const FinishedSpan& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json::Quote(span.name) +
+           ",\"cat\":\"gpudb\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(span.thread_id) +
+           ",\"ts\":" + std::to_string(span.start_us) +
+           ",\"dur\":" + std::to_string(span.duration_us()) + ",\"args\":{";
+    out += "\"span_id\":" + std::to_string(span.id) +
+           ",\"parent_id\":" + std::to_string(span.parent_id);
+    for (const TraceTag& tag : span.tags) {
+      out += "," + json::Quote(tag.key) + ":";
+      out += tag.is_number ? json::Number(tag.number) : json::Quote(tag.text);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name, Tracer* tracer)
+    : tracer_(tracer), id_(tracer->Begin(name)) {}
+
+TraceSpan::~TraceSpan() { tracer_->End(id_, std::move(tags_)); }
+
+void TraceSpan::AddTag(std::string_view key, std::string_view value) {
+  if (!active()) return;
+  TraceTag tag;
+  tag.key = std::string(key);
+  tag.text = std::string(value);
+  tags_.push_back(std::move(tag));
+}
+
+void TraceSpan::AddTag(std::string_view key, double value) {
+  if (!active()) return;
+  TraceTag tag;
+  tag.key = std::string(key);
+  tag.text = json::Number(value);
+  tag.number = value;
+  tag.is_number = true;
+  tags_.push_back(std::move(tag));
+}
+
+}  // namespace gpudb

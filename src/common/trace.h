@@ -1,0 +1,152 @@
+#ifndef GPUDB_COMMON_TRACE_H_
+#define GPUDB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpudb {
+
+/// \brief One key/value annotation on a span. Numeric tags keep their value
+/// so exporters can emit unquoted JSON numbers and analyzers (EXPLAIN
+/// ANALYZE) can read them back without parsing strings.
+struct TraceTag {
+  std::string key;
+  std::string text;      ///< String form (always set).
+  double number = 0.0;   ///< Numeric value when is_number.
+  bool is_number = false;
+};
+
+/// \brief A closed span as recorded by the Tracer sink.
+///
+/// Spans form a forest: `parent_id` is the id of the span that was active on
+/// the same thread when this one opened (0 = no parent). `start_us`/`end_us`
+/// are microseconds on a process-local monotonic clock, so durations and
+/// ordering are meaningful but absolute values are not wall-clock.
+struct FinishedSpan {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  uint64_t thread_id = 0;  ///< Small per-process ordinal, not an OS tid.
+  std::string name;
+  int64_t start_us = 0;
+  int64_t end_us = 0;
+  std::vector<TraceTag> tags;
+
+  int64_t duration_us() const { return end_us - start_us; }
+
+  /// Numeric tag lookup; returns `fallback` when absent or non-numeric.
+  double NumberTag(std::string_view key, double fallback = 0.0) const;
+  /// String tag lookup; returns "" when absent.
+  std::string_view TextTag(std::string_view key) const;
+};
+
+/// \brief Thread-safe sink of finished spans.
+///
+/// Tracing is off by default: an inactive TraceSpan costs one relaxed atomic
+/// load, so instrumentation can stay in hot simulator paths (Device passes)
+/// unconditionally. A process-wide instance is available via Global(); tests
+/// may construct private tracers to stay isolated.
+///
+/// Span nesting is tracked with a thread-local stack of open span ids per
+/// tracer use (the stack is shared, so interleaving spans from different
+/// Tracer instances on one thread would cross-parent; the codebase only ever
+/// nests spans of a single tracer at a time).
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Number of spans finished so far; use as a mark for FinishedSince.
+  size_t FinishedCount() const;
+
+  /// Copies the spans finished after a FinishedCount() mark (in completion
+  /// order: children close before their parents).
+  std::vector<FinishedSpan> FinishedSince(size_t mark) const;
+
+  /// All finished spans.
+  std::vector<FinishedSpan> Finished() const { return FinishedSince(0); }
+
+  /// Drops all finished spans (open spans are unaffected and will still be
+  /// recorded when they close).
+  void Clear();
+
+  /// Serializes spans in the Chrome trace_event JSON format ("traceEvents"
+  /// array of complete "X" events) loadable by chrome://tracing / Perfetto.
+  static std::string ToChromeTrace(const std::vector<FinishedSpan>& spans);
+
+ private:
+  friend class TraceSpan;
+
+  /// Opens a span; returns its id (0 when tracing is disabled).
+  uint64_t Begin(std::string_view name);
+  void End(uint64_t id, std::vector<TraceTag> tags);
+
+  struct OpenSpan {
+    uint64_t id = 0;
+    uint64_t parent_id = 0;
+    uint64_t thread_id = 0;
+    std::string name;
+    int64_t start_us = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<OpenSpan> open_;         // guarded by mu_
+  std::vector<FinishedSpan> finished_; // guarded by mu_
+};
+
+/// \brief RAII span handle: opens on construction, closes on destruction.
+///
+///   {
+///     TraceSpan span("Count");
+///     span.AddTag("rows", rows);
+///     ... work ...
+///   }  // span closes here
+///
+/// When the tracer is disabled at construction the span is inert (tags are
+/// dropped, nothing is recorded).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     Tracer* tracer = &Tracer::Global());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return id_ != 0; }
+  uint64_t id() const { return id_; }
+
+  void AddTag(std::string_view key, std::string_view value);
+  void AddTag(std::string_view key, const char* value) {
+    AddTag(key, std::string_view(value));
+  }
+  void AddTag(std::string_view key, double value);
+  void AddTag(std::string_view key, uint64_t value) {
+    AddTag(key, static_cast<double>(value));
+  }
+  void AddTag(std::string_view key, int value) {
+    AddTag(key, static_cast<double>(value));
+  }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_;
+  std::vector<TraceTag> tags_;
+};
+
+}  // namespace gpudb
+
+#endif  // GPUDB_COMMON_TRACE_H_

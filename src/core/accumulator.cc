@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/common/bit_util.h"
+#include "src/core/op_span.h"
 #include "src/core/state_guard.h"
 #include "src/gpu/fragment_program.h"
 
@@ -16,6 +17,9 @@ Result<uint64_t> Accumulate(gpu::Device* device, gpu::TextureId texture,
     return Status::InvalidArgument("bit_width must be in [1,24], got " +
                                    std::to_string(bit_width));
   }
+  GpuOpSpan op("Accumulate", device);
+  op.AddTag("bit_width", bit_width);
+  op.AddTag("alpha_test", options.use_alpha_test ? "true" : "false");
   StateGuard guard(device);
   GPUDB_RETURN_NOT_OK(device->BindTexture(texture));
   device->SetDepthTest(false, gpu::CompareOp::kAlways);

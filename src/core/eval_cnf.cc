@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/core/count.h"
+#include "src/core/op_span.h"
 #include "src/core/state_guard.h"
 
 namespace gpudb {
@@ -65,6 +66,13 @@ Status ValidateClauses(const std::vector<GpuClause>& clauses) {
 Result<StencilSelection> EvalCnf(gpu::Device* device,
                                  const std::vector<GpuClause>& clauses) {
   GPUDB_RETURN_NOT_OK(ValidateClauses(clauses));
+  GpuOpSpan op("EvalCnf", device);
+  if (op.active()) {
+    size_t predicates = 0;
+    for (const GpuClause& clause : clauses) predicates += clause.size();
+    op.AddTag("clauses", clauses.size());
+    op.AddTag("predicates", predicates);
+  }
   StateGuard guard(device);
   device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
   device->SetColorWriteMask(false);
@@ -111,6 +119,13 @@ Result<StencilSelection> EvalDnf(gpu::Device* device,
       return Status::ResourceExhausted(
           "EvalDnf terms support at most 254 conjuncts (8-bit stencil)");
     }
+  }
+  GpuOpSpan op("EvalDnf", device);
+  if (op.active()) {
+    size_t predicates = 0;
+    for (const GpuTerm& term : terms) predicates += term.size();
+    op.AddTag("terms", terms.size());
+    op.AddTag("predicates", predicates);
   }
   StateGuard guard(device);
   device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
@@ -165,6 +180,8 @@ Result<StencilSelection> EvalConjunction(
         "got " +
         std::to_string(conjuncts.size()));
   }
+  GpuOpSpan op("EvalConjunction", device);
+  op.AddTag("predicates", conjuncts.size());
   StateGuard guard(device);
   device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
   device->SetColorWriteMask(false);

@@ -3,14 +3,25 @@
 #include <algorithm>
 #include <string>
 
+#include "src/common/metrics.h"
 #include "src/core/bitonic_sort.h"
 #include "src/core/histogram.h"
 #include "src/core/kth_largest.h"
+#include "src/core/op_span.h"
 #include "src/core/range.h"
 #include "src/core/selection.h"
 
 namespace gpudb {
 namespace core {
+
+namespace {
+
+/// Query-facade metrics: how often each executor entry point runs.
+MetricCounter& OpCounter(std::string_view op) {
+  return MetricsRegistry::Global().counter("executor." + std::string(op));
+}
+
+}  // namespace
 
 Executor::Executor(gpu::Device* device, const db::Table* table)
     : device_(device),
@@ -97,8 +108,15 @@ Result<std::vector<GpuClause>> Executor::Lower(
 }
 
 Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
+  OpCounter("where").Increment();
+  GpuOpSpan op("Where", device_);
+  op.AddTag("rows", table_->num_rows());
   if (expr == nullptr) {
-    return SelectAll(device_);
+    op.AddTag("normal_form", "all");
+    GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, SelectAll(device_));
+    op.AddTag("selected", sel.count);
+    op.AddTag("selectivity", Selectivity(sel.count));
+    return sel;
   }
   GPUDB_RETURN_NOT_OK(expr->Validate(*table_));
   // Normal-form choice: convert to both CNF and DNF and evaluate whichever
@@ -114,40 +132,63 @@ Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
   const bool use_cnf =
       cnf.ok() && (!dnf.ok() || cnf.ValueOrDie().predicate_count() <=
                                     dnf.ValueOrDie().predicate_count());
+  StencilSelection sel;
   if (use_cnf) {
     GPUDB_ASSIGN_OR_RETURN(std::vector<GpuClause> clauses,
                            Lower(cnf.ValueOrDie().clauses));
-    return EvalCnf(device_, clauses);
+    op.AddTag("normal_form", "cnf");
+    op.AddTag("clauses", clauses.size());
+    GPUDB_ASSIGN_OR_RETURN(sel, EvalCnf(device_, clauses));
+  } else {
+    GPUDB_ASSIGN_OR_RETURN(std::vector<GpuTerm> terms,
+                           Lower(dnf.ValueOrDie().terms));
+    op.AddTag("normal_form", "dnf");
+    op.AddTag("terms", terms.size());
+    GPUDB_ASSIGN_OR_RETURN(sel, EvalDnf(device_, terms));
   }
-  GPUDB_ASSIGN_OR_RETURN(std::vector<GpuTerm> terms,
-                         Lower(dnf.ValueOrDie().terms));
-  return EvalDnf(device_, terms);
+  op.AddTag("selected", sel.count);
+  op.AddTag("selectivity", Selectivity(sel.count));
+  return sel;
 }
 
 Result<uint64_t> Executor::Count(const predicate::ExprPtr& where) {
+  OpCounter("count").Increment();
+  GpuOpSpan op("Count", device_);
+  op.AddTag("rows", table_->num_rows());
   GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
+  op.AddTag("selected", sel.count);
+  op.AddTag("selectivity", Selectivity(sel.count));
   return sel.count;
 }
 
 Result<std::vector<uint8_t>> Executor::SelectBitmap(
     const predicate::ExprPtr& where) {
+  OpCounter("select_bitmap").Increment();
+  GpuOpSpan op("SelectBitmap", device_);
   GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
   return SelectionToBitmap(device_, sel, table_->num_rows());
 }
 
 Result<std::vector<uint32_t>> Executor::SelectRowIds(
     const predicate::ExprPtr& where) {
+  OpCounter("select_row_ids").Increment();
+  GpuOpSpan op("SelectRowIds", device_);
   GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, Where(where));
   return SelectionToRowIds(device_, sel, table_->num_rows());
 }
 
 Result<db::Table> Executor::SelectTable(const predicate::ExprPtr& where) {
+  OpCounter("select_table").Increment();
   GPUDB_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, SelectRowIds(where));
   return table_->GatherRows(rows);
 }
 
 Result<std::vector<std::pair<uint32_t, uint32_t>>> Executor::TopK(
     std::string_view column, uint64_t k) {
+  OpCounter("top_k").Increment();
+  GpuOpSpan op("TopK", device_);
+  op.AddTag("column", column);
+  op.AddTag("k", k);
   GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
   const db::Column& c = table_->column(col);
   if (c.type() != db::ColumnType::kInt24) {
@@ -187,6 +228,10 @@ Result<std::vector<std::pair<uint32_t, uint32_t>>> Executor::TopK(
 Result<double> Executor::Aggregate(AggregateKind kind,
                                    std::string_view column,
                                    const predicate::ExprPtr& where) {
+  OpCounter("aggregate").Increment();
+  GpuOpSpan op("Aggregate", device_);
+  op.AddTag("kind", ToString(kind));
+  op.AddTag("column", column);
   GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
   const db::Column& c = table_->column(col);
   if (kind != AggregateKind::kCount &&
@@ -207,6 +252,7 @@ Result<double> Executor::Aggregate(AggregateKind kind,
 
 Result<uint32_t> Executor::KthLargest(std::string_view column, uint64_t k,
                                       const predicate::ExprPtr& where) {
+  OpCounter("kth_largest").Increment();
   GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
   const db::Column& c = table_->column(col);
   if (c.type() != db::ColumnType::kInt24) {
@@ -225,6 +271,11 @@ Result<uint32_t> Executor::KthLargest(std::string_view column, uint64_t k,
 
 Result<std::vector<uint32_t>> Executor::OrderByRowIds(std::string_view column,
                                                       bool ascending) {
+  OpCounter("order_by").Increment();
+  GpuOpSpan op("OrderByRowIds", device_);
+  op.AddTag("column", column);
+  op.AddTag("ascending", ascending ? "true" : "false");
+  op.AddTag("rows", table_->num_rows());
   GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
   const db::Column& c = table_->column(col);
   std::vector<uint32_t> row_ids(table_->num_rows());
@@ -239,6 +290,9 @@ Result<std::vector<uint32_t>> Executor::OrderByRowIds(std::string_view column,
 
 Result<uint64_t> Executor::RangeCount(std::string_view column, double low,
                                       double high) {
+  OpCounter("range_count").Increment();
+  GpuOpSpan op("RangeCount", device_);
+  op.AddTag("column", column);
   GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
   GPUDB_ASSIGN_OR_RETURN(AttributeBinding binding, BindingFor(col));
   return RangeSelect(device_, binding, low, high);
@@ -247,6 +301,9 @@ Result<uint64_t> Executor::RangeCount(std::string_view column, double low,
 Result<uint64_t> Executor::SemilinearCount(
     const std::vector<std::pair<std::string, float>>& weighted_columns,
     gpu::CompareOp op, float b) {
+  OpCounter("semilinear_count").Increment();
+  GpuOpSpan span("SemilinearCount", device_);
+  span.AddTag("columns", weighted_columns.size());
   if (weighted_columns.empty() || weighted_columns.size() > 8) {
     return Status::InvalidArgument(
         "semi-linear queries take 1-8 weighted columns (vectors longer than "
@@ -295,6 +352,11 @@ Result<std::vector<GroupByRow>> Executor::GroupBy(std::string_view key_column,
                                                   std::string_view value_column,
                                                   AggregateKind kind,
                                                   uint64_t max_groups) {
+  OpCounter("group_by").Increment();
+  GpuOpSpan op("GroupBy", device_);
+  op.AddTag("key", key_column);
+  op.AddTag("value", value_column);
+  op.AddTag("kind", ToString(kind));
   GPUDB_ASSIGN_OR_RETURN(size_t key_col, table_->ColumnIndex(key_column));
   GPUDB_ASSIGN_OR_RETURN(size_t value_col, table_->ColumnIndex(value_column));
   const db::Column& key = table_->column(key_col);
@@ -312,6 +374,10 @@ Result<std::vector<GroupByRow>> Executor::GroupBy(std::string_view key_column,
 
 Result<std::vector<uint32_t>> Executor::Quantiles(std::string_view column,
                                                   int q) {
+  OpCounter("quantiles").Increment();
+  GpuOpSpan op("Quantiles", device_);
+  op.AddTag("column", column);
+  op.AddTag("q", q);
   GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
   const db::Column& c = table_->column(col);
   if (c.type() != db::ColumnType::kInt24) {

@@ -118,6 +118,14 @@ class Executor {
  private:
   Executor(gpu::Device* device, const db::Table* table);
 
+  /// Fraction of the table a selection covers, for span tags.
+  double Selectivity(uint64_t selected) const {
+    return table_->num_rows() == 0
+               ? 0.0
+               : static_cast<double>(selected) /
+                     static_cast<double>(table_->num_rows());
+  }
+
   /// Texture holding the (a, b) column pair in channels 0/1.
   Result<gpu::TextureId> PairTexture(size_t a, size_t b);
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/common/bit_util.h"
+#include "src/core/op_span.h"
 #include "src/core/state_guard.h"
 
 namespace gpudb {
@@ -38,6 +39,10 @@ Result<uint32_t> KthLargest(gpu::Device* device, const AttributeBinding& attr,
                               " out of range for " + std::to_string(n) +
                               " records");
   }
+  GpuOpSpan op("KthLargest", device);
+  op.AddTag("k", k);
+  op.AddTag("bit_width", bit_width);
+  op.AddTag("records", n);
 
   // One copy, then bit_width comparison passes with depth writes disabled.
   GPUDB_RETURN_NOT_OK(CopyToDepth(device, attr));
@@ -84,6 +89,11 @@ Result<std::vector<uint32_t>> KthLargestBatch(gpu::Device* device,
                                 " records");
     }
   }
+
+  GpuOpSpan op("KthLargestBatch", device);
+  op.AddTag("batch", ks.size());
+  op.AddTag("bit_width", bit_width);
+  op.AddTag("records", n);
 
   // One shared copy; the attribute survives every comparison pass because
   // depth writes are masked off.

@@ -1,6 +1,10 @@
 #include "src/core/planner.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace gpudb {
 namespace core {
@@ -137,11 +141,21 @@ double Planner::CpuMs(OperationKind op, uint64_t records, int detail) const {
 
 PlanDecision Planner::Choose(OperationKind op, uint64_t records,
                              int detail) const {
+  TraceSpan span("planner.choose");
   PlanDecision d;
   d.gpu_ms = GpuMs(op, records, detail);
   d.cpu_ms = CpuMs(op, records, detail);
   d.backend = d.gpu_ms <= d.cpu_ms ? Backend::kGpu : Backend::kCpu;
   d.rationale = Rationale(op, d.backend);
+  span.AddTag("op", ToString(op));
+  span.AddTag("records", records);
+  span.AddTag("gpu_ms", d.gpu_ms);
+  span.AddTag("cpu_ms", d.cpu_ms);
+  span.AddTag("backend", ToString(d.backend));
+  MetricsRegistry::Global()
+      .counter(d.backend == Backend::kGpu ? "planner.choose.gpu"
+                                          : "planner.choose.cpu")
+      .Increment();
   return d;
 }
 

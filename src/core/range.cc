@@ -1,5 +1,6 @@
 #include "src/core/range.h"
 
+#include "src/core/op_span.h"
 #include "src/core/state_guard.h"
 
 namespace gpudb {
@@ -10,6 +11,9 @@ Result<uint64_t> RangeSelect(gpu::Device* device, const AttributeBinding& attr,
   if (low > high) {
     return Status::InvalidArgument("range query with low > high");
   }
+  GpuOpSpan op("RangeSelect", device);
+  op.AddTag("low", low);
+  op.AddTag("high", high);
   // SetupStencil + CopyToDepth (Routine 4.4 lines 1-2).
   GPUDB_RETURN_NOT_OK(CopyToDepth(device, attr));
   StateGuard guard(device);

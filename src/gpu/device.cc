@@ -1,11 +1,43 @@
 #include "src/gpu/device.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
 #include <utility>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
 namespace gpudb {
 namespace gpu {
+
+namespace {
+
+/// Device-level hardware metrics (process-wide, across all Device
+/// instances). References are cached so the hot paths pay one map lookup
+/// per process, not per pass.
+struct DeviceMetrics {
+  MetricCounter& passes = MetricsRegistry::Global().counter("gpu.passes");
+  MetricCounter& fragments =
+      MetricsRegistry::Global().counter("gpu.fragments_generated");
+  MetricCounter& bytes_uploaded =
+      MetricsRegistry::Global().counter("gpu.bytes_uploaded");
+  MetricCounter& bytes_read_back =
+      MetricsRegistry::Global().counter("gpu.bytes_read_back");
+  MetricCounter& occlusion_readbacks =
+      MetricsRegistry::Global().counter("gpu.occlusion_readbacks");
+  MetricCounter& texture_swap_ins =
+      MetricsRegistry::Global().counter("gpu.texture_swap_ins");
+  MetricCounter& bytes_swapped =
+      MetricsRegistry::Global().counter("gpu.bytes_swapped");
+
+  static DeviceMetrics& Get() {
+    static DeviceMetrics* m = new DeviceMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
 
 Device::Device(uint32_t width, uint32_t height, int depth_bits)
     : fb_(width, height, depth_bits),
@@ -17,13 +49,15 @@ Result<TextureId> Device::UploadTexture(Texture texture) {
   const auto id = static_cast<TextureId>(textures_.size() - 1);
   // The initial upload makes the texture resident (evicting others if the
   // working set exceeds the card). A texture that cannot fit at all fails
-  // before any bus transfer is charged.
+  // before any bus transfer is charged. EnsureResident knows this first
+  // residency is not a swap-in, so the transfer is charged here as the AGP
+  // upload it is.
   GPUDB_RETURN_NOT_OK(EnsureResident(id));
-  // EnsureResident charged this as a swap; the initial transfer belongs in
-  // bytes_uploaded instead.
-  counters_.bytes_swapped -= bytes;
-  --counters_.texture_swap_ins;
   counters_.bytes_uploaded += bytes;
+  DeviceMetrics::Get().bytes_uploaded.Add(bytes);
+  TraceSpan span("gpu.upload_texture");
+  span.AddTag("bytes", bytes);
+  span.AddTag("texture", static_cast<double>(id));
   return id;
 }
 
@@ -84,8 +118,18 @@ Status Device::EnsureResident(TextureId id) {
   }
   slot.resident = true;
   resident_bytes_ += bytes;
-  ++counters_.texture_swap_ins;
-  counters_.bytes_swapped += bytes;
+  // Only a re-residency is a swap-in: the first time a texture becomes
+  // resident is its creation/upload, which is charged by the caller.
+  if (slot.ever_resident) {
+    ++counters_.texture_swap_ins;
+    counters_.bytes_swapped += bytes;
+    DeviceMetrics::Get().texture_swap_ins.Increment();
+    DeviceMetrics::Get().bytes_swapped.Add(bytes);
+    TraceSpan span("gpu.texture_swap_in");
+    span.AddTag("bytes", bytes);
+    span.AddTag("texture", static_cast<double>(id));
+  }
+  slot.ever_resident = true;
   return Status::OK();
 }
 
@@ -94,10 +138,9 @@ Result<TextureId> Device::CreateTexture(uint32_t width, uint32_t height,
   GPUDB_ASSIGN_OR_RETURN(Texture tex, Texture::Make(width, height, channels));
   textures_.emplace_back(std::move(tex));
   const auto id = static_cast<TextureId>(textures_.size() - 1);
-  // Allocation is on-card (no bus transfer), but it occupies the budget.
+  // Allocation is on-card (no bus transfer), but it occupies the budget;
+  // EnsureResident charges nothing for a first residency.
   GPUDB_RETURN_NOT_OK(EnsureResident(id));
-  counters_.bytes_swapped -= textures_[id].data.byte_size();
-  --counters_.texture_swap_ins;
   return id;
 }
 
@@ -124,11 +167,7 @@ Status Device::CopyColorToTexture(TextureId dst) {
   pass.fragments = viewport_pixels_;
   pass.fp_instructions = 1;
   pass.fragments_passed = viewport_pixels_;
-  ++counters_.passes;
-  counters_.fragments_generated += pass.fragments;
-  counters_.fragments_passed += pass.fragments_passed;
-  counters_.fp_instructions_executed += pass.fragments;
-  counters_.pass_log.push_back(std::move(pass));
+  FinishPass(std::move(pass));
   return Status::OK();
 }
 
@@ -143,6 +182,7 @@ Result<std::vector<float>> Device::ReadTexture(TextureId id, int channel) {
                                    std::to_string(channel));
   }
   counters_.bytes_read_back += tex.total_texels() * 4;
+  DeviceMetrics::Get().bytes_read_back.Add(tex.total_texels() * 4);
   std::vector<float> out(tex.total_texels());
   for (uint64_t i = 0; i < tex.total_texels(); ++i) {
     out[i] = tex.At(i, channel);
@@ -172,6 +212,7 @@ Status Device::UpdateTexture(TextureId id, uint64_t offset,
     tex.Set(offset + i, channel, values[i]);
   }
   counters_.bytes_uploaded += values.size() * 4;
+  DeviceMetrics::Get().bytes_uploaded.Add(values.size() * 4);
   return Status::OK();
 }
 
@@ -391,6 +432,10 @@ void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
 }
 
 void Device::FinishPass(PassRecord pass) {
+  // Record-time enforcement of the PassRecord invariants: a violated
+  // invariant means the simulator itself miscounted, which would silently
+  // corrupt every downstream PerfModel estimate.
+  assert(pass.Valid() && "PassRecord invariants violated at record time");
   ++counters_.passes;
   counters_.fragments_generated += pass.fragments;
   counters_.fragments_passed += pass.fragments_passed;
@@ -398,6 +443,21 @@ void Device::FinishPass(PassRecord pass) {
       pass.fragments * static_cast<uint64_t>(pass.fp_instructions);
   counters_.depth_writes += pass.depth_writes;
   counters_.stencil_updates += pass.stencil_updates;
+  DeviceMetrics::Get().passes.Increment();
+  DeviceMetrics::Get().fragments.Add(pass.fragments);
+  if (Tracer::Global().enabled()) {
+    // One span per rendering pass, carrying the full PassRecord. The span
+    // is emitted at pass completion (zero duration on the trace timeline);
+    // the nesting under the operator that issued the pass is what matters.
+    TraceSpan span("pass:" + pass.label);
+    span.AddTag("fragments", pass.fragments);
+    span.AddTag("fragments_passed", pass.fragments_passed);
+    span.AddTag("fp_instructions", pass.fp_instructions);
+    span.AddTag("depth_writes", pass.depth_writes);
+    span.AddTag("stencil_updates", pass.stencil_updates);
+    span.AddTag("in_occlusion_query",
+                pass.in_occlusion_query ? "true" : "false");
+  }
   counters_.pass_log.push_back(std::move(pass));
 }
 
@@ -530,21 +590,30 @@ Result<uint64_t> Device::EndOcclusionQuery() {
   occlusion_active_ = false;
   ++counters_.occlusion_readbacks;
   counters_.bytes_read_back += 4;  // the pixel pass count
+  DeviceMetrics::Get().occlusion_readbacks.Increment();
+  DeviceMetrics::Get().bytes_read_back.Add(4);
   return occlusion_count_;
 }
 
 std::vector<uint8_t> Device::ReadStencil() {
   counters_.bytes_read_back += fb_.pixel_count();
+  DeviceMetrics::Get().bytes_read_back.Add(fb_.pixel_count());
+  TraceSpan span("gpu.read_stencil");
+  span.AddTag("bytes", fb_.pixel_count());
   return fb_.stencil_plane();
 }
 
 std::vector<uint32_t> Device::ReadDepth() {
   counters_.bytes_read_back += fb_.pixel_count() * 4;
+  DeviceMetrics::Get().bytes_read_back.Add(fb_.pixel_count() * 4);
+  TraceSpan span("gpu.read_depth");
+  span.AddTag("bytes", fb_.pixel_count() * 4);
   return fb_.depth_plane();
 }
 
 std::vector<float> Device::ReadColorChannel(int channel) {
   counters_.bytes_read_back += fb_.pixel_count() * 4;
+  DeviceMetrics::Get().bytes_read_back.Add(fb_.pixel_count() * 4);
   std::vector<float> out(fb_.pixel_count());
   for (uint64_t i = 0; i < fb_.pixel_count(); ++i) {
     out[i] = fb_.color(i)[channel];

@@ -220,7 +220,8 @@ class Device {
   struct TextureSlot {
     Texture data;
     bool resident = false;
-    uint64_t last_use = 0;  ///< LRU stamp
+    bool ever_resident = false;  ///< Distinguishes first upload from swap-in.
+    uint64_t last_use = 0;       ///< LRU stamp
 
     explicit TextureSlot(Texture t) : data(std::move(t)) {}
   };

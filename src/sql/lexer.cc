@@ -9,6 +9,8 @@ namespace sql {
 
 std::string_view ToString(TokenKind kind) {
   switch (kind) {
+    case TokenKind::kExplain: return "EXPLAIN";
+    case TokenKind::kAnalyze: return "ANALYZE";
     case TokenKind::kSelect: return "SELECT";
     case TokenKind::kFrom: return "FROM";
     case TokenKind::kWhere: return "WHERE";
@@ -57,6 +59,8 @@ std::string ToUpper(std::string_view s) {
 
 TokenKind KeywordOrIdentifier(std::string_view word) {
   const std::string upper = ToUpper(word);
+  if (upper == "EXPLAIN") return TokenKind::kExplain;
+  if (upper == "ANALYZE") return TokenKind::kAnalyze;
   if (upper == "SELECT") return TokenKind::kSelect;
   if (upper == "FROM") return TokenKind::kFrom;
   if (upper == "WHERE") return TokenKind::kWhere;

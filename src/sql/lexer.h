@@ -14,6 +14,8 @@ namespace sql {
 /// SELECT <aggregates|*> FROM t WHERE <boolean combination of comparisons>.
 enum class TokenKind {
   // keywords
+  kExplain,
+  kAnalyze,
   kSelect,
   kFrom,
   kWhere,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/sql/explain.h"
 #include "src/sql/lexer.h"
 
 namespace gpudb {
@@ -33,8 +34,13 @@ class Parser {
       : tokens_(std::move(tokens)), table_(table) {}
 
   Result<Query> Parse() {
-    GPUDB_RETURN_NOT_OK(Expect(TokenKind::kSelect));
     Query query;
+    if (Peek().kind == TokenKind::kExplain) {
+      Next();
+      GPUDB_RETURN_NOT_OK(Expect(TokenKind::kAnalyze));
+      query.explain_analyze = true;
+    }
+    GPUDB_RETURN_NOT_OK(Expect(TokenKind::kSelect));
     GPUDB_RETURN_NOT_OK(ParseSelectItem(&query));
     GPUDB_RETURN_NOT_OK(Expect(TokenKind::kFrom));
     if (Peek().kind != TokenKind::kIdentifier) {
@@ -331,24 +337,78 @@ Result<Query> ParseQuery(std::string_view input, const db::Table& table) {
 }
 
 std::string QueryResult::ToString() const {
+  std::string value = "?";
   switch (kind) {
     case Query::Kind::kCount:
-      return "count = " + std::to_string(count);
+      value = "count = " + std::to_string(count);
+      break;
     case Query::Kind::kAggregate:
     case Query::Kind::kKthLargest:
-      return "value = " + std::to_string(scalar);
+      value = "value = " + std::to_string(scalar);
+      break;
     case Query::Kind::kSelectRows:
-      return std::to_string(row_ids.size()) + " row(s)";
+      value = std::to_string(row_ids.size()) + " row(s)";
+      break;
     case Query::Kind::kGroupBy: {
-      std::string out = std::to_string(groups.size()) + " group(s):";
+      value = std::to_string(groups.size()) + " group(s):";
       for (const core::GroupByRow& g : groups) {
-        out += " [" + std::to_string(g.key) + ": " +
-               std::to_string(g.aggregate) + "]";
+        value += " [" + std::to_string(g.key) + ": " +
+                 std::to_string(g.aggregate) + "]";
       }
-      return out;
+      break;
     }
   }
-  return "?";
+  if (analyzed) {
+    return value + "\n" + explain;
+  }
+  return value;
+}
+
+Status ExecuteParsed(core::Executor* executor, const Query& query,
+                     QueryResult* result) {
+  result->kind = query.kind;
+  switch (query.kind) {
+    case Query::Kind::kCount: {
+      GPUDB_ASSIGN_OR_RETURN(result->count, executor->Count(query.where));
+      return Status::OK();
+    }
+    case Query::Kind::kSelectRows: {
+      if (!query.order_by_column.empty()) {
+        GPUDB_ASSIGN_OR_RETURN(
+            result->row_ids,
+            executor->OrderByRowIds(query.order_by_column,
+                                    !query.order_descending));
+      } else {
+        GPUDB_ASSIGN_OR_RETURN(result->row_ids,
+                               executor->SelectRowIds(query.where));
+      }
+      if (query.limit > 0 && result->row_ids.size() > query.limit) {
+        result->row_ids.resize(query.limit);
+      }
+      return Status::OK();
+    }
+    case Query::Kind::kAggregate: {
+      GPUDB_ASSIGN_OR_RETURN(
+          result->scalar,
+          executor->Aggregate(query.aggregate, query.column, query.where));
+      return Status::OK();
+    }
+    case Query::Kind::kKthLargest: {
+      GPUDB_ASSIGN_OR_RETURN(
+          uint32_t v,
+          executor->KthLargest(query.column, query.k, query.where));
+      result->scalar = static_cast<double>(v);
+      return Status::OK();
+    }
+    case Query::Kind::kGroupBy: {
+      GPUDB_ASSIGN_OR_RETURN(
+          result->groups,
+          executor->GroupBy(query.group_by_column, query.column,
+                            query.aggregate));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled query kind");
 }
 
 Result<QueryResult> ExecuteSql(core::Executor* executor,
@@ -358,50 +418,12 @@ Result<QueryResult> ExecuteSql(core::Executor* executor,
   }
   GPUDB_ASSIGN_OR_RETURN(Query query,
                          ParseQuery(input, executor->table()));
-  QueryResult result;
-  result.kind = query.kind;
-  switch (query.kind) {
-    case Query::Kind::kCount: {
-      GPUDB_ASSIGN_OR_RETURN(result.count, executor->Count(query.where));
-      return result;
-    }
-    case Query::Kind::kSelectRows: {
-      if (!query.order_by_column.empty()) {
-        GPUDB_ASSIGN_OR_RETURN(
-            result.row_ids,
-            executor->OrderByRowIds(query.order_by_column,
-                                    !query.order_descending));
-      } else {
-        GPUDB_ASSIGN_OR_RETURN(result.row_ids,
-                               executor->SelectRowIds(query.where));
-      }
-      if (query.limit > 0 && result.row_ids.size() > query.limit) {
-        result.row_ids.resize(query.limit);
-      }
-      return result;
-    }
-    case Query::Kind::kAggregate: {
-      GPUDB_ASSIGN_OR_RETURN(
-          result.scalar,
-          executor->Aggregate(query.aggregate, query.column, query.where));
-      return result;
-    }
-    case Query::Kind::kKthLargest: {
-      GPUDB_ASSIGN_OR_RETURN(
-          uint32_t v,
-          executor->KthLargest(query.column, query.k, query.where));
-      result.scalar = static_cast<double>(v);
-      return result;
-    }
-    case Query::Kind::kGroupBy: {
-      GPUDB_ASSIGN_OR_RETURN(
-          result.groups,
-          executor->GroupBy(query.group_by_column, query.column,
-                            query.aggregate));
-      return result;
-    }
+  if (query.explain_analyze) {
+    return ExecuteAnalyze(executor, query, input);
   }
-  return Status::Internal("unhandled query kind");
+  QueryResult result;
+  GPUDB_RETURN_NOT_OK(ExecuteParsed(executor, query, &result));
+  return result;
 }
 
 Result<std::vector<QueryResult>> ExecuteScript(core::Executor* executor,

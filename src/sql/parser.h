@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/trace.h"
 #include "src/core/aggregates.h"
 #include "src/core/executor.h"
 #include "src/db/table.h"
+#include "src/gpu/perf_model.h"
 #include "src/predicate/expr.h"
 
 namespace gpudb {
@@ -51,6 +53,10 @@ struct Query {
 
   /// LIMIT n on SELECT * row ids (0 = no limit).
   uint64_t limit = 0;
+
+  /// EXPLAIN ANALYZE prefix: run the query under tracing and attach the
+  /// per-operator simulated-cost tree to the result.
+  bool explain_analyze = false;
 };
 
 /// \brief Parses `input` against `table` (column names resolve to indices;
@@ -65,13 +71,28 @@ struct QueryResult {
   std::vector<uint32_t> row_ids;   ///< for kSelectRows
   std::vector<core::GroupByRow> groups;  ///< for kGroupBy
 
+  /// Filled by EXPLAIN ANALYZE: the rendered operator tree, the run's
+  /// simulated cost (PerfModel over the query's counter delta), and the raw
+  /// spans for programmatic consumers (tests, trace export).
+  bool analyzed = false;
+  std::string explain;
+  double simulated_total_ms = 0.0;
+  gpu::GpuTimeBreakdown breakdown;
+  std::vector<FinishedSpan> spans;
+
   std::string ToString() const;
 };
 
 /// \brief One-call convenience: parse `input` against the executor's table
-/// and run it on the GPU.
+/// and run it on the GPU. An EXPLAIN ANALYZE prefix additionally executes
+/// the query under tracing and fills the analysis fields of QueryResult.
 Result<QueryResult> ExecuteSql(core::Executor* executor,
                                std::string_view input);
+
+/// \brief Executes an already-parsed query, filling the plain result fields.
+/// The EXPLAIN ANALYZE path (sql/explain.h) wraps this in a traced root span.
+Status ExecuteParsed(core::Executor* executor, const Query& query,
+                     QueryResult* result);
 
 /// \brief Runs a semicolon-separated script of queries in order, stopping at
 /// the first error. Returns one result per executed statement.

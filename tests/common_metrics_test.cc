@@ -1,0 +1,135 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/common/metrics.h"
+
+namespace gpudb {
+namespace {
+
+TEST(MetricCounterTest, AddAndReset) {
+  MetricsRegistry registry;
+  MetricCounter& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+  registry.ResetForTesting();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricGaugeTest, LastValueWins) {
+  MetricsRegistry registry;
+  MetricGauge& g = registry.gauge("test.gauge");
+  g.Set(3.5);
+  g.Set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(MetricHistogramTest, BucketBoundaries) {
+  // Bucket i covers (2^(i-1+kMinExp), 2^(i+kMinExp)]; values at the upper
+  // bound land in the bucket, values just above spill into the next.
+  const int one_bucket = MetricHistogram::BucketFor(1.0);  // 2^0
+  EXPECT_DOUBLE_EQ(MetricHistogram::BucketUpperBound(one_bucket), 1.0);
+  EXPECT_EQ(MetricHistogram::BucketFor(1.0001), one_bucket + 1);
+  EXPECT_EQ(MetricHistogram::BucketFor(2.0), one_bucket + 1);
+  EXPECT_EQ(MetricHistogram::BucketFor(0.5), one_bucket - 1);
+  // Non-positive and tiny values clamp into bucket 0.
+  EXPECT_EQ(MetricHistogram::BucketFor(0.0), 0);
+  EXPECT_EQ(MetricHistogram::BucketFor(-5.0), 0);
+  EXPECT_EQ(MetricHistogram::BucketFor(1e-12), 0);
+  // Huge values clamp into the last bucket.
+  EXPECT_EQ(MetricHistogram::BucketFor(1e30), MetricHistogram::kBuckets - 1);
+}
+
+TEST(MetricHistogramTest, RecordsCountSumMinMax) {
+  MetricsRegistry registry;
+  MetricHistogram& h = registry.histogram("test.latency");
+  h.Record(1.0);
+  h.Record(4.0);
+  h.Record(0.25);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.25);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_EQ(h.bucket_count(MetricHistogram::BucketFor(1.0)), 1u);
+  EXPECT_EQ(h.bucket_count(MetricHistogram::BucketFor(4.0)), 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricHistogramTest, QuantileUsesBucketUpperBounds) {
+  MetricsRegistry registry;
+  MetricHistogram& h = registry.histogram("test.quantile");
+  for (int i = 0; i < 99; ++i) h.Record(1.0);
+  h.Record(1024.0);
+  // The 50th percentile is in the 1.0 bucket, the 100th in the 1024 bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+}
+
+TEST(MetricsRegistryTest, DumpTextListsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("z.counter").Add(3);
+  registry.gauge("a.gauge").Set(1.5);
+  registry.histogram("m.hist").Record(2.0);
+  const std::string text = registry.DumpText();
+  EXPECT_NE(text.find("z.counter"), std::string::npos);
+  EXPECT_NE(text.find("a.gauge"), std::string::npos);
+  EXPECT_NE(text.find("m.hist"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpJsonParsesAndCarriesValues) {
+  MetricsRegistry registry;
+  registry.counter("queries.total").Add(17);
+  registry.gauge("memory.resident_bytes").Set(4096.0);
+  MetricHistogram& h = registry.histogram("query.latency_ms");
+  h.Record(0.5);
+  h.Record(2.0);
+
+  auto parsed = json::Parse(registry.DumpJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& doc = parsed.ValueOrDie();
+
+  const json::Value* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* total = counters->Find("queries.total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->as_number(), 17.0);
+
+  const json::Value* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("memory.resident_bytes")->as_number(), 4096.0);
+
+  const json::Value* histograms = doc.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* hist = histograms->Find("query.latency_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->as_number(), 2.5);
+  const json::Value* buckets = hist->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  // Only non-empty buckets are emitted; each carries {le, count}.
+  ASSERT_EQ(buckets->as_array().size(), 2u);
+  double bucket_total = 0;
+  for (const json::Value& b : buckets->as_array()) {
+    ASSERT_NE(b.Find("le"), nullptr);
+    ASSERT_NE(b.Find("count"), nullptr);
+    bucket_total += b.Find("count")->as_number();
+  }
+  EXPECT_DOUBLE_EQ(bucket_total, 2.0);
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace gpudb

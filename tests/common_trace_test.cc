@@ -1,0 +1,135 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+#include "src/common/trace.h"
+
+namespace gpudb {
+namespace {
+
+TEST(TracerTest, DisabledSpansAreInert) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    TraceSpan span("noop", &tracer);
+    EXPECT_FALSE(span.active());
+    span.AddTag("dropped", 1.0);
+  }
+  EXPECT_EQ(tracer.FinishedCount(), 0u);
+}
+
+TEST(TracerTest, RecordsNestingAndCompletionOrder) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan outer("outer", &tracer);
+    {
+      TraceSpan inner("inner", &tracer);
+      {
+        TraceSpan leaf("leaf", &tracer);
+      }
+    }
+    TraceSpan sibling("sibling", &tracer);
+  }
+  const std::vector<FinishedSpan> spans = tracer.Finished();
+  ASSERT_EQ(spans.size(), 4u);
+  // Children close before their parents.
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[3].name, "outer");
+  // Parent links reconstruct the tree.
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);  // leaf under inner
+  EXPECT_EQ(spans[1].parent_id, spans[3].id);  // inner under outer
+  EXPECT_EQ(spans[2].parent_id, spans[3].id);  // sibling under outer
+  EXPECT_EQ(spans[3].parent_id, 0u);           // outer is a root
+  for (const FinishedSpan& s : spans) {
+    EXPECT_GE(s.duration_us(), 0);
+    EXPECT_LE(s.start_us, s.end_us);
+  }
+}
+
+TEST(TracerTest, TagsKeepNumericValues) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan span("tagged", &tracer);
+    span.AddTag("text", "hello");
+    span.AddTag("number", 42.5);
+    span.AddTag("count", uint64_t{7});
+  }
+  const FinishedSpan span = tracer.Finished().front();
+  EXPECT_EQ(span.TextTag("text"), "hello");
+  EXPECT_DOUBLE_EQ(span.NumberTag("number"), 42.5);
+  EXPECT_DOUBLE_EQ(span.NumberTag("count"), 7.0);
+  EXPECT_DOUBLE_EQ(span.NumberTag("absent", -1.0), -1.0);
+  EXPECT_EQ(span.TextTag("absent"), "");
+}
+
+TEST(TracerTest, FinishedSinceMarkSkipsOlderSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { TraceSpan span("before", &tracer); }
+  const size_t mark = tracer.FinishedCount();
+  { TraceSpan span("after", &tracer); }
+  const std::vector<FinishedSpan> since = tracer.FinishedSince(mark);
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].name, "after");
+  tracer.Clear();
+  EXPECT_EQ(tracer.FinishedCount(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonRoundTrips) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    TraceSpan outer("query", &tracer);
+    outer.AddTag("sql", "SELECT \"quoted\"\n");
+    outer.AddTag("rows", 1024.0);
+    TraceSpan inner("Where", &tracer);
+  }
+  const std::string text = Tracer::ToChromeTrace(tracer.Finished());
+
+  auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& doc = parsed.ValueOrDie();
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 2u);
+
+  for (const json::Value& event : events->as_array()) {
+    ASSERT_TRUE(event.is_object());
+    // Required Chrome trace_event fields for a complete ("X") event.
+    for (const char* key : {"name", "cat", "ph", "pid", "tid", "ts", "dur"}) {
+      EXPECT_NE(event.Find(key), nullptr) << "missing " << key;
+    }
+    EXPECT_EQ(event.Find("ph")->as_string(), "X");
+    const json::Value* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->Find("span_id"), nullptr);
+    EXPECT_NE(args->Find("parent_id"), nullptr);
+  }
+
+  // The nested span points at its parent through args, and the tag values
+  // survive the export (numbers as numbers, strings escaped and restored).
+  const json::Value& inner = events->as_array()[0];
+  const json::Value& outer = events->as_array()[1];
+  EXPECT_EQ(inner.Find("name")->as_string(), "Where");
+  EXPECT_EQ(outer.Find("name")->as_string(), "query");
+  EXPECT_DOUBLE_EQ(inner.Find("args")->Find("parent_id")->as_number(),
+                   outer.Find("args")->Find("span_id")->as_number());
+  EXPECT_EQ(outer.Find("args")->Find("sql")->as_string(),
+            "SELECT \"quoted\"\n");
+  EXPECT_DOUBLE_EQ(outer.Find("args")->Find("rows")->as_number(), 1024.0);
+}
+
+TEST(TracerTest, GlobalTracerIsOffByDefault) {
+  EXPECT_FALSE(Tracer::Global().enabled());
+}
+
+}  // namespace
+}  // namespace gpudb

@@ -421,6 +421,64 @@ TEST(CompareOpTest, InvertIsLogicalNegation) {
   }
 }
 
+TEST(DeviceTest, ResetCountersClearsPassLog) {
+  Device dev(4, 4);
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  ASSERT_EQ(dev.counters().pass_log.size(), 2u);
+  dev.ResetCounters();
+  EXPECT_TRUE(dev.counters().pass_log.empty());
+  EXPECT_EQ(dev.counters().fragments_generated, 0u);
+  // The log starts fresh: new passes are not appended after stale entries.
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  ASSERT_EQ(dev.counters().pass_log.size(), 1u);
+}
+
+TEST(DeviceTest, PassLogEntriesSatisfyInvariants) {
+  Device dev(4, 4);
+  // A mix of pass shapes: plain quad, depth-tested, stencil-writing,
+  // fragment-program with kills.
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  dev.SetDepthTest(true, CompareOp::kLess);
+  ASSERT_OK(dev.RenderQuad(0.25f));
+  dev.SetStencilTest(true, CompareOp::kAlways, 1);
+  dev.SetStencilOp(StencilOp::kKeep, StencilOp::kKeep, StencilOp::kReplace);
+  ASSERT_OK(dev.RenderQuad(0.1f));
+  for (const PassRecord& pass : dev.counters().pass_log) {
+    EXPECT_TRUE(pass.Valid())
+        << pass.label << ": passed=" << pass.fragments_passed
+        << " generated=" << pass.fragments
+        << " depth_writes=" << pass.depth_writes;
+  }
+}
+
+TEST(DeviceTest, DeltaSinceIsolatesTheWindow) {
+  Device dev(4, 4);
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  const DeviceCounters before = dev.counters();
+  dev.SetDepthTest(true, CompareOp::kAlways);
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  (void)dev.ReadStencil();
+  const DeviceCounters delta = DeltaSince(before, dev.counters());
+  EXPECT_EQ(delta.passes, 1u);
+  EXPECT_EQ(delta.fragments_generated, 16u);
+  EXPECT_EQ(delta.bytes_read_back, 16u);
+  ASSERT_EQ(delta.pass_log.size(), 1u);
+  EXPECT_EQ(delta.pass_log[0].depth_writes, 16u);
+}
+
+TEST(VideoMemoryTest, FirstUploadIsNotChargedAsSwap) {
+  Device dev(8, 8);
+  std::vector<float> vals(64, 1.0f);
+  auto tex = Texture::FromColumns({&vals}, 8);
+  ASSERT_OK_AND_ASSIGN(TextureId id,
+                       dev.UploadTexture(std::move(tex).ValueOrDie()));
+  ASSERT_OK(dev.BindTexture(id));  // resident: no swap either
+  EXPECT_EQ(dev.counters().texture_swap_ins, 0u);
+  EXPECT_EQ(dev.counters().bytes_swapped, 0u);
+  EXPECT_EQ(dev.counters().bytes_uploaded, 256u);
+}
+
 TEST(CompareOpTest, MirrorSwapsOperands) {
   const int values[] = {-1, 0, 1};
   for (CompareOp op :
