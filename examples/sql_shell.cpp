@@ -1,19 +1,28 @@
-// SQL shell over the GPU executor: run the paper's SQL fragment (SELECT
-// <agg|*> FROM t WHERE <boolean combination>) against the TCP/IP table.
+// SQL shell over the GPU session: run the paper's SQL fragment (SELECT
+// <agg|*> FROM t WHERE <boolean combination>) against the TCP/IP table,
+// plus the introspection statements this build adds: ANALYZE, and queries
+// against the gpudb_* system tables.
 //
 //   $ ./build/examples/sql_shell                      # runs a demo script
 //   $ ./build/examples/sql_shell "SELECT COUNT(*) FROM flows WHERE data_loss > 0"
+//   $ ./build/examples/sql_shell "ANALYZE flows"
 //   $ ./build/examples/sql_shell "EXPLAIN ANALYZE SELECT COUNT(*) FROM flows"
+//   $ ./build/examples/sql_shell "SELECT * FROM gpudb_queries"
 //   $ echo "SELECT MEDIAN(data_count) FROM flows" | ./build/examples/sql_shell -
 //
 // Flags:
-//   --trace=FILE   write a Chrome trace_event JSON of every traced span to
-//                  FILE on exit (open in chrome://tracing or Perfetto)
-//   --metrics      dump the process metrics registry after the queries
+//   --trace=FILE        write a Chrome trace_event JSON of every traced span
+//                       to FILE on exit (open in chrome://tracing/Perfetto)
+//   --metrics           dump the process metrics registry after the queries
+//   --metrics-prom=FILE write the registry in Prometheus text exposition
+//                       format to FILE on exit
+//   --slow-ms=N         flag and echo statements slower than N wall-clock ms
+//                       (also settable via $GPUDB_SLOW_MS)
 //
 // Columns: data_count, data_loss, flow_rate, retransmissions.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -21,17 +30,18 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/query_log.h"
 #include "src/common/trace.h"
-#include "src/core/executor.h"
+#include "src/db/catalog.h"
 #include "src/db/datagen.h"
 #include "src/gpu/device.h"
-#include "src/sql/parser.h"
+#include "src/sql/session.h"
 
 namespace {
 
-void RunOne(gpudb::core::Executor* executor, const std::string& query) {
+void RunOne(gpudb::sql::Session* session, const std::string& query) {
   std::printf("gpudb> %s\n", query.c_str());
-  auto result = gpudb::sql::ExecuteSql(executor, query);
+  auto result = session->Execute(query);
   if (!result.ok()) {
     std::printf("  error: %s\n", result.status().ToString().c_str());
     return;
@@ -42,14 +52,23 @@ void RunOne(gpudb::core::Executor* executor, const std::string& query) {
                 r.simulated_total_ms);
   }
   if (r.kind == gpudb::sql::Query::Kind::kSelectRows) {
-    std::printf("%s", executor->table()
-                          .FormatRows(r.row_ids, /*max_rows=*/10)
-                          .c_str());
+    // System-table snapshots travel in table_view; user tables are resident.
+    const gpudb::db::Table* view = r.table_view.get();
+    if (view == nullptr) {
+      auto exec = session->ExecutorFor("flows");
+      if (exec.ok()) view = &exec.ValueOrDie()->table();
+    }
+    if (view != nullptr) {
+      std::printf("%s", view->FormatRows(r.row_ids, /*max_rows=*/12).c_str());
+    } else {
+      std::printf("  %zu row(s)\n", r.row_ids.size());
+    }
     return;
   }
   if (r.analyzed) {
     // ToString would repeat the tree; just print the value line.
-    std::printf("  %s\n", r.ToString().substr(0, r.ToString().find('\n')).c_str());
+    std::printf("  %s\n",
+                r.ToString().substr(0, r.ToString().find('\n')).c_str());
     return;
   }
   std::printf("  %s\n", r.ToString().c_str());
@@ -59,6 +78,7 @@ void RunOne(gpudb::core::Executor* executor, const std::string& query) {
 
 int main(int argc, char** argv) {
   std::string trace_file;
+  std::string prom_file;
   bool dump_metrics = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -66,8 +86,13 @@ int main(int argc, char** argv) {
       trace_file = argv[i] + 8;
       // Record every query, not just EXPLAIN ANALYZE ones.
       gpudb::Tracer::Global().set_enabled(true);
+    } else if (std::strncmp(argv[i], "--metrics-prom=", 15) == 0) {
+      prom_file = argv[i] + 15;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
+    } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
+      gpudb::QueryLog::Global().set_slow_threshold_ms(
+          std::atof(argv[i] + 10));
     } else {
       args.emplace_back(argv[i]);
     }
@@ -77,21 +102,22 @@ int main(int argc, char** argv) {
   auto table = gpudb::db::MakeTcpIpTable(100'000);
   if (!table.ok()) return 1;
   gpudb::gpu::Device device(1000, 1000);
-  auto exec = gpudb::core::Executor::Make(&device, &table.ValueOrDie());
-  if (!exec.ok()) {
-    std::fprintf(stderr, "%s\n", exec.status().ToString().c_str());
+  gpudb::db::Catalog catalog;
+  if (auto s = catalog.Register("flows", &table.ValueOrDie()); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
+  gpudb::sql::Session session(&device, &catalog);
 
   if (!args.empty() && args[0] == "-") {
     // Read queries line by line from stdin.
     std::string line;
     while (std::getline(std::cin, line)) {
-      if (!line.empty()) RunOne(exec.ValueOrDie().get(), line);
+      if (!line.empty()) RunOne(&session, line);
     }
   } else if (!args.empty()) {
     for (const std::string& q : args) {
-      RunOne(exec.ValueOrDie().get(), q);
+      RunOne(&session, q);
     }
   } else {
     // Demo script.
@@ -110,16 +136,23 @@ int main(int argc, char** argv) {
         "data_loss > 0",
         "SELECT COUNT(data_count) FROM flows GROUP BY retransmissions",
         "SELECT * FROM flows ORDER BY data_count DESC LIMIT 5",
-        // The observability story: per-operator simulated cost tree.
+        // The observability story, part 1: collect statistics, then see
+        // estimated vs. actual rows per operator.
+        "ANALYZE flows",
         "EXPLAIN ANALYZE SELECT COUNT(*) FROM flows WHERE data_loss > 0 AND "
         "flow_rate >= 1000",
         "EXPLAIN ANALYZE SELECT KTH_LARGEST(data_count, 100) FROM flows",
+        // Part 2: the process inspecting itself through SQL.
+        "SELECT * FROM gpudb_tables",
+        "SELECT * FROM gpudb_columns WHERE distinct > 100",
+        "SELECT COUNT(*) FROM gpudb_metrics WHERE value > 0",
+        "SELECT * FROM gpudb_queries ORDER BY id DESC LIMIT 5",
         // A couple of deliberate errors to show diagnostics:
         "SELECT COUNT(*) FROM flows WHERE no_such_column > 1",
         "SELECT NOPE(data_count) FROM flows",
     };
     for (const std::string& q : demo) {
-      RunOne(exec.ValueOrDie().get(), q);
+      RunOne(&session, q);
     }
   }
 
@@ -130,6 +163,11 @@ int main(int argc, char** argv) {
     out << json;
     std::printf("wrote %zu span(s) to %s\n",
                 gpudb::Tracer::Global().FinishedCount(), trace_file.c_str());
+  }
+  if (!prom_file.empty()) {
+    std::ofstream out(prom_file);
+    out << gpudb::MetricsRegistry::Global().DumpPrometheus();
+    std::printf("wrote Prometheus metrics to %s\n", prom_file.c_str());
   }
   if (dump_metrics) {
     std::printf("-- metrics --\n%s",

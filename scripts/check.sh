@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the sanitizer configuration:
-#   1. the standard build + full ctest run (what CI gates on), and
-#   2. an ASan+UBSan Debug build of the test suite, which also turns on the
+#   1. the standard build + full ctest run (what CI gates on),
+#   2. a bench smoke run diffed against the committed baseline (model-time
+#      regression gate; see scripts/bench_diff.py and bench/baseline/), and
+#   3. an ASan+UBSan Debug build of the test suite, which also turns on the
 #      record-time PassRecord invariant asserts in gpu::Device.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,6 +12,12 @@ echo "== tier 1: standard build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+echo "== bench smoke: figure 3 model times vs bench/baseline =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+GPUDB_BENCH_JSON_DIR="$smoke_dir" ./build/bench/fig03_predicate >/dev/null
+python3 scripts/bench_diff.py bench/baseline "$smoke_dir"
 
 echo "== sanitizers: ASan+UBSan Debug build + tests =="
 cmake -B build-asan -S . -DGPUDB_SANITIZE=ON >/dev/null

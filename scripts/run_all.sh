@@ -5,8 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja when available, but fall back to the platform default
+# generator (an existing build/ keeps whatever generator configured it).
+if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 

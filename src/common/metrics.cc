@@ -1,6 +1,7 @@
 #include "src/common/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -49,6 +50,9 @@ int MetricHistogram::BucketFor(double value) {
 double MetricHistogram::Quantile(double q) const {
   const uint64_t n = count();
   if (n == 0) return 0.0;
+  // std::clamp passes NaN through (all comparisons are false), which would
+  // turn the rank cast below into undefined behavior.
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<uint64_t>(
       std::max(1.0, std::ceil(q * static_cast<double>(n))));
@@ -92,6 +96,92 @@ MetricHistogram& MetricsRegistry::histogram(std::string_view name) {
   auto& slot = histograms_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
   return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramEntry e;
+    e.name = name;
+    e.count = h->count();
+    e.sum = h->sum();
+    e.min = h->min();
+    e.max = h->max();
+    e.p50 = h->Quantile(0.5);
+    e.p95 = h->Quantile(0.95);
+    e.p99 = h->Quantile(0.99);
+    for (int b = 0; b < MetricHistogram::kBuckets; ++b) {
+      const uint64_t n = h->bucket_count(b);
+      if (n > 0) {
+        e.buckets.emplace_back(MetricHistogram::BucketUpperBound(b), n);
+      }
+    }
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; fold the registry's dotted
+/// names ("executor.count") into underscores and prefix the namespace.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "gpudb_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::string out;
+  char buf[128];
+  for (const auto& c : snap.counters) {
+    const std::string n = PrometheusName(c.name);
+    out += "# TYPE " + n + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = PrometheusName(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%s %.17g\n", n.c_str(), g.value);
+    out += buf;
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = PrometheusName(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [le, count] : h.buckets) {
+      cumulative += count;
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.17g\"} %llu\n",
+                    n.c_str(), le, static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %.17g\n", n.c_str(), h.sum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_count %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
 }
 
 std::string MetricsRegistry::DumpText() const {

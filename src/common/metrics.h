@@ -69,8 +69,9 @@ class MetricHistogram {
   /// The bucket a value falls into.
   static int BucketFor(double value);
 
-  /// Estimated value at quantile q in [0,1] (upper bound of the bucket that
-  /// contains the q-th recorded value; 0 when empty).
+  /// Estimated value at quantile q (upper bound of the bucket that contains
+  /// the q-th recorded value; 0 when empty). q is clamped into [0,1]; NaN is
+  /// treated as 0, so no input produces undefined behavior.
   double Quantile(double q) const;
 
   void Reset();
@@ -82,6 +83,38 @@ class MetricHistogram {
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
   mutable std::mutex minmax_mu_;
+};
+
+/// \brief Point-in-time copy of every instrument in a MetricsRegistry.
+///
+/// This is the structured feed for relational introspection (the
+/// `gpudb_metrics` / `gpudb_counters` system tables in db/catalog) and for
+/// the Prometheus text exposition; the Dump* methods are rendered views of
+/// the same data.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /// (bucket upper bound, non-cumulative count), non-empty buckets only.
+    std::vector<std::pair<double, uint64_t>> buckets;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
 };
 
 /// \brief Process-wide registry of named metrics.
@@ -107,11 +140,19 @@ class MetricsRegistry {
   MetricGauge& gauge(std::string_view name);
   MetricHistogram& histogram(std::string_view name);
 
+  /// Consistent copy of every instrument, sorted by name within each kind.
+  MetricsSnapshot Snapshot() const;
+
   /// Human-readable dump, one metric per line, sorted by name.
   std::string DumpText() const;
 
   /// JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string DumpJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): metric names are prefixed
+  /// with "gpudb_" and sanitized to [a-zA-Z0-9_]; histograms emit the
+  /// standard cumulative _bucket{le=...}/_sum/_count series.
+  std::string DumpPrometheus() const;
 
   /// Zeroes every registered instrument (instruments stay registered, so
   /// cached references remain valid). Intended for tests and bench setup.

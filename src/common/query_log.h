@@ -1,0 +1,86 @@
+#ifndef GPUDB_COMMON_QUERY_LOG_H_
+#define GPUDB_COMMON_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpudb {
+
+/// \brief One executed SQL statement as remembered by the query history.
+///
+/// The sql::Session fills one entry per statement (including failed ones)
+/// from the wall clock and the device-counter delta of the execution; the
+/// `gpudb_queries` system table (db/catalog) is a relational view of the
+/// ring.
+struct QueryLogEntry {
+  uint64_t id = 0;          ///< 1-based sequence number, assigned by Add.
+  std::string sql;          ///< Statement text as submitted.
+  std::string kind;         ///< "select", "count", "aggregate", ... / "error".
+  bool ok = true;
+  bool slow = false;        ///< Crossed the slow-query threshold.
+  double wall_ms = 0.0;     ///< Wall-clock execution time on this machine.
+  double simulated_ms = 0.0;  ///< PerfModel time (EXPLAIN ANALYZE runs only).
+  uint64_t passes = 0;        ///< Rendering passes the statement issued.
+  uint64_t fragments = 0;     ///< Fragments generated across those passes.
+  uint64_t rows_out = 0;      ///< Result cardinality (1 for scalar results).
+  std::string error;          ///< Status message when !ok.
+};
+
+/// \brief Always-on ring buffer of recent statements plus a slow-query log.
+///
+/// Add() keeps the newest `capacity` entries, records every statement's wall
+/// time in the "sql.query_wall_ms" histogram, and counts via "sql.queries".
+/// When a slow threshold is configured (constructor reads $GPUDB_SLOW_MS for
+/// the global instance; --slow-ms in the shell calls set_slow_threshold_ms)
+/// a statement at or above it is flagged, counted in "sql.slow_queries", and
+/// echoed to stderr -- the minimal production slow-query log.
+class QueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit QueryLog(size_t capacity = kDefaultCapacity);
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Shared process-wide log; its slow threshold is seeded from the
+  /// GPUDB_SLOW_MS environment variable (milliseconds, 0/unset = disabled).
+  static QueryLog& Global();
+
+  /// Threshold in ms at or above which a statement is "slow"; <= 0 disables.
+  void set_slow_threshold_ms(double ms);
+  double slow_threshold_ms() const;
+
+  /// Suppresses the stderr echo of slow statements (tests).
+  void set_echo_slow_to_stderr(bool on);
+
+  /// Records one statement, assigning its id; returns that id.
+  uint64_t Add(QueryLogEntry entry);
+
+  /// Entries currently retained, oldest first.
+  std::vector<QueryLogEntry> Entries() const;
+
+  /// Retained slow entries only, oldest first.
+  std::vector<QueryLogEntry> SlowEntries() const;
+
+  size_t size() const;
+  uint64_t total_recorded() const;
+
+  /// Drops all retained entries (the id sequence keeps counting).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryLogEntry> ring_;  // guarded by mu_, oldest at ring_[head_]
+  size_t capacity_;
+  size_t head_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t total_recorded_ = 0;
+  double slow_threshold_ms_ = 0.0;
+  bool echo_slow_ = true;
+};
+
+}  // namespace gpudb
+
+#endif  // GPUDB_COMMON_QUERY_LOG_H_

@@ -18,6 +18,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kNotFound:
+      return "NotFound";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 4,
   kInternal = 5,
   kResourceExhausted = 6,
+  kNotFound = 7,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));

@@ -19,8 +19,12 @@ DepthEncoding DepthEncoding::ForColumn(const db::Column& column) {
   const double lo = column.min();
   const double hi = column.max();
   if (hi <= lo) {
-    // Degenerate single-valued column: map everything to depth 0.
-    return DepthEncoding{0.0, lo};
+    // Degenerate single-valued column: center the value at depth 0.5 with a
+    // unit scale. Comparison constants below the value encode < 0.5 (clamped
+    // at 0 by QuantizeDepth) and constants above encode > 0.5 (clamped at 1),
+    // so ordering and equality against out-of-domain constants stay correct.
+    // A zero scale would collapse value and constant onto the same depth.
+    return DepthEncoding{1.0, lo - 0.5};
   }
   return DepthEncoding{1.0 / (hi - lo), lo};
 }

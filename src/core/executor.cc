@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/metrics.h"
+#include "src/core/analyze.h"
 #include "src/core/bitonic_sort.h"
 #include "src/core/histogram.h"
 #include "src/core/kth_largest.h"
@@ -111,14 +112,26 @@ Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
   OpCounter("where").Increment();
   GpuOpSpan op("Where", device_);
   op.AddTag("rows", table_->num_rows());
+  // With ANALYZE statistics attached, estimate the result cardinality up
+  // front and compare against the actual occlusion-query count afterwards;
+  // EXPLAIN ANALYZE renders the pair as `rows est=X actual=Y`.
+  const bool have_stats = stats_ != nullptr && stats_->analyzed();
+  uint64_t est_rows = table_->num_rows();
   if (expr == nullptr) {
     op.AddTag("normal_form", "all");
+    if (have_stats) op.AddTag("est_rows", est_rows);
     GPUDB_ASSIGN_OR_RETURN(StencilSelection sel, SelectAll(device_));
     op.AddTag("selected", sel.count);
     op.AddTag("selectivity", Selectivity(sel.count));
     return sel;
   }
   GPUDB_RETURN_NOT_OK(expr->Validate(*table_));
+  if (have_stats) {
+    const double est_sel = EstimateSelectivity(*stats_, expr);
+    est_rows = static_cast<uint64_t>(
+        est_sel * static_cast<double>(table_->num_rows()) + 0.5);
+    op.AddTag("est_rows", est_rows);
+  }
   // Normal-form choice: convert to both CNF and DNF and evaluate whichever
   // needs fewer simple predicates (each predicate is roughly one copy + one
   // comparison pass). A naturally-conjunctive query stays CNF, a
@@ -148,6 +161,15 @@ Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
   }
   op.AddTag("selected", sel.count);
   op.AddTag("selectivity", Selectivity(sel.count));
+  if (have_stats) {
+    // Factor-of-2 misestimate test with one-row smoothing so empty
+    // selections do not divide by zero.
+    const double actual = static_cast<double>(std::max<uint64_t>(sel.count, 1));
+    const double est = static_cast<double>(std::max<uint64_t>(est_rows, 1));
+    if (actual / est > 2.0 || est / actual > 2.0) {
+      MetricsRegistry::Global().counter("planner.misestimates").Increment();
+    }
+  }
   return sel;
 }
 

@@ -15,6 +15,7 @@
 #include "src/core/eval_cnf.h"
 #include "src/core/group_by.h"
 #include "src/core/semilinear.h"
+#include "src/db/stats.h"
 #include "src/db/table.h"
 #include "src/gpu/device.h"
 #include "src/predicate/cnf.h"
@@ -110,6 +111,14 @@ class Executor {
   const db::Table& table() const { return *table_; }
   gpu::Device& device() { return *device_; }
 
+  /// Attaches ANALYZE statistics (owned by the db::Catalog; may be null to
+  /// detach). With stats attached, Where() tags each selection span with
+  /// `est_rows` -- the histogram-based cardinality estimate -- so EXPLAIN
+  /// ANALYZE reports estimated vs. actual rows, and estimates off by more
+  /// than 2x increment the `planner.misestimates` counter.
+  void set_table_stats(const db::TableStats* stats) { stats_ = stats; }
+  const db::TableStats* table_stats() const { return stats_; }
+
   /// The GPU binding (texture/channel/encoding) for a column; uploads the
   /// column texture on first use. Exposed for benchmarks that drive the
   /// low-level routines directly.
@@ -136,6 +145,7 @@ class Executor {
 
   gpu::Device* device_;
   const db::Table* table_;
+  const db::TableStats* stats_ = nullptr;  ///< ANALYZE stats; not owned.
   std::vector<gpu::TextureId> column_textures_;  // -1 = not uploaded yet
   std::map<std::pair<size_t, size_t>, gpu::TextureId> pair_textures_;
 };

@@ -83,25 +83,46 @@ double Planner::SimplePassMs(uint64_t records) const {
   return FillMs(records, 1) + gpu_params_.pass_setup_ms;
 }
 
-double Planner::GpuMs(OperationKind op, uint64_t records, int detail) const {
+double Planner::GpuMs(OperationKind op, uint64_t records, int detail,
+                      double selectivity) const {
   const double occl = gpu_params_.occlusion_readback_ms;
+  // Known selectivity adds the result-materialization cost: the estimated
+  // matching row ids (4 bytes each) come back over the slow readback path.
+  double readback_ms = 0;
+  if (selectivity >= 0.0) {
+    switch (op) {
+      case OperationKind::kPredicateSelect:
+      case OperationKind::kRangeSelect:
+      case OperationKind::kMultiAttributeSelect:
+      case OperationKind::kSemilinearSelect:
+        readback_ms = static_cast<double>(records) *
+                      std::min(1.0, selectivity) * 4.0 /
+                      gpu_params_.readback_bytes_per_ms;
+        break;
+      default:
+        break;  // aggregates return scalars; no bulk readback
+    }
+  }
   switch (op) {
     case OperationKind::kPredicateSelect:
       // CopyToDepth + one comparison quad + occlusion count.
-      return CopyToDepthMs(records) + SimplePassMs(records) + occl;
+      return CopyToDepthMs(records) + SimplePassMs(records) + occl +
+             readback_ms;
     case OperationKind::kRangeSelect:
       // Identical pass structure thanks to the depth bounds test.
-      return CopyToDepthMs(records) + SimplePassMs(records) + occl;
+      return CopyToDepthMs(records) + SimplePassMs(records) + occl +
+             readback_ms;
     case OperationKind::kMultiAttributeSelect: {
       // EvalCnf: per conjunct one copy + one comparison + one cleanup pass,
       // then a final counting pass.
       const int a = std::max(1, detail);
       return a * (CopyToDepthMs(records) + 2 * SimplePassMs(records)) +
-             SimplePassMs(records) + occl;
+             SimplePassMs(records) + occl + readback_ms;
     }
     case OperationKind::kSemilinearSelect:
       // One 4-instruction fragment-program pass, no copy.
-      return FillMs(records, 4) + gpu_params_.pass_setup_ms + occl;
+      return FillMs(records, 4) + gpu_params_.pass_setup_ms + occl +
+             readback_ms;
     case OperationKind::kKthLargest: {
       // One copy + b_max (comparison pass + occlusion readback).
       const int bits = std::max(1, detail);
@@ -119,7 +140,9 @@ double Planner::GpuMs(OperationKind op, uint64_t records, int detail) const {
   return 0;
 }
 
-double Planner::CpuMs(OperationKind op, uint64_t records, int detail) const {
+double Planner::CpuMs(OperationKind op, uint64_t records, int detail,
+                      double selectivity) const {
+  (void)selectivity;  // CPU results are already in host memory.
   switch (op) {
     case OperationKind::kPredicateSelect:
       return cpu_model_.PredicateScanMs(records);
@@ -139,16 +162,17 @@ double Planner::CpuMs(OperationKind op, uint64_t records, int detail) const {
   return 0;
 }
 
-PlanDecision Planner::Choose(OperationKind op, uint64_t records,
-                             int detail) const {
+PlanDecision Planner::Choose(OperationKind op, uint64_t records, int detail,
+                             double selectivity) const {
   TraceSpan span("planner.choose");
   PlanDecision d;
-  d.gpu_ms = GpuMs(op, records, detail);
-  d.cpu_ms = CpuMs(op, records, detail);
+  d.gpu_ms = GpuMs(op, records, detail, selectivity);
+  d.cpu_ms = CpuMs(op, records, detail, selectivity);
   d.backend = d.gpu_ms <= d.cpu_ms ? Backend::kGpu : Backend::kCpu;
   d.rationale = Rationale(op, d.backend);
   span.AddTag("op", ToString(op));
   span.AddTag("records", records);
+  if (selectivity >= 0.0) span.AddTag("est_selectivity", selectivity);
   span.AddTag("gpu_ms", d.gpu_ms);
   span.AddTag("cpu_ms", d.cpu_ms);
   span.AddTag("backend", ToString(d.backend));

@@ -46,6 +46,14 @@ struct PlanDecision {
 /// `detail` is operation specific: the conjunct count for
 /// kMultiAttributeSelect, the attribute bit width (b_max) for kKthLargest
 /// and kSum, and ignored otherwise.
+///
+/// `selectivity`, when in [0, 1], is the estimated fraction of matching
+/// records (from ANALYZE statistics, db/stats.h). Selection operations that
+/// materialize their result then charge the GPU plan the row-id readback of
+/// the estimated matches over the slow PCI path -- the Section 6.1 readback
+/// caveat -- so a high-selectivity SELECT can flip to the CPU even though
+/// the scan itself favors the GPU. Negative (the default) means "unknown":
+/// no readback term, the pre-statistics behavior.
 class Planner {
  public:
   Planner() = default;
@@ -53,15 +61,18 @@ class Planner {
           const cpu::XeonModelParams& cpu_params)
       : gpu_params_(gpu_params), cpu_model_(cpu_params) {}
 
-  PlanDecision Choose(OperationKind op, uint64_t records, int detail = 0) const;
+  PlanDecision Choose(OperationKind op, uint64_t records, int detail = 0,
+                      double selectivity = -1.0) const;
 
   /// Modeled GPU time for an operation (closed-form over the pass structure
   /// each routine executes; matches what PerfModel reports when the
   /// operation actually runs).
-  double GpuMs(OperationKind op, uint64_t records, int detail = 0) const;
+  double GpuMs(OperationKind op, uint64_t records, int detail = 0,
+               double selectivity = -1.0) const;
 
   /// Modeled CPU time for the paper's optimized baseline.
-  double CpuMs(OperationKind op, uint64_t records, int detail = 0) const;
+  double CpuMs(OperationKind op, uint64_t records, int detail = 0,
+               double selectivity = -1.0) const;
 
  private:
   double FillMs(uint64_t fragments, int instructions) const;

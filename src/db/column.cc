@@ -47,6 +47,41 @@ Result<Column> Column::MakeFloat(std::string name, std::vector<float> values) {
   return Column(std::move(name), ColumnType::kFloat32, std::move(values));
 }
 
+Result<Column> Column::MakeDictionary(std::string name,
+                                      const std::vector<std::string>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("column '" + name + "' has no values");
+  }
+  std::vector<std::string> dictionary = values;
+  std::sort(dictionary.begin(), dictionary.end());
+  dictionary.erase(std::unique(dictionary.begin(), dictionary.end()),
+                   dictionary.end());
+  if (dictionary.size() >= gpu::kMaxExactInt) {
+    return Status::OutOfRange("column '" + name +
+                              "': dictionary exceeds 2^24-1 distinct values");
+  }
+  std::vector<float> codes(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it =
+        std::lower_bound(dictionary.begin(), dictionary.end(), values[i]);
+    codes[i] = static_cast<float>(it - dictionary.begin());
+  }
+  Column column(std::move(name), ColumnType::kInt24, std::move(codes));
+  column.dictionary_ = std::move(dictionary);
+  return column;
+}
+
+Result<uint32_t> Column::DictCode(std::string_view value) const {
+  const auto it =
+      std::lower_bound(dictionary_.begin(), dictionary_.end(), value);
+  if (it == dictionary_.end() || *it != value) {
+    return Status::InvalidArgument("column '" + name_ +
+                                   "': no dictionary entry for '" +
+                                   std::string(value) + "'");
+  }
+  return static_cast<uint32_t>(it - dictionary_.begin());
+}
+
 int Column::bit_width() const {
   if (type_ != ColumnType::kInt24) return 0;
   const auto max_int = static_cast<uint64_t>(max_);

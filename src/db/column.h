@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
@@ -34,6 +35,15 @@ class Column {
   /// Creates a float column (no range restriction).
   static Result<Column> MakeFloat(std::string name, std::vector<float> values);
 
+  /// Creates a dictionary-encoded string column: the distinct strings are
+  /// sorted into a dictionary and each row stores its code as a kInt24
+  /// value, so the GPU algorithms operate on codes (order-preserving within
+  /// the dictionary) while display layers render the strings. This is how
+  /// the introspection system tables (db/catalog) carry metric names and
+  /// SQL text through the float-texture engine.
+  static Result<Column> MakeDictionary(std::string name,
+                                       const std::vector<std::string>& values);
+
   const std::string& name() const { return name_; }
   ColumnType type() const { return type_; }
   size_t size() const { return values_.size(); }
@@ -44,6 +54,20 @@ class Column {
   uint32_t int_value(size_t i) const {
     return static_cast<uint32_t>(values_[i]);
   }
+
+  /// True for dictionary-encoded string columns (type() is kInt24; the
+  /// stored values are codes into dictionary()).
+  bool has_dictionary() const { return !dictionary_.empty(); }
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+
+  /// The dictionary string behind row i's code (dictionary columns only).
+  const std::string& dict_value(size_t i) const {
+    return dictionary_[int_value(i)];
+  }
+
+  /// Code of `value` in the dictionary, for writing predicates against
+  /// dictionary columns (e.g. WHERE name = <code>); error when absent.
+  Result<uint32_t> DictCode(std::string_view value) const;
 
   float min() const { return min_; }
   float max() const { return max_; }
@@ -65,6 +89,7 @@ class Column {
   std::string name_;
   ColumnType type_;
   std::vector<float> values_;
+  std::vector<std::string> dictionary_;  ///< Sorted; empty unless dict column.
   float min_;
   float max_;
 };

@@ -79,7 +79,15 @@ Result<Table> Table::GatherRows(const std::vector<uint32_t>& row_ids) const {
   }
   Table out;
   for (const Column& col : columns_) {
-    if (col.type() == ColumnType::kInt24) {
+    if (col.has_dictionary()) {
+      std::vector<std::string> values(row_ids.size());
+      for (size_t i = 0; i < row_ids.size(); ++i) {
+        values[i] = col.dict_value(row_ids[i]);
+      }
+      GPUDB_ASSIGN_OR_RETURN(Column gathered,
+                             Column::MakeDictionary(col.name(), values));
+      GPUDB_RETURN_NOT_OK(out.AddColumn(std::move(gathered)));
+    } else if (col.type() == ColumnType::kInt24) {
       std::vector<uint32_t> values(row_ids.size());
       for (size_t i = 0; i < row_ids.size(); ++i) {
         values[i] = col.int_value(row_ids[i]);
@@ -118,6 +126,10 @@ std::string Table::FormatRows(const std::vector<uint32_t>& row_ids,
     for (size_t c = 0; c < num_columns(); ++c) {
       if (row >= num_rows()) {
         line.push_back("?");
+        continue;
+      }
+      if (columns_[c].has_dictionary()) {
+        line.push_back(columns_[c].dict_value(row));
         continue;
       }
       if (columns_[c].type() == ColumnType::kInt24) {

@@ -123,8 +123,19 @@ class TreeFormatter {
       }
       out->append(")");
     }
+    // Estimated-vs-actual cardinality (present when ANALYZE statistics are
+    // attached): the paired rendering replaces the raw selected/est_rows
+    // tags, so unanalyzed output is unchanged.
+    const double est_rows = span.NumberTag("est_rows", -1.0);
+    if (est_rows >= 0) {
+      out->append("  rows est=" + Num(est_rows));
+      const double actual = span.NumberTag("selected", -1.0);
+      if (actual >= 0) out->append(" actual=" + Num(actual));
+    }
     for (const TraceTag& tag : span.tags) {
       if (IsCostTag(tag.key)) continue;
+      if (tag.key == "est_rows") continue;
+      if (est_rows >= 0 && tag.key == "selected") continue;
       out->append("  " + tag.key + "=" +
                   (tag.is_number ? Num(tag.number) : tag.text));
     }

@@ -35,6 +35,21 @@ class Parser {
 
   Result<Query> Parse() {
     Query query;
+    if (Peek().kind == TokenKind::kAnalyze) {
+      // ANALYZE <table> : statement-initial ANALYZE is unambiguous (the
+      // EXPLAIN ANALYZE prefix starts with EXPLAIN).
+      Next();
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected table name after ANALYZE");
+      }
+      query.kind = Query::Kind::kAnalyzeTable;
+      query.table_name = Next().text;
+      if (Peek().kind == TokenKind::kSemicolon) Next();
+      if (Peek().kind != TokenKind::kEnd) {
+        return Error("unexpected trailing input");
+      }
+      return query;
+    }
     if (Peek().kind == TokenKind::kExplain) {
       Next();
       GPUDB_RETURN_NOT_OK(Expect(TokenKind::kAnalyze));
@@ -330,10 +345,44 @@ class Parser {
 
 }  // namespace
 
+std::string_view ToString(Query::Kind kind) {
+  switch (kind) {
+    case Query::Kind::kSelectRows:
+      return "select";
+    case Query::Kind::kCount:
+      return "count";
+    case Query::Kind::kAggregate:
+      return "aggregate";
+    case Query::Kind::kKthLargest:
+      return "kth-largest";
+    case Query::Kind::kGroupBy:
+      return "group-by";
+    case Query::Kind::kAnalyzeTable:
+      return "analyze";
+  }
+  return "unknown";
+}
+
 Result<Query> ParseQuery(std::string_view input, const db::Table& table) {
   GPUDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   Parser parser(std::move(tokens), table);
   return parser.Parse();
+}
+
+Result<std::string> StatementTableName(std::string_view input) {
+  GPUDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  if (tokens.size() >= 2 && tokens[0].kind == TokenKind::kAnalyze &&
+      tokens[1].kind == TokenKind::kIdentifier) {
+    return tokens[1].text;
+  }
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kFrom &&
+        tokens[i + 1].kind == TokenKind::kIdentifier) {
+      return tokens[i + 1].text;
+    }
+  }
+  return Status::InvalidArgument(
+      "statement names no table (expected FROM <table> or ANALYZE <table>)");
 }
 
 std::string QueryResult::ToString() const {
@@ -357,6 +406,9 @@ std::string QueryResult::ToString() const {
       }
       break;
     }
+    case Query::Kind::kAnalyzeTable:
+      value = "analyzed " + std::to_string(count) + " column(s)";
+      break;
   }
   if (analyzed) {
     return value + "\n" + explain;
@@ -406,6 +458,12 @@ Status ExecuteParsed(core::Executor* executor, const Query& query,
           executor->GroupBy(query.group_by_column, query.column,
                             query.aggregate));
       return Status::OK();
+    }
+    case Query::Kind::kAnalyzeTable: {
+      // ANALYZE needs the catalog to store its statistics; the bare
+      // executor path has nowhere to put them.
+      return Status::InvalidArgument(
+          "ANALYZE requires a sql::Session (statistics live in the catalog)");
     }
   }
   return Status::Internal("unhandled query kind");

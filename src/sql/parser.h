@@ -2,6 +2,7 @@
 #define GPUDB_SQL_PARSER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,11 +30,12 @@ namespace sql {
 /// in that case -- the grouped execution path has no selection support).
 struct Query {
   enum class Kind {
-    kSelectRows,  ///< SELECT * : materialize row ids
-    kCount,       ///< SELECT COUNT(*)
-    kAggregate,   ///< SELECT agg(column)
-    kKthLargest,  ///< SELECT KTH_LARGEST(column, k)
-    kGroupBy,     ///< SELECT agg(column) ... GROUP BY key
+    kSelectRows,    ///< SELECT * : materialize row ids
+    kCount,         ///< SELECT COUNT(*)
+    kAggregate,     ///< SELECT agg(column)
+    kKthLargest,    ///< SELECT KTH_LARGEST(column, k)
+    kGroupBy,       ///< SELECT agg(column) ... GROUP BY key
+    kAnalyzeTable,  ///< ANALYZE table : collect column statistics
   };
 
   Kind kind = Kind::kCount;
@@ -59,9 +61,17 @@ struct Query {
   bool explain_analyze = false;
 };
 
+std::string_view ToString(Query::Kind kind);
+
 /// \brief Parses `input` against `table` (column names resolve to indices;
 /// unknown columns are errors with positions).
 Result<Query> ParseQuery(std::string_view input, const db::Table& table);
+
+/// \brief Extracts the table a statement targets without a full parse: the
+/// identifier after FROM, or after a statement-initial ANALYZE. Used by
+/// sql::Session to pick the executor before ParseQuery resolves column
+/// names against that table's schema.
+Result<std::string> StatementTableName(std::string_view input);
 
 /// \brief Result of executing a parsed query.
 struct QueryResult {
@@ -79,6 +89,12 @@ struct QueryResult {
   double simulated_total_ms = 0.0;
   gpu::GpuTimeBreakdown breakdown;
   std::vector<FinishedSpan> spans;
+
+  /// For kSelectRows through sql::Session: the table the row ids refer to.
+  /// System-table snapshots are materialized per query, so the session hands
+  /// the snapshot to the caller here (display layers render rows from it);
+  /// null for queries against long-lived user tables.
+  std::shared_ptr<const db::Table> table_view;
 
   std::string ToString() const;
 };

@@ -1,0 +1,178 @@
+#include "src/sql/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/query_log.h"
+#include "src/common/timer.h"
+#include "src/core/analyze.h"
+#include "src/gpu/perf_model.h"
+#include "src/sql/explain.h"
+
+namespace gpudb {
+namespace sql {
+
+namespace {
+
+/// Result cardinality for the query log (1 for scalar results).
+uint64_t RowsOut(const QueryResult& result) {
+  switch (result.kind) {
+    case Query::Kind::kSelectRows:
+      return result.row_ids.size();
+    case Query::Kind::kGroupBy:
+      return result.groups.size();
+    case Query::Kind::kAnalyzeTable:
+      return result.count;  // columns analyzed
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+Session::Session(gpu::Device* device, db::Catalog* catalog)
+    : device_(device), catalog_(catalog) {}
+
+Result<core::Executor*> Session::ExecutorFor(std::string_view table_name) {
+  auto it = executors_.find(table_name);
+  if (it == executors_.end()) {
+    GPUDB_ASSIGN_OR_RETURN(const db::Table* table,
+                           catalog_->Lookup(table_name));
+    GPUDB_ASSIGN_OR_RETURN(std::unique_ptr<core::Executor> exec,
+                           core::Executor::Make(device_, table));
+    it = executors_.emplace(std::string(table_name), std::move(exec)).first;
+  }
+  // The session multiplexes tables onto one device; restore this table's
+  // viewport before running anything (Executor::Make set it at creation).
+  GPUDB_RETURN_NOT_OK(
+      device_->SetViewport(it->second->table().num_rows()));
+  return it->second.get();
+}
+
+Result<QueryResult> Session::Dispatch(std::string_view sql,
+                                      const std::string& table_name,
+                                      gpu::DeviceCounters* counters_out) {
+  if (db::Catalog::IsSystemTable(table_name)) {
+    return RunSystemTable(sql, table_name, counters_out);
+  }
+  return RunUserTable(sql, table_name, counters_out);
+}
+
+Result<QueryResult> Session::RunSystemTable(std::string_view sql,
+                                            const std::string& table_name,
+                                            gpu::DeviceCounters* counters_out) {
+  GPUDB_ASSIGN_OR_RETURN(db::Table snapshot,
+                         catalog_->MaterializeSystemTable(table_name));
+  const auto snap = std::make_shared<const db::Table>(std::move(snapshot));
+  GPUDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql, *snap));
+  if (query.kind == Query::Kind::kAnalyzeTable) {
+    return Status::InvalidArgument(
+        "cannot ANALYZE system table '" + table_name +
+        "' (snapshots are rebuilt per query; statistics would be stale "
+        "immediately)");
+  }
+  // Snapshots are transient, so they get their own device instead of
+  // disturbing the resident textures of the session's user tables.
+  const uint32_t width = 1024;
+  const uint32_t height = static_cast<uint32_t>(
+      std::max<uint64_t>(1, (snap->num_rows() + width - 1) / width));
+  gpu::Device device(width, height);
+  GPUDB_ASSIGN_OR_RETURN(std::unique_ptr<core::Executor> exec,
+                         core::Executor::Make(&device, snap.get()));
+  QueryResult result;
+  if (query.explain_analyze) {
+    GPUDB_ASSIGN_OR_RETURN(result, ExecuteAnalyze(exec.get(), query, sql));
+  } else {
+    GPUDB_RETURN_NOT_OK(ExecuteParsed(exec.get(), query, &result));
+  }
+  result.table_view = snap;
+  *counters_out = device.counters();
+  return result;
+}
+
+Result<QueryResult> Session::RunUserTable(std::string_view sql,
+                                          const std::string& table_name,
+                                          gpu::DeviceCounters* counters_out) {
+  GPUDB_ASSIGN_OR_RETURN(core::Executor* exec, ExecutorFor(table_name));
+  // Stats may have been (re)collected since the executor was cached.
+  exec->set_table_stats(catalog_->Stats(table_name));
+  const gpu::DeviceCounters before = device_->counters();
+  auto run = [&]() -> Result<QueryResult> {
+    GPUDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql, exec->table()));
+    if (query.kind == Query::Kind::kAnalyzeTable) {
+      GPUDB_ASSIGN_OR_RETURN(db::TableStats stats,
+                             core::CollectTableStats(exec));
+      stats.table_name = table_name;
+      const uint64_t columns = stats.columns.size();
+      GPUDB_RETURN_NOT_OK(catalog_->SetStats(table_name, std::move(stats)));
+      exec->set_table_stats(catalog_->Stats(table_name));
+      QueryResult result;
+      result.kind = Query::Kind::kAnalyzeTable;
+      result.count = columns;
+      return result;
+    }
+    if (query.explain_analyze) {
+      return ExecuteAnalyze(exec, query, sql);
+    }
+    QueryResult result;
+    GPUDB_RETURN_NOT_OK(ExecuteParsed(exec, query, &result));
+    return result;
+  };
+  Result<QueryResult> result = run();
+  *counters_out = gpu::DeltaSince(before, device_->counters());
+  return result;
+}
+
+Result<QueryResult> Session::Execute(std::string_view sql) {
+  if (device_ == nullptr || catalog_ == nullptr) {
+    return Status::InvalidArgument("Session requires a device and a catalog");
+  }
+  Timer timer;
+  gpu::DeviceCounters delta;
+  auto run = [&]() -> Result<QueryResult> {
+    GPUDB_ASSIGN_OR_RETURN(std::string table_name, StatementTableName(sql));
+    return Dispatch(sql, table_name, &delta);
+  };
+  Result<QueryResult> result = run();
+
+  QueryLogEntry entry;
+  entry.sql = std::string(sql);
+  entry.ok = result.ok();
+  entry.wall_ms = timer.ElapsedMs();
+  entry.passes = delta.passes;
+  entry.fragments = delta.fragments_generated;
+  entry.simulated_ms = gpu::PerfModel().Estimate(delta).TotalMs();
+  if (result.ok()) {
+    entry.kind = std::string(ToString(result.ValueOrDie().kind));
+    entry.rows_out = RowsOut(result.ValueOrDie());
+  } else {
+    entry.kind = "error";
+    entry.error = result.status().ToString();
+  }
+  QueryLog::Global().Add(entry);
+  return result;
+}
+
+Result<std::vector<QueryResult>> Session::ExecuteScript(
+    std::string_view script) {
+  std::vector<QueryResult> results;
+  size_t start = 0;
+  for (size_t i = 0; i <= script.size(); ++i) {
+    if (i == script.size() || script[i] == ';') {
+      std::string_view statement = script.substr(start, i - start);
+      start = i + 1;
+      const size_t first = statement.find_first_not_of(" \t\r\n");
+      if (first == std::string_view::npos) continue;
+      statement.remove_prefix(first);
+      GPUDB_ASSIGN_OR_RETURN(QueryResult r, Execute(statement));
+      results.push_back(std::move(r));
+    }
+  }
+  if (results.empty()) {
+    return Status::InvalidArgument("script contains no statements");
+  }
+  return results;
+}
+
+}  // namespace sql
+}  // namespace gpudb

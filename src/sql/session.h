@@ -1,0 +1,79 @@
+#ifndef GPUDB_SQL_SESSION_H_
+#define GPUDB_SQL_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/executor.h"
+#include "src/db/catalog.h"
+#include "src/gpu/device.h"
+#include "src/sql/parser.h"
+
+namespace gpudb {
+namespace sql {
+
+/// \brief A multi-table SQL session over a db::Catalog: name resolution,
+/// ANALYZE, system-table queries, and always-on query logging.
+///
+/// The single-executor ExecuteSql path (parser.h) serves the one-table
+/// benchmarks; Session is the layer above it:
+///
+///  * `FROM <name>` resolves through the catalog. User tables get one
+///    cached Executor each (textures stay resident across queries); the
+///    gpudb_* system tables are materialized fresh per query from live
+///    telemetry and executed on an ephemeral device, so
+///    `SELECT * FROM gpudb_metrics WHERE value > 0` runs the normal GPU
+///    selection path over a snapshot of the process's own counters.
+///  * `ANALYZE <table>` collects column statistics (core/analyze) into the
+///    catalog and attaches them to the table's executor, enabling
+///    estimated-vs-actual row reporting in EXPLAIN ANALYZE.
+///  * Every statement -- including failed ones -- is recorded in the global
+///    QueryLog with wall and simulated times, pass and fragment counts; the
+///    log feeds the gpudb_queries system table and the slow-query echo.
+class Session {
+ public:
+  /// Both pointers must outlive the session. `device` runs user-table
+  /// queries; its viewport is reset whenever the session switches tables.
+  Session(gpu::Device* device, db::Catalog* catalog);
+
+  /// Parses and runs one statement. For SELECT * against a system table,
+  /// QueryResult::table_view holds the snapshot the row ids refer to.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  /// Runs a semicolon-separated script, stopping at the first error.
+  Result<std::vector<QueryResult>> ExecuteScript(std::string_view script);
+
+  db::Catalog& catalog() { return *catalog_; }
+
+  /// The cached executor for a registered user table (created on first use).
+  Result<core::Executor*> ExecutorFor(std::string_view table_name);
+
+ private:
+  /// Dispatches a statement whose target table is already resolved;
+  /// `counters_out` receives the device-counter delta the statement caused.
+  Result<QueryResult> Dispatch(std::string_view sql,
+                               const std::string& table_name,
+                               gpu::DeviceCounters* counters_out);
+
+  Result<QueryResult> RunSystemTable(std::string_view sql,
+                                     const std::string& table_name,
+                                     gpu::DeviceCounters* counters_out);
+
+  Result<QueryResult> RunUserTable(std::string_view sql,
+                                   const std::string& table_name,
+                                   gpu::DeviceCounters* counters_out);
+
+  gpu::Device* device_;
+  db::Catalog* catalog_;
+  std::map<std::string, std::unique_ptr<core::Executor>, std::less<>>
+      executors_;
+};
+
+}  // namespace sql
+}  // namespace gpudb
+
+#endif  // GPUDB_SQL_SESSION_H_

@@ -74,6 +74,72 @@ TEST(MetricHistogramTest, QuantileUsesBucketUpperBounds) {
   EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
 }
 
+TEST(MetricHistogramTest, QuantileEdgeCases) {
+  MetricsRegistry registry;
+  MetricHistogram& h = registry.histogram("test.quantile_edge");
+  // Empty histogram: every quantile is 0 (no observations).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+  // Single bucket: every quantile lands on that bucket's upper bound.
+  h.Record(3.0);
+  const double only = MetricHistogram::BucketUpperBound(
+      MetricHistogram::BucketFor(3.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), only);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), only);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), only);
+  // Out-of-range and NaN arguments clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), only);
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), only);
+  EXPECT_DOUBLE_EQ(h.Quantile(std::nan("")), only);
+}
+
+TEST(MetricsRegistryTest, SnapshotCopiesAllInstruments) {
+  MetricsRegistry registry;
+  registry.counter("snap.counter").Add(7);
+  registry.gauge("snap.gauge").Set(-1.25);
+  MetricHistogram& h = registry.histogram("snap.hist");
+  h.Record(1.0);
+  h.Record(8.0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "snap.counter");
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, -1.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 9.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].max, 8.0);
+  ASSERT_EQ(snap.histograms[0].buckets.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, DumpPrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("sql.queries").Add(5);
+  registry.gauge("cache.bytes").Set(2048.0);
+  MetricHistogram& h = registry.histogram("query.wall_ms");
+  h.Record(1.0);
+  h.Record(1.0);
+  h.Record(512.0);
+  const std::string text = registry.DumpPrometheus();
+  // Names are prefixed and sanitized for Prometheus.
+  EXPECT_NE(text.find("# TYPE gpudb_sql_queries counter"), std::string::npos);
+  EXPECT_NE(text.find("gpudb_sql_queries 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gpudb_cache_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("gpudb_cache_bytes 2048"), std::string::npos);
+  // Histograms emit cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(text.find("# TYPE gpudb_query_wall_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpudb_query_wall_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpudb_query_wall_ms_sum 514"), std::string::npos);
+  EXPECT_NE(text.find("gpudb_query_wall_ms_count 3"), std::string::npos);
+  // Cumulative: the bucket holding 1.0 reports 2, later buckets at least 2.
+  EXPECT_NE(text.find("le=\"1\"} 2"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, DumpTextListsEveryInstrument) {
   MetricsRegistry registry;
   registry.counter("z.counter").Add(3);

@@ -4,6 +4,7 @@
 
 #include "src/core/compare.h"
 #include "src/cpu/scan.h"
+#include "src/db/column.h"
 #include "src/gpu/device.h"
 #include "tests/test_util.h"
 
@@ -148,6 +149,43 @@ TEST_F(CompareTest, FloatEncodingApproximatesWithinQuantum) {
       uint64_t count,
       Compare(&device_, attr, CompareOp::kGreaterEqual, 0.5));
   EXPECT_EQ(count, 3u);
+}
+
+TEST_F(CompareTest, SingleValuedFloatColumnComparesCorrectly) {
+  // min == max makes the affine [min,max]->[0,1] map degenerate. The
+  // encoding must still order the value against out-of-domain constants:
+  // a zero scale would encode value and constant to the same depth and
+  // e.g. "1 > 0" would select nothing (system tables hit this whenever
+  // every counter holds the same value).
+  std::vector<float> floats = {1.0f, 1.0f, 1.0f};
+  ASSERT_OK_AND_ASSIGN(db::Column column,
+                       db::Column::MakeFloat("c", floats));
+  const DepthEncoding enc = DepthEncoding::ForColumn(column);
+  auto tex = gpu::Texture::FromColumns({&floats}, 3);
+  ASSERT_OK(tex.status());
+  ASSERT_OK_AND_ASSIGN(gpu::TextureId id,
+                       device_.UploadTexture(std::move(tex).ValueOrDie()));
+  ASSERT_OK(device_.SetViewport(3));
+  AttributeBinding attr;
+  attr.texture = id;
+  attr.channel = 0;
+  attr.encoding = enc;
+  const struct {
+    CompareOp op;
+    double constant;
+    uint64_t want;
+  } cases[] = {
+      {CompareOp::kGreater, 0.0, 3},  {CompareOp::kGreater, 1.0, 0},
+      {CompareOp::kGreater, 2.0, 0},  {CompareOp::kLess, 2.0, 3},
+      {CompareOp::kEqual, 1.0, 3},    {CompareOp::kEqual, 0.0, 0},
+      {CompareOp::kEqual, 5.0, 0},    {CompareOp::kGreaterEqual, 1.0, 3},
+  };
+  for (const auto& c : cases) {
+    ASSERT_OK_AND_ASSIGN(uint64_t count,
+                         Compare(&device_, attr, c.op, c.constant));
+    EXPECT_EQ(count, c.want)
+        << "op=" << static_cast<int>(c.op) << " constant=" << c.constant;
+  }
 }
 
 TEST_F(CompareTest, PassStructureMatchesPaper) {
