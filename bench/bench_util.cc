@@ -50,6 +50,7 @@ void WriteFigureJson(const FigureRecording& rec, const std::string& note) {
   }
   out << "{\n";
   out << "  \"figure\": " << json::Quote(rec.figure) << ",\n";
+  out << "  \"threads\": " << BenchThreads() << ",\n";
   out << "  \"description\": " << json::Quote(rec.description) << ",\n";
   out << "  \"paper_claim\": " << json::Quote(rec.paper_claim) << ",\n";
   out << "  \"note\": " << json::Quote(note) << ",\n";
@@ -74,14 +75,50 @@ void WriteFigureJson(const FigureRecording& rec, const std::string& note) {
   out << "\n  ]\n}\n";
 }
 
+/// Worker-thread count shared by every device the bench creates; mutable
+/// only through InitBench.
+int& BenchThreadsSlot() {
+  static int threads = gpu::ThreadPool::DefaultThreads();
+  return threads;
+}
+
 }  // namespace
 
 std::vector<size_t> RecordSweep() {
   return {250'000, 500'000, 750'000, 1'000'000};
 }
 
+void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 10);
+      if (n < 1) {
+        std::fprintf(stderr, "invalid %s: thread count must be >= 1\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      BenchThreadsSlot() = n;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--threads=N]\n", arg.c_str(),
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+int BenchThreads() { return BenchThreadsSlot(); }
+
 std::unique_ptr<gpu::Device> MakeDevice() {
-  return std::make_unique<gpu::Device>(1000, 1000);
+  auto device = std::make_unique<gpu::Device>(1000, 1000);
+  const Status st = device->SetWorkerThreads(BenchThreads());
+  if (!st.ok()) {
+    std::fprintf(stderr, "SetWorkerThreads failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return device;
 }
 
 const db::Table& TcpIpTable() {

@@ -22,7 +22,20 @@ namespace bench {
 /// records, Section 5.1).
 std::vector<size_t> RecordSweep();
 
-/// Fresh 1000x1000 device (the paper's screen/texture size).
+/// Parses shared benchmark flags. Supported:
+///   --threads=N   pixel-engine worker threads for every device the bench
+///                 creates (default: $GPUDB_THREADS, else hardware
+///                 concurrency; threading never changes results, only
+///                 wall-clock).
+/// Unknown flags abort with a usage message so typos don't silently run
+/// the wrong configuration.
+void InitBench(int argc, char** argv);
+
+/// The worker-thread count benches run with (see InitBench).
+int BenchThreads();
+
+/// Fresh 1000x1000 device (the paper's screen/texture size), configured
+/// with BenchThreads() pixel-engine workers.
 std::unique_ptr<gpu::Device> MakeDevice();
 
 /// The shared TCP/IP benchmark table (1M rows, generated once per process).

@@ -68,4 +68,7 @@ int Run() {
 }  // namespace bench
 }  // namespace gpudb
 
-int main() { return gpudb::bench::Run(); }
+int main(int argc, char** argv) {
+  gpudb::bench::InitBench(argc, argv);
+  return gpudb::bench::Run();
+}

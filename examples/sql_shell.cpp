@@ -18,6 +18,9 @@
 //                       format to FILE on exit
 //   --slow-ms=N         flag and echo statements slower than N wall-clock ms
 //                       (also settable via $GPUDB_SLOW_MS)
+//   --threads=N         pixel-engine worker threads for the session's device
+//                       (default: $GPUDB_THREADS, else hardware concurrency;
+//                       results are bit-identical at any thread count)
 //
 // Columns: data_count, data_loss, flow_rate, retransmissions.
 
@@ -80,9 +83,16 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string prom_file;
   bool dump_metrics = false;
+  int threads = 0;  // 0 = device default ($GPUDB_THREADS / hardware)
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads requires a count >= 1\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_file = argv[i] + 8;
       // Record every query, not just EXPLAIN ANALYZE ones.
       gpudb::Tracer::Global().set_enabled(true);
@@ -102,6 +112,12 @@ int main(int argc, char** argv) {
   auto table = gpudb::db::MakeTcpIpTable(100'000);
   if (!table.ok()) return 1;
   gpudb::gpu::Device device(1000, 1000);
+  if (threads > 0) {
+    if (auto s = device.SetWorkerThreads(threads); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
   gpudb::db::Catalog catalog;
   if (auto s = catalog.Register("flows", &table.ValueOrDie()); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());

@@ -99,6 +99,15 @@ def main():
                     f" ({delta_pct:+.1f}%){marker}"
                 )
 
+    # A candidate file with no baseline is not gated, but silence would make
+    # it look covered: tell the operator to commit a baseline for it.
+    for name in sorted(set(candidate) - set(baseline)):
+        print(
+            f"bench_diff: warning: {name} has no baseline in {args.baseline};"
+            " not gated -- commit one to cover it",
+            file=sys.stderr,
+        )
+
     print(f"\nbench_diff: compared {compared} model-time cells")
     if failures:
         print(f"bench_diff: {len(failures)} failure(s):", file=sys.stderr)

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the sanitizer configuration:
+# Tier-1 verification plus the sanitizer configurations:
 #   1. the standard build + full ctest run (what CI gates on),
-#   2. a bench smoke run diffed against the committed baseline (model-time
-#      regression gate; see scripts/bench_diff.py and bench/baseline/), and
+#   2. a bench smoke run of every figure bench with a committed baseline,
+#      diffed against bench/baseline (model-time regression gate; see
+#      scripts/bench_diff.py),
 #   3. an ASan+UBSan Debug build of the test suite, which also turns on the
-#      record-time PassRecord invariant asserts in gpu::Device.
+#      record-time PassRecord invariant asserts in gpu::Device, and
+#   4. a TSan build of the parallel-pixel-engine determinism test, run
+#      oversubscribed (GPUDB_THREADS=8) to shake out races in the row-band
+#      dispatch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,15 +17,24 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
-echo "== bench smoke: figure 3 model times vs bench/baseline =="
+echo "== bench smoke: figure model times vs bench/baseline =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-GPUDB_BENCH_JSON_DIR="$smoke_dir" ./build/bench/fig03_predicate >/dev/null
+for bench in fig02_copy_depth fig03_predicate fig04_range fig05_multiattr \
+             fig06_semilinear fig07_kth_vs_k fig08_median \
+             fig09_kth_selectivity fig10_accumulator; do
+  GPUDB_BENCH_JSON_DIR="$smoke_dir" "./build/bench/$bench" >/dev/null
+done
 python3 scripts/bench_diff.py bench/baseline "$smoke_dir"
 
 echo "== sanitizers: ASan+UBSan Debug build + tests =="
 cmake -B build-asan -S . -DGPUDB_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
+
+echo "== sanitizers: TSan build + parallel determinism test =="
+cmake -B build-tsan -S . -DGPUDB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target gpu_parallel_test
+GPUDB_THREADS=8 ./build-tsan/tests/gpu_parallel_test
 
 echo "check.sh: all green"

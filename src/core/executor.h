@@ -111,6 +111,12 @@ class Executor {
   const db::Table& table() const { return *table_; }
   gpu::Device& device() { return *device_; }
 
+  /// Forwards to Device::SetWorkerThreads: number of parallel pixel
+  /// engines for this executor's device. Never changes results -- every
+  /// operator is bit-identical at any thread count -- only wall-clock.
+  Status SetWorkerThreads(int n) { return device_->SetWorkerThreads(n); }
+  int worker_threads() const { return device_->worker_threads(); }
+
   /// Attaches ANALYZE statistics (owned by the db::Catalog; may be null to
   /// detach). With stats attached, Where() tags each selection span with
   /// `est_rows` -- the histogram-based cardinality estimate -- so EXPLAIN

@@ -11,6 +11,16 @@
 namespace gpudb {
 namespace gpu {
 
+// Force the per-fragment stages into the span/raster loops: at -O2 the
+// compiler judges them too large to inline on its own, which leaves an
+// opaque call (and per-call RenderState reloads) on a path executed a
+// million times per pass.
+#if defined(__GNUC__)
+#define GPUDB_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define GPUDB_ALWAYS_INLINE inline
+#endif
+
 namespace {
 
 /// Device-level hardware metrics (process-wide, across all Device
@@ -41,7 +51,27 @@ struct DeviceMetrics {
 
 Device::Device(uint32_t width, uint32_t height, int depth_bits)
     : fb_(width, height, depth_bits),
-      viewport_pixels_(uint64_t{width} * height) {}
+      viewport_pixels_(uint64_t{width} * height),
+      worker_threads_(ThreadPool::DefaultThreads()) {}
+
+Status Device::SetWorkerThreads(int n) {
+  if (n < 1) {
+    return Status::InvalidArgument("worker thread count must be >= 1, got " +
+                                   std::to_string(n));
+  }
+  if (n != worker_threads_) {
+    worker_threads_ = n;
+    pool_.reset();  // re-created lazily at the right size
+  }
+  return Status::OK();
+}
+
+ThreadPool* Device::EnsurePool() {
+  if (pool_ == nullptr || pool_->size() != worker_threads_) {
+    pool_ = std::make_unique<ThreadPool>(worker_threads_);
+  }
+  return pool_.get();
+}
 
 Result<TextureId> Device::UploadTexture(Texture texture) {
   const uint64_t bytes = texture.byte_size();
@@ -341,6 +371,7 @@ void Device::ResetTransform() {
   window_space_vertices_ = true;
 }
 
+GPUDB_ALWAYS_INLINE
 void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
   const RenderState& rs = state_;
   const uint64_t i = uint64_t{frag.y} * fb_.width() + frag.x;
@@ -359,6 +390,12 @@ void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
     in.tex3 = ctx->units[3];
     ctx->program->Execute(in, &out);
     if (out.discarded) return;  // KILL: skips all later stages.
+  } else if (ctx->flat_depth) {
+    // Fixed-function quad: depth quantization and the alpha test were
+    // resolved once per pass (same outcome for every fragment).
+    if (ctx->alpha_fail) return;
+    ProcessTestedFragment(i, ctx->flat_depth_q, out.color, ctx);
+    return;
   }
   const uint32_t frag_depth_q =
       out.depth_written ? fb_.Quantize(out.depth) : fb_.Quantize(frag.depth);
@@ -368,6 +405,15 @@ void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
       !EvalCompare(rs.alpha_func, out.color[3], rs.alpha_ref)) {
     return;  // Alpha failures do not reach the stencil stage.
   }
+
+  ProcessTestedFragment(i, frag_depth_q, out.color, ctx);
+}
+
+GPUDB_ALWAYS_INLINE
+void Device::ProcessTestedFragment(uint64_t i, uint32_t frag_depth_q,
+                                   const std::array<float, 4>& color,
+                                   PassContext* ctx) {
+  const RenderState& rs = state_;
 
   // --- Stencil test -------------------------------------------------------
   const uint8_t stored_stencil = fb_.stencil(i);
@@ -416,7 +462,7 @@ void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
 
   // --- Fragment passed: count and write -----------------------------------
   ++ctx->pass->fragments_passed;
-  if (occlusion_active_) ++occlusion_count_;
+  if (ctx->occlusion != nullptr) ++*ctx->occlusion;
 
   // As in OpenGL, depth writes only happen when the depth test is enabled
   // (CopyToDepth therefore enables the test with func ALWAYS).
@@ -427,8 +473,165 @@ void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
     ++ctx->pass->depth_writes;
   }
   if (rs.color_write_mask) {
-    fb_.set_color(i, out.color);
+    fb_.set_color(i, color);
   }
+}
+
+namespace {
+
+/// Per-band output of a specialized quad-row kernel, reduced into the
+/// band's PassContext by the caller.
+struct QuadKernelOut {
+  uint64_t fragments = 0;
+  uint64_t passed = 0;
+  uint64_t depth_writes = 0;
+  uint64_t stencil_updates = 0;
+  uint64_t occlusion = 0;
+};
+
+/// Shared body of the specialized quad-row kernels: the exact
+/// alpha/stencil/depth-bounds/depth chain and buffer writes of
+/// ProcessFragment/ProcessTestedFragment for a screen-aligned quad whose
+/// per-fragment color is FragmentOutput's default and whose alpha test was
+/// resolved once per pass, with the fragment depth supplied by
+/// `depth_q_of(i)` (a constant for fixed-function quads, a texel fetch for
+/// depth-copy programs).
+///
+/// Everything the loop reads lives in locals: the stencil plane is
+/// uint8_t, and char-typed stores may alias any object in the abstract
+/// machine, so a loop reading RenderState or the plane pointers through
+/// members would reload them after every stencil write. Locals whose
+/// address never escapes cannot alias and stay in registers.
+template <typename DepthQFn>
+void QuadRowKernel(const RenderState& rs_in, FrameBuffer* fb,
+                   const ScissorRect& rect, uint32_t y_begin, uint32_t y_end,
+                   bool alpha_fail, bool count_occlusion, DepthQFn depth_q_of,
+                   QuadKernelOut* result) {
+  const RenderState rs = rs_in;
+  const uint32_t w = fb->width();
+  uint32_t* const depth = fb->depth_data();
+  uint8_t* const stencil = fb->stencil_data();
+  float* const color = fb->color_data();
+  // FragmentOutput's default color: what these quad passes write.
+  const std::array<float, 4> out_color = {0, 0, 0, 1};
+  const auto ref_masked =
+      static_cast<uint8_t>(rs.stencil_ref & rs.stencil_value_mask);
+
+  uint64_t fragments = 0;
+  uint64_t passed = 0;
+  uint64_t depth_writes = 0;
+  uint64_t stencil_updates = 0;
+  uint64_t occl = 0;
+
+  for (uint32_t y = y_begin; y < y_end; ++y) {
+    uint64_t i = uint64_t{y} * w + rect.x0;
+    for (uint32_t x = rect.x0; x < rect.x1; ++x, ++i) {
+      ++fragments;
+      if (alpha_fail) continue;
+
+      const uint8_t stored_stencil = stencil[i];
+      const auto update_stencil = [&](StencilOp op) {
+        const uint8_t result8 =
+            ApplyStencilOp(op, stored_stencil, rs.stencil_ref);
+        const uint8_t merged =
+            static_cast<uint8_t>((stored_stencil & ~rs.stencil_write_mask) |
+                                 (result8 & rs.stencil_write_mask));
+        if (merged != stored_stencil) {
+          stencil[i] = merged;
+          ++stencil_updates;
+        }
+      };
+      if (rs.stencil_test_enabled) {
+        const auto val =
+            static_cast<uint8_t>(stored_stencil & rs.stencil_value_mask);
+        if (!EvalCompare(rs.stencil_func, ref_masked, val)) {
+          update_stencil(rs.stencil_fail_op);  // Op1
+          continue;
+        }
+      }
+
+      const uint32_t frag_depth_q = depth_q_of(i);
+
+      bool depth_pass = true;
+      if (rs.depth_bounds_test_enabled) {
+        const uint32_t stored_depth = depth[i];
+        depth_pass = stored_depth >= rs.depth_bounds_min &&
+                     stored_depth <= rs.depth_bounds_max;
+      }
+      if (depth_pass && rs.depth_test_enabled) {
+        depth_pass = EvalCompare(rs.depth_func, frag_depth_q, depth[i]);
+      }
+      if (!depth_pass) {
+        if (rs.stencil_test_enabled) update_stencil(rs.stencil_zfail_op);
+        continue;
+      }
+      if (rs.stencil_test_enabled) update_stencil(rs.stencil_zpass_op);
+
+      ++passed;
+      if (count_occlusion) ++occl;
+      if (rs.depth_test_enabled && rs.depth_write_mask) {
+        if (depth[i] != frag_depth_q) depth[i] = frag_depth_q;
+        ++depth_writes;
+      }
+      if (rs.color_write_mask) {
+        for (int c = 0; c < 4; ++c) color[i * 4 + c] = out_color[c];
+      }
+    }
+  }
+
+  result->fragments = fragments;
+  result->passed = passed;
+  result->depth_writes = depth_writes;
+  result->stencil_updates = stencil_updates;
+  result->occlusion = occl;
+}
+
+void ReduceQuadKernel(const QuadKernelOut& out, PassRecord* pass,
+                      uint64_t* occlusion) {
+  pass->fragments += out.fragments;
+  pass->fragments_passed += out.passed;
+  pass->depth_writes += out.depth_writes;
+  pass->stencil_updates += out.stencil_updates;
+  if (occlusion != nullptr) *occlusion += out.occlusion;
+}
+
+}  // namespace
+
+void Device::RunFixedRows(const ScissorRect& rect, uint32_t y_begin,
+                          uint32_t y_end, PassContext* ctx) {
+  const uint32_t q = ctx->flat_depth_q;
+  QuadKernelOut out;
+  QuadRowKernel(
+      state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
+      ctx->occlusion != nullptr, [q](uint64_t) { return q; }, &out);
+  ReduceQuadKernel(out, ctx->pass, ctx->occlusion);
+}
+
+void Device::RunDepthCopyRows(const ScissorRect& rect, uint32_t y_begin,
+                              uint32_t y_end, const CopyToDepthProgram& prog,
+                              const Texture& tex, PassContext* ctx) {
+  // Per-fragment depth exactly as CopyToDepthProgram::Execute +
+  // FrameBuffer::Quantize compute it: fetch, normalize in double, round
+  // once to float32, then quantize (depth_max hoisted -- a uint32 depth
+  // store could alias the member copy).
+  const float* const texels = tex.data().data();
+  const auto channels = static_cast<uint64_t>(tex.channels());
+  const auto channel = static_cast<uint64_t>(prog.channel());
+  const double scale = prog.scale();
+  const double offset = prog.offset();
+  const uint32_t depth_max = fb_.depth_max();
+  const auto depth_q_of = [=](uint64_t i) -> uint32_t {
+    const float v = texels[i * channels + channel];
+    const auto d = static_cast<float>((static_cast<double>(v) - offset) *
+                                      scale);
+    if (d <= 0.0f) return 0;
+    if (d >= 1.0f) return depth_max;
+    return static_cast<uint32_t>(static_cast<double>(d) * depth_max + 0.5);
+  };
+  QuadKernelOut out;
+  QuadRowKernel(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
+                ctx->occlusion != nullptr, depth_q_of, &out);
+  ReduceQuadKernel(out, ctx->pass, ctx->occlusion);
 }
 
 void Device::FinishPass(PassRecord pass) {
@@ -482,17 +685,12 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
   pass.fp_instructions = program != nullptr ? program->instruction_count() : 0;
   pass.in_occlusion_query = occlusion_active_;
 
-  PassContext ctx;
-  ctx.units = units;
-  ctx.program = program;
-  ctx.pass = &pass;
-  const FragmentEmitter emit = [this, &ctx](const RasterFragment& frag) {
-    ProcessFragment(frag, &ctx);
-  };
-
   // The viewport's first n pixels form up to two rectangles: the full rows
-  // and a partial final row. Each is drawn as a screen-aligned quad (two
-  // triangles through the setup engine), scissored to itself.
+  // and a partial final row. Each is a screen-aligned quad at constant
+  // depth, so rasterization takes the span fast path (RasterizeRectRows):
+  // the two triangles of such a quad cover exactly the rectangle's pixels,
+  // once each, with the quad depth passed through bit-exactly, and emitting
+  // the runs directly skips three edge-function evaluations per fragment.
   const uint32_t w = fb_.width();
   const uint32_t full_rows = static_cast<uint32_t>(viewport_pixels_ / w);
   const uint32_t remainder = static_cast<uint32_t>(viewport_pixels_ % w);
@@ -500,6 +698,10 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
   if (full_rows > 0) rects.push_back({0, 0, w, full_rows});
   if (remainder > 0) rects.push_back({0, full_rows, remainder, full_rows + 1});
 
+  // Clip to the user scissor; surviving rects keep disjoint, increasing row
+  // ranges, which is what makes the band split below race-free.
+  std::vector<ScissorRect> clipped;
+  uint32_t total_rows = 0;
   for (ScissorRect rect : rects) {
     if (state_.scissor_test_enabled) {
       const ScissorRect& s = state_.scissor;
@@ -509,17 +711,97 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
       rect.y1 = std::min(rect.y1, s.y1);
       if (rect.x0 >= rect.x1 || rect.y0 >= rect.y1) continue;
     }
-    ScreenVertex corner[4];
-    const float x0 = static_cast<float>(rect.x0);
-    const float y0 = static_cast<float>(rect.y0);
-    const float x1 = static_cast<float>(rect.x1);
-    const float y1 = static_cast<float>(rect.y1);
-    corner[0] = {x0, y0, quad_depth, x0, y0};
-    corner[1] = {x1, y0, quad_depth, x1, y0};
-    corner[2] = {x1, y1, quad_depth, x1, y1};
-    corner[3] = {x0, y1, quad_depth, x0, y1};
-    RasterizeTriangle(corner[0], corner[1], corner[2], rect, emit);
-    RasterizeTriangle(corner[0], corner[2], corner[3], rect, emit);
+    total_rows += rect.y1 - rect.y0;
+    clipped.push_back(rect);
+  }
+
+  // Tile decomposition: the pass's rows, concatenated across rects, are
+  // split into `bands` contiguous, disjoint horizontal slices. Every pixel
+  // belongs to exactly one band and each pass touches each pixel at most
+  // once, so framebuffer writes are race-free by construction; per-band
+  // PassRecord counters and occlusion counts are reduced in fixed band
+  // order afterwards so every reduction (and therefore counters_,
+  // pass_log, and EndOcclusionQuery results) is bit-identical to serial
+  // execution.
+  struct Tile {
+    PassRecord pass;
+    uint64_t occlusion = 0;
+  };
+  const int bands =
+      std::max(1, std::min(worker_threads_, static_cast<int>(total_rows)));
+  std::vector<Tile> tiles(static_cast<size_t>(bands));
+
+  // Per-pass constants for the fixed-function fast path: every fragment of
+  // an untextured quad has the same depth (quantize once) and the constant
+  // alpha 1.0 (resolve the alpha test once).
+  const uint32_t flat_depth_q = fb_.Quantize(quad_depth);
+  const bool alpha_fail =
+      state_.alpha_test_enabled &&
+      !EvalCompare(state_.alpha_func, 1.0f, state_.alpha_ref);
+  // Depth-copy programs leave the output color at its default, so the same
+  // hoisted alpha outcome applies and the batched kernel below is exact.
+  const CopyToDepthProgram* depth_copy =
+      program != nullptr ? program->AsDepthCopy() : nullptr;
+
+  const auto run_band = [&](int band) {
+    // Tile accumulators live on the band's stack so the optimizer can keep
+    // them in registers through the fragment loop; copied into the shared
+    // tile vector once at band end.
+    Tile tile;
+    PassContext ctx;
+    ctx.units = units;
+    ctx.program = program;
+    ctx.pass = &tile.pass;
+    ctx.occlusion = occlusion_active_ ? &tile.occlusion : nullptr;
+    ctx.flat_depth = program == nullptr;
+    ctx.flat_depth_q = flat_depth_q;
+    ctx.alpha_fail = alpha_fail;
+    // Rows [row_begin, row_end) of the concatenated row sequence.
+    const auto nrows = uint64_t{total_rows};
+    const auto row_begin =
+        static_cast<uint32_t>(nrows * static_cast<uint64_t>(band) /
+                              static_cast<uint64_t>(bands));
+    const auto row_end =
+        static_cast<uint32_t>(nrows * (static_cast<uint64_t>(band) + 1) /
+                              static_cast<uint64_t>(bands));
+    uint32_t skipped = 0;
+    for (const ScissorRect& rect : clipped) {
+      const uint32_t height = rect.y1 - rect.y0;
+      const uint32_t lo = std::max(row_begin, skipped);
+      const uint32_t hi = std::min(row_end, skipped + height);
+      if (lo < hi) {
+        const uint32_t yb = rect.y0 + (lo - skipped);
+        const uint32_t ye = rect.y0 + (hi - skipped);
+        if (program == nullptr) {
+          // Fixed-function quad: dedicated kernel with hoisted state.
+          RunFixedRows(rect, yb, ye, &ctx);
+        } else if (depth_copy != nullptr && units[0] != nullptr) {
+          // Depth-copy program: batched fetch/normalize/quantize kernel.
+          RunDepthCopyRows(rect, yb, ye, *depth_copy, *units[0], &ctx);
+        } else {
+          RasterizeRectRows(rect, quad_depth, yb, ye,
+                            [this, &ctx](const RasterFragment& frag) {
+                              ProcessFragment(frag, &ctx);
+                            });
+        }
+      }
+      skipped += height;
+    }
+    tiles[static_cast<size_t>(band)] = std::move(tile);
+  };
+
+  if (bands == 1) {
+    run_band(0);
+  } else {
+    EnsurePool()->ParallelFor(bands, run_band);
+  }
+
+  for (const Tile& tile : tiles) {
+    pass.fragments += tile.pass.fragments;
+    pass.fragments_passed += tile.pass.fragments_passed;
+    pass.depth_writes += tile.pass.depth_writes;
+    pass.stencil_updates += tile.pass.stencil_updates;
+    occlusion_count_ += tile.occlusion;
   }
 
   FinishPass(std::move(pass));
@@ -544,11 +826,15 @@ Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
       program_ != nullptr ? program_->instruction_count() : 0;
   pass.in_occlusion_query = occlusion_active_;
 
+  // Arbitrary geometry may overlap itself (later triangles read earlier
+  // ones' depth/stencil writes), so this path stays strictly serial; only
+  // the disjoint-pixel quad passes of RenderInternal parallelize.
   PassContext ctx;
   ctx.units = units;
   ctx.program = program_;
   ctx.pass = &pass;
-  const FragmentEmitter emit = [this, &ctx](const RasterFragment& frag) {
+  ctx.occlusion = occlusion_active_ ? &occlusion_count_ : nullptr;
+  const auto emit = [this, &ctx](const RasterFragment& frag) {
     ProcessFragment(frag, &ctx);
   };
 

@@ -15,6 +15,7 @@
 #include "src/gpu/rasterizer.h"
 #include "src/gpu/render_state.h"
 #include "src/gpu/texture.h"
+#include "src/gpu/thread_pool.h"
 #include "src/gpu/types.h"
 
 namespace gpudb {
@@ -210,6 +211,21 @@ class Device {
   FrameBuffer& framebuffer() { return fb_; }
   const FrameBuffer& framebuffer() const { return fb_; }
 
+  // --- Parallel pixel engines ---------------------------------------------
+
+  /// Sets how many host threads execute quad passes -- the software stand-in
+  /// for the FX 5900's parallel pixel pipelines (paper Section 3.1). The
+  /// default is ThreadPool::DefaultThreads() ($GPUDB_THREADS or the host's
+  /// hardware concurrency); 1 runs every pass inline on the calling thread
+  /// (exact legacy behaviour).
+  ///
+  /// Results are bit-identical for every thread count: each quad pass
+  /// touches each pixel at most once, the screen is split into disjoint row
+  /// bands, and per-band counters are reduced in fixed band order (see
+  /// DESIGN.md section 10).
+  Status SetWorkerThreads(int n);
+  int worker_threads() const { return worker_threads_; }
+
   // --- Counters ------------------------------------------------------------
 
   const DeviceCounters& counters() const { return counters_; }
@@ -226,12 +242,25 @@ class Device {
     explicit TextureSlot(Texture t) : data(std::move(t)) {}
   };
 
-  /// Context shared by all fragments of one pass.
+  /// Context shared by all fragments of one tile (one row band of one
+  /// pass). Counters point at tile-local accumulators so concurrent bands
+  /// never touch shared state; FinishPass sees the fixed-order reduction.
   struct PassContext {
     std::array<const Texture*, 4> units = {nullptr, nullptr, nullptr,
                                            nullptr};
     const FragmentProgram* program = nullptr;
     PassRecord* pass = nullptr;
+    /// Tile-local pixel pass counter; null when no occlusion query is
+    /// active.
+    uint64_t* occlusion = nullptr;
+    /// Per-pass-constant results hoisted out of the fragment loop for
+    /// fixed-function quads (program == nullptr, constant depth): the
+    /// quantized quad depth and the alpha-test outcome for the constant
+    /// fixed-function alpha of 1.0. Only valid when flat_depth is set
+    /// (RenderInternal); DrawTriangles interpolates depth per fragment.
+    bool flat_depth = false;
+    uint32_t flat_depth_q = 0;
+    bool alpha_fail = false;
   };
 
   /// Swaps a texture into video memory if evicted, evicting LRU textures as
@@ -244,8 +273,37 @@ class Device {
   Status RenderInternal(float quad_depth, bool textured);
 
   /// Runs one rasterized fragment through the program + alpha/stencil/
-  /// depth-bounds/depth chain and the buffer writes.
+  /// depth-bounds/depth chain and the buffer writes. Safe to call from
+  /// worker threads as long as no two concurrent calls share a pixel or a
+  /// PassContext (RenderInternal's row bands guarantee both).
   void ProcessFragment(const RasterFragment& frag, PassContext* ctx);
+
+  /// The stencil/depth-bounds/depth chain and buffer writes for a fragment
+  /// that survived the program and alpha stages (shared by the general and
+  /// fixed-function fast paths).
+  void ProcessTestedFragment(uint64_t i, uint32_t frag_depth_q,
+                             const std::array<float, 4>& color,
+                             PassContext* ctx);
+
+  /// Specialized kernel for fixed-function quad rows [y_begin, y_end) of
+  /// `rect`: semantically identical to emitting every fragment through
+  /// ProcessFragment, but with the RenderState, plane pointers, and
+  /// counters hoisted into locals so the per-fragment loop stays in
+  /// registers. Same threading contract as ProcessFragment.
+  void RunFixedRows(const ScissorRect& rect, uint32_t y_begin, uint32_t y_end,
+                    PassContext* ctx);
+
+  /// Specialized kernel for quads textured with a depth-copy program
+  /// (FragmentProgram::AsDepthCopy): the texel fetch + normalization +
+  /// quantization run batched per row with bit-identical results to the
+  /// virtual per-fragment Execute path. Same threading contract as
+  /// ProcessFragment.
+  void RunDepthCopyRows(const ScissorRect& rect, uint32_t y_begin,
+                        uint32_t y_end, const CopyToDepthProgram& prog,
+                        const Texture& tex, PassContext* ctx);
+
+  /// The worker pool, created on first parallel pass.
+  ThreadPool* EnsurePool();
 
   /// Applies the vertex processing engine to one vertex.
   ScreenVertex ApplyVertexStage(const Vertex& v) const;
@@ -269,6 +327,9 @@ class Device {
 
   bool occlusion_active_ = false;
   uint64_t occlusion_count_ = 0;
+
+  int worker_threads_;
+  std::unique_ptr<ThreadPool> pool_;
 
   DeviceCounters counters_;
 };

@@ -44,6 +44,8 @@ struct FragmentOutput {
 /// their static instruction count so the performance model can charge
 /// `fragments x instructions / (pipes x clock)` per pass exactly as the
 /// paper's utilization analysis does (Section 6.2.2).
+class CopyToDepthProgram;
+
 class FragmentProgram {
  public:
   virtual ~FragmentProgram() = default;
@@ -55,6 +57,14 @@ class FragmentProgram {
   virtual int instruction_count() const = 0;
 
   virtual std::string_view name() const = 0;
+
+  /// Self-identification hook for the device's specialized span kernels (a
+  /// driver recognizing a common shader pattern): non-null when this
+  /// program is a CopyToDepth, whose per-fragment work the device can then
+  /// run batched -- with bit-identical results -- instead of through the
+  /// virtual Execute. Purely an execution strategy; the cost model still
+  /// charges the program's instruction count per fragment.
+  virtual const CopyToDepthProgram* AsDepthCopy() const { return nullptr; }
 };
 
 /// \brief CopyToDepth (Routine 4.1): fetch the texel channel, normalize it to
@@ -80,6 +90,11 @@ class CopyToDepthProgram final : public FragmentProgram {
   void Execute(const FragmentInput& in, FragmentOutput* out) const override;
   int instruction_count() const override { return 3; }
   std::string_view name() const override { return "CopyToDepthFP"; }
+  const CopyToDepthProgram* AsDepthCopy() const override { return this; }
+
+  int channel() const { return channel_; }
+  double scale() const { return scale_; }
+  double offset() const { return offset_; }
 
  private:
   int channel_;

@@ -90,6 +90,15 @@ class FrameBuffer {
   const std::vector<uint32_t>& depth_plane() const { return depth_; }
   const std::vector<uint8_t>& stencil_plane() const { return stencil_; }
 
+  // --- raw plane access for per-pass kernels --------------------------
+  // The uint8_t stencil stores of the fragment pipeline can legally alias
+  // any object (char aliases everything), so loops going through the
+  // accessors above reload the vector data pointers every fragment.
+  // Kernels hoist these pointers into locals instead.
+  uint32_t* depth_data() { return depth_.data(); }
+  uint8_t* stencil_data() { return stencil_.data(); }
+  float* color_data() { return color_.data(); }
+
  private:
   uint32_t width_;
   uint32_t height_;

@@ -1,0 +1,97 @@
+#include "src/gpu/thread_pool.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace gpudb {
+namespace gpu {
+
+ThreadPool::ThreadPool(int threads) {
+  assert(threads >= 1 && "ThreadPool needs at least the calling thread");
+  workers_.reserve(static_cast<size_t>(threads > 1 ? threads - 1 : 0));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("GPUDB_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadPool::RunJob() {
+  // Claim-and-run until this job's indices are exhausted. The lock is only
+  // held for the claim; task bodies run unlocked. The job-id check keeps a
+  // thread that finished job N from claiming indices of a job N+1 posted
+  // while it was between iterations (its cached task pointer would be
+  // stale).
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t my_job = job_id_;
+  while (task_ != nullptr && job_id_ == my_job && next_index_ < job_size_) {
+    const std::function<void(int)>* task = task_;
+    const int i = next_index_++;
+    lock.unlock();
+    (*task)(i);
+    lock.lock();
+    // The posting thread cannot recycle the job while remaining_ > 0, so
+    // this decrement always belongs to my_job.
+    if (--remaining_ == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_job = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (task_ != nullptr && job_id_ != seen_job &&
+                             next_index_ < job_size_);
+      });
+      if (shutdown_) return;
+      seen_job = job_id_;
+    }
+    RunJob();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& task) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) task(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    assert(task_ == nullptr && "ParallelFor is not re-entrant");
+    task_ = &task;
+    job_size_ = n;
+    next_index_ = 0;
+    remaining_ = n;
+    ++job_id_;
+  }
+  work_ready_.notify_all();
+  RunJob();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+    job_size_ = 0;
+  }
+}
+
+}  // namespace gpu
+}  // namespace gpudb

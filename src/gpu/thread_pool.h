@@ -1,0 +1,72 @@
+#ifndef GPUDB_GPU_THREAD_POOL_H_
+#define GPUDB_GPU_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpudb {
+namespace gpu {
+
+/// \brief Persistent worker pool backing the Device's parallel pixel
+/// engines (paper Section 3.1: the FX 5900's 8 parallel pixel pipelines).
+///
+/// The pool models the fixed set of pixel pipelines: it is created once,
+/// its workers sleep between passes, and each rendering pass hands every
+/// worker a disjoint slice of the screen. There is no task queue -- the
+/// only operation is a blocking ParallelFor, which is all a
+/// one-pass-at-a-time device needs.
+///
+/// ParallelFor is NOT re-entrant: the Device issues one pass at a time, so
+/// a single in-flight parallel region per pool is an invariant, asserted in
+/// debug builds.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining engine).
+  /// `threads` must be >= 1; a pool of 1 has no workers and ParallelFor
+  /// degenerates to a serial loop on the caller.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of engines (workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs task(i) for every i in [0, n), distributing indices across the
+  /// engines, and returns when all n invocations have finished. The caller
+  /// participates, so a pool of size 1 runs everything inline. Tasks must
+  /// not call back into ParallelFor on the same pool.
+  void ParallelFor(int n, const std::function<void(int)>& task);
+
+  /// The default engine count: $GPUDB_THREADS when set to a positive
+  /// integer, else std::thread::hardware_concurrency() (minimum 1).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  /// Claims indices of the current job until they run out.
+  void RunJob();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(int)>* task_ = nullptr;  // null = no job posted
+  int job_size_ = 0;
+  int next_index_ = 0;   ///< Next unclaimed task index.
+  int remaining_ = 0;    ///< Task invocations not yet finished.
+  uint64_t job_id_ = 0;  ///< Generation counter so sleepers skip stale jobs.
+  bool shutdown_ = false;
+};
+
+}  // namespace gpu
+}  // namespace gpudb
+
+#endif  // GPUDB_GPU_THREAD_POOL_H_

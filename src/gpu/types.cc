@@ -84,23 +84,5 @@ std::string_view ToString(StencilOp op) {
   return "UNKNOWN";
 }
 
-uint8_t ApplyStencilOp(StencilOp op, uint8_t stored, uint8_t ref) {
-  switch (op) {
-    case StencilOp::kKeep:
-      return stored;
-    case StencilOp::kZero:
-      return 0;
-    case StencilOp::kReplace:
-      return ref;
-    case StencilOp::kIncr:
-      return stored == 0xff ? stored : static_cast<uint8_t>(stored + 1);
-    case StencilOp::kDecr:
-      return stored == 0 ? stored : static_cast<uint8_t>(stored - 1);
-    case StencilOp::kInvert:
-      return static_cast<uint8_t>(~stored);
-  }
-  return stored;
-}
-
 }  // namespace gpu
 }  // namespace gpudb

@@ -69,8 +69,26 @@ enum class StencilOp : uint8_t {
 
 std::string_view ToString(StencilOp op);
 
-/// Applies a stencil operation to a stored 8-bit stencil value.
-uint8_t ApplyStencilOp(StencilOp op, uint8_t stored, uint8_t ref);
+/// Applies a stencil operation to a stored 8-bit stencil value. Inline
+/// because it sits in the per-fragment stencil path of every selection
+/// pass.
+inline uint8_t ApplyStencilOp(StencilOp op, uint8_t stored, uint8_t ref) {
+  switch (op) {
+    case StencilOp::kKeep:
+      return stored;
+    case StencilOp::kZero:
+      return 0;
+    case StencilOp::kReplace:
+      return ref;
+    case StencilOp::kIncr:
+      return stored == 0xff ? stored : static_cast<uint8_t>(stored + 1);
+    case StencilOp::kDecr:
+      return stored == 0 ? stored : static_cast<uint8_t>(stored - 1);
+    case StencilOp::kInvert:
+      return static_cast<uint8_t>(~stored);
+  }
+  return stored;
+}
 
 }  // namespace gpu
 }  // namespace gpudb

@@ -1,0 +1,195 @@
+// Determinism sweep for the parallel pixel engines: every GPU routine must
+// produce bit-identical framebuffer contents, hardware counters, pass logs,
+// occlusion counts, and results at any worker-thread count. This is the
+// serial-equivalence guarantee of the tile decomposition (DESIGN.md §10):
+// bands cover disjoint pixels and per-band counters reduce in fixed band
+// order, so threading can never change what a query computes.
+//
+// Also the TSan target: scripts/check.sh rebuilds this test with
+// GPUDB_SANITIZE=thread to prove the row-band dispatch is race-free.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/accumulator.h"
+#include "src/core/compare.h"
+#include "src/core/eval_cnf.h"
+#include "src/core/kth_largest.h"
+#include "src/core/range.h"
+#include "src/db/datagen.h"
+#include "src/db/table.h"
+#include "src/gpu/device.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using gpu::CompareOp;
+using testing_util::RandomInts;
+using testing_util::UploadIntAttribute;
+
+/// Every observable output of a scenario: the three framebuffer planes,
+/// the cumulative hardware counters with their pass log, and the values
+/// each routine returned (counts, order statistics, sums).
+struct Snapshot {
+  std::vector<uint32_t> depth;
+  std::vector<uint8_t> stencil;
+  std::vector<float> color;
+  gpu::DeviceCounters counters;
+  std::vector<uint64_t> results;
+};
+
+/// Runs the full scenario -- CompareSelect, EvalCnf, RangeSelect,
+/// KthLargest, Accumulate -- on a fresh 100x100 device with `threads`
+/// pixel-engine workers and captures everything it produced.
+Snapshot RunScenario(int threads, const std::vector<uint32_t>& ints,
+                     int bit_width) {
+  Snapshot snap;
+  gpu::Device device(100, 100);
+  EXPECT_OK(device.SetWorkerThreads(threads));
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  const auto domain = static_cast<double>(uint64_t{1} << bit_width);
+
+  // Routine 4.1: predicate selection with an occlusion-counted pass.
+  auto select =
+      CompareSelect(&device, attr, CompareOp::kGreater, domain * 0.4);
+  EXPECT_OK(select.status());
+  if (select.ok()) snap.results.push_back(select.ValueOrDie());
+
+  // Routine 4.3: CNF with a two-predicate disjunction and a conjunct.
+  const std::vector<GpuClause> clauses = {
+      {GpuPredicate::DepthCompare(attr, CompareOp::kLess, domain * 0.25),
+       GpuPredicate::DepthCompare(attr, CompareOp::kGreaterEqual,
+                                  domain * 0.75)},
+      {GpuPredicate::DepthCompare(attr, CompareOp::kNotEqual, 0.0)},
+  };
+  auto cnf = EvalCnf(&device, clauses);
+  EXPECT_OK(cnf.status());
+  if (cnf.ok()) {
+    snap.results.push_back(cnf.ValueOrDie().count);
+    snap.results.push_back(cnf.ValueOrDie().valid_value);
+  }
+
+  // Routine 4.4: range query via the depth-bounds test.
+  auto range = RangeSelect(&device, attr, domain * 0.3, domain * 0.6);
+  EXPECT_OK(range.status());
+  if (range.ok()) snap.results.push_back(range.ValueOrDie());
+
+  // Routine 4.5: order statistics, one bit per pass.
+  for (const uint64_t k :
+       {uint64_t{1}, std::max(uint64_t{1}, uint64_t{ints.size() / 2})}) {
+    auto kth = KthLargest(&device, attr, bit_width, k);
+    EXPECT_OK(kth.status());
+    if (kth.ok()) snap.results.push_back(kth.ValueOrDie());
+  }
+
+  // Routine 4.6: exact integer sum, one TestBit pass per bit.
+  auto sum = Accumulate(&device, attr.texture, attr.channel, bit_width);
+  EXPECT_OK(sum.status());
+  if (sum.ok()) snap.results.push_back(sum.ValueOrDie());
+
+  const gpu::FrameBuffer& fb = device.framebuffer();
+  snap.depth = fb.depth_plane();
+  snap.stencil = fb.stencil_plane();
+  snap.color.reserve(fb.pixel_count() * 4);
+  for (uint64_t i = 0; i < fb.pixel_count(); ++i) {
+    const float* rgba = fb.color(i);
+    snap.color.insert(snap.color.end(), rgba, rgba + 4);
+  }
+  snap.counters = device.counters();
+  return snap;
+}
+
+void ExpectPassLogsEqual(const std::vector<gpu::PassRecord>& serial,
+                         const std::vector<gpu::PassRecord>& parallel,
+                         const std::string& what) {
+  ASSERT_EQ(serial.size(), parallel.size()) << what;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const gpu::PassRecord& a = serial[i];
+    const gpu::PassRecord& b = parallel[i];
+    EXPECT_EQ(a.label, b.label) << what << " pass " << i;
+    EXPECT_EQ(a.fragments, b.fragments) << what << " pass " << i;
+    EXPECT_EQ(a.fp_instructions, b.fp_instructions) << what << " pass " << i;
+    EXPECT_EQ(a.fragments_passed, b.fragments_passed) << what << " pass " << i;
+    EXPECT_EQ(a.depth_writes, b.depth_writes) << what << " pass " << i;
+    EXPECT_EQ(a.stencil_updates, b.stencil_updates) << what << " pass " << i;
+    EXPECT_EQ(a.in_occlusion_query, b.in_occlusion_query)
+        << what << " pass " << i;
+  }
+}
+
+void ExpectBitIdentical(const Snapshot& serial, const Snapshot& parallel,
+                        const std::string& what) {
+  // Results first: a mismatch here is the user-visible wrong answer.
+  EXPECT_EQ(serial.results, parallel.results) << what;
+  // Framebuffer planes must match exactly, pixel for pixel.
+  EXPECT_EQ(serial.depth, parallel.depth) << what;
+  EXPECT_EQ(serial.stencil, parallel.stencil) << what;
+  EXPECT_EQ(serial.color, parallel.color) << what;
+  // Hardware counters, including the per-pass log the cost model consumes.
+  const gpu::DeviceCounters& a = serial.counters;
+  const gpu::DeviceCounters& b = parallel.counters;
+  EXPECT_EQ(a.passes, b.passes) << what;
+  EXPECT_EQ(a.fragments_generated, b.fragments_generated) << what;
+  EXPECT_EQ(a.fragments_passed, b.fragments_passed) << what;
+  EXPECT_EQ(a.fp_instructions_executed, b.fp_instructions_executed) << what;
+  EXPECT_EQ(a.depth_writes, b.depth_writes) << what;
+  EXPECT_EQ(a.stencil_updates, b.stencil_updates) << what;
+  EXPECT_EQ(a.occlusion_readbacks, b.occlusion_readbacks) << what;
+  EXPECT_EQ(a.bytes_uploaded, b.bytes_uploaded) << what;
+  EXPECT_EQ(a.bytes_read_back, b.bytes_read_back) << what;
+  ExpectPassLogsEqual(a.pass_log, b.pass_log, what);
+}
+
+constexpr int kBitWidth = 16;
+constexpr size_t kRecords = 3000;
+
+std::vector<uint32_t> ZipfInts(size_t n) {
+  auto table = db::MakeZipfTable(n, uint32_t{1} << kBitWidth, /*theta=*/1.0);
+  EXPECT_OK(table.status());
+  std::vector<uint32_t> out(n);
+  const db::Column& col = table.ValueOrDie().column(0);
+  for (size_t i = 0; i < n; ++i) out[i] = col.int_value(i);
+  return out;
+}
+
+TEST(ParallelDeterminismTest, UniformDataBitIdenticalAcrossThreadCounts) {
+  const std::vector<uint32_t> ints = RandomInts(kRecords, kBitWidth, 20260805);
+  const Snapshot serial = RunScenario(1, ints, kBitWidth);
+  ASSERT_FALSE(serial.results.empty());
+  for (int threads : {2, 4, 8}) {
+    ExpectBitIdentical(serial, RunScenario(threads, ints, kBitWidth),
+                       "uniform, threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminismTest, ZipfDataBitIdenticalAcrossThreadCounts) {
+  const std::vector<uint32_t> ints = ZipfInts(kRecords);
+  const Snapshot serial = RunScenario(1, ints, kBitWidth);
+  ASSERT_FALSE(serial.results.empty());
+  for (int threads : {2, 4, 8}) {
+    ExpectBitIdentical(serial, RunScenario(threads, ints, kBitWidth),
+                       "zipf, threads=" + std::to_string(threads));
+  }
+}
+
+// The band split must also be exact when the viewport is smaller than one
+// row, leaves a partial final row, or has fewer rows than workers.
+TEST(ParallelDeterminismTest, AwkwardViewportSizes) {
+  for (const size_t n : {size_t{1}, size_t{99}, size_t{100}, size_t{101},
+                         size_t{250}, size_t{2501}}) {
+    const std::vector<uint32_t> ints = RandomInts(n, 12, 7 + n);
+    const Snapshot serial = RunScenario(1, ints, 12);
+    ExpectBitIdentical(serial, RunScenario(8, ints, 12),
+                       "n=" + std::to_string(n));
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb
