@@ -82,6 +82,19 @@ int& BenchThreadsSlot() {
   return threads;
 }
 
+/// Fault/deadline/VRAM settings shared by every device the bench creates;
+/// defaults come from the GPUDB_* environment, flags override.
+struct BenchRobustness {
+  gpu::FaultConfig faults = gpu::FaultInjector::ConfigFromEnv();
+  double deadline_ms = gpu::DeadlineMsFromEnv();
+  uint64_t vram_budget = gpu::VramBudgetBytesFromEnv();
+};
+
+BenchRobustness& RobustnessSlot() {
+  static BenchRobustness settings;
+  return settings;
+}
+
 }  // namespace
 
 std::vector<size_t> RecordSweep() {
@@ -99,16 +112,30 @@ void InitBench(int argc, char** argv) {
         std::exit(2);
       }
       BenchThreadsSlot() = n;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      RobustnessSlot().deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      RobustnessSlot().faults.seed =
+          std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      RobustnessSlot().faults.rate = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--vram-budget=", 0) == 0) {
+      RobustnessSlot().vram_budget =
+          std::strtoull(arg.c_str() + 14, nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "unknown flag %s\nusage: %s [--threads=N]\n", arg.c_str(),
-                   argv[0]);
+                   "unknown flag %s\nusage: %s [--threads=N] "
+                   "[--deadline-ms=N] [--fault-seed=N] [--fault-rate=P] "
+                   "[--vram-budget=N]\n",
+                   arg.c_str(), argv[0]);
       std::exit(2);
     }
   }
 }
 
 int BenchThreads() { return BenchThreadsSlot(); }
+
+const gpu::FaultConfig& BenchFaultConfig() { return RobustnessSlot().faults; }
 
 std::unique_ptr<gpu::Device> MakeDevice() {
   auto device = std::make_unique<gpu::Device>(1000, 1000);
@@ -117,6 +144,19 @@ std::unique_ptr<gpu::Device> MakeDevice() {
     std::fprintf(stderr, "SetWorkerThreads failed: %s\n",
                  st.ToString().c_str());
     std::abort();
+  }
+  const BenchRobustness& robustness = RobustnessSlot();
+  device->ConfigureFaults(robustness.faults);
+  if (robustness.vram_budget > 0) {
+    const Status budget = device->SetVideoMemoryBudget(robustness.vram_budget);
+    if (!budget.ok()) {
+      std::fprintf(stderr, "SetVideoMemoryBudget failed: %s\n",
+                   budget.ToString().c_str());
+      std::abort();
+    }
+  }
+  if (robustness.deadline_ms > 0) {
+    device->ArmDeadline(robustness.deadline_ms);
   }
   return device;
 }

@@ -23,10 +23,17 @@ namespace bench {
 std::vector<size_t> RecordSweep();
 
 /// Parses shared benchmark flags. Supported:
-///   --threads=N   pixel-engine worker threads for every device the bench
-///                 creates (default: $GPUDB_THREADS, else hardware
-///                 concurrency; threading never changes results, only
-///                 wall-clock).
+///   --threads=N      pixel-engine worker threads for every device the bench
+///                    creates (default: $GPUDB_THREADS, else hardware
+///                    concurrency; threading never changes results, only
+///                    wall-clock).
+///   --deadline-ms=N  arm a wall-clock deadline on every device the bench
+///                    creates ($GPUDB_DEADLINE_MS; 0 = off).
+///   --fault-seed=N   deterministic fault-injector seed ($GPUDB_FAULT_SEED).
+///   --fault-rate=P   per-site fault probability in [0,1]; 0 keeps the
+///                    injector compiled in but disabled ($GPUDB_FAULT_RATE).
+///   --vram-budget=N  video-memory budget in bytes for every device
+///                    ($GPUDB_VRAM_BUDGET; 0 = default 256 MB).
 /// Unknown flags abort with a usage message so typos don't silently run
 /// the wrong configuration.
 void InitBench(int argc, char** argv);
@@ -34,8 +41,12 @@ void InitBench(int argc, char** argv);
 /// The worker-thread count benches run with (see InitBench).
 int BenchThreads();
 
+/// The fault configuration benches run with (see InitBench).
+const gpu::FaultConfig& BenchFaultConfig();
+
 /// Fresh 1000x1000 device (the paper's screen/texture size), configured
-/// with BenchThreads() pixel-engine workers.
+/// with BenchThreads() pixel-engine workers and the fault/deadline/VRAM
+/// settings from InitBench.
 std::unique_ptr<gpu::Device> MakeDevice();
 
 /// The shared TCP/IP benchmark table (1M rows, generated once per process).

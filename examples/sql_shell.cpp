@@ -21,6 +21,15 @@
 //   --threads=N         pixel-engine worker threads for the session's device
 //                       (default: $GPUDB_THREADS, else hardware concurrency;
 //                       results are bit-identical at any thread count)
+//   --deadline-ms=N     per-query wall-clock deadline; an overrunning query
+//                       returns DeadlineExceeded ($GPUDB_DEADLINE_MS)
+//   --fault-seed=N      seed for the deterministic fault injector
+//                       ($GPUDB_FAULT_SEED)
+//   --fault-rate=P      per-site fault probability in [0,1]; 0 disables
+//                       injection entirely ($GPUDB_FAULT_RATE)
+//   --vram-budget=N     simulated video-memory budget in bytes; allocations
+//                       beyond it fail with ResourceExhausted and the query
+//                       degrades to the CPU tier ($GPUDB_VRAM_BUDGET)
 //
 // Columns: data_count, data_loss, flow_rate, retransmissions.
 
@@ -84,6 +93,10 @@ int main(int argc, char** argv) {
   std::string prom_file;
   bool dump_metrics = false;
   int threads = 0;  // 0 = device default ($GPUDB_THREADS / hardware)
+  // Robustness knobs default from the environment; flags override.
+  gpudb::gpu::FaultConfig faults = gpudb::gpu::FaultInjector::ConfigFromEnv();
+  double deadline_ms = gpudb::gpu::DeadlineMsFromEnv();
+  uint64_t vram_budget = gpudb::gpu::VramBudgetBytesFromEnv();
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -92,6 +105,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads requires a count >= 1\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::atof(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0) {
+      faults.seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--fault-rate=", 13) == 0) {
+      faults.rate = std::atof(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--vram-budget=", 14) == 0) {
+      vram_budget = std::strtoull(argv[i] + 14, nullptr, 10);
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_file = argv[i] + 8;
       // Record every query, not just EXPLAIN ANALYZE ones.
@@ -118,12 +139,27 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  device.ConfigureFaults(faults);
+  if (faults.enabled()) {
+    std::printf("fault injection on: seed=%llu rate=%g\n",
+                static_cast<unsigned long long>(faults.seed), faults.rate);
+  }
+  if (vram_budget > 0) {
+    if (auto s = device.SetVideoMemoryBudget(vram_budget); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
   gpudb::db::Catalog catalog;
   if (auto s = catalog.Register("flows", &table.ValueOrDie()); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
   gpudb::sql::Session session(&device, &catalog);
+  gpudb::core::ResilienceOptions resilience;
+  resilience.deadline_ms = deadline_ms;
+  resilience.retry.sleep = true;  // real backoff in the interactive shell
+  session.set_resilience_options(resilience);
 
   if (!args.empty() && args[0] == "-") {
     // Read queries line by line from stdin.

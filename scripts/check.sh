@@ -4,11 +4,15 @@
 #   2. a bench smoke run of every figure bench with a committed baseline,
 #      diffed against bench/baseline (model-time regression gate; see
 #      scripts/bench_diff.py),
-#   3. an ASan+UBSan Debug build of the test suite, which also turns on the
-#      record-time PassRecord invariant asserts in gpu::Device, and
-#   4. a TSan build of the parallel-pixel-engine determinism test, run
-#      oversubscribed (GPUDB_THREADS=8) to shake out races in the row-band
-#      dispatch.
+#   3. a fault-injection sweep: the resilience and fuzz suites re-run with
+#      $GPUDB_FAULT_RATE > 0 so every degradation path (retry, breaker,
+#      CPU fallback) executes in the gating build,
+#   4. an ASan+UBSan Debug build of the test suite, which also turns on the
+#      record-time PassRecord invariant asserts in gpu::Device and re-runs
+#      the fault sweep under ASan, and
+#   5. a TSan build of the parallel-pixel-engine determinism test and the
+#      fault sweep, run oversubscribed (GPUDB_THREADS=8) to shake out races
+#      in the row-band dispatch and the interrupt/fault paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,14 +31,27 @@ for bench in fig02_copy_depth fig03_predicate fig04_range fig05_multiattr \
 done
 python3 scripts/bench_diff.py bench/baseline "$smoke_dir"
 
+echo "== fault sweep: resilience + fuzz suites with injection enabled =="
+# The suites configure their own injectors (tests need to control the seed
+# per device); the env vars are exported anyway to pin the convention for
+# harness binaries (sql_shell, bench) — only ConfigFromEnv consumers see
+# them, so the suites stay deterministic.
+GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
+  ./build/tests/core_resilience_test
+GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
+  ./build/tests/device_fuzz_test --gtest_filter='FaultSweep.*'
+
 echo "== sanitizers: ASan+UBSan Debug build + tests =="
 cmake -B build-asan -S . -DGPUDB_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
+GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
+  ./build-asan/tests/device_fuzz_test --gtest_filter='FaultSweep.*'
 
-echo "== sanitizers: TSan build + parallel determinism test =="
+echo "== sanitizers: TSan build + parallel determinism + fault sweep =="
 cmake -B build-tsan -S . -DGPUDB_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target gpu_parallel_test
+cmake --build build-tsan -j --target gpu_parallel_test device_fuzz_test
 GPUDB_THREADS=8 ./build-tsan/tests/gpu_parallel_test
+GPUDB_THREADS=8 ./build-tsan/tests/device_fuzz_test --gtest_filter='FaultSweep.*'
 
 echo "check.sh: all green"

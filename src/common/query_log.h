@@ -25,6 +25,8 @@ struct QueryLogEntry {
   uint64_t passes = 0;        ///< Rendering passes the statement issued.
   uint64_t fragments = 0;     ///< Fragments generated across those passes.
   uint64_t rows_out = 0;      ///< Result cardinality (1 for scalar results).
+  uint64_t retries = 0;       ///< Device retry attempts this statement made.
+  bool fell_back = false;     ///< Answered by the CPU tier after GPU faults.
   std::string error;          ///< Status message when !ok.
 };
 

@@ -21,6 +21,9 @@ enum class StatusCode : int {
   kInternal = 5,
   kResourceExhausted = 6,
   kNotFound = 7,
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
+  kDeviceLost = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -76,6 +79,15 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DeviceLost(std::string msg) {
+    return Status(StatusCode::kDeviceLost, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return state_ == nullptr; }
@@ -102,6 +114,14 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsDeviceLost() const { return code() == StatusCode::kDeviceLost; }
 
  private:
   struct State {

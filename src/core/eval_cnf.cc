@@ -82,6 +82,9 @@ Result<StencilSelection> EvalCnf(gpu::Device* device,
 
   const size_t k = clauses.size();
   for (size_t i = 1; i <= k; ++i) {
+    // Cooperative cancellation between clauses (large CNFs run thousands
+    // of passes; the per-pass device check bounds the latency either way).
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
     const bool odd = (i % 2) == 1;
     // Lines 4-10: valid records hold 1 on odd iterations (passing ones are
     // INCRemented to 2), 2 on even iterations (passing ones DECRemented
@@ -134,6 +137,7 @@ Result<StencilSelection> EvalDnf(gpu::Device* device,
   device->ClearStencil(1);
 
   for (const GpuTerm& term : terms) {
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
     const auto m = static_cast<uint8_t>(term.size());
     // Conjunction chain over candidates: predicate j bumps j -> j+1.
     uint8_t value = 1;

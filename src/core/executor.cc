@@ -6,11 +6,15 @@
 #include "src/common/metrics.h"
 #include "src/core/analyze.h"
 #include "src/core/bitonic_sort.h"
+#include "src/core/depth_encoding.h"
 #include "src/core/histogram.h"
 #include "src/core/kth_largest.h"
 #include "src/core/op_span.h"
 #include "src/core/range.h"
 #include "src/core/selection.h"
+#include "src/cpu/aggregate.h"
+#include "src/cpu/quickselect.h"
+#include "src/cpu/scan.h"
 
 namespace gpudb {
 namespace core {
@@ -22,7 +26,108 @@ MetricCounter& OpCounter(std::string_view op) {
   return MetricsRegistry::Global().counter("executor." + std::string(op));
 }
 
+/// Resilience outcome counters (cached references; see DeviceMetrics).
+struct ResilienceMetrics {
+  MetricCounter& retried =
+      MetricsRegistry::Global().counter("queries.retried");
+  MetricCounter& retry_attempts =
+      MetricsRegistry::Global().counter("queries.retry_attempts");
+  MetricCounter& fell_back =
+      MetricsRegistry::Global().counter("queries.fell_back");
+  MetricCounter& deadline_exceeded =
+      MetricsRegistry::Global().counter("queries.deadline_exceeded");
+
+  static ResilienceMetrics& Get() {
+    static ResilienceMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Arms the device deadline for one top-level operator when the policy sets
+/// one and no outer scope armed it already (SelectTable nests SelectRowIds).
+/// Disarms on destruction so an expired deadline never leaks into the next
+/// query.
+class DeadlineScope {
+ public:
+  DeadlineScope(gpu::Device* device, double deadline_ms)
+      : device_(device),
+        armed_(deadline_ms > 0.0 && !device->deadline_armed()) {
+    if (armed_) device_->ArmDeadline(deadline_ms);
+  }
+  ~DeadlineScope() {
+    if (armed_) device_->DisarmDeadline();
+  }
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  gpu::Device* device_;
+  bool armed_;
+};
+
 }  // namespace
+
+template <typename T>
+Result<T> Executor::RunResilient(const char* op_name,
+                                 const std::function<Result<T>()>& gpu,
+                                 const std::function<Result<T>()>& cpu) {
+  if (!resilience_.enabled) return gpu();
+  ResilienceMetrics& metrics = ResilienceMetrics::Get();
+  DeadlineScope deadline(device_, resilience_.deadline_ms);
+  const bool can_fall_back = resilience_.allow_cpu_fallback && cpu != nullptr;
+
+  // Open breaker: answer from the CPU tier without touching the device,
+  // except for the periodic probe call that tests whether it recovered.
+  if (breaker_.open() && can_fall_back && !breaker_.AllowProbe()) {
+    metrics.fell_back.Increment();
+    MetricsRegistry::Global()
+        .counter("queries.fell_back." + std::string(op_name))
+        .Increment();
+    return cpu();
+  }
+
+  Result<T> result = gpu();
+  // Bounded in-place retry of transient faults (kDeviceLost category).
+  for (int retry = 0;
+       !result.ok() && IsTransientFault(result.status()) &&
+       retry < resilience_.retry.max_attempts - 1;
+       ++retry) {
+    if (retry == 0) metrics.retried.Increment();
+    metrics.retry_attempts.Increment();
+    BackoffSleep(resilience_.retry.DelayMs(retry), resilience_.retry.sleep);
+    device_->ResetQueryState();
+    const Status interrupt = device_->CheckInterrupt();
+    if (!interrupt.ok()) {
+      result = interrupt;
+      break;
+    }
+    result = gpu();
+  }
+  if (result.ok()) {
+    breaker_.RecordSuccess();
+    return result;
+  }
+  const Status& status = result.status();
+  if (status.IsDeadlineExceeded()) {
+    metrics.deadline_exceeded.Increment();
+    return result;
+  }
+  // Cancellation and user errors (bad column, k out of range, ...) are not
+  // the device's fault: propagate untouched, no breaker, no fallback.
+  if (!IsDeviceFault(status)) return result;
+
+  breaker_.RecordFailure();
+  device_->ResetQueryState();
+  if (!can_fall_back) return result;
+  // The deadline may have fired while the device was faulting; the CPU
+  // tier honours it too.
+  GPUDB_RETURN_NOT_OK(device_->CheckInterrupt());
+  metrics.fell_back.Increment();
+  MetricsRegistry::Global()
+      .counter("queries.fell_back." + std::string(op_name))
+      .Increment();
+  return cpu();
+}
 
 Executor::Executor(gpu::Device* device, const db::Table* table)
     : device_(device),
@@ -174,6 +279,85 @@ Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
 }
 
 Result<uint64_t> Executor::Count(const predicate::ExprPtr& where) {
+  return RunResilient<uint64_t>(
+      "count", [&] { return CountGpu(where); },
+      [&] { return CpuCount(where); });
+}
+
+Result<std::vector<uint8_t>> Executor::SelectBitmap(
+    const predicate::ExprPtr& where) {
+  return RunResilient<std::vector<uint8_t>>(
+      "select_bitmap", [&] { return SelectBitmapGpu(where); },
+      [&] { return CpuSelectionMask(where); });
+}
+
+Result<std::vector<uint32_t>> Executor::SelectRowIds(
+    const predicate::ExprPtr& where) {
+  return RunResilient<std::vector<uint32_t>>(
+      "select_row_ids", [&] { return SelectRowIdsGpu(where); },
+      [&] { return CpuRowIds(where); });
+}
+
+Result<std::vector<std::pair<uint32_t, uint32_t>>> Executor::TopK(
+    std::string_view column, uint64_t k) {
+  // Retry-only: no CPU equivalent wired up (the candidate sort already
+  // runs on the CPU; a full fallback would duplicate KthLargest + gather).
+  return RunResilient<std::vector<std::pair<uint32_t, uint32_t>>>(
+      "top_k", [&] { return TopKGpu(column, k); }, nullptr);
+}
+
+Result<double> Executor::Aggregate(AggregateKind kind, std::string_view column,
+                                   const predicate::ExprPtr& where) {
+  return RunResilient<double>(
+      "aggregate", [&] { return AggregateGpu(kind, column, where); },
+      [&] { return CpuAggregate(kind, column, where); });
+}
+
+Result<uint32_t> Executor::KthLargest(std::string_view column, uint64_t k,
+                                      const predicate::ExprPtr& where) {
+  return RunResilient<uint32_t>(
+      "kth_largest", [&] { return KthLargestGpu(column, k, where); },
+      [&] { return CpuKthLargest(column, k, where); });
+}
+
+Result<std::vector<uint32_t>> Executor::OrderByRowIds(std::string_view column,
+                                                      bool ascending) {
+  return RunResilient<std::vector<uint32_t>>(
+      "order_by", [&] { return OrderByRowIdsGpu(column, ascending); }, nullptr);
+}
+
+Result<uint64_t> Executor::RangeCount(std::string_view column, double low,
+                                      double high) {
+  return RunResilient<uint64_t>(
+      "range_count", [&] { return RangeCountGpu(column, low, high); },
+      [&] { return CpuRangeCount(column, low, high); });
+}
+
+Result<uint64_t> Executor::SemilinearCount(
+    const std::vector<std::pair<std::string, float>>& weighted_columns,
+    gpu::CompareOp op, float b) {
+  return RunResilient<uint64_t>(
+      "semilinear_count",
+      [&] { return SemilinearCountGpu(weighted_columns, op, b); }, nullptr);
+}
+
+Result<std::vector<GroupByRow>> Executor::GroupBy(std::string_view key_column,
+                                                  std::string_view value_column,
+                                                  AggregateKind kind,
+                                                  uint64_t max_groups) {
+  return RunResilient<std::vector<GroupByRow>>(
+      "group_by",
+      [&] { return GroupByGpu(key_column, value_column, kind, max_groups); },
+      nullptr);
+}
+
+Result<std::vector<uint32_t>> Executor::Quantiles(std::string_view column,
+                                                  int q) {
+  return RunResilient<std::vector<uint32_t>>(
+      "quantiles", [&] { return QuantilesGpu(column, q); }, nullptr);
+}
+
+Result<uint64_t> Executor::CountGpu(const predicate::ExprPtr& where) {
   OpCounter("count").Increment();
   GpuOpSpan op("Count", device_);
   op.AddTag("rows", table_->num_rows());
@@ -183,7 +367,7 @@ Result<uint64_t> Executor::Count(const predicate::ExprPtr& where) {
   return sel.count;
 }
 
-Result<std::vector<uint8_t>> Executor::SelectBitmap(
+Result<std::vector<uint8_t>> Executor::SelectBitmapGpu(
     const predicate::ExprPtr& where) {
   OpCounter("select_bitmap").Increment();
   GpuOpSpan op("SelectBitmap", device_);
@@ -191,7 +375,7 @@ Result<std::vector<uint8_t>> Executor::SelectBitmap(
   return SelectionToBitmap(device_, sel, table_->num_rows());
 }
 
-Result<std::vector<uint32_t>> Executor::SelectRowIds(
+Result<std::vector<uint32_t>> Executor::SelectRowIdsGpu(
     const predicate::ExprPtr& where) {
   OpCounter("select_row_ids").Increment();
   GpuOpSpan op("SelectRowIds", device_);
@@ -205,7 +389,7 @@ Result<db::Table> Executor::SelectTable(const predicate::ExprPtr& where) {
   return table_->GatherRows(rows);
 }
 
-Result<std::vector<std::pair<uint32_t, uint32_t>>> Executor::TopK(
+Result<std::vector<std::pair<uint32_t, uint32_t>>> Executor::TopKGpu(
     std::string_view column, uint64_t k) {
   OpCounter("top_k").Increment();
   GpuOpSpan op("TopK", device_);
@@ -247,9 +431,9 @@ Result<std::vector<std::pair<uint32_t, uint32_t>>> Executor::TopK(
   return result;
 }
 
-Result<double> Executor::Aggregate(AggregateKind kind,
-                                   std::string_view column,
-                                   const predicate::ExprPtr& where) {
+Result<double> Executor::AggregateGpu(AggregateKind kind,
+                                      std::string_view column,
+                                      const predicate::ExprPtr& where) {
   OpCounter("aggregate").Increment();
   GpuOpSpan op("Aggregate", device_);
   op.AddTag("kind", ToString(kind));
@@ -272,8 +456,8 @@ Result<double> Executor::Aggregate(AggregateKind kind,
   return AggregateAttribute(device_, kind, binding, c.bit_width(), selection);
 }
 
-Result<uint32_t> Executor::KthLargest(std::string_view column, uint64_t k,
-                                      const predicate::ExprPtr& where) {
+Result<uint32_t> Executor::KthLargestGpu(std::string_view column, uint64_t k,
+                                         const predicate::ExprPtr& where) {
   OpCounter("kth_largest").Increment();
   GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
   const db::Column& c = table_->column(col);
@@ -291,8 +475,8 @@ Result<uint32_t> Executor::KthLargest(std::string_view column, uint64_t k,
   return core::KthLargest(device_, binding, c.bit_width(), k, options);
 }
 
-Result<std::vector<uint32_t>> Executor::OrderByRowIds(std::string_view column,
-                                                      bool ascending) {
+Result<std::vector<uint32_t>> Executor::OrderByRowIdsGpu(
+    std::string_view column, bool ascending) {
   OpCounter("order_by").Increment();
   GpuOpSpan op("OrderByRowIds", device_);
   op.AddTag("column", column);
@@ -310,8 +494,8 @@ Result<std::vector<uint32_t>> Executor::OrderByRowIds(std::string_view column,
   return sorted.payloads;
 }
 
-Result<uint64_t> Executor::RangeCount(std::string_view column, double low,
-                                      double high) {
+Result<uint64_t> Executor::RangeCountGpu(std::string_view column, double low,
+                                         double high) {
   OpCounter("range_count").Increment();
   GpuOpSpan op("RangeCount", device_);
   op.AddTag("column", column);
@@ -320,7 +504,7 @@ Result<uint64_t> Executor::RangeCount(std::string_view column, double low,
   return RangeSelect(device_, binding, low, high);
 }
 
-Result<uint64_t> Executor::SemilinearCount(
+Result<uint64_t> Executor::SemilinearCountGpu(
     const std::vector<std::pair<std::string, float>>& weighted_columns,
     gpu::CompareOp op, float b) {
   OpCounter("semilinear_count").Increment();
@@ -370,10 +554,9 @@ Result<uint64_t> Executor::SemilinearCount(
   return SemilinearSelectWide(device_, id_a, id_b, weights, op, b);
 }
 
-Result<std::vector<GroupByRow>> Executor::GroupBy(std::string_view key_column,
-                                                  std::string_view value_column,
-                                                  AggregateKind kind,
-                                                  uint64_t max_groups) {
+Result<std::vector<GroupByRow>> Executor::GroupByGpu(
+    std::string_view key_column, std::string_view value_column,
+    AggregateKind kind, uint64_t max_groups) {
   OpCounter("group_by").Increment();
   GpuOpSpan op("GroupBy", device_);
   op.AddTag("key", key_column);
@@ -394,8 +577,8 @@ Result<std::vector<GroupByRow>> Executor::GroupBy(std::string_view key_column,
                           value.bit_width(), kind, max_groups);
 }
 
-Result<std::vector<uint32_t>> Executor::Quantiles(std::string_view column,
-                                                  int q) {
+Result<std::vector<uint32_t>> Executor::QuantilesGpu(std::string_view column,
+                                                     int q) {
   OpCounter("quantiles").Increment();
   GpuOpSpan op("Quantiles", device_);
   op.AddTag("column", column);
@@ -407,6 +590,154 @@ Result<std::vector<uint32_t>> Executor::Quantiles(std::string_view column,
   }
   GPUDB_ASSIGN_OR_RETURN(AttributeBinding attr, BindingFor(col));
   return GpuQuantiles(device_, attr, c.bit_width(), q);
+}
+
+// --- CPU fallback tier ----------------------------------------------------
+//
+// Exact scalar equivalents of the GPU operators, used when the device path
+// is faulting (DESIGN.md section 11). Each helper mirrors the GPU method's
+// validation order and error messages so a query answered by either tier is
+// indistinguishable to the caller -- including which error it gets for bad
+// arguments.
+
+Result<std::vector<uint8_t>> Executor::CpuSelectionMask(
+    const predicate::ExprPtr& where) {
+  const uint64_t n = table_->num_rows();
+  if (where == nullptr) return std::vector<uint8_t>(n, 1);
+  GPUDB_RETURN_NOT_OK(where->Validate(*table_));
+  auto cnf = predicate::ToCnf(where);
+  std::vector<uint8_t> mask;
+  if (cnf.ok()) {
+    GPUDB_ASSIGN_OR_RETURN(uint64_t selected,
+                           cpu::CnfScan(*table_, cnf.ValueOrDie(), &mask));
+    (void)selected;
+    return mask;
+  }
+  // CNF distribution blew up; evaluate the DNF row by row instead (the CPU
+  // tier has no stencil budget, so either normal form works).
+  auto dnf = predicate::ToDnf(where);
+  if (!dnf.ok()) return cnf.status();  // mirror Where(): both forms failed
+  mask.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    mask[i] = dnf.ValueOrDie().EvaluateRow(*table_, i) ? 1 : 0;
+  }
+  return mask;
+}
+
+Result<uint64_t> Executor::CpuCount(const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
+  return cpu::CountMask(mask);
+}
+
+Result<std::vector<uint32_t>> Executor::CpuRowIds(
+    const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
+  std::vector<uint32_t> rows;
+  for (uint32_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) rows.push_back(i);
+  }
+  return rows;
+}
+
+Result<double> Executor::CpuAggregate(AggregateKind kind,
+                                      std::string_view column,
+                                      const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  const db::Column& c = table_->column(col);
+  if (kind != AggregateKind::kCount && c.type() != db::ColumnType::kInt24) {
+    return Status::NotImplemented(
+        "GPU aggregation of '" + std::string(column) +
+        "' requires an integer column (Accumulator and KthLargest operate on "
+        "binary representations; paper Sections 4.3.2-4.3.3)");
+  }
+  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
+  const uint64_t count = cpu::CountMask(mask);
+  switch (kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(count);
+    case AggregateKind::kSum:
+      return static_cast<double>(cpu::MaskedSumInt(c.values(), mask));
+    case AggregateKind::kAvg:
+      if (count == 0) {
+        return Status::InvalidArgument("AVG over empty selection");
+      }
+      return static_cast<double>(cpu::MaskedSumInt(c.values(), mask)) /
+             static_cast<double>(count);
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      if (count == 0) {
+        // Same status Min/MaxValue produce via KthSmallest/Largest(k=1).
+        return Status::OutOfRange("k=1 out of range for 0 records");
+      }
+      uint32_t best = 0;
+      bool first = true;
+      for (size_t i = 0; i < mask.size(); ++i) {
+        if (!mask[i]) continue;
+        const uint32_t v = c.int_value(i);
+        if (first || (kind == AggregateKind::kMin ? v < best : v > best)) {
+          best = v;
+          first = false;
+        }
+      }
+      return static_cast<double>(best);
+    }
+    case AggregateKind::kMedian: {
+      if (count == 0) {
+        return Status::InvalidArgument("median over empty selection");
+      }
+      std::vector<uint32_t> vals;
+      vals.reserve(count);
+      for (size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i]) vals.push_back(c.int_value(i));
+      }
+      // GPU MedianValue = KthSmallest((count + 1) / 2).
+      const size_t idx = (count + 1) / 2 - 1;
+      std::nth_element(vals.begin(), vals.begin() + idx, vals.end());
+      return static_cast<double>(vals[idx]);
+    }
+  }
+  return Status::Internal("unknown aggregate kind");
+}
+
+Result<uint32_t> Executor::CpuKthLargest(std::string_view column, uint64_t k,
+                                         const predicate::ExprPtr& where) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  const db::Column& c = table_->column(col);
+  if (c.type() != db::ColumnType::kInt24) {
+    return Status::NotImplemented(
+        "KthLargest requires an integer column (Routine 4.5 builds the "
+        "result bit by bit)");
+  }
+  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
+  const uint64_t n = cpu::CountMask(mask);
+  if (k == 0 || k > n) {
+    return Status::OutOfRange("k=" + std::to_string(k) + " out of range for " +
+                              std::to_string(n) + " records");
+  }
+  // The paper's Section 5.9 CPU baseline: QuickSelect over the selection.
+  GPUDB_ASSIGN_OR_RETURN(float v,
+                         cpu::MaskedQuickSelectLargest(c.values(), mask, k));
+  return static_cast<uint32_t>(v);
+}
+
+Result<uint64_t> Executor::CpuRangeCount(std::string_view column, double low,
+                                         double high) {
+  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
+  if (low > high) {
+    return Status::InvalidArgument("range query with low > high");
+  }
+  const db::Column& c = table_->column(col);
+  // Mirror the depth-bounds test exactly: compare 24-bit quantized depths,
+  // not raw floats, so fractional bounds truncate identically on both tiers.
+  const DepthEncoding enc = DepthEncoding::ForColumn(c);
+  const uint32_t lo = enc.EncodeQuantized(low);
+  const uint32_t hi = enc.EncodeQuantized(high);
+  uint64_t count = 0;
+  for (float v : c.values()) {
+    const uint32_t d = enc.EncodeQuantized(v);
+    if (d >= lo && d <= hi) ++count;
+  }
+  return count;
 }
 
 }  // namespace core

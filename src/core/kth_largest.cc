@@ -59,6 +59,10 @@ Result<uint32_t> KthLargest(gpu::Device* device, const AttributeBinding& attr,
 
   uint64_t x = 0;
   for (int i = bit_width - 1; i >= 0; --i) {
+    // Cooperative cancellation between binary-search passes (the per-pass
+    // device check would also catch it; this keeps the operator loop
+    // responsive even if a pass is skipped).
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
     const uint64_t tentative = x + bit_util::PowerOfTwo(i);
     GPUDB_ASSIGN_OR_RETURN(
         uint64_t count,
@@ -114,6 +118,7 @@ Result<std::vector<uint32_t>> KthLargestBatch(gpu::Device* device,
   for (uint64_t k : ks) {
     uint64_t x = 0;
     for (int i = bit_width - 1; i >= 0; --i) {
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
       const uint64_t tentative = x + bit_util::PowerOfTwo(i);
       GPUDB_ASSIGN_OR_RETURN(
           uint64_t count,
@@ -163,6 +168,7 @@ Result<uint32_t> KthSmallestDirect(gpu::Device* device,
 
   uint64_t x = 0;
   for (int i = bit_width - 1; i >= 0; --i) {
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
     const uint64_t tentative = x + bit_util::PowerOfTwo(i);
     // Inverted comparison (Lemma 1's dual): with count = #{v < m},
     // count <= k-1 means at most k-1 values lie below m, so the k-th

@@ -1,0 +1,57 @@
+#include "src/core/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/metrics.h"
+
+namespace gpudb {
+namespace core {
+
+double RetryPolicy::DelayMs(int retry_index) const {
+  double delay = backoff_base_ms;
+  for (int i = 0; i < retry_index; ++i) delay *= backoff_multiplier;
+  return std::min(delay, backoff_max_ms);
+}
+
+bool IsTransientFault(const Status& status) {
+  return status.IsDeviceLost();
+}
+
+bool IsDeviceFault(const Status& status) {
+  return status.IsDeviceLost() || status.IsResourceExhausted() ||
+         status.IsInternal();
+}
+
+void CircuitBreaker::RecordFailure() {
+  const bool was_open = open();
+  ++consecutive_failures_;
+  if (!was_open && open()) {
+    MetricsRegistry::Global().counter("resilience.breaker_opened").Increment();
+  }
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  skipped_calls_ = 0;
+}
+
+bool CircuitBreaker::AllowProbe() {
+  ++skipped_calls_;
+  if (probe_interval_ <= 0) return false;
+  return skipped_calls_ % probe_interval_ == 0;
+}
+
+void CircuitBreaker::Reset() {
+  consecutive_failures_ = 0;
+  skipped_calls_ = 0;
+}
+
+void BackoffSleep(double ms, bool real) {
+  if (!real || ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace core
+}  // namespace gpudb

@@ -20,7 +20,8 @@ Result<std::vector<uint8_t>> SelectionToBitmap(gpu::Device* device,
     return Status::OutOfRange("num_records " + std::to_string(num_records) +
                               " exceeds framebuffer capacity");
   }
-  const std::vector<uint8_t> stencil = device->ReadStencil();
+  GPUDB_ASSIGN_OR_RETURN(const std::vector<uint8_t> stencil,
+                         device->ReadStencil());
   std::vector<uint8_t> bitmap(num_records);
   for (uint64_t i = 0; i < num_records; ++i) {
     bitmap[i] = stencil[i] == sel.valid_value ? 1 : 0;

@@ -186,7 +186,7 @@ Result<Table> Catalog::CountersTable() const {
 Result<Table> Catalog::QueriesTable() const {
   const std::vector<QueryLogEntry> entries = QueryLog::Global().Entries();
   std::vector<float> id, wall_ms, simulated_ms, passes, fragments, rows_out;
-  std::vector<uint32_t> ok, slow;
+  std::vector<uint32_t> ok, slow, retries, fell_back;
   std::vector<std::string> sql, kind;
   for (const QueryLogEntry& e : entries) {
     id.push_back(static_cast<float>(e.id));
@@ -199,6 +199,8 @@ Result<Table> Catalog::QueriesTable() const {
     passes.push_back(static_cast<float>(e.passes));
     fragments.push_back(static_cast<float>(e.fragments));
     rows_out.push_back(static_cast<float>(e.rows_out));
+    retries.push_back(static_cast<uint32_t>(e.retries));
+    fell_back.push_back(e.fell_back ? 1 : 0);
   }
   GPUDB_RETURN_NOT_OK(RequireRows("gpudb_queries", entries.size()));
   std::vector<Column> cols;
@@ -213,6 +215,8 @@ Result<Table> Catalog::QueriesTable() const {
   GPUDB_ASSIGN_OR_RETURN(Column c7, Floats("passes", std::move(passes)));
   GPUDB_ASSIGN_OR_RETURN(Column c8, Floats("fragments", std::move(fragments)));
   GPUDB_ASSIGN_OR_RETURN(Column c9, Floats("rows_out", std::move(rows_out)));
+  GPUDB_ASSIGN_OR_RETURN(Column c10, Ints("retries", retries));
+  GPUDB_ASSIGN_OR_RETURN(Column c11, Ints("fell_back", fell_back));
   cols.push_back(std::move(c0));
   cols.push_back(std::move(c1));
   cols.push_back(std::move(c2));
@@ -223,6 +227,8 @@ Result<Table> Catalog::QueriesTable() const {
   cols.push_back(std::move(c7));
   cols.push_back(std::move(c8));
   cols.push_back(std::move(c9));
+  cols.push_back(std::move(c10));
+  cols.push_back(std::move(c11));
   return BuildSnapshot(std::move(cols));
 }
 

@@ -1,7 +1,6 @@
 #include "src/gpu/device.h"
 
 #include <algorithm>
-#include <cassert>
 #include <string>
 #include <utility>
 
@@ -75,6 +74,7 @@ ThreadPool* Device::EnsurePool() {
 
 Result<TextureId> Device::UploadTexture(Texture texture) {
   const uint64_t bytes = texture.byte_size();
+  GPUDB_RETURN_NOT_OK(injector_.OnAllocation(bytes));
   textures_.emplace_back(std::move(texture));
   const auto id = static_cast<TextureId>(textures_.size() - 1);
   // The initial upload makes the texture resident (evicting others if the
@@ -166,6 +166,7 @@ Status Device::EnsureResident(TextureId id) {
 Result<TextureId> Device::CreateTexture(uint32_t width, uint32_t height,
                                         int channels) {
   GPUDB_ASSIGN_OR_RETURN(Texture tex, Texture::Make(width, height, channels));
+  GPUDB_RETURN_NOT_OK(injector_.OnAllocation(tex.byte_size()));
   textures_.emplace_back(std::move(tex));
   const auto id = static_cast<TextureId>(textures_.size() - 1);
   // Allocation is on-card (no bus transfer), but it occupies the budget;
@@ -175,6 +176,8 @@ Result<TextureId> Device::CreateTexture(uint32_t width, uint32_t height,
 }
 
 Status Device::CopyColorToTexture(TextureId dst) {
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnPass());
   if (dst < 0 || static_cast<size_t>(dst) >= textures_.size()) {
     return Status::InvalidArgument("CopyColorToTexture: invalid texture id " +
                                    std::to_string(dst));
@@ -197,8 +200,7 @@ Status Device::CopyColorToTexture(TextureId dst) {
   pass.fragments = viewport_pixels_;
   pass.fp_instructions = 1;
   pass.fragments_passed = viewport_pixels_;
-  FinishPass(std::move(pass));
-  return Status::OK();
+  return FinishPass(std::move(pass));
 }
 
 Result<std::vector<float>> Device::ReadTexture(TextureId id, int channel) {
@@ -211,6 +213,8 @@ Result<std::vector<float>> Device::ReadTexture(TextureId id, int channel) {
     return Status::InvalidArgument("ReadTexture: invalid channel " +
                                    std::to_string(channel));
   }
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnReadback("texture"));
   counters_.bytes_read_back += tex.total_texels() * 4;
   DeviceMetrics::Get().bytes_read_back.Add(tex.total_texels() * 4);
   std::vector<float> out(tex.total_texels());
@@ -634,11 +638,16 @@ void Device::RunDepthCopyRows(const ScissorRect& rect, uint32_t y_begin,
   ReduceQuadKernel(out, ctx->pass, ctx->occlusion);
 }
 
-void Device::FinishPass(PassRecord pass) {
+Status Device::FinishPass(PassRecord pass) {
   // Record-time enforcement of the PassRecord invariants: a violated
   // invariant means the simulator itself miscounted, which would silently
-  // corrupt every downstream PerfModel estimate.
-  assert(pass.Valid() && "PassRecord invariants violated at record time");
+  // corrupt every downstream PerfModel estimate. Propagated as a Status so
+  // release builds catch it too (a fired assert is invisible at -DNDEBUG).
+  if (!pass.Valid()) {
+    return Status::Internal(
+        "PassRecord invariants violated at record time in pass '" +
+        pass.label + "'");
+  }
   ++counters_.passes;
   counters_.fragments_generated += pass.fragments;
   counters_.fragments_passed += pass.fragments_passed;
@@ -662,9 +671,32 @@ void Device::FinishPass(PassRecord pass) {
                 pass.in_occlusion_query ? "true" : "false");
   }
   counters_.pass_log.push_back(std::move(pass));
+  return Status::OK();
+}
+
+void Device::ArmDeadline(double ms) {
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+  deadline_armed_ = true;
+}
+
+Status Device::CheckInterrupt() const {
+  if (cancel_requested_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (deadline_armed_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
 }
 
 Status Device::RenderInternal(float quad_depth, bool textured) {
+  // Cooperative per-pass interrupt check plus the watchdog fault site.
+  // Both happen before any fragment work, on the issuing thread, so the
+  // injector's draw sequence is independent of the worker-thread count.
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnPass());
   const FragmentProgram* program = textured ? program_ : nullptr;
   std::array<const Texture*, 4> units = {nullptr, nullptr, nullptr, nullptr};
   if (textured) {
@@ -744,6 +776,10 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
       program != nullptr ? program->AsDepthCopy() : nullptr;
 
   const auto run_band = [&](int band) {
+    // Per-band cooperative cancellation: a band that starts after the
+    // interrupt fired does no work. Bands already in their fragment loop
+    // finish normally; the post-reduction check below surfaces the error.
+    if (InterruptPending()) return;
     // Tile accumulators live on the band's stack so the optimizer can keep
     // them in registers through the fragment loop; copied into the shared
     // tile vector once at band end.
@@ -796,6 +832,11 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
     EnsurePool()->ParallelFor(bands, run_band);
   }
 
+  // An interrupt that fired mid-pass leaves partially rendered bands; the
+  // pass is not recorded and the framebuffer contents are indeterminate
+  // (the query is being abandoned either way).
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+
   for (const Tile& tile : tiles) {
     pass.fragments += tile.pass.fragments;
     pass.fragments_passed += tile.pass.fragments_passed;
@@ -804,11 +845,12 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
     occlusion_count_ += tile.occlusion;
   }
 
-  FinishPass(std::move(pass));
-  return Status::OK();
+  return FinishPass(std::move(pass));
 }
 
 Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnPass());
   if (vertices.empty() || vertices.size() % 3 != 0) {
     return Status::InvalidArgument(
         "DrawTriangles requires a positive multiple of 3 vertices");
@@ -846,8 +888,7 @@ Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
     clip.x1 = std::min(clip.x1, s.x1);
     clip.y1 = std::min(clip.y1, s.y1);
     if (clip.x0 >= clip.x1 || clip.y0 >= clip.y1) {
-      FinishPass(std::move(pass));
-      return Status::OK();
+      return FinishPass(std::move(pass));
     }
   }
   for (size_t t = 0; t + 2 < vertices.size(); t += 3) {
@@ -856,8 +897,7 @@ Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
     const ScreenVertex c = ApplyVertexStage(vertices[t + 2]);
     RasterizeTriangle(a, b, c, clip, emit);
   }
-  FinishPass(std::move(pass));
-  return Status::OK();
+  return FinishPass(std::move(pass));
 }
 
 Status Device::BeginOcclusionQuery() {
@@ -874,6 +914,10 @@ Result<uint64_t> Device::EndOcclusionQuery() {
     return Status::FailedPrecondition("no active occlusion query");
   }
   occlusion_active_ = false;
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  // Transient occlusion-query failure: the query still ended (active flag
+  // cleared above) but its count never made it back across the bus.
+  GPUDB_RETURN_NOT_OK(injector_.OnOcclusionReadback());
   ++counters_.occlusion_readbacks;
   counters_.bytes_read_back += 4;  // the pixel pass count
   DeviceMetrics::Get().occlusion_readbacks.Increment();
@@ -881,7 +925,9 @@ Result<uint64_t> Device::EndOcclusionQuery() {
   return occlusion_count_;
 }
 
-std::vector<uint8_t> Device::ReadStencil() {
+Result<std::vector<uint8_t>> Device::ReadStencil() {
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnReadback("stencil"));
   counters_.bytes_read_back += fb_.pixel_count();
   DeviceMetrics::Get().bytes_read_back.Add(fb_.pixel_count());
   TraceSpan span("gpu.read_stencil");
@@ -889,7 +935,9 @@ std::vector<uint8_t> Device::ReadStencil() {
   return fb_.stencil_plane();
 }
 
-std::vector<uint32_t> Device::ReadDepth() {
+Result<std::vector<uint32_t>> Device::ReadDepth() {
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnReadback("depth"));
   counters_.bytes_read_back += fb_.pixel_count() * 4;
   DeviceMetrics::Get().bytes_read_back.Add(fb_.pixel_count() * 4);
   TraceSpan span("gpu.read_depth");
@@ -897,7 +945,9 @@ std::vector<uint32_t> Device::ReadDepth() {
   return fb_.depth_plane();
 }
 
-std::vector<float> Device::ReadColorChannel(int channel) {
+Result<std::vector<float>> Device::ReadColorChannel(int channel) {
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnReadback("color"));
   counters_.bytes_read_back += fb_.pixel_count() * 4;
   DeviceMetrics::Get().bytes_read_back.Add(fb_.pixel_count() * 4);
   std::vector<float> out(fb_.pixel_count());

@@ -2,6 +2,8 @@
 #define GPUDB_GPU_DEVICE_H_
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/gpu/counters.h"
+#include "src/gpu/fault_injector.h"
 #include "src/gpu/fragment_program.h"
 #include "src/gpu/framebuffer.h"
 #include "src/gpu/geometry.h"
@@ -199,14 +202,16 @@ class Device {
   // --- Readback ------------------------------------------------------------
 
   /// Reads the stencil plane back to the CPU (charged as a GPU->CPU
-  /// transfer). Used to materialize selection results.
-  std::vector<uint8_t> ReadStencil();
+  /// transfer). Used to materialize selection results. Fails with
+  /// kDeviceLost under injected readback corruption, or with the armed
+  /// interrupt status (kCancelled / kDeadlineExceeded).
+  Result<std::vector<uint8_t>> ReadStencil();
 
   /// Reads the depth plane back (quantized values).
-  std::vector<uint32_t> ReadDepth();
+  Result<std::vector<uint32_t>> ReadDepth();
 
   /// Reads one color channel (0=R..3=A) back.
-  std::vector<float> ReadColorChannel(int channel);
+  Result<std::vector<float>> ReadColorChannel(int channel);
 
   FrameBuffer& framebuffer() { return fb_; }
   const FrameBuffer& framebuffer() const { return fb_; }
@@ -225,6 +230,52 @@ class Device {
   /// DESIGN.md section 10).
   Status SetWorkerThreads(int n);
   int worker_threads() const { return worker_threads_; }
+
+  // --- Fault injection (DESIGN.md section 11) -----------------------------
+
+  /// Installs a deterministic fault-injection configuration. A zero rate
+  /// (the default) disables injection entirely; the sites then cost one
+  /// predicted branch each. Restarts the injector's draw sequence.
+  void ConfigureFaults(const FaultConfig& config) {
+    injector_.Configure(config);
+  }
+
+  FaultInjector& fault_injector() { return injector_; }
+  const FaultInjector& fault_injector() const { return injector_; }
+
+  // --- Deadlines and cancellation ------------------------------------------
+
+  /// Arms a wall-clock deadline `ms` milliseconds from now. Every pass
+  /// entry, row band, and readback checks it cooperatively; once exceeded,
+  /// device entry points return kDeadlineExceeded until DisarmDeadline().
+  void ArmDeadline(double ms);
+
+  void DisarmDeadline() { deadline_armed_ = false; }
+  bool deadline_armed() const { return deadline_armed_; }
+
+  /// Requests cooperative cancellation of in-flight work. Safe to call
+  /// from another thread; the next per-pass or per-band check surfaces
+  /// kCancelled. Sticky until ClearInterrupt().
+  void RequestCancel() {
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Clears a pending cancel request (an armed deadline stays armed).
+  void ClearInterrupt() {
+    cancel_requested_.store(false, std::memory_order_relaxed);
+  }
+
+  /// kCancelled if cancellation was requested, kDeadlineExceeded if an
+  /// armed deadline has passed, OK otherwise. Cheap when nothing is armed.
+  Status CheckInterrupt() const;
+
+  /// Clears transient per-query device state (an open occlusion query and
+  /// its count) so an operator can be retried cleanly after a fault left
+  /// the device mid-query.
+  void ResetQueryState() {
+    occlusion_active_ = false;
+    occlusion_count_ = 0;
+  }
 
   // --- Counters ------------------------------------------------------------
 
@@ -308,8 +359,18 @@ class Device {
   /// Applies the vertex processing engine to one vertex.
   ScreenVertex ApplyVertexStage(const Vertex& v) const;
 
-  /// Folds a finished pass into the cumulative counters.
-  void FinishPass(PassRecord pass);
+  /// Folds a finished pass into the cumulative counters. Fails with
+  /// Status::Internal when the PassRecord invariants are violated (the
+  /// simulator miscounted -- every downstream cost estimate would be
+  /// corrupt), without recording the bad pass.
+  Status FinishPass(PassRecord pass);
+
+  /// Lock-free check shared by the per-band loops: true when a cancel is
+  /// pending or an armed deadline has passed.
+  bool InterruptPending() const {
+    if (cancel_requested_.load(std::memory_order_relaxed)) return true;
+    return deadline_armed_ && std::chrono::steady_clock::now() >= deadline_;
+  }
 
   FrameBuffer fb_;
   RenderState state_;
@@ -327,6 +388,11 @@ class Device {
 
   bool occlusion_active_ = false;
   uint64_t occlusion_count_ = 0;
+
+  FaultInjector injector_;
+  std::atomic<bool> cancel_requested_{false};
+  bool deadline_armed_ = false;
+  std::chrono::steady_clock::time_point deadline_;
 
   int worker_threads_;
   std::unique_ptr<ThreadPool> pool_;

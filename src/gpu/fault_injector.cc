@@ -1,0 +1,124 @@
+#include "src/gpu/fault_injector.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/metrics.h"
+
+namespace gpudb {
+namespace gpu {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche mix so consecutive draw indices
+/// map to statistically independent uniforms.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Injection metrics, cached like DeviceMetrics in device.cc.
+struct FaultMetrics {
+  MetricCounter& injected =
+      MetricsRegistry::Global().counter("faults.injected");
+  MetricCounter& alloc =
+      MetricsRegistry::Global().counter("faults.injected.alloc");
+  MetricCounter& pass =
+      MetricsRegistry::Global().counter("faults.injected.pass");
+  MetricCounter& occlusion =
+      MetricsRegistry::Global().counter("faults.injected.occlusion");
+  MetricCounter& readback =
+      MetricsRegistry::Global().counter("faults.injected.readback");
+
+  static FaultMetrics& Get() {
+    static FaultMetrics* m = new FaultMetrics();
+    return *m;
+  }
+};
+
+MetricCounter& SiteCounter(const char* site) {
+  FaultMetrics& m = FaultMetrics::Get();
+  switch (site[0]) {
+    case 'a':
+      return m.alloc;
+    case 'p':
+      return m.pass;
+    case 'o':
+      return m.occlusion;
+    default:
+      return m.readback;
+  }
+}
+
+}  // namespace
+
+void FaultInjector::Configure(const FaultConfig& config) {
+  config_ = config;
+  if (config_.rate < 0.0) config_.rate = 0.0;
+  if (config_.rate > 1.0) config_.rate = 1.0;
+  draws_ = 0;
+  faults_ = 0;
+}
+
+FaultConfig FaultInjector::ConfigFromEnv() {
+  FaultConfig config;
+  if (const char* seed = std::getenv("GPUDB_FAULT_SEED")) {
+    config.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* rate = std::getenv("GPUDB_FAULT_RATE")) {
+    config.rate = std::atof(rate);
+  }
+  return config;
+}
+
+bool FaultInjector::Draw() {
+  const uint64_t bits = Mix(config_.seed ^ Mix(++draws_));
+  // 53 high bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return u < config_.rate;
+}
+
+Status FaultInjector::Inject(const char* site, std::string message) {
+  ++faults_;
+  FaultMetrics::Get().injected.Increment();
+  SiteCounter(site).Increment();
+  return Status::DeviceLost(std::move(message));
+}
+
+Status FaultInjector::OnAllocation(uint64_t bytes) {
+  if (!enabled() || !Draw()) return Status::OK();
+  return Inject("alloc", "injected: video memory allocation of " +
+                             std::to_string(bytes) + " bytes failed");
+}
+
+Status FaultInjector::OnPass() {
+  if (!enabled() || !Draw()) return Status::OK();
+  return Inject("pass", "injected: watchdog timeout aborted rendering pass");
+}
+
+Status FaultInjector::OnOcclusionReadback() {
+  if (!enabled() || !Draw()) return Status::OK();
+  return Inject("occlusion",
+                "injected: occlusion query result lost in transit");
+}
+
+Status FaultInjector::OnReadback(std::string_view what) {
+  if (!enabled() || !Draw()) return Status::OK();
+  return Inject("readback", "injected: " + std::string(what) +
+                                " readback corruption detected");
+}
+
+uint64_t VramBudgetBytesFromEnv() {
+  const char* bytes = std::getenv("GPUDB_VRAM_BUDGET");
+  return bytes != nullptr ? std::strtoull(bytes, nullptr, 10) : 0;
+}
+
+double DeadlineMsFromEnv() {
+  const char* ms = std::getenv("GPUDB_DEADLINE_MS");
+  return ms != nullptr ? std::atof(ms) : 0.0;
+}
+
+}  // namespace gpu
+}  // namespace gpudb

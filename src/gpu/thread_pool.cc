@@ -1,13 +1,16 @@
 #include "src/gpu/thread_pool.h"
 
-#include <cassert>
 #include <cstdlib>
 
 namespace gpudb {
 namespace gpu {
 
 ThreadPool::ThreadPool(int threads) {
-  assert(threads >= 1 && "ThreadPool needs at least the calling thread");
+  // A non-positive count is clamped to the minimum pool (just the calling
+  // thread) instead of asserting: a pool always needs at least one engine,
+  // and crashing a release build over a config value is worse than running
+  // serially.
+  if (threads < 1) threads = 1;
   workers_.reserve(static_cast<size_t>(threads > 1 ? threads - 1 : 0));
   for (int i = 1; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -76,7 +79,15 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& task) {
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
-    assert(task_ == nullptr && "ParallelFor is not re-entrant");
+    if (task_ != nullptr) {
+      // A parallel region is already in flight (a task called back into
+      // ParallelFor, or two threads share the pool). Degrade to a serial
+      // loop on the caller instead of corrupting the active job's state:
+      // the invocations still all happen, just without extra parallelism.
+      lock.unlock();
+      for (int i = 0; i < n; ++i) task(i);
+      return;
+    }
     task_ = &task;
     job_size_ = n;
     next_index_ = 0;

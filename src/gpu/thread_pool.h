@@ -21,13 +21,15 @@ namespace gpu {
 /// one-pass-at-a-time device needs.
 ///
 /// ParallelFor is NOT re-entrant: the Device issues one pass at a time, so
-/// a single in-flight parallel region per pool is an invariant, asserted in
-/// debug builds.
+/// a single in-flight parallel region per pool is the expected regime. A
+/// nested or concurrent ParallelFor is handled gracefully by running that
+/// region serially on its calling thread (never corrupting the active
+/// job), and a thread count below 1 is clamped to 1.
 class ThreadPool {
  public:
   /// Spawns `threads - 1` workers (the caller is the remaining engine).
-  /// `threads` must be >= 1; a pool of 1 has no workers and ParallelFor
-  /// degenerates to a serial loop on the caller.
+  /// A count below 1 is clamped to 1; a pool of 1 has no workers and
+  /// ParallelFor degenerates to a serial loop on the caller.
   explicit ThreadPool(int threads);
   ~ThreadPool();
 
@@ -39,8 +41,9 @@ class ThreadPool {
 
   /// Runs task(i) for every i in [0, n), distributing indices across the
   /// engines, and returns when all n invocations have finished. The caller
-  /// participates, so a pool of size 1 runs everything inline. Tasks must
-  /// not call back into ParallelFor on the same pool.
+  /// participates, so a pool of size 1 runs everything inline. A call made
+  /// while another region is in flight (nested or from another thread)
+  /// runs serially on the calling thread.
   void ParallelFor(int n, const std::function<void(int)>& task);
 
   /// The default engine count: $GPUDB_THREADS when set to a positive

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/common/query_log.h"
 #include "src/common/timer.h"
 #include "src/core/analyze.h"
@@ -33,6 +34,13 @@ uint64_t RowsOut(const QueryResult& result) {
 Session::Session(gpu::Device* device, db::Catalog* catalog)
     : device_(device), catalog_(catalog) {}
 
+void Session::set_resilience_options(const core::ResilienceOptions& options) {
+  resilience_ = options;
+  for (auto& [name, exec] : executors_) {
+    exec->set_resilience_options(options);
+  }
+}
+
 Result<core::Executor*> Session::ExecutorFor(std::string_view table_name) {
   auto it = executors_.find(table_name);
   if (it == executors_.end()) {
@@ -40,6 +48,7 @@ Result<core::Executor*> Session::ExecutorFor(std::string_view table_name) {
                            catalog_->Lookup(table_name));
     GPUDB_ASSIGN_OR_RETURN(std::unique_ptr<core::Executor> exec,
                            core::Executor::Make(device_, table));
+    exec->set_resilience_options(resilience_);
     it = executors_.emplace(std::string(table_name), std::move(exec)).first;
   }
   // The session multiplexes tables onto one device; restore this table's
@@ -79,6 +88,7 @@ Result<QueryResult> Session::RunSystemTable(std::string_view sql,
   gpu::Device device(width, height);
   GPUDB_ASSIGN_OR_RETURN(std::unique_ptr<core::Executor> exec,
                          core::Executor::Make(&device, snap.get()));
+  exec->set_resilience_options(resilience_);
   QueryResult result;
   if (query.explain_analyze) {
     GPUDB_ASSIGN_OR_RETURN(result, ExecuteAnalyze(exec.get(), query, sql));
@@ -129,6 +139,12 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
   }
   Timer timer;
   gpu::DeviceCounters delta;
+  // Resilience outcome for the query log: the delta of the process-wide
+  // retry/fallback counters across this statement (sessions execute
+  // statements one at a time, so the delta is this statement's).
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t retries_before = registry.counter("queries.retry_attempts").value();
+  const uint64_t fellback_before = registry.counter("queries.fell_back").value();
   auto run = [&]() -> Result<QueryResult> {
     GPUDB_ASSIGN_OR_RETURN(std::string table_name, StatementTableName(sql));
     return Dispatch(sql, table_name, &delta);
@@ -139,6 +155,10 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
   entry.sql = std::string(sql);
   entry.ok = result.ok();
   entry.wall_ms = timer.ElapsedMs();
+  entry.retries =
+      registry.counter("queries.retry_attempts").value() - retries_before;
+  entry.fell_back =
+      registry.counter("queries.fell_back").value() > fellback_before;
   entry.passes = delta.passes;
   entry.fragments = delta.fragments_generated;
   entry.simulated_ms = gpu::PerfModel().Estimate(delta).TotalMs();

@@ -49,6 +49,15 @@ class Session {
 
   db::Catalog& catalog() { return *catalog_; }
 
+  /// Installs the resilience policy (retry / circuit breaker / CPU fallback
+  /// / per-query deadline) on every executor this session creates -- cached
+  /// user-table executors, existing and future, and the ephemeral executors
+  /// that run system-table snapshots.
+  void set_resilience_options(const core::ResilienceOptions& options);
+  const core::ResilienceOptions& resilience_options() const {
+    return resilience_;
+  }
+
   /// The cached executor for a registered user table (created on first use).
   Result<core::Executor*> ExecutorFor(std::string_view table_name);
 
@@ -69,6 +78,7 @@ class Session {
 
   gpu::Device* device_;
   db::Catalog* catalog_;
+  core::ResilienceOptions resilience_;
   std::map<std::string, std::unique_ptr<core::Executor>, std::less<>>
       executors_;
 };

@@ -49,7 +49,7 @@ class EvalCnfTest : public ::testing::Test {
     auto sel = EvalCnf(&device_, gpu_clauses);
     ASSERT_TRUE(sel.ok()) << sel.status().ToString();
     EXPECT_EQ(sel.ValueOrDie().count, cpu_count.ValueOrDie());
-    const std::vector<uint8_t> stencil = device_.ReadStencil();
+    const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
     for (size_t i = 0; i < table_.num_rows(); ++i) {
       EXPECT_EQ(stencil[i] == sel.ValueOrDie().valid_value, cpu_mask[i] == 1)
           << "record " << i;
@@ -183,7 +183,7 @@ TEST_F(EvalCnfTest, DnfSingleTermConjunction) {
   ASSERT_TRUE(sel.ok()) << sel.status().ToString();
   EXPECT_EQ(sel.ValueOrDie().valid_value, 0);
   EXPECT_EQ(sel.ValueOrDie().count, cpu_count.ValueOrDie());
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   for (size_t i = 0; i < table_.num_rows(); ++i) {
     EXPECT_EQ(stencil[i] == 0, cpu_mask[i] == 1) << "record " << i;
   }
@@ -204,7 +204,7 @@ TEST_F(EvalCnfTest, DnfDisjunctionOfConjunctions) {
   auto sel = EvalDnf(&device_, terms);
   ASSERT_TRUE(sel.ok()) << sel.status().ToString();
   uint64_t expected = 0;
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   for (size_t row = 0; row < table_.num_rows(); ++row) {
     const bool want = dnf.EvaluateRow(table_, row);
     expected += want ? 1 : 0;

@@ -72,7 +72,7 @@ TEST_F(CompareTest, SelectMaskMatchesCpuMask) {
       uint64_t count,
       CompareSelect(&device_, attr, CompareOp::kGreaterEqual, 1000.0));
   EXPECT_EQ(count, expected);
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   for (size_t i = 0; i < ints.size(); ++i) {
     EXPECT_EQ(stencil[i] == 1, cpu_mask[i] == 1) << "record " << i;
   }

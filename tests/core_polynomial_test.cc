@@ -130,7 +130,7 @@ TEST_F(PolynomialTest, MarksSelectionInStencil) {
   q.b = 20.0f;  // a^2 > 20: {5, 9}
   ASSERT_OK_AND_ASSIGN(uint64_t count, PolynomialSelect(&device_, tex, q));
   EXPECT_EQ(count, 2u);
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   EXPECT_EQ(stencil[0], 0);
   EXPECT_EQ(stencil[1], 1);
   EXPECT_EQ(stencil[2], 1);

@@ -30,7 +30,7 @@ TEST_F(RangeTest, CountMatchesCpu) {
   ASSERT_OK_AND_ASSIGN(uint64_t count,
                        RangeSelect(&device_, attr, 500.0, 3000.0));
   EXPECT_EQ(count, expected);
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   for (size_t i = 0; i < ints.size(); ++i) {
     EXPECT_EQ(stencil[i], cpu_mask[i]) << "record " << i;
   }
@@ -74,7 +74,7 @@ TEST_F(RangeTest, TwoPassNormalizesStencilToBinary) {
   std::vector<uint8_t> cpu_mask;
   cpu::RangeScan(floats, 64.0f, 192.0f, &cpu_mask);
   ASSERT_OK(RangeSelectTwoPass(&device_, attr, 64.0, 192.0).status());
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   for (size_t i = 0; i < ints.size(); ++i) {
     EXPECT_EQ(stencil[i], cpu_mask[i]) << "record " << i;
   }

@@ -1,0 +1,303 @@
+// Resilience layer: bounded retry of transient device faults, the circuit
+// breaker, and the CPU fallback tier. The key contract is that a query
+// answered through any degradation path returns exactly the answer the
+// healthy GPU path would have produced.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/metrics.h"
+#include "src/core/executor.h"
+#include "src/core/resilience.h"
+#include "src/db/datagen.h"
+#include "src/gpu/device.h"
+#include "src/gpu/fault_injector.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace core {
+namespace {
+
+using gpu::CompareOp;
+using predicate::Expr;
+using predicate::ExprPtr;
+
+uint64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().counter(name).value();
+}
+
+TEST(RetryPolicy, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;  // base 1ms, x2, cap 64ms
+  EXPECT_DOUBLE_EQ(policy.DelayMs(0), 1.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(1), 2.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(5), 32.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(6), 64.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(20), 64.0);
+}
+
+TEST(FaultClassification, TransientAndDeviceFaultSets) {
+  EXPECT_TRUE(IsTransientFault(Status::DeviceLost("x")));
+  EXPECT_FALSE(IsTransientFault(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsTransientFault(Status::DeadlineExceeded("x")));
+
+  EXPECT_TRUE(IsDeviceFault(Status::DeviceLost("x")));
+  EXPECT_TRUE(IsDeviceFault(Status::ResourceExhausted("x")));
+  EXPECT_TRUE(IsDeviceFault(Status::Internal("x")));
+  EXPECT_FALSE(IsDeviceFault(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsDeviceFault(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsDeviceFault(Status::Cancelled("x")));
+}
+
+TEST(CircuitBreaker, OpensAfterThresholdAndProbesPeriodically) {
+  CircuitBreaker breaker(/*threshold=*/3, /*probe_interval=*/4);
+  EXPECT_FALSE(breaker.open());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.open());
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.open());
+
+  // Every probe_interval-th skipped call probes the device path.
+  int probes = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (breaker.AllowProbe()) ++probes;
+  }
+  EXPECT_EQ(probes, 2);
+
+  breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(FaultInjector, SameSeedSameDrawSequence) {
+  gpu::FaultInjector a;
+  gpu::FaultInjector b;
+  a.Configure({/*seed=*/42, /*rate=*/0.25});
+  b.Configure({/*seed=*/42, /*rate=*/0.25});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.OnPass().ok(), b.OnPass().ok()) << "draw " << i;
+  }
+  EXPECT_EQ(a.faults_injected(), b.faults_injected());
+  EXPECT_GT(a.faults_injected(), 0u);  // rate 0.25 over 200 draws
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  ResilienceTest() : device_(100, 100), reference_device_(100, 100) {
+    auto t = db::MakeTcpIpTable(5000, /*seed=*/77);
+    EXPECT_TRUE(t.ok());
+    table_ = std::move(t).ValueOrDie();
+    auto exec = Executor::Make(&device_, &table_);
+    EXPECT_TRUE(exec.ok());
+    executor_ = std::move(exec).ValueOrDie();
+    auto ref = Executor::Make(&reference_device_, &table_);
+    EXPECT_TRUE(ref.ok());
+    reference_ = std::move(ref).ValueOrDie();
+  }
+
+  /// Uploads every column texture while faults are off, so a subsequent
+  /// ConfigureFaults starts the draw sequence at the query's first pass.
+  void WarmTextures() {
+    for (size_t c = 0; c < table_.num_columns(); ++c) {
+      EXPECT_TRUE(executor_->BindingFor(c).ok());
+    }
+  }
+
+  gpu::Device device_;             // fault-injected
+  gpu::Device reference_device_;   // always healthy
+  db::Table table_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<Executor> reference_;
+};
+
+TEST_F(ResilienceTest, TransientFaultIsRetriedAndSucceeds) {
+  WarmTextures();
+  // Find a seed whose first draw faults and whose next 100 draws are all
+  // clean: the query's first pass dies, the retry runs start to finish.
+  // (P ~ rate * (1-rate)^100 ~ 3e-4 per seed, so the search is quick.)
+  const double rate = 0.05;
+  uint64_t seed = 0;
+  for (uint64_t candidate = 1; candidate < 100000 && seed == 0; ++candidate) {
+    gpu::FaultInjector probe;
+    probe.Configure({candidate, rate});
+    if (probe.OnPass().ok()) continue;
+    bool clean = true;
+    for (int i = 0; i < 100 && clean; ++i) clean = probe.OnPass().ok();
+    if (clean) seed = candidate;
+  }
+  ASSERT_NE(seed, 0u) << "no suitable seed found";
+
+  // A null predicate short-circuits to a stencil clear with no fault sites;
+  // a real comparison forces render passes and an occlusion readback.
+  const ExprPtr where = Expr::Pred(0, CompareOp::kGreater, 5000.0f);
+  ASSERT_OK_AND_ASSIGN(const uint64_t want, reference_->Count(where));
+
+  const uint64_t retried_before = CounterValue("queries.retried");
+  const uint64_t fellback_before = CounterValue("queries.fell_back");
+  device_.ConfigureFaults({seed, rate});
+  ASSERT_OK_AND_ASSIGN(uint64_t count, executor_->Count(where));
+  EXPECT_EQ(count, want);
+  EXPECT_EQ(CounterValue("queries.retried"), retried_before + 1);
+  EXPECT_EQ(CounterValue("queries.fell_back"), fellback_before);
+  EXPECT_FALSE(executor_->breaker().open());
+}
+
+TEST_F(ResilienceTest, PermanentFaultsFallBackToIdenticalCpuAnswers) {
+  const ExprPtr where = Expr::And(Expr::Pred(0, CompareOp::kGreater, 5000.0f),
+                                  Expr::Pred(1, CompareOp::kLess, 3.0f));
+
+  // Healthy-path expectations first.
+  ASSERT_OK_AND_ASSIGN(const uint64_t want_count, reference_->Count(where));
+  ASSERT_OK_AND_ASSIGN(const std::vector<uint8_t> want_bitmap,
+                       reference_->SelectBitmap(where));
+  ASSERT_OK_AND_ASSIGN(const std::vector<uint32_t> want_rows,
+                       reference_->SelectRowIds(where));
+  ASSERT_OK_AND_ASSIGN(const double want_sum,
+                       reference_->Aggregate(AggregateKind::kSum, "data_count",
+                                             where));
+  ASSERT_OK_AND_ASSIGN(const double want_avg,
+                       reference_->Aggregate(AggregateKind::kAvg, "data_count",
+                                             where));
+  ASSERT_OK_AND_ASSIGN(const double want_min,
+                       reference_->Aggregate(AggregateKind::kMin, "data_count",
+                                             where));
+  ASSERT_OK_AND_ASSIGN(const double want_max,
+                       reference_->Aggregate(AggregateKind::kMax, "data_count",
+                                             where));
+  ASSERT_OK_AND_ASSIGN(const double want_median,
+                       reference_->Aggregate(AggregateKind::kMedian,
+                                             "data_count", nullptr));
+  ASSERT_OK_AND_ASSIGN(const uint32_t want_kth,
+                       reference_->KthLargest("data_count", 25, where));
+  ASSERT_OK_AND_ASSIGN(const uint64_t want_range,
+                       reference_->RangeCount("data_count", 100.0, 60000.0));
+
+  // Every device pass faults: all answers must come from the CPU tier and
+  // match the healthy GPU path exactly.
+  const uint64_t fellback_before = CounterValue("queries.fell_back");
+  device_.ConfigureFaults({/*seed=*/9, /*rate=*/1.0});
+
+  ASSERT_OK_AND_ASSIGN(uint64_t count, executor_->Count(where));
+  EXPECT_EQ(count, want_count);
+  ASSERT_OK_AND_ASSIGN(std::vector<uint8_t> bitmap,
+                       executor_->SelectBitmap(where));
+  EXPECT_EQ(bitmap, want_bitmap);
+  ASSERT_OK_AND_ASSIGN(std::vector<uint32_t> rows,
+                       executor_->SelectRowIds(where));
+  EXPECT_EQ(rows, want_rows);
+  ASSERT_OK_AND_ASSIGN(
+      double sum, executor_->Aggregate(AggregateKind::kSum, "data_count",
+                                       where));
+  EXPECT_EQ(sum, want_sum);
+  ASSERT_OK_AND_ASSIGN(
+      double avg, executor_->Aggregate(AggregateKind::kAvg, "data_count",
+                                       where));
+  EXPECT_EQ(avg, want_avg);
+  ASSERT_OK_AND_ASSIGN(
+      double min, executor_->Aggregate(AggregateKind::kMin, "data_count",
+                                       where));
+  EXPECT_EQ(min, want_min);
+  ASSERT_OK_AND_ASSIGN(
+      double max, executor_->Aggregate(AggregateKind::kMax, "data_count",
+                                       where));
+  EXPECT_EQ(max, want_max);
+  ASSERT_OK_AND_ASSIGN(double median,
+                       executor_->Aggregate(AggregateKind::kMedian,
+                                            "data_count", nullptr));
+  EXPECT_EQ(median, want_median);
+  ASSERT_OK_AND_ASSIGN(uint32_t kth,
+                       executor_->KthLargest("data_count", 25, where));
+  EXPECT_EQ(kth, want_kth);
+  ASSERT_OK_AND_ASSIGN(uint64_t range,
+                       executor_->RangeCount("data_count", 100.0, 60000.0));
+  EXPECT_EQ(range, want_range);
+
+  EXPECT_GT(CounterValue("queries.fell_back"), fellback_before);
+  // Three consecutive device faults opened the breaker along the way.
+  EXPECT_TRUE(executor_->breaker().open());
+}
+
+TEST_F(ResilienceTest, NoFallbackMeansCleanDeviceFaultStatus) {
+  ResilienceOptions options;
+  options.allow_cpu_fallback = false;
+  executor_->set_resilience_options(options);
+  device_.ConfigureFaults({/*seed=*/3, /*rate=*/1.0});
+  auto result =
+      executor_->Count(Expr::Pred(0, CompareOp::kGreater, 5000.0f));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeviceLost()) << result.status().ToString();
+}
+
+TEST_F(ResilienceTest, UserErrorsAreNeverRetriedOrDegraded) {
+  const uint64_t retried_before = CounterValue("queries.retry_attempts");
+  const uint64_t fellback_before = CounterValue("queries.fell_back");
+  auto result = executor_->KthLargest("data_count", 0, nullptr);  // k=0
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  auto missing = executor_->Aggregate(AggregateKind::kSum, "no_such_column",
+                                      nullptr);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(CounterValue("queries.retry_attempts"), retried_before);
+  EXPECT_EQ(CounterValue("queries.fell_back"), fellback_before);
+  EXPECT_FALSE(executor_->breaker().open());
+}
+
+TEST_F(ResilienceTest, OpenBreakerSkipsDeviceAndProbesRecovery) {
+  const ExprPtr where = Expr::Pred(0, CompareOp::kGreater, 5000.0f);
+  ASSERT_OK_AND_ASSIGN(const uint64_t want, reference_->Count(where));
+
+  device_.ConfigureFaults({/*seed=*/5, /*rate=*/1.0});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint64_t got, executor_->Count(where));
+    EXPECT_EQ(got, want);
+  }
+  ASSERT_TRUE(executor_->breaker().open());
+  const uint64_t draws_with_open_breaker = device_.fault_injector().draws();
+
+  // While open, calls short-circuit to the CPU tier: the device sees no new
+  // work at all (the probe interval is 8, and we issue fewer calls).
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint64_t got, executor_->Count(where));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_EQ(device_.fault_injector().draws(), draws_with_open_breaker);
+
+  // Heal the device; the next probe closes the breaker again.
+  device_.ConfigureFaults({/*seed=*/5, /*rate=*/0.0});
+  bool closed = false;
+  for (int i = 0; i < 16 && !closed; ++i) {
+    ASSERT_OK_AND_ASSIGN(uint64_t got, executor_->Count(where));
+    EXPECT_EQ(got, want);
+    closed = !executor_->breaker().open();
+  }
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(ResilienceTest, VramBudgetExhaustionDegradesToCpu) {
+  // A budget too small for any column texture: BindingFor's upload fails
+  // with ResourceExhausted, which is a device fault -> CPU fallback.
+  ASSERT_TRUE(device_.SetVideoMemoryBudget(1024).ok());
+  const ExprPtr where = Expr::Pred(0, CompareOp::kGreater, 5000.0f);
+  ASSERT_OK_AND_ASSIGN(const uint64_t want, reference_->Count(where));
+  const uint64_t fellback_before = CounterValue("queries.fell_back");
+  ASSERT_OK_AND_ASSIGN(uint64_t got, executor_->Count(where));
+  EXPECT_EQ(got, want);
+  EXPECT_GT(CounterValue("queries.fell_back"), fellback_before);
+}
+
+TEST_F(ResilienceTest, DisabledResilienceExposesRawFaults) {
+  ResilienceOptions options;
+  options.enabled = false;
+  executor_->set_resilience_options(options);
+  device_.ConfigureFaults({/*seed=*/11, /*rate=*/1.0});
+  auto result =
+      executor_->Count(Expr::Pred(0, CompareOp::kGreater, 5000.0f));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeviceLost());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace gpudb

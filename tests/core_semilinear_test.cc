@@ -50,7 +50,7 @@ TEST_F(SemilinearTest, FourAttributeQueryMatchesCpu) {
   ASSERT_OK_AND_ASSIGN(uint64_t count, SemilinearSelect(&device_, tex, q));
   EXPECT_EQ(count, expected);
 
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(stencil[i], cpu_mask[i]) << "record " << i;
   }

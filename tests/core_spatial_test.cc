@@ -99,7 +99,7 @@ TEST_F(SpatialTest, HexagonSelectionMatchesCpuAndStencil) {
                        SelectPointsInConvexPolygon(&device_, grid, hexagon));
   EXPECT_EQ(sel.count, CpuCount(planes));
   // Per-point stencil check.
-  const std::vector<uint8_t> stencil = device_.ReadStencil();
+  const std::vector<uint8_t> stencil = device_.ReadStencil().ValueOrDie();
   for (size_t i = 0; i < xs_.size(); ++i) {
     EXPECT_EQ(stencil[i] == sel.valid_value,
               PointInHalfPlanes(xs_[i], ys_[i], planes))

@@ -4,12 +4,18 @@
 // internally consistent. The simulator is the foundation of every result in
 // this repository; this test pins its robustness under arbitrary use.
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/random.h"
+#include "src/core/executor.h"
+#include "src/core/resilience.h"
+#include "src/db/datagen.h"
 #include "src/gpu/device.h"
+#include "src/gpu/fault_injector.h"
 #include "src/gpu/fragment_program.h"
 #include "tests/test_util.h"
 
@@ -139,6 +145,112 @@ TEST_P(DeviceFuzz, RandomApiSequencesNeverCorruptState) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeviceFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Fault sweep: run a fixed battery of executor queries against a
+// fault-injected device across many seeds and every supported thread count.
+// The contract under injected faults is strict:
+//   * a query either returns EXACTLY the healthy-path answer (after
+//     retry / circuit-breaker / CPU fallback) or a clean non-OK Status --
+//     never a crash, never a silently wrong answer;
+//   * the same seed produces bit-identical outcomes at 1/2/4/8 worker
+//     threads, because every injector draw happens on the issuing thread.
+// ---------------------------------------------------------------------------
+
+const db::Table& SweepTable() {
+  static const db::Table* table = [] {
+    auto t = db::MakeTcpIpTable(1000, /*seed=*/5);
+    EXPECT_TRUE(t.ok());
+    return new db::Table(std::move(t).ValueOrDie());
+  }();
+  return *table;
+}
+
+/// Runs the query battery and flattens each outcome to a string: the exact
+/// value when OK, the full Status (code + message) when not.
+std::vector<std::string> RunBattery(Device* dev, bool allow_fallback) {
+  std::vector<std::string> out;
+  auto exec_or = core::Executor::Make(dev, &SweepTable());
+  if (!exec_or.ok()) {
+    out.push_back("make:" + exec_or.status().ToString());
+    return out;
+  }
+  std::unique_ptr<core::Executor> exec = std::move(exec_or).ValueOrDie();
+  core::ResilienceOptions options;
+  options.allow_cpu_fallback = allow_fallback;
+  exec->set_resilience_options(options);
+  const predicate::ExprPtr where =
+      predicate::Expr::Pred(0, CompareOp::kGreater, 5000.0f);
+
+  auto count = exec->Count(where);
+  out.push_back(count.ok() ? "count:ok:" + std::to_string(count.ValueOrDie())
+                           : "count:" + count.status().ToString());
+  auto sum =
+      exec->Aggregate(core::AggregateKind::kSum, "data_count", where);
+  out.push_back(sum.ok() ? "sum:ok:" + std::to_string(sum.ValueOrDie())
+                         : "sum:" + sum.status().ToString());
+  auto kth = exec->KthLargest("data_count", 10, where);
+  out.push_back(kth.ok() ? "kth:ok:" + std::to_string(kth.ValueOrDie())
+                         : "kth:" + kth.status().ToString());
+  auto range = exec->RangeCount("data_count", 100.0, 60000.0);
+  out.push_back(range.ok() ? "range:ok:" + std::to_string(range.ValueOrDie())
+                           : "range:" + range.status().ToString());
+  return out;
+}
+
+std::vector<std::string> RunSweepConfig(uint64_t seed, double rate,
+                                        int threads, bool allow_fallback) {
+  Device dev(64, 64);
+  EXPECT_TRUE(dev.SetWorkerThreads(threads).ok());
+  dev.ConfigureFaults({seed, rate});
+  return RunBattery(&dev, allow_fallback);
+}
+
+TEST(FaultSweep, QueriesDegradeCleanlyAndDeterministicallyAcrossSeeds) {
+  // Healthy reference: what every OK outcome must equal, bit for bit.
+  std::vector<std::string> reference;
+  {
+    Device healthy(64, 64);
+    reference = RunBattery(&healthy, /*allow_fallback=*/true);
+    for (const std::string& r : reference) {
+      ASSERT_NE(r.find(":ok:"), std::string::npos) << r;
+    }
+  }
+
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    // Sweep a spread of fault rates: occasional glitches through to a device
+    // that faults on most draws.
+    const double rate = 0.02 * static_cast<double>(1 + seed % 5);
+
+    // With the full degradation ladder enabled every query must come back
+    // with the healthy answer: transient faults retry, persistent faults
+    // fall back to the CPU tier which matches the GPU bit for bit.
+    const std::vector<std::string> resilient =
+        RunSweepConfig(seed, rate, /*threads=*/1, /*allow_fallback=*/true);
+    EXPECT_EQ(resilient, reference) << "seed " << seed;
+
+    // Without the CPU tier, a query either matches the healthy answer or
+    // fails with a clean Status -- never a silently wrong answer.
+    const std::vector<std::string> raw =
+        RunSweepConfig(seed, rate, /*threads=*/1, /*allow_fallback=*/false);
+    ASSERT_EQ(raw.size(), reference.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i].find(":ok:") != std::string::npos) {
+        EXPECT_EQ(raw[i], reference[i]) << "seed " << seed;
+      }
+    }
+
+    // Same seed => identical outcome at every thread count, in both modes.
+    // (Thread-count independence: every injector draw and interrupt check
+    // happens on the thread issuing the pass, never inside worker bands.)
+    for (int threads : {2, 4, 8}) {
+      EXPECT_EQ(RunSweepConfig(seed, rate, threads, true), resilient)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(RunSweepConfig(seed, rate, threads, false), raw)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace gpu

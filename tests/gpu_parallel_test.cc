@@ -18,8 +18,10 @@
 #include "src/core/accumulator.h"
 #include "src/core/compare.h"
 #include "src/core/eval_cnf.h"
+#include "src/core/executor.h"
 #include "src/core/kth_largest.h"
 #include "src/core/range.h"
+#include "src/core/resilience.h"
 #include "src/db/datagen.h"
 #include "src/db/table.h"
 #include "src/gpu/device.h"
@@ -187,6 +189,69 @@ TEST(ParallelDeterminismTest, AwkwardViewportSizes) {
     const Snapshot serial = RunScenario(1, ints, 12);
     ExpectBitIdentical(serial, RunScenario(8, ints, 12),
                        "n=" + std::to_string(n));
+  }
+}
+
+// A deadline so small it has already expired when the first render pass
+// starts must fail with kDeadlineExceeded at every thread count, and with
+// the same status every time: the interrupt check runs at pass entry on the
+// issuing thread, before any band is dispatched, so worker threads can never
+// observe (or race on) the expiry.
+TEST(ParallelDeterminismTest, ExpiredDeadlineIsDeterministicAcrossThreads) {
+  auto table_or = db::MakeTcpIpTable(2000, /*seed=*/21);
+  ASSERT_OK(table_or.status());
+  const db::Table table = std::move(table_or).ValueOrDie();
+  const predicate::ExprPtr where =
+      predicate::Expr::Pred(0, CompareOp::kGreater, 5000.0f);
+
+  std::string first_status;
+  for (int threads : {1, 2, 4, 8}) {
+    gpu::Device device(100, 100);
+    ASSERT_OK(device.SetWorkerThreads(threads));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Executor> executor,
+                         Executor::Make(&device, &table));
+    ResilienceOptions options;
+    options.deadline_ms = 1e-7;  // expired before the first pass begins
+    executor->set_resilience_options(options);
+
+    auto result = executor->Count(where);
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_TRUE(result.status().IsDeadlineExceeded())
+        << "threads=" << threads << ": " << result.status().ToString();
+    if (first_status.empty()) {
+      first_status = result.status().ToString();
+    } else {
+      EXPECT_EQ(result.status().ToString(), first_status)
+          << "threads=" << threads;
+    }
+
+    // The DeadlineScope must disarm on exit: with the deadline lifted the
+    // same executor answers normally (CheckInterrupt cleared the flag).
+    EXPECT_FALSE(device.deadline_armed());
+    executor->set_resilience_options(ResilienceOptions{});
+    ASSERT_OK_AND_ASSIGN(uint64_t count, executor->Count(where));
+    EXPECT_GT(count, 0u);
+  }
+}
+
+// The same guarantee at the routine level, driving the device directly.
+TEST(ParallelDeterminismTest, ArmedDeviceDeadlineFailsRoutinesCleanly) {
+  const std::vector<uint32_t> ints = RandomInts(500, 12, 99);
+  for (int threads : {1, 4}) {
+    gpu::Device device(100, 100);
+    ASSERT_OK(device.SetWorkerThreads(threads));
+    AttributeBinding attr = UploadIntAttribute(&device, ints);
+
+    device.ArmDeadline(1e-7);
+    auto select = CompareSelect(&device, attr, CompareOp::kGreater, 100.0);
+    ASSERT_FALSE(select.ok()) << "threads=" << threads;
+    EXPECT_TRUE(select.status().IsDeadlineExceeded())
+        << select.status().ToString();
+
+    device.DisarmDeadline();
+    device.ClearInterrupt();
+    EXPECT_OK(CompareSelect(&device, attr, CompareOp::kGreater, 100.0)
+                  .status());
   }
 }
 

@@ -1,0 +1,82 @@
+// ThreadPool degradation behaviour: thread counts below 1 clamp instead of
+// asserting, and nested / concurrent ParallelFor calls run serially on the
+// calling thread instead of corrupting the in-flight job.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/gpu/thread_pool.h"
+
+namespace gpudb {
+namespace gpu {
+namespace {
+
+TEST(ThreadPool, ClampsNonPositiveThreadCounts) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1);
+  ThreadPool negative(-7);
+  EXPECT_EQ(negative.size(), 1);
+
+  std::atomic<int> runs{0};
+  zero.ParallelFor(16, [&](int) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 16);
+}
+
+TEST(ThreadPool, SizeCountsCallerAsAnEngine) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(static_cast<int>(hits.size()),
+                   [&](int i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyInsteadOfDeadlocking) {
+  ThreadPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  pool.ParallelFor(8, [&](int) {
+    outer.fetch_add(1);
+    // Re-entering from a worker (or the caller) must not touch the active
+    // job; the nested region runs inline on this thread.
+    pool.ParallelFor(4, [&](int) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8 * 4);
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromAnotherThreadCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  std::atomic<bool> release{false};
+
+  std::thread other([&] {
+    // Occupy the pool with a job whose tasks wait until the main thread has
+    // issued (and serially completed) its own region.
+    pool.ParallelFor(4, [&](int) {
+      first.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (first.load() == 0) std::this_thread::yield();
+  // The pool is busy: this call must fall back to a serial loop and return.
+  pool.ParallelFor(64, [&](int) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 64);
+  release.store(true);
+  other.join();
+  EXPECT_EQ(first.load(), 4);
+}
+
+}  // namespace
+}  // namespace gpu
+}  // namespace gpudb
