@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the sanitizer configurations:
+#   0. lint: gpulint (the in-tree analyzer, rules R1-R5 of DESIGN.md §12)
+#      over src/, plus the clang-tidy baseline diff (scripts/tidy.sh) —
+#      first, so rule violations fail before any build time is spent,
 #   1. the standard build + full ctest run (what CI gates on),
 #   2. a bench smoke run of every figure bench with a committed baseline,
 #      diffed against bench/baseline (model-time regression gate; see
@@ -9,15 +12,24 @@
 #      CPU fallback) executes in the gating build,
 #   4. an ASan+UBSan Debug build of the test suite, which also turns on the
 #      record-time PassRecord invariant asserts in gpu::Device and re-runs
-#      the fault sweep under ASan, and
-#   5. a TSan build of the parallel-pixel-engine determinism test and the
+#      the fault sweep under ASan,
+#   5. a standalone UBSan build (GPUDB_SANITIZE=undefined, recover off) of
+#      the full suite — UB aborts the test instead of hiding behind ASan's
+#      interceptors, and
+#   6. a TSan build of the parallel-pixel-engine determinism test and the
 #      fault sweep, run oversubscribed (GPUDB_THREADS=8) to shake out races
 #      in the row-band dispatch and the interrupt/fault paths.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier 1: standard build + tests =="
+echo "== lint: gpulint rules R1-R5 + clang-tidy baseline =="
+# gpulint only needs its own little library; build just that target.
 cmake -B build -S . >/dev/null
+cmake --build build -j --target gpulint
+./build/tools/gpulint/gpulint --root=. --json=build/gpulint-report.json
+scripts/tidy.sh
+
+echo "== tier 1: standard build + tests =="
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
@@ -47,6 +59,11 @@ cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
 GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
   ./build-asan/tests/device_fuzz_test --gtest_filter='FaultSweep.*'
+
+echo "== sanitizers: standalone UBSan build + tests =="
+cmake -B build-ubsan -S . -DGPUDB_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j
+ctest --test-dir build-ubsan --output-on-failure -j
 
 echo "== sanitizers: TSan build + parallel determinism + fault sweep =="
 cmake -B build-tsan -S . -DGPUDB_SANITIZE=thread >/dev/null

@@ -60,7 +60,7 @@ class Value {
 /// \brief Parses a complete JSON document (trailing whitespace allowed,
 /// trailing garbage is an error). Positions in error messages are byte
 /// offsets.
-Result<Value> Parse(std::string_view input);
+[[nodiscard]] Result<Value> Parse(std::string_view input);
 
 /// \brief Escapes and quotes a string for embedding in JSON output.
 std::string Quote(std::string_view s);

@@ -1,0 +1,75 @@
+#ifndef GPUDB_COMMON_METRIC_NAMES_H_
+#define GPUDB_COMMON_METRIC_NAMES_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace gpudb {
+namespace metric_names {
+
+/// \brief Central registry of every metric name the engine emits.
+///
+/// Dashboards, alert rules, and the Prometheus scrape config key off these
+/// strings, so a counter that is renamed at a call site but not here (or
+/// vice versa) leaves a panel silently flat. gpulint rule R5 closes the
+/// loop: every string literal passed to `MetricsRegistry::counter()`,
+/// `gauge()`, or `histogram()` anywhere under src/ must match an entry in
+/// this table, and names built from a dynamic suffix (e.g.
+/// `"executor." + op`) must match a `*` wildcard entry.
+///
+/// To add a metric: pick a dotted name, add it here (keep the table
+/// sorted), then use the same literal at the call site. Removing a metric
+/// means removing it from both places — gpulint does not flag unused
+/// registry entries, but reviewers should prune them.
+inline constexpr std::string_view kAll[] = {
+    "analyze.tables",
+    "executor.*",
+    "faults.injected",
+    "faults.injected.alloc",
+    "faults.injected.occlusion",
+    "faults.injected.pass",
+    "faults.injected.readback",
+    "gpu.bytes_read_back",
+    "gpu.bytes_swapped",
+    "gpu.bytes_uploaded",
+    "gpu.fragments_generated",
+    "gpu.occlusion_readbacks",
+    "gpu.passes",
+    "gpu.texture_swap_ins",
+    "planner.misestimates",
+    "queries.deadline_exceeded",
+    "queries.dropped_status",
+    "queries.dropped_status.*",
+    "queries.fell_back",
+    "queries.fell_back.*",
+    "queries.retried",
+    "queries.retry_attempts",
+    "resilience.breaker_opened",
+    "sql.queries",
+    "sql.query_wall_ms",
+    "sql.slow_queries",
+};
+
+inline constexpr size_t kCount = sizeof(kAll) / sizeof(kAll[0]);
+
+/// True when `name` is covered by the registry: an exact entry, or a
+/// wildcard entry whose prefix (the part before '*') starts `name`.
+/// Call sites do not need this at runtime — it exists so tests can assert
+/// that what a process actually registered stays inside the table.
+inline bool IsRegistered(std::string_view name) {
+  for (std::string_view entry : kAll) {
+    if (!entry.empty() && entry.back() == '*') {
+      if (name.size() > entry.size() - 1 &&
+          name.substr(0, entry.size() - 1) == entry.substr(0, entry.size() - 1))
+        return true;
+    } else if (name == entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace metric_names
+}  // namespace gpudb
+
+#endif  // GPUDB_COMMON_METRIC_NAMES_H_

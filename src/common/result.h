@@ -17,8 +17,11 @@ namespace gpudb {
 ///   Result<uint64_t> r = Count(device, pred);
 ///   if (!r.ok()) return r.status();
 ///   uint64_t n = r.ValueOrDie();
+///
+/// Like Status, Result is [[nodiscard]]: a dropped Result loses both the
+/// value and the failure, so the compiler and gpulint rule R1 reject it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversion from a value (the common success path).
   Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -37,7 +40,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// The failure status, or OK if this Result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(rep_);
   }
 

@@ -1,5 +1,7 @@
 #include "src/common/status.h"
 
+#include "src/common/metrics.h"
+
 namespace gpudb {
 
 std::string_view StatusCodeToString(StatusCode code) {
@@ -28,6 +30,16 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DeviceLost";
   }
   return "Unknown";
+}
+
+void DropStatus(const Status& status, std::string_view context) {
+  if (status.ok()) return;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.counter("queries.dropped_status").Increment();
+  std::string per_code("queries.dropped_status.");
+  per_code += StatusCodeToString(status.code());
+  registry.counter(per_code).Increment();
+  (void)context;  // Recorded for readers of the call site, not telemetry.
 }
 
 std::string Status::ToString() const {

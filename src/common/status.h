@@ -41,7 +41,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// or, with the convenience macro:
 ///
 ///   GPUDB_RETURN_NOT_OK(device.RenderQuad(depth));
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status is a build error
+/// (-Werror=unused-result) and a gpulint R1 diagnostic. The rare vetted
+/// log-and-continue path must go through DropStatus() so the drop is
+/// counted in metrics.
+class [[nodiscard]] Status {
  public:
   /// Constructs a success status.
   Status() = default;
@@ -57,35 +62,35 @@ class Status {
   Status(Status&&) = default;
   Status& operator=(Status&&) = default;
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status DeviceLost(std::string msg) {
+  [[nodiscard]] static Status DeviceLost(std::string msg) {
     return Status(StatusCode::kDeviceLost, std::move(msg));
   }
 
@@ -131,6 +136,19 @@ class Status {
   // Null for OK; shared so Status copies are cheap.
   std::shared_ptr<const State> state_;
 };
+
+/// The one sanctioned way to drop a Status on a log-and-continue path.
+///
+/// Best-effort work (telemetry snapshots, query-log writes, cache refresh)
+/// sometimes must swallow a failure rather than abort the query. A bare
+/// discard is invisible; DropStatus makes the drop observable: every non-OK
+/// drop increments the `queries.dropped_status` counter (and a per-code
+/// `queries.dropped_status.<Code>` counter), so a dashboard can tell
+/// "nothing failed" from "failures were eaten". OK statuses are free.
+///
+/// gpulint rule R1 treats DropStatus as consumption; a `(void)` cast is NOT
+/// accepted for Status-returning calls.
+void DropStatus(const Status& status, std::string_view context);
 
 /// Propagates a non-OK Status to the caller.
 #define GPUDB_RETURN_NOT_OK(expr)                \

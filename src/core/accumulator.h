@@ -34,13 +34,13 @@ struct AccumulatorOptions {
 /// as the paper states.
 ///
 /// Returns the exact 64-bit sum.
-Result<uint64_t> Accumulate(gpu::Device* device, gpu::TextureId texture,
+[[nodiscard]] Result<uint64_t> Accumulate(gpu::Device* device, gpu::TextureId texture,
                             int channel, int bit_width,
                             const AccumulatorOptions& options = {});
 
 /// \brief AVG = SUM / COUNT (Section 4.3.3). The count comes from the
 /// selection if present, else the viewport record count.
-Result<double> Average(gpu::Device* device, gpu::TextureId texture,
+[[nodiscard]] Result<double> Average(gpu::Device* device, gpu::TextureId texture,
                        int channel, int bit_width,
                        const AccumulatorOptions& options = {});
 

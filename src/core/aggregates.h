@@ -34,7 +34,7 @@ std::string_view ToString(AggregateKind kind);
 /// Accumulator (Routine 4.6); MIN/MAX/MEDIAN run KthLargest (Routine 4.5).
 /// `bit_width` is the attribute's b_max; it is required for every kind but
 /// COUNT.
-Result<double> AggregateAttribute(
+[[nodiscard]] Result<double> AggregateAttribute(
     gpu::Device* device, AggregateKind kind, const AttributeBinding& attr,
     int bit_width,
     const std::optional<StencilSelection>& selection = std::nullopt);

@@ -21,7 +21,7 @@ namespace core {
 /// quantile routine cannot handle exactly) fall back to a CPU sort with the
 /// same rank semantics, so both paths yield fences[i] = value at rank
 /// ceil((i+1) * n / buckets).
-Result<db::TableStats> CollectTableStats(Executor* executor, int buckets = 16);
+[[nodiscard]] Result<db::TableStats> CollectTableStats(Executor* executor, int buckets = 16);
 
 /// \brief Estimated selectivity of a WHERE tree in [0, 1] from ANALYZE
 /// statistics, using the textbook independence assumptions:

@@ -24,7 +24,7 @@ namespace core {
 /// the CPU's n log n comparison sort (see ext_bitonic_sort).
 ///
 /// Returns the values sorted ascending. Works on arbitrary finite floats.
-Result<std::vector<float>> BitonicSort(gpu::Device* device,
+[[nodiscard]] Result<std::vector<float>> BitonicSort(gpu::Device* device,
                                        const std::vector<float>& values);
 
 /// Number of bitonic network steps (rendering passes, excluding the
@@ -42,7 +42,7 @@ struct SortedPairs {
   std::vector<float> keys;
   std::vector<uint32_t> payloads;
 };
-Result<SortedPairs> BitonicSortPairs(gpu::Device* device,
+[[nodiscard]] Result<SortedPairs> BitonicSortPairs(gpu::Device* device,
                                      const std::vector<float>& keys,
                                      const std::vector<uint32_t>& payloads);
 

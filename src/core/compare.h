@@ -28,7 +28,7 @@ struct AttributeBinding {
 /// stencil/alpha tests disabled; color writes are masked off. Restores the
 /// previous render state afterwards. This is the expensive transfer the
 /// paper's Figure 2 measures and Section 6.1 ("Copy Time") discusses.
-Status CopyToDepth(gpu::Device* device, const AttributeBinding& attr);
+[[nodiscard]] Status CopyToDepth(gpu::Device* device, const AttributeBinding& attr);
 
 /// \brief The comparison pass of Compare (Routine 4.1): renders a screen
 /// filling quad at the encoded depth of `value` so the rasterizer evaluates
@@ -45,26 +45,26 @@ Status CopyToDepth(gpu::Device* device, const AttributeBinding& attr);
 /// the building block for selections (stencil REPLACE), CNF evaluation
 /// (stencil INCR/DECR), counting (occlusion query), and masked counting
 /// (stencil test EQUAL mask).
-Status CompareQuad(gpu::Device* device, gpu::CompareOp op, double value,
+[[nodiscard]] Status CompareQuad(gpu::Device* device, gpu::CompareOp op, double value,
                    const DepthEncoding& encoding);
 
 /// \brief Full Routine 4.1 with counting: CopyToDepth + comparison quad
 /// wrapped in an occlusion query. Returns the number of records satisfying
 /// `attribute op value`.
-Result<uint64_t> Compare(gpu::Device* device, const AttributeBinding& attr,
+[[nodiscard]] Result<uint64_t> Compare(gpu::Device* device, const AttributeBinding& attr,
                          gpu::CompareOp op, double value);
 
 /// \brief Counting pass against attribute values already in the depth
 /// buffer (no copy). Honors the current stencil test, so counts can be
 /// restricted to a previously computed selection.
-Result<uint64_t> CompareCount(gpu::Device* device, gpu::CompareOp op,
+[[nodiscard]] Result<uint64_t> CompareCount(gpu::Device* device, gpu::CompareOp op,
                               double value, const DepthEncoding& encoding);
 
 /// \brief Evaluates `attribute op value` and records the outcome in the
 /// stencil buffer: selected records get stencil 1, others 0. Returns the
 /// selected count. This is the single-predicate selection query of the
 /// paper's Section 5.5.
-Result<uint64_t> CompareSelect(gpu::Device* device,
+[[nodiscard]] Result<uint64_t> CompareSelect(gpu::Device* device,
                                const AttributeBinding& attr, gpu::CompareOp op,
                                double value);
 

@@ -16,15 +16,15 @@ namespace core {
 /// This is the selectivity-analysis primitive of Section 5.11: "Given
 /// selected data values scattered over a 1000x1000 frame-buffer, we can
 /// obtain the number of selected values within 0.25 ms."
-Result<uint64_t> CountSelected(gpu::Device* device, uint8_t selection_value);
+[[nodiscard]] Result<uint64_t> CountSelected(gpu::Device* device, uint8_t selection_value);
 
 /// \brief Counts all records in the viewport (COUNT(*) with no WHERE).
-Result<uint64_t> CountAll(gpu::Device* device);
+[[nodiscard]] Result<uint64_t> CountAll(gpu::Device* device);
 
 /// \brief Utility pass: sets every stencil value equal to `from` to zero
 /// (the "if a stencil value on screen is 1, replace it with 0" steps of
 /// Routine 4.3, lines 15-18).
-Status ZeroStencilValue(gpu::Device* device, uint8_t from);
+[[nodiscard]] Status ZeroStencilValue(gpu::Device* device, uint8_t from);
 
 }  // namespace core
 }  // namespace gpudb

@@ -96,6 +96,8 @@ Result<StencilSelection> EvalCnf(gpu::Device* device,
                          odd ? gpu::StencilOp::kIncr : gpu::StencilOp::kDecr);
     // Lines 11-14: evaluate each B_ij of the clause.
     for (const GpuPredicate& pred : clauses[i - 1]) {
+      // Cooperative cancellation between predicate passes (lint rule R2).
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
       GPUDB_RETURN_NOT_OK(PerformPredicate(device, pred));
     }
     // Lines 15-19: records still holding the old valid value failed every
@@ -142,6 +144,8 @@ Result<StencilSelection> EvalDnf(gpu::Device* device,
     // Conjunction chain over candidates: predicate j bumps j -> j+1.
     uint8_t value = 1;
     for (const GpuPredicate& pred : term) {
+      // Cooperative cancellation between predicate passes (lint rule R2).
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
       device->SetStencilTest(true, gpu::CompareOp::kEqual, value);
       device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
                            gpu::StencilOp::kIncr);
@@ -159,6 +163,8 @@ Result<StencilSelection> EvalDnf(gpu::Device* device,
     // Walk partial chains (values 2..m) back down to 1 so the next term
     // starts clean: each pass decrements every value above 1.
     for (int step = 0; step < m - 1; ++step) {
+      // Cooperative cancellation between walk-down passes (lint rule R2).
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
       device->SetStencilTest(true, gpu::CompareOp::kLess, /*ref=*/1);
       device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
                            gpu::StencilOp::kDecr);
@@ -193,6 +199,8 @@ Result<StencilSelection> EvalConjunction(
 
   uint8_t valid = 1;
   for (const GpuPredicate& pred : conjuncts) {
+    // Cooperative cancellation between predicate passes (lint rule R2).
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
     device->SetStencilTest(true, gpu::CompareOp::kEqual, valid);
     device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
                          gpu::StencilOp::kIncr);

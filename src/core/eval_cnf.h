@@ -55,7 +55,7 @@ struct StencilSelection {
 /// On return the stencil buffer holds the selection mask and the result
 /// reports the valid stencil value (2 if the clause count is odd, 1 if
 /// even) plus the selected-record count (one extra counting pass).
-Result<StencilSelection> EvalCnf(gpu::Device* device,
+[[nodiscard]] Result<StencilSelection> EvalCnf(gpu::Device* device,
                                  const std::vector<GpuClause>& clauses);
 
 /// One DNF term: conjunction of simple predicates.
@@ -74,7 +74,7 @@ using GpuTerm = std::vector<GpuPredicate>;
 ///
 /// On return the stencil marks selected records with value 0 (the returned
 /// StencilSelection's valid_value).
-Result<StencilSelection> EvalDnf(gpu::Device* device,
+[[nodiscard]] Result<StencilSelection> EvalDnf(gpu::Device* device,
                                  const std::vector<GpuTerm>& terms);
 
 /// \brief Optimized variant for pure conjunctions (every clause a single
@@ -82,7 +82,7 @@ Result<StencilSelection> EvalDnf(gpu::Device* device,
 /// and the ablation benchmark: predicate j passes records from stencil
 /// value j to j+1, so no cleanup passes are needed. Supports up to 254
 /// conjuncts (8-bit stencil).
-Result<StencilSelection> EvalConjunction(
+[[nodiscard]] Result<StencilSelection> EvalConjunction(
     gpu::Device* device, const std::vector<GpuPredicate>& conjuncts);
 
 }  // namespace core

@@ -46,69 +46,69 @@ class Executor {
   /// Creates an executor for `table` on `device`. Fails if the table is
   /// empty or does not fit the device framebuffer. Sets the device viewport
   /// to the table's row count. Both pointers must outlive the executor.
-  static Result<std::unique_ptr<Executor>> Make(gpu::Device* device,
+  [[nodiscard]] static Result<std::unique_ptr<Executor>> Make(gpu::Device* device,
                                                 const db::Table* table);
 
   /// Evaluates a WHERE clause on the GPU, leaving the selection mask in the
   /// stencil buffer. A null expression selects every record.
-  Result<StencilSelection> Where(const predicate::ExprPtr& expr);
+  [[nodiscard]] Result<StencilSelection> Where(const predicate::ExprPtr& expr);
 
   /// SELECT COUNT(*) FROM t WHERE expr.
-  Result<uint64_t> Count(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<uint64_t> Count(const predicate::ExprPtr& where);
 
   /// Selected rows as a 0/1 bitmap.
-  Result<std::vector<uint8_t>> SelectBitmap(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<std::vector<uint8_t>> SelectBitmap(const predicate::ExprPtr& where);
 
   /// Selected rows as sorted row ids.
-  Result<std::vector<uint32_t>> SelectRowIds(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<std::vector<uint32_t>> SelectRowIds(const predicate::ExprPtr& where);
 
   /// Selected rows materialized as a new table (same schema). Fails if the
   /// selection is empty.
-  Result<db::Table> SelectTable(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<db::Table> SelectTable(const predicate::ExprPtr& where);
 
   /// ORDER BY column DESC LIMIT k, GPU-accelerated: Routine 4.5 finds the
   /// k-th largest value as a threshold, one comparison pass selects the
   /// (at most k + ties) candidate rows, and only those few rows are
   /// materialized and sorted on the CPU. Returns exactly k (row, value)
   /// pairs, ties broken by ascending row id.
-  Result<std::vector<std::pair<uint32_t, uint32_t>>> TopK(
+  [[nodiscard]] Result<std::vector<std::pair<uint32_t, uint32_t>>> TopK(
       std::string_view column, uint64_t k);
 
   /// SELECT <agg>(column) FROM t WHERE expr (null = no WHERE).
-  Result<double> Aggregate(AggregateKind kind, std::string_view column,
+  [[nodiscard]] Result<double> Aggregate(AggregateKind kind, std::string_view column,
                            const predicate::ExprPtr& where = nullptr);
 
   /// SELECT the k-th largest value of `column` among rows matching `where`.
-  Result<uint32_t> KthLargest(std::string_view column, uint64_t k,
+  [[nodiscard]] Result<uint32_t> KthLargest(std::string_view column, uint64_t k,
                               const predicate::ExprPtr& where = nullptr);
 
   /// ORDER BY column: all row ids sorted by the column's value (ties broken
   /// by ascending row id when ascending). Runs the GPU bitonic network over
   /// (key, row id) pairs -- the sorting future-work of Section 7, priced
   /// honestly at n log^2 n fragment operations (see ext_bitonic_sort).
-  Result<std::vector<uint32_t>> OrderByRowIds(std::string_view column,
+  [[nodiscard]] Result<std::vector<uint32_t>> OrderByRowIds(std::string_view column,
                                               bool ascending = true);
 
   /// Range query with the depth-bounds fast path (Routine 4.4); equivalent
   /// to Where(Between(...)) but one comparison pass cheaper.
-  Result<uint64_t> RangeCount(std::string_view column, double low,
+  [[nodiscard]] Result<uint64_t> RangeCount(std::string_view column, double low,
                               double high);
 
   /// Semi-linear count: #records with dot(weights, columns) op b, over up to
   /// four columns given as (column name, weight) pairs.
-  Result<uint64_t> SemilinearCount(
+  [[nodiscard]] Result<uint64_t> SemilinearCount(
       const std::vector<std::pair<std::string, float>>& weighted_columns,
       gpu::CompareOp op, float b);
 
   /// SELECT key, <agg>(value) FROM t GROUP BY key, for a low-cardinality
   /// integer key column (OLAP roll-up; see core/group_by.h).
-  Result<std::vector<GroupByRow>> GroupBy(std::string_view key_column,
+  [[nodiscard]] Result<std::vector<GroupByRow>> GroupBy(std::string_view key_column,
                                           std::string_view value_column,
                                           AggregateKind kind,
                                           uint64_t max_groups = 256);
 
   /// q-quantiles of an integer column (equi-depth histogram boundaries).
-  Result<std::vector<uint32_t>> Quantiles(std::string_view column, int q);
+  [[nodiscard]] Result<std::vector<uint32_t>> Quantiles(std::string_view column, int q);
 
   const db::Table& table() const { return *table_; }
   gpu::Device& device() { return *device_; }
@@ -116,7 +116,7 @@ class Executor {
   /// Forwards to Device::SetWorkerThreads: number of parallel pixel
   /// engines for this executor's device. Never changes results -- every
   /// operator is bit-identical at any thread count -- only wall-clock.
-  Status SetWorkerThreads(int n) { return device_->SetWorkerThreads(n); }
+  [[nodiscard]] Status SetWorkerThreads(int n) { return device_->SetWorkerThreads(n); }
   int worker_threads() const { return device_->worker_threads(); }
 
   /// Installs the resilience policy for this executor's public entry
@@ -144,7 +144,7 @@ class Executor {
   /// The GPU binding (texture/channel/encoding) for a column; uploads the
   /// column texture on first use. Exposed for benchmarks that drive the
   /// low-level routines directly.
-  Result<AttributeBinding> BindingFor(size_t column_index);
+  [[nodiscard]] Result<AttributeBinding> BindingFor(size_t column_index);
 
  private:
   Executor(gpu::Device* device, const db::Table* table);
@@ -158,11 +158,11 @@ class Executor {
   }
 
   /// Texture holding the (a, b) column pair in channels 0/1.
-  Result<gpu::TextureId> PairTexture(size_t a, size_t b);
+  [[nodiscard]] Result<gpu::TextureId> PairTexture(size_t a, size_t b);
 
   /// Lowers CNF clauses / DNF terms into GPU predicates (the per-predicate
   /// lowering is identical for both normal forms).
-  Result<std::vector<GpuClause>> Lower(
+  [[nodiscard]] Result<std::vector<GpuClause>> Lower(
       const std::vector<std::vector<predicate::SimplePredicate>>& groups);
 
   // --- Resilience (core/resilience.h) ------------------------------------
@@ -173,46 +173,46 @@ class Executor {
   /// allowed) after unrecoverable device faults or while the breaker is
   /// open. User errors and deadline/cancel statuses propagate untouched.
   template <typename T>
-  Result<T> RunResilient(const char* op_name,
+  [[nodiscard]] Result<T> RunResilient(const char* op_name,
                          const std::function<Result<T>()>& gpu,
                          const std::function<Result<T>()>& cpu);
 
   // GPU bodies of the public entry points (the pre-resilience behaviour;
   // public methods wrap these in RunResilient).
-  Result<uint64_t> CountGpu(const predicate::ExprPtr& where);
-  Result<std::vector<uint8_t>> SelectBitmapGpu(const predicate::ExprPtr& where);
-  Result<std::vector<uint32_t>> SelectRowIdsGpu(
+  [[nodiscard]] Result<uint64_t> CountGpu(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<std::vector<uint8_t>> SelectBitmapGpu(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<std::vector<uint32_t>> SelectRowIdsGpu(
       const predicate::ExprPtr& where);
-  Result<std::vector<std::pair<uint32_t, uint32_t>>> TopKGpu(
+  [[nodiscard]] Result<std::vector<std::pair<uint32_t, uint32_t>>> TopKGpu(
       std::string_view column, uint64_t k);
-  Result<double> AggregateGpu(AggregateKind kind, std::string_view column,
+  [[nodiscard]] Result<double> AggregateGpu(AggregateKind kind, std::string_view column,
                               const predicate::ExprPtr& where);
-  Result<uint32_t> KthLargestGpu(std::string_view column, uint64_t k,
+  [[nodiscard]] Result<uint32_t> KthLargestGpu(std::string_view column, uint64_t k,
                                  const predicate::ExprPtr& where);
-  Result<std::vector<uint32_t>> OrderByRowIdsGpu(std::string_view column,
+  [[nodiscard]] Result<std::vector<uint32_t>> OrderByRowIdsGpu(std::string_view column,
                                                  bool ascending);
-  Result<uint64_t> RangeCountGpu(std::string_view column, double low,
+  [[nodiscard]] Result<uint64_t> RangeCountGpu(std::string_view column, double low,
                                  double high);
-  Result<uint64_t> SemilinearCountGpu(
+  [[nodiscard]] Result<uint64_t> SemilinearCountGpu(
       const std::vector<std::pair<std::string, float>>& weighted_columns,
       gpu::CompareOp op, float b);
-  Result<std::vector<GroupByRow>> GroupByGpu(std::string_view key_column,
+  [[nodiscard]] Result<std::vector<GroupByRow>> GroupByGpu(std::string_view key_column,
                                              std::string_view value_column,
                                              AggregateKind kind,
                                              uint64_t max_groups);
-  Result<std::vector<uint32_t>> QuantilesGpu(std::string_view column, int q);
+  [[nodiscard]] Result<std::vector<uint32_t>> QuantilesGpu(std::string_view column, int q);
 
   // CPU fallback tier (cpu/scan + cpu/quickselect + cpu/aggregate): exact
   // equivalents of the GPU operators for integer columns, used when the
   // device is faulting (DESIGN.md section 11 degradation ladder).
-  Result<std::vector<uint8_t>> CpuSelectionMask(const predicate::ExprPtr& where);
-  Result<uint64_t> CpuCount(const predicate::ExprPtr& where);
-  Result<std::vector<uint32_t>> CpuRowIds(const predicate::ExprPtr& where);
-  Result<double> CpuAggregate(AggregateKind kind, std::string_view column,
+  [[nodiscard]] Result<std::vector<uint8_t>> CpuSelectionMask(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<uint64_t> CpuCount(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<std::vector<uint32_t>> CpuRowIds(const predicate::ExprPtr& where);
+  [[nodiscard]] Result<double> CpuAggregate(AggregateKind kind, std::string_view column,
                               const predicate::ExprPtr& where);
-  Result<uint32_t> CpuKthLargest(std::string_view column, uint64_t k,
+  [[nodiscard]] Result<uint32_t> CpuKthLargest(std::string_view column, uint64_t k,
                                  const predicate::ExprPtr& where);
-  Result<uint64_t> CpuRangeCount(std::string_view column, double low,
+  [[nodiscard]] Result<uint64_t> CpuRangeCount(std::string_view column, double low,
                                  double high);
 
   gpu::Device* device_;

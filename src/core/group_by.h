@@ -35,7 +35,7 @@ struct GroupByRow {
 /// `max_groups` bounds the distinct-key cardinality; exceeding it returns
 /// ResourceExhausted (GROUP BY on a high-cardinality key does not fit this
 /// execution model -- each group costs rendering passes).
-Result<std::vector<GroupByRow>> GroupByAggregate(
+[[nodiscard]] Result<std::vector<GroupByRow>> GroupByAggregate(
     gpu::Device* device, const AttributeBinding& key_attr, int key_bits,
     const AttributeBinding& value_attr, int value_bits, AggregateKind kind,
     uint64_t max_groups = 256);
@@ -43,7 +43,7 @@ Result<std::vector<GroupByRow>> GroupByAggregate(
 /// \brief Distinct values of an integer attribute in ascending order, via
 /// the same next-largest discovery loop. Costs one selection pass plus a
 /// bit-search per distinct value.
-Result<std::vector<uint32_t>> DistinctValues(gpu::Device* device,
+[[nodiscard]] Result<std::vector<uint32_t>> DistinctValues(gpu::Device* device,
                                              const AttributeBinding& attr,
                                              int bit_width,
                                              uint64_t max_values = 4096);

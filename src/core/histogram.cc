@@ -42,6 +42,8 @@ Result<Histogram> GpuHistogram(gpu::Device* device,
   // Cumulative counts at each bucket edge; one comparison pass per edge.
   std::vector<uint64_t> ge(buckets + 1, 0);
   for (int i = 0; i <= buckets; ++i) {
+    // Cooperative cancellation between per-edge passes (lint rule R2).
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
     const double edge = hist.low + hist.BucketWidth() * i;
     // The final edge uses GREATER so the last bucket includes `high`.
     const gpu::CompareOp op = (i == buckets) ? gpu::CompareOp::kGreater

@@ -47,12 +47,12 @@ struct Histogram {
 /// integer columns the counts are exact when every edge lands on an integer
 /// (choose `high - low` divisible by `buckets`); fractional edges round to
 /// the nearest depth code, the Section 6.1 precision caveat.
-Result<Histogram> GpuHistogram(gpu::Device* device,
+[[nodiscard]] Result<Histogram> GpuHistogram(gpu::Device* device,
                                const AttributeBinding& attr, double low,
                                double high, int buckets);
 
 /// CPU reference with identical bucket semantics.
-Result<Histogram> CpuHistogram(const std::vector<float>& values, double low,
+[[nodiscard]] Result<Histogram> CpuHistogram(const std::vector<float>& values, double low,
                                double high, int buckets);
 
 /// \brief q-quantiles of an integer attribute: result[i] is the
@@ -61,7 +61,7 @@ Result<Histogram> CpuHistogram(const std::vector<float>& values, double low,
 ///
 /// Computed with KthLargestBatch -- one CopyToDepth plus q bit-searches --
 /// and the basis of equi-depth histograms for selectivity estimation.
-Result<std::vector<uint32_t>> GpuQuantiles(gpu::Device* device,
+[[nodiscard]] Result<std::vector<uint32_t>> GpuQuantiles(gpu::Device* device,
                                            const AttributeBinding& attr,
                                            int bit_width, int q);
 
@@ -69,10 +69,10 @@ Result<std::vector<uint32_t>> GpuQuantiles(gpu::Device* device,
 /// histograms with identical bucketing, assuming values are uniformly spread
 /// within each bucket over an integer domain:
 ///   sum_i  a_i * b_i / max(1, bucket_width).
-Result<double> EstimateEquiJoinSize(const Histogram& a, const Histogram& b);
+[[nodiscard]] Result<double> EstimateEquiJoinSize(const Histogram& a, const Histogram& b);
 
 /// Estimated join selectivity: EstimateEquiJoinSize / (|A| * |B|).
-Result<double> EstimateEquiJoinSelectivity(const Histogram& a,
+[[nodiscard]] Result<double> EstimateEquiJoinSelectivity(const Histogram& a,
                                            const Histogram& b);
 
 }  // namespace core

@@ -53,7 +53,7 @@ struct JoinSide {
 /// Put the lower-cardinality relation on the left. Both relations' key
 /// textures must be resident on the same device; the viewport is switched
 /// per side.
-Result<std::vector<JoinPair>> EquiJoin(gpu::Device* device,
+[[nodiscard]] Result<std::vector<JoinPair>> EquiJoin(gpu::Device* device,
                                        const JoinSide& left,
                                        const JoinSide& right,
                                        const EquiJoinOptions& options = {});
@@ -61,7 +61,7 @@ Result<std::vector<JoinPair>> EquiJoin(gpu::Device* device,
 /// \brief Convenience wrapper: uploads both tables' (integer) key columns to
 /// the device and runs EquiJoin. Put the lower-cardinality table on the
 /// left. Both tables must individually fit the framebuffer.
-Result<std::vector<JoinPair>> EquiJoinTables(gpu::Device* device,
+[[nodiscard]] Result<std::vector<JoinPair>> EquiJoinTables(gpu::Device* device,
                                              const db::Table& left,
                                              std::string_view left_key,
                                              const db::Table& right,
@@ -72,7 +72,7 @@ Result<std::vector<JoinPair>> EquiJoinTables(gpu::Device* device,
 /// key, the product of the two sides' occlusion counts. This is what a
 /// query optimizer wants from the GPU (compare EstimateEquiJoinSize for the
 /// histogram approximation).
-Result<uint64_t> EquiJoinSize(gpu::Device* device, const JoinSide& left,
+[[nodiscard]] Result<uint64_t> EquiJoinSize(gpu::Device* device, const JoinSide& left,
                               const JoinSide& right,
                               const EquiJoinOptions& options = {});
 

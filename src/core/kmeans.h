@@ -38,7 +38,7 @@ struct KMeansResult {
 /// each within `coord_bits` bits (exact in the Accumulator); the device
 /// viewport must cover the point count. Empty clusters keep their previous
 /// centroid. Converges when no centroid moves by more than `epsilon`.
-Result<KMeansResult> KMeans2D(
+[[nodiscard]] Result<KMeansResult> KMeans2D(
     gpu::Device* device, gpu::TextureId xy_texture, int coord_bits,
     const std::vector<std::pair<float, float>>& initial_centroids,
     int max_iterations, float epsilon = 0.01f);

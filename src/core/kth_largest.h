@@ -34,7 +34,7 @@ struct KthOptions {
 /// `attr` must be an exactly-encoded integer attribute (DepthEncoding
 /// ExactInt24); `bit_width` is the column's b_max. Fails if k is out of
 /// range for the (selected) record count.
-Result<uint32_t> KthLargest(gpu::Device* device, const AttributeBinding& attr,
+[[nodiscard]] Result<uint32_t> KthLargest(gpu::Device* device, const AttributeBinding& attr,
                             int bit_width, uint64_t k,
                             const KthOptions& options = {});
 
@@ -43,7 +43,7 @@ Result<uint32_t> KthLargest(gpu::Device* device, const AttributeBinding& attr,
 /// depth, so the attribute stays resident across queries. Cost:
 /// 1 copy + |ks| * bit_width passes instead of |ks| * (1 + bit_width).
 /// Returns values positionally aligned with `ks`.
-Result<std::vector<uint32_t>> KthLargestBatch(gpu::Device* device,
+[[nodiscard]] Result<std::vector<uint32_t>> KthLargestBatch(gpu::Device* device,
                                               const AttributeBinding& attr,
                                               int bit_width,
                                               const std::vector<uint64_t>& ks,
@@ -51,7 +51,7 @@ Result<std::vector<uint32_t>> KthLargestBatch(gpu::Device* device,
 
 /// k-th smallest (k = 1 is the minimum), via the order-statistic identity
 /// k-th smallest of n == (n-k+1)-th largest.
-Result<uint32_t> KthSmallest(gpu::Device* device, const AttributeBinding& attr,
+[[nodiscard]] Result<uint32_t> KthSmallest(gpu::Device* device, const AttributeBinding& attr,
                              int bit_width, uint64_t k,
                              const KthOptions& options = {});
 
@@ -61,21 +61,21 @@ Result<uint32_t> KthSmallest(gpu::Device* device, const AttributeBinding& attr,
 /// comparison quad and keeps the tentative bit while at most k-1 values lie
 /// below it. Kept alongside the identity-based KthSmallest and
 /// property-tested equal to it.
-Result<uint32_t> KthSmallestDirect(gpu::Device* device,
+[[nodiscard]] Result<uint32_t> KthSmallestDirect(gpu::Device* device,
                                    const AttributeBinding& attr,
                                    int bit_width, uint64_t k,
                                    const KthOptions& options = {});
 
 /// MAX = 1st largest.
-Result<uint32_t> MaxValue(gpu::Device* device, const AttributeBinding& attr,
+[[nodiscard]] Result<uint32_t> MaxValue(gpu::Device* device, const AttributeBinding& attr,
                           int bit_width, const KthOptions& options = {});
 
 /// MIN = 1st smallest.
-Result<uint32_t> MinValue(gpu::Device* device, const AttributeBinding& attr,
+[[nodiscard]] Result<uint32_t> MinValue(gpu::Device* device, const AttributeBinding& attr,
                           int bit_width, const KthOptions& options = {});
 
 /// Median = ceil(n/2)-th smallest, matching cpu::Median.
-Result<uint32_t> MedianValue(gpu::Device* device, const AttributeBinding& attr,
+[[nodiscard]] Result<uint32_t> MedianValue(gpu::Device* device, const AttributeBinding& attr,
                              int bit_width, const KthOptions& options = {});
 
 }  // namespace core

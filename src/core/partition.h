@@ -42,7 +42,7 @@ class PartitionedColumn {
   /// Splits `column` (which must be an Int24 column) into device-sized tiles
   /// and uploads each as its own texture (modeling the texture working set;
   /// each tile upload is charged to the bus counters once).
-  static Result<PartitionedColumn> Make(gpu::Device* device,
+  [[nodiscard]] static Result<PartitionedColumn> Make(gpu::Device* device,
                                         const db::Column& column,
                                         const PartitionOptions& options = {});
 
@@ -51,19 +51,19 @@ class PartitionedColumn {
   int bit_width() const { return bit_width_; }
 
   /// COUNT(*) WHERE value op constant, across all tiles.
-  Result<uint64_t> Count(gpu::CompareOp op, double constant) const;
+  [[nodiscard]] Result<uint64_t> Count(gpu::CompareOp op, double constant) const;
 
   /// Exact SUM across all tiles (Routine 4.6 per tile).
-  Result<uint64_t> Sum() const;
+  [[nodiscard]] Result<uint64_t> Sum() const;
 
   /// k-th largest across all tiles (Routine 4.5 with cross-tile counts).
-  Result<uint32_t> KthLargest(uint64_t k) const;
+  [[nodiscard]] Result<uint32_t> KthLargest(uint64_t k) const;
 
   /// Median across all tiles.
-  Result<uint32_t> Median() const;
+  [[nodiscard]] Result<uint32_t> Median() const;
 
   /// Selection bitmap across all tiles (stencil read back per tile).
-  Result<std::vector<uint8_t>> SelectBitmap(gpu::CompareOp op,
+  [[nodiscard]] Result<std::vector<uint8_t>> SelectBitmap(gpu::CompareOp op,
                                             double constant) const;
 
   /// Tiles skipped by zone-map pruning since construction.
@@ -88,7 +88,7 @@ class PartitionedColumn {
 
   /// Total #{v op constant} summed over tiles; shared by Count and the
   /// KthLargest inner loop.
-  Result<uint64_t> CrossTileCount(gpu::CompareOp op, double constant) const;
+  [[nodiscard]] Result<uint64_t> CrossTileCount(gpu::CompareOp op, double constant) const;
 
   gpu::Device* device_;
   int bit_width_;

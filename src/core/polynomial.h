@@ -25,7 +25,7 @@ struct PolynomialQuery {
 /// \brief Evaluates the polynomial query in a single fragment-program pass:
 /// failing records are killed, survivors are counted by occlusion query and
 /// marked in the stencil buffer (stencil = 1). Returns the satisfying count.
-Result<uint64_t> PolynomialSelect(gpu::Device* device, gpu::TextureId texture,
+[[nodiscard]] Result<uint64_t> PolynomialSelect(gpu::Device* device, gpu::TextureId texture,
                                   const PolynomialQuery& query);
 
 }  // namespace core

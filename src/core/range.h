@@ -20,14 +20,14 @@ namespace core {
 /// time required in evaluating a single predicate" (Section 4.2).
 ///
 /// Selected records get stencil = 1, others 0; returns the selected count.
-Result<uint64_t> RangeSelect(gpu::Device* device, const AttributeBinding& attr,
+[[nodiscard]] Result<uint64_t> RangeSelect(gpu::Device* device, const AttributeBinding& attr,
                              double low, double high);
 
 /// \brief The same range query implemented as a two-predicate CNF
 /// ((x >= low) AND (x <= high)) via two comparison passes. This is the
 /// baseline the paper contrasts the depth-bounds path against; kept for the
 /// ablation benchmark.
-Result<uint64_t> RangeSelectTwoPass(gpu::Device* device,
+[[nodiscard]] Result<uint64_t> RangeSelectTwoPass(gpu::Device* device,
                                     const AttributeBinding& attr, double low,
                                     double high);
 

@@ -13,7 +13,7 @@ namespace core {
 
 /// \brief Marks every record in the viewport as selected (the WHERE-less
 /// query): clears stencil to 1 and reports the full record count.
-Result<StencilSelection> SelectAll(gpu::Device* device);
+[[nodiscard]] Result<StencilSelection> SelectAll(gpu::Device* device);
 
 /// \brief Materializes the selection held in the stencil buffer as a 0/1
 /// bitmap over the first `num_records` records.
@@ -21,12 +21,12 @@ Result<StencilSelection> SelectAll(gpu::Device* device);
 /// The paper's algorithms deliberately never read results back (counts come
 /// from occlusion queries); materialization is what a downstream SELECT
 /// needs, and is charged as a GPU->CPU stencil readback.
-Result<std::vector<uint8_t>> SelectionToBitmap(gpu::Device* device,
+[[nodiscard]] Result<std::vector<uint8_t>> SelectionToBitmap(gpu::Device* device,
                                                const StencilSelection& sel,
                                                uint64_t num_records);
 
 /// \brief Materializes the selection as sorted row ids.
-Result<std::vector<uint32_t>> SelectionToRowIds(gpu::Device* device,
+[[nodiscard]] Result<std::vector<uint32_t>> SelectionToRowIds(gpu::Device* device,
                                                 const StencilSelection& sel,
                                                 uint64_t num_records);
 

@@ -33,14 +33,14 @@ struct SemilinearQuery {
 /// non-satisfying records keep their cleared 0).
 ///
 /// Returns the number of satisfying records.
-Result<uint64_t> SemilinearSelect(gpu::Device* device, gpu::TextureId texture,
+[[nodiscard]] Result<uint64_t> SemilinearSelect(gpu::Device* device, gpu::TextureId texture,
                                   const SemilinearQuery& query);
 
 /// \brief Semilinear pass that leaves stencil/occlusion configuration to the
 /// caller (used inside EvalCnf clauses): renders the quad with the program
 /// installed; fragments failing the query are killed before the stencil
 /// stage.
-Status SemilinearQuad(gpu::Device* device, gpu::TextureId texture,
+[[nodiscard]] Status SemilinearQuad(gpu::Device* device, gpu::TextureId texture,
                       const SemilinearQuery& query);
 
 /// \brief Semi-linear query over up to EIGHT attributes split across two
@@ -48,7 +48,7 @@ Status SemilinearQuad(gpu::Device* device, gpu::TextureId texture,
 /// into multiple textures, each with four components" (Section 4.1.2).
 /// `weights[0..3]` weight texture_a's channels, `weights[4..7]` texture_b's.
 /// Marks satisfying records in the stencil (value 1) and returns the count.
-Result<uint64_t> SemilinearSelectWide(gpu::Device* device,
+[[nodiscard]] Result<uint64_t> SemilinearSelectWide(gpu::Device* device,
                                       gpu::TextureId texture_a,
                                       gpu::TextureId texture_b,
                                       const std::array<float, 8>& weights,

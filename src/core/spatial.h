@@ -22,7 +22,7 @@ struct HalfPlane {
 /// \brief Converts a convex polygon (>= 3 vertices in counter-clockwise
 /// order) into its bounding half-planes. Fails if the polygon is not
 /// strictly convex and counter-clockwise.
-Result<std::vector<HalfPlane>> ConvexPolygonToHalfPlanes(
+[[nodiscard]] Result<std::vector<HalfPlane>> ConvexPolygonToHalfPlanes(
     const std::vector<std::pair<float, float>>& ccw_vertices);
 
 /// \brief Selects the points of an (x, y) two-channel texture that lie
@@ -35,12 +35,12 @@ Result<std::vector<HalfPlane>> ConvexPolygonToHalfPlanes(
 /// region membership is their conjunction, evaluated with EvalCNF.
 ///
 /// On return the stencil marks the selected points; the count is returned.
-Result<StencilSelection> SelectPointsInConvexRegion(
+[[nodiscard]] Result<StencilSelection> SelectPointsInConvexRegion(
     gpu::Device* device, gpu::TextureId xy_texture,
     const std::vector<HalfPlane>& half_planes);
 
 /// Convenience: polygon variant.
-Result<StencilSelection> SelectPointsInConvexPolygon(
+[[nodiscard]] Result<StencilSelection> SelectPointsInConvexPolygon(
     gpu::Device* device, gpu::TextureId xy_texture,
     const std::vector<std::pair<float, float>>& ccw_vertices);
 

@@ -34,14 +34,14 @@ struct Polygon2D {
 /// thinner than a pixel can be missed and near-misses within a pixel can be
 /// reported. Polygons must be strictly convex, counter-clockwise, and lie
 /// inside the framebuffer.
-Result<bool> PolygonsOverlapScreenSpace(gpu::Device* device,
+[[nodiscard]] Result<bool> PolygonsOverlapScreenSpace(gpu::Device* device,
                                         const Polygon2D& a,
                                         const Polygon2D& b);
 
 /// \brief Spatial overlap join: all (i, j) pairs whose polygons' rasterized
 /// footprints intersect. Bounding boxes prune pairs on the CPU (free);
 /// surviving pairs run the two-pass screen-space test.
-Result<std::vector<std::pair<uint32_t, uint32_t>>> SpatialOverlapJoin(
+[[nodiscard]] Result<std::vector<std::pair<uint32_t, uint32_t>>> SpatialOverlapJoin(
     gpu::Device* device, const std::vector<Polygon2D>& layer_a,
     const std::vector<Polygon2D>& layer_b);
 

@@ -24,35 +24,35 @@ class StreamWindow {
  public:
   /// Creates a window of up to `capacity` records whose values fit in
   /// `bit_width` bits. The capacity must fit the device framebuffer.
-  static Result<StreamWindow> Make(gpu::Device* device, uint64_t capacity,
+  [[nodiscard]] static Result<StreamWindow> Make(gpu::Device* device, uint64_t capacity,
                                    int bit_width);
 
   /// Appends a batch, evicting the oldest records once full. Values must fit
   /// the declared bit width.
-  Status Push(const std::vector<uint32_t>& values);
+  [[nodiscard]] Status Push(const std::vector<uint32_t>& values);
 
   /// Records currently in the window (<= capacity).
   uint64_t size() const { return size_; }
   uint64_t capacity() const { return capacity_; }
 
   /// COUNT(*) WHERE value op constant over the current window.
-  Result<uint64_t> Count(gpu::CompareOp op, double constant);
+  [[nodiscard]] Result<uint64_t> Count(gpu::CompareOp op, double constant);
 
   /// Exact SUM over the current window (Routine 4.6).
-  Result<uint64_t> Sum();
+  [[nodiscard]] Result<uint64_t> Sum();
 
   /// k-th largest over the current window (Routine 4.5).
-  Result<uint32_t> KthLargest(uint64_t k);
+  [[nodiscard]] Result<uint32_t> KthLargest(uint64_t k);
 
   /// Median over the current window.
-  Result<uint32_t> Median();
+  [[nodiscard]] Result<uint32_t> Median();
 
  private:
   StreamWindow(gpu::Device* device, gpu::TextureId texture, uint64_t capacity,
                int bit_width);
 
   /// Points the device viewport at the live window region.
-  Status Activate();
+  [[nodiscard]] Status Activate();
 
   gpu::Device* device_;
   AttributeBinding binding_;

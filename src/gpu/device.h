@@ -62,40 +62,40 @@ class Device {
 
   /// Copies a texture into video memory, charging the AGP upload to the
   /// counters. Returns a handle for BindTexture.
-  Result<TextureId> UploadTexture(Texture texture);
+  [[nodiscard]] Result<TextureId> UploadTexture(Texture texture);
 
   /// Allocates an uninitialized texture in video memory (no bus transfer) --
   /// scratch storage for multi-pass ping-pong algorithms such as the bitonic
   /// sort (glTexImage2D with a null pointer, in 2004 terms).
-  Result<TextureId> CreateTexture(uint32_t width, uint32_t height,
+  [[nodiscard]] Result<TextureId> CreateTexture(uint32_t width, uint32_t height,
                                   int channels);
 
   /// Copies the framebuffer's color plane into a texture of matching
   /// dimensions (glCopyTexSubImage2D): the 2004 idiom for render-to-texture
   /// ping-pong. Only the first `channels()` color channels are copied.
   /// Charged as a one-cycle-per-texel on-card pass.
-  Status CopyColorToTexture(TextureId dst);
+  [[nodiscard]] Status CopyColorToTexture(TextureId dst);
 
   /// Reads a texture's contents back to the CPU (charged as a GPU->CPU
   /// transfer). Used to materialize sorted output.
-  Result<std::vector<float>> ReadTexture(TextureId id, int channel);
+  [[nodiscard]] Result<std::vector<float>> ReadTexture(TextureId id, int channel);
 
   /// Partial texture update (glTexSubImage2D): overwrites `values.size()`
   /// texels of channel `channel` starting at linear texel `offset`, charging
   /// only the updated bytes to the upload bus. This is what keeps streaming
   /// windows incremental (only new records cross the AGP bus).
-  Status UpdateTexture(TextureId id, uint64_t offset,
+  [[nodiscard]] Status UpdateTexture(TextureId id, uint64_t offset,
                        const std::vector<float>& values, int channel = 0);
 
   /// Binds a texture to texture unit 0.
-  Status BindTexture(TextureId id);
+  [[nodiscard]] Status BindTexture(TextureId id);
 
   /// Binds a texture to a numbered unit (0..3). Multi-unit programs read
   /// attribute vectors split across textures (paper Section 4.1.2).
-  Status BindTextureUnit(int unit, TextureId id);
+  [[nodiscard]] Status BindTextureUnit(int unit, TextureId id);
 
   /// Unbinds a unit (fragments see a null texture there).
-  Status UnbindTextureUnit(int unit);
+  [[nodiscard]] Status UnbindTextureUnit(int unit);
 
   const Texture& texture(TextureId id) const { return textures_[id].data; }
 
@@ -108,7 +108,7 @@ class Device {
   /// out-of-core texture traffic Section 6.1 describes. Shrinking the
   /// budget below the size of any single texture makes that texture
   /// unusable (ResourceExhausted on touch).
-  Status SetVideoMemoryBudget(uint64_t bytes);
+  [[nodiscard]] Status SetVideoMemoryBudget(uint64_t bytes);
 
   uint64_t video_memory_budget() const { return video_memory_budget_; }
   uint64_t video_memory_used() const { return resident_bytes_; }
@@ -147,7 +147,7 @@ class Device {
 
   /// Limits quads to the first `pixels` pixels (<= framebuffer size).
   /// Database operations set this to the record count.
-  Status SetViewport(uint64_t pixels);
+  [[nodiscard]] Status SetViewport(uint64_t pixels);
   uint64_t viewport_pixels() const { return viewport_pixels_; }
 
   // --- Clears ------------------------------------------------------------
@@ -164,12 +164,12 @@ class Device {
   /// The quad covers the viewport's pixel range as two scissored rectangles
   /// (full rows plus a partial row), each split into two triangles that run
   /// through the setup engine and rasterizer like any other geometry.
-  Status RenderQuad(float depth);
+  [[nodiscard]] Status RenderQuad(float depth);
 
   /// Renders a screen-filling quad textured with the bound texture, running
   /// the installed fragment program per fragment. This is the paper's
   /// RenderTexturedQuad(tex).
-  Status RenderTexturedQuad();
+  [[nodiscard]] Status RenderTexturedQuad();
 
   // --- General geometry path (vertex processing engine) ------------------
 
@@ -188,16 +188,16 @@ class Device {
   /// vertex transform, triangle setup/rasterization with the top-left fill
   /// rule, then the per-fragment test chain. The fragment count of the call
   /// is whatever the rasterizer emits.
-  Status DrawTriangles(const std::vector<Vertex>& vertices);
+  [[nodiscard]] Status DrawTriangles(const std::vector<Vertex>& vertices);
 
   // --- Occlusion queries (GL_NV_occlusion_query) -------------------------
 
   /// Starts counting fragments that pass all tests.
-  Status BeginOcclusionQuery();
+  [[nodiscard]] Status BeginOcclusionQuery();
 
   /// Stops counting and returns the pixel pass count; charges the readback
   /// latency to the counters.
-  Result<uint64_t> EndOcclusionQuery();
+  [[nodiscard]] Result<uint64_t> EndOcclusionQuery();
 
   // --- Readback ------------------------------------------------------------
 
@@ -205,13 +205,13 @@ class Device {
   /// transfer). Used to materialize selection results. Fails with
   /// kDeviceLost under injected readback corruption, or with the armed
   /// interrupt status (kCancelled / kDeadlineExceeded).
-  Result<std::vector<uint8_t>> ReadStencil();
+  [[nodiscard]] Result<std::vector<uint8_t>> ReadStencil();
 
   /// Reads the depth plane back (quantized values).
-  Result<std::vector<uint32_t>> ReadDepth();
+  [[nodiscard]] Result<std::vector<uint32_t>> ReadDepth();
 
   /// Reads one color channel (0=R..3=A) back.
-  Result<std::vector<float>> ReadColorChannel(int channel);
+  [[nodiscard]] Result<std::vector<float>> ReadColorChannel(int channel);
 
   FrameBuffer& framebuffer() { return fb_; }
   const FrameBuffer& framebuffer() const { return fb_; }
@@ -228,7 +228,7 @@ class Device {
   /// touches each pixel at most once, the screen is split into disjoint row
   /// bands, and per-band counters are reduced in fixed band order (see
   /// DESIGN.md section 10).
-  Status SetWorkerThreads(int n);
+  [[nodiscard]] Status SetWorkerThreads(int n);
   int worker_threads() const { return worker_threads_; }
 
   // --- Fault injection (DESIGN.md section 11) -----------------------------
@@ -267,7 +267,7 @@ class Device {
 
   /// kCancelled if cancellation was requested, kDeadlineExceeded if an
   /// armed deadline has passed, OK otherwise. Cheap when nothing is armed.
-  Status CheckInterrupt() const;
+  [[nodiscard]] Status CheckInterrupt() const;
 
   /// Clears transient per-query device state (an open occlusion query and
   /// its count) so an operator can be retried cleanly after a fault left
@@ -316,12 +316,12 @@ class Device {
 
   /// Swaps a texture into video memory if evicted, evicting LRU textures as
   /// needed, and stamps its LRU slot.
-  Status EnsureResident(TextureId id);
+  [[nodiscard]] Status EnsureResident(TextureId id);
 
   /// Shared quad path for RenderQuad / RenderTexturedQuad: rasterizes the
   /// viewport rectangles at constant depth. `textured` selects whether the
   /// fragment program runs with the bound texture.
-  Status RenderInternal(float quad_depth, bool textured);
+  [[nodiscard]] Status RenderInternal(float quad_depth, bool textured);
 
   /// Runs one rasterized fragment through the program + alpha/stencil/
   /// depth-bounds/depth chain and the buffer writes. Safe to call from
@@ -363,7 +363,7 @@ class Device {
   /// Status::Internal when the PassRecord invariants are violated (the
   /// simulator miscounted -- every downstream cost estimate would be
   /// corrupt), without recording the bad pass.
-  Status FinishPass(PassRecord pass);
+  [[nodiscard]] Status FinishPass(PassRecord pass);
 
   /// Lock-free check shared by the per-band loops: true when a cancel is
   /// pending or an armed deadline has passed.

@@ -58,18 +58,18 @@ class FaultInjector {
   // fires, after incrementing the `faults.injected` metrics.
 
   /// Texture/VRAM allocation of `bytes` bytes.
-  Status OnAllocation(uint64_t bytes);
+  [[nodiscard]] Status OnAllocation(uint64_t bytes);
 
   /// One rendering pass (quad or triangle batch): the watchdog-timeout
   /// model -- a real driver kills passes that hold the chip too long.
-  Status OnPass();
+  [[nodiscard]] Status OnPass();
 
   /// NV_occlusion_query result readback: the count is lost in transit.
-  Status OnOcclusionReadback();
+  [[nodiscard]] Status OnOcclusionReadback();
 
   /// Buffer/texture readback `what` (stencil/depth/color/texture):
   /// detected transfer corruption.
-  Status OnReadback(std::string_view what);
+  [[nodiscard]] Status OnReadback(std::string_view what);
 
   uint64_t faults_injected() const { return faults_; }
   uint64_t draws() const { return draws_; }
@@ -79,7 +79,7 @@ class FaultInjector {
   bool Draw();
 
   /// Records one injected fault at `site` and wraps it as kDeviceLost.
-  Status Inject(const char* site, std::string message);
+  [[nodiscard]] Status Inject(const char* site, std::string message);
 
   FaultConfig config_;
   uint64_t draws_ = 0;

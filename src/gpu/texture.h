@@ -29,12 +29,12 @@ class Texture {
  public:
   /// Creates a zero-filled texture. Fails if the dimensions or channel count
   /// are out of range.
-  static Result<Texture> Make(uint32_t width, uint32_t height, int channels);
+  [[nodiscard]] static Result<Texture> Make(uint32_t width, uint32_t height, int channels);
 
   /// Creates a texture sized to hold `count` records in row-major order with
   /// the given row width (the paper uses 1000x1000 textures; the last row may
   /// be partially used). `values[c]` supplies channel c.
-  static Result<Texture> FromColumns(
+  [[nodiscard]] static Result<Texture> FromColumns(
       const std::vector<const std::vector<float>*>& values, uint32_t width);
 
   uint32_t width() const { return width_; }

@@ -32,7 +32,7 @@ std::string FormatSpanTree(const std::vector<FinishedSpan>& spans);
 /// fills QueryResult's analysis fields: the rendered tree, the run's spans,
 /// and the PerfModel breakdown of the query's device-counter delta. The
 /// root span's total_ms equals breakdown.TotalMs() by construction.
-Result<QueryResult> ExecuteAnalyze(core::Executor* executor,
+[[nodiscard]] Result<QueryResult> ExecuteAnalyze(core::Executor* executor,
                                    const Query& query, std::string_view input);
 
 }  // namespace sql

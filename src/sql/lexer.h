@@ -66,7 +66,7 @@ struct Token {
 /// Tokenizes a query string. Keywords are case-insensitive; identifiers are
 /// [A-Za-z_][A-Za-z0-9_]*; numbers are decimal with optional fraction and
 /// sign handled by the parser.
-Result<std::vector<Token>> Tokenize(std::string_view input);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view input);
 
 }  // namespace sql
 }  // namespace gpudb

@@ -65,13 +65,13 @@ std::string_view ToString(Query::Kind kind);
 
 /// \brief Parses `input` against `table` (column names resolve to indices;
 /// unknown columns are errors with positions).
-Result<Query> ParseQuery(std::string_view input, const db::Table& table);
+[[nodiscard]] Result<Query> ParseQuery(std::string_view input, const db::Table& table);
 
 /// \brief Extracts the table a statement targets without a full parse: the
 /// identifier after FROM, or after a statement-initial ANALYZE. Used by
 /// sql::Session to pick the executor before ParseQuery resolves column
 /// names against that table's schema.
-Result<std::string> StatementTableName(std::string_view input);
+[[nodiscard]] Result<std::string> StatementTableName(std::string_view input);
 
 /// \brief Result of executing a parsed query.
 struct QueryResult {
@@ -102,17 +102,17 @@ struct QueryResult {
 /// \brief One-call convenience: parse `input` against the executor's table
 /// and run it on the GPU. An EXPLAIN ANALYZE prefix additionally executes
 /// the query under tracing and fills the analysis fields of QueryResult.
-Result<QueryResult> ExecuteSql(core::Executor* executor,
+[[nodiscard]] Result<QueryResult> ExecuteSql(core::Executor* executor,
                                std::string_view input);
 
 /// \brief Executes an already-parsed query, filling the plain result fields.
 /// The EXPLAIN ANALYZE path (sql/explain.h) wraps this in a traced root span.
-Status ExecuteParsed(core::Executor* executor, const Query& query,
+[[nodiscard]] Status ExecuteParsed(core::Executor* executor, const Query& query,
                      QueryResult* result);
 
 /// \brief Runs a semicolon-separated script of queries in order, stopping at
 /// the first error. Returns one result per executed statement.
-Result<std::vector<QueryResult>> ExecuteScript(core::Executor* executor,
+[[nodiscard]] Result<std::vector<QueryResult>> ExecuteScript(core::Executor* executor,
                                                std::string_view script);
 
 }  // namespace sql

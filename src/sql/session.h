@@ -42,10 +42,14 @@ class Session {
 
   /// Parses and runs one statement. For SELECT * against a system table,
   /// QueryResult::table_view holds the snapshot the row ids refer to.
-  Result<QueryResult> Execute(std::string_view sql);
+  [[nodiscard]] Result<QueryResult> Execute(std::string_view sql);
 
-  /// Runs a semicolon-separated script, stopping at the first error.
-  Result<std::vector<QueryResult>> ExecuteScript(std::string_view script);
+  /// Runs a semicolon-separated script to completion: a failed statement
+  /// does not stop the ones after it (its Status is recorded through
+  /// DropStatus, so `queries.dropped_status` counts it, and the query log
+  /// keeps its error text). If any statement failed, the first failure is
+  /// returned after the script finishes; otherwise all results, in order.
+  [[nodiscard]] Result<std::vector<QueryResult>> ExecuteScript(std::string_view script);
 
   db::Catalog& catalog() { return *catalog_; }
 
@@ -59,20 +63,20 @@ class Session {
   }
 
   /// The cached executor for a registered user table (created on first use).
-  Result<core::Executor*> ExecutorFor(std::string_view table_name);
+  [[nodiscard]] Result<core::Executor*> ExecutorFor(std::string_view table_name);
 
  private:
   /// Dispatches a statement whose target table is already resolved;
   /// `counters_out` receives the device-counter delta the statement caused.
-  Result<QueryResult> Dispatch(std::string_view sql,
+  [[nodiscard]] Result<QueryResult> Dispatch(std::string_view sql,
                                const std::string& table_name,
                                gpu::DeviceCounters* counters_out);
 
-  Result<QueryResult> RunSystemTable(std::string_view sql,
+  [[nodiscard]] Result<QueryResult> RunSystemTable(std::string_view sql,
                                      const std::string& table_name,
                                      gpu::DeviceCounters* counters_out);
 
-  Result<QueryResult> RunUserTable(std::string_view sql,
+  [[nodiscard]] Result<QueryResult> RunUserTable(std::string_view sql,
                                    const std::string& table_name,
                                    gpu::DeviceCounters* counters_out);
 

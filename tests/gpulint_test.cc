@@ -1,0 +1,400 @@
+// Fixture tests for gpulint (tools/gpulint): small positive/negative source
+// snippets per rule R1-R5, the suppression-file parser, inline
+// gpulint-allow markers, and an end-to-end RunLint pass over a temporary
+// tree with a committed suppression file.
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/gpulint/gpulint.h"
+#include "tools/gpulint/rules.h"
+#include "tools/gpulint/source_model.h"
+
+namespace gpulint {
+namespace {
+
+/// Owns the SourceModels a Program references and finalizes the call-graph
+/// closures once every fixture file is added.
+class Corpus {
+ public:
+  void Add(std::string path, std::string_view source) {
+    models_.push_back(
+        std::make_unique<SourceModel>(std::move(path), source));
+    program_.AddFile(models_.back().get());
+  }
+  Program& Finalize() {
+    program_.Finalize();
+    return program_;
+  }
+  Program& program() { return program_; }
+
+ private:
+  std::vector<std::unique_ptr<SourceModel>> models_;
+  Program program_;
+};
+
+std::vector<std::string> Rules(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diags) out.push_back(d.rule);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// R1: [[nodiscard]] coverage and discarded fallible calls.
+
+TEST(GpulintR1, FlagsUnannotatedFallibleDeclInApiHeader) {
+  Corpus c;
+  c.Add("src/core/api.h",
+        "Status DoThing();\n"
+        "[[nodiscard]] Status Annotated();\n"
+        "[[nodiscard]] Result<int> Count();\n");
+  const auto diags = RunR1(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R1");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("DoThing"), std::string::npos);
+}
+
+TEST(GpulintR1, IgnoresHeadersOutsideTheAnnotatedLayers) {
+  Corpus c;
+  c.Add("src/db/catalog.h", "Status SetStats();\n");  // db/ is not in scope
+  EXPECT_TRUE(RunR1(c.Finalize()).empty());
+}
+
+TEST(GpulintR1, FlagsDiscardedAndVoidCastCalls) {
+  Corpus c;
+  c.Add("src/core/api.h", "[[nodiscard]] Status DoThing();\n");
+  c.Add("src/core/use.cc",
+        "void Caller() {\n"
+        "  DoThing();\n"          // bare drop
+        "  (void)DoThing();\n"    // cast drop: must go through DropStatus
+        "  Status s = DoThing();\n"  // consumed: fine
+        "}\n");
+  const auto diags = RunR1(c.Finalize());
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].line, 3);
+  EXPECT_NE(diags[1].message.find("DropStatus"), std::string::npos);
+}
+
+TEST(GpulintR1, InfallibleCallsAreNotFlagged) {
+  Corpus c;
+  c.Add("src/core/use.cc",
+        "void Caller() {\n"
+        "  Log();\n"
+        "}\n");
+  EXPECT_TRUE(RunR1(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R2: pass-issuing loops must check interrupts.
+
+constexpr std::string_view kLoopNoCheck =
+    "Status Run(gpu::Device* device) {\n"
+    "  for (int i = 0; i < 4; ++i) {\n"
+    "    GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));\n"
+    "  }\n"
+    "  return Status::OK();\n"
+    "}\n";
+
+TEST(GpulintR2, FlagsPassLoopWithoutInterruptCheck) {
+  Corpus c;
+  c.Add("src/core/op.cc", kLoopNoCheck);
+  const auto diags = RunR2(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R2");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(GpulintR2, InterruptCheckInLoopBodySatisfiesTheRule) {
+  Corpus c;
+  c.Add("src/core/op.cc",
+        "Status Run(gpu::Device* device) {\n"
+        "  for (int i = 0; i < 4; ++i) {\n"
+        "    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());\n"
+        "    GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));\n"
+        "  }\n"
+        "  return Status::OK();\n"
+        "}\n");
+  EXPECT_TRUE(RunR2(c.Finalize()).empty());
+}
+
+TEST(GpulintR2, PassIssuingHelperIsCaughtTransitively) {
+  Corpus c;
+  c.Add("src/core/op.cc",
+        "Status Step(gpu::Device* device) {\n"
+        "  return device->RenderTexturedQuad();\n"
+        "}\n"
+        "Status Run(gpu::Device* device) {\n"
+        "  for (int i = 0; i < 4; ++i) {\n"
+        "    GPUDB_RETURN_NOT_OK(Step(device));\n"
+        "  }\n"
+        "  return Status::OK();\n"
+        "}\n");
+  const auto diags = RunR2(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(GpulintR2, DeviceInternalChecksDoNotAbsolveOperatorLoops) {
+  // Pump() lives under src/gpu and calls CheckInterrupt, but gpu-defined
+  // functions are barred from carrying "checks interrupts" to callers: the
+  // operator loop still needs its own check (EXTENDING.md).
+  Corpus c;
+  c.Add("src/gpu/pump.cc",
+        "Status Pump() {\n"
+        "  return CheckInterrupt();\n"
+        "}\n");
+  c.Add("src/core/op.cc",
+        "Status Run(gpu::Device* device) {\n"
+        "  for (int i = 0; i < 4; ++i) {\n"
+        "    GPUDB_RETURN_NOT_OK(Pump());\n"
+        "    GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));\n"
+        "  }\n"
+        "  return Status::OK();\n"
+        "}\n");
+  EXPECT_EQ(Rules(RunR2(c.Finalize())), std::vector<std::string>{"R2"});
+}
+
+TEST(GpulintR2, NonGpuHelperThatChecksInterruptsAbsolvesTheLoop) {
+  Corpus c;
+  c.Add("src/core/op.cc",
+        "Status Poll(gpu::Device* device) {\n"
+        "  return device->CheckInterrupt();\n"
+        "}\n"
+        "Status Run(gpu::Device* device) {\n"
+        "  for (int i = 0; i < 4; ++i) {\n"
+        "    GPUDB_RETURN_NOT_OK(Poll(device));\n"
+        "    GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));\n"
+        "  }\n"
+        "  return Status::OK();\n"
+        "}\n");
+  EXPECT_TRUE(RunR2(c.Finalize()).empty());
+}
+
+TEST(GpulintR2, PathsOutsideDeviceLayersAreOutOfScope) {
+  Corpus c;
+  c.Add("src/sql/driver.cc", std::string(kLoopNoCheck));
+  EXPECT_TRUE(RunR2(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R3: no assert()/abort() on device paths.
+
+TEST(GpulintR3, FlagsAssertAndAbortUnderGpuAndCore) {
+  Corpus c;
+  c.Add("src/gpu/dev.cc",
+        "void F(int x) {\n"
+        "  assert(x > 0);\n"
+        "}\n");
+  c.Add("src/core/op.cc",
+        "void G() {\n"
+        "  abort();\n"
+        "}\n");
+  const auto diags = RunR3(c.Finalize());
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(GpulintR3, HostOnlyLayersMayAssert) {
+  Corpus c;
+  c.Add("src/common/result.h",
+        "void F(int x) {\n"
+        "  assert(x > 0);\n"
+        "}\n");
+  EXPECT_TRUE(RunR3(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R4: ParallelFor bodies must not re-enter the pool or the render path.
+
+TEST(GpulintR4, FlagsPoolReentryAndRenderCallsInWorkerBodies) {
+  Corpus c;
+  c.Add("src/gpu/kernel.cc",
+        "void F(ThreadPool* pool, gpu::Device* device) {\n"
+        "  pool->ParallelFor(0, 8, [&](size_t i) {\n"
+        "    pool->ParallelFor(0, 2, [&](size_t j) {});\n"
+        "  });\n"
+        "  pool->ParallelFor(0, 8, [&](size_t i) {\n"
+        "    device->RenderQuad(0.0f);\n"
+        "  });\n"
+        "}\n");
+  const auto diags = RunR4(c.Finalize());
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, "R4");
+}
+
+TEST(GpulintR4, PureComputeBodiesAreFine) {
+  Corpus c;
+  c.Add("src/gpu/kernel.cc",
+        "void F(ThreadPool* pool) {\n"
+        "  pool->ParallelFor(0, 8, [&](size_t i) {\n"
+        "    Accumulate(i);\n"
+        "  });\n"
+        "}\n");
+  EXPECT_TRUE(RunR4(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R5: metric names must be registered.
+
+constexpr std::string_view kRegistry =
+    "inline constexpr std::string_view kAll[] = {\n"
+    "    \"executor.*\",\n"
+    "    \"queries.total\",\n"
+    "};\n";
+
+TEST(GpulintR5, FlagsUnregisteredLiteralNames) {
+  Corpus c;
+  c.Add("src/core/op.cc",
+        "void F(MetricsRegistry& registry) {\n"
+        "  registry.counter(\"queries.total\").Increment();\n"
+        "  registry.counter(\"queries.bogus\").Increment();\n"
+        "  registry.histogram(\"executor.scan_ms\").Record(1.0);\n"
+        "}\n");
+  Program& p = c.program();
+  p.LoadMetricRegistry(kRegistry);
+  p.Finalize();
+  const auto diags = RunR5(p);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("queries.bogus"), std::string::npos);
+}
+
+TEST(GpulintR5, DynamicSuffixesRequireAWildcardEntry) {
+  Corpus c;
+  c.Add("src/core/op.cc",
+        "void F(MetricsRegistry& registry, const std::string& op) {\n"
+        "  registry.counter(\"executor.\" + op).Increment();\n"
+        "  registry.counter(\"queries.\" + op).Increment();\n"
+        "}\n");
+  Program& p = c.program();
+  p.LoadMetricRegistry(kRegistry);
+  p.Finalize();
+  const auto diags = RunR5(p);
+  ASSERT_EQ(diags.size(), 1u);  // "queries." has no wildcard
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(GpulintR5, DisabledWithoutARegistry) {
+  Corpus c;
+  c.Add("src/core/op.cc",
+        "void F(MetricsRegistry& registry) {\n"
+        "  registry.counter(\"anything.goes\").Increment();\n"
+        "}\n");
+  EXPECT_TRUE(RunR5(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: inline markers and the committed file.
+
+TEST(GpulintSuppressions, InlineAllowCoversSameLineAndLineAbove) {
+  SourceModel model("src/core/op.cc",
+                    "void F() {\n"
+                    "  // gpulint-allow(R3)\n"
+                    "  assert(1);\n"
+                    "  assert(2);  // gpulint-allow(R3,R1)\n"
+                    "\n"
+                    "  assert(3);\n"
+                    "}\n");
+  EXPECT_TRUE(model.IsInlineSuppressed("R3", 3));   // line above
+  EXPECT_TRUE(model.IsInlineSuppressed("R3", 4));   // same line, list form
+  EXPECT_TRUE(model.IsInlineSuppressed("R1", 4));
+  EXPECT_FALSE(model.IsInlineSuppressed("R3", 6));
+  EXPECT_FALSE(model.IsInlineSuppressed("R2", 3));  // other rule
+}
+
+TEST(GpulintSuppressions, ParserHandlesCommentsLinesAndMalformedEntries) {
+  std::vector<std::string> warnings;
+  const auto entries = ParseSuppressions(
+      "# comment\n"
+      "\n"
+      "R1 src/gpu/device.cc:395 Execute name collision\n"
+      "R2 src/gpu/device.cc reason text here\n"
+      "bogus-line-without-path\n",
+      &warnings);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "R1");
+  EXPECT_EQ(entries[0].path, "src/gpu/device.cc");
+  EXPECT_EQ(entries[0].line, 395);
+  EXPECT_EQ(entries[1].line, 0);  // any line
+  EXPECT_NE(entries[1].reason.find("reason"), std::string::npos);
+  ASSERT_EQ(warnings.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: RunLint over a real tree with a suppression file.
+
+class GpulintRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path(::testing::TempDir()) / "gpulint_fixture";
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_ / "src/gpu");
+  }
+  void WriteFile(const std::string& rel, std::string_view text) {
+    std::ofstream out(root_ / rel, std::ios::binary);
+    out << text;
+  }
+  std::filesystem::path root_;
+};
+
+TEST_F(GpulintRunTest, SuppressionFileSilencesVettedFindings) {
+  WriteFile("src/gpu/dev.cc",
+            "void F(int x) {\n"
+            "  assert(x);\n"
+            "}\n");
+  WriteFile("lint.suppressions",
+            "R3 src/gpu/dev.cc vetted fixture violation\n"
+            "R1 src/gone.cc stale entry\n");
+  LintOptions options;
+  options.root = root_.string();
+  options.suppressions_path = "lint.suppressions";
+  const LintResult result = RunLint(options);
+  EXPECT_TRUE(result.active.empty());
+  ASSERT_EQ(result.suppressed.size(), 1u);
+  EXPECT_EQ(result.suppressed[0].rule, "R3");
+  // The entry that matched nothing is reported for pruning.
+  ASSERT_EQ(result.unused_suppressions.size(), 1u);
+  EXPECT_EQ(result.unused_suppressions[0].path, "src/gone.cc");
+  EXPECT_EQ(result.files_scanned, 1);
+}
+
+TEST_F(GpulintRunTest, ActiveDiagnosticsSurviveWithoutSuppression) {
+  WriteFile("src/gpu/dev.cc",
+            "void F(int x) {\n"
+            "  assert(x);\n"
+            "}\n");
+  LintOptions options;
+  options.root = root_.string();
+  const LintResult result = RunLint(options);
+  ASSERT_EQ(result.active.size(), 1u);
+  EXPECT_EQ(result.active[0].rule, "R3");
+  EXPECT_EQ(result.active[0].file, "src/gpu/dev.cc");  // root-relative
+  EXPECT_EQ(FormatText(result.active[0]).rfind("src/gpu/dev.cc:2: [R3]", 0),
+            0u);
+  const std::string json = ReportJson(result);
+  EXPECT_NE(json.find("\"diagnostics\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+}
+
+TEST_F(GpulintRunTest, InlineAllowSilencesThroughRunLint) {
+  WriteFile("src/gpu/dev.cc",
+            "void F(int x) {\n"
+            "  assert(x);  // gpulint-allow(R3)\n"
+            "}\n");
+  LintOptions options;
+  options.root = root_.string();
+  const LintResult result = RunLint(options);
+  EXPECT_TRUE(result.active.empty());
+  EXPECT_EQ(result.suppressed.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gpulint

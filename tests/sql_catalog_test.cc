@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/metrics.h"
 #include "src/common/query_log.h"
 #include "src/core/analyze.h"
 #include "src/db/catalog.h"
@@ -120,6 +121,24 @@ TEST_F(SessionTest, EmptyQueriesTableReportsNotFound) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
   // The failed statement itself was recorded.
   EXPECT_EQ(QueryLog::Global().size(), 1u);
+}
+
+TEST_F(SessionTest, ScriptRunsPastFailedStatementsAndCountsDrops) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t dropped_before =
+      registry.counter("queries.dropped_status").value();
+  QueryLog::Global().Clear();
+  auto result = session_->ExecuteScript(
+      "SELECT COUNT(*) FROM t WHERE u0 > 10;"
+      "SELECT nonsense FROM t;"
+      "SELECT MAX(u1) FROM t");
+  // The script reports its first failure...
+  EXPECT_FALSE(result.ok());
+  // ...but the statements after it still ran (all three are logged), and
+  // the swallowed per-statement failure hit queries.dropped_status.
+  EXPECT_EQ(QueryLog::Global().size(), 3u);
+  EXPECT_EQ(registry.counter("queries.dropped_status").value(),
+            dropped_before + 1);
 }
 
 TEST_F(SessionTest, QueriesTableRecordsHistory) {

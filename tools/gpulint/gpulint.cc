@@ -1,0 +1,281 @@
+#include "tools/gpulint/gpulint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace gpulint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Root-relative form of `p` when it lives under `root`, else `p` as given.
+std::string Relativize(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || rel.native().rfind("..", 0) == 0) {
+    return p.generic_string();
+  }
+  return rel.generic_string();
+}
+
+/// A suppression path matches when it equals the diagnostic path or is a
+/// path-component suffix of it ("gpu/device.cc" matches
+/// "src/gpu/device.cc" but not "src/gpu/other_device.cc").
+bool PathMatchesSuffix(const std::string& diag_path,
+                       const std::string& pattern) {
+  if (diag_path == pattern) return true;
+  if (diag_path.size() <= pattern.size()) return false;
+  return diag_path.compare(diag_path.size() - pattern.size(), pattern.size(),
+                           pattern) == 0 &&
+         diag_path[diag_path.size() - pattern.size() - 1] == '/';
+}
+
+}  // namespace
+
+std::vector<Suppression> ParseSuppressions(
+    std::string_view text, std::vector<std::string>* warnings) {
+  std::vector<Suppression> out;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string rule, target;
+    if (!(ss >> rule)) continue;  // blank / comment-only
+    if (!(ss >> target)) {
+      if (warnings != nullptr) {
+        warnings->push_back("suppressions:" + std::to_string(line_no) +
+                            ": entry '" + rule + "' is missing a path");
+      }
+      continue;
+    }
+    Suppression s;
+    s.rule = rule;
+    s.source_line = line_no;
+    const size_t colon = target.rfind(':');
+    if (colon != std::string::npos &&
+        target.find_first_not_of("0123456789", colon + 1) ==
+            std::string::npos &&
+        colon + 1 < target.size()) {
+      s.path = target.substr(0, colon);
+      s.line = std::stoi(target.substr(colon + 1));
+    } else {
+      s.path = target;
+    }
+    std::string word;
+    while (ss >> word) {
+      if (!s.reason.empty()) s.reason += ' ';
+      s.reason += word;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+LintResult RunLint(const LintOptions& options) {
+  LintResult result;
+  const fs::path root = fs::path(options.root);
+
+  // Collect the file set, sorted for deterministic reports.
+  std::vector<fs::path> files;
+  std::vector<std::string> roots =
+      options.paths.empty() ? std::vector<std::string>{"src"} : options.paths;
+  for (const std::string& p : roots) {
+    fs::path full = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (fs::recursive_directory_iterator it(full, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+    } else {
+      result.warnings.push_back("path not found: " + full.generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Parse everything, then let the rules see the whole program.
+  std::vector<std::unique_ptr<SourceModel>> models;
+  Program program;
+  for (const fs::path& f : files) {
+    std::string source;
+    if (!ReadFile(f, &source)) {
+      result.warnings.push_back("unreadable: " + f.generic_string());
+      continue;
+    }
+    models.push_back(
+        std::make_unique<SourceModel>(Relativize(f, root), source));
+    program.AddFile(models.back().get());
+    ++result.files_scanned;
+  }
+  program.Finalize();
+
+  if (!options.metric_registry_path.empty()) {
+    fs::path reg = fs::path(options.metric_registry_path);
+    if (!reg.is_absolute()) reg = root / reg;
+    std::string source;
+    if (ReadFile(reg, &source)) {
+      program.LoadMetricRegistry(source);
+    } else {
+      result.warnings.push_back("metric registry unreadable: " +
+                                reg.generic_string() + " (R5 skipped)");
+    }
+  }
+
+  std::vector<Suppression> suppressions;
+  if (!options.suppressions_path.empty()) {
+    fs::path sup = fs::path(options.suppressions_path);
+    if (!sup.is_absolute()) sup = root / sup;
+    std::string source;
+    if (ReadFile(sup, &source)) {
+      suppressions = ParseSuppressions(source, &result.warnings);
+    } else {
+      result.warnings.push_back("suppression file unreadable: " +
+                                sup.generic_string());
+    }
+  }
+
+  std::vector<bool> used(suppressions.size(), false);
+  auto inline_suppressed = [&](const Diagnostic& d) {
+    for (const auto& model : models) {
+      if (model->path() == d.file) {
+        return model->IsInlineSuppressed(d.rule, d.line);
+      }
+    }
+    return false;
+  };
+
+  for (Diagnostic& d : RunAllRules(program)) {
+    bool matched = inline_suppressed(d);
+    for (size_t i = 0; i < suppressions.size() && !matched; ++i) {
+      const Suppression& s = suppressions[i];
+      if (s.rule != d.rule) continue;
+      if (!PathMatchesSuffix(d.file, s.path)) continue;
+      if (s.line != 0 && s.line != d.line) continue;
+      matched = true;
+      used[i] = true;
+    }
+    (matched ? result.suppressed : result.active).push_back(std::move(d));
+  }
+  for (size_t i = 0; i < suppressions.size(); ++i) {
+    if (!used[i]) result.unused_suppressions.push_back(suppressions[i]);
+  }
+
+  auto by_location = [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  };
+  std::sort(result.active.begin(), result.active.end(), by_location);
+  std::sort(result.suppressed.begin(), result.suppressed.end(), by_location);
+  return result;
+}
+
+std::string FormatText(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendDiagnostics(const std::vector<Diagnostic>& diags,
+                       std::string* out) {
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    *out += i == 0 ? "\n" : ",\n";
+    *out += "    {\"rule\":\"" + JsonEscape(d.rule) + "\",\"file\":\"" +
+            JsonEscape(d.file) + "\",\"line\":" + std::to_string(d.line) +
+            ",\"message\":\"" + JsonEscape(d.message) + "\"}";
+  }
+  if (!diags.empty()) *out += "\n  ";
+}
+
+}  // namespace
+
+std::string ReportJson(const LintResult& result) {
+  std::string out = "{\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"files_scanned\": " + std::to_string(result.files_scanned) +
+         ",\n";
+  out += "  \"diagnostics\": [";
+  AppendDiagnostics(result.active, &out);
+  out += "],\n";
+  out += "  \"suppressed\": [";
+  AppendDiagnostics(result.suppressed, &out);
+  out += "],\n";
+  out += "  \"unused_suppressions\": [";
+  for (size_t i = 0; i < result.unused_suppressions.size(); ++i) {
+    const Suppression& s = result.unused_suppressions[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\":\"" + JsonEscape(s.rule) + "\",\"path\":\"" +
+           JsonEscape(s.path) + "\",\"line\":" + std::to_string(s.line) + "}";
+  }
+  if (!result.unused_suppressions.empty()) out += "\n  ";
+  out += "],\n";
+  out += "  \"ok\": ";
+  out += result.active.empty() ? "true" : "false";
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace gpulint

@@ -1,0 +1,57 @@
+#ifndef GPUDB_TOOLS_GPULINT_GPULINT_H_
+#define GPUDB_TOOLS_GPULINT_GPULINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/gpulint/rules.h"
+
+namespace gpulint {
+
+/// What to lint. Paths may be files or directories (searched recursively
+/// for .h/.cc); relative paths resolve against `root`. Diagnostics are
+/// reported with root-relative paths so CI output and the suppression file
+/// are machine-independent.
+struct LintOptions {
+  std::string root = ".";
+  std::vector<std::string> paths;     // default: {"src"}
+  std::string suppressions_path;      // empty = no suppression file
+  std::string metric_registry_path;   // empty = R5 disabled
+};
+
+/// A parsed suppression-file entry: `RULE PATH[:LINE]  reason`.
+struct Suppression {
+  std::string rule;
+  std::string path;   // suffix-matched against diagnostic paths
+  int line = 0;       // 0 = any line in the file
+  std::string reason;
+  int source_line = 0;  // line in the suppression file (for reporting)
+};
+
+struct LintResult {
+  std::vector<Diagnostic> active;      // what fails the build
+  std::vector<Diagnostic> suppressed;  // matched a vetted exception
+  /// Entries that matched nothing — stale suppressions to prune. Reported
+  /// as warnings, not failures, so deleting dead code never breaks lint.
+  std::vector<Suppression> unused_suppressions;
+  int files_scanned = 0;
+  /// Non-fatal setup problems (unreadable file, malformed suppression).
+  std::vector<std::string> warnings;
+};
+
+/// Parses the suppression-file syntax. Exposed for tests.
+std::vector<Suppression> ParseSuppressions(std::string_view text,
+                                           std::vector<std::string>* warnings);
+
+/// Runs every rule over the configured paths.
+LintResult RunLint(const LintOptions& options);
+
+/// "file:line: [R2] message" — the clickable diagnostic form.
+std::string FormatText(const Diagnostic& d);
+
+/// Machine-readable report (schema documented in DESIGN.md §12).
+std::string ReportJson(const LintResult& result);
+
+}  // namespace gpulint
+
+#endif  // GPUDB_TOOLS_GPULINT_GPULINT_H_

@@ -1,0 +1,187 @@
+#include "tools/gpulint/lexer.h"
+
+#include <cctype>
+
+namespace gpulint {
+
+namespace {
+
+/// Multi-character punctuators, longest first so maximal munch works. Only
+/// the ones that matter for tokenization correctness need to be here (an
+/// unlisted digraph would just lex as two kPunct tokens), but keeping the
+/// list complete makes token streams easier to reason about in rules.
+constexpr std::string_view kPuncts3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPuncts2[] = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+// Note: "[[" / "]]" are NOT lexed as units — "a[b[i]]" would fuse the two
+// closing brackets. Attributes appear as consecutive '[' '[' tokens.
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto at = [&](size_t k) -> char { return k < n ? src[k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && at(i + 1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && at(i + 1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring backslash
+    // continuations, so #define bodies never reach the rules.
+    if (c == '#') {
+      while (i < n) {
+        if (src[i] == '\\' && at(i + 1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && at(i + 1) == '"') {
+      size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string delim(src.substr(i + 2, d - (i + 2)));
+      const std::string closer = ")" + delim + "\"";
+      const size_t body = d + 1;
+      const size_t end = src.find(closer, body);
+      const size_t stop = end == std::string_view::npos ? n : end;
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::string(src.substr(body, stop - body));
+      t.line = line;
+      for (size_t k = i; k < stop && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.push_back(std::move(t));
+      i = stop == n ? n : stop + closer.size();
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      Token t;
+      t.kind = quote == '"' ? TokenKind::kString : TokenKind::kCharLiteral;
+      t.line = line;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          t.text += src[i];
+          t.text += src[i + 1];
+          if (src[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated; keep line count honest
+        t.text += src[i];
+        ++i;
+      }
+      ++i;  // closing quote
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.text = std::string(src.substr(i, j - i));
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Numbers (loose: consume digits, dots, exponents, suffixes, hex).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(at(i + 1))))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(src.substr(i, j - i));
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Punctuation, maximal munch.
+    Token t;
+    t.kind = TokenKind::kPunct;
+    t.line = line;
+    bool matched = false;
+    for (std::string_view p : kPuncts3) {
+      if (src.substr(i, 3) == p) {
+        t.text = std::string(p);
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      for (std::string_view p : kPuncts2) {
+        if (src.substr(i, 2) == p) {
+          t.text = std::string(p);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(t));
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace gpulint

@@ -1,0 +1,42 @@
+#ifndef GPUDB_TOOLS_GPULINT_LEXER_H_
+#define GPUDB_TOOLS_GPULINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpulint {
+
+/// Token kinds gpulint distinguishes. The lexer is deliberately smaller than
+/// a compiler front end: it only needs to be exact about the things the
+/// rules key on (identifiers, string literals, matched punctuation, line
+/// numbers) and to never be fooled by comments or literals.
+enum class TokenKind {
+  kIdentifier,   // foo, Status, GPUDB_RETURN_NOT_OK
+  kNumber,       // 42, 0x1f, 1.0f
+  kString,       // "text" (text() holds the unescaped body)
+  kCharLiteral,  // 'c'
+  kPunct,        // every operator/punctuator, one token each ("::" is one)
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  // literal spelling; for kString, the body without quotes
+  int line = 0;      // 1-based line of the first character
+
+  bool Is(std::string_view t) const { return text == t; }
+  bool IsIdent(std::string_view t) const {
+    return kind == TokenKind::kIdentifier && text == t;
+  }
+};
+
+/// Tokenizes C++ source. Comments are skipped (line numbers stay exact),
+/// preprocessor directives are skipped whole (including backslash
+/// continuations) so macro *definitions* never leak tokens into the rules,
+/// and raw strings / escapes are handled. A final kEof token is appended.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace gpulint
+
+#endif  // GPUDB_TOOLS_GPULINT_LEXER_H_

@@ -1,0 +1,275 @@
+#include "tools/gpulint/rules.h"
+
+#include <algorithm>
+
+#include "tools/gpulint/lexer.h"
+
+namespace gpulint {
+
+namespace {
+
+/// Matches `path` against a repo directory: "src/gpu" matches
+/// "src/gpu/device.cc" and "/abs/checkout/src/gpu/device.cc" but not
+/// "src/gpu_extras/". Works on the plain-slash paths this repo uses.
+bool InDir(const std::string& path, std::string_view dir) {
+  const std::string needle = std::string(dir) + "/";
+  if (path.rfind(needle, 0) == 0) return true;
+  return path.find("/" + needle) != std::string::npos;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+bool EndsWith(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// R1's annotation scope: the four API layers the issue pins down.
+bool InAnnotatedLayer(const std::string& path) {
+  return InDir(path, "src/common") || InDir(path, "src/gpu") ||
+         InDir(path, "src/core") || InDir(path, "src/sql");
+}
+
+bool OnDevicePath(const std::string& path) {
+  return InDir(path, "src/gpu") || InDir(path, "src/core");
+}
+
+}  // namespace
+
+void Program::AddFile(const SourceModel* model) {
+  files_.push_back(model);
+  const bool in_gpu = InDir(model->path(), "src/gpu");
+  for (const FunctionDef& f : model->functions()) {
+    calls_[f.name].insert(f.calls.begin(), f.calls.end());
+    if (in_gpu) gpu_defined_.insert(f.name);
+  }
+  for (const FallibleDecl& d : model->fallible_decls()) {
+    fallible_names_.insert(d.name);
+  }
+}
+
+std::set<std::string> Program::Closure(
+    const std::set<std::string>& seed,
+    const std::set<std::string>& blocked) const {
+  std::set<std::string> result = seed;
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [fn, callees] : calls_) {
+      if (result.count(fn) != 0 || blocked.count(fn) != 0) continue;
+      for (const std::string& callee : callees) {
+        if (result.count(callee) != 0) {
+          result.insert(fn);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+void Program::Finalize() {
+  pass_issuing_ = Closure(
+      {"RenderQuad", "RenderTexturedQuad", "DrawTriangles", "RenderInternal"});
+  // Every Device entry point checks interrupts at pass entry, but the
+  // cancellation-coverage rule demands that operator *loops* carry their own
+  // check (a skipped pass must not leave the loop spinning — see
+  // EXTENDING.md). So device-internal functions are barred from carrying
+  // "checks interrupts" out to their callers: only an explicit
+  // CheckInterrupt (or a non-gpu helper that makes one) satisfies R2.
+  std::set<std::string> blocked = gpu_defined_;
+  blocked.erase("CheckInterrupt");
+  blocked.erase("InterruptPending");
+  interrupt_checking_ =
+      Closure({"CheckInterrupt", "InterruptPending"}, blocked);
+  pool_reentrant_ = Closure({"ParallelFor", "EnsurePool", "SetWorkerThreads",
+                             "RenderQuad", "RenderTexturedQuad",
+                             "DrawTriangles", "RenderInternal"});
+}
+
+void Program::LoadMetricRegistry(std::string_view header_source) {
+  for (const Token& t : Tokenize(header_source)) {
+    if (t.kind != TokenKind::kString || t.text.empty()) continue;
+    if (t.text.back() == '*') {
+      metric_prefixes_.push_back(t.text.substr(0, t.text.size() - 1));
+    } else {
+      metric_exact_.push_back(t.text);
+    }
+  }
+  metric_registry_loaded_ = true;
+}
+
+bool Program::MetricRegistered(const std::string& name,
+                               bool dynamic_suffix) const {
+  if (dynamic_suffix) {
+    // "counter(\"executor.\" + op)": the literal must sit on a wildcard.
+    for (const std::string& p : metric_prefixes_) {
+      if (name.rfind(p, 0) == 0) return true;
+    }
+    return false;
+  }
+  if (std::find(metric_exact_.begin(), metric_exact_.end(), name) !=
+      metric_exact_.end()) {
+    return true;
+  }
+  for (const std::string& p : metric_prefixes_) {
+    if (name.size() > p.size() && name.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<Diagnostic> RunR1(const Program& program) {
+  std::vector<Diagnostic> out;
+  for (const SourceModel* file : program.files()) {
+    // R1a: annotation coverage in the API headers.
+    if (IsHeader(file->path()) && InAnnotatedLayer(file->path())) {
+      for (const FallibleDecl& d : file->fallible_decls()) {
+        if (d.nodiscard) continue;
+        out.push_back({"R1", file->path(), d.line,
+                       std::string(d.returns_result ? "Result" : "Status") +
+                           "-returning declaration '" + d.name +
+                           "' lacks [[nodiscard]]"});
+      }
+    }
+    // R1b: discarded calls anywhere.
+    for (const DiscardedCall& c : file->discarded_calls()) {
+      if (!program.ReturnsFallible(c.callee)) continue;
+      if (c.void_cast) {
+        out.push_back({"R1", file->path(), c.line,
+                       "'(void)' cast drops the Status/Result of '" +
+                           c.callee +
+                           "'; consume it or route it through DropStatus()"});
+      } else {
+        out.push_back({"R1", file->path(), c.line,
+                       "result of fallible call '" + c.callee +
+                           "' is discarded"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> RunR2(const Program& program) {
+  std::vector<Diagnostic> out;
+  for (const SourceModel* file : program.files()) {
+    if (!OnDevicePath(file->path())) continue;
+    for (const Loop& loop : file->loops()) {
+      const std::set<std::string> calls =
+          file->CallsIn(loop.body_begin, loop.body_end);
+      std::string pass_call;
+      bool checked = false;
+      for (const std::string& name : calls) {
+        if (pass_call.empty() && program.IssuesPass(name)) pass_call = name;
+        if (program.ChecksInterrupt(name)) checked = true;
+      }
+      if (pass_call.empty() || checked) continue;
+      out.push_back({"R2", file->path(), loop.line,
+                     "loop issues render passes via '" + pass_call +
+                         "' without an interrupt check; call "
+                         "device->CheckInterrupt() each iteration"});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> RunR3(const Program& program) {
+  std::vector<Diagnostic> out;
+  for (const SourceModel* file : program.files()) {
+    if (!OnDevicePath(file->path())) continue;
+    const std::vector<Token>& toks = file->tokens();
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier || !toks[i + 1].Is("(")) {
+        continue;
+      }
+      if (toks[i].text == "assert") {
+        out.push_back({"R3", file->path(), toks[i].line,
+                       "assert() on a device path; propagate a Status "
+                       "(kInternal) instead"});
+      } else if (toks[i].text == "abort") {
+        out.push_back({"R3", file->path(), toks[i].line,
+                       "abort() on a device path; propagate a Status "
+                       "(kInternal) instead"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> RunR4(const Program& program) {
+  std::vector<Diagnostic> out;
+  for (const SourceModel* file : program.files()) {
+    for (const ParallelForSite& site : file->parallel_fors()) {
+      for (const std::string& name :
+           file->CallsIn(site.args_begin, site.args_end)) {
+        if (!program.ReentersPool(name)) continue;
+        out.push_back({"R4", file->path(), site.line,
+                       "ParallelFor body calls '" + name +
+                           "', which re-enters the ThreadPool or the Device "
+                           "render path (re-entrancy rule, DESIGN.md §10)"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> RunR5(const Program& program) {
+  std::vector<Diagnostic> out;
+  if (!program.has_metric_registry()) return out;
+  for (const SourceModel* file : program.files()) {
+    if (EndsWith(file->path(), "metric_names.h")) continue;
+    const std::vector<Token>& toks = file->tokens();
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      const std::string& fn = toks[i].text;
+      if (fn != "counter" && fn != "gauge" && fn != "histogram") continue;
+      if (!toks[i + 1].Is("(") || toks[i + 2].kind != TokenKind::kString) {
+        continue;
+      }
+      const std::string& name = toks[i + 2].text;
+      const bool dynamic = i + 3 < toks.size() && !toks[i + 3].Is(")");
+      if (program.MetricRegistered(name, dynamic)) continue;
+      out.push_back(
+          {"R5", file->path(), toks[i + 2].line,
+           "metric name \"" + name + (dynamic ? "…\"" : "\"") +
+               " is not in src/common/metric_names.h; register it there "
+               "so dashboards track it" +
+               (dynamic ? " (dynamic suffixes need a '*' entry)" : "")});
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> RunAllRules(const Program& program) {
+  std::vector<Diagnostic> all;
+  for (auto* run : {RunR1, RunR2, RunR3, RunR4, RunR5}) {
+    std::vector<Diagnostic> d = run(program);
+    all.insert(all.end(), d.begin(), d.end());
+  }
+  return all;
+}
+
+const std::map<std::string, std::string>& RuleDescriptions() {
+  static const std::map<std::string, std::string> kRules = {
+      {"R1",
+       "every Status/Result return value is consumed, and fallible "
+       "declarations in src/{common,gpu,core,sql} headers are [[nodiscard]]"},
+      {"R2",
+       "loops that issue render passes (src/core, src/gpu) check "
+       "CheckInterrupt so cancellation and deadlines stay responsive"},
+      {"R3",
+       "no assert()/abort() on device paths (src/gpu, src/core); faults "
+       "propagate as Status"},
+      {"R4",
+       "ParallelFor bodies never re-enter the ThreadPool or the Device "
+       "render path"},
+      {"R5",
+       "every literal metric name is registered in "
+       "src/common/metric_names.h"},
+  };
+  return kRules;
+}
+
+}  // namespace gpulint

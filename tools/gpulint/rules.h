@@ -1,0 +1,110 @@
+#ifndef GPUDB_TOOLS_GPULINT_RULES_H_
+#define GPUDB_TOOLS_GPULINT_RULES_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/gpulint/source_model.h"
+
+namespace gpulint {
+
+/// One finding. `rule` is the stable id (R1..R5) dashboards and the
+/// suppression file key on.
+struct Diagnostic {
+  std::string rule;
+  std::string file;  // path as given to the analyzer (repo-relative in CI)
+  int line = 0;
+  std::string message;
+};
+
+/// The project-wide facts the per-file rules need: which names return
+/// Status/Result, which functions (transitively) issue render passes, check
+/// interrupts, or re-enter the thread pool, and the registered metric
+/// names. Built from every scanned file before rules run.
+class Program {
+ public:
+  /// Adds one parsed file to the program. The Program keeps a reference;
+  /// models must outlive it.
+  void AddFile(const SourceModel* model);
+
+  /// Resolves the cross-file call-graph closures. Call once, after every
+  /// AddFile.
+  void Finalize();
+
+  /// Loads the metric-name registry from the contents of
+  /// src/common/metric_names.h: every string literal in the file is an
+  /// entry; entries ending in '*' are prefixes.
+  void LoadMetricRegistry(std::string_view header_source);
+
+  const std::vector<const SourceModel*>& files() const { return files_; }
+
+  bool ReturnsFallible(const std::string& name) const {
+    return fallible_names_.count(name) != 0;
+  }
+  bool IssuesPass(const std::string& name) const {
+    return pass_issuing_.count(name) != 0;
+  }
+  bool ChecksInterrupt(const std::string& name) const {
+    return interrupt_checking_.count(name) != 0;
+  }
+  bool ReentersPool(const std::string& name) const {
+    return pool_reentrant_.count(name) != 0;
+  }
+  bool MetricRegistered(const std::string& name, bool dynamic_suffix) const;
+  bool has_metric_registry() const { return metric_registry_loaded_; }
+
+ private:
+  /// Closure of "calls something in `seed`, directly or transitively".
+  /// Functions named in `blocked` neither join the closure nor propagate
+  /// it (used to stop device-internal interrupt checks from absolving
+  /// operator loops of their own CheckInterrupt call).
+  std::set<std::string> Closure(const std::set<std::string>& seed,
+                                const std::set<std::string>& blocked = {})
+      const;
+
+  std::vector<const SourceModel*> files_;
+  std::map<std::string, std::set<std::string>> calls_;  // fn -> callees
+  std::set<std::string> gpu_defined_;  // functions defined under src/gpu
+  std::set<std::string> fallible_names_;
+  std::set<std::string> pass_issuing_;
+  std::set<std::string> interrupt_checking_;
+  std::set<std::string> pool_reentrant_;
+  std::vector<std::string> metric_exact_;
+  std::vector<std::string> metric_prefixes_;
+  bool metric_registry_loaded_ = false;
+};
+
+/// R1: no discarded Status/Result values, and every Status/Result-returning
+/// declaration in a header under common/, gpu/, core/, or sql/ carries an
+/// explicit [[nodiscard]].
+std::vector<Diagnostic> RunR1(const Program& program);
+
+/// R2: a loop in src/core or src/gpu whose body issues a render pass
+/// (directly or through a helper) must contain an interrupt check.
+std::vector<Diagnostic> RunR2(const Program& program);
+
+/// R3: no assert()/abort() on device paths (src/gpu, src/core) — faults
+/// must propagate as Status.
+std::vector<Diagnostic> RunR3(const Program& program);
+
+/// R4: ParallelFor bodies must not re-enter the ThreadPool or the Device
+/// render path.
+std::vector<Diagnostic> RunR4(const Program& program);
+
+/// R5: every literal metric name passed to counter()/gauge()/histogram()
+/// must appear in src/common/metric_names.h.
+std::vector<Diagnostic> RunR5(const Program& program);
+
+/// All rules, in id order.
+std::vector<Diagnostic> RunAllRules(const Program& program);
+
+/// Human-readable one-line description per rule id (for --list-rules and
+/// diagnostic rendering).
+const std::map<std::string, std::string>& RuleDescriptions();
+
+}  // namespace gpulint
+
+#endif  // GPUDB_TOOLS_GPULINT_RULES_H_

@@ -1,0 +1,389 @@
+#include "tools/gpulint/source_model.h"
+
+#include <algorithm>
+
+namespace gpulint {
+
+namespace {
+
+bool IsControlKeyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",    "while",   "switch", "do",     "return",
+      "sizeof", "alignof", "decltype", "new",   "delete", "throw",
+      "catch",  "else",   "case",
+  };
+  return kKeywords.count(t) != 0;
+}
+
+bool IsDeclSpecifier(const std::string& t) {
+  static const std::set<std::string> kSpecifiers = {
+      "static", "virtual", "inline", "constexpr", "explicit", "friend",
+      "extern",
+  };
+  return kSpecifiers.count(t) != 0;
+}
+
+}  // namespace
+
+SourceModel::SourceModel(std::string path, std::string_view source)
+    : path_(std::move(path)), tokens_(Tokenize(source)) {
+  ScanInlineSuppressions(source);
+  ScanStructure();
+}
+
+void SourceModel::ScanInlineSuppressions(std::string_view source) {
+  // Raw-text scan (the lexer throws comments away): every line containing
+  // "gpulint-allow(R1,R2)" maps those rule ids to that line.
+  int line = 1;
+  size_t pos = 0;
+  while (pos < source.size()) {
+    size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    const std::string_view text = source.substr(pos, eol - pos);
+    const size_t mark = text.find("gpulint-allow(");
+    if (mark != std::string_view::npos) {
+      const size_t open = mark + 14;
+      const size_t close = text.find(')', open);
+      if (close != std::string_view::npos) {
+        std::string id;
+        for (size_t k = open; k <= close; ++k) {
+          const char c = k < close ? text[k] : ',';
+          if (c == ',' || c == ' ') {
+            if (!id.empty()) inline_allows_.emplace_back(line, id);
+            id.clear();
+          } else {
+            id += c;
+          }
+        }
+      }
+    }
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+bool SourceModel::IsInlineSuppressed(const std::string& rule, int line) const {
+  for (const auto& [l, r] : inline_allows_) {
+    if (r == rule && (l == line || l == line - 1)) return true;
+  }
+  return false;
+}
+
+size_t SourceModel::MatchForward(size_t open) const {
+  const std::string& o = tokens_[open].text;
+  const std::string close = o == "(" ? ")" : o == "{" ? "}" : "]";
+  int depth = 0;
+  for (size_t i = open; i < tokens_.size(); ++i) {
+    if (tokens_[i].kind != TokenKind::kPunct) continue;
+    if (tokens_[i].text == o) ++depth;
+    if (tokens_[i].text == close && --depth == 0) return i;
+  }
+  return tokens_.size();
+}
+
+std::set<std::string> SourceModel::CallsIn(size_t begin, size_t end) const {
+  std::set<std::string> calls;
+  for (size_t i = begin; i + 1 < end; ++i) {
+    if (tokens_[i].kind == TokenKind::kIdentifier &&
+        tokens_[i + 1].Is("(") && !IsControlKeyword(tokens_[i].text)) {
+      calls.insert(tokens_[i].text);
+    }
+  }
+  return calls;
+}
+
+void SourceModel::RecordFallibleDecl(size_t type_token, size_t name_token) {
+  FallibleDecl d;
+  d.name = tokens_[name_token].text;
+  d.line = tokens_[name_token].line;
+  d.returns_result = tokens_[type_token].IsIdent("Result");
+  // Walk left over declaration specifiers and attributes looking for
+  // [[nodiscard]]. Attributes lex as '[' '[' ident ... ']' ']'.
+  size_t p = type_token;
+  while (p > 0) {
+    const Token& prev = tokens_[p - 1];
+    if (prev.kind == TokenKind::kIdentifier && IsDeclSpecifier(prev.text)) {
+      --p;
+      continue;
+    }
+    if (prev.Is("]") && p >= 2 && tokens_[p - 2].Is("]")) {
+      // Scan back to the '[' '[' opener, collecting attribute names.
+      size_t q = p - 2;
+      int depth = 2;
+      while (q > 0 && depth > 0) {
+        --q;
+        if (tokens_[q].Is("]")) ++depth;
+        if (tokens_[q].Is("[")) --depth;
+      }
+      for (size_t k = q; k < p; ++k) {
+        if (tokens_[k].IsIdent("nodiscard")) d.nodiscard = true;
+      }
+      p = q;
+      continue;
+    }
+    break;
+  }
+  fallible_decls_.push_back(std::move(d));
+}
+
+void SourceModel::RecordFunction(size_t name_token, size_t body_open) {
+  FunctionDef f;
+  f.name = tokens_[name_token].text;
+  f.line = tokens_[name_token].line;
+  if (name_token >= 2 && tokens_[name_token - 1].Is("::") &&
+      tokens_[name_token - 2].kind == TokenKind::kIdentifier) {
+    f.qualifier = tokens_[name_token - 2].text;
+  }
+  f.body_begin = body_open;
+  f.body_end = MatchForward(body_open);
+  f.calls = CallsIn(f.body_begin + 1, f.body_end);
+  ScanBody(f.body_begin + 1, f.body_end);
+  functions_.push_back(std::move(f));
+}
+
+void SourceModel::ScanBody(size_t begin, size_t end) {
+  for (size_t i = begin; i < end && i < tokens_.size(); ++i) {
+    const Token& t = tokens_[i];
+
+    // --- Loops -----------------------------------------------------------
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "for" || t.text == "while" || t.text == "do")) {
+      size_t body_start;
+      if (t.text == "do") {
+        body_start = i + 1;
+      } else {
+        if (i + 1 >= end || !tokens_[i + 1].Is("(")) continue;
+        const size_t close = MatchForward(i + 1);
+        if (close >= end) continue;
+        body_start = close + 1;
+        // The while of a do-while: body resolves to ';', no calls, ignored.
+      }
+      Loop loop;
+      loop.line = t.line;
+      loop.body_begin = body_start;
+      if (body_start < end && tokens_[body_start].Is("{")) {
+        loop.body_end = std::min(MatchForward(body_start), end);
+      } else {
+        // Single-statement body: scan to the ';' at balanced depth.
+        size_t j = body_start;
+        int paren = 0, brace = 0;
+        while (j < end) {
+          const Token& u = tokens_[j];
+          if (u.Is("(")) ++paren;
+          if (u.Is(")")) --paren;
+          if (u.Is("{")) ++brace;
+          if (u.Is("}")) --brace;
+          if (paren < 0 || brace < 0) break;
+          if (u.Is(";") && paren == 0 && brace == 0) break;
+          ++j;
+        }
+        loop.body_end = j;
+      }
+      loops_.push_back(loop);
+      continue;
+    }
+
+    // --- ParallelFor sites ----------------------------------------------
+    if (t.IsIdent("ParallelFor") && i + 1 < end && tokens_[i + 1].Is("(")) {
+      ParallelForSite site;
+      site.line = t.line;
+      site.args_begin = i + 2;
+      site.args_end = std::min(MatchForward(i + 1), end);
+      parallel_fors_.push_back(site);
+      continue;
+    }
+
+    // --- Discarded calls -------------------------------------------------
+    // A call is a candidate discard when it begins a statement: the
+    // previous token is one of ; { } ) else do :, or it sits under a
+    // (void) cast.
+    if (t.kind != TokenKind::kIdentifier || IsControlKeyword(t.text)) {
+      continue;
+    }
+    bool void_cast = false;
+    size_t stmt_first = i;
+    if (i >= 3 && tokens_[i - 1].Is(")") && tokens_[i - 2].IsIdent("void") &&
+        tokens_[i - 3].Is("(")) {
+      void_cast = true;
+      stmt_first = i - 3;
+    }
+    if (stmt_first == 0) continue;  // bodies always open with '{'
+    const Token& prev = tokens_[stmt_first - 1];
+    const bool stmt_start = prev.Is(";") || prev.Is("{") || prev.Is("}") ||
+                            prev.Is(")") || prev.Is(":") ||
+                            prev.IsIdent("else") || prev.IsIdent("do");
+    if (!stmt_start) continue;
+
+    // Parse the access chain: ident (:: ident)* then (('.'|'->') ident)*.
+    size_t j = i;
+    size_t callee = i;
+    while (j + 2 < end && tokens_[j + 1].Is("::") &&
+           tokens_[j + 2].kind == TokenKind::kIdentifier) {
+      j += 2;
+      callee = j;
+    }
+    while (j + 2 < end &&
+           (tokens_[j + 1].Is(".") || tokens_[j + 1].Is("->")) &&
+           tokens_[j + 2].kind == TokenKind::kIdentifier) {
+      j += 2;
+      callee = j;
+    }
+    if (j + 1 >= end || !tokens_[j + 1].Is("(")) continue;
+    const size_t close = MatchForward(j + 1);
+    if (close + 1 >= tokens_.size()) continue;
+    if (!tokens_[close + 1].Is(";")) continue;  // result is consumed
+    DiscardedCall dc;
+    dc.callee = tokens_[callee].text;
+    dc.line = tokens_[callee].line;
+    dc.void_cast = void_cast;
+    discarded_calls_.push_back(std::move(dc));
+  }
+}
+
+void SourceModel::ScanStructure() {
+  size_t i = 0;
+  const size_t n = tokens_.size();
+  while (i < n) {
+    const Token& t = tokens_[i];
+
+    // Skip template parameter lists so their '=' defaults and '<' '>' never
+    // confuse the declaration scan.
+    if (t.IsIdent("template") && i + 1 < n && tokens_[i + 1].Is("<")) {
+      int depth = 0;
+      size_t j = i + 1;
+      while (j < n) {
+        if (tokens_[j].Is("<")) ++depth;
+        if (tokens_[j].Is(">")) {
+          if (--depth == 0) break;
+        }
+        ++j;
+      }
+      i = j + 1;
+      continue;
+    }
+
+    // Brace initializers at declaration scope (constant tables etc.):
+    // '=' followed eventually by '{' — skip to the statement's ';'.
+    if (t.Is("=")) {
+      size_t j = i + 1;
+      int paren = 0, brace = 0;
+      while (j < n) {
+        const Token& u = tokens_[j];
+        if (u.Is("(")) ++paren;
+        if (u.Is(")")) --paren;
+        if (u.Is("{")) ++brace;
+        if (u.Is("}")) --brace;
+        // brace < 0: we ran off the end of the enclosing scope (an
+        // enumerator's "= value," has no ';' of its own) — stop there.
+        if (paren < 0 || brace < 0) break;
+        if (u.Is(";") && paren == 0 && brace == 0) break;
+        ++j;
+      }
+      i = j + 1;
+      continue;
+    }
+
+    if (t.kind != TokenKind::kIdentifier || IsControlKeyword(t.text) ||
+        i + 1 >= n || !tokens_[i + 1].Is("(")) {
+      ++i;
+      continue;
+    }
+
+    // identifier '(' at declaration scope: a function declaration,
+    // definition, or a file-scope macro invocation.
+    const size_t name_tok = i;
+    const size_t close = MatchForward(i + 1);
+    if (close >= n) {
+      ++i;
+      continue;
+    }
+
+    // Identify the return type to the left (walking over a Name:: chain).
+    size_t chain_start = name_tok;
+    while (chain_start >= 2 && tokens_[chain_start - 1].Is("::") &&
+           tokens_[chain_start - 2].kind == TokenKind::kIdentifier) {
+      chain_start -= 2;
+    }
+    size_t type_tok = n;  // n = "not fallible"
+    if (chain_start > 0) {
+      const size_t r = chain_start - 1;
+      if (tokens_[r].IsIdent("Status")) {
+        type_tok = r;
+      } else if (tokens_[r].Is(">") || tokens_[r].Is(">>")) {
+        // Walk back to the matching '<'. ">>" closes two template levels
+        // (the lexer max-munches "vector<float>>" into one shift token).
+        int depth = 0;
+        size_t q = r + 1;
+        while (q > 0) {
+          --q;
+          if (tokens_[q].Is(">")) ++depth;
+          if (tokens_[q].Is(">>")) depth += 2;
+          if (tokens_[q].Is("<") && --depth == 0) break;
+        }
+        if (depth == 0 && q > 0 && tokens_[q - 1].IsIdent("Result")) {
+          type_tok = q - 1;
+        }
+      }
+    }
+
+    // Look past the parameter list for what this is.
+    size_t k = close + 1;
+    while (k < n) {
+      const Token& u = tokens_[k];
+      if (u.IsIdent("const") || u.IsIdent("noexcept") ||
+          u.IsIdent("override") || u.IsIdent("final") || u.Is("&") ||
+          u.Is("&&")) {
+        ++k;
+        if (u.IsIdent("noexcept") && k < n && tokens_[k].Is("(")) {
+          k = MatchForward(k) + 1;
+        }
+        continue;
+      }
+      break;
+    }
+
+    if (k < n && tokens_[k].Is("{")) {
+      if (type_tok != n) RecordFallibleDecl(type_tok, name_tok);
+      RecordFunction(name_tok, k);
+      i = MatchForward(k) + 1;
+      continue;
+    }
+    if (k < n && tokens_[k].Is(":")) {
+      // Constructor initializer list: ident, then (...) or {...}, then ','.
+      size_t j = k + 1;
+      while (j < n) {
+        if (tokens_[j].Is("{")) {
+          // Either an init-brace or — if preceded by an identifier's
+          // initializer — the body. Distinguish: an initializer brace is
+          // directly preceded by an identifier; the body follows ')' or '}'.
+          const Token& p = tokens_[j - 1];
+          if (p.kind == TokenKind::kIdentifier) {
+            j = MatchForward(j) + 1;
+            continue;
+          }
+          break;
+        }
+        if (tokens_[j].Is("(")) {
+          j = MatchForward(j) + 1;
+          continue;
+        }
+        ++j;
+      }
+      if (j < n && tokens_[j].Is("{")) {
+        RecordFunction(name_tok, j);
+        i = MatchForward(j) + 1;
+        continue;
+      }
+      i = close + 1;
+      continue;
+    }
+    if (k < n && (tokens_[k].Is(";") || tokens_[k].Is("="))) {
+      if (type_tok != n) RecordFallibleDecl(type_tok, name_tok);
+      i = close + 1;
+      continue;
+    }
+    i = name_tok + 1;
+  }
+}
+
+}  // namespace gpulint

@@ -1,0 +1,114 @@
+#ifndef GPUDB_TOOLS_GPULINT_SOURCE_MODEL_H_
+#define GPUDB_TOOLS_GPULINT_SOURCE_MODEL_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/gpulint/lexer.h"
+
+namespace gpulint {
+
+/// A function definition discovered in a file: its (unqualified) name, the
+/// token range of its body, and every name it directly calls. gpulint's
+/// declaration model is deliberately name-based — overloads and same-named
+/// methods on different classes merge — which keeps the analyzer small; the
+/// rules that consume it are written to stay useful under that merging (see
+/// rules.cc).
+struct FunctionDef {
+  std::string name;       // "RenderInternal" (qualifier stripped)
+  std::string qualifier;  // "Device" for Device::RenderInternal, else ""
+  int line = 0;
+  size_t body_begin = 0;  // index of '{'
+  size_t body_end = 0;    // index of matching '}'
+  std::set<std::string> calls;  // direct callee names within the body
+};
+
+/// A declaration (or definition) whose return type is Status or Result<>,
+/// found at class/namespace scope. Used by R1 both to build the registry of
+/// fallible APIs and to check [[nodiscard]] coverage in headers.
+struct FallibleDecl {
+  std::string name;
+  int line = 0;
+  bool nodiscard = false;
+  bool returns_result = false;  // Result<...> vs plain Status
+};
+
+/// A loop statement inside some function body.
+struct Loop {
+  int line = 0;           // line of the for/while/do keyword
+  size_t body_begin = 0;  // first token index of the body
+  size_t body_end = 0;    // one-past-last token index of the body
+};
+
+/// A call expression whose result is discarded: either a bare
+/// `chain.Callee(...);` expression statement or a `(void)` cast of one.
+struct DiscardedCall {
+  std::string callee;
+  int line = 0;
+  bool void_cast = false;
+};
+
+/// One `ParallelFor(...)` call site with the token range of its arguments
+/// (which contain the worker lambda).
+struct ParallelForSite {
+  int line = 0;
+  size_t args_begin = 0;  // index just after '('
+  size_t args_end = 0;    // index of matching ')'
+};
+
+/// Token-level model of a single file. Built once, shared by every rule.
+class SourceModel {
+ public:
+  /// Parses `source` (the file's contents). `path` is kept for diagnostics.
+  SourceModel(std::string path, std::string_view source);
+
+  const std::string& path() const { return path_; }
+  const std::vector<Token>& tokens() const { return tokens_; }
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+  const std::vector<FallibleDecl>& fallible_decls() const {
+    return fallible_decls_;
+  }
+  const std::vector<Loop>& loops() const { return loops_; }
+  const std::vector<DiscardedCall>& discarded_calls() const {
+    return discarded_calls_;
+  }
+  const std::vector<ParallelForSite>& parallel_fors() const {
+    return parallel_fors_;
+  }
+
+  /// Lines carrying a `gpulint-allow(Rn[,Rm])` marker, mapped to rule ids.
+  /// A diagnostic is inline-suppressed when its line or the line above
+  /// carries its rule id.
+  bool IsInlineSuppressed(const std::string& rule, int line) const;
+
+  /// Every callee name appearing in [begin, end): identifiers directly
+  /// followed by '(' that are not control keywords.
+  std::set<std::string> CallsIn(size_t begin, size_t end) const;
+
+  /// Index of the matching closer for the opener at `open` ('(' / '{' /
+  /// '['), or tokens().size() when unbalanced.
+  size_t MatchForward(size_t open) const;
+
+ private:
+  void ScanStructure();
+  void ScanInlineSuppressions(std::string_view source);
+  void RecordFallibleDecl(size_t type_token, size_t name_token);
+  void RecordFunction(size_t name_token, size_t body_open);
+  void ScanBody(size_t body_begin, size_t body_end);
+
+  std::string path_;
+  std::vector<Token> tokens_;
+  std::vector<FunctionDef> functions_;
+  std::vector<FallibleDecl> fallible_decls_;
+  std::vector<Loop> loops_;
+  std::vector<DiscardedCall> discarded_calls_;
+  std::vector<ParallelForSite> parallel_fors_;
+  // line -> rule ids allowed on that line (from gpulint-allow comments).
+  std::vector<std::pair<int, std::string>> inline_allows_;
+};
+
+}  // namespace gpulint
+
+#endif  // GPUDB_TOOLS_GPULINT_SOURCE_MODEL_H_
