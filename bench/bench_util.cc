@@ -38,6 +38,30 @@ std::string SanitizeFigureName(const std::string& figure) {
   return out;
 }
 
+/// Cumulative Profiler totals across every pass label; PrintRow subtracts
+/// consecutive readings to attribute counters to rows.
+struct ProfTotals {
+  uint64_t passes = 0;
+  uint64_t fragments = 0;
+  PassProfile prof;
+};
+
+ProfTotals CurrentProfTotals() {
+  ProfTotals t;
+  for (const PassProfileGroup& g : Profiler::Global().Snapshot()) {
+    t.passes += g.passes;
+    t.fragments += g.fragments;
+    t.prof.Merge(g.prof);
+  }
+  return t;
+}
+
+/// Profiler reading as of the last PrintHeader/PrintRow.
+ProfTotals& LastProfTotalsSlot() {
+  static ProfTotals last;
+  return last;
+}
+
 void WriteFigureJson(const FigureRecording& rec, const std::string& note) {
   const char* dir = std::getenv("GPUDB_BENCH_JSON_DIR");
   const std::string path = std::string(dir != nullptr ? dir : ".") +
@@ -51,6 +75,8 @@ void WriteFigureJson(const FigureRecording& rec, const std::string& note) {
   out << "{\n";
   out << "  \"figure\": " << json::Quote(rec.figure) << ",\n";
   out << "  \"threads\": " << BenchThreads() << ",\n";
+  // Key present only under --profile, keeping default JSONs byte-stable.
+  if (Profiler::Global().enabled()) out << "  \"profile\": true,\n";
   out << "  \"description\": " << json::Quote(rec.description) << ",\n";
   out << "  \"paper_claim\": " << json::Quote(rec.paper_claim) << ",\n";
   out << "  \"note\": " << json::Quote(note) << ",\n";
@@ -69,8 +95,21 @@ void WriteFigureJson(const FigureRecording& rec, const std::string& note) {
         << ", \"speedup\": " << json::Number(speedup)
         << ", \"gpu_wall_ms\": " << json::Number(row.gpu_wall_ms)
         << ", \"cpu_wall_ms\": " << json::Number(row.cpu_wall_ms)
-        << ", \"check_passed\": " << (row.check_passed ? "true" : "false")
-        << "}";
+        << ", \"check_passed\": " << (row.check_passed ? "true" : "false");
+    if (row.profiled) {
+      // Counter columns only exist under --profile, so baseline JSONs (and
+      // bench_diff.py comparisons against them) are byte-compatible.
+      out << ", \"prof_passes\": " << row.prof_passes
+          << ", \"prof_fragments\": " << row.prof_fragments
+          << ", \"alpha_killed\": " << row.prof.alpha_killed
+          << ", \"stencil_killed\": " << row.prof.stencil_killed
+          << ", \"depth_tested\": " << row.prof.depth_tested
+          << ", \"depth_killed\": " << row.prof.depth_killed
+          << ", \"occlusion_samples\": " << row.prof.occlusion_samples
+          << ", \"plane_bytes_read\": " << row.prof.plane_bytes_read
+          << ", \"plane_bytes_written\": " << row.prof.plane_bytes_written;
+    }
+    out << "}";
   }
   out << "\n  ]\n}\n";
 }
@@ -102,9 +141,14 @@ std::vector<size_t> RecordSweep() {
 }
 
 void InitBench(int argc, char** argv) {
+  if (const char* env = std::getenv("GPUDB_PROFILE")) {
+    if (env[0] != '\0' && env[0] != '0') Profiler::Global().set_enabled(true);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
+    if (arg == "--profile") {
+      Profiler::Global().set_enabled(true);
+    } else if (arg.rfind("--threads=", 0) == 0) {
       const int n = std::atoi(arg.c_str() + 10);
       if (n < 1) {
         std::fprintf(stderr, "invalid %s: thread count must be >= 1\n",
@@ -126,7 +170,7 @@ void InitBench(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--threads=N] "
                    "[--deadline-ms=N] [--fault-seed=N] [--fault-rate=P] "
-                   "[--vram-budget=N]\n",
+                   "[--vram-budget=N] [--profile]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -223,6 +267,7 @@ float ThresholdForSelectivity(const db::Column& column, size_t n,
 void PrintHeader(const std::string& figure, const std::string& description,
                  const std::string& paper_claim) {
   Recording() = {true, figure, description, paper_claim, {}};
+  if (Profiler::Global().enabled()) LastProfTotalsSlot() = CurrentProfTotals();
   std::printf("================================================================================\n");
   std::printf("%s: %s\n", figure.c_str(), description.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
@@ -238,7 +283,27 @@ void PrintRowHeader() {
 }
 
 void PrintRow(const ResultRow& row) {
-  if (Recording().active) Recording().rows.push_back(row);
+  ResultRow recorded = row;
+  if (Profiler::Global().enabled()) {
+    const ProfTotals now = CurrentProfTotals();
+    const ProfTotals& last = LastProfTotalsSlot();
+    recorded.profiled = true;
+    recorded.prof_passes = now.passes - last.passes;
+    recorded.prof_fragments = now.fragments - last.fragments;
+    recorded.prof.alpha_killed = now.prof.alpha_killed - last.prof.alpha_killed;
+    recorded.prof.stencil_killed =
+        now.prof.stencil_killed - last.prof.stencil_killed;
+    recorded.prof.depth_tested = now.prof.depth_tested - last.prof.depth_tested;
+    recorded.prof.depth_killed = now.prof.depth_killed - last.prof.depth_killed;
+    recorded.prof.occlusion_samples =
+        now.prof.occlusion_samples - last.prof.occlusion_samples;
+    recorded.prof.plane_bytes_read =
+        now.prof.plane_bytes_read - last.prof.plane_bytes_read;
+    recorded.prof.plane_bytes_written =
+        now.prof.plane_bytes_written - last.prof.plane_bytes_written;
+    LastProfTotalsSlot() = now;
+  }
+  if (Recording().active) Recording().rows.push_back(recorded);
   const double speedup =
       row.gpu_model_total_ms > 0 ? row.cpu_model_ms / row.gpu_model_total_ms
                                  : 0.0;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/profile.h"
 #include "src/common/timer.h"
 #include "src/core/compare.h"
 #include "src/cpu/xeon_model.h"
@@ -34,6 +35,11 @@ std::vector<size_t> RecordSweep();
 ///                    injector compiled in but disabled ($GPUDB_FAULT_RATE).
 ///   --vram-budget=N  video-memory budget in bytes for every device
 ///                    ($GPUDB_VRAM_BUDGET; 0 = default 256 MB).
+///   --profile        enable the gpuprof deep pipeline counters (also via
+///                    $GPUDB_PROFILE=1); PrintRow then captures the per-row
+///                    counter delta and BENCH_*.json rows gain counter
+///                    columns. Off by default: the counters are compiled to
+///                    no-ops so baseline numbers are unaffected.
 /// Unknown flags abort with a usage message so typos don't silently run
 /// the wrong configuration.
 void InitBench(int argc, char** argv);
@@ -84,6 +90,13 @@ struct ResultRow {
   double gpu_wall_ms = 0;      ///< simulator wall-clock (not paper-scale)
   double cpu_wall_ms = 0;      ///< real baseline wall-clock
   bool check_passed = true;    ///< GPU result cross-checked against CPU
+  /// Deep pipeline counters: the global Profiler's delta since the previous
+  /// PrintRow (or PrintHeader). Filled automatically by PrintRow when the
+  /// bench runs with --profile; all-zero (profiled=false) otherwise.
+  bool profiled = false;
+  uint64_t prof_passes = 0;
+  uint64_t prof_fragments = 0;
+  PassProfile prof;
 };
 
 void PrintRowHeader();

@@ -7,12 +7,17 @@
 //   $ ./build/examples/sql_shell "SELECT COUNT(*) FROM flows WHERE data_loss > 0"
 //   $ ./build/examples/sql_shell "ANALYZE flows"
 //   $ ./build/examples/sql_shell "EXPLAIN ANALYZE SELECT COUNT(*) FROM flows"
+//   $ ./build/examples/sql_shell "EXPLAIN PROFILE SELECT COUNT(*) FROM flows"
 //   $ ./build/examples/sql_shell "SELECT * FROM gpudb_queries"
 //   $ echo "SELECT MEDIAN(data_count) FROM flows" | ./build/examples/sql_shell -
 //
 // Flags:
 //   --trace=FILE        write a Chrome trace_event JSON of every traced span
 //                       to FILE on exit (open in chrome://tracing/Perfetto)
+//   --profile           enable the gpuprof deep pipeline counters for every
+//                       query (EXPLAIN PROFILE enables them per query even
+//                       without this flag); feeds the gpudb_profile system
+//                       table ($GPUDB_PROFILE=1)
 //   --metrics           dump the process metrics registry after the queries
 //   --metrics-prom=FILE write the registry in Prometheus text exposition
 //                       format to FILE on exit
@@ -42,6 +47,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/profile.h"
 #include "src/common/query_log.h"
 #include "src/common/trace.h"
 #include "src/db/catalog.h"
@@ -62,6 +68,9 @@ void RunOne(gpudb::sql::Session* session, const std::string& query) {
   if (r.analyzed) {
     std::printf("%s  simulated GPU time: %.3f ms\n", r.explain.c_str(),
                 r.simulated_total_ms);
+    if (r.profiled && !r.profile.empty()) {
+      std::printf("pass profile:\n%s", r.profile.c_str());
+    }
   }
   if (r.kind == gpudb::sql::Query::Kind::kSelectRows) {
     // System-table snapshots travel in table_view; user tables are resident.
@@ -97,6 +106,11 @@ int main(int argc, char** argv) {
   gpudb::gpu::FaultConfig faults = gpudb::gpu::FaultInjector::ConfigFromEnv();
   double deadline_ms = gpudb::gpu::DeadlineMsFromEnv();
   uint64_t vram_budget = gpudb::gpu::VramBudgetBytesFromEnv();
+  if (const char* env = std::getenv("GPUDB_PROFILE")) {
+    if (env[0] != '\0' && env[0] != '0') {
+      gpudb::Profiler::Global().set_enabled(true);
+    }
+  }
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -119,6 +133,8 @@ int main(int argc, char** argv) {
       gpudb::Tracer::Global().set_enabled(true);
     } else if (std::strncmp(argv[i], "--metrics-prom=", 15) == 0) {
       prom_file = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      gpudb::Profiler::Global().set_enabled(true);
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
     } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
@@ -194,7 +210,11 @@ int main(int argc, char** argv) {
         "EXPLAIN ANALYZE SELECT COUNT(*) FROM flows WHERE data_loss > 0 AND "
         "flow_rate >= 1000",
         "EXPLAIN ANALYZE SELECT KTH_LARGEST(data_count, 100) FROM flows",
+        // Deep pipeline counters: per-pass fragment fates and plane traffic.
+        "EXPLAIN PROFILE SELECT COUNT(*) FROM flows WHERE data_loss > 0 AND "
+        "flow_rate >= 1000",
         // Part 2: the process inspecting itself through SQL.
+        "SELECT * FROM gpudb_profile",
         "SELECT * FROM gpudb_tables",
         "SELECT * FROM gpudb_columns WHERE distinct > 100",
         "SELECT COUNT(*) FROM gpudb_metrics WHERE value > 0",
@@ -209,12 +229,16 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_file.empty()) {
+    // Counter tracks (band timings, engine busy time) ride along as Chrome
+    // trace "C" events next to the spans.
     const std::string json =
-        gpudb::Tracer::ToChromeTrace(gpudb::Tracer::Global().Finished());
+        gpudb::Tracer::ToChromeTrace(gpudb::Tracer::Global().Finished(),
+                                     gpudb::Tracer::Global().CounterSamples());
     std::ofstream out(trace_file);
     out << json;
-    std::printf("wrote %zu span(s) to %s\n",
-                gpudb::Tracer::Global().FinishedCount(), trace_file.c_str());
+    std::printf("wrote %zu span(s) and %zu counter sample(s) to %s\n",
+                gpudb::Tracer::Global().FinishedCount(),
+                gpudb::Tracer::Global().CounterCount(), trace_file.c_str());
   }
   if (!prom_file.empty()) {
     std::ofstream out(prom_file);

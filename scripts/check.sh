@@ -6,7 +6,9 @@
 #   1. the standard build + full ctest run (what CI gates on),
 #   2. a bench smoke run of every figure bench with a committed baseline,
 #      diffed against bench/baseline (model-time regression gate; see
-#      scripts/bench_diff.py),
+#      scripts/bench_diff.py), then fig03 again under --profile with
+#      scripts/profile_smoke.py asserting the gpuprof counters are nonzero,
+#      the fragment ledger balances, and profiling overhead stays bounded,
 #   3. a fault-injection sweep: the resilience and fuzz suites re-run with
 #      $GPUDB_FAULT_RATE > 0 so every degradation path (retry, breaker,
 #      CPU fallback) executes in the gating build,
@@ -42,6 +44,28 @@ for bench in fig02_copy_depth fig03_predicate fig04_range fig05_multiattr \
   GPUDB_BENCH_JSON_DIR="$smoke_dir" "./build/bench/$bench" >/dev/null
 done
 python3 scripts/bench_diff.py bench/baseline "$smoke_dir"
+
+echo "== profiling smoke: fig03 under --profile, counters + overhead gate =="
+# The plain fig03 JSON from the smoke run above is one no-profile baseline;
+# run both arms twice more and let profile_smoke.py gate on the best wall
+# time per side (shared machines jitter single runs by 2x+), assert the
+# deep counters are nonzero and bit-identical across profiled runs, and
+# that the fragment ledger balances.
+profile_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$profile_dir"' EXIT
+plain_jsons=("$smoke_dir/BENCH_figure_3.json")
+prof_jsons=()
+for i in 1 2; do
+  mkdir -p "$profile_dir/plain$i" "$profile_dir/prof$i"
+  GPUDB_BENCH_JSON_DIR="$profile_dir/plain$i" ./build/bench/fig03_predicate \
+    >/dev/null
+  GPUDB_BENCH_JSON_DIR="$profile_dir/prof$i" ./build/bench/fig03_predicate \
+    --profile >/dev/null
+  plain_jsons+=("$profile_dir/plain$i/BENCH_figure_3.json")
+  prof_jsons+=("$profile_dir/prof$i/BENCH_figure_3.json")
+done
+python3 scripts/profile_smoke.py --plain "${plain_jsons[@]}" \
+  --profiled "${prof_jsons[@]}"
 
 echo "== fault sweep: resilience + fuzz suites with injection enabled =="
 # The suites configure their own injectors (tests need to control the seed

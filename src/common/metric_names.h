@@ -13,8 +13,9 @@ namespace metric_names {
 /// strings, so a counter that is renamed at a call site but not here (or
 /// vice versa) leaves a panel silently flat. gpulint rule R5 closes the
 /// loop: every string literal passed to `MetricsRegistry::counter()`,
-/// `gauge()`, or `histogram()` anywhere under src/ must match an entry in
-/// this table, and names built from a dynamic suffix (e.g.
+/// `gauge()`, or `histogram()` -- or to `Tracer::Counter()`, whose track
+/// names double as metric names -- anywhere under src/ must match an entry
+/// in this table, and names built from a dynamic suffix (e.g.
 /// `"executor." + op`) must match a `*` wildcard entry.
 ///
 /// To add a metric: pick a dotted name, add it here (keep the table
@@ -29,12 +30,20 @@ inline constexpr std::string_view kAll[] = {
     "faults.injected.occlusion",
     "faults.injected.pass",
     "faults.injected.readback",
+    "gpu.alpha_killed",
+    "gpu.band_imbalance",
+    "gpu.band_ms",
     "gpu.bytes_read_back",
     "gpu.bytes_swapped",
     "gpu.bytes_uploaded",
+    "gpu.depth_killed",
+    "gpu.engine_busy_ms",
     "gpu.fragments_generated",
     "gpu.occlusion_readbacks",
     "gpu.passes",
+    "gpu.plane_bytes_read",
+    "gpu.plane_bytes_written",
+    "gpu.stencil_killed",
     "gpu.texture_swap_ins",
     "planner.misestimates",
     "queries.deadline_exceeded",
@@ -45,8 +54,10 @@ inline constexpr std::string_view kAll[] = {
     "queries.retried",
     "queries.retry_attempts",
     "resilience.breaker_opened",
+    "sql.exec_ms",
     "sql.queries",
     "sql.query_wall_ms",
+    "sql.queue_wait_ms",
     "sql.slow_queries",
 };
 

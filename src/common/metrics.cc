@@ -133,8 +133,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 
 namespace {
 
-/// Prometheus metric names allow [a-zA-Z0-9_:]; fold the registry's dotted
-/// names ("executor.count") into underscores and prefix the namespace.
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; fold the
+/// registry's dotted names ("executor.count") into underscores and prefix
+/// the namespace, which also guarantees a legal first character.
 std::string PrometheusName(const std::string& name) {
   std::string out = "gpudb_";
   for (char c : name) {
@@ -143,43 +144,87 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// HELP text escaping (text exposition 0.0.4): backslash and newline.
+std::string EscapeHelpText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Label-value escaping: backslash, double quote, and newline.
+std::string EscapeLabelValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Sample values the way Prometheus parsers expect them: `NaN`, `+Inf`, and
+/// `-Inf` spelled out (printf would write "nan"/"inf", which promtool
+/// rejects); finite values round-trip through %.17g.
+std::string FormatPromValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// The `# HELP` line (which promtool wants before `# TYPE`) carries the
+/// original dotted registry name, so scrapes map back to source call sites.
+void AppendPromHeader(const std::string& prom_name, const char* type,
+                      const std::string& registry_name, std::string* out) {
+  *out += "# HELP " + prom_name + " gpudb registry metric " +
+          EscapeHelpText(registry_name) + "\n";
+  *out += "# TYPE " + prom_name + " " + type + "\n";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::DumpPrometheus() const {
   const MetricsSnapshot snap = Snapshot();
   std::string out;
-  char buf[128];
   for (const auto& c : snap.counters) {
     const std::string n = PrometheusName(c.name);
-    out += "# TYPE " + n + " counter\n";
-    std::snprintf(buf, sizeof(buf), "%s %llu\n", n.c_str(),
-                  static_cast<unsigned long long>(c.value));
-    out += buf;
+    AppendPromHeader(n, "counter", c.name, &out);
+    out += n + " " + std::to_string(c.value) + "\n";
   }
   for (const auto& g : snap.gauges) {
     const std::string n = PrometheusName(g.name);
-    out += "# TYPE " + n + " gauge\n";
-    std::snprintf(buf, sizeof(buf), "%s %.17g\n", n.c_str(), g.value);
-    out += buf;
+    AppendPromHeader(n, "gauge", g.name, &out);
+    out += n + " " + FormatPromValue(g.value) + "\n";
   }
   for (const auto& h : snap.histograms) {
     const std::string n = PrometheusName(h.name);
-    out += "# TYPE " + n + " histogram\n";
+    AppendPromHeader(n, "histogram", h.name, &out);
     uint64_t cumulative = 0;
     for (const auto& [le, count] : h.buckets) {
       cumulative += count;
-      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.17g\"} %llu\n",
-                    n.c_str(), le, static_cast<unsigned long long>(cumulative));
-      out += buf;
+      out += n + "_bucket{le=\"" + EscapeLabelValue(FormatPromValue(le)) +
+             "\"} " + std::to_string(cumulative) + "\n";
     }
-    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %llu\n", n.c_str(),
-                  static_cast<unsigned long long>(h.count));
-    out += buf;
-    std::snprintf(buf, sizeof(buf), "%s_sum %.17g\n", n.c_str(), h.sum);
-    out += buf;
-    std::snprintf(buf, sizeof(buf), "%s_count %llu\n", n.c_str(),
-                  static_cast<unsigned long long>(h.count));
-    out += buf;
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + FormatPromValue(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
 }

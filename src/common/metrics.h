@@ -150,8 +150,11 @@ class MetricsRegistry {
   std::string DumpJson() const;
 
   /// Prometheus text exposition (version 0.0.4): metric names are prefixed
-  /// with "gpudb_" and sanitized to [a-zA-Z0-9_]; histograms emit the
-  /// standard cumulative _bucket{le=...}/_sum/_count series.
+  /// with "gpudb_" and sanitized to [a-zA-Z0-9_]; every metric gets a
+  /// `# HELP` line (carrying the original dotted name, escaped) before its
+  /// `# TYPE` line; label values escape backslash/quote/newline; NaN and
+  /// infinities render as `NaN`/`+Inf`/`-Inf`; histograms emit the standard
+  /// cumulative _bucket{le=...}/_sum/_count series.
   std::string DumpPrometheus() const;
 
   /// Zeroes every registered instrument (instruments stay registered, so

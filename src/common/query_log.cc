@@ -44,6 +44,10 @@ uint64_t QueryLog::Add(QueryLogEntry entry) {
   MetricsRegistry::Global()
       .histogram("sql.query_wall_ms")
       .Record(entry.wall_ms);
+  MetricsRegistry::Global()
+      .histogram("sql.queue_wait_ms")
+      .Record(entry.queue_ms);
+  MetricsRegistry::Global().histogram("sql.exec_ms").Record(entry.exec_ms);
   std::lock_guard<std::mutex> lock(mu_);
   entry.id = next_id_++;
   entry.slow =

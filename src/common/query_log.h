@@ -21,6 +21,11 @@ struct QueryLogEntry {
   bool ok = true;
   bool slow = false;        ///< Crossed the slow-query threshold.
   double wall_ms = 0.0;     ///< Wall-clock execution time on this machine.
+  /// Wall split: time spent waiting for the session's executor (statements
+  /// queue behind each other on one device) vs. time actually executing.
+  /// queue_ms + exec_ms ~= wall_ms. The admission-control baseline signal.
+  double queue_ms = 0.0;
+  double exec_ms = 0.0;
   double simulated_ms = 0.0;  ///< PerfModel time (EXPLAIN ANALYZE runs only).
   uint64_t passes = 0;        ///< Rendering passes the statement issued.
   uint64_t fragments = 0;     ///< Fragments generated across those passes.

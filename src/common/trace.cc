@@ -59,9 +59,33 @@ std::vector<FinishedSpan> Tracer::FinishedSince(size_t mark) const {
   return std::vector<FinishedSpan>(finished_.begin() + mark, finished_.end());
 }
 
+void Tracer::Counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  CounterSample sample;
+  sample.name = std::string(name);
+  sample.value = value;
+  sample.ts_us = NowMicros();
+  sample.thread_id = ThisThreadOrdinal();
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(std::move(sample));
+}
+
+size_t Tracer::CounterCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+std::vector<CounterSample> Tracer::CounterSamplesSince(size_t mark) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mark >= counters_.size()) return {};
+  return std::vector<CounterSample>(counters_.begin() + mark,
+                                    counters_.end());
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   finished_.clear();
+  counters_.clear();
 }
 
 uint64_t Tracer::Begin(std::string_view name) {
@@ -112,10 +136,16 @@ void Tracer::End(uint64_t id, std::vector<TraceTag> tags) {
 }
 
 std::string Tracer::ToChromeTrace(const std::vector<FinishedSpan>& spans) {
+  return ToChromeTrace(spans, {});
+}
+
+std::string Tracer::ToChromeTrace(const std::vector<FinishedSpan>& spans,
+                                  const std::vector<CounterSample>& counters) {
   // Chrome's trace_event format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
   // Complete ("X") events carry ts + dur; parent/child structure is implied
   // by nesting on the same pid/tid timeline. Span ids and parent ids are
-  // also exported under args for tools that want the exact forest.
+  // also exported under args for tools that want the exact forest. Counter
+  // samples become "C" events the viewer draws as value tracks.
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const FinishedSpan& span : spans) {
@@ -133,6 +163,15 @@ std::string Tracer::ToChromeTrace(const std::vector<FinishedSpan>& spans) {
       out += tag.is_number ? json::Number(tag.number) : json::Quote(tag.text);
     }
     out += "}}";
+  }
+  for (const CounterSample& sample : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json::Quote(sample.name) +
+           ",\"cat\":\"gpudb\",\"ph\":\"C\",\"pid\":1,\"tid\":" +
+           std::to_string(sample.thread_id) +
+           ",\"ts\":" + std::to_string(sample.ts_us) +
+           ",\"args\":{\"value\":" + json::Number(sample.value) + "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

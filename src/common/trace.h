@@ -43,6 +43,17 @@ struct FinishedSpan {
   std::string_view TextTag(std::string_view key) const;
 };
 
+/// \brief One point on a named counter track (Chrome trace_event "C" phase):
+/// per-band wall times, engine busy time, queue depths. Samples share the
+/// spans' monotonic microsecond clock so tracks line up under the spans in
+/// the trace viewer.
+struct CounterSample {
+  std::string name;
+  double value = 0.0;
+  int64_t ts_us = 0;
+  uint64_t thread_id = 0;
+};
+
 /// \brief Thread-safe sink of finished spans.
 ///
 /// Tracing is off by default: an inactive TraceSpan costs one relaxed atomic
@@ -77,13 +88,35 @@ class Tracer {
   /// All finished spans.
   std::vector<FinishedSpan> Finished() const { return FinishedSince(0); }
 
-  /// Drops all finished spans (open spans are unaffected and will still be
-  /// recorded when they close).
+  /// Records one sample on a counter track. No-op while disabled. Counter
+  /// names are metric names and must be registered in metric_names.h
+  /// (gpulint R5 checks Counter() literals like counter()/histogram() ones).
+  void Counter(std::string_view name, double value);
+
+  /// Number of counter samples recorded so far; mark for CounterSamplesSince.
+  size_t CounterCount() const;
+
+  /// Copies the counter samples recorded after a CounterCount() mark.
+  std::vector<CounterSample> CounterSamplesSince(size_t mark) const;
+
+  /// All recorded counter samples, in record order.
+  std::vector<CounterSample> CounterSamples() const {
+    return CounterSamplesSince(0);
+  }
+
+  /// Drops all finished spans and counter samples (open spans are unaffected
+  /// and will still be recorded when they close).
   void Clear();
 
   /// Serializes spans in the Chrome trace_event JSON format ("traceEvents"
   /// array of complete "X" events) loadable by chrome://tracing / Perfetto.
   static std::string ToChromeTrace(const std::vector<FinishedSpan>& spans);
+
+  /// As above, with counter tracks: each CounterSample becomes a "C"-phase
+  /// event whose args carry the value, rendered by the viewer as a stacked
+  /// track per counter name.
+  static std::string ToChromeTrace(const std::vector<FinishedSpan>& spans,
+                                   const std::vector<CounterSample>& counters);
 
  private:
   friend class TraceSpan;
@@ -103,8 +136,9 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
   mutable std::mutex mu_;
-  std::vector<OpenSpan> open_;         // guarded by mu_
-  std::vector<FinishedSpan> finished_; // guarded by mu_
+  std::vector<OpenSpan> open_;           // guarded by mu_
+  std::vector<FinishedSpan> finished_;   // guarded by mu_
+  std::vector<CounterSample> counters_;  // guarded by mu_
 };
 
 /// \brief RAII span handle: opens on construction, closes on destruction.

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/core/analyze.h"
 #include "src/core/bitonic_sort.h"
 #include "src/core/depth_encoding.h"
@@ -43,6 +44,17 @@ struct ResilienceMetrics {
   }
 };
 
+/// Stamps a resilience event into the active trace (zero-duration span
+/// nested under the operator that hit it), so EXPLAIN ANALYZE and the
+/// Chrome trace show *where* a query degraded, not just that it did.
+void TraceResilienceEvent(const char* event, const char* op_name,
+                          int attempt = -1) {
+  if (!Tracer::Global().enabled()) return;
+  TraceSpan span(event);
+  span.AddTag("op", op_name);
+  if (attempt >= 0) span.AddTag("attempt", attempt);
+}
+
 /// Arms the device deadline for one top-level operator when the policy sets
 /// one and no outer scope armed it already (SelectTable nests SelectRowIds).
 /// Disarms on destruction so an expired deadline never leaks into the next
@@ -78,12 +90,16 @@ Result<T> Executor::RunResilient(const char* op_name,
 
   // Open breaker: answer from the CPU tier without touching the device,
   // except for the periodic probe call that tests whether it recovered.
-  if (breaker_.open() && can_fall_back && !breaker_.AllowProbe()) {
-    metrics.fell_back.Increment();
-    MetricsRegistry::Global()
-        .counter("queries.fell_back." + std::string(op_name))
-        .Increment();
-    return cpu();
+  if (breaker_.open() && can_fall_back) {
+    if (!breaker_.AllowProbe()) {
+      metrics.fell_back.Increment();
+      MetricsRegistry::Global()
+          .counter("queries.fell_back." + std::string(op_name))
+          .Increment();
+      TraceResilienceEvent("resilience.breaker_open", op_name);
+      return cpu();
+    }
+    TraceResilienceEvent("resilience.breaker_probe", op_name);
   }
 
   Result<T> result = gpu();
@@ -94,6 +110,7 @@ Result<T> Executor::RunResilient(const char* op_name,
        ++retry) {
     if (retry == 0) metrics.retried.Increment();
     metrics.retry_attempts.Increment();
+    TraceResilienceEvent("resilience.retry", op_name, retry + 1);
     BackoffSleep(resilience_.retry.DelayMs(retry), resilience_.retry.sleep);
     device_->ResetQueryState();
     const Status interrupt = device_->CheckInterrupt();
@@ -126,6 +143,7 @@ Result<T> Executor::RunResilient(const char* op_name,
   MetricsRegistry::Global()
       .counter("queries.fell_back." + std::string(op_name))
       .Increment();
+  TraceResilienceEvent("resilience.fallback", op_name);
   return cpu();
 }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/common/profile.h"
 #include "src/common/query_log.h"
 
 namespace gpudb {
@@ -12,7 +13,7 @@ namespace {
 
 constexpr std::string_view kSystemTables[] = {
     "gpudb_columns", "gpudb_counters", "gpudb_metrics",
-    "gpudb_queries", "gpudb_tables",
+    "gpudb_profile", "gpudb_queries", "gpudb_tables",
 };
 
 /// The engine's relations cannot be empty, so an idle telemetry source
@@ -109,6 +110,7 @@ std::vector<std::string_view> Catalog::SystemTableNames() {
 Result<Table> Catalog::MaterializeSystemTable(std::string_view name) const {
   if (name == "gpudb_metrics") return MetricsTable();
   if (name == "gpudb_counters") return CountersTable();
+  if (name == "gpudb_profile") return ProfileTable();
   if (name == "gpudb_queries") return QueriesTable();
   if (name == "gpudb_tables") return TablesTable();
   if (name == "gpudb_columns") return ColumnsTable();
@@ -183,9 +185,63 @@ Result<Table> Catalog::CountersTable() const {
   return BuildSnapshot(std::move(cols));
 }
 
+Result<Table> Catalog::ProfileTable() const {
+  const std::vector<PassProfileGroup> groups = Profiler::Global().Snapshot();
+  std::vector<std::string> labels;
+  std::vector<float> passes, fragments, alpha_killed, stencil_killed;
+  std::vector<float> depth_tested, depth_killed, passed, occlusion_samples;
+  std::vector<float> plane_read, plane_written;
+  for (const PassProfileGroup& g : groups) {
+    labels.push_back(g.label);
+    passes.push_back(static_cast<float>(g.passes));
+    fragments.push_back(static_cast<float>(g.fragments));
+    alpha_killed.push_back(static_cast<float>(g.prof.alpha_killed));
+    stencil_killed.push_back(static_cast<float>(g.prof.stencil_killed));
+    depth_tested.push_back(static_cast<float>(g.prof.depth_tested));
+    depth_killed.push_back(static_cast<float>(g.prof.depth_killed));
+    passed.push_back(static_cast<float>(g.fragments_passed));
+    occlusion_samples.push_back(static_cast<float>(g.prof.occlusion_samples));
+    plane_read.push_back(static_cast<float>(g.prof.plane_bytes_read));
+    plane_written.push_back(static_cast<float>(g.prof.plane_bytes_written));
+  }
+  GPUDB_RETURN_NOT_OK(RequireRows("gpudb_profile", labels.size()));
+  std::vector<Column> cols;
+  GPUDB_ASSIGN_OR_RETURN(Column c0, Dict("label", labels));
+  GPUDB_ASSIGN_OR_RETURN(Column c1, Floats("passes", std::move(passes)));
+  GPUDB_ASSIGN_OR_RETURN(Column c2, Floats("fragments", std::move(fragments)));
+  GPUDB_ASSIGN_OR_RETURN(Column c3,
+                         Floats("alpha_killed", std::move(alpha_killed)));
+  GPUDB_ASSIGN_OR_RETURN(Column c4,
+                         Floats("stencil_killed", std::move(stencil_killed)));
+  GPUDB_ASSIGN_OR_RETURN(Column c5,
+                         Floats("depth_tested", std::move(depth_tested)));
+  GPUDB_ASSIGN_OR_RETURN(Column c6,
+                         Floats("depth_killed", std::move(depth_killed)));
+  GPUDB_ASSIGN_OR_RETURN(Column c7, Floats("passed", std::move(passed)));
+  GPUDB_ASSIGN_OR_RETURN(
+      Column c8, Floats("occlusion_samples", std::move(occlusion_samples)));
+  GPUDB_ASSIGN_OR_RETURN(Column c9,
+                         Floats("plane_bytes_read", std::move(plane_read)));
+  GPUDB_ASSIGN_OR_RETURN(
+      Column c10, Floats("plane_bytes_written", std::move(plane_written)));
+  cols.push_back(std::move(c0));
+  cols.push_back(std::move(c1));
+  cols.push_back(std::move(c2));
+  cols.push_back(std::move(c3));
+  cols.push_back(std::move(c4));
+  cols.push_back(std::move(c5));
+  cols.push_back(std::move(c6));
+  cols.push_back(std::move(c7));
+  cols.push_back(std::move(c8));
+  cols.push_back(std::move(c9));
+  cols.push_back(std::move(c10));
+  return BuildSnapshot(std::move(cols));
+}
+
 Result<Table> Catalog::QueriesTable() const {
   const std::vector<QueryLogEntry> entries = QueryLog::Global().Entries();
-  std::vector<float> id, wall_ms, simulated_ms, passes, fragments, rows_out;
+  std::vector<float> id, wall_ms, queue_ms, exec_ms, simulated_ms, passes,
+      fragments, rows_out;
   std::vector<uint32_t> ok, slow, retries, fell_back;
   std::vector<std::string> sql, kind;
   for (const QueryLogEntry& e : entries) {
@@ -195,6 +251,8 @@ Result<Table> Catalog::QueriesTable() const {
     ok.push_back(e.ok ? 1 : 0);
     slow.push_back(e.slow ? 1 : 0);
     wall_ms.push_back(static_cast<float>(e.wall_ms));
+    queue_ms.push_back(static_cast<float>(e.queue_ms));
+    exec_ms.push_back(static_cast<float>(e.exec_ms));
     simulated_ms.push_back(static_cast<float>(e.simulated_ms));
     passes.push_back(static_cast<float>(e.passes));
     fragments.push_back(static_cast<float>(e.fragments));
@@ -210,13 +268,15 @@ Result<Table> Catalog::QueriesTable() const {
   GPUDB_ASSIGN_OR_RETURN(Column c3, Ints("ok", ok));
   GPUDB_ASSIGN_OR_RETURN(Column c4, Ints("slow", slow));
   GPUDB_ASSIGN_OR_RETURN(Column c5, Floats("wall_ms", std::move(wall_ms)));
-  GPUDB_ASSIGN_OR_RETURN(Column c6,
+  GPUDB_ASSIGN_OR_RETURN(Column c6, Floats("queue_ms", std::move(queue_ms)));
+  GPUDB_ASSIGN_OR_RETURN(Column c7, Floats("exec_ms", std::move(exec_ms)));
+  GPUDB_ASSIGN_OR_RETURN(Column c8,
                          Floats("simulated_ms", std::move(simulated_ms)));
-  GPUDB_ASSIGN_OR_RETURN(Column c7, Floats("passes", std::move(passes)));
-  GPUDB_ASSIGN_OR_RETURN(Column c8, Floats("fragments", std::move(fragments)));
-  GPUDB_ASSIGN_OR_RETURN(Column c9, Floats("rows_out", std::move(rows_out)));
-  GPUDB_ASSIGN_OR_RETURN(Column c10, Ints("retries", retries));
-  GPUDB_ASSIGN_OR_RETURN(Column c11, Ints("fell_back", fell_back));
+  GPUDB_ASSIGN_OR_RETURN(Column c9, Floats("passes", std::move(passes)));
+  GPUDB_ASSIGN_OR_RETURN(Column c10, Floats("fragments", std::move(fragments)));
+  GPUDB_ASSIGN_OR_RETURN(Column c11, Floats("rows_out", std::move(rows_out)));
+  GPUDB_ASSIGN_OR_RETURN(Column c12, Ints("retries", retries));
+  GPUDB_ASSIGN_OR_RETURN(Column c13, Ints("fell_back", fell_back));
   cols.push_back(std::move(c0));
   cols.push_back(std::move(c1));
   cols.push_back(std::move(c2));
@@ -229,6 +289,8 @@ Result<Table> Catalog::QueriesTable() const {
   cols.push_back(std::move(c9));
   cols.push_back(std::move(c10));
   cols.push_back(std::move(c11));
+  cols.push_back(std::move(c12));
+  cols.push_back(std::move(c13));
   return BuildSnapshot(std::move(cols));
 }
 

@@ -21,8 +21,9 @@ namespace db {
 ///    keeps the Table alive). ANALYZE stores their TableStats here, and the
 ///    Planner/Executor read the stats back for estimated-vs-actual row
 ///    reporting.
-///  * **System tables** (`gpudb_metrics`, `gpudb_counters`, `gpudb_queries`,
-///    `gpudb_tables`, `gpudb_columns`): virtual relations materialized on
+///  * **System tables** (`gpudb_metrics`, `gpudb_counters`, `gpudb_profile`,
+///    `gpudb_queries`, `gpudb_tables`, `gpudb_columns`): virtual relations
+///    materialized on
 ///    demand from the process's own telemetry (MetricsRegistry, QueryLog,
 ///    this catalog). A materialized snapshot is an ordinary db::Table --
 ///    string attributes are dictionary-encoded kInt24 columns -- so system
@@ -69,6 +70,9 @@ class Catalog {
  private:
   Result<Table> MetricsTable() const;
   Result<Table> CountersTable() const;
+  /// One row per profiled pass label, from Profiler::Global()'s cumulative
+  /// deep counters; NotFound until something ran with profiling enabled.
+  Result<Table> ProfileTable() const;
   Result<Table> QueriesTable() const;
   Result<Table> TablesTable() const;
   Result<Table> ColumnsTable() const;

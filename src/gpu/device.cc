@@ -1,10 +1,12 @@
 #include "src/gpu/device.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/common/profile.h"
 #include "src/common/trace.h"
 
 namespace gpudb {
@@ -39,6 +41,17 @@ struct DeviceMetrics {
       MetricsRegistry::Global().counter("gpu.texture_swap_ins");
   MetricCounter& bytes_swapped =
       MetricsRegistry::Global().counter("gpu.bytes_swapped");
+  // Deep-profile counters; only advance while the Profiler is enabled.
+  MetricCounter& alpha_killed =
+      MetricsRegistry::Global().counter("gpu.alpha_killed");
+  MetricCounter& stencil_killed =
+      MetricsRegistry::Global().counter("gpu.stencil_killed");
+  MetricCounter& depth_killed =
+      MetricsRegistry::Global().counter("gpu.depth_killed");
+  MetricCounter& plane_bytes_read =
+      MetricsRegistry::Global().counter("gpu.plane_bytes_read");
+  MetricCounter& plane_bytes_written =
+      MetricsRegistry::Global().counter("gpu.plane_bytes_written");
 
   static DeviceMetrics& Get() {
     static DeviceMetrics* m = new DeviceMetrics();
@@ -200,6 +213,13 @@ Status Device::CopyColorToTexture(TextureId dst) {
   pass.fragments = viewport_pixels_;
   pass.fp_instructions = 1;
   pass.fragments_passed = viewport_pixels_;
+  pass.profiled = Profiler::Global().enabled();
+  if (pass.profiled) {
+    // The copy bypasses the fragment tests; its plane traffic is one full
+    // read of the color plane (the test-chain model in
+    // ApplyPlaneTrafficModel does not apply).
+    pass.prof.plane_bytes_read = viewport_pixels_ * 16;
+  }
   return FinishPass(std::move(pass));
 }
 
@@ -393,11 +413,17 @@ void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
     in.tex2 = ctx->units[2];
     in.tex3 = ctx->units[3];
     ctx->program->Execute(in, &out);
-    if (out.discarded) return;  // KILL: skips all later stages.
+    if (out.discarded) {  // KILL: skips all later stages.
+      if (ctx->profile) ++ctx->pass->prof.alpha_killed;
+      return;
+    }
   } else if (ctx->flat_depth) {
     // Fixed-function quad: depth quantization and the alpha test were
     // resolved once per pass (same outcome for every fragment).
-    if (ctx->alpha_fail) return;
+    if (ctx->alpha_fail) {
+      if (ctx->profile) ++ctx->pass->prof.alpha_killed;
+      return;
+    }
     ProcessTestedFragment(i, ctx->flat_depth_q, out.color, ctx);
     return;
   }
@@ -407,7 +433,9 @@ void Device::ProcessFragment(const RasterFragment& frag, PassContext* ctx) {
   // --- Alpha test -------------------------------------------------------
   if (rs.alpha_test_enabled &&
       !EvalCompare(rs.alpha_func, out.color[3], rs.alpha_ref)) {
-    return;  // Alpha failures do not reach the stencil stage.
+    // Alpha failures do not reach the stencil stage.
+    if (ctx->profile) ++ctx->pass->prof.alpha_killed;
+    return;
   }
 
   ProcessTestedFragment(i, frag_depth_q, out.color, ctx);
@@ -439,6 +467,7 @@ void Device::ProcessTestedFragment(uint64_t i, uint32_t frag_depth_q,
         static_cast<uint8_t>(stored_stencil & rs.stencil_value_mask);
     if (!EvalCompare(rs.stencil_func, ref, val)) {
       update_stencil(rs.stencil_fail_op);  // Op1
+      if (ctx->profile) ++ctx->pass->prof.stencil_killed;
       return;
     }
   }
@@ -491,6 +520,9 @@ struct QuadKernelOut {
   uint64_t depth_writes = 0;
   uint64_t stencil_updates = 0;
   uint64_t occlusion = 0;
+  // Filled only by the kProfile instantiation; zero otherwise.
+  uint64_t alpha_killed = 0;
+  uint64_t stencil_killed = 0;
 };
 
 /// Shared body of the specialized quad-row kernels: the exact
@@ -506,7 +538,12 @@ struct QuadKernelOut {
 /// machine, so a loop reading RenderState or the plane pointers through
 /// members would reload them after every stencil write. Locals whose
 /// address never escapes cannot alias and stay in registers.
-template <typename DepthQFn>
+///
+/// `kProfile` selects the gpuprof instantiation: the extra kill counters
+/// are `if constexpr`-guarded, so the default <false> kernel -- the one
+/// every non-profiled pass runs -- compiles to exactly the pre-gpuprof
+/// loop (counters off = no-ops, not branches).
+template <bool kProfile, typename DepthQFn>
 void QuadRowKernel(const RenderState& rs_in, FrameBuffer* fb,
                    const ScissorRect& rect, uint32_t y_begin, uint32_t y_end,
                    bool alpha_fail, bool count_occlusion, DepthQFn depth_q_of,
@@ -526,6 +563,7 @@ void QuadRowKernel(const RenderState& rs_in, FrameBuffer* fb,
   uint64_t depth_writes = 0;
   uint64_t stencil_updates = 0;
   uint64_t occl = 0;
+  uint64_t stencil_killed = 0;
 
   for (uint32_t y = y_begin; y < y_end; ++y) {
     uint64_t i = uint64_t{y} * w + rect.x0;
@@ -550,6 +588,7 @@ void QuadRowKernel(const RenderState& rs_in, FrameBuffer* fb,
             static_cast<uint8_t>(stored_stencil & rs.stencil_value_mask);
         if (!EvalCompare(rs.stencil_func, ref_masked, val)) {
           update_stencil(rs.stencil_fail_op);  // Op1
+          if constexpr (kProfile) ++stencil_killed;
           continue;
         }
       }
@@ -588,6 +627,13 @@ void QuadRowKernel(const RenderState& rs_in, FrameBuffer* fb,
   result->depth_writes = depth_writes;
   result->stencil_updates = stencil_updates;
   result->occlusion = occl;
+  if constexpr (kProfile) {
+    // A pre-resolved alpha failure kills every fragment of the quad.
+    result->alpha_killed = alpha_fail ? fragments : 0;
+    result->stencil_killed = stencil_killed;
+  } else {
+    (void)stencil_killed;
+  }
 }
 
 void ReduceQuadKernel(const QuadKernelOut& out, PassRecord* pass,
@@ -596,6 +642,8 @@ void ReduceQuadKernel(const QuadKernelOut& out, PassRecord* pass,
   pass->fragments_passed += out.passed;
   pass->depth_writes += out.depth_writes;
   pass->stencil_updates += out.stencil_updates;
+  pass->prof.alpha_killed += out.alpha_killed;
+  pass->prof.stencil_killed += out.stencil_killed;
   if (occlusion != nullptr) *occlusion += out.occlusion;
 }
 
@@ -604,10 +652,15 @@ void ReduceQuadKernel(const QuadKernelOut& out, PassRecord* pass,
 void Device::RunFixedRows(const ScissorRect& rect, uint32_t y_begin,
                           uint32_t y_end, PassContext* ctx) {
   const uint32_t q = ctx->flat_depth_q;
+  const auto depth_q_of = [q](uint64_t) { return q; };
   QuadKernelOut out;
-  QuadRowKernel(
-      state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
-      ctx->occlusion != nullptr, [q](uint64_t) { return q; }, &out);
+  if (ctx->profile) {
+    QuadRowKernel<true>(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
+                        ctx->occlusion != nullptr, depth_q_of, &out);
+  } else {
+    QuadRowKernel<false>(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
+                         ctx->occlusion != nullptr, depth_q_of, &out);
+  }
   ReduceQuadKernel(out, ctx->pass, ctx->occlusion);
 }
 
@@ -633,12 +686,56 @@ void Device::RunDepthCopyRows(const ScissorRect& rect, uint32_t y_begin,
     return static_cast<uint32_t>(static_cast<double>(d) * depth_max + 0.5);
   };
   QuadKernelOut out;
-  QuadRowKernel(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
-                ctx->occlusion != nullptr, depth_q_of, &out);
+  if (ctx->profile) {
+    QuadRowKernel<true>(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
+                        ctx->occlusion != nullptr, depth_q_of, &out);
+  } else {
+    QuadRowKernel<false>(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
+                         ctx->occlusion != nullptr, depth_q_of, &out);
+  }
   ReduceQuadKernel(out, ctx->pass, ctx->occlusion);
 }
 
+void Device::ApplyPlaneTrafficModel(PassRecord* pass) const {
+  // Bandwidth model for a tested pass (DESIGN.md §13): the stencil unit
+  // reads 1 byte for every fragment that reaches it (all fragments past the
+  // alpha stage), the depth unit reads the 4-byte stored depth for bounds
+  // and compare, updates write back at plane width, and a passing fragment
+  // with the color mask open writes 4 float32 channels.
+  const RenderState& rs = state_;
+  PassProfile& p = pass->prof;
+  const uint64_t after_alpha = pass->fragments - p.alpha_killed;
+  const uint64_t depth_tested = after_alpha - p.stencil_killed;
+  uint64_t reads = 0;
+  if (rs.stencil_test_enabled) reads += after_alpha;
+  if (rs.depth_bounds_test_enabled || rs.depth_test_enabled) {
+    reads += depth_tested * 4;
+  }
+  uint64_t writes = pass->stencil_updates + pass->depth_writes * 4;
+  if (rs.color_write_mask) writes += pass->fragments_passed * 16;
+  p.plane_bytes_read = reads;
+  p.plane_bytes_written = writes;
+}
+
 Status Device::FinishPass(PassRecord pass) {
+  if (pass.profiled) {
+    // Close the fragment ledger: kills were counted at the test stages,
+    // the rest is arithmetic. Imbalance (more kills than fragments, or
+    // more survivors than depth-tested fragments) means the pipeline
+    // miscounted; surface it before the unsigned subtraction wraps.
+    PassProfile& p = pass.prof;
+    if (p.alpha_killed + p.stencil_killed > pass.fragments ||
+        pass.fragments - p.alpha_killed - p.stencil_killed <
+            pass.fragments_passed) {
+      return Status::Internal(
+          "gpuprof fragment ledger out of balance in pass '" + pass.label +
+          "'");
+    }
+    p.depth_tested = pass.fragments - p.alpha_killed - p.stencil_killed;
+    p.depth_killed = p.depth_tested - pass.fragments_passed;
+    p.occlusion_samples =
+        pass.in_occlusion_query ? pass.fragments_passed : 0;
+  }
   // Record-time enforcement of the PassRecord invariants: a violated
   // invariant means the simulator itself miscounted, which would silently
   // corrupt every downstream PerfModel estimate. Propagated as a Status so
@@ -657,6 +754,17 @@ Status Device::FinishPass(PassRecord pass) {
   counters_.stencil_updates += pass.stencil_updates;
   DeviceMetrics::Get().passes.Increment();
   DeviceMetrics::Get().fragments.Add(pass.fragments);
+  if (pass.profiled) {
+    counters_.prof.Merge(pass.prof);
+    DeviceMetrics::Get().alpha_killed.Add(pass.prof.alpha_killed);
+    DeviceMetrics::Get().stencil_killed.Add(pass.prof.stencil_killed);
+    DeviceMetrics::Get().depth_killed.Add(pass.prof.depth_killed);
+    DeviceMetrics::Get().plane_bytes_read.Add(pass.prof.plane_bytes_read);
+    DeviceMetrics::Get().plane_bytes_written.Add(
+        pass.prof.plane_bytes_written);
+    Profiler::Global().RecordPass(pass.label, pass.fragments,
+                                  pass.fragments_passed, pass.prof);
+  }
   if (Tracer::Global().enabled()) {
     // One span per rendering pass, carrying the full PassRecord. The span
     // is emitted at pass completion (zero duration on the trace timeline);
@@ -669,6 +777,15 @@ Status Device::FinishPass(PassRecord pass) {
     span.AddTag("stencil_updates", pass.stencil_updates);
     span.AddTag("in_occlusion_query",
                 pass.in_occlusion_query ? "true" : "false");
+    if (pass.profiled) {
+      span.AddTag("alpha_killed", pass.prof.alpha_killed);
+      span.AddTag("stencil_killed", pass.prof.stencil_killed);
+      span.AddTag("depth_tested", pass.prof.depth_tested);
+      span.AddTag("depth_killed", pass.prof.depth_killed);
+      span.AddTag("occlusion_samples", pass.prof.occlusion_samples);
+      span.AddTag("plane_bytes_read", pass.prof.plane_bytes_read);
+      span.AddTag("plane_bytes_written", pass.prof.plane_bytes_written);
+    }
   }
   counters_.pass_log.push_back(std::move(pass));
   return Status::OK();
@@ -716,6 +833,9 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
                                   : std::string("fixed-function");
   pass.fp_instructions = program != nullptr ? program->instruction_count() : 0;
   pass.in_occlusion_query = occlusion_active_;
+  // One relaxed load per pass decides both the kernel instantiation and
+  // which PassRecords carry deep counters; a mid-pass toggle cannot tear.
+  pass.profiled = Profiler::Global().enabled();
 
   // The viewport's first n pixels form up to two rectangles: the full rows
   // and a partial final row. Each is a screen-aligned quad at constant
@@ -755,9 +875,13 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
   // order afterwards so every reduction (and therefore counters_,
   // pass_log, and EndOcclusionQuery results) is bit-identical to serial
   // execution.
+  // Wall-clock band time rides in the Tile but never enters the PassRecord:
+  // counters stay bit-stable across thread counts while timings feed the
+  // "gpu.band_ms" histogram and trace counter track.
   struct Tile {
     PassRecord pass;
     uint64_t occlusion = 0;
+    double band_ms = 0.0;
   };
   const int bands =
       std::max(1, std::min(worker_threads_, static_cast<int>(total_rows)));
@@ -775,11 +899,14 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
   const CopyToDepthProgram* depth_copy =
       program != nullptr ? program->AsDepthCopy() : nullptr;
 
+  const bool profiled = pass.profiled;
   const auto run_band = [&](int band) {
     // Per-band cooperative cancellation: a band that starts after the
     // interrupt fired does no work. Bands already in their fragment loop
     // finish normally; the post-reduction check below surfaces the error.
     if (InterruptPending()) return;
+    const auto band_start = profiled ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point();
     // Tile accumulators live on the band's stack so the optimizer can keep
     // them in registers through the fragment loop; copied into the shared
     // tile vector once at band end.
@@ -792,6 +919,7 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
     ctx.flat_depth = program == nullptr;
     ctx.flat_depth_q = flat_depth_q;
     ctx.alpha_fail = alpha_fail;
+    ctx.profile = profiled;
     // Rows [row_begin, row_end) of the concatenated row sequence.
     const auto nrows = uint64_t{total_rows};
     const auto row_begin =
@@ -823,6 +951,11 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
       }
       skipped += height;
     }
+    if (profiled) {
+      tile.band_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - band_start)
+                         .count();
+    }
     tiles[static_cast<size_t>(band)] = std::move(tile);
   };
 
@@ -842,7 +975,16 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
     pass.fragments_passed += tile.pass.fragments_passed;
     pass.depth_writes += tile.pass.depth_writes;
     pass.stencil_updates += tile.pass.stencil_updates;
+    pass.prof.alpha_killed += tile.pass.prof.alpha_killed;
+    pass.prof.stencil_killed += tile.pass.prof.stencil_killed;
     occlusion_count_ += tile.occlusion;
+  }
+  if (profiled) {
+    ApplyPlaneTrafficModel(&pass);
+    std::vector<double> band_times;
+    band_times.reserve(tiles.size());
+    for (const Tile& tile : tiles) band_times.push_back(tile.band_ms);
+    Profiler::Global().RecordBandTimings(band_times);
   }
 
   return FinishPass(std::move(pass));
@@ -867,6 +1009,7 @@ Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
   pass.fp_instructions =
       program_ != nullptr ? program_->instruction_count() : 0;
   pass.in_occlusion_query = occlusion_active_;
+  pass.profiled = Profiler::Global().enabled();
 
   // Arbitrary geometry may overlap itself (later triangles read earlier
   // ones' depth/stencil writes), so this path stays strictly serial; only
@@ -876,6 +1019,7 @@ Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
   ctx.program = program_;
   ctx.pass = &pass;
   ctx.occlusion = occlusion_active_ ? &occlusion_count_ : nullptr;
+  ctx.profile = pass.profiled;
   const auto emit = [this, &ctx](const RasterFragment& frag) {
     ProcessFragment(frag, &ctx);
   };
@@ -897,6 +1041,7 @@ Status Device::DrawTriangles(const std::vector<Vertex>& vertices) {
     const ScreenVertex c = ApplyVertexStage(vertices[t + 2]);
     RasterizeTriangle(a, b, c, clip, emit);
   }
+  if (pass.profiled) ApplyPlaneTrafficModel(&pass);
   return FinishPass(std::move(pass));
 }
 

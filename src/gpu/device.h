@@ -312,6 +312,10 @@ class Device {
     bool flat_depth = false;
     uint32_t flat_depth_q = 0;
     bool alpha_fail = false;
+    /// Deep profiling on for this pass (one Profiler::enabled() load per
+    /// pass, taken where the PassRecord is created): gates the per-fragment
+    /// kill counters and selects the profiled kernel instantiation.
+    bool profile = false;
   };
 
   /// Swaps a texture into video memory if evicted, evicting LRU textures as
@@ -359,11 +363,20 @@ class Device {
   /// Applies the vertex processing engine to one vertex.
   ScreenVertex ApplyVertexStage(const Vertex& v) const;
 
-  /// Folds a finished pass into the cumulative counters. Fails with
-  /// Status::Internal when the PassRecord invariants are violated (the
-  /// simulator miscounted -- every downstream cost estimate would be
-  /// corrupt), without recording the bad pass.
+  /// Folds a finished pass into the cumulative counters. For a profiled
+  /// pass, first closes the fragment ledger (depth_tested / depth_killed /
+  /// occlusion_samples are derived from the counted kills) and feeds the
+  /// per-label Profiler aggregate. Fails with Status::Internal when the
+  /// PassRecord invariants are violated (the simulator miscounted -- every
+  /// downstream cost estimate would be corrupt), without recording the bad
+  /// pass.
   [[nodiscard]] Status FinishPass(PassRecord pass);
+
+  /// Fills a profiled pass's plane_bytes_read/written from the current
+  /// render state and the pass's counted fragments (gpuprof bandwidth
+  /// model; see DESIGN.md §13). Call before FinishPass, at the issue site,
+  /// while the pass's RenderState is still live.
+  void ApplyPlaneTrafficModel(PassRecord* pass) const;
 
   /// Lock-free check shared by the per-band loops: true when a cancel is
   /// pending or an armed deadline has passed.

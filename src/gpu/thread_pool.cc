@@ -1,6 +1,11 @@
 #include "src/gpu/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
+
+#include "src/common/metrics.h"
+#include "src/common/profile.h"
+#include "src/common/trace.h"
 
 namespace gpudb {
 namespace gpu {
@@ -36,6 +41,12 @@ int ThreadPool::DefaultThreads() {
 }
 
 void ThreadPool::RunJob() {
+  // Per-engine busy time (gpuprof): one enabled() load per job, one
+  // histogram record per engine per job -- nothing on the per-claim path
+  // beyond two clock reads, and nothing at all when profiling is off.
+  const bool profile = Profiler::Global().enabled();
+  double busy_ms = 0.0;
+  bool worked = false;
   // Claim-and-run until this job's indices are exhausted. The lock is only
   // held for the claim; task bodies run unlocked. The job-id check keeps a
   // thread that finished job N from claiming indices of a job N+1 posted
@@ -47,11 +58,28 @@ void ThreadPool::RunJob() {
     const std::function<void(int)>* task = task_;
     const int i = next_index_++;
     lock.unlock();
-    (*task)(i);
+    if (profile) {
+      const auto start = std::chrono::steady_clock::now();
+      (*task)(i);
+      busy_ms += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+      worked = true;
+    } else {
+      (*task)(i);
+    }
     lock.lock();
     // The posting thread cannot recycle the job while remaining_ > 0, so
     // this decrement always belongs to my_job.
     if (--remaining_ == 0) work_done_.notify_all();
+  }
+  if (worked) {
+    lock.unlock();
+    static MetricHistogram& engine_busy =
+        MetricsRegistry::Global().histogram("gpu.engine_busy_ms");
+    engine_busy.Record(busy_ms);
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) tracer.Counter("gpu.engine_busy_ms", busy_ms);
   }
 }
 

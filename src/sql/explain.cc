@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/profile.h"
 #include "src/core/op_span.h"
 #include "src/gpu/counters.h"
 #include "src/gpu/perf_model.h"
@@ -60,6 +61,10 @@ struct Rollup {
   double bytes_read_back = 0;
   double bytes_uploaded = 0;
   double bytes_swapped = 0;
+  // Deep-profile tags, present only on passes run with the Profiler on.
+  double killed = 0;  // alpha + stencil + depth kills
+  double plane_bytes_read = 0;
+  double plane_bytes_written = 0;
 
   bool empty() const { return passes == 0 && bytes_read_back == 0 &&
                               bytes_uploaded == 0 && bytes_swapped == 0; }
@@ -158,6 +163,13 @@ class TreeFormatter {
       if (rollup.bytes_swapped > 0) {
         parts.push_back(Num(rollup.bytes_swapped) + " B swapped in");
       }
+      if (rollup.killed > 0) {
+        parts.push_back(Num(rollup.killed) + " killed");
+      }
+      if (rollup.plane_bytes_read > 0 || rollup.plane_bytes_written > 0) {
+        parts.push_back("plane " + Num(rollup.plane_bytes_read) + " B read / " +
+                        Num(rollup.plane_bytes_written) + " B written");
+      }
       out->append(static_cast<size_t>(depth + 1) * 2, ' ');
       out->append("[");
       for (size_t p = 0; p < parts.size(); ++p) {
@@ -181,6 +193,11 @@ class TreeFormatter {
         ++r.passes;
         r.fragments += span.NumberTag("fragments");
         r.fragments_passed += span.NumberTag("fragments_passed");
+        r.killed += span.NumberTag("alpha_killed") +
+                    span.NumberTag("stencil_killed") +
+                    span.NumberTag("depth_killed");
+        r.plane_bytes_read += span.NumberTag("plane_bytes_read");
+        r.plane_bytes_written += span.NumberTag("plane_bytes_written");
       } else if (span.name == "gpu.read_stencil" ||
                  span.name == "gpu.read_depth") {
         r.bytes_read_back += span.NumberTag("bytes");
@@ -211,6 +228,11 @@ Result<QueryResult> ExecuteAnalyze(core::Executor* executor,
   Tracer& tracer = Tracer::Global();
   const bool was_enabled = tracer.enabled();
   tracer.set_enabled(true);
+  // EXPLAIN PROFILE: deep counters for the duration of this query only
+  // (restored afterwards, like the tracer flag).
+  Profiler& profiler = Profiler::Global();
+  const bool profiler_was_enabled = profiler.enabled();
+  if (query.explain_profile) profiler.set_enabled(true);
   const size_t mark = tracer.FinishedCount();
   const gpu::DeviceCounters before = executor->device().counters();
 
@@ -222,6 +244,7 @@ Result<QueryResult> ExecuteAnalyze(core::Executor* executor,
     status = ExecuteParsed(executor, query, &result);
   }
   tracer.set_enabled(was_enabled);
+  if (query.explain_profile) profiler.set_enabled(profiler_was_enabled);
   GPUDB_RETURN_NOT_OK(status);
 
   const gpu::DeviceCounters delta =
@@ -231,6 +254,35 @@ Result<QueryResult> ExecuteAnalyze(core::Executor* executor,
   result.simulated_total_ms = result.breakdown.TotalMs();
   result.spans = tracer.FinishedSince(mark);
   result.explain = FormatSpanTree(result.spans);
+  if (query.explain_profile) {
+    // Group this query's profiled passes by label in first-appearance
+    // order. The pass log and its deep counters are band-reduced
+    // deterministically, so groups -- and the rendered table -- are
+    // byte-identical at any worker-thread count.
+    std::vector<PassProfileGroup> groups;
+    for (const gpu::PassRecord& pass : delta.pass_log) {
+      if (!pass.profiled) continue;
+      PassProfileGroup* group = nullptr;
+      for (PassProfileGroup& g : groups) {
+        if (g.label == pass.label) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.emplace_back();
+        group = &groups.back();
+        group->label = pass.label;
+      }
+      ++group->passes;
+      group->fragments += pass.fragments;
+      group->fragments_passed += pass.fragments_passed;
+      group->prof.Merge(pass.prof);
+    }
+    result.profiled = true;
+    result.profile_groups = std::move(groups);
+    result.profile = FormatPassProfileTable(result.profile_groups);
+  }
   return result;
 }
 

@@ -25,13 +25,20 @@ namespace sql {
 /// moved across the bus.
 std::string FormatSpanTree(const std::vector<FinishedSpan>& spans);
 
-/// \brief Executes an already-parsed query under tracing (EXPLAIN ANALYZE).
+/// \brief Executes an already-parsed query under tracing (EXPLAIN ANALYZE
+/// and EXPLAIN PROFILE).
 ///
 /// Enables the global tracer for the duration of the query (restoring its
 /// previous state afterwards), wraps execution in a root "query" span, and
 /// fills QueryResult's analysis fields: the rendered tree, the run's spans,
 /// and the PerfModel breakdown of the query's device-counter delta. The
 /// root span's total_ms equals breakdown.TotalMs() by construction.
+///
+/// For EXPLAIN PROFILE (query.explain_profile) the Profiler is additionally
+/// enabled for the query's duration and the result carries the per-pass
+/// deep-counter groups and their rendered table (QueryResult::profile);
+/// those counters are deterministic, so the table is byte-identical across
+/// worker-thread counts.
 [[nodiscard]] Result<QueryResult> ExecuteAnalyze(core::Executor* executor,
                                    const Query& query, std::string_view input);
 

@@ -11,6 +11,7 @@ std::string_view ToString(TokenKind kind) {
   switch (kind) {
     case TokenKind::kExplain: return "EXPLAIN";
     case TokenKind::kAnalyze: return "ANALYZE";
+    case TokenKind::kProfile: return "PROFILE";
     case TokenKind::kSelect: return "SELECT";
     case TokenKind::kFrom: return "FROM";
     case TokenKind::kWhere: return "WHERE";
@@ -61,6 +62,7 @@ TokenKind KeywordOrIdentifier(std::string_view word) {
   const std::string upper = ToUpper(word);
   if (upper == "EXPLAIN") return TokenKind::kExplain;
   if (upper == "ANALYZE") return TokenKind::kAnalyze;
+  if (upper == "PROFILE") return TokenKind::kProfile;
   if (upper == "SELECT") return TokenKind::kSelect;
   if (upper == "FROM") return TokenKind::kFrom;
   if (upper == "WHERE") return TokenKind::kWhere;

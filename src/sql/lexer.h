@@ -16,6 +16,7 @@ enum class TokenKind {
   // keywords
   kExplain,
   kAnalyze,
+  kProfile,
   kSelect,
   kFrom,
   kWhere,

@@ -52,8 +52,17 @@ class Parser {
     }
     if (Peek().kind == TokenKind::kExplain) {
       Next();
-      GPUDB_RETURN_NOT_OK(Expect(TokenKind::kAnalyze));
-      query.explain_analyze = true;
+      if (Peek().kind == TokenKind::kProfile) {
+        // EXPLAIN PROFILE: EXPLAIN ANALYZE plus the deep per-pass counter
+        // table; every downstream dispatch keyed on explain_analyze works
+        // unchanged.
+        Next();
+        query.explain_profile = true;
+        query.explain_analyze = true;
+      } else {
+        GPUDB_RETURN_NOT_OK(Expect(TokenKind::kAnalyze));
+        query.explain_analyze = true;
+      }
     }
     GPUDB_RETURN_NOT_OK(Expect(TokenKind::kSelect));
     GPUDB_RETURN_NOT_OK(ParseSelectItem(&query));
@@ -411,7 +420,10 @@ std::string QueryResult::ToString() const {
       break;
   }
   if (analyzed) {
-    return value + "\n" + explain;
+    value += "\n" + explain;
+    if (profiled && !profile.empty()) {
+      value += "\npass profile:\n" + profile;
+    }
   }
   return value;
 }

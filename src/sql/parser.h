@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/profile.h"
 #include "src/common/result.h"
 #include "src/common/trace.h"
 #include "src/core/aggregates.h"
@@ -59,6 +60,12 @@ struct Query {
   /// EXPLAIN ANALYZE prefix: run the query under tracing and attach the
   /// per-operator simulated-cost tree to the result.
   bool explain_analyze = false;
+
+  /// EXPLAIN PROFILE prefix: EXPLAIN ANALYZE plus deep profiling -- the
+  /// query runs with the Profiler enabled and the result additionally
+  /// carries the per-pass counter table (kills, plane traffic). Implies
+  /// explain_analyze.
+  bool explain_profile = false;
 };
 
 std::string_view ToString(Query::Kind kind);
@@ -89,6 +96,14 @@ struct QueryResult {
   double simulated_total_ms = 0.0;
   gpu::GpuTimeBreakdown breakdown;
   std::vector<FinishedSpan> spans;
+
+  /// Filled by EXPLAIN PROFILE: the query's per-pass profile groups (label,
+  /// fragments, kill counts, plane traffic), in first-appearance order, and
+  /// their rendered table. Deterministic counters only, so `profile` is
+  /// byte-identical across worker-thread counts.
+  bool profiled = false;
+  std::vector<PassProfileGroup> profile_groups;
+  std::string profile;
 
   /// For kSelectRows through sql::Session: the table the row ids refer to.
   /// System-table snapshots are materialized per query, so the session hands

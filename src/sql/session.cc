@@ -138,6 +138,11 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
     return Status::InvalidArgument("Session requires a device and a catalog");
   }
   Timer timer;
+  // Queue-wait vs execute split: statements serialize on the session's one
+  // device, so time spent acquiring execute_mu_ is admission queueing and
+  // time under it is execution. Single-threaded callers see queue_ms ~= 0.
+  std::unique_lock<std::mutex> execute_lock(execute_mu_);
+  const double queue_ms = timer.ElapsedMs();
   gpu::DeviceCounters delta;
   // Resilience outcome for the query log: the delta of the process-wide
   // retry/fallback counters across this statement (sessions execute
@@ -150,11 +155,15 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
     return Dispatch(sql, table_name, &delta);
   };
   Result<QueryResult> result = run();
+  const double wall_ms = timer.ElapsedMs();
+  execute_lock.unlock();
 
   QueryLogEntry entry;
   entry.sql = std::string(sql);
   entry.ok = result.ok();
-  entry.wall_ms = timer.ElapsedMs();
+  entry.wall_ms = wall_ms;
+  entry.queue_ms = queue_ms;
+  entry.exec_ms = wall_ms - queue_ms;
   entry.retries =
       registry.counter("queries.retry_attempts").value() - retries_before;
   entry.fell_back =

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -82,6 +83,9 @@ class Session {
 
   gpu::Device* device_;
   db::Catalog* catalog_;
+  /// Statements serialize here (one device, one executor cache). The time a
+  /// statement spends waiting for this lock is its QueryLogEntry::queue_ms.
+  std::mutex execute_mu_;
   core::ResilienceOptions resilience_;
   std::map<std::string, std::unique_ptr<core::Executor>, std::less<>>
       executors_;

@@ -1,4 +1,7 @@
+#include <cctype>
 #include <cmath>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -126,6 +129,14 @@ TEST(MetricsRegistryTest, DumpPrometheusTextExposition) {
   const std::string text = registry.DumpPrometheus();
   // Names are prefixed and sanitized for Prometheus.
   EXPECT_NE(text.find("# TYPE gpudb_sql_queries counter"), std::string::npos);
+  // Each metric gets a HELP line carrying the original dotted name, and
+  // promtool wants it before the TYPE line.
+  const size_t help_pos = text.find("# HELP gpudb_sql_queries ");
+  const size_t type_pos = text.find("# TYPE gpudb_sql_queries ");
+  ASSERT_NE(help_pos, std::string::npos);
+  ASSERT_NE(type_pos, std::string::npos);
+  EXPECT_LT(help_pos, type_pos);
+  EXPECT_NE(text.find("sql.queries"), std::string::npos);
   EXPECT_NE(text.find("gpudb_sql_queries 5"), std::string::npos);
   EXPECT_NE(text.find("# TYPE gpudb_cache_bytes gauge"), std::string::npos);
   EXPECT_NE(text.find("gpudb_cache_bytes 2048"), std::string::npos);
@@ -138,6 +149,50 @@ TEST(MetricsRegistryTest, DumpPrometheusTextExposition) {
   EXPECT_NE(text.find("gpudb_query_wall_ms_count 3"), std::string::npos);
   // Cumulative: the bucket holding 1.0 reports 2, later buckets at least 2.
   EXPECT_NE(text.find("le=\"1\"} 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpPrometheusEscapesAndSpecialValues) {
+  MetricsRegistry registry;
+  // A metric name with every character class the sanitizer must fold, whose
+  // HELP line must escape the backslash it contains.
+  registry.counter("weird\\name with spaces").Add(1);
+  registry.gauge("gauge.nan").Set(std::nan(""));
+  registry.gauge("gauge.posinf").Set(std::numeric_limits<double>::infinity());
+  registry.gauge("gauge.neginf").Set(-std::numeric_limits<double>::infinity());
+  const std::string text = registry.DumpPrometheus();
+
+  // Sanitized sample line: every non-alphanumeric folded to '_'.
+  EXPECT_NE(text.find("gpudb_weird_name_with_spaces 1"), std::string::npos);
+  // HELP escape: the raw backslash in the dotted name becomes "\\".
+  EXPECT_NE(text.find("weird\\\\name with spaces"), std::string::npos);
+  // Non-finite values spell out the Prometheus forms, never printf's "nan".
+  EXPECT_NE(text.find("gpudb_gauge_nan NaN"), std::string::npos);
+  EXPECT_NE(text.find("gpudb_gauge_posinf +Inf"), std::string::npos);
+  EXPECT_NE(text.find("gpudb_gauge_neginf -Inf"), std::string::npos);
+  EXPECT_EQ(text.find(" nan"), std::string::npos);
+  EXPECT_EQ(text.find(" inf"), std::string::npos);
+  EXPECT_EQ(text.find(" -inf"), std::string::npos);
+
+  // promtool-style structural check: every non-comment line is
+  // "<name>[{labels}] <value>"; every series has HELP+TYPE above it.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+          << line;
+    }
+  }
 }
 
 TEST(MetricsRegistryTest, DumpTextListsEveryInstrument) {

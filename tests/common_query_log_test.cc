@@ -78,6 +78,33 @@ TEST(QueryLogTest, AddFeedsMetricsRegistry) {
             queries_before + 2);
 }
 
+TEST(QueryLogTest, AddRecordsQueueAndExecSplit) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const uint64_t queue_before = registry.histogram("sql.queue_wait_ms").count();
+  const double queue_sum_before = registry.histogram("sql.queue_wait_ms").sum();
+  const uint64_t exec_before = registry.histogram("sql.exec_ms").count();
+  const double exec_sum_before = registry.histogram("sql.exec_ms").sum();
+
+  QueryLog log(4);
+  log.set_echo_slow_to_stderr(false);
+  QueryLogEntry e = MakeEntry("split", 5.0);
+  e.queue_ms = 2.0;
+  e.exec_ms = 3.0;
+  log.Add(e);
+
+  // The entry keeps the split, and both histograms saw one sample each.
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(entries[0].queue_ms, 2.0);
+  EXPECT_DOUBLE_EQ(entries[0].exec_ms, 3.0);
+  EXPECT_EQ(registry.histogram("sql.queue_wait_ms").count(), queue_before + 1);
+  EXPECT_DOUBLE_EQ(registry.histogram("sql.queue_wait_ms").sum(),
+                   queue_sum_before + 2.0);
+  EXPECT_EQ(registry.histogram("sql.exec_ms").count(), exec_before + 1);
+  EXPECT_DOUBLE_EQ(registry.histogram("sql.exec_ms").sum(),
+                   exec_sum_before + 3.0);
+}
+
 TEST(QueryLogTest, ClearKeepsIdSequence) {
   QueryLog log(4);
   log.Add(MakeEntry("a", 1.0));

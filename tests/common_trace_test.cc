@@ -131,5 +131,83 @@ TEST(TracerTest, GlobalTracerIsOffByDefault) {
   EXPECT_FALSE(Tracer::Global().enabled());
 }
 
+TEST(TracerTest, DisabledCounterSamplesAreInert) {
+  Tracer tracer;
+  tracer.Counter("dropped.track", 1.0);
+  EXPECT_EQ(tracer.CounterCount(), 0u);
+}
+
+TEST(TracerTest, CounterSamplesRecordInOrderAndClear) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.Counter("band.ms", 1.5);
+  tracer.Counter("band.ms", 2.5);
+  const size_t mark = tracer.CounterCount();
+  tracer.Counter("busy.ms", 9.0);
+
+  ASSERT_EQ(tracer.CounterCount(), 3u);
+  const std::vector<CounterSample> all = tracer.CounterSamples();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "band.ms");
+  EXPECT_DOUBLE_EQ(all[0].value, 1.5);
+  EXPECT_DOUBLE_EQ(all[1].value, 2.5);
+  EXPECT_LE(all[0].ts_us, all[1].ts_us);
+
+  const std::vector<CounterSample> since = tracer.CounterSamplesSince(mark);
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].name, "busy.ms");
+  EXPECT_DOUBLE_EQ(since[0].value, 9.0);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.CounterCount(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceCounterEventsEscapeAndParse) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { TraceSpan span("query", &tracer); }
+  // A hostile track name: quote, backslash, newline must all survive the
+  // JSON round trip.
+  tracer.Counter("track \"q\"\\\n", 3.25);
+  tracer.Counter("plain", 4.0);
+
+  const std::string text =
+      Tracer::ToChromeTrace(tracer.Finished(), tracer.CounterSamples());
+  auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 3u);  // 1 span + 2 counter samples
+
+  // Counter events follow the span events.
+  const json::Value& hostile = events->as_array()[1];
+  const json::Value& plain = events->as_array()[2];
+  EXPECT_EQ(hostile.Find("ph")->as_string(), "C");
+  EXPECT_EQ(hostile.Find("name")->as_string(), "track \"q\"\\\n");
+  ASSERT_NE(hostile.Find("args"), nullptr);
+  EXPECT_DOUBLE_EQ(hostile.Find("args")->Find("value")->as_number(), 3.25);
+  EXPECT_EQ(plain.Find("name")->as_string(), "plain");
+  EXPECT_DOUBLE_EQ(plain.Find("args")->Find("value")->as_number(), 4.0);
+  for (const json::Value* event : {&hostile, &plain}) {
+    for (const char* key : {"name", "cat", "ph", "pid", "tid", "ts"}) {
+      EXPECT_NE(event->Find(key), nullptr) << "missing " << key;
+    }
+  }
+}
+
+TEST(TracerTest, SpanOnlyOverloadStillOmitsCounters) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { TraceSpan span("query", &tracer); }
+  tracer.Counter("ignored.track", 1.0);
+  const std::string text = Tracer::ToChromeTrace(tracer.Finished());
+  auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->as_array().size(), 1u);
+}
+
 }  // namespace
 }  // namespace gpudb

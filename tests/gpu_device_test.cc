@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/profile.h"
 #include "src/gpu/device.h"
 #include "src/gpu/fragment_program.h"
 #include "src/gpu/perf_model.h"
@@ -287,6 +288,120 @@ TEST(DeviceTest, FragmentProgramKillSkipsEverything) {
   EXPECT_EQ(count, 1u);
   EXPECT_EQ(dev.framebuffer().stencil(0), 1);
   EXPECT_EQ(dev.framebuffer().stencil(1), 0);  // killed: no stencil op
+}
+
+// Turns the global deep profiler on for one test and restores it (flag and
+// label aggregates) on the way out, so profiled device tests do not leak
+// state into each other.
+class ProfilerOnGuard {
+ public:
+  ProfilerOnGuard() : was_(Profiler::Global().enabled()) {
+    Profiler::Global().set_enabled(true);
+  }
+  ~ProfilerOnGuard() {
+    Profiler::Global().set_enabled(was_);
+    Profiler::Global().ResetForTesting();
+  }
+
+ private:
+  bool was_;
+};
+
+TEST(DeviceTest, ProfiledQuadPassComputesDeepCountersAndPlaneTraffic) {
+  ProfilerOnGuard profiling;
+  Device dev(2, 2);
+  dev.ClearDepth(0.5f);
+  dev.SetDepthTest(true, CompareOp::kLess);
+  dev.SetDepthWriteMask(true);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  ASSERT_OK(dev.RenderQuad(0.25f));  // all 4 fragments pass and write depth
+  ASSERT_OK(dev.RenderQuad(0.75f));  // all 4 fail the kLess test
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 4u);
+
+  const DeviceCounters& c = dev.counters();
+  ASSERT_EQ(c.pass_log.size(), 2u);
+  const PassRecord& hit = c.pass_log[0];
+  EXPECT_TRUE(hit.profiled);
+  EXPECT_EQ(hit.prof.alpha_killed, 0u);
+  EXPECT_EQ(hit.prof.stencil_killed, 0u);
+  EXPECT_EQ(hit.prof.depth_tested, 4u);
+  EXPECT_EQ(hit.prof.depth_killed, 0u);
+  EXPECT_EQ(hit.prof.occlusion_samples, 4u);
+  // Bandwidth model: stencil test off, so reads are the 4-byte stored
+  // depth per tested fragment; writes are 4-byte depth updates plus the
+  // 16-byte color writes of the passing fragments.
+  EXPECT_EQ(hit.prof.plane_bytes_read, 4u * 4);
+  EXPECT_EQ(hit.prof.plane_bytes_written, 4u * 4 + 4u * 16);
+
+  const PassRecord& miss = c.pass_log[1];
+  EXPECT_TRUE(miss.profiled);
+  EXPECT_EQ(miss.prof.depth_tested, 4u);
+  EXPECT_EQ(miss.prof.depth_killed, 4u);
+  EXPECT_EQ(miss.prof.occlusion_samples, 0u);
+  EXPECT_EQ(miss.prof.plane_bytes_read, 4u * 4);
+  EXPECT_EQ(miss.prof.plane_bytes_written, 0u);
+
+  // Cumulative device counters sum both passes, and the global aggregate
+  // grouped them under the fixed-function label.
+  EXPECT_EQ(c.prof.depth_tested, 8u);
+  EXPECT_EQ(c.prof.depth_killed, 4u);
+  EXPECT_EQ(c.prof.plane_bytes_written, 4u * 4 + 4u * 16);
+  const auto groups = Profiler::Global().Snapshot();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].label, "fixed-function");
+  EXPECT_EQ(groups[0].passes, 2u);
+  EXPECT_EQ(groups[0].fragments, 8u);
+  EXPECT_EQ(groups[0].prof.depth_killed, 4u);
+}
+
+TEST(DeviceTest, ProfiledKillAttributionSplitsAlphaAndStencil) {
+  ProfilerOnGuard profiling;
+  Device dev(2, 1);
+  ASSERT_OK(dev.SetViewport(2));
+  std::vector<float> a = {1.0f, -1.0f};
+  ASSERT_OK_AND_ASSIGN(Texture tex, Texture::FromColumns({&a}, 2));
+  ASSERT_OK_AND_ASSIGN(TextureId id, dev.UploadTexture(std::move(tex)));
+  ASSERT_OK(dev.BindTexture(id));
+  SemilinearProgram program({1, 0, 0, 0}, CompareOp::kGreaterEqual, 0.0f);
+  dev.UseProgram(&program);
+  dev.ClearStencil(0);
+  dev.SetStencilTest(true, CompareOp::kAlways, 1);
+  dev.SetStencilOp(StencilOp::kReplace, StencilOp::kReplace,
+                   StencilOp::kReplace);
+  ASSERT_OK(dev.BeginOcclusionQuery());
+  ASSERT_OK(dev.RenderTexturedQuad());
+  ASSERT_OK_AND_ASSIGN(uint64_t count, dev.EndOcclusionQuery());
+  EXPECT_EQ(count, 1u);
+
+  const DeviceCounters& c = dev.counters();
+  ASSERT_EQ(c.pass_log.size(), 1u);
+  const PassRecord& pass = c.pass_log.back();
+  ASSERT_TRUE(pass.profiled);
+  // The program KIL on the negative value is an alpha-stage kill; the
+  // always-true stencil test kills nothing, so one fragment reaches the
+  // (disabled) depth stage and passes.
+  EXPECT_EQ(pass.prof.alpha_killed, 1u);
+  EXPECT_EQ(pass.prof.stencil_killed, 0u);
+  EXPECT_EQ(pass.prof.depth_tested, 1u);
+  EXPECT_EQ(pass.prof.depth_killed, 0u);
+  EXPECT_EQ(pass.prof.occlusion_samples, 1u);
+  // Stencil enabled, depth off: 1 byte read for the surviving fragment,
+  // 1 stencil byte + 16 color bytes written.
+  EXPECT_EQ(pass.prof.plane_bytes_read, 1u);
+  EXPECT_EQ(pass.prof.plane_bytes_written, 1u + 16u);
+}
+
+TEST(DeviceTest, UnprofiledPassLeavesDeepCountersZero) {
+  ASSERT_FALSE(Profiler::Global().enabled());
+  Device dev(2, 2);
+  dev.SetDepthTest(true, CompareOp::kAlways);
+  ASSERT_OK(dev.RenderQuad(0.5f));
+  const DeviceCounters& c = dev.counters();
+  ASSERT_EQ(c.pass_log.size(), 1u);
+  EXPECT_FALSE(c.pass_log[0].profiled);
+  EXPECT_EQ(c.pass_log[0].prof, PassProfile{});
+  EXPECT_EQ(c.prof, PassProfile{});
 }
 
 TEST(VideoMemoryTest, UploadWithinBudgetStaysResident) {

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/profile.h"
 #include "src/core/accumulator.h"
 #include "src/core/compare.h"
 #include "src/core/eval_cnf.h"
@@ -122,6 +123,24 @@ void ExpectPassLogsEqual(const std::vector<gpu::PassRecord>& serial,
     EXPECT_EQ(a.stencil_updates, b.stencil_updates) << what << " pass " << i;
     EXPECT_EQ(a.in_occlusion_query, b.in_occlusion_query)
         << what << " pass " << i;
+    // gpuprof deep counters ride the same band reduction, so they obey the
+    // same bit-stability contract (all-zero on both sides when profiling
+    // was off).
+    EXPECT_EQ(a.profiled, b.profiled) << what << " pass " << i;
+    EXPECT_EQ(a.prof.alpha_killed, b.prof.alpha_killed)
+        << what << " pass " << i;
+    EXPECT_EQ(a.prof.stencil_killed, b.prof.stencil_killed)
+        << what << " pass " << i;
+    EXPECT_EQ(a.prof.depth_tested, b.prof.depth_tested)
+        << what << " pass " << i;
+    EXPECT_EQ(a.prof.depth_killed, b.prof.depth_killed)
+        << what << " pass " << i;
+    EXPECT_EQ(a.prof.occlusion_samples, b.prof.occlusion_samples)
+        << what << " pass " << i;
+    EXPECT_EQ(a.prof.plane_bytes_read, b.prof.plane_bytes_read)
+        << what << " pass " << i;
+    EXPECT_EQ(a.prof.plane_bytes_written, b.prof.plane_bytes_written)
+        << what << " pass " << i;
   }
 }
 
@@ -145,6 +164,7 @@ void ExpectBitIdentical(const Snapshot& serial, const Snapshot& parallel,
   EXPECT_EQ(a.occlusion_readbacks, b.occlusion_readbacks) << what;
   EXPECT_EQ(a.bytes_uploaded, b.bytes_uploaded) << what;
   EXPECT_EQ(a.bytes_read_back, b.bytes_read_back) << what;
+  EXPECT_EQ(a.prof, b.prof) << what << " (cumulative deep counters)";
   ExpectPassLogsEqual(a.pass_log, b.pass_log, what);
 }
 
@@ -168,6 +188,36 @@ TEST(ParallelDeterminismTest, UniformDataBitIdenticalAcrossThreadCounts) {
     ExpectBitIdentical(serial, RunScenario(threads, ints, kBitWidth),
                        "uniform, threads=" + std::to_string(threads));
   }
+}
+
+// The gpuprof acceptance check: with deep profiling ON, every per-pass
+// counter -- kill counts, derived depth tests, plane traffic -- must still
+// be bit-identical at 1/2/4/8 threads, and must actually be nonzero (the
+// profiled kernels ran, not the cold instantiation).
+TEST(ParallelDeterminismTest, ProfiledCountersBitIdenticalAcrossThreadCounts) {
+  const bool was_enabled = Profiler::Global().enabled();
+  Profiler::Global().set_enabled(true);
+  const std::vector<uint32_t> ints = RandomInts(kRecords, kBitWidth, 20260807);
+  const Snapshot serial = RunScenario(1, ints, kBitWidth);
+  ASSERT_FALSE(serial.results.empty());
+  for (int threads : {2, 4, 8}) {
+    ExpectBitIdentical(serial, RunScenario(threads, ints, kBitWidth),
+                       "profiled, threads=" + std::to_string(threads));
+  }
+  Profiler::Global().set_enabled(was_enabled);
+
+  // The scenario must have exercised the deep counters for the equality
+  // above to mean anything.
+  EXPECT_GT(serial.counters.prof.depth_tested, 0u);
+  EXPECT_GT(serial.counters.prof.depth_killed, 0u);
+  EXPECT_GT(serial.counters.prof.occlusion_samples, 0u);
+  EXPECT_GT(serial.counters.prof.plane_bytes_read, 0u);
+  EXPECT_GT(serial.counters.prof.plane_bytes_written, 0u);
+  bool any_profiled_pass = false;
+  for (const gpu::PassRecord& pass : serial.counters.pass_log) {
+    if (pass.profiled) any_profiled_pass = true;
+  }
+  EXPECT_TRUE(any_profiled_pass);
 }
 
 TEST(ParallelDeterminismTest, ZipfDataBitIdenticalAcrossThreadCounts) {

@@ -282,6 +282,22 @@ TEST(GpulintR5, DynamicSuffixesRequireAWildcardEntry) {
   EXPECT_EQ(diags[0].line, 3);
 }
 
+TEST(GpulintR5, TracerCounterTracksFaceTheSameRegistry) {
+  Corpus c;
+  c.Add("src/gpu/profiler.cc",
+        "void F(Tracer& tracer) {\n"
+        "  tracer.Counter(\"queries.total\", 1.0);\n"
+        "  tracer.Counter(\"band.unregistered\", 2.0);\n"
+        "}\n");
+  Program& p = c.program();
+  p.LoadMetricRegistry(kRegistry);
+  p.Finalize();
+  const auto diags = RunR5(p);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("band.unregistered"), std::string::npos);
+}
+
 TEST(GpulintR5, DisabledWithoutARegistry) {
   Corpus c;
   c.Add("src/core/op.cc",

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/metrics.h"
+#include "src/common/profile.h"
 #include "src/common/query_log.h"
 #include "src/core/analyze.h"
 #include "src/db/catalog.h"
@@ -159,6 +160,74 @@ TEST_F(SessionTest, QueriesTableRecordsHistory) {
   auto passes_col = r.table_view->ColumnByName("passes");
   ASSERT_OK(passes_col.status());
   EXPECT_GT(passes_col.ValueOrDie()->value(0), 0.0f);
+}
+
+TEST_F(SessionTest, QueriesTableSplitsQueueAndExecTime) {
+  QueryLog::Global().Clear();
+  ASSERT_OK(session_->Execute("SELECT COUNT(*) FROM t WHERE u0 > 10")
+                .status());
+  auto result = session_->Execute("SELECT * FROM gpudb_queries");
+  ASSERT_OK(result.status());
+  const sql::QueryResult& r = result.ValueOrDie();
+  ASSERT_NE(r.table_view, nullptr);
+  auto queue_col = r.table_view->ColumnByName("queue_ms");
+  auto exec_col = r.table_view->ColumnByName("exec_ms");
+  auto wall_col = r.table_view->ColumnByName("wall_ms");
+  ASSERT_OK(queue_col.status());
+  ASSERT_OK(exec_col.status());
+  ASSERT_OK(wall_col.status());
+  ASSERT_EQ(r.row_ids.size(), 1u);
+  const uint32_t row = r.row_ids[0];
+  // Uncontended sessions spend essentially all their wall time executing.
+  EXPECT_GT(exec_col.ValueOrDie()->value(row), 0.0f);
+  EXPECT_GE(queue_col.ValueOrDie()->value(row), 0.0f);
+  EXPECT_NEAR(queue_col.ValueOrDie()->value(row) +
+                  exec_col.ValueOrDie()->value(row),
+              wall_col.ValueOrDie()->value(row), 1e-3);
+}
+
+TEST_F(SessionTest, ProfileTableNotFoundUntilSomethingProfiled) {
+  Profiler::Global().ResetForTesting();
+  auto result = session_->Execute("SELECT * FROM gpudb_profile");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, ProfileTableListsPassCounters) {
+  Profiler::Global().ResetForTesting();
+  ASSERT_OK(session_
+                ->Execute("EXPLAIN PROFILE SELECT COUNT(*) FROM t "
+                          "WHERE u0 > 10")
+                .status());
+  auto result = session_->Execute("SELECT * FROM gpudb_profile");
+  ASSERT_OK(result.status());
+  const sql::QueryResult& r = result.ValueOrDie();
+  ASSERT_NE(r.table_view, nullptr);
+  ASSERT_FALSE(r.row_ids.empty());
+  // Every deep counter is a real column; the aggregate saw fragments and
+  // depth work from the profiled scan.
+  for (const char* name :
+       {"label", "passes", "fragments", "alpha_killed", "stencil_killed",
+        "depth_tested", "depth_killed", "passed", "occlusion_samples",
+        "plane_bytes_read", "plane_bytes_written"}) {
+    EXPECT_TRUE(r.table_view->ColumnByName(name).ok()) << name;
+  }
+  auto fragments_col = r.table_view->ColumnByName("fragments");
+  auto depth_col = r.table_view->ColumnByName("depth_tested");
+  ASSERT_OK(fragments_col.status());
+  ASSERT_OK(depth_col.status());
+  double fragments = 0.0;
+  double depth_tested = 0.0;
+  for (uint32_t row : r.row_ids) {
+    fragments += fragments_col.ValueOrDie()->value(row);
+    depth_tested += depth_col.ValueOrDie()->value(row);
+  }
+  EXPECT_GT(fragments, 0.0);
+  EXPECT_GT(depth_tested, 0.0);
+  // Labels render through the dictionary column; predicate scans run
+  // fragment-program passes, whose names all end in "FP".
+  const std::string rendered = r.table_view->FormatRows(r.row_ids, 100);
+  EXPECT_NE(rendered.find("FP"), std::string::npos);
+  Profiler::Global().ResetForTesting();
 }
 
 TEST_F(SessionTest, SlowQueryThresholdFlagsStatements) {

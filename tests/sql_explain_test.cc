@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/json.h"
+#include "src/common/profile.h"
 #include "src/common/trace.h"
 #include "src/core/executor.h"
 #include "src/db/datagen.h"
@@ -32,8 +33,11 @@ class ExplainAnalyzeTest : public ::testing::Test {
 
   ~ExplainAnalyzeTest() override {
     // EXPLAIN ANALYZE restores the tracer state it found; tests run with
-    // tracing off, so leave no spans behind for other suites.
+    // tracing off, so leave no spans behind for other suites. EXPLAIN
+    // PROFILE likewise restores the profiler flag but leaves label
+    // aggregates in the global Profiler; drop those too.
     Tracer::Global().Clear();
+    Profiler::Global().ResetForTesting();
   }
 
   gpu::Device device_;
@@ -159,6 +163,85 @@ TEST_F(ExplainAnalyzeTest, WorksForEveryQueryKind) {
     EXPECT_TRUE(r.ValueOrDie().analyzed) << query;
     EXPECT_FALSE(r.ValueOrDie().explain.empty()) << query;
     EXPECT_GT(r.ValueOrDie().simulated_total_ms, 0.0) << query;
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, ParserAcceptsExplainProfile) {
+  ASSERT_OK_AND_ASSIGN(
+      Query q,
+      ParseQuery("EXPLAIN PROFILE SELECT COUNT(*) FROM t WHERE u0 >= 100",
+                 table_));
+  EXPECT_TRUE(q.explain_profile);
+  EXPECT_TRUE(q.explain_analyze);  // PROFILE implies ANALYZE
+
+  ASSERT_OK_AND_ASSIGN(
+      Query analyze,
+      ParseQuery("EXPLAIN ANALYZE SELECT COUNT(*) FROM t", table_));
+  EXPECT_FALSE(analyze.explain_profile);
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainProfileCarriesCounterGroups) {
+  ASSERT_OK_AND_ASSIGN(QueryResult plain,
+                       ExecuteSql(executor_.get(),
+                                  "SELECT COUNT(*) FROM t WHERE u0 >= 100"));
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult profiled,
+      ExecuteSql(executor_.get(),
+                 "EXPLAIN PROFILE SELECT COUNT(*) FROM t WHERE u0 >= 100"));
+  // Same answer, same analyze fields, plus the deep-counter table.
+  EXPECT_EQ(profiled.count, plain.count);
+  EXPECT_TRUE(profiled.analyzed);
+  EXPECT_TRUE(profiled.profiled);
+  ASSERT_FALSE(profiled.profile_groups.empty());
+  ASSERT_FALSE(profiled.profile.empty());
+  uint64_t fragments = 0;
+  uint64_t depth_tested = 0;
+  uint64_t plane_bytes = 0;
+  for (const PassProfileGroup& g : profiled.profile_groups) {
+    EXPECT_FALSE(g.label.empty());
+    EXPECT_GT(g.passes, 0u);
+    fragments += g.fragments;
+    depth_tested += g.prof.depth_tested;
+    plane_bytes += g.prof.plane_bytes_read + g.prof.plane_bytes_written;
+  }
+  EXPECT_GT(fragments, 0u);
+  EXPECT_GT(depth_tested, 0u);
+  EXPECT_GT(plane_bytes, 0u);
+  EXPECT_NE(profiled.profile.find("depth_test"), std::string::npos);
+  EXPECT_NE(profiled.profile.find("plane_rd_B"), std::string::npos);
+  // The query-scoped enable restored the global off state.
+  EXPECT_FALSE(Profiler::Global().enabled());
+  // ToString appends the table under the tree.
+  EXPECT_NE(profiled.ToString().find("pass profile:"), std::string::npos);
+
+  // Plain EXPLAIN ANALYZE does not profile.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult analyzed,
+      ExecuteSql(executor_.get(),
+                 "EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE u0 >= 100"));
+  EXPECT_FALSE(analyzed.profiled);
+  EXPECT_TRUE(analyzed.profile.empty());
+}
+
+TEST_F(ExplainAnalyzeTest, ProfileTableByteIdenticalAcrossThreadCounts) {
+  // The EXPLAIN PROFILE acceptance check: the rendered counter table for the
+  // same query must be byte-identical at 1 and 8 worker threads.
+  const char* query =
+      "EXPLAIN PROFILE SELECT COUNT(*) FROM t WHERE u0 >= 100 AND u1 < 5";
+  std::string first;
+  for (int threads : {1, 8}) {
+    gpu::Device device(100, 100);
+    ASSERT_OK(device.SetWorkerThreads(threads));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<core::Executor> executor,
+                         core::Executor::Make(&device, &table_));
+    ASSERT_OK_AND_ASSIGN(QueryResult r, ExecuteSql(executor.get(), query));
+    ASSERT_TRUE(r.profiled);
+    ASSERT_FALSE(r.profile.empty());
+    if (first.empty()) {
+      first = r.profile;
+    } else {
+      EXPECT_EQ(r.profile, first) << "threads=" << threads;
+    }
   }
 }
 
