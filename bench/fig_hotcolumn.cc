@@ -1,0 +1,112 @@
+// Hot-column workload: the same predicate issued repeatedly against one
+// column, with the depth-plane cache on (DESIGN.md §14). The first query
+// misses -- it pays the CopyToDepth pass plus the plane snapshot -- and
+// every repeat restores the cached plane instead of re-copying, so the
+// warm-path wall clock must be at least 2x below the cold path on
+// identical results.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/eval_cnf.h"
+#include "src/core/planner.h"
+#include "src/cpu/scan.h"
+
+namespace gpudb {
+namespace bench {
+namespace {
+
+constexpr int kRepeats = 4;  // 1 cold + 3 warm
+
+int Run() {
+  PrintHeader("hotcolumn",
+              "repeated predicate on one hot column, depth-plane cache on",
+              "warm queries skip the copy: >=2x wall speedup over cold");
+  PrintRowHeader();
+  const db::Column& column =
+      *TcpIpTable().ColumnByName("data_count").ValueOrDie();
+  gpu::PerfModel model;
+
+  for (size_t n : RecordSweep()) {
+    const float threshold = ThresholdForSelectivity(column, n, 0.6);
+    auto device = MakeDevice();
+    core::AttributeBinding attr = UploadColumn(device.get(), column, n);
+    attr.column = 0;
+    const std::vector<core::GpuClause> clauses = {
+        {core::GpuPredicate::DepthCompare(attr, gpu::CompareOp::kGreater,
+                                          threshold)}};
+
+    double cold_ms = 0, warm_ms = 0, cold_wall = 0, warm_wall = 0;
+    uint64_t cold_fp = 0, warm_fp = 0, count = 0;
+    bool ok = true;
+    for (int q = 0; q < kRepeats; ++q) {
+      core::SelectionExecOptions opts;
+      opts.plan = core::PlanSelectionPasses(clauses, /*fusion_enabled=*/true,
+                                            /*cache_enabled=*/true);
+      opts.use_cache = true;
+      opts.table = "tcpip";
+      opts.table_version = 1;
+      device->ResetCounters();
+      Timer timer;
+      auto sel = core::EvalCnfPlanned(device.get(), clauses, &opts);
+      const double wall = timer.ElapsedMs();
+      if (!sel.ok()) return 1;
+      const double ms = model.EstimateMs(device->counters());
+      const uint64_t fp = device->counters().fp_instructions_executed;
+      if (q == 0) {
+        ok = ok && opts.cache_misses == 1;
+        cold_ms = ms;
+        cold_wall = wall;
+        cold_fp = fp;
+        count = sel.ValueOrDie().count;
+      } else {
+        ok = ok && opts.cache_hits == 1;
+        warm_ms += ms / (kRepeats - 1);
+        warm_wall += wall / (kRepeats - 1);
+        warm_fp += fp / static_cast<uint64_t>(kRepeats - 1);
+        ok = ok && sel.ValueOrDie().count == count;
+      }
+    }
+
+    // Cross-check against the CPU scan.
+    const std::vector<float> values = Slice(column, n);
+    std::vector<uint8_t> mask;
+    const uint64_t cpu_count = cpu::PredicateScan(
+        values, gpu::CompareOp::kGreater, threshold, &mask);
+
+    ResultRow row;
+    row.label = std::to_string(n);
+    row.gpu_model_total_ms = cold_ms;    // miss: copy + snapshot + compare
+    row.gpu_model_compute_ms = warm_ms;  // hit: restore + compare
+    row.cpu_model_ms = 0;
+    row.gpu_wall_ms = cold_wall;
+    row.cpu_wall_ms = warm_wall;
+    // The model prices every pass by its fragment count, so the planned
+    // speedup there is the 3-passes-to-2 ratio (1.5x); the 2x acceptance
+    // bar is on measured wall clock, where the skipped copy and snapshot
+    // dominate.
+    row.check_passed = ok && count == cpu_count && warm_ms < cold_ms &&
+                       warm_wall * 2.0 <= cold_wall;
+    PrintRow(row);
+    // The skipped-copy ledger: warm passes fetch no attribute texels, so
+    // the fragment-program instruction traffic collapses.
+    std::printf("    fp instructions: cold=%llu warm=%llu (copy skipped)\n",
+                static_cast<unsigned long long>(cold_fp),
+                static_cast<unsigned long long>(warm_fp));
+  }
+  PrintFooter(
+      "Columns 2/3 are the cold and mean-warm model times, columns 4/5 the "
+      "cold and mean-warm wall clocks: restoring the cached depth plane "
+      "replaces the CopyToDepth pass and the snapshot, >=2x wall speedup "
+      "on identical counts.");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gpudb
+
+int main(int argc, char** argv) {
+  gpudb::bench::InitBench(argc, argv);
+  return gpudb::bench::Run();
+}

@@ -35,6 +35,9 @@
 //   --vram-budget=N     simulated video-memory budget in bytes; allocations
 //                       beyond it fail with ResourceExhausted and the query
 //                       degrades to the CPU tier ($GPUDB_VRAM_BUDGET)
+//   --plan-cache        cache depth planes of hot columns across queries
+//                       (keyed on table version; evicted LRU-first under the
+//                       VRAM budget; $GPUDB_PLAN_CACHE=1)
 //
 // Columns: data_count, data_loss, flow_rate, retransmissions.
 
@@ -106,6 +109,10 @@ int main(int argc, char** argv) {
   gpudb::gpu::FaultConfig faults = gpudb::gpu::FaultInjector::ConfigFromEnv();
   double deadline_ms = gpudb::gpu::DeadlineMsFromEnv();
   uint64_t vram_budget = gpudb::gpu::VramBudgetBytesFromEnv();
+  bool plan_cache = false;
+  if (const char* env = std::getenv("GPUDB_PLAN_CACHE")) {
+    plan_cache = env[0] != '\0' && env[0] != '0';
+  }
   if (const char* env = std::getenv("GPUDB_PROFILE")) {
     if (env[0] != '\0' && env[0] != '0') {
       gpudb::Profiler::Global().set_enabled(true);
@@ -133,6 +140,8 @@ int main(int argc, char** argv) {
       gpudb::Tracer::Global().set_enabled(true);
     } else if (std::strncmp(argv[i], "--metrics-prom=", 15) == 0) {
       prom_file = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
+      plan_cache = true;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       gpudb::Profiler::Global().set_enabled(true);
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -176,6 +185,12 @@ int main(int argc, char** argv) {
   resilience.deadline_ms = deadline_ms;
   resilience.retry.sleep = true;  // real backoff in the interactive shell
   session.set_resilience_options(resilience);
+  if (plan_cache) {
+    gpudb::core::PlanOptions plan_options;
+    plan_options.plane_cache = true;
+    session.set_plan_options(plan_options);
+    std::printf("depth-plane cache on (LRU under the VRAM budget)\n");
+  }
 
   if (!args.empty() && args[0] == "-") {
     // Read queries line by line from stdin.

@@ -23,6 +23,10 @@ import sys
 
 GATED_COLUMNS = ("gpu_model_total_ms", "cpu_model_ms")
 
+# Wall-clock deltas are host-dependent (shared machines jitter 2x+), so
+# they are printed for the operator but never counted as regressions.
+REPORTED_COLUMNS = ("gpu_wall_ms",)
+
 
 def load_dir(path):
     """Maps file name -> parsed JSON for every BENCH_*.json in `path`."""
@@ -97,6 +101,16 @@ def main():
                 print(
                     f"{name} [{label}] {col}: {base_v:.4f} -> {cand_v:.4f} ms"
                     f" ({delta_pct:+.1f}%){marker}"
+                )
+            for col in REPORTED_COLUMNS:
+                base_v = base_row.get(col)
+                cand_v = cand_row.get(col)
+                if base_v is None or cand_v is None or base_v <= 0:
+                    continue
+                delta_pct = (cand_v - base_v) / base_v * 100.0
+                print(
+                    f"{name} [{label}] {col}: {base_v:.4f} -> {cand_v:.4f} ms"
+                    f" ({delta_pct:+.1f}%)  [reported, not gated]"
                 )
 
     # A candidate file with no baseline is not gated, but silence would make

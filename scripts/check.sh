@@ -40,7 +40,7 @@ smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for bench in fig02_copy_depth fig03_predicate fig04_range fig05_multiattr \
              fig06_semilinear fig07_kth_vs_k fig08_median \
-             fig09_kth_selectivity fig10_accumulator; do
+             fig09_kth_selectivity fig10_accumulator fig_hotcolumn; do
   GPUDB_BENCH_JSON_DIR="$smoke_dir" "./build/bench/$bench" >/dev/null
 done
 python3 scripts/bench_diff.py bench/baseline "$smoke_dir"

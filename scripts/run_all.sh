@@ -20,11 +20,24 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 mkdir -p bench_json
 export GPUDB_BENCH_JSON_DIR=bench_json
 
+# With GPUDB_PROFILE set, run the benches under --profile so the captured
+# outputs include the gpuprof per-pass ledger (the flag alone also flips
+# the in-process default, but being explicit keeps the transcript honest
+# about which arm produced bench_output.txt).
+bench_flags=()
+[ -n "${GPUDB_PROFILE:-}" ] && bench_flags+=(--profile)
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo "==== $(basename "$b") ====" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  case "$(basename "$b")" in
+    micro_ops)  # google-benchmark CLI; no --profile flag
+      "$b" 2>&1 | tee -a bench_output.txt ;;
+    *)
+      "$b" ${bench_flags[@]+"${bench_flags[@]}"} 2>&1 \
+        | tee -a bench_output.txt ;;
+  esac
 done
 
 echo "done: test_output.txt, bench_output.txt, $(ls bench_json | wc -l) JSON file(s) in bench_json/"

@@ -45,6 +45,10 @@ inline constexpr std::string_view kAll[] = {
     "gpu.plane_bytes_written",
     "gpu.stencil_killed",
     "gpu.texture_swap_ins",
+    "plancache.evictions",
+    "plancache.hits",
+    "plancache.misses",
+    "planner.fused_plans",
     "planner.misestimates",
     "queries.deadline_exceeded",
     "queries.dropped_status",

@@ -14,7 +14,8 @@ Profiler& Profiler::Global() {
 }
 
 void Profiler::RecordPass(std::string_view label, uint64_t fragments,
-                          uint64_t fragments_passed, const PassProfile& prof) {
+                          uint64_t fragments_passed, const PassProfile& prof,
+                          bool fused, bool cache_hit) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = groups_.find(label);
   if (it == groups_.end()) {
@@ -25,6 +26,8 @@ void Profiler::RecordPass(std::string_view label, uint64_t fragments,
   ++g.passes;
   g.fragments += fragments;
   g.fragments_passed += fragments_passed;
+  if (fused) ++g.fused_passes;
+  if (cache_hit) ++g.cache_hits;
   g.prof.Merge(prof);
 }
 
@@ -74,15 +77,17 @@ std::string FormatPassProfileTable(
   }
   char line[512];
   std::snprintf(line, sizeof(line),
-                "%-*s %6s %12s %12s %12s %12s %12s %12s %10s %12s %12s\n",
+                "%-*s %6s %12s %12s %12s %12s %12s %12s %10s %12s %12s %6s "
+                "%6s\n",
                 static_cast<int>(label_width), "pass", "count", "fragments",
                 "alpha_kill", "stencil_kill", "depth_test", "depth_kill",
-                "passed", "occl", "plane_rd_B", "plane_wr_B");
+                "passed", "occl", "plane_rd_B", "plane_wr_B", "fused",
+                "c_hit");
   out += line;
   for (const PassProfileGroup& g : groups) {
     std::snprintf(line, sizeof(line),
                   "%-*s %6llu %12llu %12llu %12llu %12llu %12llu %12llu "
-                  "%10llu %12llu %12llu\n",
+                  "%10llu %12llu %12llu %6llu %6llu\n",
                   static_cast<int>(label_width), g.label.c_str(),
                   static_cast<unsigned long long>(g.passes),
                   static_cast<unsigned long long>(g.fragments),
@@ -93,7 +98,9 @@ std::string FormatPassProfileTable(
                   static_cast<unsigned long long>(g.fragments_passed),
                   static_cast<unsigned long long>(g.prof.occlusion_samples),
                   static_cast<unsigned long long>(g.prof.plane_bytes_read),
-                  static_cast<unsigned long long>(g.prof.plane_bytes_written));
+                  static_cast<unsigned long long>(g.prof.plane_bytes_written),
+                  static_cast<unsigned long long>(g.fused_passes),
+                  static_cast<unsigned long long>(g.cache_hits));
     out += line;
   }
   return out;

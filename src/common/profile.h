@@ -58,6 +58,8 @@ struct PassProfileGroup {
   uint64_t passes = 0;
   uint64_t fragments = 0;         ///< fragments rasterized
   uint64_t fragments_passed = 0;  ///< fragments that reached the color stage
+  uint64_t fused_passes = 0;      ///< passes the planner fused (DESIGN.md §14)
+  uint64_t cache_hits = 0;        ///< depth-plane cache restores
   PassProfile prof;
 };
 
@@ -88,9 +90,11 @@ class Profiler {
 
   /// Folds one finished pass into the per-label aggregate. Labels appear in
   /// Snapshot() in sorted order, so the aggregate view is deterministic
-  /// regardless of pass interleaving.
+  /// regardless of pass interleaving. `fused` and `cache_hit` carry the
+  /// pass's planner fast-path marks into the per-label tallies.
   void RecordPass(std::string_view label, uint64_t fragments,
-                  uint64_t fragments_passed, const PassProfile& prof);
+                  uint64_t fragments_passed, const PassProfile& prof,
+                  bool fused = false, bool cache_hit = false);
 
   /// Records one ParallelFor dispatch's per-band wall times (milliseconds).
   /// Updates the "gpu.band_ms" histogram and the "gpu.band_imbalance" gauge

@@ -32,6 +32,8 @@ struct QueryLogEntry {
   uint64_t rows_out = 0;      ///< Result cardinality (1 for scalar results).
   uint64_t retries = 0;       ///< Device retry attempts this statement made.
   bool fell_back = false;     ///< Answered by the CPU tier after GPU faults.
+  uint64_t fused_passes = 0;  ///< Planner-fused passes (DESIGN.md §14).
+  uint64_t cache_hits = 0;    ///< Depth-plane cache restores.
   std::string error;          ///< Status message when !ok.
 };
 

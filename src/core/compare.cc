@@ -35,6 +35,31 @@ Status CompareQuad(gpu::Device* device, gpu::CompareOp op, double value,
   return device->RenderQuad(encoding.Encode(value));
 }
 
+Status FusedComparePass(gpu::Device* device, const AttributeBinding& attr,
+                        gpu::CompareOp op, double value) {
+  // Seed the stored depth with the quantized constant. ClearDepth goes
+  // through the same FrameBuffer::Quantize as CompareQuad's flat quad
+  // depth, so the constant's 24-bit code is identical in both plans.
+  device->ClearDepth(attr.encoding.Encode(value));
+  GPUDB_RETURN_NOT_OK(device->BindTexture(attr.texture));
+  const gpu::FusedCompareProgram program(attr.channel, attr.encoding.scale,
+                                         attr.encoding.offset);
+  device->UseProgram(&program);
+  // The program output is the incoming depth (the record's attribute), the
+  // stored depth is the constant, and OpenGL compares incoming-vs-stored:
+  // `attr op value` needs no mirroring. Depth writes stay off -- the pass
+  // only classifies, its survivors feed the caller's stencil/occlusion.
+  device->SetDepthBoundsTest(false);
+  device->SetDepthTest(true, op);
+  device->SetDepthWriteMask(false);
+  device->SetColorWriteMask(false);
+  device->MarkNextPassFused();
+  const Status s = device->RenderTexturedQuad();
+  // The program is this frame's local; never leave a dangling installation.
+  device->UseProgram(nullptr);
+  return s;
+}
+
 Result<uint64_t> CompareCount(gpu::Device* device, gpu::CompareOp op,
                               double value, const DepthEncoding& encoding) {
   GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());

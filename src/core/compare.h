@@ -18,6 +18,10 @@ struct AttributeBinding {
   gpu::TextureId texture = -1;
   int channel = 0;
   DepthEncoding encoding;
+  /// Column index within the source table, when the binding came from one
+  /// (-1 otherwise). Part of the depth-plane cache key: (table version,
+  /// column, encoding) pins down the exact bits CopyToDepth would produce.
+  int column = -1;
 };
 
 /// \brief CopyToDepth (Routine 4.1): copies attribute values from texture
@@ -47,6 +51,27 @@ struct AttributeBinding {
 /// (stencil test EQUAL mask).
 [[nodiscard]] Status CompareQuad(gpu::Device* device, gpu::CompareOp op, double value,
                    const DepthEncoding& encoding);
+
+/// \brief The planner's fused copy+compare (DESIGN.md §14): one textured
+/// pass that evaluates `attribute op value` without first materializing the
+/// attribute in the depth buffer.
+///
+/// The depth plane is seeded with the encoded constant via ClearDepth, the
+/// CopyToDepth program computes each record's normalized attribute as the
+/// *incoming* fragment depth, and the depth test runs `op` un-mirrored --
+/// incoming (attribute) against stored (constant) is already the predicate's
+/// operand order. The fragments that pass are bit-identical to the unfused
+/// CopyToDepth + CompareQuad pair, so stencil updates and occlusion counts
+/// match exactly; only the depth plane is left different (the constant,
+/// not the attribute -- every consumer of attribute depths re-copies first).
+///
+/// Like CompareQuad, depth writes are off and the caller's stencil, alpha,
+/// and occlusion configuration stays live, so the fused pass slots into the
+/// same selection/CNF/count positions. The pass is tagged fused in the
+/// counters (Device::MarkNextPassFused) with its honest 3-instruction cost.
+[[nodiscard]] Status FusedComparePass(gpu::Device* device,
+                                      const AttributeBinding& attr,
+                                      gpu::CompareOp op, double value);
 
 /// \brief Full Routine 4.1 with counting: CopyToDepth + comparison quad
 /// wrapped in an occlusion query. Returns the number of records satisfying

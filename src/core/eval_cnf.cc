@@ -49,6 +49,56 @@ Status PerformPredicate(gpu::Device* device, const GpuPredicate& pred) {
   return Status::Internal("corrupt GpuPredicate");
 }
 
+/// Evaluates one simple predicate through the planned fast paths: the
+/// depth-plane cache, the fused copy+compare pass, or the classic pair.
+/// When `begin_occlusion` is set, the occlusion query is begun immediately
+/// before the comparison pass itself -- after any copy/restore/snapshot
+/// passes, whose fragments must not be counted -- so the caller can read
+/// the survivor count of exactly the predicate's comparison.
+Status ExecPredicate(gpu::Device* device, const GpuPredicate& pred,
+                     SelectionExecOptions* opts, bool begin_occlusion) {
+  switch (pred.kind) {
+    case GpuPredicate::Kind::kDepthCompare: {
+      const bool cacheable = opts->use_cache && !opts->table.empty() &&
+                             pred.attr.column >= 0;
+      if (cacheable) {
+        gpu::PlaneKey key;
+        key.table = opts->table;
+        key.version = opts->table_version;
+        key.column = pred.attr.column;
+        key.scale = pred.attr.encoding.scale;
+        key.offset = pred.attr.encoding.offset;
+        key.viewport_pixels = device->viewport_pixels();
+        GPUDB_ASSIGN_OR_RETURN(const bool hit,
+                               device->RestoreCachedDepthPlane(key));
+        if (hit) {
+          ++opts->cache_hits;
+        } else {
+          ++opts->cache_misses;
+          GPUDB_RETURN_NOT_OK(CopyToDepth(device, pred.attr));
+          GPUDB_RETURN_NOT_OK(device->CacheDepthPlane(key));
+        }
+        if (begin_occlusion) GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+        return CompareQuad(device, pred.op, pred.constant, pred.attr.encoding);
+      }
+      if (opts->plan.fused_compares > 0) {
+        ++opts->fused_passes;
+        if (begin_occlusion) GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+        return FusedComparePass(device, pred.attr, pred.op, pred.constant);
+      }
+      GPUDB_RETURN_NOT_OK(CopyToDepth(device, pred.attr));
+      if (begin_occlusion) GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+      return CompareQuad(device, pred.op, pred.constant, pred.attr.encoding);
+    }
+    case GpuPredicate::Kind::kSemilinear:
+      device->SetDepthTest(false, gpu::CompareOp::kAlways);
+      device->SetDepthBoundsTest(false);
+      if (begin_occlusion) GPUDB_RETURN_NOT_OK(device->BeginOcclusionQuery());
+      return SemilinearQuad(device, pred.texture, pred.query);
+  }
+  return Status::Internal("corrupt GpuPredicate");
+}
+
 Status ValidateClauses(const std::vector<GpuClause>& clauses) {
   if (clauses.empty()) {
     return Status::InvalidArgument("EvalCnf requires at least one clause");
@@ -162,6 +212,145 @@ Result<StencilSelection> EvalDnf(gpu::Device* device,
     GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));
     // Walk partial chains (values 2..m) back down to 1 so the next term
     // starts clean: each pass decrements every value above 1.
+    for (int step = 0; step < m - 1; ++step) {
+      // Cooperative cancellation between walk-down passes (lint rule R2).
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
+      device->SetStencilTest(true, gpu::CompareOp::kLess, /*ref=*/1);
+      device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                           gpu::StencilOp::kDecr);
+      GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));
+    }
+  }
+
+  StencilSelection sel;
+  sel.valid_value = 0;
+  GPUDB_ASSIGN_OR_RETURN(sel.count, CountSelected(device, 0));
+  return sel;
+}
+
+Result<StencilSelection> EvalCnfPlanned(gpu::Device* device,
+                                        const std::vector<GpuClause>& clauses,
+                                        SelectionExecOptions* opts) {
+  GPUDB_RETURN_NOT_OK(ValidateClauses(clauses));
+  GpuOpSpan op("EvalCnf", device);
+  if (op.active()) {
+    size_t predicates = 0;
+    for (const GpuClause& clause : clauses) predicates += clause.size();
+    op.AddTag("clauses", clauses.size());
+    op.AddTag("predicates", predicates);
+  }
+  StateGuard guard(device);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetColorWriteMask(false);
+
+  if (opts->plan.chain) {
+    // Every clause is a single predicate, so the INCR/DECR parity dance and
+    // its cleanup passes are unnecessary: run the EvalConjunction chain.
+    // Predicate i passes records from stencil value i to i+1; a record holds
+    // k+1 at the end iff it satisfied every predicate. Identical survivor
+    // sets per pass -> identical final mask and count as EvalCnf.
+    device->ClearStencil(1);
+    const size_t k = clauses.size();
+    uint8_t valid = 1;
+    for (size_t i = 0; i < k; ++i) {
+      // Cooperative cancellation between predicate passes (lint rule R2).
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
+      device->SetStencilTest(true, gpu::CompareOp::kEqual, valid);
+      device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                           gpu::StencilOp::kIncr);
+      // The chain's last comparison already renders exactly the selected
+      // records; with fused_count its survivor count *is* the answer, and
+      // the separate CountSelected pass is dropped.
+      const bool count_here = opts->plan.fused_count && i + 1 == k;
+      GPUDB_RETURN_NOT_OK(
+          ExecPredicate(device, clauses[i].front(), opts, count_here));
+      ++valid;
+    }
+    StencilSelection sel;
+    sel.valid_value = valid;
+    if (opts->plan.fused_count) {
+      GPUDB_ASSIGN_OR_RETURN(sel.count, device->EndOcclusionQuery());
+    } else {
+      GPUDB_ASSIGN_OR_RETURN(sel.count, CountSelected(device, sel.valid_value));
+    }
+    return sel;
+  }
+
+  // General CNF: the EvalCnf skeleton verbatim, with each predicate routed
+  // through the planned fast paths (fusion / plane cache).
+  device->ClearStencil(1);
+  const size_t k = clauses.size();
+  for (size_t i = 1; i <= k; ++i) {
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
+    const bool odd = (i % 2) == 1;
+    device->SetStencilTest(true, gpu::CompareOp::kEqual, odd ? 1 : 2);
+    device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                         odd ? gpu::StencilOp::kIncr : gpu::StencilOp::kDecr);
+    for (const GpuPredicate& pred : clauses[i - 1]) {
+      // Cooperative cancellation between predicate passes (lint rule R2).
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
+      GPUDB_RETURN_NOT_OK(
+          ExecPredicate(device, pred, opts, /*begin_occlusion=*/false));
+    }
+    GPUDB_RETURN_NOT_OK(ZeroStencilValue(device, odd ? 1 : 2));
+  }
+
+  StencilSelection sel;
+  sel.valid_value = (k % 2 == 1) ? 2 : 1;
+  GPUDB_ASSIGN_OR_RETURN(sel.count, CountSelected(device, sel.valid_value));
+  return sel;
+}
+
+Result<StencilSelection> EvalDnfPlanned(gpu::Device* device,
+                                        const std::vector<GpuTerm>& terms,
+                                        SelectionExecOptions* opts) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("EvalDnf requires at least one term");
+  }
+  for (const GpuTerm& term : terms) {
+    if (term.empty()) {
+      return Status::InvalidArgument("EvalDnf: empty term");
+    }
+    if (term.size() > 254) {
+      return Status::ResourceExhausted(
+          "EvalDnf terms support at most 254 conjuncts (8-bit stencil)");
+    }
+  }
+  GpuOpSpan op("EvalDnf", device);
+  if (op.active()) {
+    size_t predicates = 0;
+    for (const GpuTerm& term : terms) predicates += term.size();
+    op.AddTag("terms", terms.size());
+    op.AddTag("predicates", predicates);
+  }
+  StateGuard guard(device);
+  device->SetAlphaTest(false, gpu::CompareOp::kAlways, 0.0f);
+  device->SetColorWriteMask(false);
+  device->ClearStencil(1);
+
+  // The DNF skeleton (term chains, stamps, walk-downs) is already minimal;
+  // only the per-predicate execution changes (fusion / plane cache).
+  for (const GpuTerm& term : terms) {
+    GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
+    const auto m = static_cast<uint8_t>(term.size());
+    uint8_t value = 1;
+    for (const GpuPredicate& pred : term) {
+      // Cooperative cancellation between predicate passes (lint rule R2).
+      GPUDB_RETURN_NOT_OK(device->CheckInterrupt());
+      device->SetStencilTest(true, gpu::CompareOp::kEqual, value);
+      device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                           gpu::StencilOp::kIncr);
+      GPUDB_RETURN_NOT_OK(
+          ExecPredicate(device, pred, opts, /*begin_occlusion=*/false));
+      ++value;
+    }
+    device->SetStencilTest(true, gpu::CompareOp::kEqual,
+                           static_cast<uint8_t>(m + 1));
+    device->SetStencilOp(gpu::StencilOp::kKeep, gpu::StencilOp::kKeep,
+                         gpu::StencilOp::kZero);
+    device->SetDepthTest(false, gpu::CompareOp::kAlways);
+    device->SetDepthBoundsTest(false);
+    GPUDB_RETURN_NOT_OK(device->RenderQuad(0.0f));
     for (int step = 0; step < m - 1; ++step) {
       // Cooperative cancellation between walk-down passes (lint rule R2).
       GPUDB_RETURN_NOT_OK(device->CheckInterrupt());

@@ -2,10 +2,12 @@
 #define GPUDB_CORE_EVAL_CNF_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/core/compare.h"
+#include "src/core/planner.h"
 #include "src/core/semilinear.h"
 #include "src/gpu/device.h"
 
@@ -76,6 +78,42 @@ using GpuTerm = std::vector<GpuPredicate>;
 /// StencilSelection's valid_value).
 [[nodiscard]] Result<StencilSelection> EvalDnf(gpu::Device* device,
                                  const std::vector<GpuTerm>& terms);
+
+/// \brief How a planned selection should execute, plus what actually
+/// happened (DESIGN.md §14). The caller fills the plan and cache identity;
+/// the planned evaluators fill the outcome counters, which the executor
+/// surfaces as EXPLAIN annotations and query-log columns.
+struct SelectionExecOptions {
+  PassPlan plan;
+  /// Depth-plane caching for kDepthCompare predicates. Requires `table`
+  /// and per-predicate column indices; predicates without a column identity
+  /// fall back to fusion (if planned) or the classic pair.
+  bool use_cache = false;
+  std::string table;
+  uint64_t table_version = 0;
+
+  // Exec-time outcomes.
+  int fused_passes = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+};
+
+/// \brief EvalCnf with the planner's pass rewrite applied (DESIGN.md §14):
+/// chain-collapsed when the plan says so, depth-compare predicates run
+/// fused or through the depth-plane cache. Bit-exact with EvalCnf on the
+/// same clauses -- same stencil mask, same valid value, same count -- at
+/// any thread count; only the pass sequence (and the depth plane's final
+/// contents) differ. `opts` must be non-null.
+[[nodiscard]] Result<StencilSelection> EvalCnfPlanned(
+    gpu::Device* device, const std::vector<GpuClause>& clauses,
+    SelectionExecOptions* opts);
+
+/// \brief EvalDnf with per-predicate fusion/caching applied (the DNF
+/// skeleton itself -- term chains, stamps, walk-downs -- is already
+/// minimal). Bit-exact with EvalDnf. `opts` must be non-null.
+[[nodiscard]] Result<StencilSelection> EvalDnfPlanned(
+    gpu::Device* device, const std::vector<GpuTerm>& terms,
+    SelectionExecOptions* opts);
 
 /// \brief Optimized variant for pure conjunctions (every clause a single
 /// predicate), used by the multi-attribute query experiment (Section 5.7)

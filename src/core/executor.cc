@@ -189,6 +189,7 @@ Result<AttributeBinding> Executor::BindingFor(size_t column_index) {
   binding.texture = column_textures_[column_index];
   binding.channel = 0;
   binding.encoding = DepthEncoding::ForColumn(table_->column(column_index));
+  binding.column = static_cast<int>(column_index);
   return binding;
 }
 
@@ -233,6 +234,7 @@ Result<std::vector<GpuClause>> Executor::Lower(
 
 Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
   OpCounter("where").Increment();
+  last_exec_ = SelectionExecOptions{};  // no stale outcome on early paths
   GpuOpSpan op("Where", device_);
   op.AddTag("rows", table_->num_rows());
   // With ANALYZE statistics attached, estimate the result cardinality up
@@ -268,20 +270,46 @@ Result<StencilSelection> Executor::Where(const predicate::ExprPtr& expr) {
   const bool use_cnf =
       cnf.ok() && (!dnf.ok() || cnf.ValueOrDie().predicate_count() <=
                                     dnf.ValueOrDie().predicate_count());
+  // Planner pass rewrite (DESIGN.md §14): the cache needs a catalog table
+  // identity for its keys; without one it stays inert.
+  const bool use_cache = plan_options_.plane_cache && !table_name_.empty();
+  SelectionExecOptions exec;
+  exec.use_cache = use_cache;
+  exec.table = table_name_;
+  exec.table_version = table_version_;
   StencilSelection sel;
   if (use_cnf) {
     GPUDB_ASSIGN_OR_RETURN(std::vector<GpuClause> clauses,
                            Lower(cnf.ValueOrDie().clauses));
     op.AddTag("normal_form", "cnf");
     op.AddTag("clauses", clauses.size());
-    GPUDB_ASSIGN_OR_RETURN(sel, EvalCnf(device_, clauses));
+    exec.plan =
+        PlanSelectionPasses(clauses, plan_options_.fusion, use_cache);
+    GPUDB_ASSIGN_OR_RETURN(sel, EvalCnfPlanned(device_, clauses, &exec));
   } else {
     GPUDB_ASSIGN_OR_RETURN(std::vector<GpuTerm> terms,
                            Lower(dnf.ValueOrDie().terms));
     op.AddTag("normal_form", "dnf");
     op.AddTag("terms", terms.size());
-    GPUDB_ASSIGN_OR_RETURN(sel, EvalDnf(device_, terms));
+    // The DNF skeleton (term chains, stamps, walk-downs) admits no chain
+    // rewrite; only the per-predicate copy+compare fusion / caching apply.
+    exec.plan = PlanSelectionPasses(terms, plan_options_.fusion, use_cache);
+    exec.plan.chain = false;
+    exec.plan.fused_count = false;
+    GPUDB_ASSIGN_OR_RETURN(sel, EvalDnfPlanned(device_, terms, &exec));
   }
+  if (exec.plan.Rewritten()) {
+    MetricsRegistry::Global().counter("planner.fused_plans").Increment();
+  }
+  // EXPLAIN annotations (DESIGN.md §14): how many passes ran fused, and
+  // whether the plane cache answered the attribute copies.
+  op.AddTag("fused", exec.fused_passes);
+  if (exec.cache_hits + exec.cache_misses > 0) {
+    op.AddTag("cache", exec.cache_misses == 0
+                           ? "hit"
+                           : (exec.cache_hits == 0 ? "miss" : "mixed"));
+  }
+  last_exec_ = exec;
   op.AddTag("selected", sel.count);
   op.AddTag("selectivity", Selectivity(sel.count));
   if (have_stats) {

@@ -26,6 +26,15 @@
 namespace gpudb {
 namespace core {
 
+/// \brief Planner rewrite controls for an executor's selections (DESIGN.md
+/// §14): pass fusion is on by default (pure win, bit-exact); the depth-plane
+/// cache is opt-in (`--plan-cache`) because it trades VRAM for repeated-query
+/// latency and needs a table identity for its keys.
+struct PlanOptions {
+  bool fusion = true;        ///< copy+compare fusion, chain collapse, fused count
+  bool plane_cache = false;  ///< depth/stencil plane caching for hot columns
+};
+
 /// \brief The public query facade: executes the paper's SQL fragment
 /// (SELECT <aggregate|rows> FROM table WHERE <boolean combination>) against
 /// a relational table using the GPU algorithms.
@@ -141,6 +150,25 @@ class Executor {
   void set_table_stats(const db::TableStats* stats) { stats_ = stats; }
   const db::TableStats* table_stats() const { return stats_; }
 
+  /// Planner rewrite controls (fusion / plane cache) for this executor's
+  /// selections. Never changes results -- only the pass sequence.
+  void set_plan_options(const PlanOptions& options) { plan_options_ = options; }
+  const PlanOptions& plan_options() const { return plan_options_; }
+
+  /// Identity of the catalog table backing `table_`, for depth-plane cache
+  /// keys: cached planes are valid only for (name, version). The version
+  /// must be re-read from the catalog before each query -- a stale version
+  /// never produces wrong results (the key just misses) but wastes VRAM.
+  /// Without an identity the plane cache is inert.
+  void SetTableIdentity(std::string name, uint64_t version) {
+    table_name_ = std::move(name);
+    table_version_ = version;
+  }
+
+  /// Planner/cache outcome of the most recent Where(): fused pass count and
+  /// plane-cache hits/misses, for query-log columns and tests.
+  const SelectionExecOptions& last_exec() const { return last_exec_; }
+
   /// The GPU binding (texture/channel/encoding) for a column; uploads the
   /// column texture on first use. Exposed for benchmarks that drive the
   /// low-level routines directly.
@@ -218,6 +246,10 @@ class Executor {
   gpu::Device* device_;
   const db::Table* table_;
   const db::TableStats* stats_ = nullptr;  ///< ANALYZE stats; not owned.
+  PlanOptions plan_options_;
+  std::string table_name_;      ///< catalog identity for plane-cache keys
+  uint64_t table_version_ = 0;  ///< catalog version at SetTableIdentity time
+  SelectionExecOptions last_exec_;
   std::vector<gpu::TextureId> column_textures_;  // -1 = not uploaded yet
   std::map<std::pair<size_t, size_t>, gpu::TextureId> pair_textures_;
 

@@ -3,12 +3,16 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "src/cpu/xeon_model.h"
 #include "src/gpu/perf_model.h"
 
 namespace gpudb {
 namespace core {
+
+struct GpuPredicate;  // eval_cnf.h
+using GpuClause = std::vector<GpuPredicate>;
 
 /// \brief The operation classes the paper's Section 6.2 analysis covers.
 enum class OperationKind {
@@ -27,6 +31,43 @@ std::string_view ToString(OperationKind kind);
 enum class Backend { kGpu, kCpu };
 
 std::string_view ToString(Backend backend);
+
+/// \brief The planner's rewrite of a selection's pass sequence (DESIGN.md
+/// §14): which fusion rules apply and what the pass budget looks like on
+/// each side. The rewrite never changes results -- every rule is proven
+/// fragment-set-equivalent to the reference sequence -- only how many
+/// passes the device renders to get them.
+struct PassPlan {
+  /// All clauses are single-predicate, so the CNF INCR/DECR bookkeeping
+  /// (per-clause parity flips + cleanup passes) collapses into one
+  /// EvalConjunction-style stencil chain: predicate i runs with stencil
+  /// EQUAL i+1 / INCR, no cleanup passes at all. Requires <= 254 predicates
+  /// (8-bit stencil, values 1..255).
+  bool chain = false;
+  /// The chain's final predicate pass carries the occlusion query itself:
+  /// its survivors are exactly the selected records, so the separate
+  /// CountSelected pass is dropped.
+  bool fused_count = false;
+  /// Depth-compare predicates that run as single fused copy+compare passes
+  /// (core::FusedComparePass) instead of CopyToDepth + CompareQuad pairs.
+  /// Zero when the plane cache is on: a cacheable predicate keeps the
+  /// attribute copy separate so its depth plane can be snapshotted and
+  /// restored across queries.
+  int fused_compares = 0;
+  /// Device passes the rewritten plan issues for a COUNT-style selection
+  /// (cache synthetic passes excluded), and what the unrewritten reference
+  /// sequence would have issued. EXPLAIN surfaces the pair.
+  int planned_passes = 0;
+  int unfused_passes = 0;
+
+  bool Rewritten() const { return chain || fused_count || fused_compares > 0; }
+};
+
+/// Plans the pass sequence for a CNF selection. `fusion_enabled` gates
+/// every rewrite; `cache_enabled` disables per-predicate copy+compare
+/// fusion (see PassPlan::fused_compares) but keeps the chain rules.
+PassPlan PlanSelectionPasses(const std::vector<GpuClause>& clauses,
+                             bool fusion_enabled, bool cache_enabled);
 
 /// \brief A co-processor routing decision with its rationale.
 ///

@@ -64,8 +64,30 @@ Status Catalog::Register(std::string name, const Table* table) {
     return Status::InvalidArgument("table '" + name +
                                    "' is already registered");
   }
-  tables_.emplace(std::move(name), table);
+  const auto it = tables_.emplace(std::move(name), table).first;
+  versions_.emplace(it->first, 1);
   return Status::OK();
+}
+
+uint64_t Catalog::version(std::string_view table) const {
+  const auto it = versions_.find(table);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+Status Catalog::BumpTableVersion(std::string_view table) {
+  const auto it = versions_.find(table);
+  if (it == versions_.end()) {
+    return Status::NotFound("no table named '" + std::string(table) + "'");
+  }
+  ++it->second;
+  const std::string name(table);
+  for (const auto& listener : version_listeners_) listener(name);
+  return Status::OK();
+}
+
+void Catalog::AddVersionListener(
+    std::function<void(const std::string&)> listener) {
+  version_listeners_.push_back(std::move(listener));
 }
 
 Result<const Table*> Catalog::Lookup(std::string_view name) const {
@@ -190,7 +212,7 @@ Result<Table> Catalog::ProfileTable() const {
   std::vector<std::string> labels;
   std::vector<float> passes, fragments, alpha_killed, stencil_killed;
   std::vector<float> depth_tested, depth_killed, passed, occlusion_samples;
-  std::vector<float> plane_read, plane_written;
+  std::vector<float> plane_read, plane_written, fused, cache_hits;
   for (const PassProfileGroup& g : groups) {
     labels.push_back(g.label);
     passes.push_back(static_cast<float>(g.passes));
@@ -203,6 +225,8 @@ Result<Table> Catalog::ProfileTable() const {
     occlusion_samples.push_back(static_cast<float>(g.prof.occlusion_samples));
     plane_read.push_back(static_cast<float>(g.prof.plane_bytes_read));
     plane_written.push_back(static_cast<float>(g.prof.plane_bytes_written));
+    fused.push_back(static_cast<float>(g.fused_passes));
+    cache_hits.push_back(static_cast<float>(g.cache_hits));
   }
   GPUDB_RETURN_NOT_OK(RequireRows("gpudb_profile", labels.size()));
   std::vector<Column> cols;
@@ -224,6 +248,9 @@ Result<Table> Catalog::ProfileTable() const {
                          Floats("plane_bytes_read", std::move(plane_read)));
   GPUDB_ASSIGN_OR_RETURN(
       Column c10, Floats("plane_bytes_written", std::move(plane_written)));
+  GPUDB_ASSIGN_OR_RETURN(Column c11, Floats("fused_passes", std::move(fused)));
+  GPUDB_ASSIGN_OR_RETURN(Column c12,
+                         Floats("cache_hits", std::move(cache_hits)));
   cols.push_back(std::move(c0));
   cols.push_back(std::move(c1));
   cols.push_back(std::move(c2));
@@ -235,13 +262,15 @@ Result<Table> Catalog::ProfileTable() const {
   cols.push_back(std::move(c8));
   cols.push_back(std::move(c9));
   cols.push_back(std::move(c10));
+  cols.push_back(std::move(c11));
+  cols.push_back(std::move(c12));
   return BuildSnapshot(std::move(cols));
 }
 
 Result<Table> Catalog::QueriesTable() const {
   const std::vector<QueryLogEntry> entries = QueryLog::Global().Entries();
   std::vector<float> id, wall_ms, queue_ms, exec_ms, simulated_ms, passes,
-      fragments, rows_out;
+      fragments, rows_out, fused_passes, cache_hits;
   std::vector<uint32_t> ok, slow, retries, fell_back;
   std::vector<std::string> sql, kind;
   for (const QueryLogEntry& e : entries) {
@@ -259,6 +288,8 @@ Result<Table> Catalog::QueriesTable() const {
     rows_out.push_back(static_cast<float>(e.rows_out));
     retries.push_back(static_cast<uint32_t>(e.retries));
     fell_back.push_back(e.fell_back ? 1 : 0);
+    fused_passes.push_back(static_cast<float>(e.fused_passes));
+    cache_hits.push_back(static_cast<float>(e.cache_hits));
   }
   GPUDB_RETURN_NOT_OK(RequireRows("gpudb_queries", entries.size()));
   std::vector<Column> cols;
@@ -277,6 +308,10 @@ Result<Table> Catalog::QueriesTable() const {
   GPUDB_ASSIGN_OR_RETURN(Column c11, Floats("rows_out", std::move(rows_out)));
   GPUDB_ASSIGN_OR_RETURN(Column c12, Ints("retries", retries));
   GPUDB_ASSIGN_OR_RETURN(Column c13, Ints("fell_back", fell_back));
+  GPUDB_ASSIGN_OR_RETURN(Column c14,
+                         Floats("fused_passes", std::move(fused_passes)));
+  GPUDB_ASSIGN_OR_RETURN(Column c15,
+                         Floats("cache_hits", std::move(cache_hits)));
   cols.push_back(std::move(c0));
   cols.push_back(std::move(c1));
   cols.push_back(std::move(c2));
@@ -291,6 +326,8 @@ Result<Table> Catalog::QueriesTable() const {
   cols.push_back(std::move(c11));
   cols.push_back(std::move(c12));
   cols.push_back(std::move(c13));
+  cols.push_back(std::move(c14));
+  cols.push_back(std::move(c15));
   return BuildSnapshot(std::move(cols));
 }
 

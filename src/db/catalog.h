@@ -1,6 +1,8 @@
 #ifndef GPUDB_DB_CATALOG_H_
 #define GPUDB_DB_CATALOG_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -49,8 +51,28 @@ class Catalog {
   /// Registered user-table names, sorted.
   std::vector<std::string> TableNames() const;
 
+  /// Catalog version of a registered table: 1 at registration, incremented
+  /// by BumpTableVersion. Returns 0 for unknown names. Anything derived
+  /// from a table's contents (cached depth planes, stats-driven estimates)
+  /// keys on (name, version) so stale derivations can never be confused
+  /// for fresh ones.
+  uint64_t version(std::string_view table) const;
+
+  /// Increments the table's version and synchronously notifies every
+  /// registered listener with the table name. Any code path that mutates a
+  /// table's backing store (reload, ANALYZE refresh) must call this --
+  /// gpulint rule R6 enforces the convention for stats writers.
+  Status BumpTableVersion(std::string_view table);
+
+  /// Registers a callback invoked on every version bump. Used by
+  /// sql::Session to drop the device's cached depth planes for the table.
+  void AddVersionListener(std::function<void(const std::string&)> listener);
+
   /// Stores ANALYZE statistics for a registered table. The returned pointer
   /// of Stats() stays valid until the next SetStats for the same table.
+  /// Storing stats does not bump the version by itself -- the ANALYZE
+  /// driver bumps explicitly, because re-derived stats mean the driver just
+  /// observed (and possibly changed its reading of) the backing store.
   Status SetStats(std::string_view table, TableStats stats);
 
   /// Statistics of a table, or nullptr when it has not been ANALYZEd.
@@ -79,6 +101,8 @@ class Catalog {
 
   std::map<std::string, const Table*, std::less<>> tables_;
   std::map<std::string, TableStats, std::less<>> stats_;
+  std::map<std::string, uint64_t, std::less<>> versions_;
+  std::vector<std::function<void(const std::string&)>> version_listeners_;
 };
 
 }  // namespace db

@@ -5,6 +5,10 @@
 #include <string>
 #include <utility>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "src/common/metrics.h"
 #include "src/common/profile.h"
 #include "src/common/trace.h"
@@ -52,6 +56,13 @@ struct DeviceMetrics {
       MetricsRegistry::Global().counter("gpu.plane_bytes_read");
   MetricCounter& plane_bytes_written =
       MetricsRegistry::Global().counter("gpu.plane_bytes_written");
+  // Depth-plane cache (DESIGN.md §14).
+  MetricCounter& plancache_hits =
+      MetricsRegistry::Global().counter("plancache.hits");
+  MetricCounter& plancache_misses =
+      MetricsRegistry::Global().counter("plancache.misses");
+  MetricCounter& plancache_evictions =
+      MetricsRegistry::Global().counter("plancache.evictions");
 
   static DeviceMetrics& Get() {
     static DeviceMetrics* m = new DeviceMetrics();
@@ -109,7 +120,13 @@ Status Device::SetVideoMemoryBudget(uint64_t bytes) {
     return Status::InvalidArgument("video memory budget must be positive");
   }
   video_memory_budget_ = bytes;
-  // Evict immediately if the resident set no longer fits.
+  // Evict immediately if the resident set no longer fits. Cached depth
+  // planes share the budget at strictly lower priority than textures, so
+  // they go first.
+  while (resident_bytes_ + plane_cache_.bytes() > video_memory_budget_ &&
+         plane_cache_.EvictLru()) {
+    DeviceMetrics::Get().plancache_evictions.Increment();
+  }
   for (TextureSlot& slot : textures_) {
     if (resident_bytes_ <= video_memory_budget_) break;
     if (slot.resident) {
@@ -133,6 +150,13 @@ Status Device::EnsureResident(TextureId id) {
         "texture of " + std::to_string(bytes) +
         " bytes exceeds the video memory budget of " +
         std::to_string(video_memory_budget_));
+  }
+  // Cached depth planes yield before any texture is considered: a texture
+  // the query needs now outranks an optimization for a future query.
+  while (resident_bytes_ + plane_cache_.bytes() + bytes >
+             video_memory_budget_ &&
+         plane_cache_.EvictLru()) {
+    DeviceMetrics::Get().plancache_evictions.Increment();
   }
   // Evict least-recently-used resident textures (never the bound units)
   // until the texture fits.
@@ -221,6 +245,78 @@ Status Device::CopyColorToTexture(TextureId dst) {
     pass.prof.plane_bytes_read = viewport_pixels_ * 16;
   }
   return FinishPass(std::move(pass));
+}
+
+Result<bool> Device::RestoreCachedDepthPlane(const PlaneKey& key) {
+  const std::vector<uint32_t>* plane = plane_cache_.Lookup(key);
+  if (plane == nullptr) {
+    ++counters_.plane_cache_misses;
+    DeviceMetrics::Get().plancache_misses.Increment();
+    return false;
+  }
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  GPUDB_RETURN_NOT_OK(injector_.OnPass());
+  const uint64_t n = plane->size();
+  if (n > fb_.pixel_count()) {
+    return Status::Internal(
+        "cached depth plane larger than the framebuffer it came from");
+  }
+  std::copy(plane->begin(), plane->end(), fb_.depth_data());
+  ++counters_.plane_cache_hits;
+  DeviceMetrics::Get().plancache_hits.Increment();
+  // The on-card blit that stands in for CopyToDepth: one cycle per texel,
+  // every texel "passes" and lands in the depth plane. No fragment tests
+  // run, so the plane-traffic model does not apply; the traffic is exactly
+  // one full write of the restored depth range.
+  PassRecord pass;
+  pass.label = "plane-restore";
+  pass.fragments = n;
+  pass.fp_instructions = 1;
+  pass.fragments_passed = n;
+  pass.depth_writes = n;
+  pass.cache_hit = true;
+  pass.profiled = Profiler::Global().enabled();
+  if (pass.profiled) pass.prof.plane_bytes_written = n * 4;
+  GPUDB_RETURN_NOT_OK(FinishPass(std::move(pass)));
+  return true;
+}
+
+Status Device::CacheDepthPlane(const PlaneKey& key) {
+  GPUDB_RETURN_NOT_OK(CheckInterrupt());
+  const uint64_t n = key.viewport_pixels;
+  if (n == 0 || n > fb_.pixel_count()) {
+    return Status::InvalidArgument(
+        "CacheDepthPlane: key covers " + std::to_string(n) +
+        " pixels, framebuffer has " + std::to_string(fb_.pixel_count()));
+  }
+  const uint64_t bytes = n * sizeof(uint32_t);
+  // Planes never displace textures: if the plane cannot fit beside the
+  // resident set even with the whole cache empty, skip caching silently --
+  // the query already has its answer, the copy just stays un-amortized.
+  if (resident_bytes_ + bytes > video_memory_budget_) return Status::OK();
+  while (resident_bytes_ + plane_cache_.bytes() + bytes >
+         video_memory_budget_) {
+    if (!plane_cache_.EvictLru()) return Status::OK();
+    DeviceMetrics::Get().plancache_evictions.Increment();
+  }
+  GPUDB_RETURN_NOT_OK(injector_.OnPass());
+  std::vector<uint32_t> plane(fb_.depth_data(), fb_.depth_data() + n);
+  // The snapshot is an on-card depth-plane read (glCopyTexSubImage2D of the
+  // depth attachment, in 2004 terms): one cycle per texel, one full read.
+  PassRecord pass;
+  pass.label = "plane-snapshot";
+  pass.fragments = n;
+  pass.fp_instructions = 1;
+  pass.fragments_passed = n;
+  pass.profiled = Profiler::Global().enabled();
+  if (pass.profiled) pass.prof.plane_bytes_read = n * 4;
+  GPUDB_RETURN_NOT_OK(FinishPass(std::move(pass)));
+  plane_cache_.Insert(key, std::move(plane));
+  return Status::OK();
+}
+
+void Device::InvalidateCachedPlanes(std::string_view table) {
+  plane_cache_.InvalidateTable(table);
 }
 
 Result<std::vector<float>> Device::ReadTexture(TextureId id, int channel) {
@@ -636,6 +732,269 @@ void QuadRowKernel(const RenderState& rs_in, FrameBuffer* fb,
   }
 }
 
+/// Whether a pass can run the branchless TestCountRowKernel below instead
+/// of the general QuadRowKernel: nothing but the stencil plane and the
+/// counters may change (depth and color writes off, bounds test off), the
+/// fragment must reach the depth test whenever the stencil lets it through
+/// (no alpha kill), and a failing fragment must leave its stencil alone
+/// (Keep on both fail paths). This is the shape of every comparison,
+/// selection, chain, and counting quad the operators issue, which makes it
+/// the hottest loop in the simulator. Profiled passes stay eligible: the
+/// only per-fragment gpuprof tallies are the kill counts, alpha_killed is
+/// structurally zero here (no alpha kill) and stencil_killed is the
+/// stencil-fail count the kernels produce on demand.
+bool EligibleForTestCount(const RenderState& rs, bool alpha_fail) {
+  return !alpha_fail && !rs.depth_bounds_test_enabled &&
+         rs.depth_test_enabled && !rs.depth_write_mask &&
+         !rs.color_write_mask &&
+         (!rs.stencil_test_enabled ||
+          (rs.stencil_fail_op == StencilOp::kKeep &&
+           rs.stencil_zfail_op == StencilOp::kKeep));
+}
+
+/// Branchless body for EligibleForTestCount passes. Semantically identical
+/// to QuadRowKernel under that configuration -- same counters, same stencil
+/// results -- but the data-dependent test outcomes feed arithmetic selects
+/// instead of branches: at the 40-60% selectivities the paper's queries
+/// run, the general loop's depth-test branch mispredicts almost every other
+/// fragment, which is what made a fixed-function comparison quad slower
+/// than the 3-instruction copy pass it follows.
+template <typename DepthQFn>
+void TestCountRowKernel(const RenderState& rs_in, FrameBuffer* fb,
+                        const ScissorRect& rect, uint32_t y_begin,
+                        uint32_t y_end, bool count_occlusion, bool profile,
+                        DepthQFn depth_q_of, QuadKernelOut* result) {
+  const RenderState rs = rs_in;
+  const uint32_t w = fb->width();
+  const uint32_t* const depth = fb->depth_data();
+  uint8_t* const stencil = fb->stencil_data();
+  const bool stest = rs.stencil_test_enabled;
+  const auto ref_masked =
+      static_cast<uint8_t>(rs.stencil_ref & rs.stencil_value_mask);
+
+  // The compare op is loop-invariant, so reduce it to a truth table over
+  // the three orderings: dp = (lt & m_lt) | (eq & m_eq) | (gt & m_gt).
+  const CompareOp df = rs.depth_func;
+  const uint8_t m_lt =
+      (df == CompareOp::kLess || df == CompareOp::kLessEqual ||
+       df == CompareOp::kNotEqual || df == CompareOp::kAlways)
+          ? 1
+          : 0;
+  const uint8_t m_eq =
+      (df == CompareOp::kEqual || df == CompareOp::kLessEqual ||
+       df == CompareOp::kGreaterEqual || df == CompareOp::kAlways)
+          ? 1
+          : 0;
+  const uint8_t m_gt =
+      (df == CompareOp::kGreater || df == CompareOp::kGreaterEqual ||
+       df == CompareOp::kNotEqual || df == CompareOp::kAlways)
+          ? 1
+          : 0;
+
+  // The stencil pipeline -- func, zpass op, write mask -- only ever sees the
+  // stored byte as its varying input, so the whole thing collapses into two
+  // 256-entry tables computed once per pass.
+  uint8_t sok_of[256];
+  uint8_t pass_value_of[256];
+  if (stest) {
+    for (int s = 0; s < 256; ++s) {
+      const auto stored = static_cast<uint8_t>(s);
+      sok_of[s] = EvalCompare(
+                      rs.stencil_func, ref_masked,
+                      static_cast<uint8_t>(stored & rs.stencil_value_mask))
+                      ? 1
+                      : 0;
+      const uint8_t res =
+          ApplyStencilOp(rs.stencil_zpass_op, stored, rs.stencil_ref);
+      pass_value_of[s] =
+          static_cast<uint8_t>((stored & ~rs.stencil_write_mask) |
+                               (res & rs.stencil_write_mask));
+    }
+  }
+
+  // The chain passes the planner emits (DESIGN.md §14) test the stencil
+  // with kEqual under full masks, so a passing fragment always holds
+  // exactly `ref` and its replacement value is one constant -- the table
+  // lookups drop out of the loop entirely.
+  const bool exact_equal = stest && rs.stencil_func == CompareOp::kEqual &&
+                           rs.stencil_value_mask == 0xff;
+  const uint8_t eq_next = exact_equal ? pass_value_of[ref_masked] : 0;
+
+  uint64_t fragments = 0;
+  uint64_t passed = 0;
+  uint64_t stencil_updates = 0;
+  uint64_t stencil_ok = 0;  // -> stencil_killed when profiling
+  for (uint32_t y = y_begin; y < y_end; ++y) {
+    uint64_t i = uint64_t{y} * w + rect.x0;
+    if (exact_equal) {
+      for (uint32_t x = rect.x0; x < rect.x1; ++x, ++i) {
+        const uint8_t stored = stencil[i];
+        const uint32_t q = depth_q_of(i);
+        const uint32_t d = depth[i];
+        const uint8_t dp = static_cast<uint8_t>((m_lt & (q < d ? 1 : 0)) |
+                                                (m_eq & (q == d ? 1 : 0)) |
+                                                (m_gt & (q > d ? 1 : 0)));
+        const uint8_t sok = stored == ref_masked ? 1 : 0;
+        const uint8_t pass = static_cast<uint8_t>(sok & dp);
+        stencil_ok += sok;
+        const uint8_t next = pass != 0 ? eq_next : stored;
+        stencil[i] = next;
+        stencil_updates += next != stored ? 1 : 0;
+        passed += pass;
+      }
+    } else if (stest) {
+      for (uint32_t x = rect.x0; x < rect.x1; ++x, ++i) {
+        const uint8_t stored = stencil[i];
+        const uint32_t q = depth_q_of(i);
+        const uint32_t d = depth[i];
+        const uint8_t dp = static_cast<uint8_t>((m_lt & (q < d ? 1 : 0)) |
+                                                (m_eq & (q == d ? 1 : 0)) |
+                                                (m_gt & (q > d ? 1 : 0)));
+        const uint8_t sok = sok_of[stored];
+        const uint8_t pass = static_cast<uint8_t>(sok & dp);
+        stencil_ok += sok;
+        const uint8_t next = pass != 0 ? pass_value_of[stored] : stored;
+        stencil[i] = next;
+        stencil_updates += next != stored ? 1 : 0;
+        passed += pass;
+      }
+    } else {
+      for (uint32_t x = rect.x0; x < rect.x1; ++x, ++i) {
+        const uint32_t q = depth_q_of(i);
+        const uint32_t d = depth[i];
+        passed += (m_lt & (q < d ? 1 : 0)) | (m_eq & (q == d ? 1 : 0)) |
+                  (m_gt & (q > d ? 1 : 0));
+      }
+    }
+    fragments += rect.x1 - rect.x0;
+  }
+  result->fragments = fragments;
+  result->passed = passed;
+  result->stencil_updates = stencil_updates;
+  result->occlusion = count_occlusion ? passed : 0;
+  // Same ledger the kProfile QuadRowKernel keeps: alpha_killed is zero by
+  // eligibility (no alpha kill), stencil_killed is the stencil-fail count.
+  if (profile && stest) result->stencil_killed = fragments - stencil_ok;
+}
+
+#if defined(__SSE2__)
+/// SSE2 lane of TestCountRowKernel for flat quads (one depth value for the
+/// whole primitive) whose stencil state is either off or the planner's
+/// exact-equal chain shape. Sixteen fragments per step; the scalar kernel
+/// handles the row remainder and every other configuration. Counter and
+/// stencil results are bit-identical to the scalar loop.
+bool TestCountRowsFlatSimd(const RenderState& rs, FrameBuffer* fb,
+                           const ScissorRect& rect, uint32_t y_begin,
+                           uint32_t y_end, bool count_occlusion, bool profile,
+                           uint32_t q, QuadKernelOut* result) {
+  const bool stest = rs.stencil_test_enabled;
+  const bool exact_equal = stest && rs.stencil_func == CompareOp::kEqual &&
+                           rs.stencil_value_mask == 0xff;
+  if (stest && !exact_equal) return false;
+
+  const CompareOp df = rs.depth_func;
+  const bool w_lt = df == CompareOp::kLess || df == CompareOp::kLessEqual ||
+                    df == CompareOp::kNotEqual || df == CompareOp::kAlways;
+  const bool w_eq = df == CompareOp::kEqual || df == CompareOp::kLessEqual ||
+                    df == CompareOp::kGreaterEqual || df == CompareOp::kAlways;
+  const bool w_gt = df == CompareOp::kGreater ||
+                    df == CompareOp::kGreaterEqual ||
+                    df == CompareOp::kNotEqual || df == CompareOp::kAlways;
+
+  const uint32_t w = fb->width();
+  const uint32_t* const depth = fb->depth_data();
+  uint8_t* const stencil = fb->stencil_data();
+  const auto ref =
+      static_cast<uint8_t>(rs.stencil_ref & rs.stencil_value_mask);
+  uint8_t eq_next = 0;
+  if (exact_equal) {
+    const uint8_t res = ApplyStencilOp(rs.stencil_zpass_op, ref,
+                                       rs.stencil_ref);
+    eq_next = static_cast<uint8_t>((ref & ~rs.stencil_write_mask) |
+                                   (res & rs.stencil_write_mask));
+  }
+
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i qv = _mm_set1_epi32(static_cast<int>(q));
+  const __m128i qb = _mm_xor_si128(qv, bias);
+  const __m128i m_lt = _mm_set1_epi32(w_lt ? -1 : 0);
+  const __m128i m_eq = _mm_set1_epi32(w_eq ? -1 : 0);
+  const __m128i m_gt = _mm_set1_epi32(w_gt ? -1 : 0);
+  const __m128i ref16 = _mm_set1_epi8(static_cast<char>(ref));
+  const __m128i next16 = _mm_set1_epi8(static_cast<char>(eq_next));
+
+  uint64_t fragments = 0;
+  uint64_t passed = 0;
+  uint64_t stencil_updates = 0;
+  uint64_t stencil_ok = 0;  // -> stencil_killed when profiling
+  for (uint32_t y = y_begin; y < y_end; ++y) {
+    uint64_t i = uint64_t{y} * w + rect.x0;
+    uint32_t x = rect.x0;
+    for (; x + 16 <= rect.x1; x += 16, i += 16) {
+      // Pack four 32-lane depth verdicts into one 16-byte mask. The packs
+      // are saturating, which maps 0 / -1 lanes onto 0 / -1 bytes exactly.
+      __m128i dp32[4];
+      for (int g = 0; g < 4; ++g) {
+        const __m128i d = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(depth + i) + g);
+        const __m128i db = _mm_xor_si128(d, bias);
+        const __m128i lt = _mm_cmpgt_epi32(db, qb);  // q < d
+        const __m128i eq = _mm_cmpeq_epi32(qv, d);
+        const __m128i gt = _mm_cmpgt_epi32(qb, db);  // q > d
+        dp32[g] = _mm_or_si128(
+            _mm_or_si128(_mm_and_si128(lt, m_lt), _mm_and_si128(eq, m_eq)),
+            _mm_and_si128(gt, m_gt));
+      }
+      const __m128i dp16 = _mm_packs_epi16(_mm_packs_epi32(dp32[0], dp32[1]),
+                                           _mm_packs_epi32(dp32[2], dp32[3]));
+      if (exact_equal) {
+        const __m128i stored = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(stencil + i));
+        const __m128i sok = _mm_cmpeq_epi8(stored, ref16);
+        stencil_ok += __builtin_popcount(
+            static_cast<unsigned>(_mm_movemask_epi8(sok)));
+        const __m128i pass = _mm_and_si128(dp16, sok);
+        const __m128i next = _mm_or_si128(_mm_and_si128(pass, next16),
+                                          _mm_andnot_si128(pass, stored));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(stencil + i), next);
+        passed += __builtin_popcount(
+            static_cast<unsigned>(_mm_movemask_epi8(pass)));
+        stencil_updates += __builtin_popcount(
+            static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+                next, stored))) ^
+            0xffffu);
+      } else {
+        passed += __builtin_popcount(
+            static_cast<unsigned>(_mm_movemask_epi8(dp16)));
+      }
+    }
+    for (; x < rect.x1; ++x, ++i) {
+      const uint32_t d = depth[i];
+      const bool dp = (w_lt && q < d) || (w_eq && q == d) || (w_gt && q > d);
+      if (exact_equal) {
+        const uint8_t stored = stencil[i];
+        const bool sok = stored == ref;
+        stencil_ok += sok ? 1 : 0;
+        const bool pass = dp && sok;
+        const uint8_t next = pass ? eq_next : stored;
+        stencil[i] = next;
+        stencil_updates += next != stored ? 1 : 0;
+        passed += pass ? 1 : 0;
+      } else {
+        passed += dp ? 1 : 0;
+      }
+    }
+    fragments += rect.x1 - rect.x0;
+  }
+  result->fragments = fragments;
+  result->passed = passed;
+  result->stencil_updates = stencil_updates;
+  result->occlusion = count_occlusion ? passed : 0;
+  if (profile && exact_equal) result->stencil_killed = fragments - stencil_ok;
+  return true;
+}
+#endif  // defined(__SSE2__)
+
 void ReduceQuadKernel(const QuadKernelOut& out, PassRecord* pass,
                       uint64_t* occlusion) {
   pass->fragments += out.fragments;
@@ -654,7 +1013,16 @@ void Device::RunFixedRows(const ScissorRect& rect, uint32_t y_begin,
   const uint32_t q = ctx->flat_depth_q;
   const auto depth_q_of = [q](uint64_t) { return q; };
   QuadKernelOut out;
-  if (ctx->profile) {
+  if (EligibleForTestCount(state_, ctx->alpha_fail)) {
+#if defined(__SSE2__)
+    if (!TestCountRowsFlatSimd(state_, &fb_, rect, y_begin, y_end,
+                               ctx->occlusion != nullptr, ctx->profile, q,
+                               &out))
+#endif
+      TestCountRowKernel(state_, &fb_, rect, y_begin, y_end,
+                         ctx->occlusion != nullptr, ctx->profile, depth_q_of,
+                         &out);
+  } else if (ctx->profile) {
     QuadRowKernel<true>(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
                         ctx->occlusion != nullptr, depth_q_of, &out);
   } else {
@@ -686,7 +1054,13 @@ void Device::RunDepthCopyRows(const ScissorRect& rect, uint32_t y_begin,
     return static_cast<uint32_t>(static_cast<double>(d) * depth_max + 0.5);
   };
   QuadKernelOut out;
-  if (ctx->profile) {
+  if (EligibleForTestCount(state_, ctx->alpha_fail)) {
+    // Fused compare programs (depth writes off) take the branchless path
+    // with the texel fetch inlined as the fragment depth.
+    TestCountRowKernel(state_, &fb_, rect, y_begin, y_end,
+                       ctx->occlusion != nullptr, ctx->profile, depth_q_of,
+                       &out);
+  } else if (ctx->profile) {
     QuadRowKernel<true>(state_, &fb_, rect, y_begin, y_end, ctx->alpha_fail,
                         ctx->occlusion != nullptr, depth_q_of, &out);
   } else {
@@ -752,6 +1126,7 @@ Status Device::FinishPass(PassRecord pass) {
       pass.fragments * static_cast<uint64_t>(pass.fp_instructions);
   counters_.depth_writes += pass.depth_writes;
   counters_.stencil_updates += pass.stencil_updates;
+  if (pass.fused) ++counters_.fused_passes;
   DeviceMetrics::Get().passes.Increment();
   DeviceMetrics::Get().fragments.Add(pass.fragments);
   if (pass.profiled) {
@@ -763,7 +1138,8 @@ Status Device::FinishPass(PassRecord pass) {
     DeviceMetrics::Get().plane_bytes_written.Add(
         pass.prof.plane_bytes_written);
     Profiler::Global().RecordPass(pass.label, pass.fragments,
-                                  pass.fragments_passed, pass.prof);
+                                  pass.fragments_passed, pass.prof,
+                                  pass.fused, pass.cache_hit);
   }
   if (Tracer::Global().enabled()) {
     // One span per rendering pass, carrying the full PassRecord. The span
@@ -777,6 +1153,8 @@ Status Device::FinishPass(PassRecord pass) {
     span.AddTag("stencil_updates", pass.stencil_updates);
     span.AddTag("in_occlusion_query",
                 pass.in_occlusion_query ? "true" : "false");
+    if (pass.fused) span.AddTag("fused", "true");
+    if (pass.cache_hit) span.AddTag("cache", "hit");
     if (pass.profiled) {
       span.AddTag("alpha_killed", pass.prof.alpha_killed);
       span.AddTag("stencil_killed", pass.prof.stencil_killed);
@@ -809,6 +1187,11 @@ Status Device::CheckInterrupt() const {
 }
 
 Status Device::RenderInternal(float quad_depth, bool textured) {
+  // Consume the one-shot fused mark up front: if this pass faults before
+  // recording, the operator-level retry re-issues the whole fused sequence
+  // (re-marking included), so the flag must not leak onto an unrelated
+  // later pass.
+  const bool fused = std::exchange(next_pass_fused_, false);
   // Cooperative per-pass interrupt check plus the watchdog fault site.
   // Both happen before any fragment work, on the issuing thread, so the
   // injector's draw sequence is independent of the worker-thread count.
@@ -833,6 +1216,7 @@ Status Device::RenderInternal(float quad_depth, bool textured) {
                                   : std::string("fixed-function");
   pass.fp_instructions = program != nullptr ? program->instruction_count() : 0;
   pass.in_occlusion_query = occlusion_active_;
+  pass.fused = fused;
   // One relaxed load per pass decides both the kernel instantiation and
   // which PassRecords carry deep counters; a mid-pass toggle cannot tear.
   pass.profiled = Profiler::Global().enabled();

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
@@ -15,6 +16,7 @@
 #include "src/gpu/fragment_program.h"
 #include "src/gpu/framebuffer.h"
 #include "src/gpu/geometry.h"
+#include "src/gpu/plane_cache.h"
 #include "src/gpu/rasterizer.h"
 #include "src/gpu/render_state.h"
 #include "src/gpu/texture.h"
@@ -112,6 +114,38 @@ class Device {
 
   uint64_t video_memory_budget() const { return video_memory_budget_; }
   uint64_t video_memory_used() const { return resident_bytes_; }
+
+  // --- Depth-plane cache (DESIGN.md §14) ----------------------------------
+
+  /// Tags the next quad pass as planner-fused: RenderInternal transfers the
+  /// one-shot flag onto that pass's PassRecord, and FinishPass counts it in
+  /// `fused_passes`. Purely an accounting mark -- the pass itself is
+  /// configured by the caller (see core::FusedComparePass).
+  void MarkNextPassFused() { next_pass_fused_ = true; }
+
+  /// If a depth plane for `key` is cached, re-materializes it into the
+  /// first `key.viewport_pixels` depth texels -- the on-card blit that
+  /// replaces CopyToDepth for a hot column -- and returns true. The blit is
+  /// recorded as a synthetic "plane-restore" pass (1 instruction/texel, 4
+  /// bytes/texel plane writes) so the byte ledger and figures stay honest.
+  /// A miss records nothing and returns false; the caller then runs the
+  /// real copy and may CacheDepthPlane afterwards.
+  [[nodiscard]] Result<bool> RestoreCachedDepthPlane(const PlaneKey& key);
+
+  /// Snapshots the first `key.viewport_pixels` depth texels into the plane
+  /// cache under `key`, recorded as a synthetic "plane-snapshot" pass (4
+  /// bytes/texel plane reads). Cached planes are charged against the video
+  /// memory budget at strictly lower priority than textures: this call
+  /// evicts its own LRU planes to make room but never evicts a texture --
+  /// if the plane cannot fit beside the resident textures it is silently
+  /// not cached (the query already ran; caching is best-effort).
+  [[nodiscard]] Status CacheDepthPlane(const PlaneKey& key);
+
+  /// Drops every cached plane belonging to `table` -- the invalidation hook
+  /// the catalog's table-version listeners call on reload/ANALYZE.
+  void InvalidateCachedPlanes(std::string_view table);
+
+  const PlaneCache& plane_cache() const { return plane_cache_; }
 
   // --- Render state (glEnable/glDepthFunc/... equivalents) -------------
 
@@ -395,6 +429,9 @@ class Device {
   uint64_t video_memory_budget_ = 256ull * 1024 * 1024;  // paper Section 5.1
   uint64_t resident_bytes_ = 0;
   uint64_t lru_clock_ = 0;
+
+  PlaneCache plane_cache_;        // shares video_memory_budget_ with textures
+  bool next_pass_fused_ = false;  // one-shot, consumed by RenderInternal
 
   Mat4 transform_;
   bool window_space_vertices_ = true;  // default vertex stage is identity

@@ -72,7 +72,7 @@ class FragmentProgram {
 ///
 /// Matches the paper's 3-instruction copy program (Section 5.4): texture
 /// fetch, normalization, copy-to-depth.
-class CopyToDepthProgram final : public FragmentProgram {
+class CopyToDepthProgram : public FragmentProgram {
  public:
   /// `channel` selects which attribute channel of tex0 to copy;
   /// `scale`/`offset` normalize attribute values to [0,1]:
@@ -100,6 +100,19 @@ class CopyToDepthProgram final : public FragmentProgram {
   int channel_;
   double scale_;
   double offset_;
+};
+
+/// \brief The planner's fused copy+compare pass program (DESIGN.md §14):
+/// byte-for-byte the CopyToDepth program -- same 3 instructions, same
+/// double-precision normalization -- but rendered with the depth function
+/// set to the predicate's comparison instead of ALWAYS and the depth write
+/// mask off, so the single pass both materializes the attribute as incoming
+/// depth and resolves the compare against a constant seeded via ClearDepth.
+/// A distinct name keeps the fused pass visible in pass logs and gpuprof.
+class FusedCompareProgram final : public CopyToDepthProgram {
+ public:
+  using CopyToDepthProgram::CopyToDepthProgram;
+  std::string_view name() const override { return "FusedCompareFP"; }
 };
 
 /// \brief SemilinearFP (Routine 4.2): computes dot(s, a) and KILLs fragments

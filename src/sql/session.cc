@@ -32,7 +32,25 @@ uint64_t RowsOut(const QueryResult& result) {
 }  // namespace
 
 Session::Session(gpu::Device* device, db::Catalog* catalog)
-    : device_(device), catalog_(catalog) {}
+    : device_(device), catalog_(catalog) {
+  // Plane-cache invalidation (DESIGN.md §14): whenever the catalog bumps a
+  // table's version -- reload, ANALYZE, any backing-store mutation (lint
+  // rule R6) -- the device drops every cached depth plane for that table.
+  // Versioned keys alone would keep results correct (stale versions never
+  // match); the eager drop reclaims the VRAM immediately.
+  if (device_ != nullptr && catalog_ != nullptr) {
+    catalog_->AddVersionListener([device = device_](const std::string& name) {
+      device->InvalidateCachedPlanes(name);
+    });
+  }
+}
+
+void Session::set_plan_options(const core::PlanOptions& options) {
+  plan_options_ = options;
+  for (auto& [name, exec] : executors_) {
+    exec->set_plan_options(options);
+  }
+}
 
 void Session::set_resilience_options(const core::ResilienceOptions& options) {
   resilience_ = options;
@@ -49,12 +67,17 @@ Result<core::Executor*> Session::ExecutorFor(std::string_view table_name) {
     GPUDB_ASSIGN_OR_RETURN(std::unique_ptr<core::Executor> exec,
                            core::Executor::Make(device_, table));
     exec->set_resilience_options(resilience_);
+    exec->set_plan_options(plan_options_);
     it = executors_.emplace(std::string(table_name), std::move(exec)).first;
   }
   // The session multiplexes tables onto one device; restore this table's
   // viewport before running anything (Executor::Make set it at creation).
   GPUDB_RETURN_NOT_OK(
       device_->SetViewport(it->second->table().num_rows()));
+  // Refresh the plane-cache identity each statement: the catalog version
+  // may have been bumped since the executor was cached.
+  it->second->SetTableIdentity(std::string(table_name),
+                               catalog_->version(table_name));
   return it->second.get();
 }
 
@@ -115,6 +138,10 @@ Result<QueryResult> Session::RunUserTable(std::string_view sql,
       stats.table_name = table_name;
       const uint64_t columns = stats.columns.size();
       GPUDB_RETURN_NOT_OK(catalog_->SetStats(table_name, std::move(stats)));
+      // ANALYZE re-reads the backing store, so it also refreshes the
+      // table's version: cached depth planes from before the re-read are
+      // dropped (lint rule R6 enforces this pairing on every store writer).
+      GPUDB_RETURN_NOT_OK(catalog_->BumpTableVersion(table_name));
       exec->set_table_stats(catalog_->Stats(table_name));
       QueryResult result;
       result.kind = Query::Kind::kAnalyzeTable;
@@ -170,6 +197,8 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
       registry.counter("queries.fell_back").value() > fellback_before;
   entry.passes = delta.passes;
   entry.fragments = delta.fragments_generated;
+  entry.fused_passes = delta.fused_passes;
+  entry.cache_hits = delta.plane_cache_hits;
   entry.simulated_ms = gpu::PerfModel().Estimate(delta).TotalMs();
   if (result.ok()) {
     entry.kind = std::string(ToString(result.ValueOrDie().kind));

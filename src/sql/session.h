@@ -63,6 +63,13 @@ class Session {
     return resilience_;
   }
 
+  /// Installs the planner rewrite controls (pass fusion / depth-plane
+  /// caching, DESIGN.md §14) on every executor this session creates,
+  /// existing and future. Never changes results; `--plan-cache` flips
+  /// `plane_cache` on.
+  void set_plan_options(const core::PlanOptions& options);
+  const core::PlanOptions& plan_options() const { return plan_options_; }
+
   /// The cached executor for a registered user table (created on first use).
   [[nodiscard]] Result<core::Executor*> ExecutorFor(std::string_view table_name);
 
@@ -87,6 +94,7 @@ class Session {
   /// statement spends waiting for this lock is its QueryLogEntry::queue_ms.
   std::mutex execute_mu_;
   core::ResilienceOptions resilience_;
+  core::PlanOptions plan_options_;
   std::map<std::string, std::unique_ptr<core::Executor>, std::less<>>
       executors_;
 };

@@ -252,6 +252,85 @@ TEST(FaultSweep, QueriesDegradeCleanlyAndDeterministicallyAcrossSeeds) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fault sweep over the planner rewrites (DESIGN.md §14): fused chains and
+// the depth-plane cache must obey the same contract as the classic pass
+// sequences -- healthy answer or clean Status, never silently wrong, and
+// identical outcomes whether the rewrite is on or off. The warm (cache-hit)
+// path is covered by running each count twice.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> RunPlannedConfig(uint64_t seed, double rate,
+                                          int threads,
+                                          const core::PlanOptions& plan) {
+  Device dev(64, 64);
+  EXPECT_TRUE(dev.SetWorkerThreads(threads).ok());
+  dev.ConfigureFaults({seed, rate});
+  std::vector<std::string> out;
+  auto exec_or = core::Executor::Make(&dev, &SweepTable());
+  if (!exec_or.ok()) {
+    out.push_back("make:" + exec_or.status().ToString());
+    return out;
+  }
+  std::unique_ptr<core::Executor> exec = std::move(exec_or).ValueOrDie();
+  core::ResilienceOptions options;
+  options.allow_cpu_fallback = true;
+  exec->set_resilience_options(options);
+  exec->set_plan_options(plan);
+  exec->SetTableIdentity("sweep", /*version=*/1);
+  const predicate::ExprPtr where =
+      predicate::Expr::Pred(0, CompareOp::kGreater, 5000.0f);
+
+  // Twice: the second round takes the cache-hit path when the cache is on.
+  for (int round = 0; round < 2; ++round) {
+    auto count = exec->Count(where);
+    out.push_back(count.ok()
+                      ? "count:ok:" + std::to_string(count.ValueOrDie())
+                      : "count:" + count.status().ToString());
+  }
+  return out;
+}
+
+TEST(FaultSweep, PlannerRewritesMatchClassicPlansUnderFaults) {
+  // Healthy classic reference.
+  std::vector<std::string> reference;
+  {
+    core::PlanOptions off;
+    off.fusion = false;
+    off.plane_cache = false;
+    reference = RunPlannedConfig(/*seed=*/0, /*rate=*/0.0, /*threads=*/1, off);
+    for (const std::string& r : reference) {
+      ASSERT_NE(r.find(":ok:"), std::string::npos) << r;
+    }
+  }
+
+  std::vector<core::PlanOptions> configs(3);
+  configs[0].fusion = true;
+  configs[0].plane_cache = false;
+  configs[1].fusion = true;
+  configs[1].plane_cache = true;
+  configs[2].fusion = false;
+  configs[2].plane_cache = true;
+
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    const double rate = 0.02 * static_cast<double>(1 + seed % 5);
+    for (const core::PlanOptions& plan : configs) {
+      // With the full degradation ladder, every configuration must come
+      // back with the healthy classic answer.
+      const std::vector<std::string> serial =
+          RunPlannedConfig(seed, rate, /*threads=*/1, plan);
+      EXPECT_EQ(serial, reference)
+          << "seed " << seed << " fusion=" << plan.fusion
+          << " cache=" << plan.plane_cache;
+      for (int threads : {4, 8}) {
+        EXPECT_EQ(RunPlannedConfig(seed, rate, threads, plan), serial)
+            << "seed " << seed << " threads " << threads
+            << " fusion=" << plan.fusion << " cache=" << plan.plane_cache;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gpu
 }  // namespace gpudb

@@ -123,6 +123,10 @@ void ExpectPassLogsEqual(const std::vector<gpu::PassRecord>& serial,
     EXPECT_EQ(a.stencil_updates, b.stencil_updates) << what << " pass " << i;
     EXPECT_EQ(a.in_occlusion_query, b.in_occlusion_query)
         << what << " pass " << i;
+    // Planner rewrites are thread-independent: the same passes are fused
+    // and the same cache lookups hit no matter the worker count.
+    EXPECT_EQ(a.fused, b.fused) << what << " pass " << i;
+    EXPECT_EQ(a.cache_hit, b.cache_hit) << what << " pass " << i;
     // gpuprof deep counters ride the same band reduction, so they obey the
     // same bit-stability contract (all-zero on both sides when profiling
     // was off).
@@ -164,6 +168,9 @@ void ExpectBitIdentical(const Snapshot& serial, const Snapshot& parallel,
   EXPECT_EQ(a.occlusion_readbacks, b.occlusion_readbacks) << what;
   EXPECT_EQ(a.bytes_uploaded, b.bytes_uploaded) << what;
   EXPECT_EQ(a.bytes_read_back, b.bytes_read_back) << what;
+  EXPECT_EQ(a.fused_passes, b.fused_passes) << what;
+  EXPECT_EQ(a.plane_cache_hits, b.plane_cache_hits) << what;
+  EXPECT_EQ(a.plane_cache_misses, b.plane_cache_misses) << what;
   EXPECT_EQ(a.prof, b.prof) << what << " (cumulative deep counters)";
   ExpectPassLogsEqual(a.pass_log, b.pass_log, what);
 }
@@ -218,6 +225,74 @@ TEST(ParallelDeterminismTest, ProfiledCountersBitIdenticalAcrossThreadCounts) {
     if (pass.profiled) any_profiled_pass = true;
   }
   EXPECT_TRUE(any_profiled_pass);
+}
+
+/// Fused/cached scenario: the planner-rewritten selections (DESIGN.md §14)
+/// run the same CNF twice -- once fused, then twice through the depth-plane
+/// cache (miss, then hit) -- so the sweep covers fused compare passes, the
+/// chain collapse, and both cache paths including the synthetic
+/// plane-snapshot/plane-restore passes.
+Snapshot RunPlannedScenario(int threads, const std::vector<uint32_t>& ints) {
+  Snapshot snap;
+  gpu::Device device(100, 100);
+  EXPECT_OK(device.SetWorkerThreads(threads));
+  AttributeBinding attr = UploadIntAttribute(&device, ints);
+  attr.column = 0;
+  const auto domain = static_cast<double>(uint64_t{1} << kBitWidth);
+
+  const std::vector<GpuClause> clauses = {
+      {GpuPredicate::DepthCompare(attr, CompareOp::kGreater, domain * 0.2)},
+      {GpuPredicate::DepthCompare(attr, CompareOp::kLess, domain * 0.9)},
+  };
+
+  // Fused chain with the count carried by the final pass.
+  SelectionExecOptions fused;
+  fused.plan = PlanSelectionPasses(clauses, /*fusion_enabled=*/true,
+                                   /*cache_enabled=*/false);
+  auto sel = EvalCnfPlanned(&device, clauses, &fused);
+  EXPECT_OK(sel.status());
+  if (sel.ok()) {
+    snap.results.push_back(sel.ValueOrDie().count);
+    snap.results.push_back(sel.ValueOrDie().valid_value);
+  }
+  snap.results.push_back(static_cast<uint64_t>(fused.fused_passes));
+
+  // Cached: cold (snapshot) then warm (restore).
+  for (int round = 0; round < 2; ++round) {
+    SelectionExecOptions cached;
+    cached.plan = PlanSelectionPasses(clauses, true, /*cache_enabled=*/true);
+    cached.use_cache = true;
+    cached.table = "sweep";
+    cached.table_version = 1;
+    auto cs = EvalCnfPlanned(&device, clauses, &cached);
+    EXPECT_OK(cs.status());
+    if (cs.ok()) snap.results.push_back(cs.ValueOrDie().count);
+    snap.results.push_back(static_cast<uint64_t>(cached.cache_hits));
+    snap.results.push_back(static_cast<uint64_t>(cached.cache_misses));
+  }
+
+  const gpu::FrameBuffer& fb = device.framebuffer();
+  snap.depth = fb.depth_plane();
+  snap.stencil = fb.stencil_plane();
+  snap.counters = device.counters();
+  return snap;
+}
+
+TEST(ParallelDeterminismTest, FusedAndCachedPlansBitIdenticalAcrossThreads) {
+  const std::vector<uint32_t> ints = RandomInts(kRecords, kBitWidth, 20260808);
+  const Snapshot serial = RunPlannedScenario(1, ints);
+  ASSERT_FALSE(serial.results.empty());
+  // The scenario must actually exercise the rewrites for the sweep to
+  // prove anything.
+  EXPECT_GT(serial.counters.fused_passes, 0u);
+  // Both predicates bind the same column, so only the very first lookup
+  // misses; the cold round's second predicate and the whole warm round hit.
+  EXPECT_EQ(serial.counters.plane_cache_misses, 1u);
+  EXPECT_EQ(serial.counters.plane_cache_hits, 3u);
+  for (int threads : {2, 4, 8}) {
+    ExpectBitIdentical(serial, RunPlannedScenario(threads, ints),
+                       "planned, threads=" + std::to_string(threads));
+  }
 }
 
 TEST(ParallelDeterminismTest, ZipfDataBitIdenticalAcrossThreadCounts) {

@@ -308,6 +308,55 @@ TEST(GpulintR5, DisabledWithoutARegistry) {
 }
 
 // ---------------------------------------------------------------------------
+// R6: backing-store mutations bump the catalog table version.
+
+TEST(GpulintR6, FlagsSetStatsWithoutVersionBump) {
+  Corpus c;
+  c.Add("src/sql/session.cc",
+        "Status RunAnalyze(Catalog* catalog) {\n"
+        "  return catalog->SetStats(name, stats);\n"
+        "}\n");
+  const auto diags = RunR6(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R6");
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_NE(diags[0].message.find("BumpTableVersion"), std::string::npos);
+}
+
+TEST(GpulintR6, DirectBumpInTheSameFunctionSatisfiesTheRule) {
+  Corpus c;
+  c.Add("src/sql/session.cc",
+        "Status RunAnalyze(Catalog* catalog) {\n"
+        "  GPUDB_RETURN_NOT_OK(catalog->SetStats(name, stats));\n"
+        "  return catalog->BumpTableVersion(name);\n"
+        "}\n");
+  EXPECT_TRUE(RunR6(c.Finalize()).empty());
+}
+
+TEST(GpulintR6, BumpThroughAHelperSatisfiesTheRule) {
+  Corpus c;
+  c.Add("src/sql/session.cc",
+        "Status RefreshTable(Catalog* catalog) {\n"
+        "  return catalog->BumpTableVersion(name);\n"
+        "}\n"
+        "Status RunAnalyze(Catalog* catalog) {\n"
+        "  GPUDB_RETURN_NOT_OK(catalog->SetStats(name, stats));\n"
+        "  return RefreshTable(catalog);\n"
+        "}\n");
+  EXPECT_TRUE(RunR6(c.Finalize()).empty());
+}
+
+TEST(GpulintR6, CatalogInternalsAreOutOfScope) {
+  Corpus c;
+  // The catalog implements the hook; its own stats plumbing is exempt.
+  c.Add("src/db/catalog.cc",
+        "Status SetStatsImpl(Catalog* c) {\n"
+        "  return c->SetStats(name, stats);\n"
+        "}\n");
+  EXPECT_TRUE(RunR6(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions: inline markers and the committed file.
 
 TEST(GpulintSuppressions, InlineAllowCoversSameLineAndLineAbove) {

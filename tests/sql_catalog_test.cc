@@ -160,6 +160,14 @@ TEST_F(SessionTest, QueriesTableRecordsHistory) {
   auto passes_col = r.table_view->ColumnByName("passes");
   ASSERT_OK(passes_col.status());
   EXPECT_GT(passes_col.ValueOrDie()->value(0), 0.0f);
+  // The planner-rewrite columns are attributed too: the WHERE scan ran as
+  // a fused chain (fusion defaults on), the MAX did not.
+  auto fused_col = r.table_view->ColumnByName("fused_passes");
+  ASSERT_OK(fused_col.status());
+  EXPECT_GT(fused_col.ValueOrDie()->value(0), 0.0f);
+  auto hits_col = r.table_view->ColumnByName("cache_hits");
+  ASSERT_OK(hits_col.status());
+  EXPECT_EQ(hits_col.ValueOrDie()->value(0), 0.0f);  // cache off by default
 }
 
 TEST_F(SessionTest, QueriesTableSplitsQueueAndExecTime) {
@@ -275,6 +283,62 @@ TEST_F(SessionTest, AnalyzeRoundTrip) {
   // ANALYZE of an unregistered table is NotFound.
   EXPECT_EQ(session_->Execute("ANALYZE ghost").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TableVersionsBumpAndNotify) {
+  db::Catalog catalog;
+  auto table = db::MakeUniformTable(16, 4);
+  ASSERT_OK(table.status());
+  EXPECT_EQ(catalog.version("users"), 0u);  // unknown => 0, never 1
+  ASSERT_OK(catalog.Register("users", &table.ValueOrDie()));
+  EXPECT_EQ(catalog.version("users"), 1u);
+
+  std::vector<std::string> bumped;
+  catalog.AddVersionListener(
+      [&bumped](const std::string& name) { bumped.push_back(name); });
+  ASSERT_OK(catalog.BumpTableVersion("users"));
+  EXPECT_EQ(catalog.version("users"), 2u);
+  EXPECT_EQ(bumped, std::vector<std::string>{"users"});
+  // Unknown tables are a NotFound, and listeners stay silent.
+  EXPECT_EQ(catalog.BumpTableVersion("ghost").code(), StatusCode::kNotFound);
+  EXPECT_EQ(bumped.size(), 1u);
+}
+
+// Satellite invariant (DESIGN.md §14): a catalog version bump -- here via
+// ANALYZE, which re-reads the backing store -- must evict the table's
+// cached depth planes. The next query misses the cache, re-snapshots under
+// the new version, and still returns the bit-exact count.
+TEST_F(SessionTest, AnalyzeInvalidatesCachedDepthPlanes) {
+  core::PlanOptions plan_options;
+  plan_options.plane_cache = true;
+  session_->set_plan_options(plan_options);
+  const std::string query = "SELECT COUNT(*) FROM t WHERE u0 > 300";
+
+  auto cold = session_->Execute(query);
+  ASSERT_OK(cold.status());
+  const auto& counters = device_->counters();
+  EXPECT_EQ(counters.plane_cache_misses, 1u);
+  auto warm = session_->Execute(query);
+  ASSERT_OK(warm.status());
+  EXPECT_EQ(counters.plane_cache_hits, 1u);
+  EXPECT_EQ(warm.ValueOrDie().count, cold.ValueOrDie().count);
+
+  // ANALYZE bumps the version; the listener wired by the Session drops the
+  // table's planes eagerly.
+  ASSERT_OK(session_->Execute("ANALYZE t").status());
+  EXPECT_EQ(catalog_->version("t"), 2u);
+  EXPECT_EQ(device_->plane_cache().size(), 0u);
+
+  auto after = session_->Execute(query);
+  ASSERT_OK(after.status());
+  EXPECT_EQ(counters.plane_cache_misses, 2u);  // stale plane cannot hit
+  EXPECT_EQ(after.ValueOrDie().count, cold.ValueOrDie().count);
+
+  // And the re-cached plane (keyed on version 2) hits again.
+  auto rewarm = session_->Execute(query);
+  ASSERT_OK(rewarm.status());
+  EXPECT_EQ(counters.plane_cache_hits, 2u);
+  EXPECT_EQ(rewarm.ValueOrDie().count, cold.ValueOrDie().count);
 }
 
 TEST_F(SessionTest, ExplainShowsEstimatedVsActualRows) {

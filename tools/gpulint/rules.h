@@ -53,6 +53,11 @@ class Program {
   bool ReentersPool(const std::string& name) const {
     return pool_reentrant_.count(name) != 0;
   }
+  /// Whether `name` reaches Catalog::BumpTableVersion, directly or through
+  /// a helper (R6's "called the version-bump hook" test).
+  bool BumpsTableVersion(const std::string& name) const {
+    return version_bumping_.count(name) != 0;
+  }
   bool MetricRegistered(const std::string& name, bool dynamic_suffix) const;
   bool has_metric_registry() const { return metric_registry_loaded_; }
 
@@ -72,6 +77,7 @@ class Program {
   std::set<std::string> pass_issuing_;
   std::set<std::string> interrupt_checking_;
   std::set<std::string> pool_reentrant_;
+  std::set<std::string> version_bumping_;
   std::vector<std::string> metric_exact_;
   std::vector<std::string> metric_prefixes_;
   bool metric_registry_loaded_ = false;
@@ -97,6 +103,12 @@ std::vector<Diagnostic> RunR4(const Program& program);
 /// R5: every literal metric name passed to counter()/gauge()/histogram()
 /// must appear in src/common/metric_names.h.
 std::vector<Diagnostic> RunR5(const Program& program);
+
+/// R6: any code path (outside src/db) that rewrites a table's backing
+/// store or its catalog-attached derivations — today, Catalog::SetStats
+/// after an ANALYZE re-read — must also reach Catalog::BumpTableVersion,
+/// so cached depth planes keyed on the table version are invalidated.
+std::vector<Diagnostic> RunR6(const Program& program);
 
 /// All rules, in id order.
 std::vector<Diagnostic> RunAllRules(const Program& program);
