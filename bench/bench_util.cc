@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "src/common/json.h"
+#include "src/gpu/device_pool.h"
 
 namespace gpudb {
 namespace bench {
@@ -121,6 +122,12 @@ int& BenchThreadsSlot() {
   return threads;
 }
 
+/// Device-pool size for pool-aware benches; 1 = classic single device.
+int& BenchDevicesSlot() {
+  static int devices = gpu::DevicesFromEnv(/*fallback=*/1);
+  return devices;
+}
+
 /// Fault/deadline/VRAM settings shared by every device the bench creates;
 /// defaults come from the GPUDB_* environment, flags override.
 struct BenchRobustness {
@@ -166,11 +173,19 @@ void InitBench(int argc, char** argv) {
     } else if (arg.rfind("--vram-budget=", 0) == 0) {
       RobustnessSlot().vram_budget =
           std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--devices=", 0) == 0) {
+      const int n = std::atoi(arg.c_str() + 10);
+      if (n < 1) {
+        std::fprintf(stderr, "invalid %s: device count must be >= 1\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      BenchDevicesSlot() = n;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--threads=N] "
                    "[--deadline-ms=N] [--fault-seed=N] [--fault-rate=P] "
-                   "[--vram-budget=N] [--profile]\n",
+                   "[--vram-budget=N] [--devices=N] [--profile]\n",
                    arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -178,6 +193,8 @@ void InitBench(int argc, char** argv) {
 }
 
 int BenchThreads() { return BenchThreadsSlot(); }
+
+int BenchDevices() { return BenchDevicesSlot(); }
 
 const gpu::FaultConfig& BenchFaultConfig() { return RobustnessSlot().faults; }
 

@@ -35,6 +35,8 @@ std::vector<size_t> RecordSweep();
 ///                    injector compiled in but disabled ($GPUDB_FAULT_RATE).
 ///   --vram-budget=N  video-memory budget in bytes for every device
 ///                    ($GPUDB_VRAM_BUDGET; 0 = default 256 MB).
+///   --devices=N      device-pool size for pool-aware benches
+///                    ($GPUDB_DEVICES; 1 = classic single device).
 ///   --profile        enable the gpuprof deep pipeline counters (also via
 ///                    $GPUDB_PROFILE=1); PrintRow then captures the per-row
 ///                    counter delta and BENCH_*.json rows gain counter
@@ -46,6 +48,9 @@ void InitBench(int argc, char** argv);
 
 /// The worker-thread count benches run with (see InitBench).
 int BenchThreads();
+
+/// The device-pool size benches run with (see InitBench); 1 = no pool.
+int BenchDevices();
 
 /// The fault configuration benches run with (see InitBench).
 const gpu::FaultConfig& BenchFaultConfig();

@@ -38,6 +38,14 @@
 //   --plan-cache        cache depth planes of hot columns across queries
 //                       (keyed on table version; evicted LRU-first under the
 //                       VRAM budget; $GPUDB_PLAN_CACHE=1)
+//   --devices=N         run poolable statements range-sharded across a pool
+//                       of N simulated devices with R=2 replica failover
+//                       ($GPUDB_DEVICES; 1 = classic single device)
+//   --tenant=NAME       tenant identity for admission quotas and query-log
+//                       attribution ($GPUDB_TENANT)
+//   --admission-queue=N bounded admission queue: N statements may wait for
+//                       an execution slot, one more is rejected immediately
+//                       with ResourceExhausted (0 disables admission)
 //
 // Columns: data_count, data_loss, flow_rate, retransmissions.
 
@@ -46,6 +54,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -113,6 +122,10 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("GPUDB_PLAN_CACHE")) {
     plan_cache = env[0] != '\0' && env[0] != '0';
   }
+  int devices = gpudb::gpu::DevicesFromEnv(/*fallback=*/1);
+  std::string tenant;
+  if (const char* env = std::getenv("GPUDB_TENANT")) tenant = env;
+  int admission_queue = 0;  // 0 = no admission control
   if (const char* env = std::getenv("GPUDB_PROFILE")) {
     if (env[0] != '\0' && env[0] != '0') {
       gpudb::Profiler::Global().set_enabled(true);
@@ -149,6 +162,16 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
       gpudb::QueryLog::Global().set_slow_threshold_ms(
           std::atof(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--devices=", 10) == 0) {
+      devices = std::atoi(argv[i] + 10);
+      if (devices < 1) {
+        std::fprintf(stderr, "--devices requires a count >= 1\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--tenant=", 9) == 0) {
+      tenant = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--admission-queue=", 18) == 0) {
+      admission_queue = std::atoi(argv[i] + 18);
     } else {
       args.emplace_back(argv[i]);
     }
@@ -185,6 +208,35 @@ int main(int argc, char** argv) {
   resilience.deadline_ms = deadline_ms;
   resilience.retry.sleep = true;  // real backoff in the interactive shell
   session.set_resilience_options(resilience);
+  // Multi-device tier (DESIGN.md §15): poolable statements scatter across
+  // the pool; every device is its own failure domain and fault stream.
+  std::unique_ptr<gpudb::gpu::DevicePool> pool;
+  if (devices > 1) {
+    gpudb::gpu::DevicePoolOptions pool_options;
+    pool_options.devices = devices;
+    pool_options.faults = faults;
+    if (threads > 0) pool_options.worker_threads = threads;
+    if (vram_budget > 0) pool_options.vram_budget = vram_budget;
+    auto pool_or = gpudb::gpu::DevicePool::Make(pool_options);
+    if (!pool_or.ok()) {
+      std::fprintf(stderr, "%s\n", pool_or.status().ToString().c_str());
+      return 2;
+    }
+    pool = std::move(pool_or).ValueOrDie();
+    session.SetDevicePool(pool.get());
+    std::printf("device pool on: %d devices, R=2 replica placement\n",
+                devices);
+  }
+  std::unique_ptr<gpudb::sql::AdmissionController> admission;
+  if (admission_queue > 0) {
+    gpudb::sql::AdmissionOptions admission_options;
+    admission_options.max_concurrent = devices > 1 ? devices : 1;
+    admission_options.queue_capacity = admission_queue;
+    admission = std::make_unique<gpudb::sql::AdmissionController>(
+        admission_options);
+    session.set_admission(admission.get());
+  }
+  if (!tenant.empty()) session.set_tenant(tenant);
   if (plan_cache) {
     gpudb::core::PlanOptions plan_options;
     plan_options.plane_cache = true;

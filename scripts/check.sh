@@ -77,6 +77,17 @@ GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
 GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
   ./build/tests/device_fuzz_test --gtest_filter='FaultSweep.*'
 
+echo "== pool: shard failover + 16-session soak with injection enabled =="
+# The multi-device tier under fault injection: the pool suite covers the
+# health state machine and replica-failover bit-exactness; the soak runs 16
+# concurrent sessions over a shared fault-injected pool and admission
+# controller. The gate is zero non-injected failures and zero wrong answers
+# (injected faults must be absorbed by failover and the CPU rung).
+GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
+  ./build/tests/gpu_pool_test
+GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 \
+  ./build/tests/device_fuzz_test --gtest_filter='PoolSoak.*'
+
 echo "== sanitizers: ASan+UBSan Debug build + tests =="
 cmake -B build-asan -S . -DGPUDB_SANITIZE=ON >/dev/null
 cmake --build build-asan -j
@@ -89,10 +100,13 @@ cmake -B build-ubsan -S . -DGPUDB_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j
 ctest --test-dir build-ubsan --output-on-failure -j
 
-echo "== sanitizers: TSan build + parallel determinism + fault sweep =="
+echo "== sanitizers: TSan build + parallel determinism + fault sweep + pool soak =="
 cmake -B build-tsan -S . -DGPUDB_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target gpu_parallel_test device_fuzz_test
+cmake --build build-tsan -j --target gpu_parallel_test device_fuzz_test gpu_pool_test
 GPUDB_THREADS=8 ./build-tsan/tests/gpu_parallel_test
 GPUDB_THREADS=8 ./build-tsan/tests/device_fuzz_test --gtest_filter='FaultSweep.*'
+GPUDB_THREADS=8 ./build-tsan/tests/gpu_pool_test
+GPUDB_FAULT_SEED=20260805 GPUDB_FAULT_RATE=0.05 GPUDB_THREADS=8 \
+  ./build-tsan/tests/device_fuzz_test --gtest_filter='PoolSoak.*'
 
 echo "check.sh: all green"

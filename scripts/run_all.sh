@@ -26,6 +26,9 @@ export GPUDB_BENCH_JSON_DIR=bench_json
 # about which arm produced bench_output.txt).
 bench_flags=()
 [ -n "${GPUDB_PROFILE:-}" ] && bench_flags+=(--profile)
+# Pool-aware benches pick up the device-pool size; harmless for the rest
+# (InitBench parses --devices everywhere).
+[ -n "${GPUDB_DEVICES:-}" ] && bench_flags+=(--devices="$GPUDB_DEVICES")
 
 : > bench_output.txt
 for b in build/bench/*; do

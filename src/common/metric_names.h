@@ -23,6 +23,8 @@ namespace metric_names {
 /// means removing it from both places — gpulint does not flag unused
 /// registry entries, but reviewers should prune them.
 inline constexpr std::string_view kAll[] = {
+    "admission.queue_depth",
+    "admission.rejected",
     "analyze.tables",
     "executor.*",
     "faults.injected",
@@ -50,6 +52,8 @@ inline constexpr std::string_view kAll[] = {
     "plancache.misses",
     "planner.fused_plans",
     "planner.misestimates",
+    "pool.device_state",
+    "pool.failovers",
     "queries.deadline_exceeded",
     "queries.dropped_status",
     "queries.dropped_status.*",
@@ -63,6 +67,7 @@ inline constexpr std::string_view kAll[] = {
     "sql.query_wall_ms",
     "sql.queue_wait_ms",
     "sql.slow_queries",
+    "tenant.throttled",
 };
 
 inline constexpr size_t kCount = sizeof(kAll) / sizeof(kAll[0]);

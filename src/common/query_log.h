@@ -34,6 +34,13 @@ struct QueryLogEntry {
   bool fell_back = false;     ///< Answered by the CPU tier after GPU faults.
   uint64_t fused_passes = 0;  ///< Planner-fused passes (DESIGN.md §14).
   uint64_t cache_hits = 0;    ///< Depth-plane cache restores.
+  /// Failure-domain attribution (DESIGN.md §15): the tenant that submitted
+  /// the statement (empty = anonymous), the pool device that served or
+  /// first failed it (-1 = no failure domain, e.g. the single-device path),
+  /// and how many shard failovers the statement absorbed.
+  std::string tenant;
+  int64_t device_id = -1;
+  uint64_t failovers = 0;
   std::string error;          ///< Status message when !ok.
 };
 

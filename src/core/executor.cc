@@ -7,15 +7,13 @@
 #include "src/common/trace.h"
 #include "src/core/analyze.h"
 #include "src/core/bitonic_sort.h"
+#include "src/core/cpu_tier.h"
 #include "src/core/depth_encoding.h"
 #include "src/core/histogram.h"
 #include "src/core/kth_largest.h"
 #include "src/core/op_span.h"
 #include "src/core/range.h"
 #include "src/core/selection.h"
-#include "src/cpu/aggregate.h"
-#include "src/cpu/quickselect.h"
-#include "src/cpu/scan.h"
 
 namespace gpudb {
 namespace core {
@@ -640,150 +638,39 @@ Result<std::vector<uint32_t>> Executor::QuantilesGpu(std::string_view column,
 
 // --- CPU fallback tier ----------------------------------------------------
 //
-// Exact scalar equivalents of the GPU operators, used when the device path
-// is faulting (DESIGN.md section 11). Each helper mirrors the GPU method's
-// validation order and error messages so a query answered by either tier is
-// indistinguishable to the caller -- including which error it gets for bad
-// arguments.
+// Thin delegators to core/cpu_tier.h: the exact scalar equivalents of the
+// GPU operators are shared with the shard-pool failover path (DESIGN.md
+// sections 11 and 15), so both the single-device ladder and per-shard
+// recombination answer from one implementation.
 
 Result<std::vector<uint8_t>> Executor::CpuSelectionMask(
     const predicate::ExprPtr& where) {
-  const uint64_t n = table_->num_rows();
-  if (where == nullptr) return std::vector<uint8_t>(n, 1);
-  GPUDB_RETURN_NOT_OK(where->Validate(*table_));
-  auto cnf = predicate::ToCnf(where);
-  std::vector<uint8_t> mask;
-  if (cnf.ok()) {
-    GPUDB_ASSIGN_OR_RETURN(uint64_t selected,
-                           cpu::CnfScan(*table_, cnf.ValueOrDie(), &mask));
-    (void)selected;
-    return mask;
-  }
-  // CNF distribution blew up; evaluate the DNF row by row instead (the CPU
-  // tier has no stencil budget, so either normal form works).
-  auto dnf = predicate::ToDnf(where);
-  if (!dnf.ok()) return cnf.status();  // mirror Where(): both forms failed
-  mask.resize(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    mask[i] = dnf.ValueOrDie().EvaluateRow(*table_, i) ? 1 : 0;
-  }
-  return mask;
+  return cpu_tier::SelectionMask(*table_, where);
 }
 
 Result<uint64_t> Executor::CpuCount(const predicate::ExprPtr& where) {
-  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
-  return cpu::CountMask(mask);
+  return cpu_tier::Count(*table_, where);
 }
 
 Result<std::vector<uint32_t>> Executor::CpuRowIds(
     const predicate::ExprPtr& where) {
-  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
-  std::vector<uint32_t> rows;
-  for (uint32_t i = 0; i < mask.size(); ++i) {
-    if (mask[i]) rows.push_back(i);
-  }
-  return rows;
+  return cpu_tier::RowIds(*table_, where);
 }
 
 Result<double> Executor::CpuAggregate(AggregateKind kind,
                                       std::string_view column,
                                       const predicate::ExprPtr& where) {
-  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
-  const db::Column& c = table_->column(col);
-  if (kind != AggregateKind::kCount && c.type() != db::ColumnType::kInt24) {
-    return Status::NotImplemented(
-        "GPU aggregation of '" + std::string(column) +
-        "' requires an integer column (Accumulator and KthLargest operate on "
-        "binary representations; paper Sections 4.3.2-4.3.3)");
-  }
-  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
-  const uint64_t count = cpu::CountMask(mask);
-  switch (kind) {
-    case AggregateKind::kCount:
-      return static_cast<double>(count);
-    case AggregateKind::kSum:
-      return static_cast<double>(cpu::MaskedSumInt(c.values(), mask));
-    case AggregateKind::kAvg:
-      if (count == 0) {
-        return Status::InvalidArgument("AVG over empty selection");
-      }
-      return static_cast<double>(cpu::MaskedSumInt(c.values(), mask)) /
-             static_cast<double>(count);
-    case AggregateKind::kMin:
-    case AggregateKind::kMax: {
-      if (count == 0) {
-        // Same status Min/MaxValue produce via KthSmallest/Largest(k=1).
-        return Status::OutOfRange("k=1 out of range for 0 records");
-      }
-      uint32_t best = 0;
-      bool first = true;
-      for (size_t i = 0; i < mask.size(); ++i) {
-        if (!mask[i]) continue;
-        const uint32_t v = c.int_value(i);
-        if (first || (kind == AggregateKind::kMin ? v < best : v > best)) {
-          best = v;
-          first = false;
-        }
-      }
-      return static_cast<double>(best);
-    }
-    case AggregateKind::kMedian: {
-      if (count == 0) {
-        return Status::InvalidArgument("median over empty selection");
-      }
-      std::vector<uint32_t> vals;
-      vals.reserve(count);
-      for (size_t i = 0; i < mask.size(); ++i) {
-        if (mask[i]) vals.push_back(c.int_value(i));
-      }
-      // GPU MedianValue = KthSmallest((count + 1) / 2).
-      const size_t idx = (count + 1) / 2 - 1;
-      std::nth_element(vals.begin(), vals.begin() + idx, vals.end());
-      return static_cast<double>(vals[idx]);
-    }
-  }
-  return Status::Internal("unknown aggregate kind");
+  return cpu_tier::Aggregate(*table_, kind, column, where);
 }
 
 Result<uint32_t> Executor::CpuKthLargest(std::string_view column, uint64_t k,
                                          const predicate::ExprPtr& where) {
-  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
-  const db::Column& c = table_->column(col);
-  if (c.type() != db::ColumnType::kInt24) {
-    return Status::NotImplemented(
-        "KthLargest requires an integer column (Routine 4.5 builds the "
-        "result bit by bit)");
-  }
-  GPUDB_ASSIGN_OR_RETURN(std::vector<uint8_t> mask, CpuSelectionMask(where));
-  const uint64_t n = cpu::CountMask(mask);
-  if (k == 0 || k > n) {
-    return Status::OutOfRange("k=" + std::to_string(k) + " out of range for " +
-                              std::to_string(n) + " records");
-  }
-  // The paper's Section 5.9 CPU baseline: QuickSelect over the selection.
-  GPUDB_ASSIGN_OR_RETURN(float v,
-                         cpu::MaskedQuickSelectLargest(c.values(), mask, k));
-  return static_cast<uint32_t>(v);
+  return cpu_tier::KthLargest(*table_, column, k, where);
 }
 
 Result<uint64_t> Executor::CpuRangeCount(std::string_view column, double low,
                                          double high) {
-  GPUDB_ASSIGN_OR_RETURN(size_t col, table_->ColumnIndex(column));
-  if (low > high) {
-    return Status::InvalidArgument("range query with low > high");
-  }
-  const db::Column& c = table_->column(col);
-  // Mirror the depth-bounds test exactly: compare 24-bit quantized depths,
-  // not raw floats, so fractional bounds truncate identically on both tiers.
-  const DepthEncoding enc = DepthEncoding::ForColumn(c);
-  const uint32_t lo = enc.EncodeQuantized(low);
-  const uint32_t hi = enc.EncodeQuantized(high);
-  uint64_t count = 0;
-  for (float v : c.values()) {
-    const uint32_t d = enc.EncodeQuantized(v);
-    if (d >= lo && d <= hi) ++count;
-  }
-  return count;
+  return cpu_tier::RangeCount(*table_, column, low, high);
 }
 
 }  // namespace core

@@ -83,6 +83,19 @@ struct ResilienceOptions {
   double deadline_ms = 0.0;
 };
 
+/// \brief Shard failover policy for the scatter/gather path (DESIGN.md §15).
+///
+/// A shard's dispatch ladder is primary device -> replica device -> CPU
+/// tier. A hop happens when the device pool refuses the device (quarantined
+/// or force-lost) or the per-device attempt exhausts its in-place retries
+/// with a device fault (IsDeviceFault). User errors never fail over: the
+/// replica holds an identical copy and would return the identical error, so
+/// hopping could only waste the query's deadline.
+struct FailoverPolicy {
+  bool try_replica = true;        ///< Hop to the shard's replica device.
+  bool allow_cpu_fallback = true; ///< Final rung: per-shard CPU tier.
+};
+
 /// Sleeps for `ms` when `real` is set; no-op otherwise (deterministic
 /// test schedules).
 void BackoffSleep(double ms, bool real);

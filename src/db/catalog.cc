@@ -60,6 +60,7 @@ Status Catalog::Register(std::string name, const Table* table) {
     return Status::InvalidArgument("'" + name +
                                    "' is a reserved system table name");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(name) != 0) {
     return Status::InvalidArgument("table '" + name +
                                    "' is already registered");
@@ -70,27 +71,37 @@ Status Catalog::Register(std::string name, const Table* table) {
 }
 
 uint64_t Catalog::version(std::string_view table) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = versions_.find(table);
   return it == versions_.end() ? 0 : it->second;
 }
 
 Status Catalog::BumpTableVersion(std::string_view table) {
-  const auto it = versions_.find(table);
-  if (it == versions_.end()) {
-    return Status::NotFound("no table named '" + std::string(table) + "'");
+  // Listeners run outside the lock: they reach into device state (plane
+  // cache invalidation) and must not deadlock against catalog readers.
+  std::vector<std::function<void(const std::string&)>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = versions_.find(table);
+    if (it == versions_.end()) {
+      return Status::NotFound("no table named '" + std::string(table) + "'");
+    }
+    ++it->second;
+    listeners = version_listeners_;
   }
-  ++it->second;
   const std::string name(table);
-  for (const auto& listener : version_listeners_) listener(name);
+  for (const auto& listener : listeners) listener(name);
   return Status::OK();
 }
 
 void Catalog::AddVersionListener(
     std::function<void(const std::string&)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
   version_listeners_.push_back(std::move(listener));
 }
 
 Result<const Table*> Catalog::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + std::string(name) + "'");
@@ -99,6 +110,7 @@ Result<const Table*> Catalog::Lookup(std::string_view name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -106,6 +118,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 Status Catalog::SetStats(std::string_view table, TableStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.find(table) == tables_.end()) {
     return Status::NotFound("no table named '" + std::string(table) + "'");
   }
@@ -114,6 +127,7 @@ Status Catalog::SetStats(std::string_view table, TableStats stats) {
 }
 
 const TableStats* Catalog::Stats(std::string_view table) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = stats_.find(table);
   return it == stats_.end() ? nullptr : &it->second;
 }
@@ -270,9 +284,9 @@ Result<Table> Catalog::ProfileTable() const {
 Result<Table> Catalog::QueriesTable() const {
   const std::vector<QueryLogEntry> entries = QueryLog::Global().Entries();
   std::vector<float> id, wall_ms, queue_ms, exec_ms, simulated_ms, passes,
-      fragments, rows_out, fused_passes, cache_hits;
-  std::vector<uint32_t> ok, slow, retries, fell_back;
-  std::vector<std::string> sql, kind;
+      fragments, rows_out, fused_passes, cache_hits, device_id;
+  std::vector<uint32_t> ok, slow, retries, fell_back, failovers;
+  std::vector<std::string> sql, kind, tenant;
   for (const QueryLogEntry& e : entries) {
     id.push_back(static_cast<float>(e.id));
     sql.push_back(e.sql);
@@ -290,6 +304,9 @@ Result<Table> Catalog::QueriesTable() const {
     fell_back.push_back(e.fell_back ? 1 : 0);
     fused_passes.push_back(static_cast<float>(e.fused_passes));
     cache_hits.push_back(static_cast<float>(e.cache_hits));
+    tenant.push_back(e.tenant.empty() ? "-" : e.tenant);
+    device_id.push_back(static_cast<float>(e.device_id));
+    failovers.push_back(static_cast<uint32_t>(e.failovers));
   }
   GPUDB_RETURN_NOT_OK(RequireRows("gpudb_queries", entries.size()));
   std::vector<Column> cols;
@@ -312,6 +329,10 @@ Result<Table> Catalog::QueriesTable() const {
                          Floats("fused_passes", std::move(fused_passes)));
   GPUDB_ASSIGN_OR_RETURN(Column c15,
                          Floats("cache_hits", std::move(cache_hits)));
+  GPUDB_ASSIGN_OR_RETURN(Column c16, Dict("tenant", tenant));
+  GPUDB_ASSIGN_OR_RETURN(Column c17,
+                         Floats("device_id", std::move(device_id)));
+  GPUDB_ASSIGN_OR_RETURN(Column c18, Ints("failovers", failovers));
   cols.push_back(std::move(c0));
   cols.push_back(std::move(c1));
   cols.push_back(std::move(c2));
@@ -328,10 +349,14 @@ Result<Table> Catalog::QueriesTable() const {
   cols.push_back(std::move(c13));
   cols.push_back(std::move(c14));
   cols.push_back(std::move(c15));
+  cols.push_back(std::move(c16));
+  cols.push_back(std::move(c17));
+  cols.push_back(std::move(c18));
   return BuildSnapshot(std::move(cols));
 }
 
 Result<Table> Catalog::TablesTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   std::vector<float> rows_col, columns_col, buckets_col;
   std::vector<uint32_t> analyzed;
@@ -339,7 +364,9 @@ Result<Table> Catalog::TablesTable() const {
     names.push_back(name);
     rows_col.push_back(static_cast<float>(table->num_rows()));
     columns_col.push_back(static_cast<float>(table->num_columns()));
-    const TableStats* stats = Stats(name);
+    const auto stats_it = stats_.find(name);
+    const TableStats* stats =
+        stats_it == stats_.end() ? nullptr : &stats_it->second;
     analyzed.push_back(stats != nullptr && stats->analyzed() ? 1 : 0);
     buckets_col.push_back(
         stats != nullptr ? static_cast<float>(stats->histogram_buckets) : 0);
@@ -361,10 +388,13 @@ Result<Table> Catalog::TablesTable() const {
 }
 
 Result<Table> Catalog::ColumnsTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> table_names, column_names, types;
   std::vector<float> min_col, max_col, distinct_col, bits_col;
   for (const auto& [name, table] : tables_) {
-    const TableStats* stats = Stats(name);
+    const auto stats_it = stats_.find(name);
+    const TableStats* stats =
+        stats_it == stats_.end() ? nullptr : &stats_it->second;
     for (size_t i = 0; i < table->num_columns(); ++i) {
       const Column& c = table->column(i);
       table_names.push_back(name);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -99,6 +100,12 @@ class Catalog {
   Result<Table> TablesTable() const;
   Result<Table> ColumnsTable() const;
 
+  /// Guards every map below: sessions on different threads share one
+  /// catalog (DESIGN.md §15), so registration, version bumps, and the
+  /// system-table builders must not race. Note Stats() hands out a pointer
+  /// into stats_ -- concurrent readers are safe, but re-ANALYZE while other
+  /// sessions run against the same table remains the caller's hazard.
+  mutable std::mutex mu_;
   std::map<std::string, const Table*, std::less<>> tables_;
   std::map<std::string, TableStats, std::less<>> stats_;
   std::map<std::string, uint64_t, std::less<>> versions_;

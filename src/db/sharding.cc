@@ -1,0 +1,56 @@
+#include "src/db/sharding.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "src/db/column.h"
+
+namespace gpudb {
+namespace db {
+
+Result<ShardedTable> ShardedTable::Make(const Table& table, int num_shards,
+                                        int num_devices) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot shard an empty table");
+  }
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (num_devices < 1) {
+    return Status::InvalidArgument("num_devices must be >= 1");
+  }
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).type() != ColumnType::kInt24) {
+      return Status::InvalidArgument(
+          "cannot shard table: column '" + table.column(c).name() +
+          "' is not kInt24 (float columns quantize per shard min/max, so "
+          "per-shard answers would not be bit-exact; see db/sharding.h)");
+    }
+  }
+  const uint64_t n = table.num_rows();
+  const uint64_t shards =
+      std::min<uint64_t>(static_cast<uint64_t>(num_shards), n);
+  ShardedTable sharded;
+  sharded.num_rows_ = n;
+  sharded.shards_.reserve(shards);
+  for (uint64_t i = 0; i < shards; ++i) {
+    const uint64_t begin = i * n / shards;
+    const uint64_t end = (i + 1) * n / shards;
+    std::vector<uint32_t> rows(end - begin);
+    std::iota(rows.begin(), rows.end(), static_cast<uint32_t>(begin));
+    GPUDB_ASSIGN_OR_RETURN(Table slice, table.GatherRows(rows));
+    Shard shard;
+    shard.row_begin = static_cast<uint32_t>(begin);
+    shard.table = std::move(slice);
+    shard.placement.primary = static_cast<int>(i % num_devices);
+    shard.placement.replica =
+        num_devices > 1 ? (shard.placement.primary + 1) % num_devices
+                        : shard.placement.primary;
+    sharded.shards_.push_back(std::move(shard));
+  }
+  return sharded;
+}
+
+}  // namespace db
+}  // namespace gpudb

@@ -1,0 +1,71 @@
+#ifndef GPUDB_DB_SHARDING_H_
+#define GPUDB_DB_SHARDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/db/table.h"
+
+namespace gpudb {
+namespace db {
+
+/// \brief Placement of one shard across a gpu::DevicePool (DESIGN.md §15).
+///
+/// R=2 replication: shard i's primary is device `i mod D` and its replica
+/// the next device in ring order, so losing any single device leaves every
+/// shard with exactly one surviving placement. With a one-device pool the
+/// replica collapses onto the primary (R=1) and failover goes straight to
+/// the CPU tier.
+struct ShardPlacement {
+  int primary = 0;
+  int replica = 0;
+
+  bool replicated() const { return replica != primary; }
+};
+
+/// \brief One contiguous row range of a sharded table, materialized.
+struct Shard {
+  uint32_t row_begin = 0;  ///< Global row id of the shard's first row.
+  Table table;             ///< The slice, same schema as the parent.
+  ShardPlacement placement;
+};
+
+/// \brief Range-sharding of a registered table across a device pool.
+///
+/// Rows are split into `num_shards` contiguous ranges (shard i covers
+/// [i*n/S, (i+1)*n/S)), so a per-shard row id plus the shard's `row_begin`
+/// is the global row id and concatenating per-shard selections in shard
+/// order yields exactly the single-device result.
+///
+/// Only all-kInt24 tables are shardable: integer columns use the
+/// data-independent exact depth encoding (core/depth_encoding.h), so every
+/// shard quantizes predicates identically to the whole table and per-shard
+/// GPU answers recombine bit-exactly. A kFloat32 column's encoding is
+/// derived from its min/max, which differ per shard -- Make refuses such
+/// tables and the caller keeps them on the single-device path.
+class ShardedTable {
+ public:
+  /// Slices `table` into `num_shards` ranges placed across `num_devices`
+  /// devices. `table` is copied shard by shard (GatherRows), so it does not
+  /// need to outlive the result. Shards never outnumber rows: the shard
+  /// count is clamped to the row count.
+  [[nodiscard]] static Result<ShardedTable> Make(const Table& table,
+                                                 int num_shards,
+                                                 int num_devices);
+
+  size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(size_t i) const { return shards_[i]; }
+  uint64_t num_rows() const { return num_rows_; }
+
+ private:
+  ShardedTable() = default;
+
+  std::vector<Shard> shards_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace db
+}  // namespace gpudb
+
+#endif  // GPUDB_DB_SHARDING_H_

@@ -1,0 +1,170 @@
+#include "src/gpu/device_pool.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/metrics.h"
+
+namespace gpudb {
+namespace gpu {
+
+namespace {
+
+/// Pool metrics, cached like DeviceMetrics in device.cc.
+struct PoolMetrics {
+  MetricGauge& device_state =
+      MetricsRegistry::Global().gauge("pool.device_state");
+  MetricCounter& failovers =
+      MetricsRegistry::Global().counter("pool.failovers");
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = new PoolMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
+
+std::string_view ToString(DeviceHealth health) {
+  switch (health) {
+    case DeviceHealth::kHealthy:
+      return "healthy";
+    case DeviceHealth::kDegraded:
+      return "degraded";
+    case DeviceHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<DevicePool>> DevicePool::Make(
+    const DevicePoolOptions& options) {
+  if (options.devices < 1) {
+    return Status::InvalidArgument("DevicePool needs at least one device");
+  }
+  if (options.quarantine_threshold < 1 || options.probe_interval < 1) {
+    return Status::InvalidArgument(
+        "DevicePool quarantine_threshold and probe_interval must be >= 1");
+  }
+  auto pool = std::unique_ptr<DevicePool>(new DevicePool(options));
+  pool->slots_.resize(static_cast<size_t>(options.devices));
+  for (int i = 0; i < options.devices; ++i) {
+    Slot& slot = pool->slots_[static_cast<size_t>(i)];
+    slot.device = std::make_unique<Device>(options.width, options.height);
+    slot.exec_mu = std::make_unique<std::mutex>();
+    if (options.worker_threads > 0) {
+      GPUDB_RETURN_NOT_OK(slot.device->SetWorkerThreads(options.worker_threads));
+    }
+    if (options.vram_budget > 0) {
+      GPUDB_RETURN_NOT_OK(slot.device->SetVideoMemoryBudget(options.vram_budget));
+    }
+    // Each device is its own failure domain: same base (seed, rate), its own
+    // draw stream selected by device_id (fault_injector.h).
+    FaultConfig faults = options.faults;
+    faults.device_id = static_cast<uint32_t>(i);
+    slot.device->ConfigureFaults(faults);
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool->mu_);
+    pool->UpdateStateGaugeLocked();
+  }
+  return pool;
+}
+
+DevicePool::Lease DevicePool::Acquire(int id) {
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  return Lease(slot.device.get(), id, std::unique_lock<std::mutex>(*slot.exec_mu));
+}
+
+DeviceHealth DevicePool::HealthLocked(const Slot& slot) const {
+  if (slot.forced_lost ||
+      slot.consecutive_failures >= options_.quarantine_threshold) {
+    return DeviceHealth::kQuarantined;
+  }
+  if (slot.consecutive_failures > 0) return DeviceHealth::kDegraded;
+  return DeviceHealth::kHealthy;
+}
+
+void DevicePool::UpdateStateGaugeLocked() {
+  double total = 0.0;
+  for (const Slot& slot : slots_) {
+    total += static_cast<double>(HealthLocked(slot));
+  }
+  PoolMetrics::Get().device_state.Set(total);
+}
+
+bool DevicePool::AdmitDispatch(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  if (slot.forced_lost) return false;  // hot-unplugged: not even probes
+  if (HealthLocked(slot) != DeviceHealth::kQuarantined) return true;
+  // Quarantined: admit every probe_interval-th ask as a recovery probe.
+  ++slot.asks_while_quarantined;
+  if (slot.asks_while_quarantined >= options_.probe_interval) {
+    slot.asks_while_quarantined = 0;
+    return true;
+  }
+  return false;
+}
+
+DeviceHealth DevicePool::health(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HealthLocked(slots_[static_cast<size_t>(id)]);
+}
+
+void DevicePool::RecordFailure(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  ++slot.consecutive_failures;
+  UpdateStateGaugeLocked();
+}
+
+void DevicePool::RecordSuccess(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  slot.consecutive_failures = 0;
+  slot.asks_while_quarantined = 0;
+  UpdateStateGaugeLocked();
+}
+
+void DevicePool::RecordFailover(int id) {
+  (void)id;
+  PoolMetrics::Get().failovers.Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failovers_;
+}
+
+void DevicePool::ForceDeviceLost(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[static_cast<size_t>(id)].forced_lost = true;
+  UpdateStateGaugeLocked();
+}
+
+void DevicePool::Revive(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[static_cast<size_t>(id)];
+  slot.forced_lost = false;
+  slot.consecutive_failures = 0;
+  slot.asks_while_quarantined = 0;
+  UpdateStateGaugeLocked();
+}
+
+bool DevicePool::forced_lost(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_[static_cast<size_t>(id)].forced_lost;
+}
+
+uint64_t DevicePool::failovers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failovers_;
+}
+
+int DevicesFromEnv(int fallback) {
+  const char* devices = std::getenv("GPUDB_DEVICES");
+  if (devices == nullptr) return fallback;
+  const int n = std::atoi(devices);
+  return n >= 1 ? n : fallback;
+}
+
+}  // namespace gpu
+}  // namespace gpudb

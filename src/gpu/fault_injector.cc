@@ -8,16 +8,14 @@
 namespace gpudb {
 namespace gpu {
 
-namespace {
-
-/// SplitMix64 finalizer: a full-avalanche mix so consecutive draw indices
-/// map to statistically independent uniforms.
-uint64_t Mix(uint64_t x) {
+uint64_t SplitMix64(uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
 }
+
+namespace {
 
 /// Injection metrics, cached like DeviceMetrics in device.cc.
 struct FaultMetrics {
@@ -74,7 +72,8 @@ FaultConfig FaultInjector::ConfigFromEnv() {
 }
 
 bool FaultInjector::Draw() {
-  const uint64_t bits = Mix(config_.seed ^ Mix(++draws_));
+  const uint64_t bits =
+      SplitMix64(config_.effective_seed() ^ SplitMix64(++draws_));
   // 53 high bits -> uniform double in [0, 1).
   const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;
   return u < config_.rate;

@@ -10,6 +10,10 @@
 namespace gpudb {
 namespace gpu {
 
+/// SplitMix64 finalizer: a full-avalanche mix so consecutive draw indices
+/// (and consecutive device ids) map to statistically independent values.
+uint64_t SplitMix64(uint64_t x);
+
 /// \brief Configuration for deterministic fault injection.
 ///
 /// `rate` is the per-site fault probability in [0, 1]; 0 disables the
@@ -19,9 +23,18 @@ namespace gpu {
 /// through, always on the thread issuing the device call, so a given
 /// (seed, rate) pair produces the same fault sequence for the same sequence
 /// of device calls -- at any worker-thread count.
+///
+/// `device_id` is the failure domain: each device in a gpu::DevicePool draws
+/// from its own stream, `seed ^ SplitMix64(device_id)`, so a multi-device
+/// fault sweep is reproducible per device regardless of the order sessions
+/// dispatch to the pool. Single-device code passes 0 (the default).
 struct FaultConfig {
   uint64_t seed = 0;
   double rate = 0.0;
+  uint32_t device_id = 0;
+
+  /// The per-domain seed actually used for draws.
+  uint64_t effective_seed() const { return seed ^ SplitMix64(device_id); }
 
   bool enabled() const { return rate > 0.0; }
 };

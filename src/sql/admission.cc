@@ -1,0 +1,145 @@
+#include "src/sql/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/metrics.h"
+
+namespace gpudb {
+namespace sql {
+
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Admission metrics, cached like DeviceMetrics in device.cc.
+struct AdmissionMetrics {
+  MetricCounter& rejected =
+      MetricsRegistry::Global().counter("admission.rejected");
+  MetricGauge& queue_depth =
+      MetricsRegistry::Global().gauge("admission.queue_depth");
+  MetricCounter& throttled =
+      MetricsRegistry::Global().counter("tenant.throttled");
+
+  static AdmissionMetrics& Get() {
+    static AdmissionMetrics* m = new AdmissionMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_concurrent < 1) options_.max_concurrent = 1;
+  if (options_.queue_capacity < 0) options_.queue_capacity = 0;
+  if (options_.max_queue_wait_ms <= 0.0) options_.max_queue_wait_ms = 1.0;
+  if (!options_.now_ms) options_.now_ms = SteadyNowMs;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  slot_free_.notify_one();
+}
+
+bool AdmissionController::TakeToken(const std::string& tenant, double now) {
+  TokenBucket& bucket = buckets_[tenant];
+  if (!bucket.initialized) {
+    bucket.tokens = options_.tenant_burst;
+    bucket.refilled_at_ms = now;
+    bucket.initialized = true;
+  }
+  const double elapsed_s =
+      std::max(0.0, (now - bucket.refilled_at_ms) / 1000.0);
+  bucket.tokens = std::min(options_.tenant_burst,
+                           bucket.tokens + elapsed_s * options_.tenant_qps);
+  bucket.refilled_at_ms = now;
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const std::string& tenant, double deadline_ms) {
+  AdmissionMetrics& metrics = AdmissionMetrics::Get();
+  const double now = options_.now_ms();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // 1. Per-tenant quota (token bucket).
+  if (options_.tenant_qps > 0.0 && !TakeToken(tenant, now)) {
+    metrics.throttled.Increment();
+    metrics.rejected.Increment();
+    return Status::ResourceExhausted(
+        "tenant '" + tenant + "' over quota (" +
+        std::to_string(options_.tenant_qps) + " qps); retry later");
+  }
+  // 2. Deadline-aware rejection: a statement whose remaining budget cannot
+  // cover the observed p95 execution time would only waste a device slot.
+  if (deadline_ms > 0.0) {
+    const MetricHistogram& exec =
+        MetricsRegistry::Global().histogram("sql.exec_ms");
+    if (exec.count() >= options_.min_p95_samples &&
+        exec.Quantile(0.95) > deadline_ms) {
+      metrics.rejected.Increment();
+      return Status::ResourceExhausted(
+          "deadline " + std::to_string(deadline_ms) +
+          " ms cannot cover the p95 execution time (" +
+          std::to_string(exec.Quantile(0.95)) + " ms); shedding load");
+    }
+  }
+  // 3. Bounded admission queue.
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    return Ticket(this);
+  }
+  if (waiting_ >= options_.queue_capacity) {
+    metrics.rejected.Increment();
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(waiting_) + " waiting, " +
+        std::to_string(options_.queue_capacity) + " allowed)");
+  }
+  ++waiting_;
+  metrics.queue_depth.Set(static_cast<double>(waiting_));
+  double wait_budget_ms = options_.max_queue_wait_ms;
+  if (deadline_ms > 0.0) wait_budget_ms = std::min(wait_budget_ms, deadline_ms);
+  const bool got_slot = slot_free_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(wait_budget_ms),
+      [&] { return running_ < options_.max_concurrent; });
+  --waiting_;
+  metrics.queue_depth.Set(static_cast<double>(waiting_));
+  if (!got_slot) {
+    metrics.rejected.Increment();
+    return Status::ResourceExhausted(
+        "timed out after " + std::to_string(wait_budget_ms) +
+        " ms in the admission queue");
+  }
+  ++running_;
+  return Ticket(this);
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+}  // namespace sql
+}  // namespace gpudb

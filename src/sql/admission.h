@@ -1,0 +1,127 @@
+#ifndef GPUDB_SQL_ADMISSION_H_
+#define GPUDB_SQL_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "src/common/result.h"
+
+namespace gpudb {
+namespace sql {
+
+/// \brief Construction parameters for an AdmissionController.
+struct AdmissionOptions {
+  /// Statements allowed to execute concurrently across all sessions
+  /// sharing the controller (typically the device-pool size).
+  int max_concurrent = 4;
+  /// Statements allowed to wait for an execution slot; one more is
+  /// rejected with kResourceExhausted immediately -- never queued, never
+  /// blocked.
+  int queue_capacity = 16;
+  /// Upper bound on time spent waiting in the queue (the overflow valve
+  /// that guarantees Admit can never hang); a statement with a deadline
+  /// waits at most min(deadline, this).
+  double max_queue_wait_ms = 1000.0;
+  /// Per-tenant token bucket: sustained statements/second (0 = no quota)
+  /// and burst capacity.
+  double tenant_qps = 0.0;
+  double tenant_burst = 8.0;
+  /// Deadline-aware rejection consults the p95 of "sql.exec_ms" only once
+  /// it has this many samples -- a cold histogram says nothing yet.
+  uint64_t min_p95_samples = 32;
+  /// Injectable monotonic clock in milliseconds (tests); default is
+  /// std::chrono::steady_clock.
+  std::function<double()> now_ms;
+};
+
+/// \brief Load shedding in front of the multi-session tier (DESIGN.md §15).
+///
+/// Admit() applies, in order:
+///   1. the tenant's token bucket  -> kResourceExhausted ("over quota"),
+///      counted in `tenant.throttled`;
+///   2. deadline-aware rejection   -> kResourceExhausted when the
+///      statement's remaining deadline cannot cover the observed p95
+///      execution time (better to shed now than to burn a device slot on a
+///      statement that will miss its deadline anyway);
+///   3. the bounded admission queue -> an execution slot immediately, a
+///      bounded wait when the queue has room, kResourceExhausted when it is
+///      full.
+/// Every rejection path is synchronous and deterministic -- overflow never
+/// blocks -- and counted in `admission.rejected`; the queue depth is the
+/// `admission.queue_depth` gauge.
+///
+/// The returned Ticket releases the execution slot on destruction.
+/// Thread-safe; one controller is shared by all sessions of a server.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// \brief RAII execution slot; releasing it wakes one queued statement.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Ticket() { Release(); }
+
+    bool admitted() const { return controller_ != nullptr; }
+
+    /// Releases the slot before destruction (idempotent).
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Requests admission for one statement. `tenant` may be empty (no
+  /// quota); `deadline_ms` is the statement's total budget, 0 = none.
+  [[nodiscard]] Result<Ticket> Admit(const std::string& tenant,
+                                     double deadline_ms);
+
+  int running() const;
+  int queue_depth() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct TokenBucket {
+    double tokens = 0.0;
+    double refilled_at_ms = 0.0;
+    bool initialized = false;
+  };
+
+  void ReleaseSlot();
+  /// Takes one token from `tenant`'s bucket; false = over quota.
+  bool TakeToken(const std::string& tenant, double now);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  int running_ = 0;  // guarded by mu_
+  int waiting_ = 0;  // guarded by mu_
+  std::map<std::string, TokenBucket> buckets_;  // guarded by mu_
+};
+
+}  // namespace sql
+}  // namespace gpudb
+
+#endif  // GPUDB_SQL_ADMISSION_H_

@@ -57,6 +57,51 @@ void Session::set_resilience_options(const core::ResilienceOptions& options) {
   for (auto& [name, exec] : executors_) {
     exec->set_resilience_options(options);
   }
+  for (auto& [name, entry] : pool_executors_) {
+    if (entry.exec != nullptr) entry.exec->set_resilience_options(options);
+  }
+}
+
+void Session::SetDevicePool(gpu::DevicePool* pool, int num_shards) {
+  pool_ = pool;
+  // Default to two shards per device: enough slack that a quarantined
+  // device's load spreads over the survivors instead of doubling up on one.
+  pool_shards_ = num_shards > 0
+                     ? num_shards
+                     : (pool != nullptr ? 2 * static_cast<int>(pool->size())
+                                        : 0);
+  pool_executors_.clear();
+}
+
+Result<core::PoolExecutor*> Session::PoolExecutorFor(
+    std::string_view table_name) {
+  if (pool_ == nullptr) {
+    return Status::FailedPrecondition("no device pool installed");
+  }
+  auto it = pool_executors_.find(table_name);
+  if (it == pool_executors_.end()) {
+    PoolEntry entry;
+    GPUDB_ASSIGN_OR_RETURN(const db::Table* table,
+                           catalog_->Lookup(table_name));
+    Result<db::ShardedTable> sharded = db::ShardedTable::Make(
+        *table, static_cast<size_t>(pool_shards_), pool_->size());
+    if (sharded.ok()) {
+      entry.sharded = std::make_unique<db::ShardedTable>(
+          std::move(sharded).ValueOrDie());
+      GPUDB_ASSIGN_OR_RETURN(
+          entry.exec, core::PoolExecutor::Make(pool_, entry.sharded.get()));
+      entry.exec->set_resilience_options(resilience_);
+    }
+    // A refused table is cached as {nullptr}: the sharder's verdict cannot
+    // change while the schema is fixed, so do not re-shard every statement.
+    it = pool_executors_.emplace(std::string(table_name), std::move(entry))
+             .first;
+  }
+  if (it->second.exec == nullptr) {
+    return Status::FailedPrecondition("table '" + std::string(table_name) +
+                                      "' is not shardable");
+  }
+  return it->second.exec.get();
 }
 
 Result<core::Executor*> Session::ExecutorFor(std::string_view table_name) {
@@ -123,6 +168,59 @@ Result<QueryResult> Session::RunSystemTable(std::string_view sql,
   return result;
 }
 
+bool Session::IsPoolable(const Query& query) {
+  if (query.explain_analyze || query.explain_profile) return false;
+  switch (query.kind) {
+    case Query::Kind::kCount:
+      return true;
+    case Query::Kind::kAggregate:
+      return core::PoolExecutor::ShardableAggregate(query.aggregate);
+    case Query::Kind::kSelectRows:
+      // ORDER BY runs the bitonic network over the whole relation; it is a
+      // single-device operator (EXTENDING.md).
+      return query.order_by_column.empty();
+    default:
+      return false;
+  }
+}
+
+Result<QueryResult> Session::RunPooled(core::PoolExecutor& exec,
+                                       const Query& query) {
+  QueryResult result;
+  result.kind = query.kind;
+  auto run = [&]() -> Status {
+    switch (query.kind) {
+      case Query::Kind::kCount: {
+        GPUDB_ASSIGN_OR_RETURN(result.count, exec.Count(query.where));
+        return Status::OK();
+      }
+      case Query::Kind::kAggregate: {
+        GPUDB_ASSIGN_OR_RETURN(
+            result.scalar,
+            exec.Aggregate(query.aggregate, query.column, query.where));
+        return Status::OK();
+      }
+      case Query::Kind::kSelectRows: {
+        GPUDB_ASSIGN_OR_RETURN(result.row_ids,
+                               exec.SelectRowIds(query.where));
+        // Shards are contiguous ranges recombined in order, so truncation
+        // matches the single-device LIMIT semantics exactly.
+        if (query.limit > 0 && result.row_ids.size() > query.limit) {
+          result.row_ids.resize(query.limit);
+        }
+        return Status::OK();
+      }
+      default:
+        return Status::Internal("non-poolable query routed to the pool");
+    }
+  };
+  const Status status = run();
+  pooled_statement_ = true;
+  pool_stats_ = exec.last_stats();
+  GPUDB_RETURN_NOT_OK(status);
+  return result;
+}
+
 Result<QueryResult> Session::RunUserTable(std::string_view sql,
                                           const std::string& table_name,
                                           gpu::DeviceCounters* counters_out) {
@@ -132,6 +230,18 @@ Result<QueryResult> Session::RunUserTable(std::string_view sql,
   const gpu::DeviceCounters before = device_->counters();
   auto run = [&]() -> Result<QueryResult> {
     GPUDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql, exec->table()));
+    // Shard-pool routing (DESIGN.md §15): poolable statements against
+    // shardable tables scatter across the device pool. Tables the sharder
+    // refuses fall through to the classic single-device path.
+    if (pool_ != nullptr && IsPoolable(query)) {
+      Result<core::PoolExecutor*> pooled = PoolExecutorFor(table_name);
+      if (pooled.ok()) {
+        return RunPooled(*pooled.ValueOrDie(), query);
+      }
+      if (!pooled.status().IsFailedPrecondition()) {
+        return pooled.status();
+      }
+    }
     if (query.kind == Query::Kind::kAnalyzeTable) {
       GPUDB_ASSIGN_OR_RETURN(db::TableStats stats,
                              core::CollectTableStats(exec));
@@ -165,11 +275,34 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
     return Status::InvalidArgument("Session requires a device and a catalog");
   }
   Timer timer;
+  // Admission control (DESIGN.md §15) runs before the session lock: a
+  // rejected statement never touches a device, never queues behind one, and
+  // is still query-logged with its tenant for load-shedding dashboards.
+  AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    Result<AdmissionController::Ticket> admit =
+        admission_->Admit(tenant_, resilience_.deadline_ms);
+    if (!admit.ok()) {
+      QueryLogEntry entry;
+      entry.sql = std::string(sql);
+      entry.kind = "error";
+      entry.ok = false;
+      entry.tenant = tenant_;
+      entry.wall_ms = timer.ElapsedMs();
+      entry.queue_ms = entry.wall_ms;
+      entry.error = admit.status().ToString();
+      QueryLog::Global().Add(entry);
+      return admit.status();
+    }
+    ticket = std::move(admit).ValueOrDie();
+  }
   // Queue-wait vs execute split: statements serialize on the session's one
   // device, so time spent acquiring execute_mu_ is admission queueing and
   // time under it is execution. Single-threaded callers see queue_ms ~= 0.
   std::unique_lock<std::mutex> execute_lock(execute_mu_);
   const double queue_ms = timer.ElapsedMs();
+  pooled_statement_ = false;
+  pool_stats_ = core::PoolQueryStats();
   gpu::DeviceCounters delta;
   // Resilience outcome for the query log: the delta of the process-wide
   // retry/fallback counters across this statement (sessions execute
@@ -183,6 +316,8 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
   };
   Result<QueryResult> result = run();
   const double wall_ms = timer.ElapsedMs();
+  const bool pooled = pooled_statement_;
+  const core::PoolQueryStats pool_stats = pool_stats_;
   execute_lock.unlock();
 
   QueryLogEntry entry;
@@ -191,6 +326,18 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
   entry.wall_ms = wall_ms;
   entry.queue_ms = queue_ms;
   entry.exec_ms = wall_ms - queue_ms;
+  entry.tenant = tenant_;
+  if (pooled) {
+    // Attribute the statement to the device that mattered: the first one
+    // that failed it when there were failovers, else the one that served
+    // its first shard.
+    entry.device_id = pool_stats.failovers > 0 &&
+                              pool_stats.first_failed_device >= 0
+                          ? pool_stats.first_failed_device
+                          : pool_stats.first_device;
+    entry.failovers = pool_stats.failovers;
+    entry.fell_back = entry.fell_back || pool_stats.cpu_fallback;
+  }
   entry.retries =
       registry.counter("queries.retry_attempts").value() - retries_before;
   entry.fell_back =

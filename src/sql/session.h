@@ -10,8 +10,12 @@
 
 #include "src/common/result.h"
 #include "src/core/executor.h"
+#include "src/core/pool_executor.h"
 #include "src/db/catalog.h"
+#include "src/db/sharding.h"
 #include "src/gpu/device.h"
+#include "src/gpu/device_pool.h"
+#include "src/sql/admission.h"
 #include "src/sql/parser.h"
 
 namespace gpudb {
@@ -73,6 +77,33 @@ class Session {
   /// The cached executor for a registered user table (created on first use).
   [[nodiscard]] Result<core::Executor*> ExecutorFor(std::string_view table_name);
 
+  /// Enables shard-parallel execution (DESIGN.md §15): poolable statements
+  /// (COUNT, shardable aggregates, unordered SELECT) against shardable
+  /// tables run range-sharded across the pool's devices with replica
+  /// failover. `pool` must outlive the session; nullptr disables.
+  /// `num_shards` <= 0 picks the default of 2 shards per device. Tables the
+  /// sharder refuses (float columns quantize per shard) transparently stay
+  /// on the single-device path.
+  void SetDevicePool(gpu::DevicePool* pool, int num_shards = 0);
+
+  /// Installs shared admission control: Execute() asks for a slot before
+  /// touching the device and surfaces kResourceExhausted rejections (which
+  /// are still query-logged, attributed to the tenant). `admission` is
+  /// typically shared by many sessions and must outlive them; nullptr
+  /// disables.
+  void set_admission(AdmissionController* admission) {
+    admission_ = admission;
+  }
+
+  /// Tenant identity attached to admission requests and query-log entries.
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+  const std::string& tenant() const { return tenant_; }
+
+  /// The cached pool executor for a registered user table, or
+  /// FailedPrecondition when the table cannot be sharded bit-exactly.
+  [[nodiscard]] Result<core::PoolExecutor*> PoolExecutorFor(
+      std::string_view table_name);
+
  private:
   /// Dispatches a statement whose target table is already resolved;
   /// `counters_out` receives the device-counter delta the statement caused.
@@ -88,6 +119,16 @@ class Session {
                                    const std::string& table_name,
                                    gpu::DeviceCounters* counters_out);
 
+  /// True when the statement can be answered by shard recombination
+  /// (DESIGN.md §15): COUNT, shardable aggregates, unordered SELECT; never
+  /// EXPLAIN (per-pass attribution is a single-device concept).
+  static bool IsPoolable(const Query& query);
+
+  /// Runs an already-parsed poolable statement through the shard pool and
+  /// records its PoolQueryStats for query-log attribution.
+  [[nodiscard]] Result<QueryResult> RunPooled(core::PoolExecutor& exec,
+                                              const Query& query);
+
   gpu::Device* device_;
   db::Catalog* catalog_;
   /// Statements serialize here (one device, one executor cache). The time a
@@ -97,6 +138,24 @@ class Session {
   core::PlanOptions plan_options_;
   std::map<std::string, std::unique_ptr<core::Executor>, std::less<>>
       executors_;
+
+  /// Shard-pool state. A PoolEntry caches the sharded copy of a table and
+  /// its executor; `exec == nullptr` remembers that the sharder refused the
+  /// table so we do not re-shard it on every statement.
+  struct PoolEntry {
+    std::unique_ptr<db::ShardedTable> sharded;
+    std::unique_ptr<core::PoolExecutor> exec;
+  };
+  gpu::DevicePool* pool_ = nullptr;
+  int pool_shards_ = 0;
+  std::map<std::string, PoolEntry, std::less<>> pool_executors_;
+  /// Attribution of the statement currently executing (guarded by
+  /// execute_mu_): whether it ran pooled, and the stats it produced.
+  bool pooled_statement_ = false;
+  core::PoolQueryStats pool_stats_;
+
+  AdmissionController* admission_ = nullptr;
+  std::string tenant_;
 };
 
 }  // namespace sql

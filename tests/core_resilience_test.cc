@@ -136,7 +136,7 @@ TEST_F(ResilienceTest, TransientFaultIsRetriedAndSucceeds) {
 
   const uint64_t retried_before = CounterValue("queries.retried");
   const uint64_t fellback_before = CounterValue("queries.fell_back");
-  device_.ConfigureFaults({seed, rate});
+  device_.ConfigureFaults({seed, rate, /*device_id=*/0});
   ASSERT_OK_AND_ASSIGN(uint64_t count, executor_->Count(where));
   EXPECT_EQ(count, want);
   EXPECT_EQ(CounterValue("queries.retried"), retried_before + 1);
@@ -177,7 +177,7 @@ TEST_F(ResilienceTest, PermanentFaultsFallBackToIdenticalCpuAnswers) {
   // Every device pass faults: all answers must come from the CPU tier and
   // match the healthy GPU path exactly.
   const uint64_t fellback_before = CounterValue("queries.fell_back");
-  device_.ConfigureFaults({/*seed=*/9, /*rate=*/1.0});
+  device_.ConfigureFaults({/*seed=*/9, /*rate=*/1.0, /*device_id=*/0});
 
   ASSERT_OK_AND_ASSIGN(uint64_t count, executor_->Count(where));
   EXPECT_EQ(count, want_count);
@@ -223,7 +223,7 @@ TEST_F(ResilienceTest, NoFallbackMeansCleanDeviceFaultStatus) {
   ResilienceOptions options;
   options.allow_cpu_fallback = false;
   executor_->set_resilience_options(options);
-  device_.ConfigureFaults({/*seed=*/3, /*rate=*/1.0});
+  device_.ConfigureFaults({/*seed=*/3, /*rate=*/1.0, /*device_id=*/0});
   auto result =
       executor_->Count(Expr::Pred(0, CompareOp::kGreater, 5000.0f));
   ASSERT_FALSE(result.ok());
@@ -248,7 +248,7 @@ TEST_F(ResilienceTest, OpenBreakerSkipsDeviceAndProbesRecovery) {
   const ExprPtr where = Expr::Pred(0, CompareOp::kGreater, 5000.0f);
   ASSERT_OK_AND_ASSIGN(const uint64_t want, reference_->Count(where));
 
-  device_.ConfigureFaults({/*seed=*/5, /*rate=*/1.0});
+  device_.ConfigureFaults({/*seed=*/5, /*rate=*/1.0, /*device_id=*/0});
   for (int i = 0; i < 4; ++i) {
     ASSERT_OK_AND_ASSIGN(uint64_t got, executor_->Count(where));
     EXPECT_EQ(got, want);
@@ -265,7 +265,7 @@ TEST_F(ResilienceTest, OpenBreakerSkipsDeviceAndProbesRecovery) {
   EXPECT_EQ(device_.fault_injector().draws(), draws_with_open_breaker);
 
   // Heal the device; the next probe closes the breaker again.
-  device_.ConfigureFaults({/*seed=*/5, /*rate=*/0.0});
+  device_.ConfigureFaults({/*seed=*/5, /*rate=*/0.0, /*device_id=*/0});
   bool closed = false;
   for (int i = 0; i < 16 && !closed; ++i) {
     ASSERT_OK_AND_ASSIGN(uint64_t got, executor_->Count(where));
@@ -287,11 +287,40 @@ TEST_F(ResilienceTest, VramBudgetExhaustionDegradesToCpu) {
   EXPECT_GT(CounterValue("queries.fell_back"), fellback_before);
 }
 
+TEST(FaultDomains, PerDeviceSeedsDivergeAndReproduce) {
+  // One base seed, distinct device ids: each failure domain draws from its
+  // own stream (seed ^ SplitMix64(device_id)), so the same pass sequence
+  // faults at different points on different devices -- and identically on
+  // re-runs of the same device id.
+  const uint64_t seed = 42;
+  const double rate = 0.2;
+  auto sequence = [&](uint32_t device_id) {
+    gpu::FaultInjector injector;
+    injector.Configure({seed, rate, device_id});
+    std::vector<bool> fired;
+    for (int i = 0; i < 256; ++i) fired.push_back(!injector.OnPass().ok());
+    return fired;
+  };
+  const std::vector<bool> dev0 = sequence(0);
+  const std::vector<bool> dev1 = sequence(1);
+  const std::vector<bool> dev2 = sequence(2);
+  EXPECT_EQ(dev0, sequence(0)) << "device 0 stream must be reproducible";
+  EXPECT_EQ(dev1, sequence(1)) << "device 1 stream must be reproducible";
+  EXPECT_NE(dev0, dev1) << "failure domains must not share one stream";
+  EXPECT_NE(dev1, dev2) << "failure domains must not share one stream";
+  // The legacy single-device config (device_id defaulted) is domain 0.
+  gpu::FaultInjector legacy;
+  legacy.Configure({seed, rate});
+  std::vector<bool> fired;
+  for (int i = 0; i < 256; ++i) fired.push_back(!legacy.OnPass().ok());
+  EXPECT_EQ(fired, dev0);
+}
+
 TEST_F(ResilienceTest, DisabledResilienceExposesRawFaults) {
   ResilienceOptions options;
   options.enabled = false;
   executor_->set_resilience_options(options);
-  device_.ConfigureFaults({/*seed=*/11, /*rate=*/1.0});
+  device_.ConfigureFaults({/*seed=*/11, /*rate=*/1.0, /*device_id=*/0});
   auto result =
       executor_->Count(Expr::Pred(0, CompareOp::kGreater, 5000.0f));
   ASSERT_FALSE(result.ok());

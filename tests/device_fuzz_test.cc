@@ -4,8 +4,11 @@
 // internally consistent. The simulator is the foundation of every result in
 // this repository; this test pins its robustness under arbitrary use.
 
+#include <chrono>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,10 +16,14 @@
 #include "src/common/random.h"
 #include "src/core/executor.h"
 #include "src/core/resilience.h"
+#include "src/db/catalog.h"
 #include "src/db/datagen.h"
 #include "src/gpu/device.h"
+#include "src/gpu/device_pool.h"
 #include "src/gpu/fault_injector.h"
 #include "src/gpu/fragment_program.h"
+#include "src/sql/admission.h"
+#include "src/sql/session.h"
 #include "tests/test_util.h"
 
 namespace gpudb {
@@ -327,6 +334,120 @@ TEST(FaultSweep, PlannerRewritesMatchClassicPlansUnderFaults) {
             << "seed " << seed << " threads " << threads
             << " fusion=" << plan.fusion << " cache=" << plan.plane_cache;
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool soak (DESIGN.md §15): 16 concurrent sessions over one shared catalog,
+// device pool, and admission controller, sweeping 64 fault seeds split
+// across the sessions while a chaos thread hot-unplugs and revives a device.
+// The contract is the fault-sweep contract lifted to the multi-device tier:
+// every statement must return EXACTLY the healthy single-device answer --
+// injected faults are absorbed by replica failover and the CPU rung, so a
+// surfaced error or a divergent answer is a bug, not bad luck.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SoakStatements(uint64_t seed) {
+  const uint64_t t = 1000 * (seed % 40);
+  const uint64_t f = 10000 * (1 + seed % 20);
+  return {
+      "SELECT COUNT(*) FROM sweep WHERE data_count > " + std::to_string(t),
+      "SELECT SUM(data_count) FROM sweep WHERE flow_rate < " +
+          std::to_string(f),
+      "SELECT MAX(flow_rate) FROM sweep WHERE data_count > " +
+          std::to_string(t),
+      "SELECT * FROM sweep WHERE data_count > " + std::to_string(t + 60000) +
+          " LIMIT 5",
+  };
+}
+
+std::string FlattenResult(const Result<sql::QueryResult>& result) {
+  if (!result.ok()) return "error:" + result.status().ToString();
+  const sql::QueryResult& r = result.ValueOrDie();
+  std::string out = "ok:" + std::to_string(r.count) + ":" +
+                    std::to_string(r.scalar) + ":rows";
+  for (const uint32_t id : r.row_ids) out += "," + std::to_string(id);
+  return out;
+}
+
+TEST(PoolSoak, SixteenSessionsSixtyFourSeedsZeroWrongAnswers) {
+  const db::Table& table = SweepTable();
+  constexpr int kSessions = 16;
+  constexpr uint64_t kSeeds = 64;
+
+  // Healthy single-device reference, computed serially up front.
+  std::map<uint64_t, std::vector<std::string>> reference;
+  {
+    db::Catalog catalog;
+    ASSERT_OK(catalog.Register("sweep", &table));
+    Device device(64, 64);
+    sql::Session session(&device, &catalog);
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      for (const std::string& sql : SoakStatements(seed)) {
+        const std::string flat = FlattenResult(session.Execute(sql));
+        ASSERT_EQ(flat.rfind("ok:", 0), 0u) << sql << " -> " << flat;
+        reference[seed].push_back(flat);
+      }
+    }
+  }
+
+  // Shared multi-session tier: one catalog, one fault-injected pool, one
+  // admission controller. $GPUDB_FAULT_SEED/RATE drive the sweep when set
+  // (the check.sh pool stage exports a positive rate); default 5%.
+  db::Catalog catalog;
+  ASSERT_OK(catalog.Register("sweep", &table));
+  DevicePoolOptions pool_options;
+  pool_options.devices = 4;
+  pool_options.width = 64;
+  pool_options.height = 64;
+  pool_options.faults = FaultInjector::ConfigFromEnv();
+  if (!pool_options.faults.enabled()) {
+    pool_options.faults = {/*seed=*/20260805, /*rate=*/0.05};
+  }
+  ASSERT_OK_AND_ASSIGN(auto pool, DevicePool::Make(pool_options));
+  sql::AdmissionOptions admission_options;
+  admission_options.max_concurrent = 8;
+  admission_options.queue_capacity = kSessions;
+  admission_options.max_queue_wait_ms = 60000.0;  // soak must not shed
+  sql::AdmissionController admission(admission_options);
+
+  std::vector<std::vector<std::string>> failures(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      // Each session owns its classic device (unused: every soak statement
+      // is poolable) and shares the pool, catalog, and admission tier.
+      Device session_device(64, 64);
+      sql::Session session(&session_device, &catalog);
+      session.SetDevicePool(pool.get());
+      session.set_admission(&admission);
+      session.set_tenant("soak-" + std::to_string(s));
+      for (uint64_t seed = 1 + s; seed <= kSeeds; seed += kSessions) {
+        const std::vector<std::string>& want = reference[seed];
+        const std::vector<std::string> statements = SoakStatements(seed);
+        for (size_t i = 0; i < statements.size(); ++i) {
+          const std::string got = FlattenResult(session.Execute(statements[i]));
+          if (got != want[i]) {
+            failures[s].push_back("seed " + std::to_string(seed) + " [" +
+                                  statements[i] + "] got " + got +
+                                  " want " + want[i]);
+          }
+        }
+      }
+    });
+  }
+  // Chaos: hot-unplug one device mid-soak, then bring it back. Failover and
+  // probe recovery must keep every in-flight answer exact.
+  pool->ForceDeviceLost(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pool->Revive(1);
+  for (std::thread& t : threads) t.join();
+
+  for (int s = 0; s < kSessions; ++s) {
+    for (const std::string& failure : failures[s]) {
+      ADD_FAILURE() << "session " << s << ": " << failure;
     }
   }
 }

@@ -1,0 +1,454 @@
+// Multi-device shard pool (DESIGN.md §15): the per-device health state
+// machine, probe-based quarantine recovery, replica failover, and the key
+// contract -- scatter/gather answers are bit-identical to single-device
+// execution through every rung of the failover ladder -- plus the admission
+// controller's deterministic rejection paths.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/metrics.h"
+#include "src/common/query_log.h"
+#include "src/core/executor.h"
+#include "src/core/pool_executor.h"
+#include "src/db/catalog.h"
+#include "src/db/datagen.h"
+#include "src/db/sharding.h"
+#include "src/gpu/device_pool.h"
+#include "src/predicate/expr.h"
+#include "src/sql/admission.h"
+#include "src/sql/session.h"
+#include "tests/test_util.h"
+
+namespace gpudb {
+namespace {
+
+using core::AggregateKind;
+using gpu::CompareOp;
+using gpu::DeviceHealth;
+using gpu::DevicePool;
+using gpu::DevicePoolOptions;
+using predicate::Expr;
+using predicate::ExprPtr;
+
+std::unique_ptr<DevicePool> MakePool(int devices, int worker_threads = 0) {
+  DevicePoolOptions options;
+  options.devices = devices;
+  options.width = 100;
+  options.height = 100;
+  options.worker_threads = worker_threads;
+  auto pool = DevicePool::Make(options);
+  EXPECT_TRUE(pool.ok()) << pool.status().ToString();
+  return std::move(pool).ValueOrDie();
+}
+
+TEST(DevicePool, HealthStateMachine) {
+  auto pool = MakePool(2);
+  EXPECT_EQ(pool->health(0), DeviceHealth::kHealthy);
+
+  // One fault degrades; a success heals the streak.
+  pool->RecordFailure(0);
+  EXPECT_EQ(pool->health(0), DeviceHealth::kDegraded);
+  pool->RecordSuccess(0);
+  EXPECT_EQ(pool->health(0), DeviceHealth::kHealthy);
+
+  // threshold (default 3) consecutive faults quarantine the device.
+  for (int i = 0; i < pool->options().quarantine_threshold; ++i) {
+    EXPECT_TRUE(pool->AdmitDispatch(0));
+    pool->RecordFailure(0);
+  }
+  EXPECT_EQ(pool->health(0), DeviceHealth::kQuarantined);
+  // The other failure domain is untouched.
+  EXPECT_EQ(pool->health(1), DeviceHealth::kHealthy);
+
+  // Quarantine refuses dispatches except every probe_interval-th ask.
+  int admitted = 0;
+  for (int i = 0; i < 2 * pool->options().probe_interval; ++i) {
+    if (pool->AdmitDispatch(0)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 2);
+
+  // One probe success returns the device to healthy.
+  pool->RecordSuccess(0);
+  EXPECT_EQ(pool->health(0), DeviceHealth::kHealthy);
+  EXPECT_TRUE(pool->AdmitDispatch(0));
+}
+
+TEST(DevicePool, ForcedLossRefusesEvenProbes) {
+  auto pool = MakePool(2);
+  pool->ForceDeviceLost(1);
+  EXPECT_TRUE(pool->forced_lost(1));
+  EXPECT_EQ(pool->health(1), DeviceHealth::kQuarantined);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(pool->AdmitDispatch(1)) << "ask " << i;
+  }
+  pool->Revive(1);
+  EXPECT_EQ(pool->health(1), DeviceHealth::kHealthy);
+  EXPECT_TRUE(pool->AdmitDispatch(1));
+}
+
+TEST(DevicePool, PerDeviceFailureDomainSeeds) {
+  DevicePoolOptions options;
+  options.devices = 3;
+  options.width = 64;
+  options.height = 64;
+  options.faults = {/*seed=*/20260805, /*rate=*/0.5};
+  ASSERT_OK_AND_ASSIGN(auto pool, DevicePool::Make(options));
+  // Each device's injector runs its own stream: same base seed, distinct
+  // device_id, so the pass-level fault patterns diverge.
+  std::vector<std::vector<bool>> fired(3);
+  for (int d = 0; d < 3; ++d) {
+    gpu::FaultInjector probe;
+    probe.Configure({options.faults.seed, options.faults.rate,
+                     /*device_id=*/static_cast<uint32_t>(d)});
+    for (int i = 0; i < 128; ++i) fired[d].push_back(!probe.OnPass().ok());
+  }
+  EXPECT_NE(fired[0], fired[1]);
+  EXPECT_NE(fired[1], fired[2]);
+}
+
+TEST(Sharding, RangeShardsCoverAndPlaceRoundRobin) {
+  ASSERT_OK_AND_ASSIGN(db::Table table, db::MakeTcpIpTable(1000, /*seed=*/3));
+  ASSERT_OK_AND_ASSIGN(db::ShardedTable sharded,
+                       db::ShardedTable::Make(table, /*num_shards=*/8,
+                                              /*num_devices=*/4));
+  ASSERT_EQ(sharded.num_shards(), 8u);
+  EXPECT_EQ(sharded.num_rows(), table.num_rows());
+  uint64_t covered = 0;
+  for (size_t i = 0; i < sharded.num_shards(); ++i) {
+    const db::Shard& shard = sharded.shard(i);
+    EXPECT_EQ(shard.row_begin, covered);
+    covered += shard.table.num_rows();
+    EXPECT_EQ(shard.placement.primary, static_cast<int>(i % 4));
+    EXPECT_EQ(shard.placement.replica, static_cast<int>((i % 4 + 1) % 4));
+    EXPECT_TRUE(shard.placement.replicated());
+  }
+  EXPECT_EQ(covered, table.num_rows());
+}
+
+TEST(Sharding, RefusesFloatColumnsAndSingleDeviceCollapsesReplica) {
+  db::Table table;
+  ASSERT_OK_AND_ASSIGN(db::Column c,
+                       db::Column::MakeFloat("f", {1.0f, 2.0f, 3.0f, 4.0f}));
+  ASSERT_OK(table.AddColumn(std::move(c)));
+  auto refused = db::ShardedTable::Make(table, 2, 2);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsInvalidArgument());
+
+  ASSERT_OK_AND_ASSIGN(db::Table ints, db::MakeTcpIpTable(100, /*seed=*/3));
+  ASSERT_OK_AND_ASSIGN(db::ShardedTable solo,
+                       db::ShardedTable::Make(ints, 2, /*num_devices=*/1));
+  EXPECT_FALSE(solo.shard(0).placement.replicated());
+}
+
+/// Shard-pool answers vs. one healthy device, across every failure mode.
+class PoolExecutorTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 4000;
+
+  PoolExecutorTest() : reference_device_(100, 100) {
+    auto t = db::MakeTcpIpTable(kRows, /*seed=*/77);
+    EXPECT_TRUE(t.ok());
+    table_ = std::move(t).ValueOrDie();
+    auto ref = core::Executor::Make(&reference_device_, &table_);
+    EXPECT_TRUE(ref.ok());
+    reference_ = std::move(ref).ValueOrDie();
+  }
+
+  /// Runs the full operator battery on `exec` and expects bit-identical
+  /// answers to the single-device reference.
+  void ExpectBitExact(core::PoolExecutor& exec) {
+    const ExprPtr where = Expr::And(
+        Expr::Pred(0, CompareOp::kGreater, 20000.0f),
+        Expr::Pred(2, CompareOp::kLess, 250000.0f));
+    ASSERT_OK_AND_ASSIGN(const uint64_t want_count, reference_->Count(where));
+    ASSERT_OK_AND_ASSIGN(const uint64_t got_count, exec.Count(where));
+    EXPECT_EQ(got_count, want_count);
+
+    ASSERT_OK_AND_ASSIGN(const std::vector<uint32_t> want_rows,
+                         reference_->SelectRowIds(where));
+    ASSERT_OK_AND_ASSIGN(const std::vector<uint32_t> got_rows,
+                         exec.SelectRowIds(where));
+    EXPECT_EQ(got_rows, want_rows);
+
+    ASSERT_OK_AND_ASSIGN(const std::vector<uint8_t> want_bitmap,
+                         reference_->SelectBitmap(where));
+    ASSERT_OK_AND_ASSIGN(const std::vector<uint8_t> got_bitmap,
+                         exec.SelectBitmap(where));
+    EXPECT_EQ(got_bitmap, want_bitmap);
+
+    for (const AggregateKind kind :
+         {AggregateKind::kSum, AggregateKind::kAvg, AggregateKind::kMin,
+          AggregateKind::kMax}) {
+      ASSERT_OK_AND_ASSIGN(const double want,
+                           reference_->Aggregate(kind, "data_count", where));
+      ASSERT_OK_AND_ASSIGN(const double got,
+                           exec.Aggregate(kind, "data_count", where));
+      EXPECT_EQ(got, want) << core::ToString(kind);
+    }
+
+    ASSERT_OK_AND_ASSIGN(const uint64_t want_range,
+                         reference_->RangeCount("flow_rate", 1000.0,
+                                                100000.0));
+    ASSERT_OK_AND_ASSIGN(const uint64_t got_range,
+                         exec.RangeCount("flow_rate", 1000.0, 100000.0));
+    EXPECT_EQ(got_range, want_range);
+  }
+
+  gpu::Device reference_device_;
+  db::Table table_;
+  std::unique_ptr<core::Executor> reference_;
+};
+
+TEST_F(PoolExecutorTest, HealthyPoolMatchesSingleDeviceAtEveryThreadCount) {
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("worker_threads=" + std::to_string(threads));
+    auto pool = MakePool(4, threads);
+    ASSERT_OK_AND_ASSIGN(
+        db::ShardedTable sharded,
+        db::ShardedTable::Make(table_, /*num_shards=*/8, pool->size()));
+    ASSERT_OK_AND_ASSIGN(auto exec,
+                         core::PoolExecutor::Make(pool.get(), &sharded));
+    ExpectBitExact(*exec);
+    EXPECT_EQ(pool->failovers(), 0u);
+    EXPECT_FALSE(exec->last_stats().cpu_fallback);
+  }
+}
+
+TEST_F(PoolExecutorTest, LostDeviceFailsOverToReplicaBitExactly) {
+  // The ISSUE acceptance sweep: 4 devices, R=2, one forced kDeviceLost --
+  // answers stay bit-identical, pool.failovers goes positive, and no device
+  // error surfaces to the caller.
+  for (const int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("worker_threads=" + std::to_string(threads));
+    auto pool = MakePool(4, threads);
+    ASSERT_OK_AND_ASSIGN(
+        db::ShardedTable sharded,
+        db::ShardedTable::Make(table_, /*num_shards=*/8, pool->size()));
+    ASSERT_OK_AND_ASSIGN(auto exec,
+                         core::PoolExecutor::Make(pool.get(), &sharded));
+    pool->ForceDeviceLost(1);
+    ExpectBitExact(*exec);
+    EXPECT_GT(pool->failovers(), 0u);
+    EXPECT_GT(exec->last_stats().failovers, 0u);
+    EXPECT_EQ(exec->last_stats().first_failed_device, 1);
+    // Replicas covered every shard; the CPU tier never had to answer.
+    EXPECT_FALSE(exec->last_stats().cpu_fallback);
+  }
+}
+
+TEST_F(PoolExecutorTest, AllPlacementsLostFallsBackToCpuBitExactly) {
+  auto pool = MakePool(2);
+  ASSERT_OK_AND_ASSIGN(
+      db::ShardedTable sharded,
+      db::ShardedTable::Make(table_, /*num_shards=*/4, pool->size()));
+  ASSERT_OK_AND_ASSIGN(auto exec,
+                       core::PoolExecutor::Make(pool.get(), &sharded));
+  pool->ForceDeviceLost(0);
+  pool->ForceDeviceLost(1);
+  ExpectBitExact(*exec);
+  EXPECT_TRUE(exec->last_stats().cpu_fallback);
+}
+
+TEST_F(PoolExecutorTest, CpuRungCanBeDisabled) {
+  auto pool = MakePool(2);
+  ASSERT_OK_AND_ASSIGN(
+      db::ShardedTable sharded,
+      db::ShardedTable::Make(table_, /*num_shards=*/4, pool->size()));
+  ASSERT_OK_AND_ASSIGN(auto exec,
+                       core::PoolExecutor::Make(pool.get(), &sharded));
+  core::FailoverPolicy policy;
+  policy.allow_cpu_fallback = false;
+  exec->set_failover_policy(policy);
+  pool->ForceDeviceLost(0);
+  pool->ForceDeviceLost(1);
+  auto result = exec->Count(nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeviceLost());
+}
+
+TEST_F(PoolExecutorTest, MedianStaysSingleDevice) {
+  auto pool = MakePool(2);
+  ASSERT_OK_AND_ASSIGN(
+      db::ShardedTable sharded,
+      db::ShardedTable::Make(table_, /*num_shards=*/4, pool->size()));
+  ASSERT_OK_AND_ASSIGN(auto exec,
+                       core::PoolExecutor::Make(pool.get(), &sharded));
+  EXPECT_FALSE(core::PoolExecutor::ShardableAggregate(AggregateKind::kMedian));
+  auto result = exec->Aggregate(AggregateKind::kMedian, "data_count", nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotImplemented());
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: every rejection path is synchronous and deterministic.
+
+TEST(Admission, QueueOverflowRejectsImmediately) {
+  sql::AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 0;
+  sql::AdmissionController admission(options);
+
+  ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit("", 0.0));
+  EXPECT_TRUE(ticket.admitted());
+  EXPECT_EQ(admission.running(), 1);
+  // The slot is held and the queue holds zero: overflow, not a wait.
+  auto overflow = admission.Admit("", 0.0);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsResourceExhausted());
+
+  ticket.Release();
+  EXPECT_EQ(admission.running(), 0);
+  ASSERT_OK_AND_ASSIGN(auto again, admission.Admit("", 0.0));
+  EXPECT_TRUE(again.admitted());
+}
+
+TEST(Admission, QueueWaitIsBoundedByDeadlineAndValve) {
+  sql::AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 4;
+  options.max_queue_wait_ms = 20.0;
+  sql::AdmissionController admission(options);
+  ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit("", 0.0));
+  // The queued statement can never get the held slot; the valve guarantees
+  // Admit returns (kResourceExhausted) instead of hanging.
+  auto timed_out = admission.Admit("", 0.0);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_TRUE(timed_out.status().IsResourceExhausted());
+  EXPECT_EQ(admission.queue_depth(), 0);
+}
+
+TEST(Admission, DeadlineCannotCoverP95IsShedUpFront) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (int i = 0; i < 64; ++i) {
+    registry.histogram("sql.exec_ms").Record(50.0);
+  }
+  sql::AdmissionOptions options;
+  options.min_p95_samples = 32;
+  sql::AdmissionController admission(options);
+  auto shed = admission.Admit("", /*deadline_ms=*/1.0);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+  // A deadline above the p95 still admits.
+  ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit("", 500.0));
+  EXPECT_TRUE(ticket.admitted());
+}
+
+TEST(Admission, TenantTokenBucketRefillsOnTheInjectedClock) {
+  double now_ms = 0.0;
+  sql::AdmissionOptions options;
+  options.tenant_qps = 1.0;
+  options.tenant_burst = 2.0;
+  options.now_ms = [&now_ms] { return now_ms; };
+  sql::AdmissionController admission(options);
+
+  const uint64_t throttled_before =
+      MetricsRegistry::Global().counter("tenant.throttled").value();
+  {
+    ASSERT_OK_AND_ASSIGN(auto t1, admission.Admit("acme", 0.0));
+    ASSERT_OK_AND_ASSIGN(auto t2, admission.Admit("acme", 0.0));
+  }
+  // Burst exhausted at t=0: the third statement is throttled...
+  auto throttled = admission.Admit("acme", 0.0);
+  ASSERT_FALSE(throttled.ok());
+  EXPECT_TRUE(throttled.status().IsResourceExhausted());
+  EXPECT_EQ(MetricsRegistry::Global().counter("tenant.throttled").value(),
+            throttled_before + 1);
+  // ...another tenant is not...
+  ASSERT_OK_AND_ASSIGN(auto other, admission.Admit("globex", 0.0));
+  other.Release();
+  // ...and one second later one token has refilled.
+  now_ms = 1000.0;
+  ASSERT_OK_AND_ASSIGN(auto refilled, admission.Admit("acme", 0.0));
+  EXPECT_TRUE(refilled.admitted());
+}
+
+// ---------------------------------------------------------------------------
+// Session integration: pooled routing, admission, and log attribution.
+
+TEST(SessionPool, PooledStatementsMatchClassicAndLogFailureDomains) {
+  ASSERT_OK_AND_ASSIGN(db::Table table, db::MakeTcpIpTable(3000, /*seed=*/9));
+  db::Catalog catalog;
+  ASSERT_OK(catalog.Register("traffic", &table));
+
+  gpu::Device classic_device(100, 100);
+  db::Catalog classic_catalog;
+  ASSERT_OK(classic_catalog.Register("traffic", &table));
+  sql::Session classic(&classic_device, &classic_catalog);
+
+  gpu::Device session_device(100, 100);
+  sql::Session pooled(&session_device, &catalog);
+  auto pool = MakePool(4);
+  pooled.SetDevicePool(pool.get());
+  pooled.set_tenant("acme");
+  pool->ForceDeviceLost(2);
+
+  const char* statements[] = {
+      "SELECT COUNT(*) FROM traffic WHERE data_count > 20000",
+      "SELECT SUM(data_count) FROM traffic WHERE flow_rate < 250000",
+      "SELECT AVG(flow_rate) FROM traffic WHERE data_loss > 2",
+      "SELECT MIN(data_count) FROM traffic WHERE data_count > 20000",
+      "SELECT MAX(flow_rate) FROM traffic",
+      "SELECT * FROM traffic WHERE data_count > 100000 LIMIT 7",
+  };
+  for (const char* sql : statements) {
+    SCOPED_TRACE(sql);
+    ASSERT_OK_AND_ASSIGN(sql::QueryResult want, classic.Execute(sql));
+    ASSERT_OK_AND_ASSIGN(sql::QueryResult got, pooled.Execute(sql));
+    EXPECT_EQ(got.count, want.count);
+    EXPECT_EQ(got.scalar, want.scalar);
+    EXPECT_EQ(got.row_ids, want.row_ids);
+  }
+  EXPECT_GT(pool->failovers(), 0u);
+
+  const std::vector<QueryLogEntry> entries = QueryLog::Global().Entries();
+  ASSERT_FALSE(entries.empty());
+  const QueryLogEntry& last = entries.back();
+  EXPECT_EQ(last.tenant, "acme");
+  EXPECT_GE(last.device_id, 0);
+
+  // Order statistics stay on the classic single-device path through the
+  // same session, and log no failure domain.
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult want_med,
+                       classic.Execute("SELECT MEDIAN(data_count) FROM traffic"));
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult got_med,
+                       pooled.Execute("SELECT MEDIAN(data_count) FROM traffic"));
+  EXPECT_EQ(got_med.scalar, want_med.scalar);
+  EXPECT_EQ(QueryLog::Global().Entries().back().device_id, -1);
+}
+
+TEST(SessionPool, AdmissionRejectionSurfacesAndIsLogged) {
+  ASSERT_OK_AND_ASSIGN(db::Table table, db::MakeTcpIpTable(500, /*seed=*/5));
+  db::Catalog catalog;
+  ASSERT_OK(catalog.Register("t", &table));
+  gpu::Device device(100, 100);
+  sql::Session session(&device, &catalog);
+  session.set_tenant("acme");
+
+  sql::AdmissionOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 0;
+  sql::AdmissionController admission(options);
+  session.set_admission(&admission);
+
+  // Hold the only slot: the session's statement must be rejected
+  // synchronously, never queued behind the held ticket.
+  ASSERT_OK_AND_ASSIGN(auto ticket, admission.Admit("other", 0.0));
+  auto rejected = session.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+  const QueryLogEntry last = QueryLog::Global().Entries().back();
+  EXPECT_FALSE(last.ok);
+  EXPECT_EQ(last.tenant, "acme");
+
+  ticket.Release();
+  ASSERT_OK_AND_ASSIGN(sql::QueryResult result,
+                       session.Execute("SELECT COUNT(*) FROM t"));
+  EXPECT_EQ(result.count, table.num_rows());
+}
+
+}  // namespace
+}  // namespace gpudb

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/metric_names.h"
 #include "tools/gpulint/gpulint.h"
 #include "tools/gpulint/rules.h"
 #include "tools/gpulint/source_model.h"
@@ -296,6 +297,47 @@ TEST(GpulintR5, TracerCounterTracksFaceTheSameRegistry) {
   ASSERT_EQ(diags.size(), 1u);
   EXPECT_EQ(diags[0].line, 3);
   EXPECT_NE(diags[0].message.find("band.unregistered"), std::string::npos);
+}
+
+TEST(GpulintR5, FailureDomainMetricsAreCoveredByTheRealRegistry) {
+  // The device pool and admission controller emit these names; every one
+  // must stay in the real metric_names.h table (ISSUE: shard pool PR) or
+  // the lint gate on src/ would flag their call sites.
+  for (std::string_view name :
+       {"pool.device_state", "pool.failovers", "admission.rejected",
+        "admission.queue_depth", "tenant.throttled"}) {
+    EXPECT_TRUE(gpudb::metric_names::IsRegistered(name)) << name;
+  }
+  // And the fixture path agrees: a source file emitting them lints clean
+  // against a registry that carries the entries, and is flagged without.
+  constexpr std::string_view kPoolSource =
+      "void F(MetricsRegistry& registry) {\n"
+      "  registry.gauge(\"pool.device_state\").Set(1.0);\n"
+      "  registry.counter(\"pool.failovers\").Increment();\n"
+      "  registry.counter(\"admission.rejected\").Increment();\n"
+      "  registry.gauge(\"admission.queue_depth\").Set(0.0);\n"
+      "  registry.counter(\"tenant.throttled\").Increment();\n"
+      "}\n";
+  Corpus with;
+  with.Add("src/gpu/device_pool.cc", std::string(kPoolSource));
+  Program& registered = with.program();
+  registered.LoadMetricRegistry(
+      "inline constexpr std::string_view kAll[] = {\n"
+      "    \"admission.queue_depth\",\n"
+      "    \"admission.rejected\",\n"
+      "    \"pool.device_state\",\n"
+      "    \"pool.failovers\",\n"
+      "    \"tenant.throttled\",\n"
+      "};\n");
+  registered.Finalize();
+  EXPECT_TRUE(RunR5(registered).empty());
+
+  Corpus without;
+  without.Add("src/gpu/device_pool.cc", std::string(kPoolSource));
+  Program& missing = without.program();
+  missing.LoadMetricRegistry(kRegistry);
+  missing.Finalize();
+  EXPECT_EQ(RunR5(missing).size(), 5u);
 }
 
 TEST(GpulintR5, DisabledWithoutARegistry) {
