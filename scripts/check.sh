@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the sanitizer configurations:
-#   0. lint: gpulint (the in-tree analyzer, rules R1-R5 of DESIGN.md §12)
-#      over src/, plus the clang-tidy baseline diff (scripts/tidy.sh) —
-#      first, so rule violations fail before any build time is spent,
+#   0. lint: gpulint (the in-tree analyzer, rules R1-R9 of DESIGN.md §12)
+#      over src/, a hygiene pass over lint.suppressions (every entry needs a
+#      reason and an owner/why comment), the clang-tidy baseline diff
+#      (scripts/tidy.sh), and — when clang is installed — a
+#      -Wthread-safety -Werror build exercising the capability annotations
+#      of src/common/thread_annotations.h. First, so rule violations fail
+#      before any build time is spent,
 #   1. the standard build + full ctest run (what CI gates on),
 #   2. a bench smoke run of every figure bench with a committed baseline,
 #      diffed against bench/baseline (model-time regression gate; see
@@ -24,12 +28,42 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== lint: gpulint rules R1-R5 + clang-tidy baseline =="
+echo "== lint: gpulint rules R1-R9 + suppression hygiene + clang-tidy baseline =="
 # gpulint only needs its own little library; build just that target.
 cmake -B build -S . >/dev/null
 cmake --build build -j --target gpulint
 ./build/tools/gpulint/gpulint --root=. --json=build/gpulint-report.json
+# Suppression hygiene: every live entry must carry a reason on the line
+# (RULE PATH reason...) and an owner/why comment block directly above it.
+# A suppression nobody can explain is debt, not a decision.
+awk '
+  /^[[:space:]]*#/ { prev_comment = 1; next }
+  /^[[:space:]]*$/ { prev_comment = 0; next }
+  {
+    if (NF < 3) {
+      print "lint.suppressions: entry lacks a reason: " $0; bad = 1
+    } else if (!prev_comment) {
+      print "lint.suppressions: entry lacks an owner/why comment above: " $0
+      bad = 1
+    }
+    prev_comment = 0
+  }
+  END { exit bad }
+' lint.suppressions
 scripts/tidy.sh
+
+echo "== lint: clang -Wthread-safety capability analysis =="
+# src/common/thread_annotations.h compiles to no-ops under gcc; only clang
+# implements the capability analysis. Gate it when clang is available so CI
+# images with LLVM statically verify every GUARDED_BY/REQUIRES contract.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-threadsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" >/dev/null
+  cmake --build build-threadsafety -j
+else
+  echo "thread-safety: clang++ not found; skipping (annotations are no-ops" \
+       "under gcc -- gpulint R7-R9 still gate lock discipline)"
+fi
 
 echo "== tier 1: standard build + tests =="
 cmake --build build -j

@@ -20,7 +20,7 @@ void MetricHistogram::Record(double value) {
   while (!sum_.compare_exchange_weak(expected, expected + value,
                                      std::memory_order_relaxed)) {
   }
-  std::lock_guard<std::mutex> lock(minmax_mu_);
+  MutexLock lock(&minmax_mu_);
   if (count() == 1 || value < min_.load(std::memory_order_relaxed)) {
     min_.store(value, std::memory_order_relaxed);
   }
@@ -78,28 +78,28 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 MetricCounter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<MetricCounter>();
   return *slot;
 }
 
 MetricGauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<MetricGauge>();
   return *slot;
 }
 
 MetricHistogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<MetricHistogram>();
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -230,7 +230,7 @@ std::string MetricsRegistry::DumpPrometheus() const {
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   char buf[256];
   for (const auto& [name, c] : counters_) {
@@ -256,7 +256,7 @@ std::string MetricsRegistry::DumpText() const {
 }
 
 std::string MetricsRegistry::DumpJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -299,7 +299,7 @@ std::string MetricsRegistry::DumpJson() const {
 }
 
 void MetricsRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace gpudb {
 
@@ -77,12 +79,16 @@ class MetricHistogram {
   void Reset();
 
  private:
+  // lint: lock-free (relaxed atomics; each bucket/count/sum cell is
+  // independently consistent, readers tolerate torn cross-field views)
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
-  mutable std::mutex minmax_mu_;
+  std::atomic<uint64_t> count_{0};  // lint: lock-free (relaxed atomic)
+  std::atomic<double> sum_{0.0};    // lint: lock-free (CAS-loop accumulator)
+  // min_/max_ are atomics so min()/max() read without a lock; minmax_mu_
+  // only serializes the compare-then-store pairs in Record.
+  std::atomic<double> min_{0.0};  // lint: lock-free (see minmax_mu_ note)
+  std::atomic<double> max_{0.0};  // lint: lock-free (see minmax_mu_ note)
+  mutable Mutex minmax_mu_;
 };
 
 /// \brief Point-in-time copy of every instrument in a MetricsRegistry.
@@ -162,10 +168,14 @@ class MetricsRegistry {
   void ResetForTesting();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
-  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
-  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  /// Lock-order level: `metrics` (innermost leaf, alongside the other
+  /// telemetry sinks) -- nothing is called out while mu_ is held.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace gpudb

@@ -1,0 +1,90 @@
+#ifndef GPUDB_COMMON_MUTEX_H_
+#define GPUDB_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace gpudb {
+
+/// \brief Annotated std::mutex wrapper (the repo's only lockable).
+///
+/// libstdc++ does not annotate std::mutex, so clang's capability analysis
+/// cannot see through std::lock_guard / std::unique_lock. Every
+/// mutex-holding class therefore uses this wrapper plus MutexLock, which
+/// carry the CAPABILITY/ACQUIRE/RELEASE attributes the analysis needs.
+/// This header is the single place allowed to call the underlying
+/// .lock()/.unlock() (gpulint R7 bans naked lock calls everywhere else and
+/// exempts exactly this file).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  /// The wrapped handle, for CondVar's adopt/release dance only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII scoped holder; the only sanctioned way to take a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to Mutex.
+///
+/// Wait/WaitUntil take the Mutex REQUIRES-style (the caller holds it via a
+/// MutexLock in scope), adopt the native handle for the wait, and release
+/// it back so the MutexLock destructor stays the sole unlocker. Callers
+/// re-check their predicate in a while loop at the call site -- that keeps
+/// every guarded-field access lexically inside the MutexLock scope, which
+/// is what the capability analysis can verify (a predicate lambda would be
+/// analyzed without the capability held).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> handle(mu.native(), std::adopt_lock);
+    cv_.wait(handle);
+    handle.release();
+  }
+
+  /// Waits until `deadline`; true = woken (signal or spurious) before it,
+  /// false = timed out. Same re-check contract as Wait.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> handle(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(handle, deadline);
+    handle.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gpudb
+
+#endif  // GPUDB_COMMON_MUTEX_H_

@@ -16,7 +16,7 @@ Profiler& Profiler::Global() {
 void Profiler::RecordPass(std::string_view label, uint64_t fragments,
                           uint64_t fragments_passed, const PassProfile& prof,
                           bool fused, bool cache_hit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = groups_.find(label);
   if (it == groups_.end()) {
     it = groups_.emplace(std::string(label), PassProfileGroup{}).first;
@@ -55,7 +55,7 @@ void Profiler::RecordBandTimings(const std::vector<double>& band_ms) {
 }
 
 std::vector<PassProfileGroup> Profiler::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<PassProfileGroup> out;
   out.reserve(groups_.size());
   for (const auto& [label, group] : groups_) out.push_back(group);
@@ -63,7 +63,7 @@ std::vector<PassProfileGroup> Profiler::Snapshot() const {
 }
 
 void Profiler::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   groups_.clear();
 }
 

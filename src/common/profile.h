@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace gpudb {
 
@@ -109,9 +111,12 @@ class Profiler {
   void ResetForTesting();
 
  private:
-  std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, PassProfileGroup, std::less<>> groups_;
+  std::atomic<bool> enabled_{false};  // lint: lock-free (relaxed atomic)
+  /// Lock-order level: `profile` (innermost leaf) -- RecordPass holds mu_
+  /// only for the map fold, never into other subsystems.
+  mutable Mutex mu_;
+  std::map<std::string, PassProfileGroup, std::less<>> groups_
+      GUARDED_BY(mu_);
 };
 
 /// \brief Renders profile groups as the fixed-width counter table EXPLAIN

@@ -25,17 +25,17 @@ QueryLog& QueryLog::Global() {
 }
 
 void QueryLog::set_slow_threshold_ms(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   slow_threshold_ms_ = ms;
 }
 
 double QueryLog::slow_threshold_ms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slow_threshold_ms_;
 }
 
 void QueryLog::set_echo_slow_to_stderr(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   echo_slow_ = on;
 }
 
@@ -48,7 +48,7 @@ uint64_t QueryLog::Add(QueryLogEntry entry) {
       .histogram("sql.queue_wait_ms")
       .Record(entry.queue_ms);
   MetricsRegistry::Global().histogram("sql.exec_ms").Record(entry.exec_ms);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entry.id = next_id_++;
   entry.slow =
       slow_threshold_ms_ > 0.0 && entry.wall_ms >= slow_threshold_ms_;
@@ -71,7 +71,7 @@ uint64_t QueryLog::Add(QueryLogEntry entry) {
 }
 
 std::vector<QueryLogEntry> QueryLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<QueryLogEntry> out;
   out.reserve(ring_.size());
   for (size_t i = 0; i < ring_.size(); ++i) {
@@ -89,17 +89,17 @@ std::vector<QueryLogEntry> QueryLog::SlowEntries() const {
 }
 
 size_t QueryLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_.size();
 }
 
 uint64_t QueryLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_recorded_;
 }
 
 void QueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   head_ = 0;
   total_recorded_ = 0;

@@ -2,9 +2,11 @@
 #define GPUDB_COMMON_QUERY_LOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace gpudb {
 
@@ -87,14 +89,17 @@ class QueryLog {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<QueryLogEntry> ring_;  // guarded by mu_, oldest at ring_[head_]
-  size_t capacity_;
-  size_t head_ = 0;
-  uint64_t next_id_ = 1;
-  uint64_t total_recorded_ = 0;
-  double slow_threshold_ms_ = 0.0;
-  bool echo_slow_ = true;
+  /// Lock-order level: `querylog` (innermost leaf) -- Add() touches the
+  /// metrics registry before taking mu_, never while holding it.
+  mutable Mutex mu_;
+  /// Oldest entry sits at ring_[head_].
+  std::vector<QueryLogEntry> ring_ GUARDED_BY(mu_);
+  const size_t capacity_;  // lint: lock-free (const after construction)
+  size_t head_ GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t total_recorded_ GUARDED_BY(mu_) = 0;
+  double slow_threshold_ms_ GUARDED_BY(mu_) = 0.0;
+  bool echo_slow_ GUARDED_BY(mu_) = true;
 };
 
 }  // namespace gpudb

@@ -1,0 +1,60 @@
+#ifndef GPUDB_COMMON_THREAD_ANNOTATIONS_H_
+#define GPUDB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// \brief Clang thread-safety capability macros (DESIGN.md §12, rules R7-R9).
+///
+/// Under clang the macros expand to the thread-safety attributes so a
+/// `-Wthread-safety -Werror` build (scripts/check.sh, "thread-safety" stage)
+/// proves at compile time that every GUARDED_BY field is only touched with
+/// its mutex held and every REQUIRES contract is met at each call site.
+/// Under gcc (which has no such attributes) they expand to nothing; the
+/// annotations then still serve as checked documentation, because gpulint
+/// R7 independently requires every mutable field of a mutex-owning class to
+/// carry either a GUARDED_BY annotation or a `// lint: lock-free`
+/// justification.
+///
+/// The vocabulary mirrors the LLVM/Abseil convention:
+///   CAPABILITY(x)        - class is a lockable capability (gpudb::Mutex)
+///   SCOPED_CAPABILITY    - RAII holder (gpudb::MutexLock)
+///   GUARDED_BY(x)        - field may only be read/written holding x
+///   PT_GUARDED_BY(x)     - pointee (not the pointer) is guarded by x
+///   REQUIRES(x)          - caller must hold x across the call
+///   ACQUIRE(x)/RELEASE(x)- function acquires / releases x
+///   EXCLUDES(x)          - caller must NOT hold x (the function takes it)
+///   TRY_ACQUIRE(b, x)    - acquires x when returning b
+///   ASSERT_CAPABILITY(x) - runtime assertion that x is held
+///   RETURN_CAPABILITY(x) - function returns a reference to capability x
+///   NO_THREAD_SAFETY_ANALYSIS - opt a function out (justify in a comment)
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GPUDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GPUDB_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) GPUDB_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY GPUDB_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) GPUDB_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) GPUDB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) GPUDB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) GPUDB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  GPUDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  GPUDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) GPUDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  GPUDB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) GPUDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  GPUDB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  GPUDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) GPUDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) GPUDB_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) GPUDB_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GPUDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // GPUDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -49,12 +49,12 @@ Tracer& Tracer::Global() {
 }
 
 size_t Tracer::FinishedCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return finished_.size();
 }
 
 std::vector<FinishedSpan> Tracer::FinishedSince(size_t mark) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (mark >= finished_.size()) return {};
   return std::vector<FinishedSpan>(finished_.begin() + mark, finished_.end());
 }
@@ -66,24 +66,24 @@ void Tracer::Counter(std::string_view name, double value) {
   sample.value = value;
   sample.ts_us = NowMicros();
   sample.thread_id = ThisThreadOrdinal();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_.push_back(std::move(sample));
 }
 
 size_t Tracer::CounterCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_.size();
 }
 
 std::vector<CounterSample> Tracer::CounterSamplesSince(size_t mark) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (mark >= counters_.size()) return {};
   return std::vector<CounterSample>(counters_.begin() + mark,
                                     counters_.end());
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   finished_.clear();
   counters_.clear();
 }
@@ -100,7 +100,7 @@ uint64_t Tracer::Begin(std::string_view name) {
   span.parent_id = stack.empty() ? 0 : stack.back();
   stack.push_back(id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     open_.push_back(std::move(span));
   }
   return id;
@@ -118,7 +118,7 @@ void Tracer::End(uint64_t id, std::vector<TraceTag> tags) {
     }
   }
   const int64_t now = NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = open_.begin(); it != open_.end(); ++it) {
     if (it->id != id) continue;
     FinishedSpan done;

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace gpudb {
 
@@ -133,12 +135,14 @@ class Tracer {
     int64_t start_us = 0;
   };
 
-  std::atomic<bool> enabled_{false};
-  std::atomic<uint64_t> next_id_{1};
-  mutable std::mutex mu_;
-  std::vector<OpenSpan> open_;           // guarded by mu_
-  std::vector<FinishedSpan> finished_;   // guarded by mu_
-  std::vector<CounterSample> counters_;  // guarded by mu_
+  std::atomic<bool> enabled_{false};   // lint: lock-free (relaxed atomic)
+  std::atomic<uint64_t> next_id_{1};   // lint: lock-free (relaxed atomic)
+  /// Lock-order level: `trace` (innermost leaf) -- span bookkeeping only,
+  /// nothing is called out while mu_ is held.
+  mutable Mutex mu_;
+  std::vector<OpenSpan> open_ GUARDED_BY(mu_);
+  std::vector<FinishedSpan> finished_ GUARDED_BY(mu_);
+  std::vector<CounterSample> counters_ GUARDED_BY(mu_);
 };
 
 /// \brief RAII span handle: opens on construction, closes on destruction.

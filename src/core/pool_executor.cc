@@ -64,7 +64,7 @@ void PoolExecutor::set_resilience_options(const ResilienceOptions& options) {
   }
 }
 
-Result<Executor*> PoolExecutor::ExecutorFor(size_t shard_index,
+Result<Executor*> PoolExecutor::ShardExecutorFor(size_t shard_index,
                                             int device_id) {
   const auto key = std::make_pair(shard_index, device_id);
   auto it = executors_.find(key);
@@ -121,8 +121,15 @@ Result<T> PoolExecutor::RunShard(
       hop_off(device_id);
       continue;
     }
-    gpu::DevicePool::Lease lease = pool_->Acquire(device_id);
-    Result<Executor*> exec = ExecutorFor(shard_index, device_id);
+    Result<gpu::DevicePool::Lease> lease = pool_->TryAcquire(device_id);
+    if (!lease.ok()) {
+      // The admission verdict raced ForceDeviceLost: the card was pulled
+      // while this shard waited for the lease. Same treatment as a refusal.
+      span.AddTag("outcome", "refused");
+      hop_off(device_id);
+      continue;
+    }
+    Result<Executor*> exec = ShardExecutorFor(shard_index, device_id);
     if (!exec.ok()) return exec.status();
     Result<T> result = gpu_op(*exec.ValueOrDie());
     if (result.ok()) {

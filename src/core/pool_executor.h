@@ -102,7 +102,7 @@ class PoolExecutor {
 
   /// The cached executor for (shard, device); created on first use. Must be
   /// called with the device's lease held.
-  [[nodiscard]] Result<Executor*> ExecutorFor(size_t shard_index, int device_id);
+  [[nodiscard]] Result<Executor*> ShardExecutorFor(size_t shard_index, int device_id);
 
   /// Runs one shard through the failover ladder: primary -> replica -> CPU.
   template <typename T>

@@ -60,7 +60,7 @@ Status Catalog::Register(std::string name, const Table* table) {
     return Status::InvalidArgument("'" + name +
                                    "' is a reserved system table name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.count(name) != 0) {
     return Status::InvalidArgument("table '" + name +
                                    "' is already registered");
@@ -71,7 +71,7 @@ Status Catalog::Register(std::string name, const Table* table) {
 }
 
 uint64_t Catalog::version(std::string_view table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = versions_.find(table);
   return it == versions_.end() ? 0 : it->second;
 }
@@ -81,7 +81,7 @@ Status Catalog::BumpTableVersion(std::string_view table) {
   // cache invalidation) and must not deadlock against catalog readers.
   std::vector<std::function<void(const std::string&)>> listeners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = versions_.find(table);
     if (it == versions_.end()) {
       return Status::NotFound("no table named '" + std::string(table) + "'");
@@ -96,12 +96,12 @@ Status Catalog::BumpTableVersion(std::string_view table) {
 
 void Catalog::AddVersionListener(
     std::function<void(const std::string&)> listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   version_listeners_.push_back(std::move(listener));
 }
 
 Result<const Table*> Catalog::Lookup(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + std::string(name) + "'");
@@ -110,7 +110,7 @@ Result<const Table*> Catalog::Lookup(std::string_view name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -118,7 +118,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 Status Catalog::SetStats(std::string_view table, TableStats stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.find(table) == tables_.end()) {
     return Status::NotFound("no table named '" + std::string(table) + "'");
   }
@@ -127,7 +127,7 @@ Status Catalog::SetStats(std::string_view table, TableStats stats) {
 }
 
 const TableStats* Catalog::Stats(std::string_view table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = stats_.find(table);
   return it == stats_.end() ? nullptr : &it->second;
 }
@@ -356,7 +356,7 @@ Result<Table> Catalog::QueriesTable() const {
 }
 
 Result<Table> Catalog::TablesTable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   std::vector<float> rows_col, columns_col, buckets_col;
   std::vector<uint32_t> analyzed;
@@ -388,7 +388,7 @@ Result<Table> Catalog::TablesTable() const {
 }
 
 Result<Table> Catalog::ColumnsTable() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> table_names, column_names, types;
   std::vector<float> min_col, max_col, distinct_col, bits_col;
   for (const auto& [name, table] : tables_) {

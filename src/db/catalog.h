@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/db/stats.h"
 #include "src/db/table.h"
 
@@ -102,14 +103,18 @@ class Catalog {
 
   /// Guards every map below: sessions on different threads share one
   /// catalog (DESIGN.md §15), so registration, version bumps, and the
-  /// system-table builders must not race. Note Stats() hands out a pointer
-  /// into stats_ -- concurrent readers are safe, but re-ANALYZE while other
-  /// sessions run against the same table remains the caller's hazard.
-  mutable std::mutex mu_;
-  std::map<std::string, const Table*, std::less<>> tables_;
-  std::map<std::string, TableStats, std::less<>> stats_;
-  std::map<std::string, uint64_t, std::less<>> versions_;
-  std::vector<std::function<void(const std::string&)>> version_listeners_;
+  /// system-table builders must not race. Lock-order level: `catalog` --
+  /// listeners are invoked only after mu_ is released (BumpTableVersion
+  /// snapshots them), so catalog never holds its lock into pool or device
+  /// code. Note Stats() hands out a pointer into stats_ -- concurrent
+  /// readers are safe, but re-ANALYZE while other sessions run against the
+  /// same table remains the caller's hazard.
+  mutable Mutex mu_;
+  std::map<std::string, const Table*, std::less<>> tables_ GUARDED_BY(mu_);
+  std::map<std::string, TableStats, std::less<>> stats_ GUARDED_BY(mu_);
+  std::map<std::string, uint64_t, std::less<>> versions_ GUARDED_BY(mu_);
+  std::vector<std::function<void(const std::string&)>> version_listeners_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace db

@@ -65,7 +65,7 @@ Result<std::unique_ptr<DevicePool>> DevicePool::Make(
     slot.device->ConfigureFaults(faults);
   }
   {
-    std::lock_guard<std::mutex> lock(pool->mu_);
+    MutexLock lock(&pool->mu_);
     pool->UpdateStateGaugeLocked();
   }
   return pool;
@@ -74,6 +74,18 @@ Result<std::unique_ptr<DevicePool>> DevicePool::Make(
 DevicePool::Lease DevicePool::Acquire(int id) {
   Slot& slot = slots_[static_cast<size_t>(id)];
   return Lease(slot.device.get(), id, std::unique_lock<std::mutex>(*slot.exec_mu));
+}
+
+Result<DevicePool::Lease> DevicePool::TryAcquire(int id) {
+  Lease lease = Acquire(id);
+  {
+    MutexLock lock(&mu_);
+    if (slots_[static_cast<size_t>(id)].forced_lost) {
+      return Status::DeviceLost("device " + std::to_string(id) +
+                                " was force-lost after admission");
+    }
+  }
+  return lease;
 }
 
 DeviceHealth DevicePool::HealthLocked(const Slot& slot) const {
@@ -94,7 +106,7 @@ void DevicePool::UpdateStateGaugeLocked() {
 }
 
 bool DevicePool::AdmitDispatch(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Slot& slot = slots_[static_cast<size_t>(id)];
   if (slot.forced_lost) return false;  // hot-unplugged: not even probes
   if (HealthLocked(slot) != DeviceHealth::kQuarantined) return true;
@@ -108,19 +120,19 @@ bool DevicePool::AdmitDispatch(int id) {
 }
 
 DeviceHealth DevicePool::health(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return HealthLocked(slots_[static_cast<size_t>(id)]);
 }
 
 void DevicePool::RecordFailure(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Slot& slot = slots_[static_cast<size_t>(id)];
   ++slot.consecutive_failures;
   UpdateStateGaugeLocked();
 }
 
 void DevicePool::RecordSuccess(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Slot& slot = slots_[static_cast<size_t>(id)];
   slot.consecutive_failures = 0;
   slot.asks_while_quarantined = 0;
@@ -130,18 +142,18 @@ void DevicePool::RecordSuccess(int id) {
 void DevicePool::RecordFailover(int id) {
   (void)id;
   PoolMetrics::Get().failovers.Increment();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++failovers_;
 }
 
 void DevicePool::ForceDeviceLost(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   slots_[static_cast<size_t>(id)].forced_lost = true;
   UpdateStateGaugeLocked();
 }
 
 void DevicePool::Revive(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Slot& slot = slots_[static_cast<size_t>(id)];
   slot.forced_lost = false;
   slot.consecutive_failures = 0;
@@ -150,12 +162,12 @@ void DevicePool::Revive(int id) {
 }
 
 bool DevicePool::forced_lost(int id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slots_[static_cast<size_t>(id)].forced_lost;
 }
 
 uint64_t DevicePool::failovers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return failovers_;
 }
 

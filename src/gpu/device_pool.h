@@ -7,7 +7,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/gpu/device.h"
 #include "src/gpu/fault_injector.h"
 
@@ -95,6 +97,16 @@ class DevicePool {
   /// Blocks until device `id` is free, then returns its exclusive lease.
   [[nodiscard]] Lease Acquire(int id);
 
+  /// Acquire plus a hot-unplug re-check under the health lock. An
+  /// AdmitDispatch verdict is a snapshot: the card can be pulled
+  /// (ForceDeviceLost) while the caller waits for the lease -- exactly the
+  /// window a recovery probe to a busy device sits in. Re-checking once the
+  /// lease is held turns that race into a deterministic Unavailable, so the
+  /// caller fails over instead of dispatching to a yanked device. (The
+  /// remaining mid-dispatch window is inherent to hot-unplug and surfaces
+  /// as a device fault.)
+  [[nodiscard]] Result<Lease> TryAcquire(int id);
+
   /// Health gate consulted before dispatching to `id`: true when the device
   /// should be tried. Healthy/degraded devices always pass; quarantined
   /// devices pass only on every `probe_interval`-th ask (the recovery
@@ -138,13 +150,23 @@ class DevicePool {
   explicit DevicePool(const DevicePoolOptions& options)
       : options_(options) {}
 
-  DeviceHealth HealthLocked(const Slot& slot) const;
-  void UpdateStateGaugeLocked();
+  DeviceHealth HealthLocked(const Slot& slot) const REQUIRES(mu_);
+  void UpdateStateGaugeLocked() REQUIRES(mu_);
 
+  // lint: lock-free (written only inside Make, before the pool is shared)
   DevicePoolOptions options_;
+  /// The vector's shape is fixed in Make; Slot.device/exec_mu are stable
+  /// thereafter. The mutable per-slot health fields are documented as
+  /// guarded by mu_ on Slot (a nested struct cannot name the enclosing
+  /// instance's capability in a GUARDED_BY attribute).
+  // lint: lock-free (shape fixed after Make; Slot health fields under mu_)
   std::vector<Slot> slots_;
-  mutable std::mutex mu_;  ///< Guards slot health fields + failovers_.
-  uint64_t failovers_ = 0;
+  /// Guards slot health fields + failovers_. Lock-order level: `pool`
+  /// (health) -- taken briefly while a Lease (device level) is already
+  /// held when the executor records a dispatch outcome, and never held
+  /// across a call into device, session, or catalog code.
+  mutable Mutex mu_;
+  uint64_t failovers_ GUARDED_BY(mu_) = 0;
 };
 
 /// $GPUDB_DEVICES as an int; `fallback` when unset/invalid.

@@ -42,6 +42,14 @@ struct PlaneKey {
 /// removes the least-recently-stamped entry. A handful of hot columns is the
 /// expected population, so storage is a flat vector with linear search --
 /// deterministic and cheap at that size.
+///
+/// Deliberately unannotated (no mutex, no GUARDED_BY): the cache is
+/// Device-serialized state. Every caller already holds the device
+/// exclusively -- single-context dispatch in the classic engine, an
+/// exclusive DevicePool lease in the pooled one -- so a mutex here would
+/// add a lock at device level (DESIGN.md §12) protecting nothing. If the
+/// cache ever outlives that ownership model, annotate before you mutex
+/// (EXTENDING.md).
 class PlaneCache {
  public:
   /// Returns the cached plane for `key`, or nullptr. A hit refreshes the

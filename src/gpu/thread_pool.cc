@@ -24,10 +24,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -48,16 +48,28 @@ void ThreadPool::RunJob() {
   double busy_ms = 0.0;
   bool worked = false;
   // Claim-and-run until this job's indices are exhausted. The lock is only
-  // held for the claim; task bodies run unlocked. The job-id check keeps a
-  // thread that finished job N from claiming indices of a job N+1 posted
-  // while it was between iterations (its cached task pointer would be
-  // stale).
-  std::unique_lock<std::mutex> lock(mu_);
-  const uint64_t my_job = job_id_;
-  while (task_ != nullptr && job_id_ == my_job && next_index_ < job_size_) {
-    const std::function<void(int)>* task = task_;
-    const int i = next_index_++;
-    lock.unlock();
+  // held for the claim and the completion count; task bodies run unlocked.
+  // The job-id check keeps a thread that finished job N from claiming
+  // indices of a job N+1 posted while it was between iterations (its cached
+  // task pointer would be stale); my_job is latched under the same lock
+  // acquisition as the first claim.
+  uint64_t my_job = 0;
+  bool latched = false;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    int i = 0;
+    {
+      MutexLock lock(&mu_);
+      if (!latched) {
+        my_job = job_id_;
+        latched = true;
+      }
+      if (task_ == nullptr || job_id_ != my_job || next_index_ >= job_size_) {
+        break;
+      }
+      task = task_;
+      i = next_index_++;
+    }
     if (profile) {
       const auto start = std::chrono::steady_clock::now();
       (*task)(i);
@@ -68,13 +80,14 @@ void ThreadPool::RunJob() {
     } else {
       (*task)(i);
     }
-    lock.lock();
-    // The posting thread cannot recycle the job while remaining_ > 0, so
-    // this decrement always belongs to my_job.
-    if (--remaining_ == 0) work_done_.notify_all();
+    {
+      MutexLock lock(&mu_);
+      // The posting thread cannot recycle the job while remaining_ > 0, so
+      // this decrement always belongs to my_job.
+      if (--remaining_ == 0) work_done_.NotifyAll();
+    }
   }
   if (worked) {
-    lock.unlock();
     static MetricHistogram& engine_busy =
         MetricsRegistry::Global().histogram("gpu.engine_busy_ms");
     engine_busy.Record(busy_ms);
@@ -87,11 +100,14 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_job = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ || (task_ != nullptr && job_id_ != seen_job &&
-                             next_index_ < job_size_);
-      });
+      MutexLock lock(&mu_);
+      // Predicate re-checked inline (not via a wait lambda) so the guarded
+      // reads sit lexically inside the MutexLock scope -- the shape the
+      // capability analysis verifies.
+      while (!shutdown_ && !(task_ != nullptr && job_id_ != seen_job &&
+                             next_index_ < job_size_)) {
+        work_ready_.Wait(mu_);
+      }
       if (shutdown_) return;
       seen_job = job_id_;
     }
@@ -105,28 +121,32 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& task) {
     for (int i = 0; i < n; ++i) task(i);
     return;
   }
+  bool in_flight = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (task_ != nullptr) {
-      // A parallel region is already in flight (a task called back into
-      // ParallelFor, or two threads share the pool). Degrade to a serial
-      // loop on the caller instead of corrupting the active job's state:
-      // the invocations still all happen, just without extra parallelism.
-      lock.unlock();
-      for (int i = 0; i < n; ++i) task(i);
-      return;
+      in_flight = true;
+    } else {
+      task_ = &task;
+      job_size_ = n;
+      next_index_ = 0;
+      remaining_ = n;
+      ++job_id_;
     }
-    task_ = &task;
-    job_size_ = n;
-    next_index_ = 0;
-    remaining_ = n;
-    ++job_id_;
   }
-  work_ready_.notify_all();
+  if (in_flight) {
+    // A parallel region is already in flight (a task called back into
+    // ParallelFor, or two threads share the pool). Degrade to a serial
+    // loop on the caller instead of corrupting the active job's state:
+    // the invocations still all happen, just without extra parallelism.
+    for (int i = 0; i < n; ++i) task(i);
+    return;
+  }
+  work_ready_.NotifyAll();
   RunJob();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_done_.wait(lock, [&] { return remaining_ == 0; });
+    MutexLock lock(&mu_);
+    while (remaining_ != 0) work_done_.Wait(mu_);
     task_ = nullptr;
     job_size_ = 0;
   }

@@ -1,12 +1,13 @@
 #ifndef GPUDB_GPU_THREAD_POOL_H_
 #define GPUDB_GPU_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace gpudb {
 namespace gpu {
@@ -56,17 +57,26 @@ class ThreadPool {
   /// Claims indices of the current job until they run out.
   void RunJob();
 
+  // lint: lock-free (written only by the constructor, before any worker
+  // can observe it; joined by the destructor after shutdown)
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(int)>* task_ = nullptr;  // null = no job posted
-  int job_size_ = 0;
-  int next_index_ = 0;   ///< Next unclaimed task index.
-  int remaining_ = 0;    ///< Task invocations not yet finished.
-  uint64_t job_id_ = 0;  ///< Generation counter so sleepers skip stale jobs.
-  bool shutdown_ = false;
+  /// Lock-order level: `device` (the pool is the innermost engine tier) --
+  /// task bodies run with mu_ released, so user code never executes under
+  /// the pool lock.
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  /// null = no job posted.
+  const std::function<void(int)>* task_ GUARDED_BY(mu_) = nullptr;
+  int job_size_ GUARDED_BY(mu_) = 0;
+  /// Next unclaimed task index.
+  int next_index_ GUARDED_BY(mu_) = 0;
+  /// Task invocations not yet finished.
+  int remaining_ GUARDED_BY(mu_) = 0;
+  /// Generation counter so sleepers skip stale jobs.
+  uint64_t job_id_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gpu

@@ -50,10 +50,10 @@ void AdmissionController::Ticket::Release() {
 
 void AdmissionController::ReleaseSlot() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --running_;
   }
-  slot_free_.notify_one();
+  slot_free_.NotifyOne();
 }
 
 bool AdmissionController::TakeToken(const std::string& tenant, double now) {
@@ -78,7 +78,24 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   AdmissionMetrics& metrics = AdmissionMetrics::Get();
   const double now = options_.now_ms();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  // The p95 shed signal is read *before* taking mu_: the registry lookup
+  // and the histogram scan belong to the telemetry tier, and the admission
+  // lock is the outermost level of the declared order (DESIGN.md §12) --
+  // it must never be held into another subsystem. The histogram is all
+  // relaxed atomics, so the unlocked read is safe; the verdict is a
+  // heuristic snapshot either way.
+  double shed_p95 = 0.0;
+  bool shed = false;
+  if (deadline_ms > 0.0) {
+    const MetricHistogram& exec =
+        MetricsRegistry::Global().histogram("sql.exec_ms");
+    if (exec.count() >= options_.min_p95_samples) {
+      shed_p95 = exec.Quantile(0.95);
+      shed = shed_p95 > deadline_ms;
+    }
+  }
+
+  MutexLock lock(&mu_);
   // 1. Per-tenant quota (token bucket).
   if (options_.tenant_qps > 0.0 && !TakeToken(tenant, now)) {
     metrics.throttled.Increment();
@@ -89,17 +106,12 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   }
   // 2. Deadline-aware rejection: a statement whose remaining budget cannot
   // cover the observed p95 execution time would only waste a device slot.
-  if (deadline_ms > 0.0) {
-    const MetricHistogram& exec =
-        MetricsRegistry::Global().histogram("sql.exec_ms");
-    if (exec.count() >= options_.min_p95_samples &&
-        exec.Quantile(0.95) > deadline_ms) {
-      metrics.rejected.Increment();
-      return Status::ResourceExhausted(
-          "deadline " + std::to_string(deadline_ms) +
-          " ms cannot cover the p95 execution time (" +
-          std::to_string(exec.Quantile(0.95)) + " ms); shedding load");
-    }
+  if (shed) {
+    metrics.rejected.Increment();
+    return Status::ResourceExhausted(
+        "deadline " + std::to_string(deadline_ms) +
+        " ms cannot cover the p95 execution time (" +
+        std::to_string(shed_p95) + " ms); shedding load");
   }
   // 3. Bounded admission queue.
   if (running_ < options_.max_concurrent) {
@@ -116,9 +128,21 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   metrics.queue_depth.Set(static_cast<double>(waiting_));
   double wait_budget_ms = options_.max_queue_wait_ms;
   if (deadline_ms > 0.0) wait_budget_ms = std::min(wait_budget_ms, deadline_ms);
-  const bool got_slot = slot_free_.wait_for(
-      lock, std::chrono::duration<double, std::milli>(wait_budget_ms),
-      [&] { return running_ < options_.max_concurrent; });
+  // The deadline uses the real steady clock (not options_.now_ms, which
+  // tests may fake): the original wait_for semantics were a real-time
+  // bound, and a fake clock must not turn the bounded wait into a hang.
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(wait_budget_ms));
+  bool got_slot = true;
+  while (running_ >= options_.max_concurrent) {
+    if (!slot_free_.WaitUntil(mu_, wait_deadline)) {
+      // Timed out: one final predicate check, matching wait_for semantics.
+      got_slot = running_ < options_.max_concurrent;
+      break;
+    }
+  }
   --waiting_;
   metrics.queue_depth.Set(static_cast<double>(waiting_));
   if (!got_slot) {
@@ -132,12 +156,12 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
 }
 
 int AdmissionController::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return running_;
 }
 
 int AdmissionController::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return waiting_;
 }
 

@@ -1,15 +1,15 @@
 #ifndef GPUDB_SQL_ADMISSION_H_
 #define GPUDB_SQL_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 
 namespace gpudb {
 namespace sql {
@@ -109,16 +109,21 @@ class AdmissionController {
     bool initialized = false;
   };
 
-  void ReleaseSlot();
+  void ReleaseSlot() EXCLUDES(mu_);
   /// Takes one token from `tenant`'s bucket; false = over quota.
-  bool TakeToken(const std::string& tenant, double now);
+  bool TakeToken(const std::string& tenant, double now) REQUIRES(mu_);
 
+  // lint: lock-free (clamped once in the constructor, const thereafter)
   AdmissionOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable slot_free_;
-  int running_ = 0;  // guarded by mu_
-  int waiting_ = 0;  // guarded by mu_
-  std::map<std::string, TokenBucket> buckets_;  // guarded by mu_
+  /// Lock-order level: `admission` (outermost). The p95 shed decision reads
+  /// the "sql.exec_ms" histogram *before* taking mu_ -- the registry lookup
+  /// takes the telemetry-leaf metrics lock, and holding the outermost lock
+  /// into another subsystem is exactly what rule R8 bans.
+  mutable Mutex mu_;
+  CondVar slot_free_;
+  int running_ GUARDED_BY(mu_) = 0;
+  int waiting_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, TokenBucket> buckets_ GUARDED_BY(mu_);
 };
 
 }  // namespace sql

@@ -46,6 +46,7 @@ Session::Session(gpu::Device* device, db::Catalog* catalog)
 }
 
 void Session::set_plan_options(const core::PlanOptions& options) {
+  MutexLock lock(&execute_mu_);
   plan_options_ = options;
   for (auto& [name, exec] : executors_) {
     exec->set_plan_options(options);
@@ -53,6 +54,7 @@ void Session::set_plan_options(const core::PlanOptions& options) {
 }
 
 void Session::set_resilience_options(const core::ResilienceOptions& options) {
+  MutexLock lock(&execute_mu_);
   resilience_ = options;
   for (auto& [name, exec] : executors_) {
     exec->set_resilience_options(options);
@@ -63,6 +65,7 @@ void Session::set_resilience_options(const core::ResilienceOptions& options) {
 }
 
 void Session::SetDevicePool(gpu::DevicePool* pool, int num_shards) {
+  MutexLock lock(&execute_mu_);
   pool_ = pool;
   // Default to two shards per device: enough slack that a quarantined
   // device's load spreads over the survivors instead of doubling up on one.
@@ -74,6 +77,12 @@ void Session::SetDevicePool(gpu::DevicePool* pool, int num_shards) {
 }
 
 Result<core::PoolExecutor*> Session::PoolExecutorFor(
+    std::string_view table_name) {
+  MutexLock lock(&execute_mu_);
+  return PoolExecutorForLocked(table_name);
+}
+
+Result<core::PoolExecutor*> Session::PoolExecutorForLocked(
     std::string_view table_name) {
   if (pool_ == nullptr) {
     return Status::FailedPrecondition("no device pool installed");
@@ -105,6 +114,12 @@ Result<core::PoolExecutor*> Session::PoolExecutorFor(
 }
 
 Result<core::Executor*> Session::ExecutorFor(std::string_view table_name) {
+  MutexLock lock(&execute_mu_);
+  return ExecutorForLocked(table_name);
+}
+
+Result<core::Executor*> Session::ExecutorForLocked(
+    std::string_view table_name) {
   auto it = executors_.find(table_name);
   if (it == executors_.end()) {
     GPUDB_ASSIGN_OR_RETURN(const db::Table* table,
@@ -224,49 +239,52 @@ Result<QueryResult> Session::RunPooled(core::PoolExecutor& exec,
 Result<QueryResult> Session::RunUserTable(std::string_view sql,
                                           const std::string& table_name,
                                           gpu::DeviceCounters* counters_out) {
-  GPUDB_ASSIGN_OR_RETURN(core::Executor* exec, ExecutorFor(table_name));
+  GPUDB_ASSIGN_OR_RETURN(core::Executor* exec, ExecutorForLocked(table_name));
   // Stats may have been (re)collected since the executor was cached.
   exec->set_table_stats(catalog_->Stats(table_name));
   const gpu::DeviceCounters before = device_->counters();
-  auto run = [&]() -> Result<QueryResult> {
-    GPUDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql, exec->table()));
-    // Shard-pool routing (DESIGN.md §15): poolable statements against
-    // shardable tables scatter across the device pool. Tables the sharder
-    // refuses fall through to the classic single-device path.
-    if (pool_ != nullptr && IsPoolable(query)) {
-      Result<core::PoolExecutor*> pooled = PoolExecutorFor(table_name);
-      if (pooled.ok()) {
-        return RunPooled(*pooled.ValueOrDie(), query);
-      }
-      if (!pooled.status().IsFailedPrecondition()) {
-        return pooled.status();
-      }
-    }
-    if (query.kind == Query::Kind::kAnalyzeTable) {
-      GPUDB_ASSIGN_OR_RETURN(db::TableStats stats,
-                             core::CollectTableStats(exec));
-      stats.table_name = table_name;
-      const uint64_t columns = stats.columns.size();
-      GPUDB_RETURN_NOT_OK(catalog_->SetStats(table_name, std::move(stats)));
-      // ANALYZE re-reads the backing store, so it also refreshes the
-      // table's version: cached depth planes from before the re-read are
-      // dropped (lint rule R6 enforces this pairing on every store writer).
-      GPUDB_RETURN_NOT_OK(catalog_->BumpTableVersion(table_name));
-      exec->set_table_stats(catalog_->Stats(table_name));
-      QueryResult result;
-      result.kind = Query::Kind::kAnalyzeTable;
-      result.count = columns;
-      return result;
-    }
-    if (query.explain_analyze) {
-      return ExecuteAnalyze(exec, query, sql);
-    }
-    QueryResult result;
-    GPUDB_RETURN_NOT_OK(ExecuteParsed(exec, query, &result));
-    return result;
-  };
-  Result<QueryResult> result = run();
+  Result<QueryResult> result = RunUserStatement(sql, table_name, exec);
   *counters_out = gpu::DeltaSince(before, device_->counters());
+  return result;
+}
+
+Result<QueryResult> Session::RunUserStatement(std::string_view sql,
+                                              const std::string& table_name,
+                                              core::Executor* exec) {
+  GPUDB_ASSIGN_OR_RETURN(Query query, ParseQuery(sql, exec->table()));
+  // Shard-pool routing (DESIGN.md §15): poolable statements against
+  // shardable tables scatter across the device pool. Tables the sharder
+  // refuses fall through to the classic single-device path.
+  if (pool_ != nullptr && IsPoolable(query)) {
+    Result<core::PoolExecutor*> pooled = PoolExecutorForLocked(table_name);
+    if (pooled.ok()) {
+      return RunPooled(*pooled.ValueOrDie(), query);
+    }
+    if (!pooled.status().IsFailedPrecondition()) {
+      return pooled.status();
+    }
+  }
+  if (query.kind == Query::Kind::kAnalyzeTable) {
+    GPUDB_ASSIGN_OR_RETURN(db::TableStats stats,
+                           core::CollectTableStats(exec));
+    stats.table_name = table_name;
+    const uint64_t columns = stats.columns.size();
+    GPUDB_RETURN_NOT_OK(catalog_->SetStats(table_name, std::move(stats)));
+    // ANALYZE re-reads the backing store, so it also refreshes the
+    // table's version: cached depth planes from before the re-read are
+    // dropped (lint rule R6 enforces this pairing on every store writer).
+    GPUDB_RETURN_NOT_OK(catalog_->BumpTableVersion(table_name));
+    exec->set_table_stats(catalog_->Stats(table_name));
+    QueryResult result;
+    result.kind = Query::Kind::kAnalyzeTable;
+    result.count = columns;
+    return result;
+  }
+  if (query.explain_analyze) {
+    return ExecuteAnalyze(exec, query, sql);
+  }
+  QueryResult result;
+  GPUDB_RETURN_NOT_OK(ExecuteParsed(exec, query, &result));
   return result;
 }
 
@@ -275,19 +293,32 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
     return Status::InvalidArgument("Session requires a device and a catalog");
   }
   Timer timer;
+  // Config snapshot under a short critical section: admission must run
+  // *before* execute_mu_ is taken for the statement (lock order: admission
+  // ahead of session, DESIGN.md §12), so the fields the admission step
+  // needs are copied out first.
+  AdmissionController* admission = nullptr;
+  std::string tenant;
+  double deadline_ms = 0.0;
+  {
+    MutexLock lock(&execute_mu_);
+    admission = admission_;
+    tenant = tenant_;
+    deadline_ms = resilience_.deadline_ms;
+  }
   // Admission control (DESIGN.md §15) runs before the session lock: a
   // rejected statement never touches a device, never queues behind one, and
   // is still query-logged with its tenant for load-shedding dashboards.
   AdmissionController::Ticket ticket;
-  if (admission_ != nullptr) {
+  if (admission != nullptr) {
     Result<AdmissionController::Ticket> admit =
-        admission_->Admit(tenant_, resilience_.deadline_ms);
+        admission->Admit(tenant, deadline_ms);
     if (!admit.ok()) {
       QueryLogEntry entry;
       entry.sql = std::string(sql);
       entry.kind = "error";
       entry.ok = false;
-      entry.tenant = tenant_;
+      entry.tenant = tenant;
       entry.wall_ms = timer.ElapsedMs();
       entry.queue_ms = entry.wall_ms;
       entry.error = admit.status().ToString();
@@ -299,26 +330,41 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
   // Queue-wait vs execute split: statements serialize on the session's one
   // device, so time spent acquiring execute_mu_ is admission queueing and
   // time under it is execution. Single-threaded callers see queue_ms ~= 0.
-  std::unique_lock<std::mutex> execute_lock(execute_mu_);
-  const double queue_ms = timer.ElapsedMs();
-  pooled_statement_ = false;
-  pool_stats_ = core::PoolQueryStats();
+  // Everything the query-log entry needs is copied out of the locked
+  // region; the log itself is written after release (the query log is a
+  // telemetry leaf, but more importantly a slow stderr echo must not
+  // extend the device critical section).
+  double queue_ms = 0.0;
+  double wall_ms = 0.0;
+  bool pooled = false;
+  core::PoolQueryStats pool_stats;
   gpu::DeviceCounters delta;
   // Resilience outcome for the query log: the delta of the process-wide
   // retry/fallback counters across this statement (sessions execute
   // statements one at a time, so the delta is this statement's).
   MetricsRegistry& registry = MetricsRegistry::Global();
-  const uint64_t retries_before = registry.counter("queries.retry_attempts").value();
-  const uint64_t fellback_before = registry.counter("queries.fell_back").value();
-  auto run = [&]() -> Result<QueryResult> {
-    GPUDB_ASSIGN_OR_RETURN(std::string table_name, StatementTableName(sql));
-    return Dispatch(sql, table_name, &delta);
-  };
-  Result<QueryResult> result = run();
-  const double wall_ms = timer.ElapsedMs();
-  const bool pooled = pooled_statement_;
-  const core::PoolQueryStats pool_stats = pool_stats_;
-  execute_lock.unlock();
+  uint64_t retries_before = 0;
+  uint64_t fellback_before = 0;
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    MutexLock lock(&execute_mu_);
+    queue_ms = timer.ElapsedMs();
+    pooled_statement_ = false;
+    pool_stats_ = core::PoolQueryStats();
+    retries_before = registry.counter("queries.retry_attempts").value();
+    fellback_before = registry.counter("queries.fell_back").value();
+    // No inner dispatch lambda: a lambda body is analyzed without the
+    // enclosing capability, so the REQUIRES(execute_mu_) call to Dispatch
+    // must sit lexically inside this MutexLock scope.
+    const Result<std::string> table_name = StatementTableName(sql);
+    Result<QueryResult> r =
+        table_name.ok()
+            ? Dispatch(sql, table_name.ValueOrDie(), &delta)
+            : Result<QueryResult>(table_name.status());
+    wall_ms = timer.ElapsedMs();
+    pooled = pooled_statement_;
+    pool_stats = pool_stats_;
+    return r;
+  }();
 
   QueryLogEntry entry;
   entry.sql = std::string(sql);
@@ -326,7 +372,7 @@ Result<QueryResult> Session::Execute(std::string_view sql) {
   entry.wall_ms = wall_ms;
   entry.queue_ms = queue_ms;
   entry.exec_ms = wall_ms - queue_ms;
-  entry.tenant = tenant_;
+  entry.tenant = tenant;
   if (pooled) {
     // Attribute the statement to the device that mattered: the first one
     // that failed it when there were failovers, else the one that served

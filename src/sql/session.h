@@ -3,12 +3,14 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/executor.h"
 #include "src/core/pool_executor.h"
 #include "src/db/catalog.h"
@@ -62,8 +64,10 @@ class Session {
   /// / per-query deadline) on every executor this session creates -- cached
   /// user-table executors, existing and future, and the ephemeral executors
   /// that run system-table snapshots.
-  void set_resilience_options(const core::ResilienceOptions& options);
-  const core::ResilienceOptions& resilience_options() const {
+  void set_resilience_options(const core::ResilienceOptions& options)
+      EXCLUDES(execute_mu_);
+  core::ResilienceOptions resilience_options() const EXCLUDES(execute_mu_) {
+    MutexLock lock(&execute_mu_);
     return resilience_;
   }
 
@@ -71,11 +75,16 @@ class Session {
   /// caching, DESIGN.md §14) on every executor this session creates,
   /// existing and future. Never changes results; `--plan-cache` flips
   /// `plane_cache` on.
-  void set_plan_options(const core::PlanOptions& options);
-  const core::PlanOptions& plan_options() const { return plan_options_; }
+  void set_plan_options(const core::PlanOptions& options)
+      EXCLUDES(execute_mu_);
+  core::PlanOptions plan_options() const EXCLUDES(execute_mu_) {
+    MutexLock lock(&execute_mu_);
+    return plan_options_;
+  }
 
   /// The cached executor for a registered user table (created on first use).
-  [[nodiscard]] Result<core::Executor*> ExecutorFor(std::string_view table_name);
+  [[nodiscard]] Result<core::Executor*> ExecutorFor(std::string_view table_name)
+      EXCLUDES(execute_mu_);
 
   /// Enables shard-parallel execution (DESIGN.md §15): poolable statements
   /// (COUNT, shardable aggregates, unordered SELECT) against shardable
@@ -84,40 +93,66 @@ class Session {
   /// `num_shards` <= 0 picks the default of 2 shards per device. Tables the
   /// sharder refuses (float columns quantize per shard) transparently stay
   /// on the single-device path.
-  void SetDevicePool(gpu::DevicePool* pool, int num_shards = 0);
+  void SetDevicePool(gpu::DevicePool* pool, int num_shards = 0)
+      EXCLUDES(execute_mu_);
 
   /// Installs shared admission control: Execute() asks for a slot before
   /// touching the device and surfaces kResourceExhausted rejections (which
   /// are still query-logged, attributed to the tenant). `admission` is
   /// typically shared by many sessions and must outlive them; nullptr
   /// disables.
-  void set_admission(AdmissionController* admission) {
+  void set_admission(AdmissionController* admission) EXCLUDES(execute_mu_) {
+    MutexLock lock(&execute_mu_);
     admission_ = admission;
   }
 
   /// Tenant identity attached to admission requests and query-log entries.
-  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
-  const std::string& tenant() const { return tenant_; }
+  void set_tenant(std::string tenant) EXCLUDES(execute_mu_) {
+    MutexLock lock(&execute_mu_);
+    tenant_ = std::move(tenant);
+  }
+  std::string tenant() const EXCLUDES(execute_mu_) {
+    MutexLock lock(&execute_mu_);
+    return tenant_;
+  }
 
   /// The cached pool executor for a registered user table, or
   /// FailedPrecondition when the table cannot be sharded bit-exactly.
   [[nodiscard]] Result<core::PoolExecutor*> PoolExecutorFor(
-      std::string_view table_name);
+      std::string_view table_name) EXCLUDES(execute_mu_);
 
  private:
   /// Dispatches a statement whose target table is already resolved;
   /// `counters_out` receives the device-counter delta the statement caused.
   [[nodiscard]] Result<QueryResult> Dispatch(std::string_view sql,
                                const std::string& table_name,
-                               gpu::DeviceCounters* counters_out);
+                               gpu::DeviceCounters* counters_out)
+      REQUIRES(execute_mu_);
 
   [[nodiscard]] Result<QueryResult> RunSystemTable(std::string_view sql,
                                      const std::string& table_name,
-                                     gpu::DeviceCounters* counters_out);
+                                     gpu::DeviceCounters* counters_out)
+      REQUIRES(execute_mu_);
 
   [[nodiscard]] Result<QueryResult> RunUserTable(std::string_view sql,
                                    const std::string& table_name,
-                                   gpu::DeviceCounters* counters_out);
+                                   gpu::DeviceCounters* counters_out)
+      REQUIRES(execute_mu_);
+
+  /// The statement body of RunUserTable (routing, ANALYZE, EXPLAIN, plain
+  /// execution), split out as a named function rather than a lambda so the
+  /// REQUIRES contract stays visible to the capability analysis.
+  [[nodiscard]] Result<QueryResult> RunUserStatement(std::string_view sql,
+                                       const std::string& table_name,
+                                       core::Executor* exec)
+      REQUIRES(execute_mu_);
+
+  /// Lock-held bodies of the public executor accessors: RunUserTable runs
+  /// under execute_mu_ and must not re-enter the public locking wrappers.
+  [[nodiscard]] Result<core::Executor*> ExecutorForLocked(
+      std::string_view table_name) REQUIRES(execute_mu_);
+  [[nodiscard]] Result<core::PoolExecutor*> PoolExecutorForLocked(
+      std::string_view table_name) REQUIRES(execute_mu_);
 
   /// True when the statement can be answered by shard recombination
   /// (DESIGN.md §15): COUNT, shardable aggregates, unordered SELECT; never
@@ -127,17 +162,21 @@ class Session {
   /// Runs an already-parsed poolable statement through the shard pool and
   /// records its PoolQueryStats for query-log attribution.
   [[nodiscard]] Result<QueryResult> RunPooled(core::PoolExecutor& exec,
-                                              const Query& query);
+                                              const Query& query)
+      REQUIRES(execute_mu_);
 
-  gpu::Device* device_;
-  db::Catalog* catalog_;
+  gpu::Device* const device_;    // lint: lock-free (set at construction)
+  db::Catalog* const catalog_;   // lint: lock-free (set at construction)
   /// Statements serialize here (one device, one executor cache). The time a
   /// statement spends waiting for this lock is its QueryLogEntry::queue_ms.
-  std::mutex execute_mu_;
-  core::ResilienceOptions resilience_;
-  core::PlanOptions plan_options_;
+  /// Lock-order level: `session` -- held across dispatch into catalog,
+  /// device, and pool code (all inner levels), released before the query
+  /// log is written. mutable so const accessors can snapshot config.
+  mutable Mutex execute_mu_;
+  core::ResilienceOptions resilience_ GUARDED_BY(execute_mu_);
+  core::PlanOptions plan_options_ GUARDED_BY(execute_mu_);
   std::map<std::string, std::unique_ptr<core::Executor>, std::less<>>
-      executors_;
+      executors_ GUARDED_BY(execute_mu_);
 
   /// Shard-pool state. A PoolEntry caches the sharded copy of a table and
   /// its executor; `exec == nullptr` remembers that the sharder refused the
@@ -146,16 +185,17 @@ class Session {
     std::unique_ptr<db::ShardedTable> sharded;
     std::unique_ptr<core::PoolExecutor> exec;
   };
-  gpu::DevicePool* pool_ = nullptr;
-  int pool_shards_ = 0;
-  std::map<std::string, PoolEntry, std::less<>> pool_executors_;
-  /// Attribution of the statement currently executing (guarded by
-  /// execute_mu_): whether it ran pooled, and the stats it produced.
-  bool pooled_statement_ = false;
-  core::PoolQueryStats pool_stats_;
+  gpu::DevicePool* pool_ GUARDED_BY(execute_mu_) = nullptr;
+  int pool_shards_ GUARDED_BY(execute_mu_) = 0;
+  std::map<std::string, PoolEntry, std::less<>> pool_executors_
+      GUARDED_BY(execute_mu_);
+  /// Attribution of the statement currently executing: whether it ran
+  /// pooled, and the stats it produced.
+  bool pooled_statement_ GUARDED_BY(execute_mu_) = false;
+  core::PoolQueryStats pool_stats_ GUARDED_BY(execute_mu_);
 
-  AdmissionController* admission_ = nullptr;
-  std::string tenant_;
+  AdmissionController* admission_ GUARDED_BY(execute_mu_) = nullptr;
+  std::string tenant_ GUARDED_BY(execute_mu_);
 };
 
 }  // namespace sql

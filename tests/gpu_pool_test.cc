@@ -90,6 +90,27 @@ TEST(DevicePool, ForcedLossRefusesEvenProbes) {
   EXPECT_TRUE(pool->AdmitDispatch(1));
 }
 
+// Regression for the probe re-admission race: AdmitDispatch's verdict is a
+// snapshot, and the card can be force-lost while the dispatcher waits on
+// the lease. TryAcquire re-checks under the health lock once the lease is
+// held, so the stale admission surfaces as a deterministic kDeviceLost that
+// the pool executor converts into failover -- never a dispatch to a yanked
+// device.
+TEST(DevicePool, TryAcquireRechecksForcedLossAfterAdmission) {
+  auto pool = MakePool(2);
+  ASSERT_TRUE(pool->AdmitDispatch(1));  // the stale verdict
+  pool->ForceDeviceLost(1);             // card pulled before the lease
+
+  auto lease = pool->TryAcquire(1);
+  ASSERT_FALSE(lease.ok());
+  EXPECT_TRUE(lease.status().IsDeviceLost()) << lease.status().ToString();
+
+  pool->Revive(1);
+  auto revived = pool->TryAcquire(1);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ(revived.ValueOrDie().id(), 1);
+}
+
 TEST(DevicePool, PerDeviceFailureDomainSeeds) {
   DevicePoolOptions options;
   options.devices = 3;

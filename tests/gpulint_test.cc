@@ -399,6 +399,354 @@ TEST(GpulintR6, CatalogInternalsAreOutOfScope) {
 }
 
 // ---------------------------------------------------------------------------
+// R7: guard coverage in mutex-owning classes, no naked lock()/unlock().
+
+TEST(GpulintR7, FlagsUnguardedFieldOfMutexOwningClass) {
+  Corpus c;
+  c.Add("src/gpu/pool.h",
+        "class Pool {\n"
+        " private:\n"
+        "  Mutex mu_;\n"
+        "  int hits_;\n"
+        "  int safe_ GUARDED_BY(mu_);\n"
+        "};\n");
+  const auto diags = RunR7(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R7");
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("hits_"), std::string::npos);
+}
+
+TEST(GpulintR7, GuardedMarkedConstAndSyncFieldsAreClean) {
+  Corpus c;
+  c.Add("src/gpu/pool.h",
+        "class Pool {\n"
+        " private:\n"
+        "  mutable Mutex mu_;\n"
+        "  CondVar cv_;\n"
+        "  std::map<std::string, int> index_ GUARDED_BY(mu_);\n"
+        "  std::atomic<int> fast_{0};  // lint: lock-free (relaxed atomic)\n"
+        "  // lint: lock-free (written once in the constructor, const\n"
+        "  // thereafter)\n"
+        "  std::vector<int> shape_;\n"
+        "  static constexpr int kMax = 4;\n"
+        "  const int width_ = 0;\n"
+        "};\n");
+  EXPECT_TRUE(RunR7(c.Finalize()).empty());
+}
+
+TEST(GpulintR7, ClassWithoutAMutexIsOutOfScope) {
+  Corpus c;
+  // unique_ptr<std::mutex> does not make the class a capability owner
+  // (DevicePool::Slot: the lock identity lives with the Lease).
+  c.Add("src/gpu/slot.h",
+        "struct Slot {\n"
+        "  std::unique_ptr<std::mutex> exec_mu;\n"
+        "  int generation;\n"
+        "};\n");
+  EXPECT_TRUE(RunR7(c.Finalize()).empty());
+}
+
+TEST(GpulintR7, FlagsNakedLockAndAllowsScopedHolderRelease) {
+  Corpus c;
+  c.Add("src/gpu/pool.cc",
+        "void Pool::Poke() {\n"
+        "  mu_.lock();\n"
+        "  mu_.unlock();\n"
+        "  execute_lock.unlock();\n"  // a scoped holder released early
+        "}\n");
+  const auto diags = RunR7(c.Finalize());
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[1].line, 3);
+}
+
+TEST(GpulintR7, TheMutexWrapperItselfIsExempt) {
+  Corpus c;
+  c.Add("src/common/mutex.h",
+        "class Mutex {\n"
+        " public:\n"
+        "  void Lock() { mu_.lock(); }\n"
+        "  void Unlock() { mu_.unlock(); }\n"
+        " private:\n"
+        "  std::mutex mu_;\n"
+        "};\n");
+  EXPECT_TRUE(RunR7(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R8: declared lock order, same-subsystem nesting, listeners under a lock.
+
+TEST(GpulintR8, FlagsOutOfOrderAcquisitionThroughAHelper) {
+  Corpus c;
+  // catalog (level 2) is acquired by LookupEntry; the pool (level 4) must
+  // not call it while holding its own lock -- 4 -> 2 inverts the order.
+  c.Add("src/db/catalog.cc",
+        "int Catalog::LookupEntry() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  return 1;\n"
+        "}\n");
+  c.Add("src/gpu/device_pool.cc",
+        "void DevicePool::Probe() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  LookupEntry();\n"
+        "}\n");
+  const auto diags = RunR8(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R8");
+  EXPECT_EQ(diags[0].file, "src/gpu/device_pool.cc");
+  EXPECT_NE(diags[0].message.find("LookupEntry"), std::string::npos);
+}
+
+TEST(GpulintR8, ForwardOrderAcquisitionIsClean) {
+  Corpus c;
+  // session (1) calling into the catalog (2) walks the order forwards.
+  c.Add("src/db/catalog.cc",
+        "int Catalog::LookupEntry() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  return 1;\n"
+        "}\n");
+  c.Add("src/sql/session.cc",
+        "void Session::Run() {\n"
+        "  MutexLock lock(&execute_mu_);\n"
+        "  LookupEntry();\n"
+        "}\n");
+  EXPECT_TRUE(RunR8(c.Finalize()).empty());
+}
+
+TEST(GpulintR8, FlagsLexicallyNestedScopedLocks) {
+  Corpus c;
+  c.Add("src/db/catalog.cc",
+        "void Catalog::Swap() {\n"
+        "  MutexLock a(&mu_);\n"
+        "  MutexLock b(&other_mu_);\n"
+        "}\n");
+  const auto diags = RunR8(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("still held"), std::string::npos);
+}
+
+TEST(GpulintR8, SequentialScopedBlocksDoNotNest) {
+  Corpus c;
+  // thread_pool's claim/complete shape: two scoped blocks, never held
+  // together.
+  c.Add("src/gpu/thread_pool.cc",
+        "void ThreadPool::Pump() {\n"
+        "  {\n"
+        "    MutexLock lock(&mu_);\n"
+        "  }\n"
+        "  {\n"
+        "    MutexLock lock(&mu_);\n"
+        "  }\n"
+        "}\n");
+  EXPECT_TRUE(RunR8(c.Finalize()).empty());
+}
+
+TEST(GpulintR8, FlagsListenerInvocationUnderALock) {
+  Corpus c;
+  c.Add("src/db/catalog.cc",
+        "void Catalog::Bump() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  FireVersionListener(name);\n"
+        "}\n");
+  const auto diags = RunR8(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("after release"), std::string::npos);
+}
+
+TEST(GpulintR8, ListenerRegistrationAndSnapshotAfterReleaseAreClean) {
+  Corpus c;
+  // The shipped BumpTableVersion shape: copy under the lock, fire outside.
+  c.Add("src/db/catalog.cc",
+        "void Catalog::Bump() {\n"
+        "  std::vector<Listener> snapshot;\n"
+        "  {\n"
+        "    MutexLock lock(&mu_);\n"
+        "    snapshot = version_listeners_;\n"
+        "  }\n"
+        "  for (const auto& fire : snapshot) fire(name);\n"
+        "}\n"
+        "void Catalog::AddVersionListener(Listener fn) {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  version_listeners_.push_back(std::move(fn));\n"
+        "}\n");
+  EXPECT_TRUE(RunR8(c.Finalize()).empty());
+}
+
+TEST(GpulintR8, AdoptLockSitesAreNotAcquisitions) {
+  Corpus c;
+  c.Add("src/db/catalog.cc",
+        "void Catalog::Resume() {\n"
+        "  std::unique_lock<std::mutex> held(mu_.native(), "
+        "std::adopt_lock);\n"
+        "  std::unique_lock<std::mutex> fresh(other_);\n"
+        "}\n");
+  // The adopt site wraps an existing hold: only the fresh acquisition
+  // exists, and nothing nests inside it.
+  EXPECT_TRUE(RunR8(c.Finalize()).empty());
+}
+
+TEST(GpulintR8, AmbiguousNamesNeverPoisonTheOrder) {
+  Corpus c;
+  // Two unrelated Execute definitions: the session one locks admission
+  // (level 0); the shader one is pure compute. A catalog region calling
+  // the *shader* Execute must not inherit the session's acquisitions.
+  c.Add("src/sql/admission.cc",
+        "Ticket AdmissionController::Admit() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  return Ticket(this);\n"
+        "}\n");
+  c.Add("src/sql/session.cc",
+        "Result<QueryResult> Session::Execute() {\n"
+        "  return admission_->Admit();\n"
+        "}\n");
+  c.Add("src/gpu/device.cc",
+        "FragmentOutput FragmentProgram::Execute(const Fragment& f) {\n"
+        "  return Shade(f);\n"
+        "}\n");
+  c.Add("src/db/catalog.cc",
+        "void Catalog::Materialize() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  program.Execute(fragment);\n"
+        "}\n");
+  EXPECT_TRUE(RunR8(c.Finalize()).empty());
+}
+
+TEST(GpulintR8, LockOrderRegistryRoundTrip) {
+  // Every tier of the declared order (DESIGN.md §12), in one corpus: each
+  // level acquires its own lock and calls one level forward — clean — and
+  // a single backward edge at the end is the only diagnostic.
+  Corpus c;
+  c.Add("src/sql/admission.cc",
+        "void AdmissionController::Enter() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  SessionStep();\n"
+        "}\n");
+  c.Add("src/sql/session.cc",
+        "void Session::SessionStep() {\n"
+        "  MutexLock lock(&execute_mu_);\n"
+        "  CatalogStep();\n"
+        "}\n");
+  c.Add("src/db/catalog.cc",
+        "void Catalog::CatalogStep() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  DeviceStep();\n"
+        "}\n");
+  c.Add("src/gpu/thread_pool.cc",
+        "void ThreadPool::DeviceStep() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  PoolStep();\n"
+        "}\n");
+  c.Add("src/gpu/device_pool.cc",
+        "void DevicePool::PoolStep() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  TelemetryStep();\n"
+        "}\n");
+  c.Add("src/common/metrics.cc",
+        "void MetricsRegistry::TelemetryStep() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  counters_.clear();\n"
+        "}\n"
+        "void MetricsRegistry::Backwards() {\n"
+        "  MutexLock lock(&mu_);\n"
+        "  Enter();\n"  // telemetry (5) back into admission (0)
+        "}\n");
+  const auto diags = RunR8(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/common/metrics.cc");
+  EXPECT_NE(diags[0].message.find("level-0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// R9: band-parallel kernels never touch GUARDED_BY fields.
+
+TEST(GpulintR9, FlagsGuardedFieldInInlineParallelForBody) {
+  Corpus c;
+  c.Add("src/gpu/thread_pool.h",
+        "class ThreadPool {\n"
+        "  Mutex mu_;\n"
+        "  int remaining_ GUARDED_BY(mu_);\n"
+        "};\n");
+  c.Add("src/gpu/op.cc",
+        "void Op::Run() {\n"
+        "  pool->ParallelFor(bands, [&](int b) { remaining_ -= b; });\n"
+        "}\n");
+  const auto diags = RunR9(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R9");
+  EXPECT_NE(diags[0].message.find("remaining_"), std::string::npos);
+}
+
+TEST(GpulintR9, ResolvesWorkerLambdasPassedByName) {
+  Corpus c;
+  c.Add("src/db/catalog.h",
+        "class Catalog {\n"
+        "  Mutex mu_;\n"
+        "  std::map<std::string, Table> tables_ GUARDED_BY(mu_);\n"
+        "};\n");
+  c.Add("src/gpu/op.cc",
+        "void Op::Run() {\n"
+        "  auto run_band = [&](int b) { Touch(tables_); };\n"
+        "  pool->ParallelFor(bands, run_band);\n"
+        "}\n");
+  const auto diags = RunR9(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("run_band"), std::string::npos);
+}
+
+TEST(GpulintR9, QuadRowKernelBodiesAreScanned) {
+  Corpus c;
+  c.Add("src/gpu/thread_pool.h",
+        "class ThreadPool {\n"
+        "  Mutex mu_;\n"
+        "  int job_size_ GUARDED_BY(mu_);\n"
+        "};\n");
+  c.Add("src/gpu/device.cc",
+        "void QuadRowKernel(FrameBuffer* fb) {\n"
+        "  fb->Write(job_size_);\n"
+        "}\n");
+  const auto diags = RunR9(c.Finalize());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("QuadRowKernel"), std::string::npos);
+}
+
+TEST(GpulintR9, SameNameUnguardedFieldInTheFilePairShadows) {
+  Corpus c;
+  // Tracer::counters_ is guarded; Device::counters_ is the device's own
+  // unguarded ledger. A kernel in device.cc touching counters_ means the
+  // device one — no diagnostic.
+  c.Add("src/common/trace.h",
+        "class Tracer {\n"
+        "  Mutex mu_;\n"
+        "  std::map<std::string, double> counters_ GUARDED_BY(mu_);\n"
+        "};\n");
+  c.Add("src/gpu/device.h",
+        "class Device {\n"
+        "  DeviceCounters counters_;\n"
+        "};\n");
+  c.Add("src/gpu/device.cc",
+        "void QuadRowKernel(Device* d) {\n"
+        "  d->counters_.fragments += 1;\n"
+        "}\n");
+  EXPECT_TRUE(RunR9(c.Finalize()).empty());
+}
+
+TEST(GpulintR9, PureComputeKernelsAreClean) {
+  Corpus c;
+  c.Add("src/db/catalog.h",
+        "class Catalog {\n"
+        "  Mutex mu_;\n"
+        "  std::map<std::string, Table> tables_ GUARDED_BY(mu_);\n"
+        "};\n");
+  c.Add("src/gpu/op.cc",
+        "void Op::Run() {\n"
+        "  pool->ParallelFor(bands, [&](int b) { out[b] = in[b] * 2; });\n"
+        "}\n");
+  EXPECT_TRUE(RunR9(c.Finalize()).empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions: inline markers and the committed file.
 
 TEST(GpulintSuppressions, InlineAllowCoversSameLineAndLineAbove) {

@@ -304,6 +304,44 @@ TEST(CatalogTest, TableVersionsBumpAndNotify) {
   EXPECT_EQ(bumped.size(), 1u);
 }
 
+// Regression: BumpTableVersion snapshots the listener list and invokes it
+// *after* releasing mu_ (catalog.cc). A listener that re-enters the catalog
+// -- the Session's plane-cache invalidator reads catalog state, and a
+// cascading bump is legal -- would self-deadlock on the non-recursive mutex
+// if the notification ran under the lock. This test is the tripwire: it
+// hangs (and times out) if the invoke ever moves back inside the critical
+// section.
+TEST(CatalogTest, VersionListenerMayReenterTheCatalog) {
+  db::Catalog catalog;
+  auto users = db::MakeUniformTable(16, 4);
+  auto orders = db::MakeUniformTable(16, 4);
+  ASSERT_OK(users.status());
+  ASSERT_OK(orders.status());
+  ASSERT_OK(catalog.Register("users", &users.ValueOrDie()));
+  ASSERT_OK(catalog.Register("orders", &orders.ValueOrDie()));
+
+  std::vector<std::string> bumped;
+  bool cascaded = false;
+  catalog.AddVersionListener([&](const std::string& name) {
+    bumped.push_back(name);
+    // Re-entrant reads under the same mutex the bump just held.
+    EXPECT_GE(catalog.version(name), 2u);
+    EXPECT_EQ(catalog.TableNames().size(), 2u);
+    ASSERT_TRUE(catalog.Lookup(name).ok());
+    // One cascading bump of the *other* table, from inside the callback.
+    if (!cascaded) {
+      cascaded = true;
+      ASSERT_OK(catalog.BumpTableVersion(name == "users" ? "orders"
+                                                         : "users"));
+    }
+  });
+
+  ASSERT_OK(catalog.BumpTableVersion("users"));
+  EXPECT_EQ(catalog.version("users"), 2u);
+  EXPECT_EQ(catalog.version("orders"), 2u);
+  EXPECT_EQ(bumped, (std::vector<std::string>{"users", "orders"}));
+}
+
 // Satellite invariant (DESIGN.md §14): a catalog version bump -- here via
 // ANALYZE, which re-reads the backing store -- must evict the table's
 // cached depth planes. The next query misses the cache, re-snapshots under

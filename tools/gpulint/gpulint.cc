@@ -206,6 +206,10 @@ std::string FormatText(const Diagnostic& d) {
          d.message;
 }
 
+std::string SuppressionKey(const Diagnostic& d) {
+  return d.rule + " " + d.file + ":" + std::to_string(d.line);
+}
+
 namespace {
 
 std::string JsonEscape(const std::string& s) {
@@ -275,6 +279,17 @@ std::string ReportJson(const LintResult& result) {
   out += "  \"ok\": ";
   out += result.active.empty() ? "true" : "false";
   out += "\n}\n";
+  return out;
+}
+
+std::string FormatJsonRecords(const LintResult& result) {
+  std::string out;
+  for (const Diagnostic& d : result.active) {
+    out += "{\"rule\":\"" + JsonEscape(d.rule) + "\",\"file\":\"" +
+           JsonEscape(d.file) + "\",\"line\":" + std::to_string(d.line) +
+           ",\"message\":\"" + JsonEscape(d.message) +
+           "\",\"suppression\":\"" + JsonEscape(SuppressionKey(d)) + "\"}\n";
+  }
   return out;
 }
 

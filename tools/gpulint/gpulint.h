@@ -49,8 +49,16 @@ LintResult RunLint(const LintOptions& options);
 /// "file:line: [R2] message" — the clickable diagnostic form.
 std::string FormatText(const Diagnostic& d);
 
+/// The line to paste into lint.suppressions to vet this diagnostic:
+/// "R7 src/gpu/device.cc:123".
+std::string SuppressionKey(const Diagnostic& d);
+
 /// Machine-readable report (schema documented in DESIGN.md §12).
 std::string ReportJson(const LintResult& result);
+
+/// One JSON record per active diagnostic, newline-delimited (the
+/// --format=json stream): {"rule","file","line","message","suppression"}.
+std::string FormatJsonRecords(const LintResult& result);
 
 }  // namespace gpulint
 

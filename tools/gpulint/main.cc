@@ -1,13 +1,17 @@
 // gpulint — the engine's in-tree static analyzer (DESIGN.md §12).
 //
 // Usage:
-//   gpulint [--root DIR] [--json FILE] [--suppressions FILE]
-//           [--registry FILE] [--list-rules] [paths...]
+//   gpulint [--root DIR] [--json FILE] [--format=text|json]
+//           [--suppressions FILE] [--registry FILE] [--list-rules]
+//           [paths...]
 //
 // With no arguments it lints src/ under the current directory, reads
 // lint.suppressions at the root when present, and loads the metric-name
-// registry from src/common/metric_names.h. Exit status is 0 when every
-// diagnostic is suppressed or absent, 1 otherwise, 2 on usage errors.
+// registry from src/common/metric_names.h. --format=json streams one JSON
+// record per active diagnostic to stdout (rule, file, line, message, and
+// the ready-to-paste suppression key) instead of the text lines. Exit
+// status is 0 when every diagnostic is suppressed or absent, 1 otherwise,
+// 2 on usage errors.
 
 #include <cstdio>
 #include <filesystem>
@@ -32,6 +36,7 @@ bool FlagValue(const std::string& arg, std::string_view flag,
 int main(int argc, char** argv) {
   gpulint::LintOptions options;
   std::string json_path;
+  std::string format = "text";
   bool suppressions_given = false;
   bool registry_given = false;
 
@@ -48,6 +53,12 @@ int main(int argc, char** argv) {
       options.root = value;
     } else if (FlagValue(arg, "--json", &value)) {
       json_path = value;
+    } else if (FlagValue(arg, "--format", &value)) {
+      if (value != "text" && value != "json") {
+        std::fprintf(stderr, "gpulint: --format must be text or json\n");
+        return 2;
+      }
+      format = value;
     } else if (FlagValue(arg, "--suppressions", &value)) {
       options.suppressions_path = value;
       suppressions_given = true;
@@ -88,8 +99,12 @@ int main(int argc, char** argv) {
                  "prune it\n",
                  s.source_line, s.rule.c_str(), s.path.c_str());
   }
-  for (const gpulint::Diagnostic& d : result.active) {
-    std::printf("%s\n", gpulint::FormatText(d).c_str());
+  if (format == "json") {
+    std::fputs(gpulint::FormatJsonRecords(result).c_str(), stdout);
+  } else {
+    for (const gpulint::Diagnostic& d : result.active) {
+      std::printf("%s\n", gpulint::FormatText(d).c_str());
+    }
   }
 
   if (!json_path.empty()) {
@@ -101,8 +116,11 @@ int main(int argc, char** argv) {
     out << gpulint::ReportJson(result);
   }
 
-  std::printf("gpulint: %zu diagnostic%s (%zu suppressed) across %d files\n",
-              result.active.size(), result.active.size() == 1 ? "" : "s",
-              result.suppressed.size(), result.files_scanned);
+  // In json mode stdout carries only records; the human summary moves to
+  // stderr so pipelines can consume the stream directly.
+  std::fprintf(format == "json" ? stderr : stdout,
+               "gpulint: %zu diagnostic%s (%zu suppressed) across %d files\n",
+               result.active.size(), result.active.size() == 1 ? "" : "s",
+               result.suppressed.size(), result.files_scanned);
   return result.active.empty() ? 0 : 1;
 }

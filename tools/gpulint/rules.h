@@ -61,6 +61,30 @@ class Program {
   bool MetricRegistered(const std::string& name, bool dynamic_suffix) const;
   bool has_metric_registry() const { return metric_registry_loaded_; }
 
+  /// The minimum lock-order level `name` (transitively) acquires a scoped
+  /// lock at, or kNoLevel when it acquires nothing in a level-mapped file.
+  /// Levels come from the declared registry in DESIGN.md §12: admission(0)
+  /// → session(1) → catalog(2) → device(3) → pool(4) → telemetry(5).
+  /// Names defined under two different qualifiers (Session::Execute vs the
+  /// fragment program's Execute) are ambiguous under gpulint's name-merged
+  /// call graph; R8 treats them as opaque — never a false positive from a
+  /// merge — so keep lock-acquiring entry points uniquely named.
+  static constexpr int kNoLevel = 1000;
+  int MinAcquireLevel(const std::string& name) const;
+
+  /// Every GUARDED_BY-annotated field name across the program (R9's "do not
+  /// touch from a band-parallel kernel" set).
+  const std::set<std::string>& guarded_fields() const {
+    return guarded_fields_;
+  }
+
+  /// Unguarded field names declared in the .h/.cc pair `stem` (path minus
+  /// extension). R9 subtracts these from the guarded set at sites inside
+  /// the pair, so a class whose own unguarded `counters_` shadows another
+  /// class's guarded `counters_` is not falsely flagged.
+  const std::set<std::string>& UnguardedFieldsForStem(
+      const std::string& stem) const;
+
  private:
   /// Closure of "calls something in `seed`, directly or transitively".
   /// Functions named in `blocked` neither join the closure nor propagate
@@ -81,6 +105,14 @@ class Program {
   std::vector<std::string> metric_exact_;
   std::vector<std::string> metric_prefixes_;
   bool metric_registry_loaded_ = false;
+  // fn -> minimum lock-order level it directly acquires (R8).
+  std::map<std::string, int> acquire_level_;
+  // fn -> distinct definition sites ("Class" qualifier, or "@file" for
+  // free / in-class definitions). Two or more tags = ambiguous name.
+  std::map<std::string, std::set<std::string>> def_tags_;
+  std::set<std::string> ambiguous_;
+  std::set<std::string> guarded_fields_;
+  std::map<std::string, std::set<std::string>> unguarded_by_stem_;
 };
 
 /// R1: no discarded Status/Result values, and every Status/Result-returning
@@ -109,6 +141,23 @@ std::vector<Diagnostic> RunR5(const Program& program);
 /// after an ANALYZE re-read — must also reach Catalog::BumpTableVersion,
 /// so cached depth planes keyed on the table version are invalidated.
 std::vector<Diagnostic> RunR6(const Program& program);
+
+/// R7: every mutable field of a mutex-owning class is GUARDED_BY-annotated
+/// or carries a `// lint: lock-free (reason)` justification, and naked
+/// .lock()/.unlock() calls are banned in favor of scoped holders
+/// (src/common/mutex.h, the wrapper itself, is exempt).
+std::vector<Diagnostic> RunR7(const Program& program);
+
+/// R8: lock-order discipline against the declared registry (DESIGN.md §12).
+/// A locked region must not call anything that (transitively) acquires a
+/// lock at an earlier level, must not lexically nest a second scoped
+/// acquisition in the same file, and must not invoke listeners/callbacks.
+std::vector<Diagnostic> RunR8(const Program& program);
+
+/// R9: band-parallel kernels (QuadRowKernel, ParallelFor bodies) must not
+/// touch any GUARDED_BY field — workers synchronize through the pool's own
+/// protocol, never through engine locks.
+std::vector<Diagnostic> RunR9(const Program& program);
 
 /// All rules, in id order.
 std::vector<Diagnostic> RunAllRules(const Program& program);

@@ -28,7 +28,47 @@ bool IsDeclSpecifier(const std::string& t) {
 SourceModel::SourceModel(std::string path, std::string_view source)
     : path_(std::move(path)), tokens_(Tokenize(source)) {
   ScanInlineSuppressions(source);
+  ScanLockFreeMarkers(source);
   ScanStructure();
+  ScanClasses();
+  ScanLockDiscipline();
+}
+
+void SourceModel::ScanLockFreeMarkers(std::string_view source) {
+  // Raw-text scan, like the inline suppressions: the lexer throws comments
+  // away, but R7's justification marker lives in one. A line is
+  // comment-only when its first non-blank characters open a comment;
+  // markers reach a field through any contiguous run of such lines above
+  // its declaration.
+  int line = 1;
+  size_t pos = 0;
+  while (pos < source.size()) {
+    size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    const std::string_view text = source.substr(pos, eol - pos);
+    if (text.find("lint: lock-free") != std::string_view::npos) {
+      lock_free_lines_.insert(line);
+    }
+    const size_t first = text.find_first_not_of(" \t");
+    if (first != std::string_view::npos && first + 1 < text.size() &&
+        text[first] == '/' &&
+        (text[first + 1] == '/' || text[first + 1] == '*')) {
+      comment_lines_.insert(line);
+    }
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+bool SourceModel::LockFreeMarkedAt(int line) const {
+  if (lock_free_lines_.count(line) != 0) return true;
+  // Walk up through the comment block directly above the declaration.
+  int l = line - 1;
+  while (l >= 1 && comment_lines_.count(l) != 0) {
+    if (lock_free_lines_.count(l) != 0) return true;
+    --l;
+  }
+  return false;
 }
 
 void SourceModel::ScanInlineSuppressions(std::string_view source) {
@@ -90,6 +130,18 @@ std::set<std::string> SourceModel::CallsIn(size_t begin, size_t end) const {
     }
   }
   return calls;
+}
+
+std::set<std::string> SourceModel::IdentifiersIn(size_t begin,
+                                                 size_t end) const {
+  std::set<std::string> idents;
+  for (size_t i = begin; i < end && i < tokens_.size(); ++i) {
+    if (tokens_[i].kind == TokenKind::kIdentifier &&
+        !IsControlKeyword(tokens_[i].text)) {
+      idents.insert(tokens_[i].text);
+    }
+  }
+  return idents;
 }
 
 void SourceModel::RecordFallibleDecl(size_t type_token, size_t name_token) {
@@ -383,6 +435,281 @@ void SourceModel::ScanStructure() {
       continue;
     }
     i = name_tok + 1;
+  }
+}
+
+namespace {
+
+/// The thread-safety annotation macros that may trail a member declaration.
+bool IsFieldAnnotation(const std::string& t) {
+  static const std::set<std::string> kAnnotations = {
+      "GUARDED_BY",     "PT_GUARDED_BY",  "ACQUIRED_BEFORE",
+      "ACQUIRED_AFTER",
+  };
+  return kAnnotations.count(t) != 0;
+}
+
+/// Tokens that mean "this class-body statement is not a data member".
+bool IsNonFieldKeyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "using",  "typedef", "friend",        "operator",
+      "enum",   "template", "static_assert", "public",
+      "private", "protected", "class",       "struct",
+      "union",
+  };
+  return kKeywords.count(t) != 0;
+}
+
+}  // namespace
+
+void SourceModel::ScanClasses() {
+  const size_t n = tokens_.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Token& t = tokens_[i];
+    if (!t.IsIdent("class") && !t.IsIdent("struct")) continue;
+    if (i > 0 && tokens_[i - 1].IsIdent("enum")) continue;  // enum class
+    // The class name is the last identifier before the base-clause ':',
+    // the body '{', or — for a forward declaration — the ';'. Attribute
+    // macros (CAPABILITY("mutex")) lex as ident + (...) and are walked over.
+    std::string name;
+    int name_line = 0;
+    size_t j = i + 1;
+    while (j < n) {
+      const Token& u = tokens_[j];
+      if (u.Is(";") || u.Is("{") || u.Is(":")) break;
+      if (u.Is("(")) {
+        j = MatchForward(j) + 1;
+        continue;
+      }
+      if (u.kind == TokenKind::kIdentifier && !u.IsIdent("final") &&
+          !u.IsIdent("alignas")) {
+        name = u.text;
+        name_line = u.line;
+      }
+      ++j;
+    }
+    if (j >= n || tokens_[j].Is(";") || name.empty()) continue;
+    if (tokens_[j].Is(":")) {  // skip the base clause
+      while (j < n && !tokens_[j].Is("{")) ++j;
+    }
+    if (j >= n || !tokens_[j].Is("{")) continue;
+    const size_t body_end = MatchForward(j);
+    ScanClassBody(name, name_line, j + 1, body_end);
+    // Do not skip past the body: nested classes are found by the same
+    // outer loop (ScanClassBody skips them when collecting members).
+  }
+}
+
+void SourceModel::ScanClassBody(const std::string& class_name, int class_line,
+                                size_t body_begin, size_t body_end) {
+  ClassInfo cls;
+  cls.name = class_name;
+  cls.line = class_line;
+  std::vector<size_t> stmt;  // token indices of the current statement
+  size_t i = body_begin;
+  while (i < body_end && i < tokens_.size()) {
+    const Token& t = tokens_[i];
+    if (t.Is("{")) {
+      // An init-brace directly follows the field name; anything else
+      // (member-function body, nested class, in-class initializer list)
+      // opens a block to skip. Either way the braced range contributes no
+      // member tokens.
+      const bool init_brace =
+          !stmt.empty() &&
+          tokens_[stmt.back()].kind == TokenKind::kIdentifier &&
+          !IsNonFieldKeyword(tokens_[stmt.back()].text);
+      const size_t close = MatchForward(i);
+      if (!init_brace) stmt.clear();
+      i = close + 1;
+      continue;
+    }
+    if (t.Is(";")) {
+      RecordMemberField(&cls, stmt);
+      stmt.clear();
+      ++i;
+      continue;
+    }
+    if (t.Is(":") && stmt.size() == 1 &&
+        (tokens_[stmt[0]].IsIdent("public") ||
+         tokens_[stmt[0]].IsIdent("private") ||
+         tokens_[stmt[0]].IsIdent("protected"))) {
+      stmt.clear();
+      ++i;
+      continue;
+    }
+    stmt.push_back(i);
+    ++i;
+  }
+  for (const MemberField& f : cls.fields) {
+    if (f.is_mutex) cls.owns_mutex = true;
+  }
+  classes_.push_back(std::move(cls));
+}
+
+void SourceModel::RecordMemberField(ClassInfo* cls,
+                                    const std::vector<size_t>& stmt) {
+  if (stmt.empty()) return;
+  bool guarded = false;
+  std::vector<size_t> prefix;  // stmt minus annotations, cut at '='
+  for (size_t k = 0; k < stmt.size(); ++k) {
+    const Token& t = tokens_[stmt[k]];
+    if (t.kind == TokenKind::kIdentifier && IsNonFieldKeyword(t.text)) return;
+    if (t.kind == TokenKind::kIdentifier && IsFieldAnnotation(t.text) &&
+        k + 1 < stmt.size() && tokens_[stmt[k + 1]].Is("(")) {
+      if (t.text == "GUARDED_BY" || t.text == "PT_GUARDED_BY") guarded = true;
+      // Skip the annotation's argument list.
+      int depth = 0;
+      ++k;
+      while (k < stmt.size()) {
+        if (tokens_[stmt[k]].Is("(")) ++depth;
+        if (tokens_[stmt[k]].Is(")") && --depth == 0) break;
+        ++k;
+      }
+      continue;
+    }
+    if (t.Is("=")) break;
+    prefix.push_back(stmt[k]);
+  }
+  if (prefix.empty()) return;
+
+  // Walk the declaration prefix tracking template-argument depth; a '('
+  // outside template arguments makes this a function declaration, not a
+  // field. The lexer max-munches ">>" (closes two levels).
+  int angle = 0;
+  size_t name_tok = tokens_.size();
+  bool is_static_const = false;
+  bool saw_mutex_type = false;
+  bool saw_sync_type = false;
+  bool saw_ptr_or_ref = false;
+  for (size_t k = 0; k < prefix.size(); ++k) {
+    const Token& t = tokens_[prefix[k]];
+    if (t.Is("<")) ++angle;
+    if (t.Is(">")) angle = angle > 0 ? angle - 1 : 0;
+    if (t.Is(">>")) angle = angle > 1 ? angle - 2 : 0;
+    if (angle > 0) {
+      // std::unique_ptr<std::mutex> and friends: the capability lives on
+      // the heap object, not in this class — sync-typed but not owning.
+      if (t.IsIdent("mutex") || t.IsIdent("Mutex") ||
+          t.IsIdent("condition_variable") || t.IsIdent("CondVar") ||
+          t.IsIdent("unique_lock") || t.IsIdent("lock_guard")) {
+        saw_sync_type = true;
+      }
+      continue;
+    }
+    if (t.Is("(")) return;  // function declaration
+    if (t.Is("*") || t.Is("&") || t.Is("&&")) saw_ptr_or_ref = true;
+    if (t.IsIdent("static") || t.IsIdent("constexpr") || t.IsIdent("const")) {
+      is_static_const = true;
+    }
+    if (t.IsIdent("mutex") || t.IsIdent("Mutex")) {
+      saw_sync_type = true;
+      if (!saw_ptr_or_ref) saw_mutex_type = true;
+    }
+    if (t.IsIdent("condition_variable") || t.IsIdent("CondVar") ||
+        t.IsIdent("MutexLock") || t.IsIdent("unique_lock") ||
+        t.IsIdent("lock_guard") || t.IsIdent("once_flag")) {
+      saw_sync_type = true;
+    }
+    if (t.kind == TokenKind::kIdentifier) name_tok = prefix[k];
+  }
+  if (name_tok == tokens_.size()) return;
+  // The name must be the last identifier, with only array extents after it.
+  const std::string& name = tokens_[name_tok].text;
+  if (name.empty() || IsControlKeyword(name)) return;
+  // A trailing type keyword is a malformed/abstract declaration, not a
+  // field ("int;" does not happen; "Mutex mu_" does).
+  if (name == "mutex" || name == "int" || name == "double" ||
+      name == "float" || name == "bool" || name == "char" ||
+      name == "void" || name == "uint64_t" || name == "size_t") {
+    return;
+  }
+
+  MemberField f;
+  f.name = name;
+  f.line = tokens_[name_tok].line;
+  f.guarded = guarded;
+  f.lock_free_marked = LockFreeMarkedAt(f.line);
+  f.is_sync = saw_sync_type;
+  f.is_static_const = is_static_const;
+  // "Owns a mutex": the *last* type mention decides, and the declared name
+  // must not itself be the mutex type token.
+  f.is_mutex = saw_mutex_type && name != "Mutex" && name != "mutex" &&
+               !saw_ptr_or_ref;
+  cls->fields.push_back(std::move(f));
+}
+
+void SourceModel::ScanLockDiscipline() {
+  const size_t n = tokens_.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const Token& t = tokens_[i];
+
+    // --- Naked .lock()/.unlock() calls ----------------------------------
+    if ((t.Is(".") || t.Is("->")) && i + 3 < n &&
+        (tokens_[i + 1].IsIdent("lock") || tokens_[i + 1].IsIdent("unlock")) &&
+        tokens_[i + 2].Is("(") && tokens_[i + 3].Is(")")) {
+      NakedLockCall c;
+      c.line = tokens_[i + 1].line;
+      c.method = tokens_[i + 1].text;
+      if (i > 0 && tokens_[i - 1].kind == TokenKind::kIdentifier) {
+        c.receiver = tokens_[i - 1].text;
+      }
+      naked_locks_.push_back(std::move(c));
+      continue;
+    }
+
+    // --- Scoped-holder acquisition sites --------------------------------
+    // MutexLock name(...);  |  std::lock_guard<...> name(...);  | likewise
+    // unique_lock / scoped_lock. The declaring token must start a
+    // statement so member declarations and parameter types do not match.
+    const bool holder_kw = t.IsIdent("MutexLock") ||
+                           t.IsIdent("lock_guard") ||
+                           t.IsIdent("unique_lock") ||
+                           t.IsIdent("scoped_lock");
+    if (!holder_kw) continue;
+    size_t j = i + 1;
+    if (j < n && tokens_[j].Is("<")) {  // template argument list
+      int depth = 0;
+      while (j < n) {
+        if (tokens_[j].Is("<")) ++depth;
+        if (tokens_[j].Is(">") && --depth == 0) break;
+        if (tokens_[j].Is(">>") && (depth -= 2) <= 0) break;
+        ++j;
+      }
+      ++j;
+    }
+    if (j + 1 >= n || tokens_[j].kind != TokenKind::kIdentifier ||
+        !tokens_[j + 1].Is("(")) {
+      continue;
+    }
+    const size_t args_close = MatchForward(j + 1);
+    if (args_close >= n || args_close + 1 >= n ||
+        !tokens_[args_close + 1].Is(";")) {
+      continue;
+    }
+    LockSite site;
+    site.line = t.line;
+    site.holder = t.text;
+    site.decl_token = i;
+    site.region_begin = args_close + 2;
+    for (size_t a = j + 2; a < args_close; ++a) {
+      if (tokens_[a].IsIdent("adopt_lock")) site.adopt = true;
+    }
+    // The region ends at the '}' closing the innermost enclosing block.
+    int depth = 0;
+    size_t e = site.region_begin;
+    while (e < n) {
+      if (tokens_[e].Is("{")) ++depth;
+      if (tokens_[e].Is("}") && --depth < 0) break;
+      ++e;
+    }
+    site.region_end = e;
+    for (const FunctionDef& f : functions_) {
+      if (f.body_begin < i && i < f.body_end) {
+        site.function = f.name;
+        break;
+      }
+    }
+    lock_sites_.push_back(std::move(site));
   }
 }
 

@@ -58,6 +58,52 @@ struct ParallelForSite {
   size_t args_end = 0;    // index of matching ')'
 };
 
+/// One data member of a class/struct declared in this file. Member
+/// functions, using-declarations, and nested types are not fields.
+struct MemberField {
+  std::string name;  // "next_index_"
+  int line = 0;
+  bool guarded = false;           // carries GUARDED_BY(...)/PT_GUARDED_BY(...)
+  bool lock_free_marked = false;  // "// lint: lock-free" on or above the decl
+  bool is_sync = false;       // mutex / condition-variable / CondVar typed
+  bool is_static_const = false;   // static, constexpr, or top-level const
+  bool is_mutex = false;  // a by-value Mutex / std::mutex (capability owner)
+};
+
+/// A class or struct definition with its data members. `owns_mutex` is R7's
+/// trigger: a *by-value* Mutex or std::mutex member. A std::unique_ptr<
+/// std::mutex> does not count (the capability lives elsewhere; see
+/// DevicePool::Slot).
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  bool owns_mutex = false;
+  std::vector<MemberField> fields;
+};
+
+/// A scoped-holder acquisition site (`MutexLock lock(&mu_);`,
+/// `std::lock_guard<...> l(mu_);`, `std::unique_lock<...> l(mu_);`,
+/// `std::scoped_lock l(mu_);`). The locked region runs from the holder
+/// declaration to the closing brace of the innermost enclosing block —
+/// a conservative over-approximation for holders released early.
+struct LockSite {
+  int line = 0;
+  size_t decl_token = 0;    // token index of the holder keyword
+  size_t region_begin = 0;  // token after the holder statement's ';'
+  size_t region_end = 0;    // token index of the enclosing block's '}'
+  bool adopt = false;       // std::adopt_lock — wraps an existing hold
+  std::string holder;       // "MutexLock", "lock_guard", ...
+  std::string function;     // enclosing function name ("" at file scope)
+};
+
+/// A naked `.lock()` / `.unlock()` call (R7 bans these outside the Mutex
+/// wrapper itself; scoped holders named *lock* may be released early).
+struct NakedLockCall {
+  int line = 0;
+  std::string method;    // "lock" or "unlock"
+  std::string receiver;  // identifier left of the '.' / '->' ("" if complex)
+};
+
 /// Token-level model of a single file. Built once, shared by every rule.
 class SourceModel {
  public:
@@ -77,6 +123,11 @@ class SourceModel {
   const std::vector<ParallelForSite>& parallel_fors() const {
     return parallel_fors_;
   }
+  const std::vector<ClassInfo>& classes() const { return classes_; }
+  const std::vector<LockSite>& lock_sites() const { return lock_sites_; }
+  const std::vector<NakedLockCall>& naked_locks() const {
+    return naked_locks_;
+  }
 
   /// Lines carrying a `gpulint-allow(Rn[,Rm])` marker, mapped to rule ids.
   /// A diagnostic is inline-suppressed when its line or the line above
@@ -87,6 +138,10 @@ class SourceModel {
   /// followed by '(' that are not control keywords.
   std::set<std::string> CallsIn(size_t begin, size_t end) const;
 
+  /// Every identifier appearing in [begin, end), called or not (R9's
+  /// "touches a guarded field" test).
+  std::set<std::string> IdentifiersIn(size_t begin, size_t end) const;
+
   /// Index of the matching closer for the opener at `open` ('(' / '{' /
   /// '['), or tokens().size() when unbalanced.
   size_t MatchForward(size_t open) const;
@@ -94,9 +149,16 @@ class SourceModel {
  private:
   void ScanStructure();
   void ScanInlineSuppressions(std::string_view source);
+  void ScanLockFreeMarkers(std::string_view source);
   void RecordFallibleDecl(size_t type_token, size_t name_token);
   void RecordFunction(size_t name_token, size_t body_open);
   void ScanBody(size_t body_begin, size_t body_end);
+  void ScanClasses();
+  void ScanClassBody(const std::string& class_name, int class_line,
+                     size_t body_begin, size_t body_end);
+  void RecordMemberField(ClassInfo* cls, const std::vector<size_t>& stmt);
+  void ScanLockDiscipline();
+  bool LockFreeMarkedAt(int line) const;
 
   std::string path_;
   std::vector<Token> tokens_;
@@ -105,8 +167,15 @@ class SourceModel {
   std::vector<Loop> loops_;
   std::vector<DiscardedCall> discarded_calls_;
   std::vector<ParallelForSite> parallel_fors_;
+  std::vector<ClassInfo> classes_;
+  std::vector<LockSite> lock_sites_;
+  std::vector<NakedLockCall> naked_locks_;
   // line -> rule ids allowed on that line (from gpulint-allow comments).
   std::vector<std::pair<int, std::string>> inline_allows_;
+  // Lines carrying a "lint: lock-free" marker, and comment-only lines
+  // (markers apply through a contiguous comment block above a field).
+  std::set<int> lock_free_lines_;
+  std::set<int> comment_lines_;
 };
 
 }  // namespace gpulint
